@@ -1,0 +1,128 @@
+// Shared benchmark harness: generates a dataset, trains TabBiN and the
+// baselines at CPU scale, caches table encodings, and provides the
+// embedder closures + report formatting used by every tableXX binary.
+//
+// Scale note: the paper pre-trains BERT-BASE geometry for 50k steps on
+// GPUs; these benchmarks run the identical pipeline at reduced geometry
+// (see BenchTabBiNConfig) so every table regenerates in minutes on a
+// laptop. EXPERIMENTS.md records the paper-vs-measured comparison.
+#ifndef TABBIN_BENCH_COMMON_H_
+#define TABBIN_BENCH_COMMON_H_
+
+#include <cstdio>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "baselines/bertlike.h"
+#include "baselines/tuta.h"
+#include "baselines/word2vec.h"
+#include "core/tabbin.h"
+#include "datagen/corpus_gen.h"
+#include "tasks/clustering.h"
+#include "tasks/pipelines.h"
+
+namespace tabbin {
+namespace bench {
+
+/// \brief Which models to train for a benchmark (training dominates cost).
+struct ModelSet {
+  bool tabbin = true;
+  bool tuta = false;
+  bool bertlike = false;
+  bool word2vec = false;
+};
+
+/// \brief The CPU-scale TabBiN configuration used by all benchmarks.
+TabBiNConfig BenchTabBiNConfig();
+
+/// \brief Matching BertLike configuration.
+BertLikeConfig BenchBertConfig();
+
+/// \brief Default corpus size per dataset.
+constexpr int kBenchTables = 90;
+
+/// \brief Evaluation options shared by all benchmarks (top-20 clusters,
+/// as in the paper).
+ClusterEvalOptions BenchEvalOptions();
+
+/// \brief A dataset with trained models and cached TabBiN encodings.
+class BenchEnv {
+ public:
+  BenchEnv(const std::string& dataset, const ModelSet& models,
+           int num_tables = kBenchTables, uint64_t seed = 7);
+
+  const LabeledCorpus& data() const { return data_; }
+  const Corpus& corpus() const { return data_.corpus; }
+  TabBiNSystem& tabbin() { return *tabbin_; }
+  TutaModel& tuta() { return *tuta_; }
+  BertLikeModel& bertlike() { return *bert_; }
+  Word2Vec& word2vec() { return *w2v_; }
+
+  /// \brief Cached EncodeAll for a corpus table.
+  const TableEncodings& Encodings(int table_index);
+
+  // Embedder closures for the pipelines (capture `this`).
+  ColumnEmbedder TabbinColumnComposite();
+  ColumnEmbedder TabbinColumnSingle();
+  TableEmbedder TabbinTableComposite1();
+  TableEmbedder TabbinTableComposite2();  // with BertLike caption emb
+  TableEmbedder TabbinTableSingle();
+  CellEmbedder TabbinEntity();
+
+  ColumnEmbedder TutaColumn();
+  TableEmbedder TutaTable();
+  CellEmbedder TutaEntity();
+
+  ColumnEmbedder BertColumn();
+  TableEmbedder BertTable();
+  CellEmbedder BertEntity();
+
+  ColumnEmbedder W2vColumn();
+  TableEmbedder W2vTable();
+  CellEmbedder W2vEntity();
+
+  /// \brief Table index lookup for a Table pointer-identity in corpus.
+  int IndexOf(const Table& table) const;
+
+ private:
+  LabeledCorpus data_;
+  std::unique_ptr<TabBiNSystem> tabbin_;
+  std::unique_ptr<TutaModel> tuta_;
+  std::unique_ptr<BertLikeModel> bert_;
+  std::unique_ptr<Word2Vec> w2v_;
+  std::map<int, TableEncodings> encoding_cache_;
+};
+
+// ---------------------------------------------------------------------------
+// Query filtering helpers (the paper's table/column splits)
+// ---------------------------------------------------------------------------
+
+std::vector<ColumnQuery> FilterColumns(
+    const LabeledCorpus& data,
+    const std::function<bool(const Table&, const ColumnQuery&)>& pred);
+
+std::vector<TableQuery> FilterTables(
+    const LabeledCorpus& data,
+    const std::function<bool(const Table&)>& pred);
+
+// ---------------------------------------------------------------------------
+// Report formatting
+// ---------------------------------------------------------------------------
+
+/// \brief Prints "== Table N: title ==" header with the paper reference.
+void PrintHeader(const std::string& table_id, const std::string& title);
+
+/// \brief Prints one "model | split | MAP | MRR" row.
+void PrintRow(const std::string& model, const std::string& split, double map,
+              double mrr, int queries = -1);
+
+/// \brief Prints the expected qualitative shape from the paper.
+void PrintExpectation(const std::string& text);
+
+}  // namespace bench
+}  // namespace tabbin
+
+#endif  // TABBIN_BENCH_COMMON_H_

@@ -1,0 +1,125 @@
+// Microbenchmarks (google-benchmark) for the hot paths of the library:
+// tokenization, sequence building, visibility-matrix construction,
+// encoder forward passes, LSH queries, and cosine ranking.
+#include <benchmark/benchmark.h>
+
+#include "core/tabbin.h"
+#include "datagen/corpus_gen.h"
+#include "tasks/clustering.h"
+#include "tasks/lsh.h"
+#include "text/wordpiece.h"
+
+namespace tabbin {
+namespace {
+
+const LabeledCorpus& SharedCorpus() {
+  static const LabeledCorpus* corpus = [] {
+    GeneratorOptions opts;
+    opts.num_tables = 40;
+    return new LabeledCorpus(GenerateDataset("cancerkg", opts));
+  }();
+  return *corpus;
+}
+
+TabBiNSystem& SharedSystem() {
+  static TabBiNSystem* sys = [] {
+    TabBiNConfig cfg;
+    cfg.hidden = 36;
+    cfg.num_layers = 1;
+    cfg.num_heads = 2;
+    cfg.intermediate = 72;
+    cfg.max_seq_len = 96;
+    return new TabBiNSystem(
+        TabBiNSystem::Create(SharedCorpus().corpus.tables, cfg));
+  }();
+  return *sys;
+}
+
+void BM_Tokenize(benchmark::State& state) {
+  Vocab vocab = TrainWordPieceVocab(
+      {"median overall survival months progression free"}, 500, 1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        TokenizeToIds("median overall survival 20.3 months", vocab));
+  }
+}
+BENCHMARK(BM_Tokenize);
+
+void BM_BuildSequence(benchmark::State& state) {
+  TabBiNSystem& sys = SharedSystem();
+  const Table& t = SharedCorpus().corpus.tables[0];
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(BuildSequence(t, TabBiNVariant::kDataRow,
+                                           sys.vocab(), *sys.typer(),
+                                           sys.config()));
+  }
+}
+BENCHMARK(BM_BuildSequence);
+
+void BM_VisibilityMatrix(benchmark::State& state) {
+  TabBiNSystem& sys = SharedSystem();
+  const Table& t = SharedCorpus().corpus.tables[0];
+  EncodedSequence seq = BuildSequence(t, TabBiNVariant::kDataRow, sys.vocab(),
+                                      *sys.typer(), sys.config());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(BuildSequenceVisibility(seq));
+  }
+  state.SetLabel("seq_len=" + std::to_string(seq.size()));
+}
+BENCHMARK(BM_VisibilityMatrix);
+
+void BM_EncoderForward(benchmark::State& state) {
+  TabBiNSystem& sys = SharedSystem();
+  const Table& t = SharedCorpus().corpus.tables[0];
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        sys.EncodeSegment(t, TabBiNVariant::kDataRow));
+  }
+}
+BENCHMARK(BM_EncoderForward);
+
+void BM_ColumnComposite(benchmark::State& state) {
+  TabBiNSystem& sys = SharedSystem();
+  const Table& t = SharedCorpus().corpus.tables[0];
+  TableEncodings enc = sys.EncodeAll(t);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sys.ColumnComposite(enc, t.vmd_cols()));
+  }
+}
+BENCHMARK(BM_ColumnComposite);
+
+void BM_LshQuery(benchmark::State& state) {
+  const int dim = 72;
+  Rng rng(5);
+  LshIndex index(dim, 8, 12);
+  std::vector<float> probe(dim);
+  for (int i = 0; i < 2000; ++i) {
+    std::vector<float> v(dim);
+    for (auto& x : v) x = static_cast<float>(rng.Gaussian());
+    index.Insert(i, v);
+    if (i == 0) probe = v;
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(index.Query(probe));
+  }
+}
+BENCHMARK(BM_LshQuery);
+
+void BM_CosineRanking(benchmark::State& state) {
+  Rng rng(6);
+  std::vector<LabeledEmbedding> items;
+  for (int i = 0; i < 500; ++i) {
+    std::vector<float> v(72);
+    for (auto& x : v) x = static_cast<float>(rng.Gaussian());
+    items.push_back({std::move(v), "l" + std::to_string(i % 5)});
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(RankBySimilarity(items, 0));
+  }
+}
+BENCHMARK(BM_CosineRanking);
+
+}  // namespace
+}  // namespace tabbin
+
+BENCHMARK_MAIN();

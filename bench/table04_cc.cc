@@ -1,0 +1,59 @@
+// Regenerates paper Table 4: Column Clustering MAP/MRR — textual vs
+// numerical columns, TabBiN vs TUTA vs BioBERT-sub vs Word2Vec, on all
+// five datasets. Expected shape: TabBiN >= TUTA >= BioBERT >= W2V, with
+// the biggest TabBiN deltas on numerical columns (units + numeric
+// features are TabBiN-only signals).
+#include "bench/common.h"
+
+using namespace tabbin;
+using namespace tabbin::bench;
+
+int main() {
+  ModelSet models;
+  models.tabbin = true;
+  models.tuta = true;
+  models.bertlike = true;
+  models.word2vec = true;
+  auto eval_opts = BenchEvalOptions();
+
+  PrintHeader("Table 4", "CC MAP/MRR — textual and numerical columns");
+  for (const std::string& dataset : DatasetNames()) {
+    BenchEnv env(dataset, models, kBenchTables);
+    const LabeledCorpus& data = env.data();
+
+    auto text_cols = FilterColumns(
+        data, [](const Table& t, const ColumnQuery& q) {
+          return !IsNumericColumn(t, q.col);
+        });
+    auto num_cols = FilterColumns(
+        data, [](const Table& t, const ColumnQuery& q) {
+          return IsNumericColumn(t, q.col);
+        });
+
+    struct Entry {
+      const char* name;
+      ColumnEmbedder embed;
+    };
+    std::vector<Entry> entries = {
+        {"TabBiN", env.TabbinColumnComposite()},
+        {"TUTA-like", env.TutaColumn()},
+        {"BioBERT-sub", env.BertColumn()},
+        {"Word2Vec", env.W2vColumn()},
+    };
+    for (auto& e : entries) {
+      auto textual = EvaluateClustering(
+          EmbedColumns(data.corpus, text_cols, e.embed), eval_opts);
+      auto numerical = EvaluateClustering(
+          EmbedColumns(data.corpus, num_cols, e.embed), eval_opts);
+      PrintRow(e.name, dataset + "/textual", textual.map, textual.mrr,
+               textual.queries);
+      PrintRow(e.name, dataset + "/numerical", numerical.map, numerical.mrr,
+               numerical.queries);
+    }
+    std::printf("----------------------------------------------------------\n");
+  }
+  PrintExpectation(
+      "TabBiN wins or ties everywhere; largest deltas on numerical columns "
+      "(paper: up to +0.28 MAP over TUTA/BioBERT on Webtables numerical).");
+  return 0;
+}

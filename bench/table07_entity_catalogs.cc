@@ -1,0 +1,64 @@
+// Regenerates paper Table 7: the entity catalogs — 18 entity types
+// across the five datasets, with catalog sizes and a sampled AP@20
+// quality estimate. The paper's AP comes from two human annotators over
+// samples of size 40; here the synthetic generator provides ground truth
+// so AP@20 is measured by clustering extracted entity mentions with the
+// TabBiN-column model (the paper's §4.3 protocol).
+#include "bench/common.h"
+
+using namespace tabbin;
+using namespace tabbin::bench;
+
+int main() {
+  std::printf("\n==========================================================\n");
+  std::printf("Table 7 — Entity catalogs (18 types over 5 datasets)\n");
+  std::printf("==========================================================\n");
+  std::printf("%-12s %-18s %8s %8s %8s\n", "dataset", "entity type",
+              "catalog", "mentions", "AP@20");
+  std::printf("----------------------------------------------------------\n");
+
+  ModelSet models;
+  models.tabbin = true;
+  auto eval_opts = BenchEvalOptions();
+
+  int total_types = 0;
+  for (const std::string& dataset : DatasetNames()) {
+    BenchEnv env(dataset, models, kBenchTables);
+    const LabeledCorpus& data = env.data();
+    auto embedded =
+        EmbedEntities(data.corpus, data.entities, env.TabbinEntity());
+
+    for (const auto& catalog : data.catalogs) {
+      ++total_types;
+      // Mentions of this type recorded in the corpus.
+      int mentions = 0;
+      for (const auto& q : data.entities) {
+        if (q.label == catalog.name) ++mentions;
+      }
+      // AP quality: cluster evaluation restricted to queries of this type
+      // (labels across all types; a good catalog keeps its type pure).
+      std::vector<std::vector<bool>> runs;
+      for (size_t i = 0; i < embedded.size(); ++i) {
+        if (embedded[i].label != catalog.name) continue;
+        auto ranked = RankBySimilarity(embedded, static_cast<int>(i));
+        std::vector<bool> rel;
+        for (const auto& r : ranked) {
+          rel.push_back(embedded[static_cast<size_t>(r.index)].label ==
+                        catalog.name);
+        }
+        runs.push_back(std::move(rel));
+        if (runs.size() >= 40) break;  // paper: sample of size 40
+      }
+      const double ap = MeanAveragePrecision(runs, eval_opts.k);
+      std::printf("%-12s %-18s %8zu %8d %8.3f\n", dataset.c_str(),
+                  catalog.name.c_str(), catalog.entities.size(), mentions,
+                  ap);
+    }
+  }
+  std::printf("----------------------------------------------------------\n");
+  std::printf("total entity types: %d (paper: 18)\n", total_types);
+  PrintExpectation(
+      "large, high-quality catalogs per dataset; AP stays high for "
+      "domain-specific types (paper reports annotator AP on samples of 40).");
+  return 0;
+}

@@ -1,0 +1,86 @@
+// Regenerates paper Table 12: ablation study on Column Clustering.
+// TabBiN_1 removes the visibility matrix, TabBiN_2 type inference,
+// TabBiN_3 units+nesting, TabBiN_4 the bi-dimensional coordinates; each
+// ablated model is re-pre-trained and evaluated on CC. Expected shape:
+// every ablation hurts; the visibility matrix most (paper: −0.25 MAP on
+// string columns, −0.23 on numerical), units+nesting most on numerical
+// columns (−0.21 CancerKG).
+#include "bench/common.h"
+
+using namespace tabbin;
+using namespace tabbin::bench;
+
+namespace {
+
+struct Ablation {
+  const char* name;
+  void (*apply)(TabBiNConfig*);
+};
+
+const Ablation kAblations[] = {
+    {"TabBiN (full)", [](TabBiNConfig*) {}},
+    {"TabBiN_1 -visibility",
+     [](TabBiNConfig* c) { c->use_visibility_matrix = false; }},
+    {"TabBiN_2 -types",
+     [](TabBiNConfig* c) { c->use_type_inference = false; }},
+    {"TabBiN_3 -units/nest",
+     [](TabBiNConfig* c) { c->use_units_nesting = false; }},
+    {"TabBiN_4 -coords",
+     [](TabBiNConfig* c) { c->use_bidimensional_coords = false; }},
+};
+
+}  // namespace
+
+int main() {
+  auto eval_opts = BenchEvalOptions();
+  PrintHeader("Table 12", "CC ablations (TabBiN_1..4)");
+
+  for (const std::string& dataset : {std::string("cancerkg"),
+                                     std::string("webtables")}) {
+    GeneratorOptions gen;
+    gen.num_tables = kBenchTables;
+    LabeledCorpus data = GenerateDataset(dataset, gen);
+    auto text_cols = FilterColumns(
+        data, [](const Table& t, const ColumnQuery& q) {
+          return !IsNumericColumn(t, q.col);
+        });
+    auto num_cols = FilterColumns(
+        data, [](const Table& t, const ColumnQuery& q) {
+          return IsNumericColumn(t, q.col);
+        });
+
+    for (const auto& ablation : kAblations) {
+      TabBiNConfig cfg = BenchTabBiNConfig();
+      ablation.apply(&cfg);
+      TabBiNSystem sys = TabBiNSystem::Create(data.corpus.tables, cfg);
+      sys.Pretrain(data.corpus.tables);
+
+      std::map<int, TableEncodings> cache;
+      auto embed = [&](const Table& t, int col) {
+        int idx = -1;
+        for (size_t i = 0; i < data.corpus.tables.size(); ++i) {
+          if (&data.corpus.tables[i] == &t) idx = static_cast<int>(i);
+        }
+        auto it = cache.find(idx);
+        if (it == cache.end()) {
+          it = cache.emplace(idx, sys.EncodeAll(t)).first;
+        }
+        return sys.ColumnComposite(it->second, col);
+      };
+
+      auto textual = EvaluateClustering(
+          EmbedColumns(data.corpus, text_cols, embed), eval_opts);
+      auto numerical = EvaluateClustering(
+          EmbedColumns(data.corpus, num_cols, embed), eval_opts);
+      PrintRow(ablation.name, dataset + "/textual", textual.map,
+               textual.mrr, textual.queries);
+      PrintRow(ablation.name, dataset + "/numerical", numerical.map,
+               numerical.mrr, numerical.queries);
+    }
+    std::printf("----------------------------------------------------------\n");
+  }
+  PrintExpectation(
+      "every ablation drops MAP; visibility matrix hurts most (paper "
+      "−0.23..−0.25), units+nesting hurts numerical columns most (−0.21).");
+  return 0;
+}

@@ -1,0 +1,209 @@
+// tabbin_cli — command-line front end for the library.
+//
+//   tabbin_cli generate <dataset> <num_tables> <out.json>
+//       Generate a labeled synthetic corpus and save it as JSON.
+//   tabbin_cli pretrain <corpus.json> <model_prefix>
+//       Train the four TabBiN models and write checkpoints + vocabulary.
+//   tabbin_cli encode <corpus.json> <model_prefix> <table_index>
+//       Print the TC composite embedding of one table.
+//   tabbin_cli eval <corpus.json>
+//       Pretrain in-memory and report CC/TC MAP@20 / MRR@20.
+//   tabbin_cli inspect <corpus.json> <table_index>
+//       Print a table as CSV plus its coordinate trees.
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <string>
+
+#include "core/tabbin.h"
+#include "datagen/corpus_gen.h"
+#include "io/table_io.h"
+#include "table/bicoord.h"
+#include "tasks/clustering.h"
+#include "tasks/pipelines.h"
+
+using namespace tabbin;
+
+namespace {
+
+TabBiNConfig CliConfig() {
+  TabBiNConfig cfg;
+  cfg.hidden = 36;
+  cfg.num_layers = 1;
+  cfg.num_heads = 2;
+  cfg.intermediate = 72;
+  cfg.pretrain_steps = 60;
+  return cfg;
+}
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage:\n"
+               "  tabbin_cli generate <dataset> <num_tables> <out.json>\n"
+               "  tabbin_cli pretrain <corpus.json> <model_prefix>\n"
+               "  tabbin_cli encode <corpus.json> <model_prefix> <index>\n"
+               "  tabbin_cli eval <corpus.json>\n"
+               "  tabbin_cli inspect <corpus.json> <index>\n"
+               "datasets: webtables covidkg cancerkg saus cius\n");
+  return 2;
+}
+
+int CmdGenerate(const std::string& dataset, int n, const std::string& out) {
+  GeneratorOptions opts;
+  opts.num_tables = n;
+  LabeledCorpus data = GenerateDataset(dataset, opts);
+  Status st = SaveCorpus(data.corpus, out);
+  if (!st.ok()) {
+    std::fprintf(stderr, "error: %s\n", st.ToString().c_str());
+    return 1;
+  }
+  std::printf("wrote %zu tables to %s (%.0f%% non-relational, %.0f%% nested)\n",
+              data.corpus.tables.size(), out.c_str(),
+              100 * data.NonRelationalFraction(),
+              100 * data.NestedFraction());
+  return 0;
+}
+
+Result<Corpus> LoadOrDie(const std::string& path) { return LoadCorpus(path); }
+
+int CmdPretrain(const std::string& corpus_path, const std::string& prefix) {
+  auto corpus = LoadOrDie(corpus_path);
+  if (!corpus.ok()) {
+    std::fprintf(stderr, "error: %s\n", corpus.status().ToString().c_str());
+    return 1;
+  }
+  TabBiNSystem sys = TabBiNSystem::Create(corpus.value().tables, CliConfig());
+  auto stats = sys.Pretrain(corpus.value().tables);
+  for (int v = 0; v < 4; ++v) {
+    const char* name = TabBiNVariantName(static_cast<TabBiNVariant>(v));
+    std::printf("%-12s loss %.3f -> %.3f\n", name,
+                stats[static_cast<size_t>(v)].initial_loss,
+                stats[static_cast<size_t>(v)].final_loss);
+    Status st = sys.model(static_cast<TabBiNVariant>(v))
+                    ->Save(prefix + "." + name + ".bin");
+    if (!st.ok()) {
+      std::fprintf(stderr, "error: %s\n", st.ToString().c_str());
+      return 1;
+    }
+  }
+  Status st = sys.vocab().Save(prefix + ".vocab.bin");
+  if (!st.ok()) {
+    std::fprintf(stderr, "error: %s\n", st.ToString().c_str());
+    return 1;
+  }
+  std::printf("checkpoints written with prefix %s\n", prefix.c_str());
+  return 0;
+}
+
+int CmdEncode(const std::string& corpus_path, const std::string& prefix,
+              int index) {
+  auto corpus = LoadOrDie(corpus_path);
+  if (!corpus.ok()) {
+    std::fprintf(stderr, "error: %s\n", corpus.status().ToString().c_str());
+    return 1;
+  }
+  if (index < 0 || index >= static_cast<int>(corpus.value().tables.size())) {
+    std::fprintf(stderr, "error: index out of range\n");
+    return 1;
+  }
+  auto vocab = Vocab::Load(prefix + ".vocab.bin");
+  if (!vocab.ok()) {
+    std::fprintf(stderr, "error: %s\n", vocab.status().ToString().c_str());
+    return 1;
+  }
+  TabBiNSystem sys(CliConfig(), std::move(vocab).value());
+  for (int v = 0; v < 4; ++v) {
+    const char* name = TabBiNVariantName(static_cast<TabBiNVariant>(v));
+    Status st = sys.model(static_cast<TabBiNVariant>(v))
+                    ->Load(prefix + "." + name + ".bin");
+    if (!st.ok()) {
+      std::fprintf(stderr, "error: %s\n", st.ToString().c_str());
+      return 1;
+    }
+  }
+  const Table& t = corpus.value().tables[static_cast<size_t>(index)];
+  TableEncodings enc = sys.EncodeAll(t);
+  std::vector<float> emb = sys.TableComposite1(enc);
+  std::printf("# table %d: %s\n", index, t.caption().c_str());
+  for (size_t i = 0; i < emb.size(); ++i) {
+    std::printf("%s%.6f", i ? " " : "", emb[i]);
+  }
+  std::printf("\n");
+  return 0;
+}
+
+int CmdEval(const std::string& corpus_path) {
+  auto corpus = LoadOrDie(corpus_path);
+  if (!corpus.ok()) {
+    std::fprintf(stderr, "error: %s\n", corpus.status().ToString().c_str());
+    return 1;
+  }
+  // Topic labels come from the tables themselves; columns use header text
+  // as a weak label when no ground truth is available.
+  TabBiNSystem sys = TabBiNSystem::Create(corpus.value().tables, CliConfig());
+  sys.Pretrain(corpus.value().tables);
+  std::map<int, TableEncodings> cache;
+  auto get_enc = [&](int idx) -> const TableEncodings& {
+    auto it = cache.find(idx);
+    if (it == cache.end()) {
+      it = cache.emplace(idx, sys.EncodeAll(corpus.value()
+                                                .tables[static_cast<size_t>(
+                                                    idx)]))
+               .first;
+    }
+    return it->second;
+  };
+  std::vector<LabeledEmbedding> tables;
+  for (size_t i = 0; i < corpus.value().tables.size(); ++i) {
+    const Table& t = corpus.value().tables[i];
+    if (t.topic().empty()) continue;
+    tables.push_back(
+        {sys.TableComposite1(get_enc(static_cast<int>(i))), t.topic()});
+  }
+  ClusterEvalOptions opts;
+  auto tc = EvaluateClustering(tables, opts);
+  std::printf("TC (topic labels): MAP@20 %.3f MRR@20 %.3f (%d queries)\n",
+              tc.map, tc.mrr, tc.queries);
+  return 0;
+}
+
+int CmdInspect(const std::string& corpus_path, int index) {
+  auto corpus = LoadOrDie(corpus_path);
+  if (!corpus.ok()) {
+    std::fprintf(stderr, "error: %s\n", corpus.status().ToString().c_str());
+    return 1;
+  }
+  if (index < 0 || index >= static_cast<int>(corpus.value().tables.size())) {
+    std::fprintf(stderr, "error: index out of range\n");
+    return 1;
+  }
+  const Table& t = corpus.value().tables[static_cast<size_t>(index)];
+  std::printf("caption: %s\ntopic: %s\nhmd_rows=%d vmd_cols=%d\n\n%s\n",
+              t.caption().c_str(), t.topic().c_str(), t.hmd_rows(),
+              t.vmd_cols(), TableToCsv(t).c_str());
+  auto htree =
+      CoordinateTree::Build(t, CoordinateTree::Dimension::kHorizontal);
+  auto vtree = CoordinateTree::Build(t, CoordinateTree::Dimension::kVertical);
+  std::printf("horizontal tree:\n%s\nvertical tree:\n%s",
+              htree.ToString().c_str(), vtree.ToString().c_str());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return Usage();
+  const std::string cmd = argv[1];
+  if (cmd == "generate" && argc == 5) {
+    return CmdGenerate(argv[2], std::atoi(argv[3]), argv[4]);
+  }
+  if (cmd == "pretrain" && argc == 4) return CmdPretrain(argv[2], argv[3]);
+  if (cmd == "encode" && argc == 5) {
+    return CmdEncode(argv[2], argv[3], std::atoi(argv[4]));
+  }
+  if (cmd == "eval" && argc == 3) return CmdEval(argv[2]);
+  if (cmd == "inspect" && argc == 4) {
+    return CmdInspect(argv[2], std::atoi(argv[3]));
+  }
+  return Usage();
+}

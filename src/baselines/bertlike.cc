@@ -1,0 +1,159 @@
+#include "baselines/bertlike.h"
+
+#include "text/wordpiece.h"
+
+namespace tabbin {
+
+BertLikeModel::BertLikeModel(const BertLikeConfig& config, const Vocab* vocab)
+    : config_(config), vocab_(vocab) {
+  Rng rng(config.seed);
+  tok_emb_ = std::make_unique<Embedding>(vocab->size(), config.hidden, &rng);
+  pos_emb_ =
+      std::make_unique<Embedding>(config.max_seq_len, config.hidden, &rng);
+  emb_norm_ = std::make_unique<LayerNorm>(config.hidden);
+  encoder_ = std::make_unique<TransformerEncoder>(
+      config.num_layers, config.hidden, config.num_heads, config.intermediate,
+      &rng);
+  mlm_head_ = std::make_unique<Linear>(config.hidden, vocab->size(), &rng);
+}
+
+std::vector<int> BertLikeModel::Tokenize(const std::string& text) const {
+  std::vector<int> ids = TokenizeToIds(text, *vocab_);
+  if (static_cast<int>(ids.size()) > config_.max_seq_len - 1) {
+    ids.resize(static_cast<size_t>(config_.max_seq_len - 1));
+  }
+  return ids;
+}
+
+Tensor BertLikeModel::EncodeIds(const std::vector<int>& ids, bool training,
+                                Rng* rng) const {
+  std::vector<int> seq;
+  seq.reserve(ids.size() + 1);
+  seq.push_back(Vocab::kClsId);
+  for (int id : ids) {
+    if (static_cast<int>(seq.size()) >= config_.max_seq_len) break;
+    seq.push_back(id);
+  }
+  std::vector<int> positions(seq.size());
+  for (size_t i = 0; i < seq.size(); ++i) positions[i] = static_cast<int>(i);
+  Tensor x = Add(tok_emb_->Forward(seq), pos_emb_->Forward(positions));
+  x = emb_norm_->Forward(x);
+  return encoder_->Forward(x, /*attn_bias=*/nullptr, 0.1f, rng, training);
+}
+
+float BertLikeModel::Pretrain(const std::vector<std::string>& texts) {
+  Rng rng(config_.seed + 1);
+  std::vector<std::vector<int>> encoded;
+  for (const auto& t : texts) {
+    auto ids = Tokenize(t);
+    if (ids.size() >= 3) encoded.push_back(std::move(ids));
+  }
+  if (encoded.empty()) return 0.0f;
+
+  AdamOptimizer::Options opts;
+  opts.lr = config_.learning_rate;
+  opts.clip_norm = 1.0f;
+  AdamOptimizer adam(Parameters(), opts);
+
+  float last_loss = 0;
+  for (int step = 0; step < config_.pretrain_steps; ++step) {
+    adam.ZeroGrad();
+    float batch_loss = 0;
+    int used = 0;
+    for (int b = 0; b < config_.batch_size; ++b) {
+      const auto& ids = encoded[rng.Uniform(encoded.size())];
+      std::vector<int> masked = ids;
+      std::vector<int> targets(ids.size() + 1, -1);  // +1 for [CLS]
+      int num_masked = 0;
+      for (size_t i = 0; i < masked.size(); ++i) {
+        if (!rng.Bernoulli(config_.mlm_probability)) continue;
+        targets[i + 1] = masked[i];
+        ++num_masked;
+        double roll = rng.UniformDouble();
+        if (roll < 0.8) {
+          masked[i] = Vocab::kMaskId;
+        } else if (roll < 0.9) {
+          masked[i] = static_cast<int>(
+              Vocab::kNumSpecialTokens +
+              rng.Uniform(static_cast<uint64_t>(vocab_->size() -
+                                                Vocab::kNumSpecialTokens)));
+        }
+      }
+      if (num_masked == 0) continue;
+      Tensor hidden = EncodeIds(masked, /*training=*/true, &rng);
+      targets.resize(static_cast<size_t>(hidden.dim(0)), -1);
+      Tensor loss = CrossEntropyWithLogits(mlm_head_->Forward(hidden),
+                                           targets, -1);
+      Scale(loss, 1.0f / config_.batch_size).Backward();
+      batch_loss += loss.at(0);
+      ++used;
+    }
+    if (used == 0) continue;
+    adam.Step();
+    last_loss = batch_loss / static_cast<float>(used);
+  }
+  return last_loss;
+}
+
+std::vector<float> BertLikeModel::EncodeText(const std::string& text) const {
+  NoGradGuard guard;
+  Tensor h = EncodeIds(Tokenize(text));
+  const int n = h.dim(0), d = h.dim(1);
+  std::vector<float> out(static_cast<size_t>(d), 0.0f);
+  for (int i = 0; i < n; ++i) {
+    for (int k = 0; k < d; ++k) {
+      out[static_cast<size_t>(k)] += h.at(i, k);
+    }
+  }
+  for (auto& v : out) v /= static_cast<float>(n);
+  return out;
+}
+
+namespace {
+
+std::string SerializeWholeTable(const Table& table) {
+  std::string text = table.caption();
+  for (int r = 0; r < table.rows(); ++r) {
+    for (int c = 0; c < table.cols(); ++c) {
+      const Cell& cell = table.cell(r, c);
+      if (cell.is_empty()) continue;
+      text += " " + cell.value.ToString();
+      if (cell.has_nested()) {
+        text += " " + SerializeWholeTable(*cell.nested);
+      }
+    }
+  }
+  return text;
+}
+
+}  // namespace
+
+std::vector<float> BertLikeModel::EncodeTable(const Table& table) const {
+  return EncodeText(SerializeWholeTable(table));
+}
+
+std::vector<float> BertLikeModel::EncodeColumn(const Table& table,
+                                               int col) const {
+  std::string text;
+  for (int r = 0; r < table.rows(); ++r) {
+    const Cell& cell = table.cell(r, col);
+    if (!cell.is_empty()) text += cell.value.ToString() + " ";
+  }
+  return EncodeText(text);
+}
+
+std::vector<float> BertLikeModel::EncodeCell(const Table& table, int row,
+                                             int col) const {
+  return EncodeText(table.cell(row, col).value.ToString());
+}
+
+void BertLikeModel::CollectParameters(const std::string& prefix,
+                                      ParameterMap* out) const {
+  tok_emb_->CollectParameters(prefix + "tok.", out);
+  pos_emb_->CollectParameters(prefix + "pos.", out);
+  emb_norm_->CollectParameters(prefix + "norm.", out);
+  encoder_->CollectParameters(prefix + "enc.", out);
+  mlm_head_->CollectParameters(prefix + "mlm.", out);
+}
+
+}  // namespace tabbin

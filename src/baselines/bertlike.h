@@ -1,0 +1,77 @@
+// A plain text transformer with MLM pre-training — the "BioBERT-sub"
+// baseline (DESIGN.md substitution S2). It sees tables only as serialized
+// text: no coordinates, no visibility matrix, no units/types. Also
+// provides the caption embeddings used by TabBiN's tblcomp2 composite and
+// serves as the encoder substrate for the DITTO baseline.
+#ifndef TABBIN_BASELINES_BERTLIKE_H_
+#define TABBIN_BASELINES_BERTLIKE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "table/table.h"
+#include "tensor/nn.h"
+#include "tensor/optimizer.h"
+#include "text/vocab.h"
+
+namespace tabbin {
+
+struct BertLikeConfig {
+  int hidden = 48;
+  int num_layers = 2;
+  int num_heads = 2;
+  int intermediate = 96;
+  int max_seq_len = 128;
+  int pretrain_steps = 150;
+  int batch_size = 4;
+  float learning_rate = 1e-3f;
+  float mlm_probability = 0.15f;
+  uint64_t seed = 29;
+};
+
+/// \brief Token + sequential-position transformer encoder with MLM head.
+class BertLikeModel : public Module {
+ public:
+  BertLikeModel(const BertLikeConfig& config, const Vocab* vocab);
+
+  /// \brief MLM pre-training on raw texts; returns final loss.
+  float Pretrain(const std::vector<std::string>& texts);
+
+  /// \brief Hidden states for a token-id sequence ([CLS] prepended).
+  Tensor EncodeIds(const std::vector<int>& ids, bool training = false,
+                   Rng* rng = nullptr) const;
+
+  /// \brief Mean-pooled embedding of a text.
+  std::vector<float> EncodeText(const std::string& text) const;
+
+  /// \brief Table embedding: caption + all cells serialized then pooled.
+  std::vector<float> EncodeTable(const Table& table) const;
+
+  /// \brief Column embedding: header + column cells serialized.
+  std::vector<float> EncodeColumn(const Table& table, int col) const;
+
+  /// \brief Cell embedding (for the EC task).
+  std::vector<float> EncodeCell(const Table& table, int row, int col) const;
+
+  void CollectParameters(const std::string& prefix,
+                         ParameterMap* out) const override;
+
+  const BertLikeConfig& config() const { return config_; }
+  const Vocab& vocab() const { return *vocab_; }
+
+ private:
+  std::vector<int> Tokenize(const std::string& text) const;
+
+  BertLikeConfig config_;
+  const Vocab* vocab_;
+  std::unique_ptr<Embedding> tok_emb_;
+  std::unique_ptr<Embedding> pos_emb_;
+  std::unique_ptr<LayerNorm> emb_norm_;
+  std::unique_ptr<TransformerEncoder> encoder_;
+  std::unique_ptr<Linear> mlm_head_;
+};
+
+}  // namespace tabbin
+
+#endif  // TABBIN_BASELINES_BERTLIKE_H_

@@ -1,0 +1,171 @@
+#include "baselines/ditto.h"
+
+#include <cmath>
+
+#include "text/wordpiece.h"
+
+namespace tabbin {
+
+DittoModel::DittoModel(const BertLikeConfig& encoder_config,
+                       const Vocab* vocab,
+                       const MatcherConfig& matcher_config)
+    : matcher_config_(matcher_config) {
+  encoder_ = std::make_unique<BertLikeModel>(encoder_config, vocab);
+  Rng rng(matcher_config.seed);
+  head_ = std::make_unique<Linear>(encoder_config.hidden, 1, &rng);
+}
+
+Tensor DittoModel::PairLogit(const std::string& a, const std::string& b,
+                             bool training, Rng* rng) const {
+  // DITTO serialization: a [SEP] b (the [CLS] is prepended by EncodeIds).
+  std::vector<int> ids = TokenizeToIds(a, encoder_->vocab());
+  ids.push_back(Vocab::kSepId);
+  for (int id : TokenizeToIds(b, encoder_->vocab())) ids.push_back(id);
+  Tensor hidden = encoder_->EncodeIds(ids, training, rng);
+  Tensor cls = SliceRows(hidden, 0, 1);  // [1, H]
+  return head_->Forward(cls);            // [1, 1]
+}
+
+float DittoModel::Train(const std::vector<EntityPair>& pairs) {
+  if (pairs.empty()) return 0.0f;
+  Rng rng(matcher_config_.seed + 1);
+  ParameterMap params = encoder_->Parameters();
+  head_->CollectParameters("head.", &params);
+  AdamOptimizer::Options opts;
+  opts.lr = matcher_config_.learning_rate;
+  opts.clip_norm = 1.0f;
+  AdamOptimizer adam(params, opts);
+
+  std::vector<int> order(pairs.size());
+  for (size_t i = 0; i < pairs.size(); ++i) order[i] = static_cast<int>(i);
+
+  float last_loss = 0;
+  for (int epoch = 0; epoch < matcher_config_.epochs; ++epoch) {
+    rng.Shuffle(&order);
+    double epoch_loss = 0;
+    const int batch = 4;
+    for (size_t i = 0; i < order.size(); i += batch) {
+      adam.ZeroGrad();
+      int used = 0;
+      for (size_t j = i; j < std::min(order.size(), i + batch); ++j) {
+        const EntityPair& p = pairs[static_cast<size_t>(order[j])];
+        Tensor logit = PairLogit(p.a, p.b, /*training=*/true, &rng);
+        Tensor loss = BinaryCrossEntropyWithLogits(
+            logit, {p.match ? 1.0f : 0.0f});
+        Scale(loss, 1.0f / batch).Backward();
+        epoch_loss += loss.at(0);
+        ++used;
+      }
+      if (used > 0) adam.Step();
+    }
+    last_loss = static_cast<float>(epoch_loss / order.size());
+  }
+  return last_loss;
+}
+
+float DittoModel::PredictMatchProbability(const std::string& a,
+                                          const std::string& b) const {
+  NoGradGuard guard;
+  const float z = PairLogit(a, b, /*training=*/false, nullptr).at(0);
+  return z >= 0 ? 1.0f / (1.0f + std::exp(-z))
+                : std::exp(z) / (1.0f + std::exp(z));
+}
+
+BinaryScore DittoModel::Evaluate(const std::vector<EntityPair>& pairs) const {
+  int tp = 0, fp = 0, fn = 0;
+  for (const auto& p : pairs) {
+    const bool predicted =
+        PredictMatchProbability(p.a, p.b) >= matcher_config_.threshold;
+    if (predicted && p.match) ++tp;
+    if (predicted && !p.match) ++fp;
+    if (!predicted && p.match) ++fn;
+  }
+  return ComputeF1(tp, fp, fn);
+}
+
+EmbeddingMatcher::EmbeddingMatcher(EmbedFn embed, int dim,
+                                   const MatcherConfig& config)
+    : embed_(std::move(embed)), dim_(dim), config_(config) {
+  weights_.assign(static_cast<size_t>(2 * dim_ + 1), 0.0f);
+}
+
+std::vector<float> EmbeddingMatcher::PairFeatures(const std::string& a,
+                                                  const std::string& b) const {
+  std::vector<float> ea = embed_(a);
+  std::vector<float> eb = embed_(b);
+  ea.resize(static_cast<size_t>(dim_), 0.0f);
+  eb.resize(static_cast<size_t>(dim_), 0.0f);
+  std::vector<float> f(static_cast<size_t>(2 * dim_));
+  for (int i = 0; i < dim_; ++i) {
+    f[static_cast<size_t>(i)] =
+        std::fabs(ea[static_cast<size_t>(i)] - eb[static_cast<size_t>(i)]);
+    f[static_cast<size_t>(dim_ + i)] =
+        ea[static_cast<size_t>(i)] * eb[static_cast<size_t>(i)];
+  }
+  return f;
+}
+
+float EmbeddingMatcher::Train(const std::vector<EntityPair>& pairs) {
+  if (pairs.empty()) return 0.0f;
+  // Pre-compute features once (embeddings are fixed; only the logistic
+  // head is trained — the paper's "linear layer + softmax on top").
+  std::vector<std::vector<float>> feats;
+  std::vector<float> labels;
+  feats.reserve(pairs.size());
+  for (const auto& p : pairs) {
+    feats.push_back(PairFeatures(p.a, p.b));
+    labels.push_back(p.match ? 1.0f : 0.0f);
+  }
+  const float lr = config_.learning_rate * 10;
+  float last_loss = 0;
+  const int epochs = std::max(config_.epochs * 40, 120);
+  for (int epoch = 0; epoch < epochs; ++epoch) {
+    double loss = 0;
+    std::vector<float> grad(weights_.size(), 0.0f);
+    for (size_t i = 0; i < feats.size(); ++i) {
+      float z = weights_.back();
+      for (size_t k = 0; k < feats[i].size(); ++k) {
+        z += weights_[k] * feats[i][k];
+      }
+      const float s = z >= 0 ? 1.0f / (1.0f + std::exp(-z))
+                             : std::exp(z) / (1.0f + std::exp(z));
+      loss += -(labels[i] * std::log(std::max(s, 1e-12f)) +
+                (1 - labels[i]) * std::log(std::max(1 - s, 1e-12f)));
+      const float err = s - labels[i];
+      for (size_t k = 0; k < feats[i].size(); ++k) {
+        grad[k] += err * feats[i][k];
+      }
+      grad.back() += err;
+    }
+    const float scale = lr / static_cast<float>(feats.size());
+    for (size_t k = 0; k < weights_.size(); ++k) {
+      weights_[k] -= scale * grad[k];
+    }
+    last_loss = static_cast<float>(loss / feats.size());
+  }
+  return last_loss;
+}
+
+float EmbeddingMatcher::PredictMatchProbability(const std::string& a,
+                                                const std::string& b) const {
+  std::vector<float> f = PairFeatures(a, b);
+  float z = weights_.back();
+  for (size_t k = 0; k < f.size(); ++k) z += weights_[k] * f[k];
+  return z >= 0 ? 1.0f / (1.0f + std::exp(-z))
+                : std::exp(z) / (1.0f + std::exp(z));
+}
+
+BinaryScore EmbeddingMatcher::Evaluate(
+    const std::vector<EntityPair>& pairs) const {
+  int tp = 0, fp = 0, fn = 0;
+  for (const auto& p : pairs) {
+    const bool predicted =
+        PredictMatchProbability(p.a, p.b) >= config_.threshold;
+    if (predicted && p.match) ++tp;
+    if (predicted && !p.match) ++fp;
+    if (!predicted && p.match) ++fn;
+  }
+  return ComputeF1(tp, fp, fn);
+}
+
+}  // namespace tabbin

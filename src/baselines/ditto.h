@@ -1,0 +1,81 @@
+// DITTO-like entity matcher (DESIGN.md substitution S7): serialize the
+// entity pair as "[CLS] a-tokens [SEP] b-tokens", encode with a plain
+// text transformer, and classify match/mismatch from the [CLS] state —
+// the essence of "Deep entity matching with pre-trained language
+// models" [49] at CPU scale. Also provides the TabBiN-side matcher used
+// in Table 9 ("we added a linear layer followed by softmax on top of our
+// TabBiN transformer layers").
+#ifndef TABBIN_BASELINES_DITTO_H_
+#define TABBIN_BASELINES_DITTO_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "baselines/bertlike.h"
+#include "datagen/pairs.h"
+#include "tasks/metrics.h"
+
+namespace tabbin {
+
+struct MatcherConfig {
+  int epochs = 3;
+  float learning_rate = 1e-3f;
+  float threshold = 0.5f;
+  uint64_t seed = 41;
+};
+
+/// \brief Pair classifier over a BertLike encoder.
+class DittoModel {
+ public:
+  DittoModel(const BertLikeConfig& encoder_config, const Vocab* vocab,
+             const MatcherConfig& matcher_config = {});
+
+  /// \brief Fine-tunes encoder + head on labeled pairs; returns final loss.
+  float Train(const std::vector<EntityPair>& pairs);
+
+  /// \brief P(match) for a pair.
+  float PredictMatchProbability(const std::string& a,
+                                const std::string& b) const;
+
+  /// \brief Precision/recall/F1 on a labeled test set.
+  BinaryScore Evaluate(const std::vector<EntityPair>& pairs) const;
+
+ private:
+  Tensor PairLogit(const std::string& a, const std::string& b, bool training,
+                   Rng* rng) const;
+
+  MatcherConfig matcher_config_;
+  std::unique_ptr<BertLikeModel> encoder_;
+  std::unique_ptr<Linear> head_;
+};
+
+/// \brief Generic embedding-based matcher head: a logistic classifier on
+/// [|e_a - e_b| ; e_a * e_b] over any embedding function. Used to put the
+/// TabBiN-derived embeddings through the same entity-matching protocol.
+class EmbeddingMatcher {
+ public:
+  using EmbedFn = std::function<std::vector<float>(const std::string&)>;
+
+  EmbeddingMatcher(EmbedFn embed, int dim,
+                   const MatcherConfig& config = {});
+
+  float Train(const std::vector<EntityPair>& pairs);
+  float PredictMatchProbability(const std::string& a,
+                                const std::string& b) const;
+  BinaryScore Evaluate(const std::vector<EntityPair>& pairs) const;
+
+ private:
+  std::vector<float> PairFeatures(const std::string& a,
+                                  const std::string& b) const;
+
+  EmbedFn embed_;
+  int dim_;
+  MatcherConfig config_;
+  std::vector<float> weights_;  // 2*dim + 1 (bias)
+};
+
+}  // namespace tabbin
+
+#endif  // TABBIN_BASELINES_DITTO_H_

@@ -1,0 +1,115 @@
+#include "baselines/tuta.h"
+
+namespace tabbin {
+
+TutaModel::TutaModel(const TabBiNConfig& base_config, const Vocab* vocab,
+                     const TypeInferencer* typer)
+    : config_(base_config), vocab_(vocab), typer_(typer) {
+  // TUTA deltas: no unit/nesting features, no type embeddings. Tree
+  // coordinates and the visibility matrix stay on.
+  config_.use_units_nesting = false;
+  config_.use_type_inference = false;
+  config_.seed = base_config.seed + 71;
+  Rng rng(config_.seed);
+  model_ = std::make_unique<TabBiNModel>(config_, vocab->size(),
+                                         TabBiNVariant::kDataRow, &rng);
+}
+
+PretrainStats TutaModel::Pretrain(const std::vector<Table>& tables) {
+  PretrainStats stats;
+  Rng rng(config_.seed + 3);
+
+  std::vector<EncodedSequence> sequences;
+  for (const auto& t : tables) {
+    EncodedSequence seq =
+        BuildWholeTableSequence(t, *vocab_, *typer_, config_);
+    if (seq.size() >= 4) sequences.push_back(std::move(seq));
+  }
+  if (sequences.empty()) return stats;
+
+  AdamOptimizer::Options opts;
+  opts.lr = config_.learning_rate;
+  opts.clip_norm = 1.0f;
+  AdamOptimizer adam(model_->Parameters(), opts);
+
+  for (int step = 0; step < config_.pretrain_steps; ++step) {
+    adam.ZeroGrad();
+    float step_loss = 0;
+    int used = 0;
+    for (int b = 0; b < config_.batch_size; ++b) {
+      const EncodedSequence& seq = sequences[rng.Uniform(sequences.size())];
+      MaskedExample ex = ApplyMasking(seq, config_, vocab_->size(), &rng);
+      if (ex.num_masked == 0) continue;
+      Tensor hidden = model_->Encode(ex.seq, /*training=*/true, &rng);
+      Tensor loss = CrossEntropyWithLogits(model_->MlmLogits(hidden),
+                                           ex.token_targets, -1);
+      Scale(loss, 1.0f / config_.batch_size).Backward();
+      step_loss += loss.at(0);
+      ++used;
+    }
+    if (used == 0) continue;
+    adam.Step();
+    step_loss /= static_cast<float>(used);
+    if (step == 0) stats.initial_loss = step_loss;
+    stats.final_loss = step_loss;
+    ++stats.steps;
+  }
+  return stats;
+}
+
+SegmentEncoding TutaModel::EncodeTableSequence(const Table& table) const {
+  SegmentEncoding enc;
+  enc.seq = BuildWholeTableSequence(table, *vocab_, *typer_, config_);
+  if (enc.seq.empty()) return enc;
+  NoGradGuard guard;
+  Tensor hidden = model_->Encode(enc.seq);
+  const int n = hidden.dim(0), h = hidden.dim(1);
+  enc.hidden.resize(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    enc.hidden[static_cast<size_t>(i)].assign(
+        hidden.data() + static_cast<size_t>(i) * h,
+        hidden.data() + static_cast<size_t>(i + 1) * h);
+  }
+  return enc;
+}
+
+std::vector<float> TutaModel::Pool(
+    const SegmentEncoding& enc,
+    const std::function<bool(const CellSpan&)>& f) const {
+  std::vector<float> sum(static_cast<size_t>(config_.hidden), 0.0f);
+  int count = 0;
+  for (const CellSpan& span : enc.seq.cell_spans) {
+    if (!f(span)) continue;
+    for (int i = span.begin;
+         i < span.end && i < static_cast<int>(enc.hidden.size()); ++i) {
+      const auto& h = enc.hidden[static_cast<size_t>(i)];
+      for (size_t d = 0; d < sum.size(); ++d) sum[d] += h[d];
+      ++count;
+    }
+  }
+  if (count > 0) {
+    for (auto& v : sum) v /= static_cast<float>(count);
+  }
+  return sum;
+}
+
+std::vector<float> TutaModel::EncodeTable(const Table& table) const {
+  SegmentEncoding enc = EncodeTableSequence(table);
+  return Pool(enc, [](const CellSpan&) { return true; });
+}
+
+std::vector<float> TutaModel::EncodeColumn(const Table& table,
+                                           int col) const {
+  SegmentEncoding enc = EncodeTableSequence(table);
+  return Pool(enc, [col](const CellSpan& s) { return s.col == col; });
+}
+
+std::vector<float> TutaModel::EncodeCell(const Table& table, int row,
+                                         int col) const {
+  SegmentEncoding enc = EncodeTableSequence(table);
+  return Pool(enc, [row, col](const CellSpan& s) {
+    return s.row == row && s.col == col;
+  });
+}
+
+}  // namespace tabbin

@@ -1,0 +1,50 @@
+// TUTA-like baseline (DESIGN.md substitution S8): a tree-position-aware
+// table transformer in the style of TUTA [80]. It keeps tree coordinates
+// and explicit visibility, but — unlike TabBiN — (a) trains a single
+// model over whole-table sequences instead of separate segment models,
+// (b) has no unit/nesting cell features, and (c) no semantic type
+// embeddings. These are exactly the architectural deltas the paper
+// attributes its wins to.
+#ifndef TABBIN_BASELINES_TUTA_H_
+#define TABBIN_BASELINES_TUTA_H_
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "core/pretrainer.h"
+#include "core/tabbin.h"
+
+namespace tabbin {
+
+class TutaModel {
+ public:
+  TutaModel(const TabBiNConfig& base_config, const Vocab* vocab,
+            const TypeInferencer* typer);
+
+  /// \brief MLM+CLC pre-training over whole-table sequences.
+  PretrainStats Pretrain(const std::vector<Table>& tables);
+
+  /// \brief Whole-table encoding reused by all downstream lookups.
+  SegmentEncoding EncodeTableSequence(const Table& table) const;
+
+  std::vector<float> EncodeTable(const Table& table) const;
+  std::vector<float> EncodeColumn(const Table& table, int col) const;
+  std::vector<float> EncodeCell(const Table& table, int row, int col) const;
+
+  const TabBiNConfig& config() const { return config_; }
+  TabBiNModel* model() { return model_.get(); }
+
+ private:
+  std::vector<float> Pool(const SegmentEncoding& enc,
+                          const std::function<bool(const CellSpan&)>& f) const;
+
+  TabBiNConfig config_;
+  const Vocab* vocab_;
+  const TypeInferencer* typer_;
+  std::unique_ptr<TabBiNModel> model_;
+};
+
+}  // namespace tabbin
+
+#endif  // TABBIN_BASELINES_TUTA_H_

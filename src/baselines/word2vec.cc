@@ -1,0 +1,171 @@
+#include "baselines/word2vec.h"
+
+#include <chrono>
+#include <cmath>
+
+#include "text/wordpiece.h"
+
+namespace tabbin {
+
+Word2Vec::Word2Vec(const Word2VecConfig& config) : config_(config) {}
+
+int Word2Vec::WordIndex(const std::string& w) const {
+  auto it = word_to_index_.find(w);
+  return it == word_to_index_.end() ? -1 : it->second;
+}
+
+double Word2Vec::Train(const std::vector<std::string>& sentences) {
+  const auto start = std::chrono::steady_clock::now();
+  Rng rng(config_.seed);
+
+  // Vocabulary with counts.
+  std::unordered_map<std::string, int64_t> freq;
+  std::vector<std::vector<int>> encoded;
+  for (const auto& s : sentences) {
+    for (const auto& w : PreTokenize(s)) ++freq[w];
+  }
+  for (const auto& [w, f] : freq) {
+    if (f >= config_.min_count) {
+      word_to_index_.emplace(w, static_cast<int>(words_.size()));
+      words_.push_back(w);
+    }
+  }
+  encoded.reserve(sentences.size());
+  for (const auto& s : sentences) {
+    std::vector<int> ids;
+    for (const auto& w : PreTokenize(s)) {
+      int idx = WordIndex(w);
+      if (idx >= 0) ids.push_back(idx);
+    }
+    if (ids.size() >= 2) encoded.push_back(std::move(ids));
+  }
+  const int v = vocab_size();
+  const int d = config_.dim;
+  if (v == 0 || encoded.empty()) return 0.0;
+
+  input_vectors_.resize(static_cast<size_t>(v) * d);
+  output_vectors_.assign(static_cast<size_t>(v) * d, 0.0f);
+  for (auto& x : input_vectors_) {
+    x = rng.UniformFloat(-0.5f / d, 0.5f / d);
+  }
+
+  // Unigram^0.75 negative-sampling table.
+  negative_table_.clear();
+  negative_table_.reserve(1 << 16);
+  double total = 0;
+  std::vector<double> pow_freq(static_cast<size_t>(v));
+  for (int i = 0; i < v; ++i) {
+    pow_freq[static_cast<size_t>(i)] = std::pow(
+        static_cast<double>(freq[words_[static_cast<size_t>(i)]]), 0.75);
+    total += pow_freq[static_cast<size_t>(i)];
+  }
+  for (int i = 0; i < v; ++i) {
+    int slots = std::max(
+        1, static_cast<int>(pow_freq[static_cast<size_t>(i)] / total *
+                            (1 << 16)));
+    for (int s = 0; s < slots; ++s) negative_table_.push_back(i);
+  }
+
+  auto sigmoid = [](float z) {
+    return z >= 0 ? 1.0f / (1.0f + std::exp(-z))
+                  : std::exp(z) / (1.0f + std::exp(z));
+  };
+
+  std::vector<float> grad_center(static_cast<size_t>(d));
+  for (int epoch = 0; epoch < config_.epochs; ++epoch) {
+    const float lr =
+        config_.lr * (1.0f - static_cast<float>(epoch) / config_.epochs);
+    for (const auto& sent : encoded) {
+      for (size_t pos = 0; pos < sent.size(); ++pos) {
+        const int center = sent[pos];
+        float* vc = input_vectors_.data() + static_cast<size_t>(center) * d;
+        const int win = 1 + static_cast<int>(rng.Uniform(
+                                static_cast<uint64_t>(config_.window)));
+        for (int off = -win; off <= win; ++off) {
+          if (off == 0) continue;
+          const long ctx_pos = static_cast<long>(pos) + off;
+          if (ctx_pos < 0 || ctx_pos >= static_cast<long>(sent.size())) {
+            continue;
+          }
+          std::fill(grad_center.begin(), grad_center.end(), 0.0f);
+          // One positive + `negatives` sampled negatives.
+          for (int s = 0; s < config_.negatives + 1; ++s) {
+            int target;
+            float label;
+            if (s == 0) {
+              target = sent[static_cast<size_t>(ctx_pos)];
+              label = 1.0f;
+            } else {
+              target = negative_table_[rng.Uniform(negative_table_.size())];
+              if (target == sent[static_cast<size_t>(ctx_pos)]) continue;
+              label = 0.0f;
+            }
+            float* vo =
+                output_vectors_.data() + static_cast<size_t>(target) * d;
+            float dot = 0;
+            for (int k = 0; k < d; ++k) dot += vc[k] * vo[k];
+            const float g = (sigmoid(dot) - label) * lr;
+            for (int k = 0; k < d; ++k) {
+              grad_center[static_cast<size_t>(k)] += g * vo[k];
+              vo[k] -= g * vc[k];
+            }
+          }
+          for (int k = 0; k < d; ++k) {
+            vc[k] -= grad_center[static_cast<size_t>(k)];
+          }
+        }
+      }
+    }
+  }
+  const auto end = std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(end - start).count();
+}
+
+std::vector<float> Word2Vec::Embed(const std::string& text) const {
+  std::vector<float> out(static_cast<size_t>(config_.dim), 0.0f);
+  int count = 0;
+  for (const auto& w : PreTokenize(text)) {
+    const int idx = WordIndex(w);
+    if (idx < 0) continue;
+    const float* v =
+        input_vectors_.data() + static_cast<size_t>(idx) * config_.dim;
+    for (int k = 0; k < config_.dim; ++k) out[static_cast<size_t>(k)] += v[k];
+    ++count;
+  }
+  if (count > 0) {
+    for (auto& x : out) x /= static_cast<float>(count);
+  }
+  return out;
+}
+
+std::vector<std::string> SerializeTuples(const Table& table) {
+  std::vector<std::string> out;
+  // Header labels per column (deepest HMD row).
+  std::vector<std::string> headers(static_cast<size_t>(table.cols()));
+  if (table.hmd_rows() > 0) {
+    for (int c = 0; c < table.cols(); ++c) {
+      headers[static_cast<size_t>(c)] =
+          table.cell(table.hmd_rows() - 1, c).value.ToString();
+    }
+  }
+  for (int r = table.hmd_rows(); r < table.rows(); ++r) {
+    std::string tuple;
+    for (int c = 0; c < table.cols(); ++c) {
+      const Cell& cell = table.cell(r, c);
+      if (cell.is_empty()) continue;
+      if (!headers[static_cast<size_t>(c)].empty()) {
+        tuple += headers[static_cast<size_t>(c)] + " ";
+      }
+      tuple += cell.value.ToString() + " ";
+      if (cell.has_nested()) {
+        for (const auto& inner : SerializeTuples(*cell.nested)) {
+          tuple += inner + " ";
+        }
+      }
+    }
+    if (!tuple.empty()) out.push_back(std::move(tuple));
+  }
+  return out;
+}
+
+}  // namespace tabbin

@@ -1,0 +1,59 @@
+// Word2Vec skip-gram with negative sampling (Mikolov et al. 2013) —
+// the classic-embedding baseline of the paper's evaluation, trained on
+// serialized table tuples (§4: "We trained Word2Vec on table tuples").
+#ifndef TABBIN_BASELINES_WORD2VEC_H_
+#define TABBIN_BASELINES_WORD2VEC_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "table/table.h"
+#include "util/rng.h"
+
+namespace tabbin {
+
+/// \brief Training hyper-parameters (paper Table 3 sweeps `dim`).
+struct Word2VecConfig {
+  int dim = 300;       // paper's chosen dimensionality
+  int window = 3;      // context window each side (paper: 3)
+  int min_count = 1;   // paper: 1
+  int epochs = 3;
+  int negatives = 5;
+  float lr = 0.025f;
+  uint64_t seed = 23;
+};
+
+/// \brief Skip-gram word embeddings.
+class Word2Vec {
+ public:
+  explicit Word2Vec(const Word2VecConfig& config = {});
+
+  /// \brief Trains on tokenized sentences; returns wall-clock seconds.
+  double Train(const std::vector<std::string>& sentences);
+
+  /// \brief Mean of word vectors over the text's tokens (zero vector when
+  /// no token is known).
+  std::vector<float> Embed(const std::string& text) const;
+
+  int vocab_size() const { return static_cast<int>(words_.size()); }
+  const Word2VecConfig& config() const { return config_; }
+
+ private:
+  int WordIndex(const std::string& w) const;
+
+  Word2VecConfig config_;
+  std::vector<std::string> words_;
+  std::unordered_map<std::string, int> word_to_index_;
+  std::vector<float> input_vectors_;   // [V, dim]
+  std::vector<float> output_vectors_;  // [V, dim]
+  std::vector<int> negative_table_;
+};
+
+/// \brief Serializes a table into tuple sentences ("header: value ..."),
+/// the Word2Vec / BioBERT training input convention.
+std::vector<std::string> SerializeTuples(const Table& table);
+
+}  // namespace tabbin
+
+#endif  // TABBIN_BASELINES_WORD2VEC_H_

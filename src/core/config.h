@@ -1,0 +1,67 @@
+// TabBiN model configuration, including the ablation switches of §4.6.
+#ifndef TABBIN_CORE_CONFIG_H_
+#define TABBIN_CORE_CONFIG_H_
+
+#include <string>
+
+namespace tabbin {
+
+/// \brief The four pre-trained TabBiN variants (paper §3.3: "We trained 4
+/// models – 2 for data – tuples, columns; 2 for metadata – horizontal,
+/// vertical metadata").
+enum class TabBiNVariant {
+  kDataRow = 0,  // data segment, row by row (tuple context)
+  kDataColumn,   // data segment, column by column
+  kHmd,          // horizontal metadata rows
+  kVmd,          // vertical metadata columns
+};
+
+const char* TabBiNVariantName(TabBiNVariant variant);
+
+/// \brief Hyper-parameters and ablation switches.
+///
+/// The paper's full-scale geometry is BERT-BASE (hidden 768, 12 layers,
+/// 12 heads); the defaults here are the CPU-scale configuration used by
+/// the benchmarks. All structural constants (I, G, M/P/F/L, F, T) match
+/// the paper exactly.
+struct TabBiNConfig {
+  // Transformer geometry.
+  int hidden = 48;        // paper: 768
+  int num_layers = 2;     // paper: 12
+  int num_heads = 2;      // paper: 12
+  int intermediate = 96;  // paper: 3072
+  float dropout = 0.1f;
+
+  // Structural constants (paper §3.1).
+  int max_seq_len = 128;      // paper: 256 ("no more than 256 tokens")
+  int max_cell_tokens = 64;   // I = 64
+  int max_tuples = 256;       // G = 256
+  int num_numeric_bins = 10;  // M = P = F = L = 10
+  int num_cell_features = 8;  // F = 8 (7 unit bits + nested bit)
+  int num_types = 14;         // T = 14
+
+  // Pre-training (paper §3.3: 50k steps, batch 12, lr 2e-5 at full scale).
+  int pretrain_steps = 150;
+  int batch_size = 4;
+  float learning_rate = 1e-3f;
+  float mlm_probability = 0.15f;
+  float clc_probability = 0.3f;  // chance a sequence gets a cell cloze
+
+  // Ablation switches (§4.6, TabBiN_1..4).
+  bool use_visibility_matrix = true;     // TabBiN_1 removes
+  bool use_type_inference = true;        // TabBiN_2 removes
+  bool use_units_nesting = true;         // TabBiN_3 removes
+  bool use_bidimensional_coords = true;  // TabBiN_4 removes
+
+  uint64_t seed = 17;
+
+  /// \brief Validates divisibility constraints.
+  bool Valid() const {
+    return hidden > 0 && hidden % num_heads == 0 && num_layers > 0 &&
+           max_seq_len > 8;
+  }
+};
+
+}  // namespace tabbin
+
+#endif  // TABBIN_CORE_CONFIG_H_

@@ -1,0 +1,307 @@
+#include "core/input_builder.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "text/wordpiece.h"
+#include "util/string_util.h"
+
+namespace tabbin {
+
+const char* TabBiNVariantName(TabBiNVariant variant) {
+  switch (variant) {
+    case TabBiNVariant::kDataRow:
+      return "data-row";
+    case TabBiNVariant::kDataColumn:
+      return "data-column";
+    case TabBiNVariant::kHmd:
+      return "hmd";
+    case TabBiNVariant::kVmd:
+      return "vmd";
+  }
+  return "?";
+}
+
+void NumericFeatures(double v, int bins, int* magnitude, int* precision,
+                     int* first_digit, int* last_digit) {
+  const double a = std::fabs(v);
+  // Magnitude: number of integer digits (0 for |v| < 1).
+  int mag = 0;
+  double x = a;
+  while (x >= 1.0 && mag < bins - 1) {
+    x /= 10.0;
+    ++mag;
+  }
+  *magnitude = mag;
+  // Precision and digit features from the canonical decimal rendering.
+  std::string s = FormatDouble(a, 6);
+  int pre = 0;
+  auto dot = s.find('.');
+  if (dot != std::string::npos) {
+    pre = static_cast<int>(s.size() - dot - 1);
+  }
+  *precision = std::min(pre, bins - 1);
+  int fst = 0, lst = 0;
+  for (char c : s) {
+    if (c >= '0' && c <= '9') {
+      fst = c - '0';
+      break;
+    }
+  }
+  for (auto it = s.rbegin(); it != s.rend(); ++it) {
+    if (*it >= '0' && *it <= '9') {
+      lst = *it - '0';
+      break;
+    }
+  }
+  *first_digit = std::min(fst, bins - 1);
+  *last_digit = std::min(lst, bins - 1);
+}
+
+namespace {
+
+struct BuilderState {
+  const Vocab* vocab;
+  const TypeInferencer* typer;
+  const TabBiNConfig* config;
+  EncodedSequence out;
+
+  bool Full() const {
+    return out.size() >= config->max_seq_len;
+  }
+  void Push(TokenFeatures tf) {
+    if (!Full()) out.tokens.push_back(std::move(tf));
+  }
+};
+
+int Clamp(int v, int hi) { return std::min(std::max(v, 0), hi - 1); }
+
+// Emits the tokens of a single textual/numeric value into the sequence.
+// Shared by top-level and nested cells.
+void EmitValueTokens(BuilderState* state, const Value& value,
+                     const CellCoordinate& coord, uint8_t fmt_bits,
+                     int nested_row, int nested_col, TokenPosition pos,
+                     int* cell_pos) {
+  const TabBiNConfig& cfg = *state->config;
+  const int G = cfg.max_tuples;
+  const SemType type = state->typer->Infer(value);
+
+  auto push_token = [&](int id, int mag, int pre, int fst, int lst) {
+    if (*cell_pos >= cfg.max_cell_tokens) return;  // trim long cells (I=64)
+    TokenFeatures tf;
+    tf.token_id = id;
+    tf.magnitude = mag;
+    tf.precision = pre;
+    tf.first_digit = fst;
+    tf.last_digit = lst;
+    tf.cell_pos = Clamp(*cell_pos, cfg.max_cell_tokens);
+    tf.vr = Clamp(coord.row, G);
+    tf.vc = Clamp(coord.v_level, G);
+    tf.hr = Clamp(coord.h_level, G);
+    tf.hc = Clamp(coord.column, G);
+    tf.nr = Clamp(nested_row, G);
+    tf.nc = Clamp(nested_col, G);
+    tf.type_id = static_cast<int>(type);
+    tf.fmt_bits = fmt_bits;
+    tf.position = pos;
+    state->Push(tf);
+    ++(*cell_pos);
+  };
+
+  auto push_number = [&](double number) {
+    int mag, pre, fst, lst;
+    NumericFeatures(number, cfg.num_numeric_bins, &mag, &pre, &fst, &lst);
+    push_token(Vocab::kValId, mag, pre, fst, lst);
+  };
+
+  switch (value.kind()) {
+    case ValueKind::kEmpty:
+      break;
+    case ValueKind::kString: {
+      for (int id : TokenizeToIds(value.text(), *state->vocab)) {
+        push_token(id, -1, -1, -1, -1);
+      }
+      break;
+    }
+    case ValueKind::kNumber:
+      push_number(value.number());
+      break;
+    case ValueKind::kRange:
+      // Range start and end are embedded as two [VAL] tokens — distinct
+      // numeric features each, not "blindly a sequence of numbers".
+      push_number(value.range_lo());
+      push_number(value.range_hi());
+      break;
+    case ValueKind::kGaussian:
+      push_number(value.mean());
+      push_number(value.stddev());
+      break;
+  }
+  // Unit spelled out as trailing token(s) ("months", "%").
+  if (value.has_unit() && !value.unit_text().empty()) {
+    for (int id : TokenizeToIds(value.unit_text(), *state->vocab)) {
+      push_token(id, -1, -1, -1, -1);
+    }
+  }
+}
+
+uint8_t FmtBitsFor(const Cell& cell) {
+  uint8_t bits = 0;
+  const int unit_bit = UnitFeatureBit(cell.value.unit());
+  if (unit_bit >= 0 && cell.value.is_numeric()) {
+    bits |= static_cast<uint8_t>(1u << unit_bit);
+  }
+  if (cell.has_nested()) bits |= 0x80;  // 8th bit: nested table present
+  return bits;
+}
+
+// Emits one top-level cell (possibly containing a nested table).
+void EmitCell(BuilderState* state, const Table& table,
+              const CoordinateMap& coords, int r, int c,
+              TokenPosition host_pos) {
+  const Cell& cell = table.cell(r, c);
+  const CellCoordinate& coord = coords.at(r, c);
+  const uint8_t fmt = FmtBitsFor(cell);
+  const int begin = state->out.size();
+  int cell_pos = 0;
+  EmitValueTokens(state, cell.value, coord, fmt, 0, 0, host_pos, &cell_pos);
+  if (cell.has_nested()) {
+    // Inline the nested table: every nested cell's tokens carry the host
+    // cell's bi-dimensional coordinates plus their own (x, y) nested
+    // coordinates (1-based), with the nested feature bit set.
+    const Table& inner = *cell.nested;
+    for (int nr = 0; nr < inner.rows(); ++nr) {
+      for (int nc = 0; nc < inner.cols(); ++nc) {
+        const Cell& icell = inner.cell(nr, nc);
+        if (icell.is_empty()) continue;
+        uint8_t ifmt = FmtBitsFor(icell);
+        ifmt |= 0x80;
+        EmitValueTokens(state, icell.value, coord, ifmt, nr + 1, nc + 1,
+                        host_pos, &cell_pos);
+      }
+    }
+  }
+  const int end = state->out.size();
+  if (end > begin) {
+    state->out.cell_spans.push_back({r, c, begin, end, cell.has_nested()});
+  }
+}
+
+TokenFeatures MakeSpecial(int token_id, TokenPosition pos) {
+  TokenFeatures tf;
+  tf.token_id = token_id;
+  tf.position = pos;
+  return tf;
+}
+
+}  // namespace
+
+namespace {
+
+// Shared serialization core: emits lines (rows or columns), restricted to
+// one segment when `segment_filter` is set.
+EncodedSequence BuildImpl(const Table& table, bool by_rows,
+                          const Segment* segment_filter, const Vocab& vocab,
+                          const TypeInferencer& typer,
+                          const TabBiNConfig& config) {
+  BuilderState state;
+  state.vocab = &vocab;
+  state.typer = &typer;
+  state.config = &config;
+
+  const CoordinateMap coords(table);
+
+  auto emit_line = [&](int line_index, int lo, int hi, bool line_is_row) {
+    // Collect the matching cells of this line first; skip empty lines.
+    std::vector<int> members;
+    for (int k = lo; k < hi; ++k) {
+      const int r = line_is_row ? line_index : k;
+      const int c = line_is_row ? k : line_index;
+      if (table.cell(r, c).is_empty()) continue;
+      if (segment_filter && table.SegmentOf(r, c) != *segment_filter) {
+        continue;
+      }
+      members.push_back(k);
+    }
+    if (members.empty() || state.Full()) return;
+    TokenPosition cls_pos;
+    cls_pos.is_cls = true;
+    if (line_is_row) {
+      cls_pos.row = line_index;
+    } else {
+      cls_pos.col = line_index;
+    }
+    state.out.line_cls.emplace_back(state.out.size(), line_index);
+    state.Push(MakeSpecial(Vocab::kClsId, cls_pos));
+    for (size_t m = 0; m < members.size(); ++m) {
+      const int k = members[m];
+      const int r = line_is_row ? line_index : k;
+      const int c = line_is_row ? k : line_index;
+      TokenPosition pos;
+      pos.row = r;
+      pos.col = c;
+      EmitCell(&state, table, coords, r, c, pos);
+      if (m + 1 < members.size()) {
+        state.Push(MakeSpecial(Vocab::kSepId, pos));
+      }
+    }
+  };
+
+  if (by_rows) {
+    for (int r = 0; r < table.rows() && !state.Full(); ++r) {
+      emit_line(r, 0, table.cols(), /*line_is_row=*/true);
+    }
+  } else {
+    for (int c = 0; c < table.cols() && !state.Full(); ++c) {
+      emit_line(c, 0, table.rows(), /*line_is_row=*/false);
+    }
+  }
+  // Drop a trailing [CLS] with no content (can happen on truncation).
+  if (!state.out.line_cls.empty() &&
+      state.out.line_cls.back().first == state.out.size() - 1 &&
+      state.out.tokens.back().token_id == Vocab::kClsId) {
+    state.out.tokens.pop_back();
+    state.out.line_cls.pop_back();
+  }
+  return std::move(state.out);
+}
+
+}  // namespace
+
+EncodedSequence BuildSequence(const Table& table, TabBiNVariant variant,
+                              const Vocab& vocab, const TypeInferencer& typer,
+                              const TabBiNConfig& config) {
+  const bool by_rows = variant == TabBiNVariant::kDataRow ||
+                       variant == TabBiNVariant::kHmd;
+  Segment segment;
+  switch (variant) {
+    case TabBiNVariant::kDataRow:
+    case TabBiNVariant::kDataColumn:
+      segment = Segment::kData;
+      break;
+    case TabBiNVariant::kHmd:
+      segment = Segment::kHmd;
+      break;
+    case TabBiNVariant::kVmd:
+      segment = Segment::kVmd;
+      break;
+  }
+  return BuildImpl(table, by_rows, &segment, vocab, typer, config);
+}
+
+EncodedSequence BuildWholeTableSequence(const Table& table,
+                                        const Vocab& vocab,
+                                        const TypeInferencer& typer,
+                                        const TabBiNConfig& config) {
+  return BuildImpl(table, /*by_rows=*/true, /*segment_filter=*/nullptr,
+                   vocab, typer, config);
+}
+
+VisibilityMatrix BuildSequenceVisibility(const EncodedSequence& seq) {
+  std::vector<TokenPosition> positions;
+  positions.reserve(seq.tokens.size());
+  for (const auto& t : seq.tokens) positions.push_back(t.position);
+  return VisibilityMatrix::FromTokenPositions(positions);
+}
+
+}  // namespace tabbin

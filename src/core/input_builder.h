@@ -1,0 +1,99 @@
+// Builds encoder input sequences from table segments — the "Encoded
+// Representation" of the paper's Figure 3.
+//
+// Sequence layout per variant (paper §3.3): "[CLS] at the start of each
+// row/column and [SEP] between the cells"; rows for the data-row / HMD
+// models, columns for the data-column / VMD models. Numbers become the
+// [VAL] token carrying the four discrete numeric features; nested-table
+// cells are inlined with their own nested (x, y) coordinates and the
+// nested feature bit set.
+#ifndef TABBIN_CORE_INPUT_BUILDER_H_
+#define TABBIN_CORE_INPUT_BUILDER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/config.h"
+#include "meta/type_inference.h"
+#include "table/bicoord.h"
+#include "table/table.h"
+#include "table/visibility.h"
+#include "text/vocab.h"
+
+namespace tabbin {
+
+/// \brief All embedding-layer inputs for one token (Figure 3, one row).
+struct TokenFeatures {
+  int token_id = 0;  // E_tok index; [VAL] for numeric literals
+  // E_num discrete features; -1 when the token is not a number.
+  int magnitude = -1;
+  int precision = -1;
+  int first_digit = -1;
+  int last_digit = -1;
+  // E_cpos: index of the token within its cell, < I.
+  int cell_pos = 0;
+  // E_tpos: bi-dimensional coordinate (vertical <level,row>, horizontal
+  // <level,col>) + nested (x, y); all < G.
+  int vr = 0, vc = 0;  // vertical: row index, v-level
+  int hr = 0, hc = 0;  // horizontal: h-level, column index
+  int nr = 0, nc = 0;  // nested coordinates (0,0 if not nested)
+  // E_type: semantic type id.
+  int type_id = 0;
+  // E_fmt: 8-bit cell feature vector [stats..pressure, nested].
+  uint8_t fmt_bits = 0;
+  // Structural position for the visibility matrix.
+  TokenPosition position;
+};
+
+/// \brief Span of one cell's tokens within the sequence.
+struct CellSpan {
+  int row = 0;
+  int col = 0;
+  int begin = 0;  // token index range [begin, end)
+  int end = 0;
+  bool nested = false;  // span lies inside a nested table
+};
+
+/// \brief One encoder input sequence.
+struct EncodedSequence {
+  std::vector<TokenFeatures> tokens;
+  // Index of the [CLS] token of each serialized line (row or column),
+  // paired with the line's grid index; used to read line embeddings.
+  std::vector<std::pair<int, int>> line_cls;  // (token index, line index)
+  std::vector<CellSpan> cell_spans;
+
+  int size() const { return static_cast<int>(tokens.size()); }
+  bool empty() const { return tokens.empty(); }
+};
+
+/// \brief Computes the paper's four discrete numeric features for value v:
+/// magnitude (# integer digits), precision (# decimal digits), first and
+/// last digit, each clamped to [0, bins).
+void NumericFeatures(double v, int bins, int* magnitude, int* precision,
+                     int* first_digit, int* last_digit);
+
+/// \brief Builds the encoder input for one segment of a table.
+///
+/// \param variant Selects both the segment and the scan direction:
+/// kDataRow/kHmd serialize rows, kDataColumn/kVmd serialize columns.
+EncodedSequence BuildSequence(const Table& table, TabBiNVariant variant,
+                              const Vocab& vocab, const TypeInferencer& typer,
+                              const TabBiNConfig& config);
+
+/// \brief Serializes the WHOLE table (metadata and data together,
+/// row-major) into one sequence. TabBiN itself never does this — it is
+/// the input convention of baselines that do not separate segments
+/// (the TUTA-like baseline, DESIGN.md S8). Coordinates and visibility are
+/// still faithful to the original table.
+EncodedSequence BuildWholeTableSequence(const Table& table,
+                                        const Vocab& vocab,
+                                        const TypeInferencer& typer,
+                                        const TabBiNConfig& config);
+
+/// \brief The visibility matrix for a built sequence (paper §3.2).
+VisibilityMatrix BuildSequenceVisibility(const EncodedSequence& seq);
+
+}  // namespace tabbin
+
+#endif  // TABBIN_CORE_INPUT_BUILDER_H_

@@ -1,0 +1,56 @@
+#include "core/model.h"
+
+namespace tabbin {
+
+TabBiNModel::TabBiNModel(const TabBiNConfig& config, int vocab_size,
+                         TabBiNVariant variant, Rng* rng)
+    : config_(config), variant_(variant), vocab_size_(vocab_size) {
+  embedding_ = std::make_unique<TabBiNEmbeddingLayer>(config, vocab_size, rng);
+  encoder_ = std::make_unique<TransformerEncoder>(
+      config.num_layers, config.hidden, config.num_heads, config.intermediate,
+      rng);
+  mlm_head_ = std::make_unique<Linear>(config.hidden, vocab_size, rng);
+  num_head_ = std::make_unique<Linear>(config.hidden, config.num_numeric_bins,
+                                       rng);
+}
+
+Tensor TabBiNModel::Encode(const EncodedSequence& seq, bool training,
+                           Rng* rng) const {
+  Tensor x = embedding_->Forward(seq);
+  Tensor bias;
+  const Tensor* bias_ptr = nullptr;
+  if (config_.use_visibility_matrix) {
+    VisibilityMatrix vis = BuildSequenceVisibility(seq);
+    bias = Tensor::Zeros({seq.size(), seq.size()});
+    vis.FillAttentionBias(bias.data());
+    bias_ptr = &bias;
+  }
+  return encoder_->Forward(x, bias_ptr, config_.dropout, rng, training);
+}
+
+Tensor TabBiNModel::MlmLogits(const Tensor& hidden) const {
+  return mlm_head_->Forward(hidden);
+}
+
+Tensor TabBiNModel::NumericLogits(const Tensor& hidden) const {
+  return num_head_->Forward(hidden);
+}
+
+void TabBiNModel::CollectParameters(const std::string& prefix,
+                                    ParameterMap* out) const {
+  embedding_->CollectParameters(prefix + "emb.", out);
+  encoder_->CollectParameters(prefix + "enc.", out);
+  mlm_head_->CollectParameters(prefix + "mlm.", out);
+  num_head_->CollectParameters(prefix + "num.", out);
+}
+
+Status TabBiNModel::Save(const std::string& path) const {
+  return SaveParameters(Parameters(), path);
+}
+
+Status TabBiNModel::Load(const std::string& path) {
+  ParameterMap params = Parameters();
+  return LoadParameters(path, &params);
+}
+
+}  // namespace tabbin

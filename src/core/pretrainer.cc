@@ -1,0 +1,134 @@
+#include "core/pretrainer.h"
+
+#include "util/logging.h"
+
+namespace tabbin {
+
+MaskedExample ApplyMasking(const EncodedSequence& seq,
+                           const TabBiNConfig& config, int vocab_size,
+                           Rng* rng) {
+  MaskedExample ex;
+  ex.seq = seq;
+  const int n = seq.size();
+  ex.token_targets.assign(static_cast<size_t>(n), -1);
+  ex.numeric_targets.assign(static_cast<size_t>(n), -1);
+
+  auto mask_position = [&](int i) {
+    TokenFeatures& t = ex.seq.tokens[static_cast<size_t>(i)];
+    if (ex.token_targets[static_cast<size_t>(i)] != -1) return;  // already
+    ex.token_targets[static_cast<size_t>(i)] = t.token_id;
+    if (t.magnitude >= 0) {
+      ex.numeric_targets[static_cast<size_t>(i)] = t.magnitude;
+    }
+    ++ex.num_masked;
+    const double roll = rng->UniformDouble();
+    if (roll < 0.8) {
+      t.token_id = Vocab::kMaskId;
+      // Hide numeric features so [VAL] recovery is non-trivial.
+      t.magnitude = t.precision = t.first_digit = t.last_digit = -1;
+    } else if (roll < 0.9) {
+      t.token_id = static_cast<int>(
+          Vocab::kNumSpecialTokens +
+          rng->Uniform(static_cast<uint64_t>(vocab_size -
+                                             Vocab::kNumSpecialTokens)));
+    }  // else: keep original token
+  };
+
+  // Token-level MLM over non-special positions.
+  for (int i = 0; i < n; ++i) {
+    const TokenFeatures& t = seq.tokens[static_cast<size_t>(i)];
+    if (t.token_id == Vocab::kClsId || t.token_id == Vocab::kSepId) continue;
+    if (rng->Bernoulli(config.mlm_probability)) mask_position(i);
+  }
+  // Cell-level Cloze: mask every token of one random cell.
+  if (!seq.cell_spans.empty() && rng->Bernoulli(config.clc_probability)) {
+    const CellSpan& span =
+        seq.cell_spans[rng->Uniform(seq.cell_spans.size())];
+    for (int i = span.begin; i < span.end; ++i) {
+      TokenFeatures& t = ex.seq.tokens[static_cast<size_t>(i)];
+      if (t.token_id == Vocab::kSepId) continue;
+      // CLC always replaces with [MASK] (recover the full cell).
+      if (ex.token_targets[static_cast<size_t>(i)] == -1) {
+        ex.token_targets[static_cast<size_t>(i)] =
+            seq.tokens[static_cast<size_t>(i)].token_id;
+        if (seq.tokens[static_cast<size_t>(i)].magnitude >= 0) {
+          ex.numeric_targets[static_cast<size_t>(i)] =
+              seq.tokens[static_cast<size_t>(i)].magnitude;
+        }
+        ++ex.num_masked;
+      }
+      t.token_id = Vocab::kMaskId;
+      t.magnitude = t.precision = t.first_digit = t.last_digit = -1;
+    }
+  }
+  return ex;
+}
+
+Pretrainer::Pretrainer(TabBiNModel* model, const Vocab* vocab,
+                       const TypeInferencer* typer)
+    : model_(model), vocab_(vocab), typer_(typer) {}
+
+PretrainStats Pretrainer::Train(const std::vector<Table>& tables) {
+  PretrainStats stats;
+  const TabBiNConfig& cfg = model_->config();
+  Rng rng(cfg.seed + static_cast<uint64_t>(model_->variant()) * 1000003);
+
+  // Pre-build sequences once; masking is re-sampled every step.
+  std::vector<EncodedSequence> sequences;
+  sequences.reserve(tables.size());
+  for (const auto& t : tables) {
+    EncodedSequence seq =
+        BuildSequence(t, model_->variant(), *vocab_, *typer_, cfg);
+    if (seq.size() >= 4) sequences.push_back(std::move(seq));
+  }
+  if (sequences.empty()) {
+    TABBIN_LOG(WARNING) << "pretrain(" << TabBiNVariantName(model_->variant())
+                        << "): no usable sequences";
+    return stats;
+  }
+
+  AdamOptimizer::Options opts;
+  opts.lr = cfg.learning_rate;
+  opts.clip_norm = 1.0f;
+  AdamOptimizer adam(model_->Parameters(), opts);
+
+  for (int step = 0; step < cfg.pretrain_steps; ++step) {
+    adam.ZeroGrad();
+    float step_loss = 0;
+    int used = 0;
+    for (int b = 0; b < cfg.batch_size; ++b) {
+      const EncodedSequence& seq = sequences[rng.Uniform(sequences.size())];
+      MaskedExample ex =
+          ApplyMasking(seq, cfg, model_->vocab_size(), &rng);
+      if (ex.num_masked == 0) continue;
+      Tensor hidden = model_->Encode(ex.seq, /*training=*/true, &rng);
+      Tensor loss = CrossEntropyWithLogits(model_->MlmLogits(hidden),
+                                           ex.token_targets, -1);
+      bool any_numeric = false;
+      for (int t : ex.numeric_targets) {
+        if (t >= 0) any_numeric = true;
+      }
+      if (any_numeric) {
+        Tensor nloss = CrossEntropyWithLogits(model_->NumericLogits(hidden),
+                                              ex.numeric_targets, -1);
+        loss = Add(loss, Scale(nloss, 0.5f));
+      }
+      Tensor scaled = Scale(loss, 1.0f / cfg.batch_size);
+      scaled.Backward();
+      step_loss += loss.at(0);
+      ++used;
+    }
+    if (used == 0) continue;
+    adam.Step();
+    step_loss /= static_cast<float>(used);
+    if (step == 0) stats.initial_loss = step_loss;
+    if (step % 10 == 0 || step + 1 == cfg.pretrain_steps) {
+      stats.losses.push_back(step_loss);
+    }
+    stats.final_loss = step_loss;
+    ++stats.steps;
+  }
+  return stats;
+}
+
+}  // namespace tabbin

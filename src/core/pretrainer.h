@@ -1,0 +1,54 @@
+// Self-supervised pre-training (paper §3.3): Masked Language Modeling
+// plus Cell-level Cloze over table sequences, with Adam.
+#ifndef TABBIN_CORE_PRETRAINER_H_
+#define TABBIN_CORE_PRETRAINER_H_
+
+#include <vector>
+
+#include "core/model.h"
+#include "tensor/optimizer.h"
+
+namespace tabbin {
+
+/// \brief A masked training example derived from an EncodedSequence.
+struct MaskedExample {
+  EncodedSequence seq;            // with [MASK]/random replacements applied
+  std::vector<int> token_targets;    // original ids; -1 = not a target
+  std::vector<int> numeric_targets;  // original magnitude bins; -1 = none
+  int num_masked = 0;
+};
+
+/// \brief Applies BERT-style MLM masking (80/10/10) and, with probability
+/// config.clc_probability, a Cell-level Cloze (all tokens of one randomly
+/// chosen cell masked).
+MaskedExample ApplyMasking(const EncodedSequence& seq,
+                           const TabBiNConfig& config, int vocab_size,
+                           Rng* rng);
+
+/// \brief Training progress for one model.
+struct PretrainStats {
+  std::vector<float> losses;  // per logged interval
+  float initial_loss = 0;
+  float final_loss = 0;
+  int steps = 0;
+};
+
+/// \brief Runs the pre-training loop for one TabBiN model variant.
+class Pretrainer {
+ public:
+  Pretrainer(TabBiNModel* model, const Vocab* vocab,
+             const TypeInferencer* typer);
+
+  /// \brief Pre-trains on all tables' sequences for the model's variant.
+  /// Tables whose segment is empty for this variant are skipped.
+  PretrainStats Train(const std::vector<Table>& tables);
+
+ private:
+  TabBiNModel* model_;
+  const Vocab* vocab_;
+  const TypeInferencer* typer_;
+};
+
+}  // namespace tabbin
+
+#endif  // TABBIN_CORE_PRETRAINER_H_

@@ -1,0 +1,243 @@
+#include "core/tabbin.h"
+
+#include <cmath>
+#include <functional>
+
+#include "text/wordpiece.h"
+
+namespace tabbin {
+
+namespace {
+
+// Collects all textual content of a table (recursively through nesting)
+// for vocabulary training.
+void CollectTexts(const Table& table, std::vector<std::string>* out) {
+  if (!table.caption().empty()) out->push_back(table.caption());
+  for (int r = 0; r < table.rows(); ++r) {
+    for (int c = 0; c < table.cols(); ++c) {
+      const Cell& cell = table.cell(r, c);
+      if (!cell.value.is_empty()) out->push_back(cell.value.ToString());
+      if (cell.has_nested()) CollectTexts(*cell.nested, out);
+    }
+  }
+}
+
+}  // namespace
+
+std::vector<float> ConcatEmbeddings(
+    const std::vector<std::vector<float>>& parts) {
+  // Each component is L2-normalized before concatenation so that cosine
+  // similarity over the composite weighs every component equally — a
+  // high-norm but noisy part (e.g. an undertrained metadata model) must
+  // not dominate the similarity.
+  std::vector<float> out;
+  size_t total = 0;
+  for (const auto& p : parts) total += p.size();
+  out.reserve(total);
+  for (const auto& p : parts) {
+    double norm = 0;
+    for (float v : p) norm += static_cast<double>(v) * v;
+    const float inv =
+        norm > 0 ? static_cast<float>(1.0 / std::sqrt(norm)) : 0.0f;
+    for (float v : p) out.push_back(v * inv);
+  }
+  return out;
+}
+
+TabBiNSystem TabBiNSystem::Create(const std::vector<Table>& sample,
+                                  const TabBiNConfig& config) {
+  std::vector<std::string> texts;
+  for (const auto& t : sample) CollectTexts(t, &texts);
+  Vocab vocab = TrainWordPieceVocab(texts, /*max_size=*/8000, /*min_count=*/2);
+  return TabBiNSystem(config, std::move(vocab));
+}
+
+TabBiNSystem::TabBiNSystem(const TabBiNConfig& config, Vocab vocab)
+    : config_(config), vocab_(std::move(vocab)) {
+  Rng rng(config.seed);
+  for (int v = 0; v < 4; ++v) {
+    models_[static_cast<size_t>(v)] = std::make_unique<TabBiNModel>(
+        config, vocab_.size(), static_cast<TabBiNVariant>(v), &rng);
+  }
+}
+
+std::vector<PretrainStats> TabBiNSystem::Pretrain(
+    const std::vector<Table>& tables) {
+  std::vector<PretrainStats> stats;
+  for (int v = 0; v < 4; ++v) {
+    Pretrainer trainer(models_[static_cast<size_t>(v)].get(), &vocab_,
+                       &typer_);
+    stats.push_back(trainer.Train(tables));
+  }
+  return stats;
+}
+
+SegmentEncoding TabBiNSystem::EncodeSegment(const Table& table,
+                                            TabBiNVariant variant) const {
+  SegmentEncoding enc;
+  enc.seq = BuildSequence(table, variant, vocab_, typer_, config_);
+  if (enc.seq.empty()) return enc;
+  NoGradGuard guard;
+  Tensor hidden = models_[static_cast<size_t>(variant)]->Encode(enc.seq);
+  const int n = hidden.dim(0), h = hidden.dim(1);
+  enc.hidden.resize(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    enc.hidden[static_cast<size_t>(i)].assign(
+        hidden.data() + static_cast<size_t>(i) * h,
+        hidden.data() + static_cast<size_t>(i + 1) * h);
+  }
+  return enc;
+}
+
+TableEncodings TabBiNSystem::EncodeAll(const Table& table) const {
+  TableEncodings enc;
+  enc.row = EncodeSegment(table, TabBiNVariant::kDataRow);
+  enc.col = EncodeSegment(table, TabBiNVariant::kDataColumn);
+  enc.hmd = EncodeSegment(table, TabBiNVariant::kHmd);
+  enc.vmd = EncodeSegment(table, TabBiNVariant::kVmd);
+  return enc;
+}
+
+std::vector<float> TabBiNSystem::PoolCells(
+    const SegmentEncoding& enc,
+    const std::function<bool(const CellSpan&)>& cell_filter) const {
+  std::vector<float> sum(static_cast<size_t>(config_.hidden), 0.0f);
+  int count = 0;
+  for (const CellSpan& span : enc.seq.cell_spans) {
+    if (!cell_filter(span)) continue;
+    for (int i = span.begin;
+         i < span.end && i < static_cast<int>(enc.hidden.size()); ++i) {
+      const auto& h = enc.hidden[static_cast<size_t>(i)];
+      for (size_t d = 0; d < sum.size(); ++d) sum[d] += h[d];
+      ++count;
+    }
+  }
+  if (count > 0) {
+    for (auto& v : sum) v /= static_cast<float>(count);
+  }
+  return sum;
+}
+
+std::vector<float> TabBiNSystem::MeanAllTokens(
+    const SegmentEncoding& enc) const {
+  return PoolCells(enc, [](const CellSpan&) { return true; });
+}
+
+std::vector<float> TabBiNSystem::ColumnComposite(const TableEncodings& enc,
+                                                 int col) const {
+  // E_cj: tokens of the column's header cells from the HMD model.
+  std::vector<float> attr = PoolCells(
+      enc.hmd, [col](const CellSpan& s) { return s.col == col; });
+  // mean(E_d): tokens of the column's data cells from the column model.
+  std::vector<float> data = PoolCells(
+      enc.col, [col](const CellSpan& s) { return s.col == col; });
+  return ConcatEmbeddings({attr, data});
+}
+
+std::vector<float> TabBiNSystem::ColumnSingle(const TableEncodings& enc,
+                                              int col) const {
+  return PoolCells(enc.col,
+                   [col](const CellSpan& s) { return s.col == col; });
+}
+
+std::vector<float> TabBiNSystem::TableComposite1(
+    const TableEncodings& enc) const {
+  return ConcatEmbeddings({MeanAllTokens(enc.row), MeanAllTokens(enc.hmd),
+                           MeanAllTokens(enc.vmd)});
+}
+
+std::vector<float> TabBiNSystem::TableComposite2(
+    const TableEncodings& enc, const std::vector<float>& caption_emb) const {
+  std::vector<float> caption = caption_emb;
+  caption.resize(static_cast<size_t>(config_.hidden), 0.0f);
+  return ConcatEmbeddings({MeanAllTokens(enc.row), MeanAllTokens(enc.hmd),
+                           MeanAllTokens(enc.vmd), caption});
+}
+
+std::vector<float> TabBiNSystem::TableSingle(const TableEncodings& enc) const {
+  return MeanAllTokens(enc.row);
+}
+
+std::vector<float> TabBiNSystem::EntityEmbedding(const TableEncodings& enc,
+                                                 int row, int col) const {
+  return PoolCells(enc.col, [row, col](const CellSpan& s) {
+    return s.row == row && s.col == col;
+  });
+}
+
+std::vector<float> TabBiNSystem::NumericAttributeComposite(
+    const Table& table, const TableEncodings& enc, int row, int col) const {
+  (void)table;
+  std::vector<float> attr = PoolCells(
+      enc.hmd, [col](const CellSpan& s) { return s.col == col; });
+  std::vector<float> value = PoolCells(enc.col, [row, col](const CellSpan& s) {
+    return s.row == row && s.col == col;
+  });
+  // Unit embedding: the token embedding of the unit's canonical spelling,
+  // read through the column model's embedding layer output at the cell.
+  // The cell pooling above already covers value+unit tokens; Fig. 4(a)
+  // separates them, so embed the unit text standalone.
+  std::vector<float> unit(static_cast<size_t>(config_.hidden), 0.0f);
+  const Value& v = table.cell(row, col).value;
+  if (v.has_unit()) {
+    // A one-cell pseudo-table would be heavyweight; instead reuse the
+    // value cell pooling restricted to non-[VAL] tokens.
+    int count = 0;
+    for (const CellSpan& span : enc.col.seq.cell_spans) {
+      if (span.row != row || span.col != col) continue;
+      for (int i = span.begin;
+           i < span.end && i < static_cast<int>(enc.col.hidden.size()); ++i) {
+        if (enc.col.seq.tokens[static_cast<size_t>(i)].token_id ==
+            Vocab::kValId) {
+          continue;
+        }
+        const auto& hh = enc.col.hidden[static_cast<size_t>(i)];
+        for (size_t d = 0; d < unit.size(); ++d) unit[d] += hh[d];
+        ++count;
+      }
+    }
+    if (count > 0) {
+      for (auto& x : unit) x /= static_cast<float>(count);
+    }
+  }
+  return ConcatEmbeddings({attr, value, unit});
+}
+
+std::vector<float> TabBiNSystem::RangeComposite(const Table& table,
+                                                const TableEncodings& enc,
+                                                int row, int col) const {
+  std::vector<float> attr = PoolCells(
+      enc.hmd, [col](const CellSpan& s) { return s.col == col; });
+  // Start / end are the first / second [VAL] tokens of the cell; the unit
+  // is the remaining non-[VAL] tokens.
+  std::vector<float> unit(static_cast<size_t>(config_.hidden), 0.0f);
+  std::vector<float> start(static_cast<size_t>(config_.hidden), 0.0f);
+  std::vector<float> end(static_cast<size_t>(config_.hidden), 0.0f);
+  int unit_count = 0, val_seen = 0;
+  for (const CellSpan& span : enc.col.seq.cell_spans) {
+    if (span.row != row || span.col != col) continue;
+    for (int i = span.begin;
+         i < span.end && i < static_cast<int>(enc.col.hidden.size()); ++i) {
+      const auto& h = enc.col.hidden[static_cast<size_t>(i)];
+      if (enc.col.seq.tokens[static_cast<size_t>(i)].token_id ==
+          Vocab::kValId) {
+        if (val_seen == 0) {
+          start = h;
+        } else if (val_seen == 1) {
+          end = h;
+        }
+        ++val_seen;
+      } else {
+        for (size_t d = 0; d < unit.size(); ++d) unit[d] += h[d];
+        ++unit_count;
+      }
+    }
+  }
+  if (unit_count > 0) {
+    for (auto& x : unit) x /= static_cast<float>(unit_count);
+  }
+  (void)table;
+  return ConcatEmbeddings({attr, unit, start, end});
+}
+
+}  // namespace tabbin

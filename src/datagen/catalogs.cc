@@ -1,0 +1,228 @@
+#include "datagen/catalogs.h"
+
+#include <unordered_set>
+
+#include "util/logging.h"
+
+namespace tabbin {
+
+namespace {
+
+struct NameScheme {
+  std::vector<const char*> prefixes;
+  std::vector<const char*> middles;
+  std::vector<const char*> suffixes;
+  bool title_case = false;
+  const char* joiner = "";
+};
+
+// Returns the syllable scheme for a kind. The inventories are small; the
+// cross product gives hundreds of distinct names per kind.
+NameScheme SchemeFor(const std::string& kind) {
+  if (kind == "drug") {
+    return {{"zelu", "corti", "pani", "beva", "rami", "oxa", "iri", "fluo",
+             "niva", "pembro", "ate", "dura"},
+            {"ci", "ru", "ti", "lo", "va", "ne", "mi", "so"},
+            {"mab", "nib", "cin", "platin", "tecan", "zumab", "limus",
+             "prazole"}};
+  }
+  if (kind == "vaccine") {
+    return {{"Vaxi", "Immu", "Covi", "Nova", "Sino", "Sputni", "Astra",
+             "Pfi", "Moder"},
+            {"gen", "shield", "vax", "boost", "guard", "prime"},
+            {"-19", " Plus", " B", "", " XR", " Duo"},
+            true};
+  }
+  if (kind == "disease") {
+    return {{"neuro", "cardio", "hepato", "nephro", "gastro", "dermato",
+             "pulmo", "hemo", "osteo", "colo"},
+            {"carci", "fibro", "scler", "path", "cyt"},
+            {"noma", "itis", "osis", "emia", "opathy", "algia"}};
+  }
+  if (kind == "symptom") {
+    return {{"acute ", "chronic ", "mild ", "severe ", "recurrent ",
+             "persistent ", "intermittent ", "localized "},
+            {"chest ", "joint ", "head ", "muscle ", "abdominal ", "back ",
+             "nerve "},
+            {"pain", "ache", "swelling", "stiffness", "numbness", "cramps",
+             "spasms", "tenderness"}};
+  }
+  if (kind == "treatment") {
+    return {{"adjuvant ", "neoadjuvant ", "palliative ", "targeted ",
+             "combination ", "first-line ", "second-line ", "maintenance "},
+            {"chemo", "radio", "immuno", "hormone ", "proton ", "gene "},
+            {"therapy", "treatment", "regimen", "protocol"}};
+  }
+  if (kind == "variant") {
+    return {{"Alpha", "Beta", "Gamma", "Delta", "Epsilon", "Zeta", "Eta",
+             "Theta", "Iota", "Kappa", "Lambda", "Omicron"},
+            {"-B", "-C", "-D", "-E"},
+            {"1", "2", "3", "4", "5", "7", "11", "17"},
+            true,
+            "."};
+  }
+  if (kind == "organization") {
+    return {{"National ", "Global ", "United ", "American ", "European ",
+             "International ", "Federal ", "Central "},
+            {"Health ", "Research ", "Medical ", "Science ", "Disease ",
+             "Statistics "},
+            {"Institute", "Agency", "Council", "Bureau", "Center",
+             "Foundation", "Commission"},
+            true};
+  }
+  if (kind == "city") {
+    return {{"Spring", "River", "Oak", "Maple", "Clear", "Fair", "Lake",
+             "Green", "Stone", "Brook", "Mill", "North", "West", "East"},
+            {"", "", "", ""},
+            {"field", "ton", "ville", "burg", "port", "haven", "wood",
+             "dale", "view", "bridge"},
+            true};
+  }
+  if (kind == "state" || kind == "region") {
+    return {{"New ", "North ", "South ", "East ", "West ", "Upper ",
+             "Lower ", "Great "},
+            {"Carol", "Hamp", "Virg", "Dak", "Mont", "Wash", "Ken", "Tex"},
+            {"ina", "shire", "inia", "ota", "ana", "ington", "tucky", "as"},
+            true};
+  }
+  if (kind == "university") {
+    return {{"University of ", "State University of ", "Institute of ",
+             "College of ", "Polytechnic of "},
+            {"Northern ", "Southern ", "Eastern ", "Western ", "Central ",
+             "Coastal ", "Highland "},
+            {"Arcadia", "Veridia", "Meridian", "Atheria", "Cascadia",
+             "Solara", "Borealia", "Austra"},
+            true};
+  }
+  if (kind == "soccer_club") {
+    return {{"FC ", "Real ", "Athletic ", "Sporting ", "United ", "Inter ",
+             "Dynamo ", "Rapid "},
+            {"Vale", "Mont", "Port", "River", "Aston", "Crys", "Nor"},
+            {"mora", "clair", "ley", "ford", "well", "tal", "wich", "don"},
+            true};
+  }
+  if (kind == "baseball_player") {
+    return {{"Jack", "Will", "Hank", "Babe", "Cal", "Nolan", "Derek",
+             "Pedro", "Sandy", "Yogi", "Cy", "Satchel"},
+            {" "},
+            {"Morrison", "Castillo", "Brennan", "Okafor", "Delgado",
+             "Whitfield", "Tanaka", "Osborne", "Reyes", "Callahan"},
+            true,
+            " "};
+  }
+  if (kind == "music_genre") {
+    return {{"electro", "neo", "post", "synth", "indie", "prog", "alt",
+             "psych", "afro", "lo-fi "},
+            {"-folk", "-rock", "-jazz", "-soul", "-punk", "-funk", "-pop",
+             "-house"},
+            {"", " revival", " fusion", " wave", "core"}};
+  }
+  if (kind == "magazine") {
+    return {{"Weekly ", "Monthly ", "The ", "Modern ", "Digital ",
+             "Popular "},
+            {"Science ", "Business ", "Garden ", "Travel ", "Health ",
+             "Culture ", "Sports "},
+            {"Review", "Digest", "Journal", "Gazette", "Observer", "Herald",
+             "Tribune"},
+            true};
+  }
+  if (kind == "industry") {
+    return {{"retail ", "wholesale ", "consumer ", "industrial ",
+             "commercial ", "agricultural "},
+            {"equipment ", "services ", "products ", "supplies ", "goods ",
+             "machinery "},
+            {"manufacturing", "distribution", "trade", "processing",
+             "logistics"}};
+  }
+  if (kind == "crime_type") {
+    return {{"aggravated ", "attempted ", "armed ", "petty ", "grand ",
+             "organized "},
+            {"vehicle ", "property ", "retail ", "identity ", "cyber ",
+             "financial "},
+            {"theft", "assault", "burglary", "fraud", "larceny",
+             "vandalism", "robbery"}};
+  }
+  if (kind == "product_brand") {
+    return {{"Acme", "Zenix", "Nordic", "Apex", "Lumen", "Vertex", "Omni",
+             "Pico", "Tera", "Quanta"},
+            {"Tech", "Works", "Labs", "Gear", "Soft", "Wave"},
+            {"", " Inc", " Co", " Ltd"},
+            true};
+  }
+  // Fallback: generic alphanumeric entities.
+  return {{"entity-"}, {"a", "b", "c", "d", "e", "f"}, {"1", "2", "3", "4"}};
+}
+
+}  // namespace
+
+std::vector<std::string> SynthesizeNames(const std::string& kind, int count,
+                                         uint64_t seed) {
+  NameScheme scheme = SchemeFor(kind);
+  Rng rng(seed ^ std::hash<std::string>{}(kind));
+  std::unordered_set<std::string> seen;
+  std::vector<std::string> out;
+  int attempts = 0;
+  while (static_cast<int>(out.size()) < count && attempts < count * 50) {
+    ++attempts;
+    std::string name =
+        std::string(scheme.prefixes[rng.Uniform(scheme.prefixes.size())]) +
+        scheme.joiner +
+        scheme.middles[rng.Uniform(scheme.middles.size())] +
+        scheme.suffixes[rng.Uniform(scheme.suffixes.size())];
+    if (scheme.title_case && !name.empty() && name[0] >= 'a' &&
+        name[0] <= 'z') {
+      name[0] = static_cast<char>(name[0] - 'a' + 'A');
+    }
+    if (seen.insert(name).second) out.push_back(std::move(name));
+  }
+  if (static_cast<int>(out.size()) < count) {
+    // Inventory exhausted: extend with numbered variants.
+    int base = static_cast<int>(out.size());
+    for (int i = 0; static_cast<int>(out.size()) < count; ++i) {
+      out.push_back(out[static_cast<size_t>(i % base)] + " " +
+                    std::to_string(i / base + 2));
+    }
+  }
+  return out;
+}
+
+std::vector<EntityCatalog> CatalogsFor(const std::string& dataset,
+                                       uint64_t seed) {
+  auto make = [&](const std::string& kind, int count) {
+    return EntityCatalog{kind, SynthesizeNames(kind, count, seed)};
+  };
+  if (dataset == "cancerkg") {
+    return {make("drug", 120), make("treatment", 80), make("disease", 100),
+            make("symptom", 90)};
+  }
+  if (dataset == "covidkg") {
+    return {make("vaccine", 60), make("variant", 50), make("symptom", 90),
+            make("organization", 70)};
+  }
+  if (dataset == "webtables") {
+    return {make("city", 100),          make("university", 80),
+            make("soccer_club", 70),    make("baseball_player", 90),
+            make("music_genre", 60),    make("magazine", 70)};
+  }
+  if (dataset == "saus") {
+    return {make("state", 50), make("industry", 60)};
+  }
+  if (dataset == "cius") {
+    return {make("crime_type", 60), make("state", 50)};
+  }
+  TABBIN_LOG(WARNING) << "unknown dataset for catalogs: " << dataset;
+  return {};
+}
+
+std::vector<std::pair<std::string, EntityCatalog>> AllCatalogs(uint64_t seed) {
+  std::vector<std::pair<std::string, EntityCatalog>> out;
+  for (const char* ds :
+       {"webtables", "covidkg", "cancerkg", "saus", "cius"}) {
+    for (auto& cat : CatalogsFor(ds, seed)) {
+      out.emplace_back(ds, std::move(cat));
+    }
+  }
+  return out;
+}
+
+}  // namespace tabbin

@@ -1,0 +1,40 @@
+// Entity catalogs (paper Table 7): synthetic generators for the 18 entity
+// types used across the five corpora — drugs, vaccines, symptoms,
+// diseases, crime types, states, cities, universities, etc.
+// (DESIGN.md substitution S3/S10: name synthesis replaces the catalogs
+// extracted from the proprietary corpora.)
+#ifndef TABBIN_DATAGEN_CATALOGS_H_
+#define TABBIN_DATAGEN_CATALOGS_H_
+
+#include <string>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace tabbin {
+
+/// \brief A catalog of entities of one type.
+struct EntityCatalog {
+  std::string name;                   // "drugs", "cities", ...
+  std::vector<std::string> entities;  // unique surface forms
+};
+
+/// \brief Deterministically synthesizes `count` plausible names of the
+/// given kind. Supported kinds: drug, vaccine, disease, symptom,
+/// treatment, variant, organization, city, state, university,
+/// soccer_club, baseball_player, music_genre, magazine, industry,
+/// crime_type, region, product_brand.
+std::vector<std::string> SynthesizeNames(const std::string& kind, int count,
+                                         uint64_t seed);
+
+/// \brief The entity catalogs belonging to one dataset.
+/// Dataset names: webtables, covidkg, cancerkg, saus, cius.
+std::vector<EntityCatalog> CatalogsFor(const std::string& dataset,
+                                       uint64_t seed);
+
+/// \brief All 18 catalogs across the five datasets (Table 7 rows).
+std::vector<std::pair<std::string, EntityCatalog>> AllCatalogs(uint64_t seed);
+
+}  // namespace tabbin
+
+#endif  // TABBIN_DATAGEN_CATALOGS_H_

@@ -1,0 +1,856 @@
+#include "datagen/corpus_gen.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace tabbin {
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Dataset specification model
+// ---------------------------------------------------------------------------
+
+enum class ValueKindGen {
+  kEntity,    // drawn from an entity catalog
+  kNumber,    // uniform double in [lo, hi]
+  kInteger,   // uniform integer
+  kPercent,   // number with % unit
+  kUnitNumber,  // number with a fixed unit
+  kRange,     // lo2-hi2 range with unit
+  kGaussian,  // mean ± sd with unit
+  kDate,
+  kPersonName,
+};
+
+struct AttributeSpec {
+  std::string canonical;               // ground-truth column label
+  std::vector<std::string> variants;   // header spellings
+  ValueKindGen kind = ValueKindGen::kNumber;
+  double lo = 0, hi = 100;
+  UnitCategory unit = UnitCategory::kNone;
+  std::string unit_text;
+  int catalog = -1;        // index into dataset catalogs for kEntity
+  bool entity_column = false;  // contributes EntityQuery ground truth
+  bool optional = false;   // present in ~60% of the topic's tables
+  // Alternate unit rendering: some tables report the same attribute in a
+  // converted unit (paper §1: "values in different units"). When set,
+  // ~30% of tables use value * alt_factor with alt_unit_text.
+  std::string alt_unit_text;
+  double alt_factor = 1.0;
+};
+
+struct TopicSpec {
+  std::string name;
+  std::string caption_stem;
+  std::vector<AttributeSpec> attributes;
+  // Group labels for two-level HMD (attribute groups) and VMD rows.
+  std::vector<std::string> hmd_groups;
+  std::vector<std::string> vmd_level1;  // e.g. "Patient Cohort"
+  std::vector<std::string> vmd_level2;  // e.g. cohort names
+};
+
+struct DatasetSpec {
+  std::string name;
+  double non_relational_fraction = 0.0;
+  double nested_fraction = 0.0;
+  int avg_data_rows = 10;
+  int avg_data_cols = 0;  // 0: use all topic attributes
+  std::vector<TopicSpec> topics;
+};
+
+AttributeSpec Entity(const std::string& canonical,
+                     std::vector<std::string> variants, int catalog,
+                     bool entity_column = true) {
+  AttributeSpec a;
+  a.canonical = canonical;
+  a.variants = std::move(variants);
+  a.kind = ValueKindGen::kEntity;
+  a.catalog = catalog;
+  a.entity_column = entity_column;
+  return a;
+}
+
+AttributeSpec Num(const std::string& canonical,
+                  std::vector<std::string> variants, double lo, double hi,
+                  ValueKindGen kind = ValueKindGen::kNumber,
+                  UnitCategory unit = UnitCategory::kNone,
+                  const std::string& unit_text = "") {
+  AttributeSpec a;
+  a.canonical = canonical;
+  a.variants = std::move(variants);
+  a.kind = kind;
+  a.lo = lo;
+  a.hi = hi;
+  a.unit = unit;
+  a.unit_text = unit_text;
+  // Standard unit alternates within the same family (time in weeks
+  // instead of months, weight in lb instead of kg, ...).
+  if (unit_text == "month") {
+    a.alt_unit_text = "week";
+    a.alt_factor = 4.345;
+  } else if (unit_text == "week") {
+    a.alt_unit_text = "month";
+    a.alt_factor = 1.0 / 4.345;
+  } else if (unit_text == "kg") {
+    a.alt_unit_text = "lb";
+    a.alt_factor = 2.205;
+  } else if (unit_text == "day") {
+    a.alt_unit_text = "h";
+    a.alt_factor = 24.0;
+  } else if (unit_text == "km") {
+    a.alt_unit_text = "mile";
+    a.alt_factor = 0.621;
+  }
+  return a;
+}
+
+// ---------------------------------------------------------------------------
+// Dataset specs (catalog indices refer to CatalogsFor(dataset) order)
+// ---------------------------------------------------------------------------
+
+DatasetSpec CancerKgSpec() {
+  DatasetSpec ds;
+  ds.name = "cancerkg";
+  ds.non_relational_fraction = 0.45;  // paper: >40% non-relational
+  ds.nested_fraction = 0.10;          // paper: ~10% nested
+  ds.avg_data_rows = 10;
+  // Catalogs: 0 drug, 1 treatment, 2 disease, 3 symptom.
+  // Shared attributes appear under the same canonical label in several
+  // topics (cross-topic CC), and the disease catalog feeds two different
+  // topics (confusable string columns). Both are deliberate hardness
+  // knobs: a bag-of-words model cannot separate such columns by value
+  // vocabulary alone.
+  const AttributeSpec n_patients =
+      Num("n_patients", {"N", "Patients", "No. of Patients"}, 20, 800,
+          ValueKindGen::kInteger);
+  const AttributeSpec p_value =
+      Num("p_value", {"p", "P Value", "p-value"}, 0.001, 0.2,
+          ValueKindGen::kNumber);
+
+  TopicSpec efficacy;
+  efficacy.name = "treatment-efficacy";
+  efficacy.caption_stem = "Treatment efficacy for";
+  efficacy.attributes = {
+      Entity("drug", {"Drug", "Agent", "Study Drug"}, 0),
+      Num("os_months", {"OS", "Overall Survival", "OS (months)"}, 4, 40,
+          ValueKindGen::kUnitNumber, UnitCategory::kTime, "month"),
+      Num("pfs_months", {"PFS", "Progression-Free Survival", "PFS (mo)"}, 2,
+          20, ValueKindGen::kUnitNumber, UnitCategory::kTime, "month"),
+      Num("orr_pct", {"ORR", "Response Rate", "ORR %"}, 5, 70,
+          ValueKindGen::kPercent),
+      Num("hazard_ratio", {"HR", "Hazard Ratio"}, 0.4, 1.3,
+          ValueKindGen::kGaussian, UnitCategory::kStats, "ratio"),
+      n_patients,
+      p_value,
+  };
+  efficacy.hmd_groups = {"Efficacy End Point", "Other Efficacy"};
+  efficacy.vmd_level1 = {"Patient Cohort"};
+  efficacy.vmd_level2 = {"Previously Untreated", "Failing under Treatment",
+                         "Second Line", "Maintenance"};
+
+  // Cross-topic entity columns (real adverse-events tables name the drug;
+  // demographics tables mention the treatment arm): topical vocabulary
+  // overlaps, so TC requires more than a bag of entity names.
+  AttributeSpec drug_opt = Entity("drug", {"Drug", "Agent", "Study Drug"}, 0,
+                                  /*entity_column=*/false);
+  drug_opt.optional = true;
+  AttributeSpec treatment_opt =
+      Entity("treatment", {"Treatment", "Regimen", "Therapy"}, 1,
+             /*entity_column=*/false);
+  treatment_opt.optional = true;
+  AttributeSpec disease_opt =
+      Entity("disease", {"Diagnosis", "Disease", "Primary Tumor"}, 2,
+             /*entity_column=*/false);
+  disease_opt.optional = true;
+
+  TopicSpec adverse;
+  adverse.name = "adverse-events";
+  adverse.caption_stem = "Adverse events observed with";
+  adverse.attributes = {
+      Entity("symptom", {"Adverse Event", "Event", "Toxicity"}, 3),
+      drug_opt,
+      // Same disease catalog as patient-demographics' "disease" column but
+      // a different attribute: value vocabulary alone cannot separate the
+      // two; the header (and table context) can.
+      Entity("comorbidity", {"Underlying Disease", "Comorbidity",
+                             "Condition"}, 2, /*entity_column=*/false),
+      Num("grade12_pct", {"Grade 1-2", "Any Grade %", "G1-2"}, 2, 60,
+          ValueKindGen::kPercent),
+      Num("grade34_pct", {"Grade 3-4", "Severe %", "G3-4"}, 0, 25,
+          ValueKindGen::kPercent),
+      n_patients,
+  };
+  adverse.hmd_groups = {"Event Grades", "Population"};
+  adverse.vmd_level1 = {"Treatment Arm"};
+  adverse.vmd_level2 = {"Experimental", "Control", "Combination"};
+
+  TopicSpec demographics;
+  demographics.name = "patient-demographics";
+  demographics.caption_stem = "Baseline characteristics of patients with";
+  demographics.attributes = {
+      Entity("disease", {"Diagnosis", "Disease", "Primary Tumor"}, 2),
+      Num("age_range", {"Age", "Age Range", "Age (years)"}, 18, 85,
+          ValueKindGen::kRange, UnitCategory::kTime, "year"),
+      Num("weight_kg", {"Weight", "Body Weight", "Weight (kg)"}, 45, 110,
+          ValueKindGen::kGaussian, UnitCategory::kWeight, "kg"),
+      Num("male_pct", {"Male", "Male %", "% Male"}, 30, 70,
+          ValueKindGen::kPercent),
+      n_patients,
+      treatment_opt,
+  };
+  demographics.hmd_groups = {"Demographics", "Anthropometrics"};
+  demographics.vmd_level1 = {"Study Group"};
+  demographics.vmd_level2 = {"Arm A", "Arm B", "Arm C", "Placebo"};
+
+  TopicSpec survival;
+  survival.name = "survival-analysis";
+  survival.caption_stem = "Survival analysis for";
+  survival.attributes = {
+      Entity("treatment", {"Treatment", "Regimen", "Therapy"}, 1),
+      Num("median_os", {"Median OS", "mOS", "Median Survival"}, 6, 36,
+          ValueKindGen::kUnitNumber, UnitCategory::kTime, "month"),
+      Num("ci_range", {"95% CI", "CI", "Confidence Interval"}, 4, 48,
+          ValueKindGen::kRange, UnitCategory::kTime, "month"),
+      p_value,
+      n_patients,
+      disease_opt,
+  };
+  survival.hmd_groups = {"Survival", "Statistics"};
+  survival.vmd_level1 = {"Line of Therapy"};
+  survival.vmd_level2 = {"First Line", "Second Line", "Third Line"};
+
+  // A fifth topic whose schema is a mixture of treatment-efficacy and
+  // survival-analysis: its tables overlap heavily with both, making the
+  // topic boundary fuzzy (as in the real corpus).
+  TopicSpec combo;
+  combo.name = "combination-outcomes";
+  combo.caption_stem = "Combination therapy outcomes for";
+  combo.attributes = {
+      Entity("drug", {"Drug", "Agent", "Study Drug"}, 0),
+      treatment_opt,
+      Num("median_os", {"Median OS", "mOS", "Median Survival"}, 6, 36,
+          ValueKindGen::kUnitNumber, UnitCategory::kTime, "month"),
+      Num("orr_pct", {"ORR", "Response Rate", "ORR %"}, 5, 70,
+          ValueKindGen::kPercent),
+      n_patients,
+      p_value,
+  };
+  combo.hmd_groups = {"Outcomes", "Statistics"};
+  combo.vmd_level1 = {"Combination"};
+  combo.vmd_level2 = {"Doublet", "Triplet", "Monotherapy"};
+
+  ds.topics = {efficacy, adverse, demographics, survival, combo};
+  return ds;
+}
+
+DatasetSpec CovidKgSpec() {
+  DatasetSpec ds;
+  ds.name = "covidkg";
+  ds.non_relational_fraction = 0.45;
+  ds.nested_fraction = 0.10;
+  ds.avg_data_rows = 10;
+  // Catalogs: 0 vaccine, 1 variant, 2 symptom, 3 organization.
+  TopicSpec vaccine_eff;
+  vaccine_eff.name = "vaccine-efficacy";
+  vaccine_eff.caption_stem = "Vaccine efficacy against";
+  vaccine_eff.attributes = {
+      Entity("vaccine", {"Vaccine", "Product", "Candidate"}, 0),
+      Entity("variant", {"Variant", "Strain", "Lineage"}, 1, false),
+      Num("efficacy_pct", {"Efficacy", "VE", "Efficacy %"}, 40, 98,
+          ValueKindGen::kPercent),
+      Num("doses", {"Doses", "Dose Count", "No. Doses"}, 1, 3,
+          ValueKindGen::kInteger),
+      Num("antibody_titer", {"Titer", "Antibody Titer", "GMT"}, 50, 2500,
+          ValueKindGen::kGaussian, UnitCategory::kStats, "mean"),
+      Num("enrolled", {"Enrolled", "Participants", "N"}, 100, 45000,
+          ValueKindGen::kInteger),
+  };
+  vaccine_eff.hmd_groups = {"Immunogenicity", "Dosing"};
+  vaccine_eff.vmd_level1 = {"Age Group"};
+  vaccine_eff.vmd_level2 = {"18-49", "50-64", "65+", "12-17"};
+
+  AttributeSpec vaccine_opt =
+      Entity("vaccine", {"Vaccine", "Product", "Candidate"}, 0,
+             /*entity_column=*/false);
+  vaccine_opt.optional = true;
+  AttributeSpec variant_opt =
+      Entity("variant", {"Variant", "Strain", "Lineage"}, 1,
+             /*entity_column=*/false);
+  variant_opt.optional = true;
+
+  TopicSpec trials;
+  trials.name = "clinical-trials";
+  trials.caption_stem = "Clinical trial outcomes reported by";
+  trials.attributes = {
+      Entity("organization", {"Sponsor", "Organization", "Site"}, 3),
+      vaccine_opt,
+      Num("enrolled", {"Enrolled", "Participants", "N"}, 100, 45000,
+          ValueKindGen::kInteger),
+      Num("followup_range", {"Follow-up", "Follow-up (weeks)",
+                             "Observation"}, 4, 104,
+          ValueKindGen::kRange, UnitCategory::kTime, "week"),
+      Num("dropout_pct", {"Dropout", "Attrition %", "Lost to Follow-up"}, 1,
+          20, ValueKindGen::kPercent),
+  };
+  trials.hmd_groups = {"Enrollment", "Retention"};
+  trials.vmd_level1 = {"Trial Phase"};
+  trials.vmd_level2 = {"Phase I", "Phase II", "Phase III"};
+
+  TopicSpec symptoms;
+  symptoms.name = "symptom-prevalence";
+  symptoms.caption_stem = "Symptom prevalence for";
+  symptoms.attributes = {
+      Entity("symptom", {"Symptom", "Clinical Sign", "Presentation"}, 2),
+      variant_opt,
+      Num("prevalence_pct", {"Prevalence", "Frequency %", "Rate"}, 1, 85,
+          ValueKindGen::kPercent),
+      Num("onset_days", {"Onset", "Days to Onset", "Onset (days)"}, 1, 14,
+          ValueKindGen::kUnitNumber, UnitCategory::kTime, "day"),
+      Num("temp_c", {"Temperature", "Body Temp", "Temp (°C)"}, 36.5, 40.5,
+          ValueKindGen::kGaussian, UnitCategory::kTemperature, "c"),
+      // Same organization catalog as clinical-trials' "organization" but a
+      // different attribute (confusable by values, separable by header).
+      Entity("reporting_body", {"Reporting Body", "Source", "Institution"},
+             3, /*entity_column=*/false),
+  };
+  symptoms.hmd_groups = {"Presentation", "Vitals"};
+  symptoms.vmd_level1 = {"Severity"};
+  symptoms.vmd_level2 = {"Mild", "Moderate", "Severe", "Critical"};
+
+  // Mixture topic overlapping vaccine-efficacy and clinical-trials.
+  TopicSpec campaign;
+  campaign.name = "vaccination-campaign";
+  campaign.caption_stem = "Vaccination campaign coverage for";
+  campaign.attributes = {
+      Entity("vaccine", {"Vaccine", "Product", "Candidate"}, 0,
+             /*entity_column=*/false),
+      Num("enrolled", {"Enrolled", "Participants", "N"}, 100, 45000,
+          ValueKindGen::kInteger),
+      Num("coverage_pct", {"Coverage", "Coverage %", "Uptake"}, 10, 95,
+          ValueKindGen::kPercent),
+      Num("doses", {"Doses", "Dose Count", "No. Doses"}, 1, 3,
+          ValueKindGen::kInteger),
+  };
+  campaign.hmd_groups = {"Rollout", "Dosing"};
+  campaign.vmd_level1 = {"Age Group"};
+  campaign.vmd_level2 = {"18-49", "50-64", "65+"};
+
+  ds.topics = {vaccine_eff, trials, symptoms, campaign};
+  return ds;
+}
+
+DatasetSpec WebtablesSpec() {
+  DatasetSpec ds;
+  ds.name = "webtables";
+  ds.non_relational_fraction = 0.15;  // mostly relational web tables
+  ds.nested_fraction = 0.02;
+  ds.avg_data_rows = 13;  // paper: 14.45 rows, 5.2 cols
+  // Catalogs: 0 city, 1 university, 2 soccer_club, 3 baseball_player,
+  // 4 music_genre, 5 magazine.
+  TopicSpec cities;
+  cities.name = "cities";
+  cities.caption_stem = "Largest cities in";
+  cities.attributes = {
+      Entity("city", {"City", "Municipality", "Town"}, 0),
+      Num("population", {"Population", "Pop.", "Inhabitants"}, 20000,
+          9000000, ValueKindGen::kInteger),
+      Num("area_km", {"Area", "Area (km)", "Land Area"}, 10, 1200,
+          ValueKindGen::kUnitNumber, UnitCategory::kLength, "km"),
+      Num("founded", {"Founded", "Est.", "Year Founded"}, 1600, 1950,
+          ValueKindGen::kInteger),
+  };
+  cities.hmd_groups = {"Geography", "History"};
+  cities.vmd_level1 = {"Region"};
+  cities.vmd_level2 = {"Coastal", "Inland", "Mountain"};
+
+  TopicSpec universities;
+  universities.name = "universities";
+  universities.caption_stem = "University rankings for";
+  universities.attributes = {
+      Entity("university", {"University", "Institution", "School"}, 1),
+      Num("students", {"Students", "Enrollment", "Student Body"}, 2000,
+          60000, ValueKindGen::kInteger),
+      Num("acceptance_pct", {"Acceptance Rate", "Admit %", "Acceptance"}, 5,
+          80, ValueKindGen::kPercent),
+      Num("tuition", {"Tuition", "Annual Tuition", "Cost"}, 8000, 60000,
+          ValueKindGen::kInteger),
+      // Shared with the cities topic (cross-topic CC).
+      Num("founded", {"Founded", "Est.", "Year Founded"}, 1600, 1950,
+          ValueKindGen::kInteger),
+  };
+  universities.hmd_groups = {"Admissions", "Costs"};
+  universities.vmd_level1 = {"Tier"};
+  universities.vmd_level2 = {"Public", "Private"};
+
+  TopicSpec soccer;
+  soccer.name = "soccer-clubs";
+  soccer.caption_stem = "League standings for";
+  soccer.attributes = {
+      Entity("soccer_club", {"Club", "Team", "Side"}, 2),
+      Num("points", {"Points", "Pts", "Total Points"}, 10, 95,
+          ValueKindGen::kInteger),
+      Num("wins", {"Wins", "W", "Won"}, 2, 30, ValueKindGen::kInteger),
+      Num("goal_diff", {"GD", "Goal Difference", "+/-"}, -40, 60,
+          ValueKindGen::kInteger),
+  };
+  soccer.hmd_groups = {"Record", "Goals"};
+  soccer.vmd_level1 = {"Division"};
+  soccer.vmd_level2 = {"First Division", "Second Division"};
+
+  TopicSpec baseball;
+  baseball.name = "baseball-players";
+  baseball.caption_stem = "Season statistics for";
+  baseball.attributes = {
+      Entity("baseball_player", {"Player", "Name", "Batter"}, 3),
+      Num("batting_avg", {"AVG", "Batting Average", "BA"}, 0.180, 0.360,
+          ValueKindGen::kNumber),
+      Num("home_runs", {"HR", "Home Runs", "Homers"}, 0, 55,
+          ValueKindGen::kInteger),
+      Num("rbi", {"RBI", "Runs Batted In", "RBIs"}, 10, 140,
+          ValueKindGen::kInteger),
+      // Same city catalog as the cities topic's "city" column but a
+      // different attribute (confusable by values).
+      Entity("hometown", {"Hometown", "Birthplace", "Born In"}, 0,
+             /*entity_column=*/false),
+  };
+  baseball.hmd_groups = {"Batting", "Power"};
+  baseball.vmd_level1 = {"League"};
+  baseball.vmd_level2 = {"American", "National"};
+
+  TopicSpec genres;
+  genres.name = "music-genres";
+  genres.caption_stem = "Popular albums by genre in";
+  genres.attributes = {
+      Entity("music_genre", {"Genre", "Style", "Category"}, 4),
+      Num("albums", {"Albums", "Releases", "Album Count"}, 5, 500,
+          ValueKindGen::kInteger),
+      Num("listeners_m", {"Listeners", "Monthly Listeners",
+                          "Audience (M)"}, 0.1, 80, ValueKindGen::kNumber),
+  };
+  genres.hmd_groups = {"Catalog", "Audience"};
+  genres.vmd_level1 = {"Era"};
+  genres.vmd_level2 = {"Classic", "Modern"};
+
+  TopicSpec magazines;
+  magazines.name = "magazines";
+  magazines.caption_stem = "Circulation figures for";
+  magazines.attributes = {
+      Entity("magazine", {"Magazine", "Publication", "Title"}, 5),
+      Num("circulation", {"Circulation", "Copies", "Distribution"}, 10000,
+          3000000, ValueKindGen::kInteger),
+      Num("issues_per_year", {"Issues", "Issues/Year", "Frequency"}, 4, 52,
+          ValueKindGen::kInteger),
+  };
+  magazines.hmd_groups = {"Reach", "Publishing"};
+  magazines.vmd_level1 = {"Market"};
+  magazines.vmd_level2 = {"Domestic", "International"};
+
+  ds.topics = {cities, universities, soccer, baseball, genres, magazines};
+  return ds;
+}
+
+DatasetSpec SausSpec() {
+  DatasetSpec ds;
+  ds.name = "saus";
+  ds.non_relational_fraction = 0.6;  // statistical abstract: header-heavy
+  ds.nested_fraction = 0.0;
+  ds.avg_data_rows = 18;  // paper: 52.5 x 17.7, scaled down
+  // Catalogs: 0 state, 1 industry.
+  TopicSpec finance;
+  finance.name = "state-finance";
+  finance.caption_stem = "State government finances for";
+  finance.attributes = {
+      Entity("state", {"State", "Jurisdiction", "Area"}, 0),
+      Num("revenue_m", {"Revenue", "Total Revenue", "Revenue ($M)"}, 500,
+          90000, ValueKindGen::kInteger),
+      Num("expenditure_m", {"Expenditure", "Spending", "Outlays"}, 400,
+          85000, ValueKindGen::kInteger),
+      Num("debt_pct", {"Debt Ratio", "Debt %", "Debt to Revenue"}, 5, 120,
+          ValueKindGen::kPercent),
+  };
+  finance.hmd_groups = {"Receipts", "Obligations"};
+  finance.vmd_level1 = {"Fiscal Year"};
+  finance.vmd_level2 = {"2007", "2008", "2009", "2010"};
+
+  TopicSpec business;
+  business.name = "business-activity";
+  business.caption_stem = "Business establishments by industry in";
+  business.attributes = {
+      Entity("industry", {"Industry", "Sector", "NAICS Sector"}, 1),
+      Num("establishments", {"Establishments", "Firms", "Businesses"}, 100,
+          900000, ValueKindGen::kInteger),
+      Num("employees_k", {"Employees", "Employment (K)", "Workers"}, 1,
+          18000, ValueKindGen::kInteger),
+      Num("payroll_m", {"Payroll", "Annual Payroll", "Payroll ($M)"}, 50,
+          600000, ValueKindGen::kInteger),
+  };
+  business.hmd_groups = {"Counts", "Labor"};
+  business.vmd_level1 = {"Size Class"};
+  business.vmd_level2 = {"1-4", "5-19", "20-99", "100+"};
+
+  TopicSpec health;
+  health.name = "health-statistics";
+  health.caption_stem = "Health care statistics for";
+  health.attributes = {
+      Entity("state", {"State", "Region", "Area"}, 0, false),
+      Num("uninsured_pct", {"Uninsured", "Uninsured %", "No Coverage"}, 4,
+          28, ValueKindGen::kPercent),
+      Num("hospital_beds", {"Beds", "Hospital Beds", "Beds per 1000"}, 1.5,
+          6.0, ValueKindGen::kNumber),
+      Num("spend_range", {"Spending Range", "Per Capita Spending",
+                          "Spending"}, 4000, 12000, ValueKindGen::kRange),
+  };
+  health.hmd_groups = {"Coverage", "Capacity"};
+  health.vmd_level1 = {"Year"};
+  health.vmd_level2 = {"2008", "2009", "2010"};
+
+  ds.topics = {finance, business, health};
+  return ds;
+}
+
+DatasetSpec CiusSpec() {
+  DatasetSpec ds;
+  ds.name = "cius";
+  ds.non_relational_fraction = 0.55;
+  ds.nested_fraction = 0.0;
+  ds.avg_data_rows = 18;  // paper: 68.4 x 12.7, scaled down
+  // Catalogs: 0 crime_type, 1 state.
+  TopicSpec offenses;
+  offenses.name = "offense-counts";
+  offenses.caption_stem = "Reported offenses by type in";
+  offenses.attributes = {
+      Entity("crime_type", {"Offense", "Crime", "Offense Type"}, 0),
+      Num("incidents", {"Incidents", "Count", "Offenses Known"}, 50,
+          250000, ValueKindGen::kInteger),
+      Num("rate_per_100k", {"Rate", "Rate per 100,000", "Per Capita"}, 5,
+          4000, ValueKindGen::kNumber),
+      Num("cleared_pct", {"Cleared", "Clearance %", "Solved"}, 5, 80,
+          ValueKindGen::kPercent),
+  };
+  offenses.hmd_groups = {"Volume", "Outcomes"};
+  offenses.vmd_level1 = {"Population Group"};
+  offenses.vmd_level2 = {"Cities 250K+", "Cities 100-250K", "Suburban",
+                         "Rural"};
+
+  TopicSpec states;
+  states.name = "state-crime";
+  states.caption_stem = "Crime in the United States:";
+  states.attributes = {
+      Entity("state", {"State", "Area", "State/Area"}, 1),
+      Num("violent", {"Violent Crime", "Violent", "Violent Total"}, 200,
+          180000, ValueKindGen::kInteger),
+      Num("property", {"Property Crime", "Property", "Property Total"},
+          2000, 1200000, ValueKindGen::kInteger),
+      Num("officers", {"Officers", "Sworn Officers", "Police"}, 300,
+          70000, ValueKindGen::kInteger),
+  };
+  states.hmd_groups = {"Offenses", "Enforcement"};
+  states.vmd_level1 = {"Year"};
+  states.vmd_level2 = {"2008", "2009", "2010"};
+
+  ds.topics = {offenses, states};
+  return ds;
+}
+
+DatasetSpec SpecFor(const std::string& name) {
+  if (name == "cancerkg") return CancerKgSpec();
+  if (name == "covidkg") return CovidKgSpec();
+  if (name == "webtables") return WebtablesSpec();
+  if (name == "saus") return SausSpec();
+  if (name == "cius") return CiusSpec();
+  TABBIN_LOG(ERROR) << "unknown dataset: " << name;
+  return WebtablesSpec();
+}
+
+// ---------------------------------------------------------------------------
+// Generation engine
+// ---------------------------------------------------------------------------
+
+class Engine {
+ public:
+  Engine(DatasetSpec spec, const GeneratorOptions& options)
+      : spec_(std::move(spec)),
+        options_(options),
+        rng_(options.seed ^ std::hash<std::string>{}(spec_.name)) {
+    out_.corpus.name = spec_.name;
+    out_.catalogs = CatalogsFor(spec_.name, options.seed);
+  }
+
+  LabeledCorpus Run() {
+    for (int i = 0; i < options_.num_tables; ++i) {
+      const TopicSpec& topic =
+          spec_.topics[rng_.Uniform(spec_.topics.size())];
+      GenerateTable(topic, i);
+    }
+    return std::move(out_);
+  }
+
+ private:
+  Value DrawValue(const AttributeSpec& attr, std::string* entity_out,
+                  bool use_alt_unit = false) {
+    const std::string& unit_text =
+        use_alt_unit ? attr.alt_unit_text : attr.unit_text;
+    const double factor = use_alt_unit ? attr.alt_factor : 1.0;
+    switch (attr.kind) {
+      case ValueKindGen::kEntity: {
+        const auto& pool =
+            out_.catalogs[static_cast<size_t>(attr.catalog)].entities;
+        std::string name = pool[rng_.Uniform(pool.size())];
+        if (entity_out) *entity_out = name;
+        // Surface noise: occasional descriptor suffix.
+        if (rng_.Bernoulli(0.12)) name += " *";
+        return Value::String(name);
+      }
+      case ValueKindGen::kNumber:
+        return Value::Number(
+            std::round(rng_.UniformFloat(static_cast<float>(attr.lo),
+                                         static_cast<float>(attr.hi)) *
+                       100.0) /
+            100.0);
+      case ValueKindGen::kInteger:
+        return Value::Number(static_cast<double>(
+            rng_.UniformInt(static_cast<int64_t>(attr.lo),
+                            static_cast<int64_t>(attr.hi))));
+      case ValueKindGen::kPercent:
+        // Two decimals: real measurements rarely collide exactly.
+        return Value::Number(
+            std::round(rng_.UniformFloat(static_cast<float>(attr.lo),
+                                         static_cast<float>(attr.hi)) *
+                       100.0) /
+            100.0,
+            UnitCategory::kStats, "%");
+      case ValueKindGen::kUnitNumber:
+        return Value::Number(
+            std::round(rng_.UniformFloat(static_cast<float>(attr.lo),
+                                         static_cast<float>(attr.hi)) *
+                       factor * 100.0) /
+            100.0,
+            attr.unit, unit_text);
+      case ValueKindGen::kRange: {
+        double a = rng_.UniformFloat(static_cast<float>(attr.lo),
+                                     static_cast<float>(attr.hi)) * factor;
+        double b = rng_.UniformFloat(static_cast<float>(attr.lo),
+                                     static_cast<float>(attr.hi)) * factor;
+        if (a > b) std::swap(a, b);
+        return Value::Range(std::round(a), std::round(b) + 1, attr.unit,
+                            unit_text);
+      }
+      case ValueKindGen::kGaussian: {
+        double mean = rng_.UniformFloat(static_cast<float>(attr.lo),
+                                        static_cast<float>(attr.hi)) * factor;
+        double sd = (attr.hi - attr.lo) * factor *
+                    (0.02 + 0.08 * rng_.UniformDouble());
+        return Value::Gaussian(std::round(mean * 100) / 100,
+                               std::round(sd * 100) / 100, attr.unit,
+                               unit_text);
+      }
+      case ValueKindGen::kDate: {
+        int y = static_cast<int>(rng_.UniformInt(2005, 2023));
+        int m = static_cast<int>(rng_.UniformInt(1, 12));
+        int d = static_cast<int>(rng_.UniformInt(1, 28));
+        char buf[16];
+        std::snprintf(buf, sizeof(buf), "%04d-%02d-%02d", y, m, d);
+        return Value::String(buf);
+      }
+      case ValueKindGen::kPersonName: {
+        auto names = SynthesizeNames("baseball_player", 1, rng_.Next());
+        return Value::String(names[0]);
+      }
+    }
+    return Value::Empty();
+  }
+
+  Table MakeNestedStats() {
+    Table t(2, 2, 1, 0);
+    t.SetValue(0, 0, Value::String("OS"));
+    t.SetValue(0, 1, Value::String("HR"));
+    t.SetValue(1, 0,
+               Value::Number(std::round(rng_.UniformFloat(5, 40) * 10) / 10,
+                             UnitCategory::kTime, "month"));
+    t.SetValue(1, 1, Value::Number(
+                         std::round(rng_.UniformFloat(0.4f, 1.3f) * 100) /
+                         100.0));
+    return t;
+  }
+
+  void GenerateTable(const TopicSpec& topic, int index) {
+    // Choose attributes: all non-optional plus a random optional subset.
+    std::vector<const AttributeSpec*> attrs;
+    for (const auto& a : topic.attributes) {
+      if (!a.optional || rng_.Bernoulli(0.6)) attrs.push_back(&a);
+    }
+    if (attrs.size() > 2 && rng_.Bernoulli(0.3)) {
+      // Occasionally drop one non-key attribute (schema variation).
+      attrs.erase(attrs.begin() + 1 +
+                  static_cast<long>(rng_.Uniform(attrs.size() - 1)));
+    }
+
+    const bool non_relational =
+        rng_.Bernoulli(spec_.non_relational_fraction) &&
+        !topic.vmd_level2.empty();
+    const int hmd_rows = non_relational ? 2 : 1;
+    const int vmd_cols = non_relational ? 2 : 0;
+    int data_rows = std::max(
+        3, static_cast<int>(std::round(
+               rng_.Gaussian(spec_.avg_data_rows, spec_.avg_data_rows / 3.0))));
+    data_rows = std::min(data_rows, 40);
+    const int rows = hmd_rows + data_rows;
+    const int cols = vmd_cols + static_cast<int>(attrs.size());
+
+    Table t(rows, cols, hmd_rows, vmd_cols);
+    t.set_id(spec_.name + "-" + std::to_string(index));
+    t.set_topic(topic.name);
+    // Caption: 40% of tables get a generic stem shared across topics, so
+    // caption words alone do not identify the topic.
+    static const char* kGenericStems[] = {
+        "Summary statistics for", "Overview of results for",
+        "Reported figures for", "Annual data table for"};
+    std::string caption = rng_.Bernoulli(0.4)
+                              ? kGenericStems[rng_.Uniform(4)]
+                              : topic.caption_stem;
+    if (!out_.catalogs.empty()) {
+      const auto& pool = out_.catalogs[0].entities;
+      caption += " " + pool[rng_.Uniform(pool.size())];
+    }
+    t.set_caption(caption);
+
+    // HMD. Level 2 (or the only level): attribute name variants. Numeric
+    // attributes get *generic* headers ("Value", "Total", ...) in ~30% of
+    // tables — real statistical tables frequently carry uninformative
+    // headers, which is why value distributions and units matter.
+    static const char* kGenericHeaders[] = {"Value", "Result", "Total",
+                                            "Measure", "Amount"};
+    for (size_t j = 0; j < attrs.size(); ++j) {
+      std::string header;
+      if (attrs[j]->kind != ValueKindGen::kEntity && rng_.Bernoulli(0.3)) {
+        header = kGenericHeaders[rng_.Uniform(5)];
+      } else {
+        const auto& variants = attrs[j]->variants;
+        header = variants[rng_.Uniform(variants.size())];
+      }
+      t.SetValue(hmd_rows - 1, vmd_cols + static_cast<int>(j),
+                 Value::String(header));
+    }
+    // Level 1 group labels spanning halves of the attributes.
+    if (hmd_rows == 2 && !topic.hmd_groups.empty()) {
+      const size_t half = (attrs.size() + 1) / 2;
+      for (size_t j = 0; j < attrs.size(); ++j) {
+        const std::string& group =
+            topic.hmd_groups[j < half ? 0 : topic.hmd_groups.size() - 1];
+        t.SetValue(0, vmd_cols + static_cast<int>(j), Value::String(group));
+      }
+    }
+    // VMD. Column 0: level-1 label spanning all rows; column 1: level-2
+    // group labels in row bands.
+    if (vmd_cols == 2) {
+      const std::string& l1 = topic.vmd_level1.empty()
+                                  ? std::string("Group")
+                                  : topic.vmd_level1[0];
+      // Shuffled copy of level-2 labels; bands of equal size.
+      std::vector<std::string> l2 = topic.vmd_level2;
+      rng_.Shuffle(&l2);
+      const int bands = std::max<int>(
+          1, std::min<int>(static_cast<int>(l2.size()), data_rows / 3));
+      for (int r = hmd_rows; r < rows; ++r) {
+        t.SetValue(r, 0, Value::String(l1));
+        const int band = std::min(bands - 1, (r - hmd_rows) * bands /
+                                                 std::max(1, data_rows));
+        t.SetValue(r, 1, Value::String(l2[static_cast<size_t>(band)]));
+      }
+    }
+    // Data cells.
+    const int table_index = static_cast<int>(out_.corpus.tables.size());
+    int entities_recorded = 0;
+    static const char* kNoiseCells[] = {"n/a", "-", "total", "see notes",
+                                        "unknown"};
+    // Per-table unit choice: ~30% of tables report convertible attributes
+    // in their alternate unit (weeks instead of months, lb instead of kg).
+    std::vector<bool> use_alt(attrs.size(), false);
+    for (size_t j = 0; j < attrs.size(); ++j) {
+      use_alt[j] = !attrs[j]->alt_unit_text.empty() && rng_.Bernoulli(0.3);
+    }
+    for (int r = hmd_rows; r < rows; ++r) {
+      for (size_t j = 0; j < attrs.size(); ++j) {
+        const int c = vmd_cols + static_cast<int>(j);
+        // Realistic noise: ~5% empty cells, ~5% generic filler strings
+        // (never on entity cells recorded as EC ground truth).
+        if (!attrs[j]->entity_column && rng_.Bernoulli(0.05)) continue;
+        if (!attrs[j]->entity_column && rng_.Bernoulli(0.05)) {
+          t.SetValue(r, c, Value::String(kNoiseCells[rng_.Uniform(5)]));
+          continue;
+        }
+        std::string entity;
+        Value v = DrawValue(*attrs[j], &entity, use_alt[j]);
+        t.SetValue(r, c, std::move(v));
+        if (attrs[j]->entity_column && !entity.empty() &&
+            entities_recorded < 3) {
+          out_.entities.push_back(
+              {table_index, r, c,
+               out_.catalogs[static_cast<size_t>(attrs[j]->catalog)].name,
+               entity});
+          ++entities_recorded;
+        }
+      }
+    }
+    // Nesting.
+    if (rng_.Bernoulli(spec_.nested_fraction) && data_rows > 0 &&
+        !attrs.empty()) {
+      const int r = hmd_rows + static_cast<int>(rng_.Uniform(
+                                   static_cast<uint64_t>(data_rows)));
+      const int c = vmd_cols + static_cast<int>(rng_.Uniform(attrs.size()));
+      t.SetNested(r, c, MakeNestedStats());
+    }
+
+    // Ground truth.
+    out_.tables.push_back({table_index, topic.name});
+    for (size_t j = 0; j < attrs.size(); ++j) {
+      out_.columns.push_back({table_index, vmd_cols + static_cast<int>(j),
+                              attrs[j]->canonical});
+    }
+    out_.corpus.tables.push_back(std::move(t));
+  }
+
+  DatasetSpec spec_;
+  GeneratorOptions options_;
+  Rng rng_;
+  LabeledCorpus out_;
+};
+
+}  // namespace
+
+double LabeledCorpus::NonRelationalFraction() const {
+  if (corpus.tables.empty()) return 0;
+  int n = 0;
+  for (const auto& t : corpus.tables) {
+    if (!t.IsRelational()) ++n;
+  }
+  return static_cast<double>(n) / corpus.tables.size();
+}
+
+double LabeledCorpus::NestedFraction() const {
+  if (corpus.tables.empty()) return 0;
+  int n = 0;
+  for (const auto& t : corpus.tables) {
+    if (t.HasNesting()) ++n;
+  }
+  return static_cast<double>(n) / corpus.tables.size();
+}
+
+LabeledCorpus GenerateDataset(const std::string& name,
+                              const GeneratorOptions& options) {
+  Engine engine(SpecFor(name), options);
+  return engine.Run();
+}
+
+const std::vector<std::string>& DatasetNames() {
+  static const auto* names = new std::vector<std::string>{
+      "webtables", "covidkg", "cancerkg", "saus", "cius"};
+  return *names;
+}
+
+}  // namespace tabbin

@@ -1,0 +1,54 @@
+// Synthetic corpus generators for the paper's five evaluation datasets
+// (DESIGN.md substitution S3). Each generator reproduces the published
+// corpus statistics — table sizes, fraction of non-relational tables,
+// fraction of nested tables, topic mix, unit/range/Gaussian usage — and
+// attaches the ground-truth labels (topic per table, canonical attribute
+// per column, entity type per entity cell) that the MAP/MRR evaluation
+// harness scores against.
+//
+// Hardness knobs mirror the real corpora: the same attribute appears
+// under several header spellings ("OS" / "Overall Survival" /
+// "OS (months)"), numeric distributions overlap across topics, and
+// entity mentions vary in casing and trailing descriptors.
+#ifndef TABBIN_DATAGEN_CORPUS_GEN_H_
+#define TABBIN_DATAGEN_CORPUS_GEN_H_
+
+#include <string>
+#include <vector>
+
+#include "datagen/catalogs.h"
+#include "table/table.h"
+#include "tasks/pipelines.h"
+
+namespace tabbin {
+
+/// \brief A corpus plus ground truth for the three downstream tasks.
+struct LabeledCorpus {
+  Corpus corpus;
+  std::vector<ColumnQuery> columns;
+  std::vector<TableQuery> tables;
+  std::vector<EntityQuery> entities;
+  std::vector<EntityCatalog> catalogs;
+
+  /// Fraction of tables that are non-relational (diagnostics).
+  double NonRelationalFraction() const;
+  double NestedFraction() const;
+};
+
+/// \brief Generation knobs (table count is the scale lever: the paper's
+/// corpora have 489..44,523 tables; CPU benchmarks use hundreds).
+struct GeneratorOptions {
+  int num_tables = 200;
+  uint64_t seed = 7;
+};
+
+/// \brief Generates one of: webtables, covidkg, cancerkg, saus, cius.
+LabeledCorpus GenerateDataset(const std::string& name,
+                              const GeneratorOptions& options = {});
+
+/// \brief The five dataset names in paper order.
+const std::vector<std::string>& DatasetNames();
+
+}  // namespace tabbin
+
+#endif  // TABBIN_DATAGEN_CORPUS_GEN_H_

@@ -1,0 +1,153 @@
+#include "datagen/pairs.h"
+
+#include <algorithm>
+
+#include "util/string_util.h"
+
+namespace tabbin {
+
+namespace {
+
+// Applies surface noise to an entity mention.
+std::string Perturb(const std::string& s, Rng* rng, double strength) {
+  std::vector<std::string> words = SplitWhitespace(s);
+  // Token dropout (keep at least one word).
+  if (words.size() > 1 && rng->Bernoulli(0.3 * strength)) {
+    words.erase(words.begin() +
+                static_cast<long>(rng->Uniform(words.size())));
+  }
+  // Abbreviation: truncate one word to 3-4 chars + '.'.
+  if (!words.empty() && rng->Bernoulli(0.25 * strength)) {
+    auto& w = words[rng->Uniform(words.size())];
+    if (w.size() > 5) w = w.substr(0, 3 + rng->Uniform(2)) + ".";
+  }
+  std::string out = Join(words, " ");
+  // Case changes.
+  if (rng->Bernoulli(0.4 * strength)) out = ToLower(out);
+  // Trailing descriptor.
+  if (rng->Bernoulli(0.3 * strength)) {
+    static const char* kSuffixes[] = {" (new)", " - official", " 2nd ed.",
+                                      " [verified]", " v2"};
+    out += kSuffixes[rng->Uniform(5)];
+  }
+  return out;
+}
+
+// Cheap token-overlap similarity for hard-negative mining.
+double TokenOverlap(const std::string& a, const std::string& b) {
+  auto wa = SplitWhitespace(ToLower(a));
+  auto wb = SplitWhitespace(ToLower(b));
+  if (wa.empty() || wb.empty()) return 0;
+  int hits = 0;
+  for (const auto& w : wa) {
+    if (std::find(wb.begin(), wb.end(), w) != wb.end()) ++hits;
+  }
+  return static_cast<double>(hits) / std::max(wa.size(), wb.size());
+}
+
+void SplitTrainTest(std::vector<EntityPair> pairs, Rng* rng,
+                    PairDataset* out) {
+  rng->Shuffle(&pairs);
+  const size_t test_size = pairs.size() / 4;
+  out->test.assign(pairs.begin(), pairs.begin() + static_cast<long>(test_size));
+  out->train.assign(pairs.begin() + static_cast<long>(test_size), pairs.end());
+}
+
+}  // namespace
+
+PairDataset GenerateCatalogPairs(const EntityCatalog& catalog,
+                                 const std::string& name, int num_pos,
+                                 int num_neg, uint64_t seed) {
+  PairDataset ds;
+  ds.name = name;
+  Rng rng(seed);
+  std::vector<EntityPair> pairs;
+  const auto& pool = catalog.entities;
+  for (int i = 0; i < num_pos; ++i) {
+    const std::string& e = pool[rng.Uniform(pool.size())];
+    pairs.push_back({Perturb(e, &rng, 0.8), Perturb(e, &rng, 0.8), true});
+  }
+  int made = 0, attempts = 0;
+  while (made < num_neg && attempts < num_neg * 20) {
+    ++attempts;
+    const std::string& a = pool[rng.Uniform(pool.size())];
+    const std::string& b = pool[rng.Uniform(pool.size())];
+    if (a == b) continue;
+    // Prefer hard negatives: retry easy ones half the time.
+    if (TokenOverlap(a, b) < 0.2 && rng.Bernoulli(0.5)) continue;
+    pairs.push_back({Perturb(a, &rng, 0.5), Perturb(b, &rng, 0.5), false});
+    ++made;
+  }
+  SplitTrainTest(std::move(pairs), &rng, &ds);
+  return ds;
+}
+
+PairDataset GenerateProductPairs(const std::string& style, int num_pos,
+                                 int num_neg, uint64_t seed) {
+  PairDataset ds;
+  ds.name = style;
+  Rng rng(seed ^ std::hash<std::string>{}(style));
+  const bool abt_buy = style == "abt-buy";
+
+  // Product universe: brand + line + model number (+ spec words).
+  auto brands = SynthesizeNames("product_brand", 40, seed);
+  static const char* kLines[] = {"Studio", "Pro", "Office", "Photo", "Max",
+                                 "Home",   "Elite", "Air",  "Ultra", "Go"};
+  static const char* kCats[] = {"camera", "printer", "router", "monitor",
+                                "speaker", "suite",  "keyboard", "drive"};
+  struct Product {
+    std::string brand, title;
+  };
+  std::vector<Product> products;
+  for (int i = 0; i < 250; ++i) {
+    Product p;
+    p.brand = brands[rng.Uniform(brands.size())];
+    p.title = p.brand + " " + kLines[rng.Uniform(10)] + " " +
+              kCats[rng.Uniform(8)] + " " +
+              std::to_string(100 + rng.Uniform(900));
+    products.push_back(std::move(p));
+  }
+
+  auto render = [&](const Product& p, double strength) {
+    std::string s = p.title;
+    if (abt_buy) {
+      // Abt-Buy style: one side often carries a long description tail and
+      // drops the brand.
+      if (rng.Bernoulli(0.4)) {
+        s = s.substr(p.brand.size() + 1);
+      }
+      if (rng.Bernoulli(0.5)) {
+        static const char* kTails[] = {" with carrying case",
+                                       " - refurbished",
+                                       " (black)",
+                                       " high definition",
+                                       " energy star"};
+        s += kTails[rng.Uniform(5)];
+      }
+    }
+    return Perturb(s, &rng, strength);
+  };
+
+  std::vector<EntityPair> pairs;
+  const double strength = abt_buy ? 1.0 : 0.7;
+  for (int i = 0; i < num_pos; ++i) {
+    const Product& p = products[rng.Uniform(products.size())];
+    pairs.push_back({render(p, strength), render(p, strength), true});
+  }
+  int made = 0, attempts = 0;
+  while (made < num_neg && attempts < num_neg * 20) {
+    ++attempts;
+    const Product& a = products[rng.Uniform(products.size())];
+    const Product& b = products[rng.Uniform(products.size())];
+    if (a.title == b.title) continue;
+    // Hard negatives share a brand or a category word.
+    if (TokenOverlap(a.title, b.title) < 0.2 && rng.Bernoulli(0.6)) continue;
+    pairs.push_back({render(a, strength * 0.7), render(b, strength * 0.7),
+                     false});
+    ++made;
+  }
+  SplitTrainTest(std::move(pairs), &rng, &ds);
+  return ds;
+}
+
+}  // namespace tabbin

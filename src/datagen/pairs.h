@@ -1,0 +1,46 @@
+// Labeled entity-pair generation for the entity-matching evaluation
+// (paper Table 9): ER-Magellan-style product pair sets (Amazon-Google,
+// Abt-Buy analogues; DESIGN.md substitution S10) and pairs drawn from the
+// corpus entity catalogs (CancerKG / CovidKG rows of Table 9).
+#ifndef TABBIN_DATAGEN_PAIRS_H_
+#define TABBIN_DATAGEN_PAIRS_H_
+
+#include <string>
+#include <vector>
+
+#include "datagen/catalogs.h"
+
+namespace tabbin {
+
+/// \brief One labeled entity pair.
+struct EntityPair {
+  std::string a;
+  std::string b;
+  bool match = false;
+};
+
+/// \brief A labeled pair dataset with train/test split.
+struct PairDataset {
+  std::string name;
+  std::vector<EntityPair> train;
+  std::vector<EntityPair> test;
+};
+
+/// \brief Pairs from an entity catalog: positives are two noisy renderings
+/// of one entity (case changes, token drops, abbreviations, descriptor
+/// suffixes); negatives pair *different* entities of the same type, biased
+/// toward lexically close ones (hard negatives).
+PairDataset GenerateCatalogPairs(const EntityCatalog& catalog,
+                                 const std::string& name, int num_pos,
+                                 int num_neg, uint64_t seed);
+
+/// \brief ER-Magellan style product matching. `style` selects the noise
+/// profile: "amazon-google" (vendor-prefixed software/product titles,
+/// moderate noise) or "abt-buy" (electronics titles with model numbers and
+/// heavier description noise).
+PairDataset GenerateProductPairs(const std::string& style, int num_pos,
+                                 int num_neg, uint64_t seed);
+
+}  // namespace tabbin
+
+#endif  // TABBIN_DATAGEN_PAIRS_H_

@@ -1,0 +1,76 @@
+// Minimal JSON value model, parser, and writer.
+//
+// Covers the subset needed for table/corpus serialization: objects,
+// arrays, strings (with escape handling), finite doubles, booleans, null.
+#ifndef TABBIN_IO_JSON_H_
+#define TABBIN_IO_JSON_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace tabbin {
+
+/// \brief A JSON value (tree-owning).
+class Json {
+ public:
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Json() : type_(Type::kNull) {}
+  static Json Null() { return Json(); }
+  static Json Bool(bool b);
+  static Json Number(double d);
+  static Json Str(std::string s);
+  static Json Array();
+  static Json Object();
+
+  Type type() const { return type_; }
+  bool is_null() const { return type_ == Type::kNull; }
+  bool is_bool() const { return type_ == Type::kBool; }
+  bool is_number() const { return type_ == Type::kNumber; }
+  bool is_string() const { return type_ == Type::kString; }
+  bool is_array() const { return type_ == Type::kArray; }
+  bool is_object() const { return type_ == Type::kObject; }
+
+  bool as_bool() const { return bool_; }
+  double as_number() const { return number_; }
+  const std::string& as_string() const { return string_; }
+
+  // Array access.
+  size_t array_size() const { return array_.size(); }
+  const Json& at(size_t i) const { return array_[i]; }
+  void Append(Json v) { array_.push_back(std::move(v)); }
+
+  // Object access.
+  bool Has(const std::string& key) const { return object_.count(key) > 0; }
+  const Json& operator[](const std::string& key) const;
+  void Set(const std::string& key, Json v) { object_[key] = std::move(v); }
+  const std::map<std::string, Json>& object_items() const { return object_; }
+
+  // Checked getters with defaults.
+  double GetNumber(const std::string& key, double fallback = 0.0) const;
+  std::string GetString(const std::string& key,
+                        const std::string& fallback = "") const;
+  bool GetBool(const std::string& key, bool fallback = false) const;
+
+  /// \brief Serializes to a compact JSON string.
+  std::string Dump() const;
+
+  /// \brief Parses a JSON document.
+  static Result<Json> Parse(const std::string& text);
+
+ private:
+  Type type_;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  std::vector<Json> array_;
+  std::map<std::string, Json> object_;
+};
+
+}  // namespace tabbin
+
+#endif  // TABBIN_IO_JSON_H_

@@ -1,0 +1,267 @@
+#include "io/table_io.h"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "meta/value_parser.h"
+#include "util/string_util.h"
+
+namespace tabbin {
+
+namespace {
+
+Json ValueToJson(const Value& v) {
+  Json j = Json::Object();
+  j.Set("k", Json::Number(static_cast<double>(v.kind())));
+  switch (v.kind()) {
+    case ValueKind::kEmpty:
+      break;
+    case ValueKind::kString:
+      j.Set("t", Json::Str(v.text()));
+      break;
+    case ValueKind::kNumber:
+      j.Set("a", Json::Number(v.number()));
+      break;
+    case ValueKind::kRange:
+      j.Set("a", Json::Number(v.range_lo()));
+      j.Set("b", Json::Number(v.range_hi()));
+      break;
+    case ValueKind::kGaussian:
+      j.Set("a", Json::Number(v.mean()));
+      j.Set("b", Json::Number(v.stddev()));
+      break;
+  }
+  if (v.has_unit()) {
+    j.Set("u", Json::Number(static_cast<double>(v.unit())));
+    j.Set("ut", Json::Str(v.unit_text()));
+  }
+  return j;
+}
+
+Result<Value> ValueFromJson(const Json& j) {
+  if (!j.is_object()) return Status::ParseError("value: expected object");
+  const int kind = static_cast<int>(j.GetNumber("k", 0));
+  UnitCategory unit = UnitCategory::kNone;
+  std::string unit_text;
+  if (j.Has("u")) {
+    unit = static_cast<UnitCategory>(static_cast<int>(j.GetNumber("u")));
+    unit_text = j.GetString("ut");
+  }
+  switch (static_cast<ValueKind>(kind)) {
+    case ValueKind::kEmpty:
+      return Value::Empty();
+    case ValueKind::kString:
+      return Value::String(j.GetString("t"));
+    case ValueKind::kNumber:
+      return Value::Number(j.GetNumber("a"), unit, unit_text);
+    case ValueKind::kRange:
+      return Value::Range(j.GetNumber("a"), j.GetNumber("b"), unit, unit_text);
+    case ValueKind::kGaussian:
+      return Value::Gaussian(j.GetNumber("a"), j.GetNumber("b"), unit,
+                             unit_text);
+  }
+  return Status::ParseError("value: unknown kind " + std::to_string(kind));
+}
+
+}  // namespace
+
+Json TableToJson(const Table& table) {
+  Json j = Json::Object();
+  j.Set("rows", Json::Number(table.rows()));
+  j.Set("cols", Json::Number(table.cols()));
+  j.Set("hmd", Json::Number(table.hmd_rows()));
+  j.Set("vmd", Json::Number(table.vmd_cols()));
+  if (!table.caption().empty()) j.Set("caption", Json::Str(table.caption()));
+  if (!table.topic().empty()) j.Set("topic", Json::Str(table.topic()));
+  if (!table.id().empty()) j.Set("id", Json::Str(table.id()));
+  Json cells = Json::Array();
+  for (int r = 0; r < table.rows(); ++r) {
+    for (int c = 0; c < table.cols(); ++c) {
+      const Cell& cell = table.cell(r, c);
+      if (cell.is_empty()) continue;
+      Json cj = Json::Object();
+      cj.Set("r", Json::Number(r));
+      cj.Set("c", Json::Number(c));
+      if (!cell.value.is_empty()) cj.Set("v", ValueToJson(cell.value));
+      if (cell.has_nested()) cj.Set("n", TableToJson(*cell.nested));
+      cells.Append(std::move(cj));
+    }
+  }
+  j.Set("cells", std::move(cells));
+  return j;
+}
+
+Result<Table> TableFromJson(const Json& json) {
+  if (!json.is_object()) return Status::ParseError("table: expected object");
+  const int rows = static_cast<int>(json.GetNumber("rows"));
+  const int cols = static_cast<int>(json.GetNumber("cols"));
+  if (rows <= 0 || cols <= 0) {
+    return Status::ParseError("table: bad dimensions");
+  }
+  Table t(rows, cols, static_cast<int>(json.GetNumber("hmd", 1)),
+          static_cast<int>(json.GetNumber("vmd", 0)));
+  t.set_caption(json.GetString("caption"));
+  t.set_topic(json.GetString("topic"));
+  t.set_id(json.GetString("id"));
+  const Json& cells = json["cells"];
+  if (!cells.is_array()) return Status::ParseError("table: missing cells");
+  for (size_t i = 0; i < cells.array_size(); ++i) {
+    const Json& cj = cells.at(i);
+    const int r = static_cast<int>(cj.GetNumber("r", -1));
+    const int c = static_cast<int>(cj.GetNumber("c", -1));
+    if (r < 0 || r >= rows || c < 0 || c >= cols) {
+      return Status::ParseError("table: cell out of range");
+    }
+    if (cj.Has("v")) {
+      TABBIN_ASSIGN_OR_RETURN(Value v, ValueFromJson(cj["v"]));
+      t.SetValue(r, c, std::move(v));
+    }
+    if (cj.Has("n")) {
+      TABBIN_ASSIGN_OR_RETURN(Table nested, TableFromJson(cj["n"]));
+      t.SetNested(r, c, std::move(nested));
+    }
+  }
+  return t;
+}
+
+Json CorpusToJson(const Corpus& corpus) {
+  Json j = Json::Object();
+  j.Set("name", Json::Str(corpus.name));
+  Json arr = Json::Array();
+  for (const auto& t : corpus.tables) arr.Append(TableToJson(t));
+  j.Set("tables", std::move(arr));
+  return j;
+}
+
+Result<Corpus> CorpusFromJson(const Json& json) {
+  if (!json.is_object()) return Status::ParseError("corpus: expected object");
+  Corpus corpus;
+  corpus.name = json.GetString("name");
+  const Json& arr = json["tables"];
+  if (!arr.is_array()) return Status::ParseError("corpus: missing tables");
+  corpus.tables.reserve(arr.array_size());
+  for (size_t i = 0; i < arr.array_size(); ++i) {
+    TABBIN_ASSIGN_OR_RETURN(Table t, TableFromJson(arr.at(i)));
+    corpus.tables.push_back(std::move(t));
+  }
+  return corpus;
+}
+
+Status SaveCorpus(const Corpus& corpus, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return Status::IoError("cannot open for write: " + path);
+  out << CorpusToJson(corpus).Dump();
+  if (!out) return Status::IoError("write failed: " + path);
+  return Status::OK();
+}
+
+Result<Corpus> LoadCorpus(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::IoError("cannot open for read: " + path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  TABBIN_ASSIGN_OR_RETURN(Json j, Json::Parse(buf.str()));
+  return CorpusFromJson(j);
+}
+
+namespace {
+
+// Splits one CSV record respecting quotes; returns fields.
+std::vector<std::string> SplitCsvRecord(const std::string& line) {
+  std::vector<std::string> fields;
+  std::string field;
+  bool in_quotes = false;
+  for (size_t i = 0; i < line.size(); ++i) {
+    const char c = line[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < line.size() && line[i + 1] == '"') {
+          field += '"';
+          ++i;
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        field += c;
+      }
+    } else if (c == '"') {
+      in_quotes = true;
+    } else if (c == ',') {
+      fields.push_back(std::move(field));
+      field.clear();
+    } else {
+      field += c;
+    }
+  }
+  fields.push_back(std::move(field));
+  return fields;
+}
+
+std::string CsvEscape(const std::string& s) {
+  if (s.find_first_of(",\"\n") == std::string::npos) return s;
+  std::string out = "\"";
+  for (char c : s) {
+    if (c == '"') out += "\"\"";
+    else out += c;
+  }
+  out += '"';
+  return out;
+}
+
+}  // namespace
+
+Result<Table> TableFromCsv(const std::string& csv_text,
+                           const std::string& caption) {
+  std::vector<std::vector<std::string>> records;
+  std::istringstream in(csv_text);
+  std::string line;
+  size_t width = 0;
+  while (std::getline(in, line)) {
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (Trim(line).empty()) continue;
+    records.push_back(SplitCsvRecord(line));
+    width = std::max(width, records.back().size());
+  }
+  if (records.empty() || width == 0) {
+    return Status::ParseError("csv: no records");
+  }
+  Table t(static_cast<int>(records.size()), static_cast<int>(width),
+          /*hmd_rows=*/1, /*vmd_cols=*/0);
+  t.set_caption(caption);
+  for (size_t r = 0; r < records.size(); ++r) {
+    for (size_t c = 0; c < records[r].size(); ++c) {
+      const std::string trimmed = Trim(records[r][c]);
+      if (trimmed.empty()) continue;
+      if (r == 0) {
+        // Header labels stay verbatim strings.
+        t.SetValue(static_cast<int>(r), static_cast<int>(c),
+                   Value::String(trimmed));
+      } else {
+        t.SetValue(static_cast<int>(r), static_cast<int>(c),
+                   ParseValue(trimmed));
+      }
+    }
+  }
+  return t;
+}
+
+std::string TableToCsv(const Table& table) {
+  std::ostringstream out;
+  for (int r = 0; r < table.rows(); ++r) {
+    for (int c = 0; c < table.cols(); ++c) {
+      if (c) out << ',';
+      const Cell& cell = table.cell(r, c);
+      if (cell.has_nested()) {
+        out << CsvEscape("[nested " + std::to_string(cell.nested->rows()) +
+                         "x" + std::to_string(cell.nested->cols()) + "]");
+      } else {
+        out << CsvEscape(cell.value.ToString());
+      }
+    }
+    out << '\n';
+  }
+  return out.str();
+}
+
+}  // namespace tabbin

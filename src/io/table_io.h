@@ -1,0 +1,40 @@
+// Table / corpus (de)serialization: JSON object mapping (recursive for
+// nested tables) and CSV import for plain relational tables.
+#ifndef TABBIN_IO_TABLE_IO_H_
+#define TABBIN_IO_TABLE_IO_H_
+
+#include <string>
+
+#include "io/json.h"
+#include "table/table.h"
+#include "util/status.h"
+
+namespace tabbin {
+
+/// \brief Serializes a table (recursively including nested tables).
+Json TableToJson(const Table& table);
+
+/// \brief Parses a table serialized by TableToJson.
+Result<Table> TableFromJson(const Json& json);
+
+/// \brief Serializes / parses a whole corpus.
+Json CorpusToJson(const Corpus& corpus);
+Result<Corpus> CorpusFromJson(const Json& json);
+
+/// \brief Writes a corpus to a file (compact JSON) / reads it back.
+Status SaveCorpus(const Corpus& corpus, const std::string& path);
+Result<Corpus> LoadCorpus(const std::string& path);
+
+/// \brief Imports a CSV document as a relational table (first row is the
+/// header / HMD). Cell text is parsed into typed Values via
+/// meta/value_parser. Handles quoted fields with embedded commas/quotes.
+Result<Table> TableFromCsv(const std::string& csv_text,
+                           const std::string& caption = "");
+
+/// \brief Exports any table to CSV (nested tables are flattened to their
+/// ToString form in the host cell).
+std::string TableToCsv(const Table& table);
+
+}  // namespace tabbin
+
+#endif  // TABBIN_IO_TABLE_IO_H_

@@ -1,0 +1,172 @@
+#include "meta/gru_classifier.h"
+
+#include <cmath>
+
+namespace tabbin {
+
+GruLayer::GruLayer(int input_dim, int hidden_dim, Rng* rng)
+    : input_(input_dim), hidden_(hidden_dim) {
+  wz_ = std::make_unique<Linear>(input_dim, hidden_dim, rng);
+  uz_ = std::make_unique<Linear>(hidden_dim, hidden_dim, rng, /*bias=*/false);
+  wr_ = std::make_unique<Linear>(input_dim, hidden_dim, rng);
+  ur_ = std::make_unique<Linear>(hidden_dim, hidden_dim, rng, /*bias=*/false);
+  wh_ = std::make_unique<Linear>(input_dim, hidden_dim, rng);
+  uh_ = std::make_unique<Linear>(hidden_dim, hidden_dim, rng, /*bias=*/false);
+}
+
+Tensor GruLayer::Forward(const Tensor& x, bool reverse) const {
+  const int n = x.dim(0);
+  Tensor h = Tensor::Zeros({1, hidden_});
+  std::vector<Tensor> outputs(static_cast<size_t>(n));
+  for (int step = 0; step < n; ++step) {
+    const int i = reverse ? n - 1 - step : step;
+    Tensor xi = SliceRows(x, i, 1);  // [1, input]
+    // z = sigmoid(Wz x + Uz h); r = sigmoid(Wr x + Ur h)
+    Tensor z = Sigmoid(Add(wz_->Forward(xi), uz_->Forward(h)));
+    Tensor r = Sigmoid(Add(wr_->Forward(xi), ur_->Forward(h)));
+    // hcand = tanh(Wh x + Uh (r * h))
+    Tensor hcand = TanhOp(Add(wh_->Forward(xi), uh_->Forward(Mul(r, h))));
+    // h = (1 - z) * h + z * hcand
+    Tensor one = Tensor::Full({1, hidden_}, 1.0f);
+    h = Add(Mul(Sub(one, z), h), Mul(z, hcand));
+    outputs[static_cast<size_t>(i)] = h;
+  }
+  // Stack aligned with input order.
+  std::vector<Tensor> cols;
+  cols.reserve(outputs.size());
+  // ConcatCols concatenates along dim 1; we need row stacking: build via
+  // GatherRows on a concatenated [n, hidden] using Transpose trick. The
+  // simplest differentiable row-stack: concat along columns of the
+  // transposed rows then transpose back.
+  std::vector<Tensor> transposed;
+  transposed.reserve(outputs.size());
+  for (auto& o : outputs) transposed.push_back(Transpose(o));  // [hidden,1]
+  return Transpose(ConcatCols(transposed));  // [n, hidden]
+}
+
+void GruLayer::CollectParameters(const std::string& prefix,
+                                 ParameterMap* out) const {
+  wz_->CollectParameters(prefix + "wz.", out);
+  uz_->CollectParameters(prefix + "uz.", out);
+  wr_->CollectParameters(prefix + "wr.", out);
+  ur_->CollectParameters(prefix + "ur.", out);
+  wh_->CollectParameters(prefix + "wh.", out);
+  uh_->CollectParameters(prefix + "uh.", out);
+}
+
+GruMetadataClassifier::GruMetadataClassifier(const Options& options)
+    : options_(options) {
+  Rng rng(options.seed);
+  fwd_ = std::make_unique<GruLayer>(LineFeatures::kNumFeatures + 1,
+                                    options.hidden, &rng);
+  bwd_ = std::make_unique<GruLayer>(LineFeatures::kNumFeatures + 1,
+                                    options.hidden, &rng);
+  head_ = std::make_unique<Linear>(2 * options.hidden, 1, &rng);
+}
+
+Tensor GruMetadataClassifier::FeaturesFor(const Table& table,
+                                          bool is_row) const {
+  const int n = is_row ? table.rows() : table.cols();
+  // Per-line features + an is_row indicator channel.
+  std::vector<float> data(static_cast<size_t>(n) *
+                          (LineFeatures::kNumFeatures + 1));
+  for (int i = 0; i < n; ++i) {
+    LineFeatures lf = ExtractLineFeatures(table, i, is_row);
+    for (int f = 0; f < LineFeatures::kNumFeatures; ++f) {
+      data[static_cast<size_t>(i) * (LineFeatures::kNumFeatures + 1) + f] =
+          static_cast<float>(lf.f[static_cast<size_t>(f)]);
+    }
+    data[static_cast<size_t>(i) * (LineFeatures::kNumFeatures + 1) +
+         LineFeatures::kNumFeatures] = is_row ? 1.0f : 0.0f;
+  }
+  return Tensor::FromData({n, LineFeatures::kNumFeatures + 1},
+                          std::move(data));
+}
+
+Tensor GruMetadataClassifier::Logits(const Tensor& features) const {
+  Tensor f = fwd_->Forward(features, /*reverse=*/false);
+  Tensor b = bwd_->Forward(features, /*reverse=*/true);
+  return head_->Forward(ConcatCols({f, b}));  // [n, 1]
+}
+
+std::vector<double> GruMetadataClassifier::Predict(const Table& table,
+                                                   bool is_row) const {
+  NoGradGuard guard;
+  Tensor logits = Logits(FeaturesFor(table, is_row));
+  std::vector<double> probs(static_cast<size_t>(logits.dim(0)));
+  for (int i = 0; i < logits.dim(0); ++i) {
+    const double z = logits.at(i, 0);
+    probs[static_cast<size_t>(i)] =
+        z >= 0 ? 1.0 / (1.0 + std::exp(-z)) : std::exp(z) / (1.0 + std::exp(z));
+  }
+  return probs;
+}
+
+double GruMetadataClassifier::TrainOnCorpus(const std::vector<Table>& tables) {
+  if (tables.empty()) return 0.0;
+  AdamOptimizer::Options opts;
+  opts.lr = options_.learning_rate;
+  opts.clip_norm = 1.0f;
+  AdamOptimizer adam(Parameters(), opts);
+
+  double final_loss = 0;
+  for (int epoch = 0; epoch < options_.epochs; ++epoch) {
+    double epoch_loss = 0;
+    int count = 0;
+    for (const auto& t : tables) {
+      for (bool is_row : {true, false}) {
+        adam.ZeroGrad();
+        Tensor logits = Logits(FeaturesFor(t, is_row));
+        const int n = logits.dim(0);
+        std::vector<float> labels(static_cast<size_t>(n));
+        for (int i = 0; i < n; ++i) {
+          const bool is_meta = is_row ? i < t.hmd_rows() : i < t.vmd_cols();
+          labels[static_cast<size_t>(i)] = is_meta ? 1.0f : 0.0f;
+        }
+        // Flatten [n,1] logits into a rank-1 view for the BCE op.
+        Tensor flat = Transpose(logits);      // [1, n]
+        Tensor loss = BinaryCrossEntropyWithLogits(
+            SliceRows(flat, 0, 1), labels);
+        loss.Backward();
+        adam.Step();
+        epoch_loss += loss.at(0);
+        ++count;
+      }
+    }
+    final_loss = epoch_loss / std::max(count, 1);
+  }
+  return final_loss;
+}
+
+MetadataClassifier::Detection GruMetadataClassifier::Detect(
+    const Table& table, double threshold) const {
+  MetadataClassifier::Detection det;
+  auto rows = Predict(table, /*is_row=*/true);
+  const int max_hmd = std::max(1, table.rows() / 2);
+  for (int r = 0; r < max_hmd; ++r) {
+    if (rows[static_cast<size_t>(r)] >= threshold) {
+      det.hmd_rows = r + 1;
+    } else {
+      break;
+    }
+  }
+  auto cols = Predict(table, /*is_row=*/false);
+  const int max_vmd = std::max(0, table.cols() / 2);
+  for (int c = 0; c < max_vmd; ++c) {
+    if (cols[static_cast<size_t>(c)] >= threshold) {
+      det.vmd_cols = c + 1;
+    } else {
+      break;
+    }
+  }
+  return det;
+}
+
+void GruMetadataClassifier::CollectParameters(const std::string& prefix,
+                                              ParameterMap* out) const {
+  fwd_->CollectParameters(prefix + "fwd.", out);
+  bwd_->CollectParameters(prefix + "bwd.", out);
+  head_->CollectParameters(prefix + "head.", out);
+}
+
+}  // namespace tabbin

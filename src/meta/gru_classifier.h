@@ -1,0 +1,82 @@
+// Bi-directional GRU metadata classifier — the architecture the paper
+// actually trains for metadata labeling ("Deep-learning bi-GRU and CNN
+// architectures ... for highly accurate labeling of multi-layer metadata"
+// [40], §2.3). It reads a table's rows (or columns) as a *sequence* of
+// per-line feature vectors, runs a bi-GRU over that sequence, and emits a
+// per-line metadata probability — unlike the per-line logistic model
+// (metadata_classifier.h), it can use context such as "the line above me
+// was metadata".
+#ifndef TABBIN_META_GRU_CLASSIFIER_H_
+#define TABBIN_META_GRU_CLASSIFIER_H_
+
+#include <memory>
+#include <vector>
+
+#include "meta/metadata_classifier.h"
+#include "tensor/nn.h"
+#include "tensor/optimizer.h"
+
+namespace tabbin {
+
+/// \brief A single GRU layer over a sequence of feature vectors.
+class GruLayer : public Module {
+ public:
+  GruLayer(int input_dim, int hidden_dim, Rng* rng);
+
+  /// \brief Runs the GRU over x [n, input_dim]; returns hidden states
+  /// [n, hidden_dim]. When `reverse`, processes the sequence backwards
+  /// (output rows stay aligned with input rows).
+  Tensor Forward(const Tensor& x, bool reverse = false) const;
+
+  void CollectParameters(const std::string& prefix,
+                         ParameterMap* out) const override;
+
+  int hidden_dim() const { return hidden_; }
+
+ private:
+  int input_, hidden_;
+  // Update gate z, reset gate r, candidate h: each has input + recurrent
+  // weights and a bias.
+  std::unique_ptr<Linear> wz_, uz_, wr_, ur_, wh_, uh_;
+};
+
+/// \brief Bi-GRU + linear head over per-line features: P(line is metadata).
+class GruMetadataClassifier : public Module {
+ public:
+  struct Options {
+    int hidden = 16;
+    int epochs = 60;
+    float learning_rate = 0.01f;
+    uint64_t seed = 31;
+  };
+
+  GruMetadataClassifier() : GruMetadataClassifier(Options()) {}
+  explicit GruMetadataClassifier(const Options& options);
+
+  /// \brief Per-line metadata probabilities for a table's rows (is_row)
+  /// or columns (!is_row).
+  std::vector<double> Predict(const Table& table, bool is_row) const;
+
+  /// \brief Supervised training on tables with ground-truth hmd_rows /
+  /// vmd_cols; returns final mean loss.
+  double TrainOnCorpus(const std::vector<Table>& tables);
+
+  /// \brief Detection compatible with MetadataClassifier::Detect.
+  MetadataClassifier::Detection Detect(const Table& table,
+                                       double threshold = 0.5) const;
+
+  void CollectParameters(const std::string& prefix,
+                         ParameterMap* out) const override;
+
+ private:
+  Tensor FeaturesFor(const Table& table, bool is_row) const;
+  Tensor Logits(const Tensor& features) const;  // [n, 1]
+
+  Options options_;
+  std::unique_ptr<GruLayer> fwd_, bwd_;
+  std::unique_ptr<Linear> head_;
+};
+
+}  // namespace tabbin
+
+#endif  // TABBIN_META_GRU_CLASSIFIER_H_

@@ -1,0 +1,181 @@
+#include "meta/metadata_classifier.h"
+
+#include <cmath>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace tabbin {
+
+namespace {
+
+int CountTokens(const Value& v) {
+  if (v.is_empty()) return 0;
+  int tokens = 1;
+  const std::string s = v.ToString();
+  for (char c : s) {
+    if (c == ' ') ++tokens;
+  }
+  return tokens;
+}
+
+double SigmoidD(double z) {
+  return z >= 0 ? 1.0 / (1.0 + std::exp(-z)) : std::exp(z) / (1.0 + std::exp(z));
+}
+
+}  // namespace
+
+LineFeatures ExtractLineFeatures(const Table& table, int index, bool is_row) {
+  LineFeatures lf;
+  const int len = is_row ? table.cols() : table.rows();
+  const int size = is_row ? table.rows() : table.cols();
+  int numeric = 0, empty = 0, with_unit = 0, nested = 0, tokens = 0;
+  std::unordered_map<std::string, int> counts;
+  for (int k = 0; k < len; ++k) {
+    const Cell& cell = is_row ? table.cell(index, k) : table.cell(k, index);
+    if (cell.is_empty()) {
+      ++empty;
+      continue;
+    }
+    if (cell.value.is_numeric()) ++numeric;
+    if (cell.value.has_unit()) ++with_unit;
+    if (cell.has_nested()) ++nested;
+    tokens += CountTokens(cell.value);
+    ++counts[cell.value.ToString()];
+  }
+  const int nonempty = len - empty;
+  int repeated = 0;
+  for (const auto& [text, cnt] : counts) {
+    if (cnt > 1) repeated += cnt;
+  }
+  // Distinctness of the orthogonal line contents at this index: how many
+  // unique values appear in the first orthogonal line vs later ones is
+  // approximated by uniqueness within this line.
+  const double distinct =
+      nonempty == 0 ? 0.0 : static_cast<double>(counts.size()) / nonempty;
+
+  lf.f[0] = size <= 1 ? 0.0 : static_cast<double>(index) / (size - 1);
+  lf.f[1] = nonempty == 0 ? 0.0 : static_cast<double>(numeric) / nonempty;
+  lf.f[2] = len == 0 ? 0.0 : static_cast<double>(empty) / len;
+  lf.f[3] = nonempty == 0 ? 0.0
+                          : std::min(1.0, static_cast<double>(tokens) /
+                                              (4.0 * nonempty));
+  lf.f[4] = nonempty == 0 ? 0.0 : static_cast<double>(repeated) / nonempty;
+  lf.f[5] = nonempty == 0 ? 0.0 : static_cast<double>(with_unit) / nonempty;
+  lf.f[6] = nonempty == 0 ? 0.0 : static_cast<double>(nested) / nonempty;
+  lf.f[7] = distinct;
+  return lf;
+}
+
+MetadataClassifier::MetadataClassifier() {
+  // Heuristic priors. Header rows: early position, textual, distinct
+  // labels (possibly repeated when spans exist). VMD columns: early
+  // position, textual, *repeated* hierarchical labels — a fully distinct
+  // string column (entity keys like "Name") is data, not metadata.
+  w_row_ = {-6.0,  // position: later rows are rarely metadata
+            -4.0,  // numeric fraction: metadata is textual
+            -0.5,  // empty
+            0.5,   // token count: labels are wordy
+            2.0,   // repetition: hierarchical spans repeat labels
+            -2.0,  // units occur in data
+            -2.0,  // nested tables are data
+            0.5,   // distinctness: header labels are unique
+            1.5};  // bias
+  w_col_ = {-6.0,  // position
+            -4.0,  // numeric fraction
+            -0.5,  // empty
+            0.5,   // token count
+            5.0,   // repetition: the defining VMD signal
+            -2.0,  // units
+            -2.0,  // nesting
+            -2.0,  // distinctness: distinct key columns are data
+            0.0};  // bias
+}
+
+double MetadataClassifier::Predict(const LineFeatures& features,
+                                   bool is_row) const {
+  const auto& w = is_row ? w_row_ : w_col_;
+  double z = w[LineFeatures::kNumFeatures];
+  for (int i = 0; i < LineFeatures::kNumFeatures; ++i) {
+    z += w[static_cast<size_t>(i)] * features.f[static_cast<size_t>(i)];
+  }
+  return SigmoidD(z);
+}
+
+double MetadataClassifier::TrainOnCorpus(const std::vector<Table>& tables,
+                                         int epochs, double lr) {
+  struct Example {
+    LineFeatures x;
+    double y;
+    bool is_row;
+  };
+  std::vector<Example> examples;
+  for (const auto& t : tables) {
+    for (int r = 0; r < t.rows(); ++r) {
+      examples.push_back({ExtractLineFeatures(t, r, /*is_row=*/true),
+                          r < t.hmd_rows() ? 1.0 : 0.0, true});
+    }
+    for (int c = 0; c < t.cols(); ++c) {
+      examples.push_back({ExtractLineFeatures(t, c, /*is_row=*/false),
+                          c < t.vmd_cols() ? 1.0 : 0.0, false});
+    }
+  }
+  if (examples.empty()) return 0.0;
+  double loss = 0.0;
+  for (int epoch = 0; epoch < epochs; ++epoch) {
+    loss = 0.0;
+    std::array<double, LineFeatures::kNumFeatures + 1> grad_row{};
+    std::array<double, LineFeatures::kNumFeatures + 1> grad_col{};
+    for (const auto& ex : examples) {
+      const double p = Predict(ex.x, ex.is_row);
+      loss += -(ex.y * std::log(std::max(p, 1e-12)) +
+                (1 - ex.y) * std::log(std::max(1 - p, 1e-12)));
+      const double err = p - ex.y;
+      auto& grad = ex.is_row ? grad_row : grad_col;
+      for (int i = 0; i < LineFeatures::kNumFeatures; ++i) {
+        grad[static_cast<size_t>(i)] += err * ex.x.f[static_cast<size_t>(i)];
+      }
+      grad[LineFeatures::kNumFeatures] += err;
+    }
+    const double scale = lr / static_cast<double>(examples.size());
+    for (size_t i = 0; i < w_row_.size(); ++i) {
+      w_row_[i] -= scale * grad_row[i];
+      w_col_[i] -= scale * grad_col[i];
+    }
+    loss /= static_cast<double>(examples.size());
+  }
+  return loss;
+}
+
+MetadataClassifier::Detection MetadataClassifier::Detect(
+    const Table& table, double threshold) const {
+  Detection det;
+  // Scan leading rows; stop at the first non-metadata row. Cap the
+  // metadata band at half the table.
+  const int max_hmd = std::max(1, table.rows() / 2);
+  for (int r = 0; r < max_hmd; ++r) {
+    if (Predict(ExtractLineFeatures(table, r, /*is_row=*/true),
+                /*is_row=*/true) >= threshold) {
+      det.hmd_rows = r + 1;
+    } else {
+      break;
+    }
+  }
+  const int max_vmd = std::max(0, table.cols() / 2);
+  for (int c = 0; c < max_vmd; ++c) {
+    if (Predict(ExtractLineFeatures(table, c, /*is_row=*/false),
+                /*is_row=*/false) >= threshold) {
+      det.vmd_cols = c + 1;
+    } else {
+      break;
+    }
+  }
+  return det;
+}
+
+void MetadataClassifier::Annotate(Table* table, double threshold) const {
+  Detection det = Detect(*table, threshold);
+  table->set_hmd_rows(det.hmd_rows);
+  table->set_vmd_cols(det.vmd_cols);
+}
+
+}  // namespace tabbin

@@ -1,0 +1,86 @@
+// Metadata region detection: deciding how many leading rows are HMD and
+// how many leading columns are VMD for an unlabeled table.
+//
+// The paper trains dedicated bi-GRU / CNN binary classifiers [40]; here a
+// logistic-regression classifier over the same feature families (lexical,
+// positional, numeric-density, distinctness) plays that role
+// (DESIGN.md substitution S5). A heuristic initialization makes the
+// classifier usable without training; TrainOnCorpus refines the weights
+// on tables with known metadata splits.
+#ifndef TABBIN_META_METADATA_CLASSIFIER_H_
+#define TABBIN_META_METADATA_CLASSIFIER_H_
+
+#include <array>
+#include <vector>
+
+#include "table/table.h"
+#include "util/rng.h"
+
+namespace tabbin {
+
+/// \brief Feature vector for one row (or column) of a table.
+struct LineFeatures {
+  static constexpr int kNumFeatures = 8;
+  // 0: relative position (index / size)
+  // 1: fraction of numeric cells
+  // 2: fraction of empty cells
+  // 3: mean token count per cell
+  // 4: fraction of cells repeated elsewhere in the same line (span hint)
+  // 5: fraction of cells with a unit
+  // 6: fraction of cells that are nested tables
+  // 7: distinctness of values in the orthogonal direction
+  std::array<double, kNumFeatures> f{};
+};
+
+/// \brief Extracts features of row r (is_row) or column c (!is_row).
+LineFeatures ExtractLineFeatures(const Table& table, int index, bool is_row);
+
+/// \brief Binary logistic classifiers: is this row (column) metadata?
+///
+/// Two separate weight vectors are kept — one for horizontal metadata
+/// (rows) and one for vertical metadata (columns) — mirroring the paper's
+/// separate HMD and VMD classifiers [40]: header rows are distinct label
+/// lines, while VMD columns are recognizable by hierarchical label
+/// repetition.
+class MetadataClassifier {
+ public:
+  /// \brief Heuristically initialized weights (usable untrained).
+  MetadataClassifier();
+
+  /// \brief P(metadata | features) for a row (is_row) or column.
+  double Predict(const LineFeatures& features, bool is_row) const;
+
+  /// \brief Supervised training on tables whose hmd_rows/vmd_cols are
+  /// ground truth. Returns final training loss.
+  double TrainOnCorpus(const std::vector<Table>& tables, int epochs = 50,
+                       double lr = 0.5);
+
+  /// \brief Infers (hmd_rows, vmd_cols) for a table: scans leading rows /
+  /// columns while P(metadata) >= threshold.
+  struct Detection {
+    int hmd_rows = 0;
+    int vmd_cols = 0;
+  };
+  Detection Detect(const Table& table, double threshold = 0.5) const;
+
+  /// \brief Applies Detect and writes the result into the table.
+  void Annotate(Table* table, double threshold = 0.5) const;
+
+  const std::array<double, LineFeatures::kNumFeatures + 1>& row_weights()
+      const {
+    return w_row_;
+  }
+  const std::array<double, LineFeatures::kNumFeatures + 1>& col_weights()
+      const {
+    return w_col_;
+  }
+
+ private:
+  // w[kNumFeatures] is the bias term.
+  std::array<double, LineFeatures::kNumFeatures + 1> w_row_;
+  std::array<double, LineFeatures::kNumFeatures + 1> w_col_;
+};
+
+}  // namespace tabbin
+
+#endif  // TABBIN_META_METADATA_CLASSIFIER_H_

@@ -1,0 +1,203 @@
+#include "meta/type_inference.h"
+
+#include <cctype>
+
+#include "util/string_util.h"
+
+namespace tabbin {
+
+const char* SemTypeName(SemType type) {
+  switch (type) {
+    case SemType::kText:
+      return "text";
+    case SemType::kNumeric:
+      return "numeric";
+    case SemType::kRange:
+      return "range";
+    case SemType::kDisease:
+      return "disease";
+    case SemType::kDrug:
+      return "drug";
+    case SemType::kChemical:
+      return "chemical";
+    case SemType::kVaccine:
+      return "vaccine";
+    case SemType::kTreatment:
+      return "treatment";
+    case SemType::kSymptom:
+      return "symptom";
+    case SemType::kPerson:
+      return "person";
+    case SemType::kPlace:
+      return "place";
+    case SemType::kOrganization:
+      return "organization";
+    case SemType::kMeasurement:
+      return "measurement";
+    case SemType::kDate:
+      return "date";
+  }
+  return "?";
+}
+
+namespace {
+
+struct SeedEntry {
+  const char* term;
+  SemType type;
+};
+
+// Built-in seed lexicon. The dataset generators (src/datagen) register
+// their full entity catalogs on top of this.
+constexpr SeedEntry kSeedLexicon[] = {
+    // diseases
+    {"colorectal cancer", SemType::kDisease},
+    {"colon cancer", SemType::kDisease},
+    {"colon", SemType::kDisease},
+    {"covid-19", SemType::kDisease},
+    {"covid", SemType::kDisease},
+    {"influenza", SemType::kDisease},
+    {"diabetes", SemType::kDisease},
+    {"hypertension", SemType::kDisease},
+    {"melanoma", SemType::kDisease},
+    {"leukemia", SemType::kDisease},
+    {"pneumonia", SemType::kDisease},
+    {"asthma", SemType::kDisease},
+    // drugs
+    {"ramucirumab", SemType::kDrug},
+    {"fluoropyrimidine", SemType::kDrug},
+    {"irinotecan", SemType::kDrug},
+    {"oxaliplatin", SemType::kDrug},
+    {"bevacizumab", SemType::kDrug},
+    {"cetuximab", SemType::kDrug},
+    {"aspirin", SemType::kDrug},
+    {"metformin", SemType::kDrug},
+    {"remdesivir", SemType::kDrug},
+    {"paxlovid", SemType::kDrug},
+    // chemicals
+    {"sodium chloride", SemType::kChemical},
+    {"glucose", SemType::kChemical},
+    {"ethanol", SemType::kChemical},
+    {"nitrogen", SemType::kChemical},
+    {"oxygen", SemType::kChemical},
+    {"hemoglobin", SemType::kChemical},
+    // vaccines
+    {"moderna", SemType::kVaccine},
+    {"covaxin", SemType::kVaccine},
+    {"pfizer", SemType::kVaccine},
+    {"biontech", SemType::kVaccine},
+    {"astrazeneca", SemType::kVaccine},
+    {"sputnik v", SemType::kVaccine},
+    {"novavax", SemType::kVaccine},
+    // treatments
+    {"chemotherapy", SemType::kTreatment},
+    {"radiotherapy", SemType::kTreatment},
+    {"immunotherapy", SemType::kTreatment},
+    {"surgery", SemType::kTreatment},
+    {"dialysis", SemType::kTreatment},
+    {"transfusion", SemType::kTreatment},
+    // symptoms
+    {"fever", SemType::kSymptom},
+    {"cough", SemType::kSymptom},
+    {"fatigue", SemType::kSymptom},
+    {"nausea", SemType::kSymptom},
+    {"headache", SemType::kSymptom},
+    {"diarrhea", SemType::kSymptom},
+    // places
+    {"florida", SemType::kPlace},
+    {"tallahassee", SemType::kPlace},
+    {"tampa", SemType::kPlace},
+    {"new york", SemType::kPlace},
+    {"london", SemType::kPlace},
+    {"paris", SemType::kPlace},
+    {"tokyo", SemType::kPlace},
+    {"texas", SemType::kPlace},
+    {"california", SemType::kPlace},
+    // organizations
+    {"fda", SemType::kOrganization},
+    {"who", SemType::kOrganization},
+    {"cdc", SemType::kOrganization},
+    {"nih", SemType::kOrganization},
+    {"pubmed", SemType::kOrganization},
+};
+
+const char* kMonths[] = {"january", "february", "march",     "april",
+                         "may",     "june",     "july",      "august",
+                         "september", "october", "november", "december",
+                         "jan", "feb", "mar", "apr", "jun", "jul", "aug",
+                         "sep", "oct", "nov", "dec"};
+
+bool LooksLikeDate(const std::string& lower) {
+  // "2021-03-15", "03/15/2021", "15 march 2021", "march 2021".
+  int digits = 0, seps = 0;
+  for (char c : lower) {
+    if (std::isdigit(static_cast<unsigned char>(c))) ++digits;
+    if (c == '/' || c == '-') ++seps;
+  }
+  if (digits >= 4 && seps == 2) return true;
+  for (const char* m : kMonths) {
+    if (lower.find(m) != std::string::npos && digits >= 2) return true;
+  }
+  return false;
+}
+
+bool LooksLikePersonName(const std::string& original) {
+  // Two capitalized alphabetic words ("John Smith").
+  auto words = SplitWhitespace(original);
+  if (words.size() != 2) return false;
+  for (const auto& w : words) {
+    if (w.size() < 2) return false;
+    if (!std::isupper(static_cast<unsigned char>(w[0]))) return false;
+    for (size_t i = 1; i < w.size(); ++i) {
+      if (!std::islower(static_cast<unsigned char>(w[i]))) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+TypeInferencer::TypeInferencer() {
+  for (const auto& entry : kSeedLexicon) {
+    lexicon_.emplace(entry.term, entry.type);
+  }
+}
+
+void TypeInferencer::AddTerm(std::string_view term, SemType type) {
+  lexicon_[ToLower(Trim(term))] = type;
+}
+
+SemType TypeInferencer::Infer(const Value& value) const {
+  switch (value.kind()) {
+    case ValueKind::kEmpty:
+      return SemType::kText;
+    case ValueKind::kNumber:
+      return value.has_unit() ? SemType::kMeasurement : SemType::kNumeric;
+    case ValueKind::kRange:
+      return SemType::kRange;
+    case ValueKind::kGaussian:
+      return SemType::kMeasurement;
+    case ValueKind::kString:
+      return InferText(value.text());
+  }
+  return SemType::kText;
+}
+
+SemType TypeInferencer::InferText(std::string_view text) const {
+  const std::string original = Trim(text);
+  const std::string lower = ToLower(original);
+  if (lower.empty()) return SemType::kText;
+  auto it = lexicon_.find(lower);
+  if (it != lexicon_.end()) return it->second;
+  if (LooksLikeDate(lower)) return SemType::kDate;
+  if (IsNumericString(lower)) return SemType::kNumeric;
+  // Try individual words for multi-word strings ("metastatic colon cancer").
+  for (const auto& w : SplitWhitespace(lower)) {
+    auto wit = lexicon_.find(w);
+    if (wit != lexicon_.end()) return wit->second;
+  }
+  if (LooksLikePersonName(original)) return SemType::kPerson;
+  return SemType::kText;
+}
+
+}  // namespace tabbin

@@ -1,0 +1,68 @@
+// Semantic type inference over cell contents (paper §3.1 "Type
+// Inference"): a 14-type inventory combining biomedical entity types
+// (the paper uses scispaCy + custom gazetteers; we use a deterministic
+// gazetteer + regex tagger — DESIGN.md substitution S4), generic NER
+// types, and syntactic types.
+//
+// All tokens in a cell receive the cell's type (as in the paper).
+#ifndef TABBIN_META_TYPE_INFERENCE_H_
+#define TABBIN_META_TYPE_INFERENCE_H_
+
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "table/value.h"
+
+namespace tabbin {
+
+/// \brief The 14 semantic types (embedding table is [14, H] in the paper).
+enum class SemType {
+  kText = 0,     // default
+  kNumeric,      // plain number
+  kRange,        // numeric range
+  kDisease,
+  kDrug,
+  kChemical,
+  kVaccine,
+  kTreatment,
+  kSymptom,
+  kPerson,
+  kPlace,
+  kOrganization,
+  kMeasurement,  // number with unit / gaussian
+  kDate,
+};
+constexpr int kNumSemTypes = 14;
+
+const char* SemTypeName(SemType type);
+
+/// \brief Gazetteer + regex type tagger.
+///
+/// Ships with a built-in lexicon covering the synthetic corpora; callers
+/// may register additional domain terms (the paper's "custom list of
+/// named-entities ... such as vaccines, treatments, therapies").
+class TypeInferencer {
+ public:
+  /// \brief Constructs with the built-in lexicon.
+  TypeInferencer();
+
+  /// \brief Adds a term to the gazetteer for `type` (case-insensitive).
+  void AddTerm(std::string_view term, SemType type);
+
+  /// \brief Infers the type of a parsed cell value.
+  SemType Infer(const Value& value) const;
+
+  /// \brief Infers the type of raw text (string cells / metadata labels).
+  SemType InferText(std::string_view text) const;
+
+  size_t lexicon_size() const { return lexicon_.size(); }
+
+ private:
+  std::unordered_map<std::string, SemType> lexicon_;
+};
+
+}  // namespace tabbin
+
+#endif  // TABBIN_META_TYPE_INFERENCE_H_

@@ -1,0 +1,110 @@
+#include "meta/units.h"
+
+#include <unordered_map>
+
+#include "util/string_util.h"
+
+namespace tabbin {
+
+namespace {
+
+const std::unordered_map<std::string, UnitMatch>& UnitLexicon() {
+  static const auto* lexicon = new std::unordered_map<std::string, UnitMatch>{
+      // stats
+      {"%", {UnitCategory::kStats, "%"}},
+      {"percent", {UnitCategory::kStats, "%"}},
+      {"percentage", {UnitCategory::kStats, "%"}},
+      {"ratio", {UnitCategory::kStats, "ratio"}},
+      {"mean", {UnitCategory::kStats, "mean"}},
+      {"median", {UnitCategory::kStats, "median"}},
+      {"sd", {UnitCategory::kStats, "sd"}},
+      {"ci", {UnitCategory::kStats, "ci"}},
+      {"iqr", {UnitCategory::kStats, "iqr"}},
+      {"hr", {UnitCategory::kStats, "hr"}},    // hazard ratio
+      {"or", {UnitCategory::kStats, "or"}},    // odds ratio
+      {"rr", {UnitCategory::kStats, "rr"}},    // relative risk
+      {"fold", {UnitCategory::kStats, "fold"}},
+      // length
+      {"mm", {UnitCategory::kLength, "mm"}},
+      {"cm", {UnitCategory::kLength, "cm"}},
+      {"m", {UnitCategory::kLength, "m"}},
+      {"km", {UnitCategory::kLength, "km"}},
+      {"in", {UnitCategory::kLength, "in"}},
+      {"inch", {UnitCategory::kLength, "in"}},
+      {"ft", {UnitCategory::kLength, "ft"}},
+      {"mile", {UnitCategory::kLength, "mile"}},
+      // weight
+      {"ng", {UnitCategory::kWeight, "ng"}},
+      {"ug", {UnitCategory::kWeight, "ug"}},
+      {"mcg", {UnitCategory::kWeight, "ug"}},
+      {"mg", {UnitCategory::kWeight, "mg"}},
+      {"g", {UnitCategory::kWeight, "g"}},
+      {"kg", {UnitCategory::kWeight, "kg"}},
+      {"lb", {UnitCategory::kWeight, "lb"}},
+      {"ton", {UnitCategory::kWeight, "ton"}},
+      // capacity
+      {"ml", {UnitCategory::kCapacity, "ml"}},
+      {"dl", {UnitCategory::kCapacity, "dl"}},
+      {"l", {UnitCategory::kCapacity, "l"}},
+      {"liter", {UnitCategory::kCapacity, "l"}},
+      {"litre", {UnitCategory::kCapacity, "l"}},
+      {"gal", {UnitCategory::kCapacity, "gal"}},
+      {"gallon", {UnitCategory::kCapacity, "gal"}},
+      // time
+      {"s", {UnitCategory::kTime, "s"}},
+      {"sec", {UnitCategory::kTime, "s"}},
+      {"second", {UnitCategory::kTime, "s"}},
+      {"min", {UnitCategory::kTime, "min"}},
+      {"minute", {UnitCategory::kTime, "min"}},
+      {"h", {UnitCategory::kTime, "h"}},
+      {"hour", {UnitCategory::kTime, "h"}},
+      {"day", {UnitCategory::kTime, "day"}},
+      {"week", {UnitCategory::kTime, "week"}},
+      {"wk", {UnitCategory::kTime, "week"}},
+      {"month", {UnitCategory::kTime, "month"}},
+      {"mo", {UnitCategory::kTime, "month"}},
+      {"year", {UnitCategory::kTime, "year"}},
+      {"yr", {UnitCategory::kTime, "year"}},
+      // temperature
+      {"c", {UnitCategory::kTemperature, "c"}},
+      {"°c", {UnitCategory::kTemperature, "c"}},
+      {"f", {UnitCategory::kTemperature, "f"}},
+      {"°f", {UnitCategory::kTemperature, "f"}},
+      {"k", {UnitCategory::kTemperature, "k"}},
+      {"kelvin", {UnitCategory::kTemperature, "k"}},
+      {"celsius", {UnitCategory::kTemperature, "c"}},
+      {"fahrenheit", {UnitCategory::kTemperature, "f"}},
+      // pressure
+      {"mmhg", {UnitCategory::kPressure, "mmhg"}},
+      {"kpa", {UnitCategory::kPressure, "kpa"}},
+      {"pa", {UnitCategory::kPressure, "pa"}},
+      {"bar", {UnitCategory::kPressure, "bar"}},
+      {"psi", {UnitCategory::kPressure, "psi"}},
+      {"atm", {UnitCategory::kPressure, "atm"}},
+  };
+  return *lexicon;
+}
+
+}  // namespace
+
+std::optional<UnitMatch> RecognizeUnit(std::string_view token) {
+  std::string t = ToLower(Trim(token));
+  if (t.empty()) return std::nullopt;
+  // Strip trailing period ("mo.") then try exact, then singular form.
+  if (t.back() == '.') t.pop_back();
+  const auto& lex = UnitLexicon();
+  auto it = lex.find(t);
+  if (it != lex.end()) return it->second;
+  if (t.size() > 1 && t.back() == 's') {
+    it = lex.find(t.substr(0, t.size() - 1));
+    if (it != lex.end()) return it->second;
+  }
+  return std::nullopt;
+}
+
+bool IsStatsMarker(std::string_view token) {
+  auto m = RecognizeUnit(token);
+  return m.has_value() && m->category == UnitCategory::kStats;
+}
+
+}  // namespace tabbin

@@ -1,0 +1,31 @@
+// Measurement-unit recognition: maps unit strings found next to numbers
+// ("months", "kg", "%", "mmHg") to the seven unit families of the cell
+// feature vector (paper §3.1 "Units and Nesting").
+#ifndef TABBIN_META_UNITS_H_
+#define TABBIN_META_UNITS_H_
+
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "table/value.h"
+
+namespace tabbin {
+
+/// \brief A recognized unit: its family and canonical lower-case spelling.
+struct UnitMatch {
+  UnitCategory category = UnitCategory::kNone;
+  std::string canonical;
+};
+
+/// \brief Looks up a token as a measurement unit ("kg", "months", "%").
+/// Case-insensitive; trailing '.' and plural 's' are normalized.
+std::optional<UnitMatch> RecognizeUnit(std::string_view token);
+
+/// \brief True if the token is a statistical marker ("%", "mean", "ci",
+/// "sd", "iqr", "ratio", "hr", "or", "rr", "p").
+bool IsStatsMarker(std::string_view token);
+
+}  // namespace tabbin
+
+#endif  // TABBIN_META_UNITS_H_

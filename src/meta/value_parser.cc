@@ -1,0 +1,156 @@
+#include "meta/value_parser.h"
+
+#include <optional>
+#include <vector>
+
+#include "meta/units.h"
+#include "util/string_util.h"
+
+namespace tabbin {
+
+namespace {
+
+// A lexed piece of a cell: a number, a separator, or a word.
+struct Piece {
+  enum Kind { kNumber, kDash, kPlusMinus, kTo, kWord, kPercent } kind;
+  double number = 0.0;
+  std::string text;
+};
+
+// Lexes the raw text into pieces; returns nullopt on anything that rules
+// out a numeric interpretation early (e.g. starts with a letter word that
+// is not "to").
+std::vector<Piece> LexPieces(std::string_view raw) {
+  std::vector<Piece> pieces;
+  const std::string s(raw);
+  size_t i = 0;
+  const size_t n = s.size();
+  while (i < n) {
+    const char c = s[i];
+    if (std::isspace(static_cast<unsigned char>(c)) || c == '(' || c == ')') {
+      ++i;
+      continue;
+    }
+    // Number (sign allowed when it is not acting as a range dash).
+    const bool sign_start =
+        (c == '-' || c == '+') && i + 1 < n &&
+        std::isdigit(static_cast<unsigned char>(s[i + 1])) && pieces.empty();
+    if (std::isdigit(static_cast<unsigned char>(c)) || sign_start) {
+      size_t j = i + (sign_start ? 1 : 0);
+      while (j < n && (std::isdigit(static_cast<unsigned char>(s[j])) ||
+                       ((s[j] == '.' || s[j] == ',') && j + 1 < n &&
+                        std::isdigit(static_cast<unsigned char>(s[j + 1]))))) {
+        ++j;
+      }
+      auto parsed = ParseNumber(s.substr(i, j - i));
+      if (!parsed) return {};
+      pieces.push_back({Piece::kNumber, *parsed, ""});
+      i = j;
+      continue;
+    }
+    if (c == '-') {
+      pieces.push_back({Piece::kDash, 0, "-"});
+      ++i;
+      continue;
+    }
+    if (c == '%') {
+      pieces.push_back({Piece::kPercent, 0, "%"});
+      ++i;
+      continue;
+    }
+    // UTF-8 en/em dash (e2 80 93 / e2 80 94) and ± (c2 b1).
+    if (static_cast<unsigned char>(c) == 0xE2 && i + 2 < n &&
+        static_cast<unsigned char>(s[i + 1]) == 0x80 &&
+        (static_cast<unsigned char>(s[i + 2]) == 0x93 ||
+         static_cast<unsigned char>(s[i + 2]) == 0x94)) {
+      pieces.push_back({Piece::kDash, 0, "-"});
+      i += 3;
+      continue;
+    }
+    if (static_cast<unsigned char>(c) == 0xC2 && i + 1 < n &&
+        static_cast<unsigned char>(s[i + 1]) == 0xB1) {
+      pieces.push_back({Piece::kPlusMinus, 0, "±"});
+      i += 2;
+      continue;
+    }
+    if (c == '+' && i + 2 < n && s[i + 1] == '/' && s[i + 2] == '-') {
+      pieces.push_back({Piece::kPlusMinus, 0, "+/-"});
+      i += 3;
+      continue;
+    }
+    // Word: letters and degree sign (for °c).
+    size_t j = i;
+    while (j < n && !std::isspace(static_cast<unsigned char>(s[j])) &&
+           s[j] != '(' && s[j] != ')' && s[j] != '-' && s[j] != '%' &&
+           !std::isdigit(static_cast<unsigned char>(s[j]))) {
+      ++j;
+    }
+    std::string word = ToLower(s.substr(i, j - i));
+    if (word == "to") {
+      pieces.push_back({Piece::kTo, 0, "to"});
+    } else {
+      pieces.push_back({Piece::kWord, 0, std::move(word)});
+    }
+    i = j;
+  }
+  return pieces;
+}
+
+// Consumes an optional trailing unit (word or %) at pieces[idx...]; the
+// whole tail must be a single recognized unit for a match.
+std::optional<UnitMatch> TrailingUnit(const std::vector<Piece>& pieces,
+                                      size_t idx) {
+  if (idx >= pieces.size()) {
+    return UnitMatch{UnitCategory::kNone, ""};  // no unit: fine
+  }
+  if (idx + 1 != pieces.size()) return std::nullopt;  // extra tail: reject
+  const Piece& p = pieces[idx];
+  if (p.kind == Piece::kPercent) {
+    return UnitMatch{UnitCategory::kStats, "%"};
+  }
+  if (p.kind == Piece::kWord) {
+    return RecognizeUnit(p.text);
+  }
+  return std::nullopt;
+}
+
+}  // namespace
+
+Value ParseValue(std::string_view raw) {
+  const std::string trimmed = Trim(raw);
+  if (trimmed.empty()) return Value::Empty();
+
+  const std::vector<Piece> pieces = LexPieces(trimmed);
+  if (!pieces.empty() && pieces[0].kind == Piece::kNumber) {
+    // NUMBER
+    if (pieces.size() == 1) return Value::Number(pieces[0].number);
+    // NUMBER UNIT
+    if (pieces.size() == 2) {
+      if (auto unit = TrailingUnit(pieces, 1);
+          unit && unit->category != UnitCategory::kNone) {
+        return Value::Number(pieces[0].number, unit->category,
+                             unit->canonical);
+      }
+    }
+    // NUMBER (DASH|TO) NUMBER [UNIT]
+    if (pieces.size() >= 3 &&
+        (pieces[1].kind == Piece::kDash || pieces[1].kind == Piece::kTo) &&
+        pieces[2].kind == Piece::kNumber) {
+      if (auto unit = TrailingUnit(pieces, 3)) {
+        return Value::Range(pieces[0].number, pieces[2].number,
+                            unit->category, unit->canonical);
+      }
+    }
+    // NUMBER PLUSMINUS NUMBER [UNIT]
+    if (pieces.size() >= 3 && pieces[1].kind == Piece::kPlusMinus &&
+        pieces[2].kind == Piece::kNumber) {
+      if (auto unit = TrailingUnit(pieces, 3)) {
+        return Value::Gaussian(pieces[0].number, pieces[2].number,
+                               unit->category, unit->canonical);
+      }
+    }
+  }
+  return Value::String(trimmed);
+}
+
+}  // namespace tabbin

@@ -1,0 +1,30 @@
+// Parses raw cell text into typed Values: numbers with units, numeric
+// ranges ("20-30 years"), Gaussians ("5.2 ± 1.1 %"), falling back to
+// strings. This is the entry point that gives TabBiN its "respecting
+// units ... treating ranges and gaussians according to their semantics"
+// behaviour (paper §6).
+#ifndef TABBIN_META_VALUE_PARSER_H_
+#define TABBIN_META_VALUE_PARSER_H_
+
+#include <string>
+#include <string_view>
+
+#include "table/value.h"
+
+namespace tabbin {
+
+/// \brief Parses one cell's raw text into a Value.
+///
+/// Recognized shapes (unit suffix optional everywhere):
+///   ""                       -> Empty
+///   "20.3", "1,234"          -> Number
+///   "20.3 months", "85%"     -> Number with unit
+///   "20-30", "20 – 30 years",
+///   "20 to 30"               -> Range
+///   "5.2 ± 1.1", "5.2 +/- 1.1 kg" -> Gaussian
+///   anything else            -> String (verbatim, trimmed)
+Value ParseValue(std::string_view raw);
+
+}  // namespace tabbin
+
+#endif  // TABBIN_META_VALUE_PARSER_H_

@@ -1,0 +1,176 @@
+#include "table/bicoord.h"
+
+#include <sstream>
+
+namespace tabbin {
+
+namespace {
+
+// Returns the label of metadata cell for `level` and governed index, for
+// the given dimension. For kHorizontal: level = HMD row, index = column.
+// For kVertical: level = VMD column, index = row.
+std::string MetaLabel(const Table& table, CoordinateTree::Dimension dim,
+                      int level, int index) {
+  if (dim == CoordinateTree::Dimension::kHorizontal) {
+    return table.cell(level, index).value.ToString();
+  }
+  return table.cell(index, level).value.ToString();
+}
+
+// Recursively builds children of `parent` at metadata level `level`,
+// covering governed indices [parent->begin, parent->end).
+void BuildChildren(const Table& table, CoordinateTree::Dimension dim,
+                   int num_levels, CoordNode* parent, int level) {
+  if (level >= num_levels) return;
+  int i = parent->begin;
+  int ordinal = 0;
+  while (i < parent->end) {
+    std::string label = MetaLabel(table, dim, level, i);
+    int j = i + 1;
+    // Merge run of adjacent equal labels (within the parent span) into
+    // one node; empty labels merge too (span continuation).
+    while (j < parent->end && MetaLabel(table, dim, level, j) == label) ++j;
+    if (label.empty()) {
+      // No metadata at this level for these indices: recurse through to
+      // deeper levels under the same parent? No — an empty label means
+      // the hierarchy simply is not deeper here; skip node creation.
+      i = j;
+      continue;
+    }
+    auto node = std::make_unique<CoordNode>();
+    node->label = std::move(label);
+    node->level = level + 1;
+    node->begin = i;
+    node->end = j;
+    node->ordinal = ++ordinal;
+    BuildChildren(table, dim, num_levels, node.get(), level + 1);
+    parent->children.push_back(std::move(node));
+    i = j;
+  }
+}
+
+const CoordNode* DeepestAt(const CoordNode* node, int index) {
+  for (const auto& child : node->children) {
+    if (index >= child->begin && index < child->end) {
+      return DeepestAt(child.get(), index);
+    }
+  }
+  return node;
+}
+
+void PathToImpl(const CoordNode* node, int index, std::vector<int>* ordinals,
+                std::vector<std::string>* labels) {
+  for (const auto& child : node->children) {
+    if (index >= child->begin && index < child->end) {
+      if (ordinals) ordinals->push_back(child->ordinal);
+      if (labels) labels->push_back(child->label);
+      PathToImpl(child.get(), index, ordinals, labels);
+      return;
+    }
+  }
+}
+
+void DumpNode(const CoordNode& node, int indent, std::ostringstream* out) {
+  for (int i = 0; i < indent; ++i) (*out) << "  ";
+  (*out) << (node.level == 0 ? "(root)" : node.label) << " [" << node.begin
+         << ", " << node.end << ")\n";
+  for (const auto& child : node.children) {
+    DumpNode(*child, indent + 1, out);
+  }
+}
+
+int MaxDepth(const CoordNode& node) {
+  int best = node.level;
+  for (const auto& child : node.children) {
+    best = std::max(best, MaxDepth(*child));
+  }
+  return best;
+}
+
+}  // namespace
+
+CoordinateTree CoordinateTree::Build(const Table& table, Dimension dim) {
+  CoordinateTree tree;
+  tree.dim_ = dim;
+  tree.root_ = std::make_unique<CoordNode>();
+  tree.root_->level = 0;
+  if (dim == Dimension::kHorizontal) {
+    tree.root_->begin = table.vmd_cols();
+    tree.root_->end = table.cols();
+    BuildChildren(table, dim, table.hmd_rows(), tree.root_.get(), 0);
+  } else {
+    tree.root_->begin = table.hmd_rows();
+    tree.root_->end = table.rows();
+    BuildChildren(table, dim, table.vmd_cols(), tree.root_.get(), 0);
+  }
+  return tree;
+}
+
+std::vector<int> CoordinateTree::PathTo(int index) const {
+  std::vector<int> ordinals;
+  if (index >= root_->begin && index < root_->end) {
+    PathToImpl(root_.get(), index, &ordinals, nullptr);
+  }
+  return ordinals;
+}
+
+std::vector<std::string> CoordinateTree::LabelPathTo(int index) const {
+  std::vector<std::string> labels;
+  if (index >= root_->begin && index < root_->end) {
+    PathToImpl(root_.get(), index, nullptr, &labels);
+  }
+  return labels;
+}
+
+int CoordinateTree::DepthAt(int index) const {
+  if (index < root_->begin || index >= root_->end) return 0;
+  return DeepestAt(root_.get(), index)->level;
+}
+
+int CoordinateTree::depth() const { return MaxDepth(*root_); }
+
+std::string CoordinateTree::ToString() const {
+  std::ostringstream out;
+  DumpNode(*root_, 0, &out);
+  return out.str();
+}
+
+std::string CellCoordinate::ToString() const {
+  std::ostringstream out;
+  out << "(<" << h_level << "," << column << ">;<" << v_level << "," << row
+      << ">)";
+  if (nested_row > 0 || nested_col > 0) {
+    out << "@nested(" << nested_row << "," << nested_col << ")";
+  }
+  return out.str();
+}
+
+CoordinateMap::CoordinateMap(const Table& table)
+    : rows_(table.rows()),
+      cols_(table.cols()),
+      htree_(CoordinateTree::Build(table, CoordinateTree::Dimension::kHorizontal)),
+      vtree_(CoordinateTree::Build(table, CoordinateTree::Dimension::kVertical)),
+      coords_(static_cast<size_t>(rows_) * cols_) {
+  for (int r = 0; r < rows_; ++r) {
+    for (int c = 0; c < cols_; ++c) {
+      CellCoordinate& cc = coords_[static_cast<size_t>(r) * cols_ + c];
+      cc.segment = table.SegmentOf(r, c);
+      cc.row = r + 1;     // 1-based, as in Figure 1
+      cc.column = c + 1;  // 1-based
+      cc.h_level = htree_.DepthAt(c);
+      cc.v_level = vtree_.DepthAt(r);
+      cc.h_labels = htree_.LabelPathTo(c);
+      cc.v_labels = vtree_.LabelPathTo(r);
+      // For metadata cells, the "level" in their own dimension is their
+      // position inside the metadata band.
+      if (cc.segment == Segment::kHmd || cc.segment == Segment::kStub) {
+        cc.h_level = r + 1;
+      }
+      if (cc.segment == Segment::kVmd || cc.segment == Segment::kStub) {
+        cc.v_level = c + 1;
+      }
+    }
+  }
+}
+
+}  // namespace tabbin

@@ -1,0 +1,114 @@
+// Bi-dimensional hierarchical coordinates (paper §2.3, Figure 1).
+//
+// Two coordinate trees are derived from a table: a *horizontal* tree over
+// the HMD rows (its leaves govern data columns) and a *vertical* tree over
+// the VMD columns (its leaves govern data rows). A cell's coordinates are
+// the root-to-leaf paths through both trees:
+//
+//   (<h-level, column>; <v-level, row>)          e.g.  (<2,7>;<1,3>)
+//
+// plus, for cells inside nested tables, a nested (x, y) position starting
+// at 1 ( (0,0) for non-nested cells). For a plain relational table the
+// horizontal tree is flat and the coordinates reduce to Cartesian (row,
+// column) — exactly the reduction the paper calls out.
+//
+// Hierarchy is recovered from label repetition: adjacent equal labels in a
+// metadata level, within one parent span, are one merged node.
+#ifndef TABBIN_TABLE_BICOORD_H_
+#define TABBIN_TABLE_BICOORD_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "table/table.h"
+
+namespace tabbin {
+
+/// \brief A node in a coordinate tree.
+struct CoordNode {
+  std::string label;
+  int level = 0;    // 0 = root, 1 = first metadata level, ...
+  int begin = 0;    // governed index range [begin, end) — data columns for
+  int end = 0;      // the horizontal tree, data rows for the vertical tree
+  int ordinal = 0;  // 1-based position among siblings
+  std::vector<std::unique_ptr<CoordNode>> children;
+};
+
+/// \brief One of the two coordinate trees of a table.
+class CoordinateTree {
+ public:
+  enum class Dimension { kHorizontal, kVertical };
+
+  /// \brief Builds the tree for one dimension of `table`.
+  static CoordinateTree Build(const Table& table, Dimension dim);
+
+  const CoordNode& root() const { return *root_; }
+  Dimension dimension() const { return dim_; }
+
+  /// \brief Ordinal path root->deepest node governing absolute grid
+  /// index (column for horizontal, row for vertical). Empty when index is
+  /// inside the metadata region itself.
+  std::vector<int> PathTo(int index) const;
+
+  /// \brief Label path (e.g. {"Efficacy End Point", "Other Efficacy"}).
+  std::vector<std::string> LabelPathTo(int index) const;
+
+  /// \brief Depth of the deepest node governing `index` (0 if none).
+  int DepthAt(int index) const;
+
+  /// \brief Maximum depth of the tree.
+  int depth() const;
+
+  /// \brief Indented debug dump.
+  std::string ToString() const;
+
+ private:
+  std::unique_ptr<CoordNode> root_;
+  Dimension dim_ = Dimension::kHorizontal;
+};
+
+/// \brief Full coordinates of one cell.
+struct CellCoordinate {
+  Segment segment = Segment::kData;
+  // Horizontal coordinate <h_level, column> — depth of the deepest HMD
+  // node governing this cell's column, and the 1-based column index.
+  int h_level = 0;
+  int column = 0;
+  // Vertical coordinate <v_level, row>.
+  int v_level = 0;
+  int row = 0;
+  // Nested (x, y), 1-based inside a nested table; (0, 0) otherwise.
+  int nested_row = 0;
+  int nested_col = 0;
+  // Root-to-leaf label paths (for interpretability / examples).
+  std::vector<std::string> h_labels;
+  std::vector<std::string> v_labels;
+
+  /// \brief "(<2,7>;<1,3>)" formatting as in Figure 1.
+  std::string ToString() const;
+};
+
+/// \brief Coordinates for every grid cell of a table.
+class CoordinateMap {
+ public:
+  explicit CoordinateMap(const Table& table);
+
+  const CellCoordinate& at(int r, int c) const {
+    return coords_[static_cast<size_t>(r) * cols_ + c];
+  }
+  int rows() const { return rows_; }
+  int cols() const { return cols_; }
+
+  const CoordinateTree& horizontal_tree() const { return htree_; }
+  const CoordinateTree& vertical_tree() const { return vtree_; }
+
+ private:
+  int rows_, cols_;
+  CoordinateTree htree_, vtree_;
+  std::vector<CellCoordinate> coords_;
+};
+
+}  // namespace tabbin
+
+#endif  // TABBIN_TABLE_BICOORD_H_

@@ -1,0 +1,25 @@
+#include "table/segmentation.h"
+
+namespace tabbin {
+
+std::vector<SegmentCell> ExtractSegment(const Table& table, Segment segment,
+                                        ScanOrder order) {
+  std::vector<SegmentCell> out;
+  auto add_if_match = [&](int r, int c) {
+    if (table.SegmentOf(r, c) == segment) {
+      out.push_back({r, c, &table.cell(r, c)});
+    }
+  };
+  if (order == ScanOrder::kRowMajor) {
+    for (int r = 0; r < table.rows(); ++r) {
+      for (int c = 0; c < table.cols(); ++c) add_if_match(r, c);
+    }
+  } else {
+    for (int c = 0; c < table.cols(); ++c) {
+      for (int r = 0; r < table.rows(); ++r) add_if_match(r, c);
+    }
+  }
+  return out;
+}
+
+}  // namespace tabbin

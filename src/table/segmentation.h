@@ -1,0 +1,32 @@
+// Table segmentation: extracting the data / HMD / VMD regions as ordered
+// cell lists (paper §3: "We partition the tables into three segments —
+// data, HMD, and VMD and process them separately").
+#ifndef TABBIN_TABLE_SEGMENTATION_H_
+#define TABBIN_TABLE_SEGMENTATION_H_
+
+#include <vector>
+
+#include "table/table.h"
+
+namespace tabbin {
+
+/// \brief Reference to one cell of a segment with its grid position.
+struct SegmentCell {
+  int row = 0;
+  int col = 0;
+  const Cell* cell = nullptr;
+};
+
+/// \brief Iteration order over a segment's cells.
+enum class ScanOrder {
+  kRowMajor,     // row by row (TabBiN-row / HMD model)
+  kColumnMajor,  // column by column (TabBiN-column / VMD model)
+};
+
+/// \brief Extracts all cells of `segment` in the given order.
+std::vector<SegmentCell> ExtractSegment(const Table& table, Segment segment,
+                                        ScanOrder order = ScanOrder::kRowMajor);
+
+}  // namespace tabbin
+
+#endif  // TABBIN_TABLE_SEGMENTATION_H_

@@ -1,0 +1,95 @@
+#include "table/table.h"
+
+namespace tabbin {
+
+const char* SegmentName(Segment segment) {
+  switch (segment) {
+    case Segment::kData:
+      return "D";
+    case Segment::kHmd:
+      return "HMD";
+    case Segment::kVmd:
+      return "VMD";
+    case Segment::kStub:
+      return "STUB";
+  }
+  return "?";
+}
+
+Cell::Cell(const Cell& other) : value(other.value) {
+  if (other.nested) nested = std::make_unique<Table>(*other.nested);
+}
+
+Cell& Cell::operator=(const Cell& other) {
+  if (this == &other) return *this;
+  value = other.value;
+  nested = other.nested ? std::make_unique<Table>(*other.nested) : nullptr;
+  return *this;
+}
+
+Table::Table(int rows, int cols, int hmd_rows, int vmd_cols)
+    : rows_(rows),
+      cols_(cols),
+      hmd_rows_(hmd_rows),
+      vmd_cols_(vmd_cols),
+      grid_(static_cast<size_t>(rows) * cols) {}
+
+void Table::SetNested(int r, int c, Table nested) {
+  cell(r, c).nested = std::make_unique<Table>(std::move(nested));
+}
+
+Segment Table::SegmentOf(int r, int c) const {
+  const bool in_hmd = r < hmd_rows_;
+  const bool in_vmd = c < vmd_cols_;
+  if (in_hmd && in_vmd) return Segment::kStub;
+  if (in_hmd) return Segment::kHmd;
+  if (in_vmd) return Segment::kVmd;
+  return Segment::kData;
+}
+
+bool Table::IsRelational() const {
+  return hmd_rows_ == 1 && vmd_cols_ == 0 && !HasNesting();
+}
+
+bool Table::HasNesting() const {
+  for (const auto& c : grid_) {
+    if (c.has_nested()) return true;
+  }
+  return false;
+}
+
+Status Table::Validate() const {
+  if (rows_ <= 0 || cols_ <= 0) {
+    return Status::InvalidArgument("table has non-positive dimensions");
+  }
+  if (grid_.size() != static_cast<size_t>(rows_) * cols_) {
+    return Status::Internal("grid size does not match dimensions");
+  }
+  if (hmd_rows_ < 0 || hmd_rows_ >= rows_) {
+    return Status::InvalidArgument("hmd_rows out of range");
+  }
+  if (vmd_cols_ < 0 || vmd_cols_ >= cols_) {
+    return Status::InvalidArgument("vmd_cols out of range");
+  }
+  for (const auto& c : grid_) {
+    if (c.has_nested()) {
+      TABBIN_RETURN_IF_ERROR(c.nested->Validate());
+    }
+  }
+  return Status::OK();
+}
+
+double Table::NumericFraction() const {
+  int numeric = 0, nonempty = 0;
+  for (int r = hmd_rows_; r < rows_; ++r) {
+    for (int c = vmd_cols_; c < cols_; ++c) {
+      const Cell& cl = cell(r, c);
+      if (cl.is_empty()) continue;
+      ++nonempty;
+      if (cl.value.is_numeric()) ++numeric;
+    }
+  }
+  return nonempty == 0 ? 0.0 : static_cast<double>(numeric) / nonempty;
+}
+
+}  // namespace tabbin

@@ -1,0 +1,131 @@
+// The table data model: cells (with optional nested tables), and the
+// Table container with horizontal metadata rows (HMD), vertical metadata
+// columns (VMD) and the data grid (paper §2.1: T = [C, H, V, D]).
+//
+// Layout convention: a Table is a dense rows x cols grid. The first
+// `hmd_rows` rows are horizontal metadata; the first `vmd_cols` columns
+// are vertical metadata. The top-left hmd_rows x vmd_cols corner is
+// shared stub space. Everything else is the data region D.
+//
+// Hierarchical metadata is represented by repetition: a parent label that
+// spans k child columns appears in each of those k grid cells of its
+// metadata row; the coordinate-tree builder (bicoord.h) merges adjacent
+// equal labels back into one node, which is how the two coordinate trees
+// of Figure 1 arise.
+#ifndef TABBIN_TABLE_TABLE_H_
+#define TABBIN_TABLE_TABLE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "table/value.h"
+#include "util/status.h"
+
+namespace tabbin {
+
+class Table;
+
+/// \brief Which region of the table a cell belongs to.
+enum class Segment {
+  kData = 0,
+  kHmd,   // horizontal metadata (header rows)
+  kVmd,   // vertical metadata (header columns)
+  kStub,  // top-left corner shared by HMD and VMD
+};
+
+const char* SegmentName(Segment segment);
+
+/// \brief One grid cell: a parsed value plus an optional nested table.
+struct Cell {
+  Value value;
+  std::unique_ptr<Table> nested;
+
+  Cell() = default;
+  explicit Cell(Value v) : value(std::move(v)) {}
+
+  Cell(const Cell& other);
+  Cell& operator=(const Cell& other);
+  Cell(Cell&&) = default;
+  Cell& operator=(Cell&&) = default;
+
+  bool has_nested() const { return nested != nullptr; }
+  bool is_empty() const { return value.is_empty() && !has_nested(); }
+};
+
+/// \brief A (possibly non-relational) table.
+class Table {
+ public:
+  Table() = default;
+  Table(int rows, int cols, int hmd_rows = 1, int vmd_cols = 0);
+
+  int rows() const { return rows_; }
+  int cols() const { return cols_; }
+  int hmd_rows() const { return hmd_rows_; }
+  int vmd_cols() const { return vmd_cols_; }
+  void set_hmd_rows(int n) { hmd_rows_ = n; }
+  void set_vmd_cols(int n) { vmd_cols_ = n; }
+
+  const std::string& caption() const { return caption_; }
+  void set_caption(std::string c) { caption_ = std::move(c); }
+
+  Cell& cell(int r, int c) { return grid_[Index(r, c)]; }
+  const Cell& cell(int r, int c) const { return grid_[Index(r, c)]; }
+
+  /// \brief Convenience setter for a parsed value.
+  void SetValue(int r, int c, Value v) { cell(r, c).value = std::move(v); }
+  /// \brief Convenience setter placing a nested table in a cell.
+  void SetNested(int r, int c, Table nested);
+
+  /// \brief Segment of grid position (r, c) under the current hmd/vmd split.
+  Segment SegmentOf(int r, int c) const;
+
+  /// \brief True when the table is plain relational: exactly one HMD row,
+  /// no VMD, and no nested cells.
+  bool IsRelational() const;
+
+  /// \brief True when any cell holds a nested table.
+  bool HasNesting() const;
+
+  /// \brief Number of data rows / columns (grid minus metadata regions).
+  int data_rows() const { return rows_ - hmd_rows_; }
+  int data_cols() const { return cols_ - vmd_cols_; }
+
+  /// \brief Structural validation (dims positive, metadata fits, nested
+  /// tables valid recursively).
+  Status Validate() const;
+
+  /// \brief Fraction of non-empty data cells whose value is numeric.
+  double NumericFraction() const;
+
+  /// \brief Topic/category label attached by dataset generators (ground
+  /// truth for clustering evaluation); empty for unlabeled tables.
+  const std::string& topic() const { return topic_; }
+  void set_topic(std::string t) { topic_ = std::move(t); }
+
+  /// \brief Stable id within a corpus.
+  const std::string& id() const { return id_; }
+  void set_id(std::string id) { id_ = std::move(id); }
+
+ private:
+  size_t Index(int r, int c) const {
+    return static_cast<size_t>(r) * cols_ + c;
+  }
+
+  int rows_ = 0, cols_ = 0;
+  int hmd_rows_ = 0, vmd_cols_ = 0;
+  std::string caption_;
+  std::string topic_;
+  std::string id_;
+  std::vector<Cell> grid_;
+};
+
+/// \brief A collection of tables (one of the five corpora).
+struct Corpus {
+  std::string name;
+  std::vector<Table> tables;
+};
+
+}  // namespace tabbin
+
+#endif  // TABBIN_TABLE_TABLE_H_

@@ -1,0 +1,139 @@
+#include "table/value.h"
+
+#include "util/string_util.h"
+
+namespace tabbin {
+
+int UnitFeatureBit(UnitCategory unit) {
+  switch (unit) {
+    case UnitCategory::kNone:
+      return -1;
+    case UnitCategory::kStats:
+      return 0;
+    case UnitCategory::kLength:
+      return 1;
+    case UnitCategory::kWeight:
+      return 2;
+    case UnitCategory::kCapacity:
+      return 3;
+    case UnitCategory::kTime:
+      return 4;
+    case UnitCategory::kTemperature:
+      return 5;
+    case UnitCategory::kPressure:
+      return 6;
+  }
+  return -1;
+}
+
+const char* UnitCategoryName(UnitCategory unit) {
+  switch (unit) {
+    case UnitCategory::kNone:
+      return "none";
+    case UnitCategory::kStats:
+      return "stats";
+    case UnitCategory::kLength:
+      return "length";
+    case UnitCategory::kWeight:
+      return "weight";
+    case UnitCategory::kCapacity:
+      return "capacity";
+    case UnitCategory::kTime:
+      return "time";
+    case UnitCategory::kTemperature:
+      return "temperature";
+    case UnitCategory::kPressure:
+      return "pressure";
+  }
+  return "?";
+}
+
+const char* ValueKindName(ValueKind kind) {
+  switch (kind) {
+    case ValueKind::kEmpty:
+      return "empty";
+    case ValueKind::kString:
+      return "string";
+    case ValueKind::kNumber:
+      return "number";
+    case ValueKind::kRange:
+      return "range";
+    case ValueKind::kGaussian:
+      return "gaussian";
+  }
+  return "?";
+}
+
+Value Value::String(std::string text) {
+  Value v;
+  v.kind_ = ValueKind::kString;
+  v.text_ = std::move(text);
+  return v;
+}
+
+Value Value::Number(double number, UnitCategory unit, std::string unit_text) {
+  Value v;
+  v.kind_ = ValueKind::kNumber;
+  v.a_ = number;
+  v.unit_ = unit;
+  v.unit_text_ = std::move(unit_text);
+  return v;
+}
+
+Value Value::Range(double lo, double hi, UnitCategory unit,
+                   std::string unit_text) {
+  Value v;
+  v.kind_ = ValueKind::kRange;
+  v.a_ = lo;
+  v.b_ = hi;
+  v.unit_ = unit;
+  v.unit_text_ = std::move(unit_text);
+  return v;
+}
+
+Value Value::Gaussian(double mean, double stddev, UnitCategory unit,
+                      std::string unit_text) {
+  Value v;
+  v.kind_ = ValueKind::kGaussian;
+  v.a_ = mean;
+  v.b_ = stddev;
+  v.unit_ = unit;
+  v.unit_text_ = std::move(unit_text);
+  return v;
+}
+
+double Value::number() const {
+  switch (kind_) {
+    case ValueKind::kNumber:
+    case ValueKind::kGaussian:
+      return a_;
+    case ValueKind::kRange:
+      return (a_ + b_) / 2.0;
+    default:
+      return 0.0;
+  }
+}
+
+std::string Value::ToString() const {
+  std::string unit_suffix = unit_text_.empty() ? "" : " " + unit_text_;
+  switch (kind_) {
+    case ValueKind::kEmpty:
+      return "";
+    case ValueKind::kString:
+      return text_;
+    case ValueKind::kNumber:
+      return FormatDouble(a_) + unit_suffix;
+    case ValueKind::kRange:
+      return FormatDouble(a_) + "-" + FormatDouble(b_) + unit_suffix;
+    case ValueKind::kGaussian:
+      return FormatDouble(a_) + " ± " + FormatDouble(b_) + unit_suffix;
+  }
+  return "";
+}
+
+bool Value::operator==(const Value& other) const {
+  return kind_ == other.kind_ && text_ == other.text_ && a_ == other.a_ &&
+         b_ == other.b_ && unit_ == other.unit_;
+}
+
+}  // namespace tabbin

@@ -1,0 +1,98 @@
+// Cell value model: strings, numbers, numeric ranges and Gaussians, each
+// optionally carrying a measurement unit.
+//
+// The paper's embedding layer treats these kinds distinctly (units are a
+// dedicated one-hot feature; ranges and Gaussians get composite
+// embeddings instead of being "blindly a sequence of numbers").
+#ifndef TABBIN_TABLE_VALUE_H_
+#define TABBIN_TABLE_VALUE_H_
+
+#include <string>
+
+namespace tabbin {
+
+/// \brief The seven unit families of the paper's cell-feature vector
+/// ("[stats, length, weight, capacity, time, temperature, pressure,
+/// nested]", §3.1 Units and Nesting), plus kNone.
+enum class UnitCategory {
+  kNone = 0,
+  kStats,        // %, ratio, mean, CI ...
+  kLength,       // mm, cm, m, km, in, ft
+  kWeight,       // mg, g, kg, lb
+  kCapacity,     // ml, l, gal
+  kTime,         // sec, min, hour, day, week, month, year
+  kTemperature,  // C, F, K
+  kPressure,     // mmhg, kpa, bar, psi
+};
+
+/// \brief Index of the unit's bit in the 8-bit cell-feature vector, or -1
+/// for kNone. Bit 7 is the nesting flag and is set elsewhere.
+int UnitFeatureBit(UnitCategory unit);
+
+const char* UnitCategoryName(UnitCategory unit);
+
+/// \brief Discriminates what a cell holds.
+enum class ValueKind {
+  kEmpty = 0,
+  kString,
+  kNumber,
+  kRange,     // "20-30"
+  kGaussian,  // "5.2 ± 1.1"
+};
+
+const char* ValueKindName(ValueKind kind);
+
+/// \brief A parsed cell value.
+class Value {
+ public:
+  Value() = default;
+
+  static Value Empty() { return Value(); }
+  static Value String(std::string text);
+  static Value Number(double number, UnitCategory unit = UnitCategory::kNone,
+                      std::string unit_text = "");
+  static Value Range(double lo, double hi,
+                     UnitCategory unit = UnitCategory::kNone,
+                     std::string unit_text = "");
+  static Value Gaussian(double mean, double stddev,
+                        UnitCategory unit = UnitCategory::kNone,
+                        std::string unit_text = "");
+
+  ValueKind kind() const { return kind_; }
+  bool is_empty() const { return kind_ == ValueKind::kEmpty; }
+  bool is_numeric() const {
+    return kind_ == ValueKind::kNumber || kind_ == ValueKind::kRange ||
+           kind_ == ValueKind::kGaussian;
+  }
+
+  /// String payload (kString only).
+  const std::string& text() const { return text_; }
+  /// Scalar payload (kNumber), or the range midpoint / gaussian mean.
+  double number() const;
+  double range_lo() const { return a_; }
+  double range_hi() const { return b_; }
+  double mean() const { return a_; }
+  double stddev() const { return b_; }
+
+  UnitCategory unit() const { return unit_; }
+  const std::string& unit_text() const { return unit_text_; }
+  bool has_unit() const { return unit_ != UnitCategory::kNone; }
+
+  /// \brief Canonical printable form ("20.3 months", "20-30 year",
+  /// "5.2 ± 1.1 %").
+  std::string ToString() const;
+
+  bool operator==(const Value& other) const;
+
+ private:
+  ValueKind kind_ = ValueKind::kEmpty;
+  std::string text_;
+  double a_ = 0.0;  // number / range lo / mean
+  double b_ = 0.0;  // range hi / stddev
+  UnitCategory unit_ = UnitCategory::kNone;
+  std::string unit_text_;
+};
+
+}  // namespace tabbin
+
+#endif  // TABBIN_TABLE_VALUE_H_

@@ -1,0 +1,59 @@
+#include "table/visibility.h"
+
+namespace tabbin {
+
+VisibilityMatrix VisibilityMatrix::FromTokenPositions(
+    const std::vector<TokenPosition>& positions) {
+  const int n = static_cast<int>(positions.size());
+  std::vector<uint8_t> bits(static_cast<size_t>(n) * n, 0);
+  for (int i = 0; i < n; ++i) {
+    const TokenPosition& a = positions[static_cast<size_t>(i)];
+    for (int j = i; j < n; ++j) {
+      const TokenPosition& b = positions[static_cast<size_t>(j)];
+      bool v = (i == j) || (a.row >= 0 && a.row == b.row) ||
+               (a.col >= 0 && a.col == b.col) || (a.is_cls && b.is_cls);
+      if (v) {
+        bits[static_cast<size_t>(i) * n + j] = 1;
+        bits[static_cast<size_t>(j) * n + i] = 1;
+      }
+    }
+  }
+  return VisibilityMatrix(n, std::move(bits));
+}
+
+VisibilityMatrix VisibilityMatrix::AllVisible(int n) {
+  return VisibilityMatrix(n,
+                          std::vector<uint8_t>(static_cast<size_t>(n) * n, 1));
+}
+
+void VisibilityMatrix::FillAttentionBias(float* out, float masked_value) const {
+  const size_t total = static_cast<size_t>(n_) * n_;
+  for (size_t i = 0; i < total; ++i) {
+    out[i] = bits_[i] ? 0.0f : masked_value;
+  }
+}
+
+double VisibilityMatrix::Density() const {
+  if (n_ == 0) return 0.0;
+  size_t count = 0;
+  for (uint8_t b : bits_) count += b;
+  return static_cast<double>(count) / (static_cast<double>(n_) * n_);
+}
+
+std::vector<uint8_t> BuildCellVisibility(const Table& table) {
+  const int rows = table.rows(), cols = table.cols();
+  const int n = rows * cols;
+  std::vector<uint8_t> bits(static_cast<size_t>(n) * n, 0);
+  for (int i = 0; i < n; ++i) {
+    const int ri = i / cols, ci = i % cols;
+    for (int j = 0; j < n; ++j) {
+      const int rj = j / cols, cj = j % cols;
+      if (ri == rj || ci == cj) {
+        bits[static_cast<size_t>(i) * n + j] = 1;
+      }
+    }
+  }
+  return bits;
+}
+
+}  // namespace tabbin

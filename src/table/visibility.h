@@ -1,0 +1,67 @@
+// The TabBiN visibility matrix (paper §3.2).
+//
+// A binary attention mask: element i may attend to element j iff they are
+// structurally related — same row, same column, or both are [CLS] spine
+// tokens. It is applied *per segment* (data, HMD, VMD are encoded in
+// separate sequences), which is how TabBiN keeps semantically different
+// contexts apart.
+#ifndef TABBIN_TABLE_VISIBILITY_H_
+#define TABBIN_TABLE_VISIBILITY_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "table/table.h"
+
+namespace tabbin {
+
+/// \brief Structural position of one token in an encoder input sequence.
+///
+/// row / col are grid coordinates of the owning cell; -1 acts as a
+/// wildcard: a row-[CLS] token has (row, -1), a column-[CLS] (-1, col).
+struct TokenPosition {
+  int row = -1;
+  int col = -1;
+  bool is_cls = false;
+};
+
+/// \brief Symmetric binary visibility matrix over a token sequence.
+class VisibilityMatrix {
+ public:
+  /// \brief Applies the TabBiN visibility rule to every token pair:
+  /// visible iff same row, same column, both [CLS], or i == j.
+  static VisibilityMatrix FromTokenPositions(
+      const std::vector<TokenPosition>& positions);
+
+  /// \brief Fully visible matrix (the TabBiN_1 ablation: standard
+  /// transformer attention).
+  static VisibilityMatrix AllVisible(int n);
+
+  int size() const { return n_; }
+
+  bool visible(int i, int j) const {
+    return bits_[static_cast<size_t>(i) * n_ + j] != 0;
+  }
+
+  /// \brief Writes the additive attention bias into `out` (size n*n):
+  /// 0 where visible, `masked_value` where not. This is the matrix M of
+  /// paper eq. (1) in additive-logit form.
+  void FillAttentionBias(float* out, float masked_value = -1e9f) const;
+
+  /// \brief Fraction of visible pairs (diagnostics / tests).
+  double Density() const;
+
+ private:
+  VisibilityMatrix(int n, std::vector<uint8_t> bits)
+      : n_(n), bits_(std::move(bits)) {}
+  int n_ = 0;
+  std::vector<uint8_t> bits_;
+};
+
+/// \brief Cell-level visibility over a whole table grid (used in tests and
+/// examples): cells see cells in the same row or column.
+std::vector<uint8_t> BuildCellVisibility(const Table& table);
+
+}  // namespace tabbin
+
+#endif  // TABBIN_TABLE_VISIBILITY_H_

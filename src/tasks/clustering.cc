@@ -1,0 +1,139 @@
+#include "tasks/clustering.h"
+
+#include <algorithm>
+#include <map>
+#include <memory>
+
+#include "tensor/ops.h"
+
+namespace tabbin {
+
+std::vector<RankedItem> RankBySimilarity(
+    const std::vector<LabeledEmbedding>& items, int query_index,
+    const std::vector<int>* candidates) {
+  std::vector<RankedItem> ranked;
+  const auto& q = items[static_cast<size_t>(query_index)].vec;
+  auto consider = [&](int i) {
+    if (i == query_index) return;
+    ranked.push_back(
+        {i, CosineSimilarity(q, items[static_cast<size_t>(i)].vec)});
+  };
+  if (candidates) {
+    for (int i : *candidates) consider(i);
+  } else {
+    for (int i = 0; i < static_cast<int>(items.size()); ++i) consider(i);
+  }
+  std::stable_sort(ranked.begin(), ranked.end(),
+                   [](const RankedItem& a, const RankedItem& b) {
+                     return a.score > b.score;
+                   });
+  return ranked;
+}
+
+ClusterEvalResult EvaluateClustering(const std::vector<LabeledEmbedding>& items,
+                                     const ClusterEvalOptions& options) {
+  ClusterEvalResult result;
+  if (items.size() < 2) return result;
+
+  // Per-label population, to bound AP normalization.
+  std::map<std::string, int> label_count;
+  for (const auto& it : items) ++label_count[it.label];
+
+  // Optional LSH blocking.
+  std::unique_ptr<LshIndex> lsh;
+  if (options.use_lsh && !items.empty() && !items[0].vec.empty()) {
+    lsh = std::make_unique<LshIndex>(static_cast<int>(items[0].vec.size()),
+                                     options.lsh_bits, options.lsh_tables,
+                                     options.seed);
+    for (int i = 0; i < static_cast<int>(items.size()); ++i) {
+      lsh->Insert(i, items[static_cast<size_t>(i)].vec);
+    }
+  }
+
+  // Query sample: either the caller-provided subset or every item.
+  std::vector<int> queries = options.query_indices;
+  if (queries.empty()) {
+    queries.resize(items.size());
+    for (size_t i = 0; i < items.size(); ++i) queries[i] = static_cast<int>(i);
+  }
+  Rng rng(options.seed);
+  rng.Shuffle(&queries);
+  if (static_cast<int>(queries.size()) > options.max_queries) {
+    queries.resize(static_cast<size_t>(options.max_queries));
+  }
+
+  std::vector<std::vector<bool>> runs;
+  for (int q : queries) {
+    const std::string& label = items[static_cast<size_t>(q)].label;
+    const int relevant_others = label_count[label] - 1;
+    if (relevant_others <= 0) continue;  // nothing to retrieve
+
+    std::vector<int> candidates;
+    const std::vector<int>* cand_ptr = nullptr;
+    if (lsh) {
+      candidates = lsh->Query(items[static_cast<size_t>(q)].vec);
+      // LSH blocking may be too aggressive on tiny datasets; fall back to
+      // exhaustive ranking when the block is smaller than the cluster.
+      if (static_cast<int>(candidates.size()) > options.k) {
+        cand_ptr = &candidates;
+      }
+    }
+    auto ranked = RankBySimilarity(items, q, cand_ptr);
+    std::vector<bool> rel;
+    rel.reserve(ranked.size());
+    for (const auto& r : ranked) {
+      rel.push_back(items[static_cast<size_t>(r.index)].label == label);
+    }
+    runs.push_back(std::move(rel));
+    // AP normalization handled inside MeanAveragePrecision via hits.
+  }
+  result.queries = static_cast<int>(runs.size());
+  result.map = MeanAveragePrecision(runs, options.k);
+  result.mrr = MeanReciprocalRank(runs, options.k);
+  return result;
+}
+
+ClusterEvalResult EvaluateCentroidClustering(
+    const std::vector<LabeledEmbedding>& items,
+    const ClusterEvalOptions& options) {
+  ClusterEvalResult result;
+  if (items.empty()) return result;
+  const size_t dim = items[0].vec.size();
+
+  std::map<std::string, std::vector<float>> centroids;
+  std::map<std::string, int> counts;
+  for (const auto& it : items) {
+    auto& c = centroids[it.label];
+    c.resize(dim, 0.0f);
+    for (size_t d = 0; d < dim; ++d) c[d] += it.vec[d];
+    ++counts[it.label];
+  }
+  for (auto& [label, c] : centroids) {
+    for (auto& v : c) v /= static_cast<float>(counts[label]);
+  }
+
+  std::vector<std::vector<bool>> runs;
+  for (const auto& [label, centroid] : centroids) {
+    if (counts[label] < 2) continue;
+    std::vector<RankedItem> ranked;
+    for (int i = 0; i < static_cast<int>(items.size()); ++i) {
+      ranked.push_back(
+          {i, CosineSimilarity(centroid, items[static_cast<size_t>(i)].vec)});
+    }
+    std::stable_sort(ranked.begin(), ranked.end(),
+                     [](const RankedItem& a, const RankedItem& b) {
+                       return a.score > b.score;
+                     });
+    std::vector<bool> rel;
+    for (const auto& r : ranked) {
+      rel.push_back(items[static_cast<size_t>(r.index)].label == label);
+    }
+    runs.push_back(std::move(rel));
+  }
+  result.queries = static_cast<int>(runs.size());
+  result.map = MeanAveragePrecision(runs, options.k);
+  result.mrr = MeanReciprocalRank(runs, options.k);
+  return result;
+}
+
+}  // namespace tabbin

@@ -1,0 +1,70 @@
+// Shared clustering/evaluation harness for the three downstream tasks
+// (CC, TC, EC): rank labeled embeddings by cosine similarity, form top-k
+// clusters, and score MAP@k / MRR@k against the ground-truth labels.
+#ifndef TABBIN_TASKS_CLUSTERING_H_
+#define TABBIN_TASKS_CLUSTERING_H_
+
+#include <string>
+#include <vector>
+
+#include "tasks/lsh.h"
+#include "tasks/metrics.h"
+#include "util/rng.h"
+
+namespace tabbin {
+
+/// \brief An embedding with its ground-truth cluster label.
+struct LabeledEmbedding {
+  std::vector<float> vec;
+  std::string label;
+};
+
+/// \brief One ranked result.
+struct RankedItem {
+  int index = 0;
+  float score = 0;
+};
+
+/// \brief Ranks `items` (excluding `query_index`) by cosine similarity to
+/// the query, descending; restricted to `candidates` when non-null.
+std::vector<RankedItem> RankBySimilarity(
+    const std::vector<LabeledEmbedding>& items, int query_index,
+    const std::vector<int>* candidates = nullptr);
+
+/// \brief MAP/MRR outcome of a clustering evaluation.
+struct ClusterEvalResult {
+  double map = 0;
+  double mrr = 0;
+  int queries = 0;
+};
+
+/// \brief Options for EvaluateClustering.
+struct ClusterEvalOptions {
+  int k = 20;             // cluster size (top-20 as in the paper)
+  int max_queries = 200;  // sample size of query items
+  bool use_lsh = true;    // LSH blocking before exact ranking
+  int lsh_bits = 8;
+  int lsh_tables = 12;
+  uint64_t seed = 99;
+  // When non-empty, only these item indices act as queries; the whole
+  // item set remains the retrieval pool. Used for split evaluations
+  // (e.g. "nested tables" as queries against the full corpus).
+  std::vector<int> query_indices;
+};
+
+/// \brief Full evaluation: for each sampled query, rank all other items by
+/// cosine, take top-k as the cluster, and score AP/RR against labels
+/// (exactly the paper's §4.1-4.3 protocol).
+ClusterEvalResult EvaluateClustering(const std::vector<LabeledEmbedding>& items,
+                                     const ClusterEvalOptions& options = {});
+
+/// \brief Centroid-based table clustering (paper §4.2): compute the
+/// centroid of each label's items, rank all items against it, score the
+/// top-k cluster per centroid.
+ClusterEvalResult EvaluateCentroidClustering(
+    const std::vector<LabeledEmbedding>& items,
+    const ClusterEvalOptions& options = {});
+
+}  // namespace tabbin
+
+#endif  // TABBIN_TASKS_CLUSTERING_H_

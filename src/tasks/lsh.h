@@ -1,0 +1,45 @@
+// Random-hyperplane LSH index for cosine similarity, used as the blocking
+// stage of column/entity clustering (paper §4.1: "We use LSH-based
+// blocking [28] to avoid quadratic complexity").
+#ifndef TABBIN_TASKS_LSH_H_
+#define TABBIN_TASKS_LSH_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace tabbin {
+
+/// \brief Multi-table random-hyperplane LSH over dense float vectors.
+class LshIndex {
+ public:
+  /// \param dim Vector dimensionality.
+  /// \param num_bits Hash bits per table (bucket granularity).
+  /// \param num_tables Independent hash tables (recall knob).
+  LshIndex(int dim, int num_bits, int num_tables, uint64_t seed = 1234);
+
+  /// \brief Adds a vector under an integer id.
+  void Insert(int id, const std::vector<float>& vec);
+
+  /// \brief Ids colliding with `vec` in at least one table (candidates
+  /// for exact cosine ranking). The query id itself may be included.
+  std::vector<int> Query(const std::vector<float>& vec) const;
+
+  int size() const { return count_; }
+
+ private:
+  uint64_t HashInTable(int table, const std::vector<float>& vec) const;
+
+  int dim_, num_bits_, num_tables_;
+  int count_ = 0;
+  // hyperplanes_[t * num_bits + b] is a dim-sized normal vector.
+  std::vector<std::vector<float>> hyperplanes_;
+  std::vector<std::unordered_map<uint64_t, std::vector<int>>> tables_;
+};
+
+}  // namespace tabbin
+
+#endif  // TABBIN_TASKS_LSH_H_

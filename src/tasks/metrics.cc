@@ -1,0 +1,64 @@
+#include "tasks/metrics.h"
+
+#include <algorithm>
+
+namespace tabbin {
+
+double AveragePrecisionAtK(const std::vector<bool>& relevance, int k,
+                           int total_relevant) {
+  const int n = std::min<int>(k, static_cast<int>(relevance.size()));
+  int hits = 0;
+  double sum = 0;
+  for (int i = 0; i < n; ++i) {
+    if (relevance[static_cast<size_t>(i)]) {
+      ++hits;
+      sum += static_cast<double>(hits) / (i + 1);
+    }
+  }
+  int denom = hits;
+  if (total_relevant >= 0) denom = std::min(total_relevant, k);
+  if (denom == 0) return 0.0;
+  return sum / denom;
+}
+
+double ReciprocalRankAtK(const std::vector<bool>& relevance, int k) {
+  const int n = std::min<int>(k, static_cast<int>(relevance.size()));
+  for (int i = 0; i < n; ++i) {
+    if (relevance[static_cast<size_t>(i)]) return 1.0 / (i + 1);
+  }
+  return 0.0;
+}
+
+double MeanAveragePrecision(const std::vector<std::vector<bool>>& runs,
+                            int k) {
+  if (runs.empty()) return 0.0;
+  double sum = 0;
+  for (const auto& run : runs) sum += AveragePrecisionAtK(run, k);
+  return sum / static_cast<double>(runs.size());
+}
+
+double MeanReciprocalRank(const std::vector<std::vector<bool>>& runs, int k) {
+  if (runs.empty()) return 0.0;
+  double sum = 0;
+  for (const auto& run : runs) sum += ReciprocalRankAtK(run, k);
+  return sum / static_cast<double>(runs.size());
+}
+
+BinaryScore ComputeF1(int true_positive, int false_positive,
+                      int false_negative) {
+  BinaryScore s;
+  if (true_positive + false_positive > 0) {
+    s.precision =
+        static_cast<double>(true_positive) / (true_positive + false_positive);
+  }
+  if (true_positive + false_negative > 0) {
+    s.recall =
+        static_cast<double>(true_positive) / (true_positive + false_negative);
+  }
+  if (s.precision + s.recall > 0) {
+    s.f1 = 2 * s.precision * s.recall / (s.precision + s.recall);
+  }
+  return s;
+}
+
+}  // namespace tabbin

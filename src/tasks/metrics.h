@@ -1,0 +1,37 @@
+// Ranking and classification metrics used throughout the evaluation:
+// AP@k / MAP@k [52], MRR@k [20], and precision/recall/F1.
+#ifndef TABBIN_TASKS_METRICS_H_
+#define TABBIN_TASKS_METRICS_H_
+
+#include <vector>
+
+namespace tabbin {
+
+/// \brief Average precision at k over a ranked relevance list
+/// (relevance[i] = was the i-th ranked result relevant). Normalized by
+/// min(k, #relevant in the top-k ranking universe that could be hit) —
+/// we use the paper's convention of dividing by the number of relevant
+/// items retrieved up to k, bounded by total_relevant when provided.
+double AveragePrecisionAtK(const std::vector<bool>& relevance, int k,
+                           int total_relevant = -1);
+
+/// \brief Reciprocal rank of the first relevant result within top k
+/// (0 when none).
+double ReciprocalRankAtK(const std::vector<bool>& relevance, int k);
+
+/// \brief Means over queries.
+double MeanAveragePrecision(const std::vector<std::vector<bool>>& runs, int k);
+double MeanReciprocalRank(const std::vector<std::vector<bool>>& runs, int k);
+
+/// \brief Binary classification counts -> precision / recall / F1 (%).
+struct BinaryScore {
+  double precision = 0;
+  double recall = 0;
+  double f1 = 0;
+};
+BinaryScore ComputeF1(int true_positive, int false_positive,
+                      int false_negative);
+
+}  // namespace tabbin
+
+#endif  // TABBIN_TASKS_METRICS_H_

@@ -1,0 +1,57 @@
+#include "tasks/pipelines.h"
+
+namespace tabbin {
+
+std::vector<LabeledEmbedding> EmbedColumns(
+    const Corpus& corpus, const std::vector<ColumnQuery>& queries,
+    const ColumnEmbedder& embedder) {
+  std::vector<LabeledEmbedding> out;
+  out.reserve(queries.size());
+  for (const auto& q : queries) {
+    const Table& t = corpus.tables[static_cast<size_t>(q.table_index)];
+    out.push_back({embedder(t, q.col), q.label});
+  }
+  return out;
+}
+
+std::vector<LabeledEmbedding> EmbedTables(const Corpus& corpus,
+                                          const std::vector<TableQuery>& queries,
+                                          const TableEmbedder& embedder) {
+  std::vector<LabeledEmbedding> out;
+  out.reserve(queries.size());
+  for (const auto& q : queries) {
+    const Table& t = corpus.tables[static_cast<size_t>(q.table_index)];
+    out.push_back({embedder(t), q.label});
+  }
+  return out;
+}
+
+std::vector<LabeledEmbedding> EmbedEntities(
+    const Corpus& corpus, const std::vector<EntityQuery>& queries,
+    const CellEmbedder& embedder) {
+  std::vector<LabeledEmbedding> out;
+  out.reserve(queries.size());
+  for (const auto& q : queries) {
+    const Table& t = corpus.tables[static_cast<size_t>(q.table_index)];
+    out.push_back({embedder(t, q.row, q.col), q.label});
+  }
+  return out;
+}
+
+bool IsNumericColumn(const Table& table, int col, double threshold) {
+  int numeric = 0, nonempty = 0;
+  for (int r = table.hmd_rows(); r < table.rows(); ++r) {
+    const Cell& cell = table.cell(r, col);
+    if (cell.is_empty()) continue;
+    ++nonempty;
+    if (cell.value.is_numeric()) ++numeric;
+  }
+  return nonempty > 0 &&
+         static_cast<double>(numeric) / nonempty > threshold;
+}
+
+bool IsNumericTable(const Table& table, double threshold) {
+  return table.NumericFraction() > threshold;
+}
+
+}  // namespace tabbin

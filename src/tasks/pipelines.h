@@ -1,0 +1,64 @@
+// Thin adapters that turn labeled corpus queries + an embedder into the
+// LabeledEmbedding lists consumed by the clustering harness. These are
+// the CC / TC / EC pipelines shared by TabBiN and every baseline.
+#ifndef TABBIN_TASKS_PIPELINES_H_
+#define TABBIN_TASKS_PIPELINES_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "table/table.h"
+#include "tasks/clustering.h"
+
+namespace tabbin {
+
+/// \brief Ground-truth query records (indices into a Corpus).
+struct ColumnQuery {
+  int table_index = 0;
+  int col = 0;           // grid column index
+  std::string label;     // canonical attribute id
+};
+struct TableQuery {
+  int table_index = 0;
+  std::string label;     // topic
+};
+struct EntityQuery {
+  int table_index = 0;
+  int row = 0;
+  int col = 0;
+  std::string label;     // entity type (catalog name)
+  std::string entity;    // surface form
+};
+
+using ColumnEmbedder =
+    std::function<std::vector<float>(const Table&, int col)>;
+using TableEmbedder = std::function<std::vector<float>(const Table&)>;
+using CellEmbedder =
+    std::function<std::vector<float>(const Table&, int row, int col)>;
+
+/// \brief Embeds every column query (CC task input).
+std::vector<LabeledEmbedding> EmbedColumns(
+    const Corpus& corpus, const std::vector<ColumnQuery>& queries,
+    const ColumnEmbedder& embedder);
+
+/// \brief Embeds every table query (TC task input).
+std::vector<LabeledEmbedding> EmbedTables(const Corpus& corpus,
+                                          const std::vector<TableQuery>& queries,
+                                          const TableEmbedder& embedder);
+
+/// \brief Embeds every entity query (EC task input).
+std::vector<LabeledEmbedding> EmbedEntities(
+    const Corpus& corpus, const std::vector<EntityQuery>& queries,
+    const CellEmbedder& embedder);
+
+/// \brief True when > `threshold` of the column's data cells are numeric
+/// (used for the textual/numerical splits of Table 4).
+bool IsNumericColumn(const Table& table, int col, double threshold = 0.8);
+
+/// \brief True when > `threshold` of the table's data cells are numeric.
+bool IsNumericTable(const Table& table, double threshold = 0.8);
+
+}  // namespace tabbin
+
+#endif  // TABBIN_TASKS_PIPELINES_H_

@@ -1,0 +1,199 @@
+#include "tensor/nn.h"
+
+#include <cmath>
+
+#include "util/logging.h"
+#include "util/serialize.h"
+
+namespace tabbin {
+
+Linear::Linear(int in_features, int out_features, Rng* rng, bool with_bias)
+    : in_(in_features), out_(out_features), has_bias_(with_bias) {
+  // Xavier-uniform initialization.
+  float bound = std::sqrt(6.0f / static_cast<float>(in_features + out_features));
+  weight = Tensor::RandUniform({out_features, in_features}, rng, bound,
+                               /*requires_grad=*/true);
+  if (with_bias) {
+    bias = Tensor::Zeros({out_features}, /*requires_grad=*/true);
+  }
+}
+
+Tensor Linear::Forward(const Tensor& x) const {
+  Tensor y = MatMul(x, Transpose(weight));
+  if (has_bias_) y = AddRowBroadcast(y, bias);
+  return y;
+}
+
+void Linear::CollectParameters(const std::string& prefix,
+                               ParameterMap* out) const {
+  (*out)[prefix + "weight"] = weight;
+  if (has_bias_) (*out)[prefix + "bias"] = bias;
+}
+
+Embedding::Embedding(int num_embeddings, int dim, Rng* rng, float stddev) {
+  weight = Tensor::Randn({num_embeddings, dim}, rng, stddev,
+                         /*requires_grad=*/true);
+}
+
+void Embedding::CollectParameters(const std::string& prefix,
+                                  ParameterMap* out) const {
+  (*out)[prefix + "weight"] = weight;
+}
+
+LayerNorm::LayerNorm(int dim) {
+  gamma = Tensor::Full({dim}, 1.0f, /*requires_grad=*/true);
+  beta = Tensor::Zeros({dim}, /*requires_grad=*/true);
+}
+
+void LayerNorm::CollectParameters(const std::string& prefix,
+                                  ParameterMap* out) const {
+  (*out)[prefix + "gamma"] = gamma;
+  (*out)[prefix + "beta"] = beta;
+}
+
+MultiHeadSelfAttention::MultiHeadSelfAttention(int hidden, int num_heads,
+                                               Rng* rng)
+    : hidden_(hidden), heads_(num_heads), head_dim_(hidden / num_heads) {
+  TABBIN_CHECK(hidden % num_heads == 0)
+      << "hidden " << hidden << " not divisible by heads " << num_heads;
+  q_ = std::make_unique<Linear>(hidden, hidden, rng);
+  k_ = std::make_unique<Linear>(hidden, hidden, rng);
+  v_ = std::make_unique<Linear>(hidden, hidden, rng);
+  o_ = std::make_unique<Linear>(hidden, hidden, rng);
+}
+
+Tensor MultiHeadSelfAttention::Forward(const Tensor& x,
+                                       const Tensor* attn_bias) const {
+  const int n = x.dim(0);
+  Tensor q = q_->Forward(x);  // [n, H]
+  Tensor k = k_->Forward(x);
+  Tensor v = v_->Forward(x);
+
+  const float scale = 1.0f / std::sqrt(static_cast<float>(head_dim_));
+  std::vector<Tensor> head_outputs;
+  head_outputs.reserve(static_cast<size_t>(heads_));
+  for (int h = 0; h < heads_; ++h) {
+    // Column slice of head h; implemented via a gather on the transposed
+    // view to stay within 2-D ops.
+    std::vector<int> cols(static_cast<size_t>(head_dim_));
+    for (int i = 0; i < head_dim_; ++i) cols[static_cast<size_t>(i)] = h * head_dim_ + i;
+    Tensor qh = Transpose(GatherRows(Transpose(q), cols));  // [n, hd]
+    Tensor kh = Transpose(GatherRows(Transpose(k), cols));
+    Tensor vh = Transpose(GatherRows(Transpose(v), cols));
+    Tensor scores = Scale(MatMul(qh, Transpose(kh)), scale);  // [n, n]
+    Tensor attn = SoftmaxRows(scores, attn_bias);
+    head_outputs.push_back(MatMul(attn, vh));  // [n, hd]
+  }
+  Tensor concat = heads_ == 1 ? head_outputs[0] : ConcatCols(head_outputs);
+  (void)n;
+  return o_->Forward(concat);
+}
+
+void MultiHeadSelfAttention::CollectParameters(const std::string& prefix,
+                                               ParameterMap* out) const {
+  q_->CollectParameters(prefix + "q.", out);
+  k_->CollectParameters(prefix + "k.", out);
+  v_->CollectParameters(prefix + "v.", out);
+  o_->CollectParameters(prefix + "o.", out);
+}
+
+FeedForward::FeedForward(int hidden, int intermediate, Rng* rng) {
+  fc1_ = std::make_unique<Linear>(hidden, intermediate, rng);
+  fc2_ = std::make_unique<Linear>(intermediate, hidden, rng);
+}
+
+Tensor FeedForward::Forward(const Tensor& x) const {
+  return fc2_->Forward(Gelu(fc1_->Forward(x)));
+}
+
+void FeedForward::CollectParameters(const std::string& prefix,
+                                    ParameterMap* out) const {
+  fc1_->CollectParameters(prefix + "fc1.", out);
+  fc2_->CollectParameters(prefix + "fc2.", out);
+}
+
+TransformerEncoderLayer::TransformerEncoderLayer(int hidden, int num_heads,
+                                                 int intermediate, Rng* rng) {
+  attn_ = std::make_unique<MultiHeadSelfAttention>(hidden, num_heads, rng);
+  ffn_ = std::make_unique<FeedForward>(hidden, intermediate, rng);
+  ln1_ = std::make_unique<LayerNorm>(hidden);
+  ln2_ = std::make_unique<LayerNorm>(hidden);
+}
+
+Tensor TransformerEncoderLayer::Forward(const Tensor& x,
+                                        const Tensor* attn_bias,
+                                        float dropout, Rng* rng,
+                                        bool training) const {
+  Tensor a = attn_->Forward(x, attn_bias);
+  if (training && rng) a = DropoutOp(a, dropout, rng, training);
+  Tensor h = ln1_->Forward(Add(x, a));
+  Tensor f = ffn_->Forward(h);
+  if (training && rng) f = DropoutOp(f, dropout, rng, training);
+  return ln2_->Forward(Add(h, f));
+}
+
+void TransformerEncoderLayer::CollectParameters(const std::string& prefix,
+                                                ParameterMap* out) const {
+  attn_->CollectParameters(prefix + "attn.", out);
+  ffn_->CollectParameters(prefix + "ffn.", out);
+  ln1_->CollectParameters(prefix + "ln1.", out);
+  ln2_->CollectParameters(prefix + "ln2.", out);
+}
+
+TransformerEncoder::TransformerEncoder(int num_layers, int hidden,
+                                       int num_heads, int intermediate,
+                                       Rng* rng) {
+  layers_.reserve(static_cast<size_t>(num_layers));
+  for (int i = 0; i < num_layers; ++i) {
+    layers_.push_back(std::make_unique<TransformerEncoderLayer>(
+        hidden, num_heads, intermediate, rng));
+  }
+}
+
+Tensor TransformerEncoder::Forward(const Tensor& x, const Tensor* attn_bias,
+                                   float dropout, Rng* rng,
+                                   bool training) const {
+  Tensor h = x;
+  for (const auto& layer : layers_) {
+    h = layer->Forward(h, attn_bias, dropout, rng, training);
+  }
+  return h;
+}
+
+void TransformerEncoder::CollectParameters(const std::string& prefix,
+                                           ParameterMap* out) const {
+  for (size_t i = 0; i < layers_.size(); ++i) {
+    layers_[i]->CollectParameters(prefix + "layer" + std::to_string(i) + ".",
+                                  out);
+  }
+}
+
+Status SaveParameters(const ParameterMap& params, const std::string& path) {
+  BinaryWriter w;
+  w.WriteU64(params.size());
+  for (const auto& [name, t] : params) {
+    w.WriteString(name);
+    w.WriteF32Vector(t.vec());
+  }
+  return w.ToFile(path);
+}
+
+Status LoadParameters(const std::string& path, ParameterMap* params) {
+  TABBIN_ASSIGN_OR_RETURN(BinaryReader r, BinaryReader::FromFile(path));
+  TABBIN_ASSIGN_OR_RETURN(uint64_t count, r.ReadU64());
+  for (uint64_t i = 0; i < count; ++i) {
+    TABBIN_ASSIGN_OR_RETURN(std::string name, r.ReadString());
+    TABBIN_ASSIGN_OR_RETURN(std::vector<float> data, r.ReadF32Vector());
+    auto it = params->find(name);
+    if (it == params->end()) {
+      return Status::NotFound("checkpoint parameter not in model: " + name);
+    }
+    if (it->second.size() != data.size()) {
+      return Status::InvalidArgument("checkpoint size mismatch for " + name);
+    }
+    std::copy(data.begin(), data.end(), it->second.vec().begin());
+  }
+  return Status::OK();
+}
+
+}  // namespace tabbin

@@ -1,0 +1,73 @@
+#include "tensor/optimizer.h"
+
+#include <cmath>
+
+namespace tabbin {
+
+AdamOptimizer::AdamOptimizer(ParameterMap params, Options options)
+    : options_(options) {
+  slots_.reserve(params.size());
+  for (auto& [name, t] : params) {
+    Slot slot;
+    slot.param = t;
+    slot.m.assign(t.size(), 0.0f);
+    slot.v.assign(t.size(), 0.0f);
+    slots_.push_back(std::move(slot));
+  }
+}
+
+void AdamOptimizer::Step() {
+  ++t_;
+  const float b1 = options_.beta1, b2 = options_.beta2;
+  const float bias1 = 1.0f - std::pow(b1, static_cast<float>(t_));
+  const float bias2 = 1.0f - std::pow(b2, static_cast<float>(t_));
+
+  float clip_scale = 1.0f;
+  if (options_.clip_norm > 0.0f) {
+    double total = 0.0;
+    for (auto& slot : slots_) {
+      const auto& g = slot.param.grad_vec();
+      for (float gv : g) total += static_cast<double>(gv) * gv;
+    }
+    const float norm = static_cast<float>(std::sqrt(total));
+    if (norm > options_.clip_norm) clip_scale = options_.clip_norm / norm;
+  }
+
+  for (auto& slot : slots_) {
+    float* w = slot.param.data();
+    const float* g = slot.param.grad();
+    for (size_t i = 0; i < slot.param.size(); ++i) {
+      const float gi = g[i] * clip_scale;
+      slot.m[i] = b1 * slot.m[i] + (1.0f - b1) * gi;
+      slot.v[i] = b2 * slot.v[i] + (1.0f - b2) * gi * gi;
+      const float mhat = slot.m[i] / bias1;
+      const float vhat = slot.v[i] / bias2;
+      w[i] -= options_.lr *
+              (mhat / (std::sqrt(vhat) + options_.eps) +
+               options_.weight_decay * w[i]);
+    }
+  }
+}
+
+void AdamOptimizer::ZeroGrad() {
+  for (auto& slot : slots_) slot.param.ZeroGrad();
+}
+
+SgdOptimizer::SgdOptimizer(ParameterMap params, float lr) : lr_(lr) {
+  params_.reserve(params.size());
+  for (auto& [name, t] : params) params_.push_back(t);
+}
+
+void SgdOptimizer::Step() {
+  for (auto& p : params_) {
+    float* w = p.data();
+    const float* g = p.grad();
+    for (size_t i = 0; i < p.size(); ++i) w[i] -= lr_ * g[i];
+  }
+}
+
+void SgdOptimizer::ZeroGrad() {
+  for (auto& p : params_) p.ZeroGrad();
+}
+
+}  // namespace tabbin

@@ -1,0 +1,65 @@
+// First-order optimizers over ParameterMaps.
+#ifndef TABBIN_TENSOR_OPTIMIZER_H_
+#define TABBIN_TENSOR_OPTIMIZER_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "tensor/nn.h"
+
+namespace tabbin {
+
+/// \brief Adam (Kingma & Ba 2015) with optional decoupled weight decay
+/// and global-norm gradient clipping — the paper trains with
+/// lr = 2e-5 / batch 12 BERT defaults.
+class AdamOptimizer {
+ public:
+  struct Options {
+    float lr = 2e-5f;
+    float beta1 = 0.9f;
+    float beta2 = 0.999f;
+    float eps = 1e-8f;
+    float weight_decay = 0.0f;   // decoupled (AdamW-style)
+    float clip_norm = 0.0f;      // 0 disables clipping
+  };
+
+  AdamOptimizer(ParameterMap params, Options options);
+
+  /// \brief Applies one update from accumulated gradients.
+  void Step();
+
+  /// \brief Zeroes all parameter gradients.
+  void ZeroGrad();
+
+  int64_t step_count() const { return t_; }
+  Options& options() { return options_; }
+
+ private:
+  struct Slot {
+    Tensor param;
+    std::vector<float> m;
+    std::vector<float> v;
+  };
+
+  std::vector<Slot> slots_;
+  Options options_;
+  int64_t t_ = 0;
+};
+
+/// \brief Plain SGD, used by the Word2Vec baseline.
+class SgdOptimizer {
+ public:
+  SgdOptimizer(ParameterMap params, float lr);
+  void Step();
+  void ZeroGrad();
+  void set_lr(float lr) { lr_ = lr; }
+
+ private:
+  std::vector<Tensor> params_;
+  float lr_;
+};
+
+}  // namespace tabbin
+
+#endif  // TABBIN_TENSOR_OPTIMIZER_H_

@@ -1,0 +1,133 @@
+#include "tensor/tensor.h"
+
+#include <algorithm>
+#include <cassert>
+#include <sstream>
+#include <unordered_set>
+
+namespace tabbin {
+
+namespace {
+thread_local bool g_grad_enabled = true;
+}  // namespace
+
+NoGradGuard::NoGradGuard() : prev_(g_grad_enabled) { g_grad_enabled = false; }
+NoGradGuard::~NoGradGuard() { g_grad_enabled = prev_; }
+bool NoGradGuard::GradEnabled() { return g_grad_enabled; }
+
+Tensor Tensor::Zeros(std::vector<int> shape, bool requires_grad) {
+  auto impl = std::make_shared<internal::TensorImpl>();
+  impl->shape = std::move(shape);
+  impl->data.assign(impl->size(), 0.0f);
+  impl->requires_grad = requires_grad;
+  return Tensor(std::move(impl));
+}
+
+Tensor Tensor::Full(std::vector<int> shape, float value, bool requires_grad) {
+  Tensor t = Zeros(std::move(shape), requires_grad);
+  std::fill(t.vec().begin(), t.vec().end(), value);
+  return t;
+}
+
+Tensor Tensor::FromData(std::vector<int> shape, std::vector<float> data,
+                        bool requires_grad) {
+  auto impl = std::make_shared<internal::TensorImpl>();
+  impl->shape = std::move(shape);
+  impl->data = std::move(data);
+  assert(impl->data.size() == impl->size() && "shape/data size mismatch");
+  impl->requires_grad = requires_grad;
+  return Tensor(std::move(impl));
+}
+
+Tensor Tensor::Randn(std::vector<int> shape, Rng* rng, float stddev,
+                     bool requires_grad) {
+  Tensor t = Zeros(std::move(shape), requires_grad);
+  for (auto& v : t.vec()) {
+    v = static_cast<float>(rng->Gaussian(0.0, stddev));
+  }
+  return t;
+}
+
+Tensor Tensor::RandUniform(std::vector<int> shape, Rng* rng, float bound,
+                           bool requires_grad) {
+  Tensor t = Zeros(std::move(shape), requires_grad);
+  for (auto& v : t.vec()) {
+    v = rng->UniformFloat(-bound, bound);
+  }
+  return t;
+}
+
+Tensor Tensor::Detach() const {
+  auto impl = std::make_shared<internal::TensorImpl>();
+  impl->shape = impl_->shape;
+  impl->data = impl_->data;
+  impl->requires_grad = false;
+  return Tensor(std::move(impl));
+}
+
+Tensor Tensor::Clone() const { return Detach(); }
+
+std::string Tensor::ShapeString() const {
+  std::ostringstream oss;
+  oss << "[";
+  for (size_t i = 0; i < impl_->shape.size(); ++i) {
+    if (i) oss << ", ";
+    oss << impl_->shape[i];
+  }
+  oss << "]";
+  return oss.str();
+}
+
+void Tensor::Backward() {
+  // Topological order via iterative post-order DFS over the tape.
+  std::vector<internal::TensorImpl*> order;
+  std::unordered_set<internal::TensorImpl*> visited;
+  std::vector<std::pair<internal::TensorImpl*, size_t>> stack;
+  stack.emplace_back(impl_.get(), 0);
+  visited.insert(impl_.get());
+  while (!stack.empty()) {
+    auto& [node, idx] = stack.back();
+    if (idx < node->parents.size()) {
+      internal::TensorImpl* parent = node->parents[idx].get();
+      ++idx;
+      if (visited.insert(parent).second) {
+        stack.emplace_back(parent, 0);
+      }
+    } else {
+      order.push_back(node);
+      stack.pop_back();
+    }
+  }
+
+  impl_->EnsureGrad();
+  if (impl_->size() == 1) {
+    impl_->grad[0] = 1.0f;
+  }
+  // `order` is post-order (parents before children); walk it backwards so
+  // each node's backward_fn runs after all of its consumers contributed.
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    if ((*it)->backward_fn) (*it)->backward_fn();
+  }
+}
+
+Tensor MakeOpOutput(std::vector<int> shape, std::vector<float> data,
+                    std::vector<Tensor> parents,
+                    std::function<void()> backward_fn) {
+  auto impl = std::make_shared<internal::TensorImpl>();
+  impl->shape = std::move(shape);
+  impl->data = std::move(data);
+  assert(impl->data.size() == impl->size() && "shape/data size mismatch");
+  bool any_grad = false;
+  for (const auto& p : parents) {
+    if (p.defined() && p.requires_grad()) any_grad = true;
+  }
+  if (NoGradGuard::GradEnabled() && any_grad) {
+    impl->requires_grad = true;
+    impl->parents.reserve(parents.size());
+    for (auto& p : parents) impl->parents.push_back(p.impl());
+    impl->backward_fn = std::move(backward_fn);
+  }
+  return Tensor(std::move(impl));
+}
+
+}  // namespace tabbin

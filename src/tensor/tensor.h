@@ -1,0 +1,157 @@
+// A small dense float tensor with reverse-mode automatic differentiation.
+//
+// This is the training substrate standing in for libtorch (see DESIGN.md,
+// substitution S1). Tensors are reference-counted views onto a TensorImpl
+// node; differentiable operations (tensor/ops.h) record backward closures
+// into the implicit tape, and Tensor::Backward() replays them in reverse
+// topological order.
+//
+// Supported ranks are 1 and 2; the transformer stack only needs matrices
+// of activations [seq_len, hidden] and attention score matrices
+// [seq_len, seq_len].
+#ifndef TABBIN_TENSOR_TENSOR_H_
+#define TABBIN_TENSOR_TENSOR_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace tabbin {
+
+class Tensor;
+
+namespace internal {
+
+/// \brief Heap node shared by Tensor handles; owns data, grad and tape edge.
+struct TensorImpl {
+  std::vector<int> shape;
+  std::vector<float> data;
+  std::vector<float> grad;  // lazily sized; empty until needed
+  bool requires_grad = false;
+  // Parents in the autograd graph and the closure that propagates this
+  // node's grad into them.
+  std::vector<std::shared_ptr<TensorImpl>> parents;
+  std::function<void()> backward_fn;
+
+  size_t size() const {
+    size_t n = 1;
+    for (int d : shape) n *= static_cast<size_t>(d);
+    return n;
+  }
+  void EnsureGrad() {
+    if (grad.size() != size()) grad.assign(size(), 0.0f);
+  }
+};
+
+}  // namespace internal
+
+/// \brief RAII guard that disables autograd tape recording (inference mode).
+class NoGradGuard {
+ public:
+  NoGradGuard();
+  ~NoGradGuard();
+  NoGradGuard(const NoGradGuard&) = delete;
+  NoGradGuard& operator=(const NoGradGuard&) = delete;
+
+  /// \brief True when tape recording is currently enabled.
+  static bool GradEnabled();
+
+ private:
+  bool prev_;
+};
+
+/// \brief Reference-counted handle to a tensor node.
+class Tensor {
+ public:
+  /// Null handle; most APIs require a non-null tensor.
+  Tensor() = default;
+
+  /// \brief All-zeros tensor of the given shape.
+  static Tensor Zeros(std::vector<int> shape, bool requires_grad = false);
+  /// \brief All-`value` tensor.
+  static Tensor Full(std::vector<int> shape, float value,
+                     bool requires_grad = false);
+  /// \brief Tensor adopting the given row-major data.
+  static Tensor FromData(std::vector<int> shape, std::vector<float> data,
+                         bool requires_grad = false);
+  /// \brief Gaussian-initialized tensor (mean 0).
+  static Tensor Randn(std::vector<int> shape, Rng* rng, float stddev,
+                      bool requires_grad = false);
+  /// \brief Uniform(-bound, bound) initialized tensor.
+  static Tensor RandUniform(std::vector<int> shape, Rng* rng, float bound,
+                            bool requires_grad = false);
+
+  bool defined() const { return impl_ != nullptr; }
+  int ndim() const { return static_cast<int>(impl_->shape.size()); }
+  int dim(int i) const { return impl_->shape[static_cast<size_t>(i)]; }
+  const std::vector<int>& shape() const { return impl_->shape; }
+  size_t size() const { return impl_->size(); }
+
+  float* data() { return impl_->data.data(); }
+  const float* data() const { return impl_->data.data(); }
+  std::vector<float>& vec() { return impl_->data; }
+  const std::vector<float>& vec() const { return impl_->data; }
+
+  /// \brief Element accessors for 1-D / 2-D tensors.
+  float at(int i) const { return impl_->data[static_cast<size_t>(i)]; }
+  float at(int r, int c) const {
+    return impl_->data[static_cast<size_t>(r) * dim(1) + c];
+  }
+  void set(int i, float v) { impl_->data[static_cast<size_t>(i)] = v; }
+  void set(int r, int c, float v) {
+    impl_->data[static_cast<size_t>(r) * dim(1) + c] = v;
+  }
+
+  bool requires_grad() const { return impl_->requires_grad; }
+  /// \brief Gradient buffer (allocated on demand).
+  float* grad() {
+    impl_->EnsureGrad();
+    return impl_->grad.data();
+  }
+  const std::vector<float>& grad_vec() {
+    impl_->EnsureGrad();
+    return impl_->grad;
+  }
+  void ZeroGrad() {
+    if (!impl_->grad.empty()) {
+      std::fill(impl_->grad.begin(), impl_->grad.end(), 0.0f);
+    }
+  }
+
+  /// \brief Runs reverse-mode autodiff from this node.
+  ///
+  /// If the tensor is scalar-shaped its grad is seeded with 1; otherwise
+  /// the caller must have filled grad() already.
+  void Backward();
+
+  /// \brief Detaches from the tape: same data, no history, no grad.
+  Tensor Detach() const;
+
+  /// \brief Deep copy of data (no autograd history).
+  Tensor Clone() const;
+
+  std::string ShapeString() const;
+
+  std::shared_ptr<internal::TensorImpl> impl() const { return impl_; }
+  explicit Tensor(std::shared_ptr<internal::TensorImpl> impl)
+      : impl_(std::move(impl)) {}
+
+ private:
+  std::shared_ptr<internal::TensorImpl> impl_;
+};
+
+/// \brief Creates an output node wired to `parents` with `backward_fn`.
+///
+/// Used by every differentiable op. When autograd is disabled or no parent
+/// requires grad, the edge is dropped and the node is a plain buffer.
+Tensor MakeOpOutput(std::vector<int> shape, std::vector<float> data,
+                    std::vector<Tensor> parents,
+                    std::function<void()> backward_fn);
+
+}  // namespace tabbin
+
+#endif  // TABBIN_TENSOR_TENSOR_H_

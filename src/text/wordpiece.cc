@@ -1,0 +1,181 @@
+#include "text/wordpiece.h"
+
+#include <algorithm>
+#include <cctype>
+#include <unordered_map>
+
+#include "util/string_util.h"
+
+namespace tabbin {
+
+namespace {
+
+bool IsWordChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0;
+}
+
+bool IsDigitChar(char c) {
+  return std::isdigit(static_cast<unsigned char>(c)) != 0;
+}
+
+}  // namespace
+
+std::vector<std::string> PreTokenize(const std::string& text) {
+  std::vector<std::string> out;
+  const std::string lower = ToLower(text);
+  size_t i = 0;
+  const size_t n = lower.size();
+  while (i < n) {
+    const char c = lower[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    if (IsDigitChar(c)) {
+      // Number unit: digits with optional single embedded '.' or ','
+      // between digits ("20.3", "1,234").
+      size_t j = i;
+      while (j < n) {
+        if (IsDigitChar(lower[j])) {
+          ++j;
+        } else if ((lower[j] == '.' || lower[j] == ',') && j + 1 < n &&
+                   IsDigitChar(lower[j + 1])) {
+          ++j;
+        } else {
+          break;
+        }
+      }
+      out.push_back(lower.substr(i, j - i));
+      i = j;
+      continue;
+    }
+    if (IsWordChar(c)) {
+      size_t j = i;
+      while (j < n && IsWordChar(lower[j]) && !IsDigitChar(lower[j])) ++j;
+      out.push_back(lower.substr(i, j - i));
+      i = j;
+      continue;
+    }
+    // Punctuation / symbols are single-character units (±, %, etc. may be
+    // multi-byte UTF-8; emit the full byte sequence of one code point).
+    size_t j = i + 1;
+    if ((c & 0x80) != 0) {
+      while (j < n && (lower[j] & 0xC0) == 0x80) ++j;
+    }
+    out.push_back(lower.substr(i, j - i));
+    i = j;
+  }
+  return out;
+}
+
+std::vector<std::string> WordPieceSegment(const std::string& word,
+                                          const Vocab& vocab,
+                                          int max_word_len) {
+  if (static_cast<int>(word.size()) > max_word_len) return {"[UNK]"};
+  std::vector<std::string> pieces;
+  size_t start = 0;
+  while (start < word.size()) {
+    size_t end = word.size();
+    std::string match;
+    while (end > start) {
+      std::string candidate = word.substr(start, end - start);
+      if (start > 0) candidate = "##" + candidate;
+      if (vocab.Contains(candidate)) {
+        match = candidate;
+        break;
+      }
+      --end;
+    }
+    if (match.empty()) return {"[UNK]"};
+    pieces.push_back(std::move(match));
+    start = end;
+  }
+  return pieces;
+}
+
+Vocab TrainWordPieceVocab(const std::vector<std::string>& corpus, int max_size,
+                          int min_count) {
+  std::unordered_map<std::string, int64_t> word_freq;
+  for (const auto& text : corpus) {
+    for (auto& w : PreTokenize(text)) ++word_freq[w];
+  }
+
+  Vocab vocab;
+  // 1. Every single character seen anywhere (as both initial and ## piece)
+  //    so segmentation can never dead-end on known characters.
+  std::unordered_map<std::string, int64_t> char_freq;
+  for (const auto& [w, f] : word_freq) {
+    size_t i = 0;
+    while (i < w.size()) {
+      size_t j = i + 1;
+      if ((w[i] & 0x80) != 0) {
+        while (j < w.size() && (w[j] & 0xC0) == 0x80) ++j;
+      }
+      char_freq[w.substr(i, j - i)] += f;
+      i = j;
+    }
+  }
+  for (const auto& [ch, f] : char_freq) {
+    vocab.AddToken(ch);
+    vocab.AddToken("##" + ch);
+  }
+
+  // 2. Whole words by descending frequency.
+  std::vector<std::pair<std::string, int64_t>> words(word_freq.begin(),
+                                                     word_freq.end());
+  std::sort(words.begin(), words.end(), [](const auto& a, const auto& b) {
+    if (a.second != b.second) return a.second > b.second;
+    return a.first < b.first;  // deterministic tie-break
+  });
+  for (const auto& [w, f] : words) {
+    if (vocab.size() >= max_size) break;
+    if (f < min_count) break;
+    vocab.AddToken(w);
+  }
+
+  // 3. Frequent suffix fragments as continuation pieces, so rare words
+  //    decompose into meaningful units instead of characters.
+  if (vocab.size() < max_size) {
+    std::unordered_map<std::string, int64_t> frag_freq;
+    for (const auto& [w, f] : words) {
+      for (size_t start = 1; start < w.size(); ++start) {
+        for (size_t len = 2; len <= 6 && start + len <= w.size(); ++len) {
+          frag_freq[w.substr(start, len)] += f;
+        }
+      }
+    }
+    std::vector<std::pair<std::string, int64_t>> frags(frag_freq.begin(),
+                                                       frag_freq.end());
+    std::sort(frags.begin(), frags.end(), [](const auto& a, const auto& b) {
+      if (a.second != b.second) return a.second > b.second;
+      return a.first < b.first;
+    });
+    for (const auto& [frag, f] : frags) {
+      if (vocab.size() >= max_size) break;
+      if (f < min_count * 4) break;
+      vocab.AddToken("##" + frag);
+    }
+  }
+  return vocab;
+}
+
+std::vector<std::string> Tokenize(const std::string& text,
+                                  const Vocab& vocab) {
+  std::vector<std::string> out;
+  for (const auto& unit : PreTokenize(text)) {
+    for (auto& piece : WordPieceSegment(unit, vocab)) {
+      out.push_back(std::move(piece));
+    }
+  }
+  return out;
+}
+
+std::vector<int> TokenizeToIds(const std::string& text, const Vocab& vocab) {
+  std::vector<int> ids;
+  for (const auto& piece : Tokenize(text, vocab)) {
+    ids.push_back(vocab.GetId(piece));
+  }
+  return ids;
+}
+
+}  // namespace tabbin

@@ -1,0 +1,44 @@
+// WordPiece tokenization: pre-tokenizer, greedy longest-match-first
+// sub-word segmentation, and a frequency-based vocabulary trainer.
+#ifndef TABBIN_TEXT_WORDPIECE_H_
+#define TABBIN_TEXT_WORDPIECE_H_
+
+#include <string>
+#include <vector>
+
+#include "text/vocab.h"
+
+namespace tabbin {
+
+/// \brief Splits raw text into lower-cased word/number/punctuation units.
+///
+/// Numbers (including decimals like "20.3") come out as single units so the
+/// embedding layer can recognize and [VAL]-encode them.
+std::vector<std::string> PreTokenize(const std::string& text);
+
+/// \brief Greedy longest-match-first WordPiece segmentation of one word.
+///
+/// Continuation pieces carry the conventional "##" prefix. Falls back to
+/// [UNK] when no prefix of the remaining suffix is in the vocabulary.
+std::vector<std::string> WordPieceSegment(const std::string& word,
+                                          const Vocab& vocab,
+                                          int max_word_len = 64);
+
+/// \brief Trains a WordPiece vocabulary over a corpus of texts.
+///
+/// Whole words with frequency >= min_count are added directly; all single
+/// characters and the most frequent sub-word fragments (as ## pieces) are
+/// added up to max_size. This is the simplified trainer standing in for
+/// the BioBERT vocabulary (DESIGN.md S2).
+Vocab TrainWordPieceVocab(const std::vector<std::string>& corpus,
+                          int max_size = 8000, int min_count = 2);
+
+/// \brief Full pipeline: PreTokenize + WordPieceSegment over a text.
+std::vector<std::string> Tokenize(const std::string& text, const Vocab& vocab);
+
+/// \brief Tokenize and map to ids.
+std::vector<int> TokenizeToIds(const std::string& text, const Vocab& vocab);
+
+}  // namespace tabbin
+
+#endif  // TABBIN_TEXT_WORDPIECE_H_

@@ -1,0 +1,48 @@
+#include "util/logging.h"
+
+#include <atomic>
+#include <cstdlib>
+
+namespace tabbin {
+
+namespace {
+std::atomic<int> g_level{static_cast<int>(LogLevel::kInfo)};
+
+const char* LevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO";
+    case LogLevel::kWarning:
+      return "WARN";
+    case LogLevel::kError:
+      return "ERROR";
+  }
+  return "?";
+}
+}  // namespace
+
+void SetLogLevel(LogLevel level) { g_level = static_cast<int>(level); }
+LogLevel GetLogLevel() { return static_cast<LogLevel>(g_level.load()); }
+
+namespace internal {
+
+LogMessage::LogMessage(LogLevel level, const char* file, int line)
+    : level_(level) {
+  const char* basename = file;
+  for (const char* p = file; *p; ++p) {
+    if (*p == '/') basename = p + 1;
+  }
+  stream_ << "[" << LevelName(level) << " " << basename << ":" << line << "] ";
+}
+
+LogMessage::~LogMessage() {
+  if (static_cast<int>(level_) >= g_level.load()) {
+    std::cerr << stream_.str() << std::endl;
+  }
+}
+
+}  // namespace internal
+
+}  // namespace tabbin

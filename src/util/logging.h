@@ -1,0 +1,62 @@
+// Minimal leveled logging with a global threshold.
+//
+// Usage: TABBIN_LOG(INFO) << "trained " << steps << " steps";
+#ifndef TABBIN_UTIL_LOGGING_H_
+#define TABBIN_UTIL_LOGGING_H_
+
+#include <iostream>
+#include <sstream>
+#include <string>
+
+namespace tabbin {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+/// \brief Sets the minimum level that is emitted (default: kInfo).
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal {
+
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+  std::ostream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+// Swallows the streamed expression when the level is below threshold.
+class NullStream {
+ public:
+  template <typename T>
+  NullStream& operator<<(const T&) {
+    return *this;
+  }
+};
+
+}  // namespace internal
+
+#define TABBIN_LOG_DEBUG ::tabbin::LogLevel::kDebug
+#define TABBIN_LOG_INFO ::tabbin::LogLevel::kInfo
+#define TABBIN_LOG_WARNING ::tabbin::LogLevel::kWarning
+#define TABBIN_LOG_ERROR ::tabbin::LogLevel::kError
+
+#define TABBIN_LOG(severity)                                              \
+  ::tabbin::internal::LogMessage(TABBIN_LOG_##severity, __FILE__, __LINE__) \
+      .stream()
+
+// Fatal check macro: aborts with a message when the condition fails.
+#define TABBIN_CHECK(cond)                                                  \
+  if (!(cond))                                                              \
+  ::tabbin::internal::LogMessage(::tabbin::LogLevel::kError, __FILE__,      \
+                                 __LINE__)                                  \
+          .stream()                                                         \
+      << "Check failed: " #cond " "
+
+}  // namespace tabbin
+
+#endif  // TABBIN_UTIL_LOGGING_H_

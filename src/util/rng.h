@@ -1,0 +1,114 @@
+// Deterministic, fast pseudo-random number generation.
+//
+// All stochastic components in the library (initialization, dataset
+// synthesis, MLM masking, negative sampling) draw from Rng so that every
+// experiment is reproducible from a single seed.
+#ifndef TABBIN_UTIL_RNG_H_
+#define TABBIN_UTIL_RNG_H_
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+namespace tabbin {
+
+/// \brief xoshiro256** PRNG with splitmix64 seeding.
+///
+/// Deterministic across platforms, unlike std::mt19937 paired with
+/// distribution objects whose implementations vary by standard library.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x9E3779B97F4A7C15ULL) { Seed(seed); }
+
+  void Seed(uint64_t seed) {
+    // splitmix64 expansion of the seed into the 256-bit state.
+    uint64_t x = seed;
+    for (auto& s : state_) {
+      x += 0x9E3779B97F4A7C15ULL;
+      uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+      z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+      s = z ^ (z >> 31);
+    }
+  }
+
+  /// \brief Next raw 64-bit value.
+  uint64_t Next() {
+    const uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+    const uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = Rotl(state_[3], 45);
+    return result;
+  }
+
+  /// \brief Uniform integer in [0, n). n must be > 0.
+  uint64_t Uniform(uint64_t n) { return Next() % n; }
+
+  /// \brief Uniform integer in [lo, hi] inclusive.
+  int64_t UniformInt(int64_t lo, int64_t hi) {
+    return lo + static_cast<int64_t>(Uniform(static_cast<uint64_t>(hi - lo + 1)));
+  }
+
+  /// \brief Uniform double in [0, 1).
+  double UniformDouble() {
+    return static_cast<double>(Next() >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+  /// \brief Uniform float in [lo, hi).
+  float UniformFloat(float lo, float hi) {
+    return lo + static_cast<float>(UniformDouble()) * (hi - lo);
+  }
+
+  /// \brief Standard normal via Box-Muller.
+  double Gaussian() {
+    double u1 = UniformDouble();
+    double u2 = UniformDouble();
+    if (u1 < 1e-300) u1 = 1e-300;
+    return std::sqrt(-2.0 * std::log(u1)) * std::cos(6.283185307179586 * u2);
+  }
+
+  double Gaussian(double mean, double stddev) {
+    return mean + stddev * Gaussian();
+  }
+
+  /// \brief Bernoulli draw with probability p of true.
+  bool Bernoulli(double p) { return UniformDouble() < p; }
+
+  /// \brief In-place Fisher-Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>* v) {
+    if (v->empty()) return;
+    for (size_t i = v->size() - 1; i > 0; --i) {
+      size_t j = Uniform(i + 1);
+      std::swap((*v)[i], (*v)[j]);
+    }
+  }
+
+  /// \brief Samples an index proportional to non-negative weights.
+  size_t Categorical(const std::vector<double>& weights) {
+    double total = 0;
+    for (double w : weights) total += w;
+    double r = UniformDouble() * total;
+    double acc = 0;
+    for (size_t i = 0; i < weights.size(); ++i) {
+      acc += weights[i];
+      if (r < acc) return i;
+    }
+    return weights.empty() ? 0 : weights.size() - 1;
+  }
+
+  /// \brief Derives an independent child generator (for per-worker streams).
+  Rng Fork() { return Rng(Next()); }
+
+ private:
+  static uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+  uint64_t state_[4];
+};
+
+}  // namespace tabbin
+
+#endif  // TABBIN_UTIL_RNG_H_

@@ -1,0 +1,52 @@
+#include "util/serialize.h"
+
+#include <cstdio>
+
+namespace tabbin {
+
+Status BinaryWriter::ToFile(const std::string& path) const {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (!f) return Status::IoError("cannot open for write: " + path);
+  size_t written = buf_.empty() ? 0 : std::fwrite(buf_.data(), 1, buf_.size(), f);
+  std::fclose(f);
+  if (written != buf_.size()) {
+    return Status::IoError("short write to " + path);
+  }
+  return Status::OK();
+}
+
+Result<BinaryReader> BinaryReader::FromFile(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (!f) return Status::IoError("cannot open for read: " + path);
+  std::fseek(f, 0, SEEK_END);
+  long size = std::ftell(f);
+  std::fseek(f, 0, SEEK_SET);
+  std::vector<uint8_t> buf(static_cast<size_t>(size));
+  size_t got = size ? std::fread(buf.data(), 1, buf.size(), f) : 0;
+  std::fclose(f);
+  if (got != buf.size()) return Status::IoError("short read from " + path);
+  return BinaryReader(std::move(buf));
+}
+
+Result<std::string> BinaryReader::ReadString() {
+  TABBIN_ASSIGN_OR_RETURN(uint64_t n, ReadU64());
+  if (pos_ + n > buf_.size()) {
+    return Status::OutOfRange("BinaryReader: string past end of buffer");
+  }
+  std::string s(reinterpret_cast<const char*>(buf_.data() + pos_), n);
+  pos_ += n;
+  return s;
+}
+
+Result<std::vector<float>> BinaryReader::ReadF32Vector() {
+  TABBIN_ASSIGN_OR_RETURN(uint64_t n, ReadU64());
+  if (pos_ + n * sizeof(float) > buf_.size()) {
+    return Status::OutOfRange("BinaryReader: vector past end of buffer");
+  }
+  std::vector<float> v(n);
+  std::memcpy(v.data(), buf_.data() + pos_, n * sizeof(float));
+  pos_ += n * sizeof(float);
+  return v;
+}
+
+}  // namespace tabbin

@@ -1,0 +1,82 @@
+// Minimal binary (de)serialization for model checkpoints and corpora.
+//
+// Little-endian, length-prefixed primitives; no alignment requirements.
+#ifndef TABBIN_UTIL_SERIALIZE_H_
+#define TABBIN_UTIL_SERIALIZE_H_
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace tabbin {
+
+/// \brief Appends primitives to a growable byte buffer.
+class BinaryWriter {
+ public:
+  void WriteU32(uint32_t v) { WriteRaw(&v, sizeof(v)); }
+  void WriteU64(uint64_t v) { WriteRaw(&v, sizeof(v)); }
+  void WriteI64(int64_t v) { WriteRaw(&v, sizeof(v)); }
+  void WriteF32(float v) { WriteRaw(&v, sizeof(v)); }
+  void WriteF64(double v) { WriteRaw(&v, sizeof(v)); }
+  void WriteString(const std::string& s) {
+    WriteU64(s.size());
+    WriteRaw(s.data(), s.size());
+  }
+  void WriteF32Vector(const std::vector<float>& v) {
+    WriteU64(v.size());
+    WriteRaw(v.data(), v.size() * sizeof(float));
+  }
+
+  const std::vector<uint8_t>& buffer() const { return buf_; }
+
+  /// \brief Writes the buffer to a file; overwrites existing content.
+  Status ToFile(const std::string& path) const;
+
+ private:
+  void WriteRaw(const void* data, size_t n) {
+    const auto* p = static_cast<const uint8_t*>(data);
+    buf_.insert(buf_.end(), p, p + n);
+  }
+  std::vector<uint8_t> buf_;
+};
+
+/// \brief Reads primitives back from a byte buffer.
+class BinaryReader {
+ public:
+  explicit BinaryReader(std::vector<uint8_t> buf) : buf_(std::move(buf)) {}
+
+  /// \brief Loads a whole file into a reader.
+  static Result<BinaryReader> FromFile(const std::string& path);
+
+  Result<uint32_t> ReadU32() { return ReadPod<uint32_t>(); }
+  Result<uint64_t> ReadU64() { return ReadPod<uint64_t>(); }
+  Result<int64_t> ReadI64() { return ReadPod<int64_t>(); }
+  Result<float> ReadF32() { return ReadPod<float>(); }
+  Result<double> ReadF64() { return ReadPod<double>(); }
+  Result<std::string> ReadString();
+  Result<std::vector<float>> ReadF32Vector();
+
+  bool AtEnd() const { return pos_ == buf_.size(); }
+
+ private:
+  template <typename T>
+  Result<T> ReadPod() {
+    if (pos_ + sizeof(T) > buf_.size()) {
+      return Status::OutOfRange("BinaryReader: read past end of buffer");
+    }
+    T v;
+    std::memcpy(&v, buf_.data() + pos_, sizeof(T));
+    pos_ += sizeof(T);
+    return v;
+  }
+
+  std::vector<uint8_t> buf_;
+  size_t pos_ = 0;
+};
+
+}  // namespace tabbin
+
+#endif  // TABBIN_UTIL_SERIALIZE_H_

@@ -1,0 +1,147 @@
+// Status / Result error-handling primitives, modeled on the
+// Abseil/Arrow style used across database codebases.
+//
+// Functions that can fail return Status (no payload) or Result<T>
+// (payload-or-error). Errors carry a code and a human-readable message.
+#ifndef TABBIN_UTIL_STATUS_H_
+#define TABBIN_UTIL_STATUS_H_
+
+#include <cassert>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace tabbin {
+
+/// \brief Canonical error codes.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kOutOfRange,
+  kUnimplemented,
+  kInternal,
+  kIoError,
+  kParseError,
+};
+
+/// \brief Returns a short human-readable name for a status code.
+const char* StatusCodeName(StatusCode code);
+
+/// \brief Success-or-error outcome of an operation.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status IoError(std::string msg) {
+    return Status(StatusCode::kIoError, std::move(msg));
+  }
+  static Status ParseError(std::string msg) {
+    return Status(StatusCode::kParseError, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// \brief "OK" or "<CODE>: <message>".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+/// \brief A value of type T or an error Status.
+template <typename T>
+class Result {
+ public:
+  // Intentionally implicit so `return value;` and `return status;` work.
+  Result(T value) : payload_(std::move(value)) {}  // NOLINT
+  Result(Status status) : payload_(std::move(status)) {  // NOLINT
+    assert(!std::get<Status>(payload_).ok() &&
+           "Result constructed from OK status");
+  }
+
+  bool ok() const { return std::holds_alternative<T>(payload_); }
+
+  const Status& status() const {
+    static const Status kOk;
+    if (ok()) return kOk;
+    return std::get<Status>(payload_);
+  }
+
+  /// \brief Returns the contained value; must only be called when ok().
+  T& value() & {
+    assert(ok() && "Result::value() on error result");
+    return std::get<T>(payload_);
+  }
+  const T& value() const& {
+    assert(ok() && "Result::value() on error result");
+    return std::get<T>(payload_);
+  }
+  T&& value() && {
+    assert(ok() && "Result::value() on error result");
+    return std::get<T>(std::move(payload_));
+  }
+
+  T value_or(T fallback) const {
+    return ok() ? std::get<T>(payload_) : std::move(fallback);
+  }
+
+ private:
+  std::variant<T, Status> payload_;
+};
+
+// Propagates an error Status from an expression to the caller.
+#define TABBIN_RETURN_IF_ERROR(expr)                \
+  do {                                              \
+    ::tabbin::Status _st = (expr);                  \
+    if (!_st.ok()) return _st;                      \
+  } while (0)
+
+// Evaluates a Result expression, assigning the value or returning the error.
+#define TABBIN_ASSIGN_OR_RETURN_IMPL(tmp, lhs, rexpr) \
+  auto tmp = (rexpr);                                 \
+  if (!tmp.ok()) return tmp.status();                 \
+  lhs = std::move(tmp).value()
+
+#define TABBIN_ASSIGN_OR_RETURN(lhs, rexpr) \
+  TABBIN_ASSIGN_OR_RETURN_IMPL(             \
+      TABBIN_CONCAT_(_result_, __LINE__), lhs, rexpr)
+
+#define TABBIN_CONCAT_INNER_(a, b) a##b
+#define TABBIN_CONCAT_(a, b) TABBIN_CONCAT_INNER_(a, b)
+
+}  // namespace tabbin
+
+#endif  // TABBIN_UTIL_STATUS_H_

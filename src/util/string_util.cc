@@ -1,0 +1,128 @@
+#include "util/string_util.h"
+
+#include <algorithm>
+#include <cctype>
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+namespace tabbin {
+
+namespace {
+bool IsSpace(char c) {
+  return c == ' ' || c == '\t' || c == '\n' || c == '\r' || c == '\f' ||
+         c == '\v';
+}
+}  // namespace
+
+std::string Trim(std::string_view s) {
+  size_t b = 0, e = s.size();
+  while (b < e && IsSpace(s[b])) ++b;
+  while (e > b && IsSpace(s[e - 1])) --e;
+  return std::string(s.substr(b, e - b));
+}
+
+std::string ToLower(std::string_view s) {
+  std::string out(s);
+  std::transform(out.begin(), out.end(), out.begin(), [](unsigned char c) {
+    return static_cast<char>(std::tolower(c));
+  });
+  return out;
+}
+
+std::vector<std::string> Split(std::string_view s, char delim) {
+  std::vector<std::string> out;
+  size_t start = 0;
+  for (size_t i = 0; i <= s.size(); ++i) {
+    if (i == s.size() || s[i] == delim) {
+      out.emplace_back(s.substr(start, i - start));
+      start = i + 1;
+    }
+  }
+  return out;
+}
+
+std::vector<std::string> SplitWhitespace(std::string_view s) {
+  std::vector<std::string> out;
+  size_t i = 0;
+  while (i < s.size()) {
+    while (i < s.size() && IsSpace(s[i])) ++i;
+    size_t start = i;
+    while (i < s.size() && !IsSpace(s[i])) ++i;
+    if (i > start) out.emplace_back(s.substr(start, i - start));
+  }
+  return out;
+}
+
+std::string Join(const std::vector<std::string>& parts, std::string_view sep) {
+  std::string out;
+  for (size_t i = 0; i < parts.size(); ++i) {
+    if (i) out += sep;
+    out += parts[i];
+  }
+  return out;
+}
+
+bool StartsWith(std::string_view s, std::string_view prefix) {
+  return s.size() >= prefix.size() && s.substr(0, prefix.size()) == prefix;
+}
+
+bool EndsWith(std::string_view s, std::string_view suffix) {
+  return s.size() >= suffix.size() &&
+         s.substr(s.size() - suffix.size()) == suffix;
+}
+
+std::optional<double> ParseNumber(std::string_view s) {
+  std::string cleaned = Trim(s);
+  if (cleaned.empty()) return std::nullopt;
+  // Strip thousands separators like "1,234,567".
+  std::string no_commas;
+  no_commas.reserve(cleaned.size());
+  for (char c : cleaned) {
+    if (c == ',') continue;
+    no_commas += c;
+  }
+  if (no_commas.empty()) return std::nullopt;
+  const char* begin = no_commas.c_str();
+  char* end = nullptr;
+  errno = 0;
+  double v = std::strtod(begin, &end);
+  if (end != begin + no_commas.size()) return std::nullopt;
+  if (errno == ERANGE || !std::isfinite(v)) return std::nullopt;
+  return v;
+}
+
+bool IsAllDigits(std::string_view s) {
+  if (s.empty()) return false;
+  return std::all_of(s.begin(), s.end(), [](unsigned char c) {
+    return std::isdigit(c) != 0;
+  });
+}
+
+bool IsNumericString(std::string_view s) { return ParseNumber(s).has_value(); }
+
+std::string ReplaceAll(std::string s, std::string_view from,
+                       std::string_view to) {
+  if (from.empty()) return s;
+  size_t pos = 0;
+  while ((pos = s.find(from, pos)) != std::string::npos) {
+    s.replace(pos, from.size(), to);
+    pos += to.size();
+  }
+  return s;
+}
+
+std::string FormatDouble(double v, int max_precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", max_precision, v);
+  std::string s(buf);
+  if (s.find('.') != std::string::npos) {
+    size_t last = s.find_last_not_of('0');
+    if (s[last] == '.') --last;
+    s.erase(last + 1);
+  }
+  return s;
+}
+
+}  // namespace tabbin

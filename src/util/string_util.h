@@ -1,0 +1,51 @@
+// Small string helpers shared across the library (trimming, splitting,
+// case folding, numeric parsing, joining).
+#ifndef TABBIN_UTIL_STRING_UTIL_H_
+#define TABBIN_UTIL_STRING_UTIL_H_
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace tabbin {
+
+/// \brief Removes leading/trailing ASCII whitespace.
+std::string Trim(std::string_view s);
+
+/// \brief Lower-cases ASCII letters.
+std::string ToLower(std::string_view s);
+
+/// \brief Splits on a single-character delimiter; keeps empty fields.
+std::vector<std::string> Split(std::string_view s, char delim);
+
+/// \brief Splits on runs of ASCII whitespace; drops empty fields.
+std::vector<std::string> SplitWhitespace(std::string_view s);
+
+/// \brief Joins parts with a separator.
+std::string Join(const std::vector<std::string>& parts, std::string_view sep);
+
+/// \brief True if s starts with / ends with the prefix/suffix.
+bool StartsWith(std::string_view s, std::string_view prefix);
+bool EndsWith(std::string_view s, std::string_view suffix);
+
+/// \brief Parses a decimal number (integer or floating point, optional
+/// sign, thousands commas allowed). Returns nullopt if s is not a number.
+std::optional<double> ParseNumber(std::string_view s);
+
+/// \brief True if every character is an ASCII digit (and s is non-empty).
+bool IsAllDigits(std::string_view s);
+
+/// \brief True if the string parses as a number via ParseNumber.
+bool IsNumericString(std::string_view s);
+
+/// \brief Replaces all occurrences of `from` with `to`.
+std::string ReplaceAll(std::string s, std::string_view from,
+                       std::string_view to);
+
+/// \brief Formats a double with fixed precision, trimming trailing zeros.
+std::string FormatDouble(double v, int max_precision = 6);
+
+}  // namespace tabbin
+
+#endif  // TABBIN_UTIL_STRING_UTIL_H_

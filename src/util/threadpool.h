@@ -1,0 +1,53 @@
+// Fixed-size thread pool plus a ParallelFor helper used by the tensor
+// library and the dataset generators.
+#ifndef TABBIN_UTIL_THREADPOOL_H_
+#define TABBIN_UTIL_THREADPOOL_H_
+
+#include <condition_variable>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace tabbin {
+
+/// \brief A simple fixed-size worker pool.
+class ThreadPool {
+ public:
+  /// \param num_threads Number of workers; 0 means hardware concurrency.
+  explicit ThreadPool(size_t num_threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// \brief Enqueues a task and returns a future for its completion.
+  std::future<void> Submit(std::function<void()> task);
+
+  size_t num_threads() const { return workers_.size(); }
+
+  /// \brief Process-wide shared pool (lazily constructed).
+  static ThreadPool& Global();
+
+ private:
+  void WorkerLoop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::packaged_task<void()>> tasks_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool shutdown_ = false;
+};
+
+/// \brief Runs fn(i) for i in [begin, end) across the global pool.
+///
+/// Falls back to a serial loop for small ranges to avoid overhead.
+void ParallelFor(size_t begin, size_t end,
+                 const std::function<void(size_t)>& fn,
+                 size_t grain = 1024);
+
+}  // namespace tabbin
+
+#endif  // TABBIN_UTIL_THREADPOOL_H_

@@ -1,0 +1,260 @@
+// Tests for the four baselines: Word2Vec, BertLike, TUTA-like, DITTO.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "baselines/bertlike.h"
+#include "baselines/ditto.h"
+#include "baselines/tuta.h"
+#include "baselines/word2vec.h"
+#include "datagen/pairs.h"
+#include "tensor/ops.h"
+#include "test_tables.h"
+#include "text/wordpiece.h"
+
+namespace tabbin {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Word2Vec
+// ---------------------------------------------------------------------------
+
+TEST(Word2VecTest, LearnsCooccurrence) {
+  // Words that always co-occur should end up closer than unrelated ones.
+  std::vector<std::string> sentences;
+  for (int i = 0; i < 300; ++i) {
+    sentences.push_back("king queen royal palace");
+    sentences.push_back("dog cat pet animal");
+  }
+  Word2VecConfig cfg;
+  cfg.dim = 16;
+  cfg.epochs = 5;
+  Word2Vec w2v(cfg);
+  double secs = w2v.Train(sentences);
+  EXPECT_GT(secs, 0.0);
+  EXPECT_GE(w2v.vocab_size(), 8);
+  auto king = w2v.Embed("king");
+  auto queen = w2v.Embed("queen");
+  auto dog = w2v.Embed("dog");
+  EXPECT_GT(CosineSimilarity(king, queen), CosineSimilarity(king, dog));
+}
+
+TEST(Word2VecTest, EmbedUnknownIsZero) {
+  Word2Vec w2v;
+  auto v = w2v.Embed("anything");
+  for (float x : v) EXPECT_EQ(x, 0.0f);
+}
+
+TEST(Word2VecTest, MeanOfKnownWords) {
+  std::vector<std::string> sentences(50, "alpha beta gamma");
+  Word2VecConfig cfg;
+  cfg.dim = 8;
+  Word2Vec w2v(cfg);
+  w2v.Train(sentences);
+  auto a = w2v.Embed("alpha");
+  auto b = w2v.Embed("beta");
+  auto mean = w2v.Embed("alpha beta");
+  for (size_t i = 0; i < mean.size(); ++i) {
+    EXPECT_NEAR(mean[i], (a[i] + b[i]) / 2, 1e-5);
+  }
+}
+
+TEST(Word2VecTest, SerializeTuplesIncludesHeadersAndNested) {
+  Table t = MakeOncologyTable();
+  auto tuples = SerializeTuples(t);
+  EXPECT_EQ(tuples.size(), 6u);  // six data rows
+  bool mentions_nested = false;
+  for (const auto& s : tuples) {
+    if (s.find("HR") != std::string::npos) mentions_nested = true;
+  }
+  EXPECT_TRUE(mentions_nested);
+}
+
+// ---------------------------------------------------------------------------
+// BertLike
+// ---------------------------------------------------------------------------
+
+Vocab SmallVocab() {
+  std::vector<std::string> corpus = {
+      "overall survival months treatment drug cohort patients",
+      "name age job engineer lawyer scientist sam mia leo",
+      "efficacy end point other previously untreated failing",
+  };
+  return TrainWordPieceVocab(corpus, 2000, 1);
+}
+
+BertLikeConfig TinyBertConfig() {
+  BertLikeConfig cfg;
+  cfg.hidden = 24;
+  cfg.num_layers = 1;
+  cfg.num_heads = 2;
+  cfg.intermediate = 48;
+  cfg.max_seq_len = 64;
+  cfg.pretrain_steps = 25;
+  cfg.batch_size = 2;
+  cfg.learning_rate = 2e-3f;
+  return cfg;
+}
+
+TEST(BertLikeTest, PretrainRunsAndEncodes) {
+  Vocab vocab = SmallVocab();
+  BertLikeModel model(TinyBertConfig(), &vocab);
+  std::vector<std::string> texts = {
+      "overall survival months", "treatment drug cohort",
+      "patients previously untreated", "efficacy end point"};
+  float loss = model.Pretrain(texts);
+  EXPECT_GT(loss, 0.0f);
+  auto e = model.EncodeText("overall survival");
+  EXPECT_EQ(e.size(), 24u);
+  double norm = 0;
+  for (float v : e) norm += static_cast<double>(v) * v;
+  EXPECT_GT(norm, 0.0);
+}
+
+TEST(BertLikeTest, TableAndColumnEncodersProduceHiddenWidth) {
+  Vocab vocab = SmallVocab();
+  BertLikeModel model(TinyBertConfig(), &vocab);
+  Table t = MakeRelationalTable();
+  EXPECT_EQ(model.EncodeTable(t).size(), 24u);
+  EXPECT_EQ(model.EncodeColumn(t, 1).size(), 24u);
+  EXPECT_EQ(model.EncodeCell(t, 1, 0).size(), 24u);
+}
+
+TEST(BertLikeTest, DifferentTextsDifferentEmbeddings) {
+  Vocab vocab = SmallVocab();
+  BertLikeModel model(TinyBertConfig(), &vocab);
+  auto a = model.EncodeText("overall survival months");
+  auto b = model.EncodeText("engineer lawyer scientist");
+  EXPECT_LT(CosineSimilarity(a, b), 0.999f);
+}
+
+// ---------------------------------------------------------------------------
+// TUTA-like
+// ---------------------------------------------------------------------------
+
+TEST(TutaTest, ConfigDisablesUnitsAndTypes) {
+  Vocab vocab = SmallVocab();
+  TypeInferencer typer;
+  TabBiNConfig cfg;
+  cfg.hidden = 24;
+  cfg.num_layers = 1;
+  cfg.num_heads = 2;
+  cfg.intermediate = 48;
+  cfg.pretrain_steps = 5;
+  TutaModel tuta(cfg, &vocab, &typer);
+  EXPECT_FALSE(tuta.config().use_units_nesting);
+  EXPECT_FALSE(tuta.config().use_type_inference);
+  EXPECT_TRUE(tuta.config().use_visibility_matrix);
+}
+
+TEST(TutaTest, PretrainsAndEncodes) {
+  Vocab vocab = SmallVocab();
+  TypeInferencer typer;
+  TabBiNConfig cfg;
+  cfg.hidden = 24;
+  cfg.num_layers = 1;
+  cfg.num_heads = 2;
+  cfg.intermediate = 48;
+  cfg.pretrain_steps = 10;
+  cfg.batch_size = 2;
+  cfg.learning_rate = 2e-3f;
+  TutaModel tuta(cfg, &vocab, &typer);
+  std::vector<Table> corpus = {MakeOncologyTable(), MakeRelationalTable()};
+  auto stats = tuta.Pretrain(corpus);
+  EXPECT_GT(stats.steps, 0);
+  Table t = MakeOncologyTable();
+  EXPECT_EQ(tuta.EncodeTable(t).size(), 24u);
+  auto col_a = tuta.EncodeColumn(t, 2);
+  auto col_b = tuta.EncodeColumn(t, 7);
+  EXPECT_EQ(col_a.size(), 24u);
+  bool differ = false;
+  for (size_t i = 0; i < col_a.size(); ++i) {
+    if (std::fabs(col_a[i] - col_b[i]) > 1e-7) differ = true;
+  }
+  EXPECT_TRUE(differ);
+}
+
+TEST(TutaTest, WholeTableSequenceCoversAllSegments) {
+  Vocab vocab = SmallVocab();
+  TypeInferencer typer;
+  TabBiNConfig cfg;
+  cfg.max_seq_len = 512;
+  Table t = MakeOncologyTable();
+  EncodedSequence seq = BuildWholeTableSequence(t, vocab, typer, cfg);
+  bool saw_hmd = false, saw_vmd = false, saw_data = false;
+  for (const auto& span : seq.cell_spans) {
+    Segment s = t.SegmentOf(span.row, span.col);
+    if (s == Segment::kHmd) saw_hmd = true;
+    if (s == Segment::kVmd) saw_vmd = true;
+    if (s == Segment::kData) saw_data = true;
+  }
+  EXPECT_TRUE(saw_hmd);
+  EXPECT_TRUE(saw_vmd);
+  EXPECT_TRUE(saw_data);
+}
+
+// ---------------------------------------------------------------------------
+// DITTO + EmbeddingMatcher
+// ---------------------------------------------------------------------------
+
+TEST(DittoTest, LearnsEasyMatching) {
+  // Trivially separable pairs: matches are identical strings.
+  std::vector<EntityPair> train, test;
+  Rng rng(9);
+  std::vector<std::string> names = SynthesizeNames("drug", 40, 2);
+  for (int i = 0; i < 60; ++i) {
+    const auto& a = names[rng.Uniform(names.size())];
+    const auto& b = names[rng.Uniform(names.size())];
+    EntityPair p{a, (i % 2 == 0) ? a : b, a == ((i % 2 == 0) ? a : b)};
+    if (i < 45) {
+      train.push_back(p);
+    } else {
+      test.push_back(p);
+    }
+  }
+  Vocab vocab;
+  for (const auto& n : names) {
+    for (const auto& tok : Tokenize(n, vocab)) (void)tok;
+  }
+  // Build vocab from names.
+  std::vector<std::string> corpus(names.begin(), names.end());
+  vocab = TrainWordPieceVocab(corpus, 2000, 1);
+
+  BertLikeConfig cfg = TinyBertConfig();
+  cfg.pretrain_steps = 0;
+  MatcherConfig mcfg;
+  mcfg.epochs = 4;
+  DittoModel ditto(cfg, &vocab, mcfg);
+  ditto.Train(train);
+  BinaryScore score = ditto.Evaluate(test);
+  EXPECT_GT(score.f1, 0.6);
+}
+
+TEST(EmbeddingMatcherTest, PerfectEmbeddingsGivePerfectF1) {
+  // Embedding = deterministic hash bucket vector; identical strings match.
+  auto embed = [](const std::string& s) {
+    std::vector<float> v(8, 0.0f);
+    v[std::hash<std::string>{}(s) % 8] = 1.0f;
+    return v;
+  };
+  std::vector<EntityPair> pairs;
+  auto names = SynthesizeNames("city", 30, 11);
+  Rng rng(12);
+  for (int i = 0; i < 80; ++i) {
+    const auto& a = names[rng.Uniform(names.size())];
+    if (i % 2 == 0) {
+      pairs.push_back({a, a, true});
+    } else {
+      const auto& b = names[rng.Uniform(names.size())];
+      if (a == b) continue;
+      pairs.push_back({a, b, false});
+    }
+  }
+  EmbeddingMatcher matcher(embed, 8);
+  matcher.Train(pairs);
+  BinaryScore s = matcher.Evaluate(pairs);
+  EXPECT_GT(s.f1, 0.85);
+}
+
+}  // namespace
+}  // namespace tabbin

@@ -1,0 +1,228 @@
+// Tests for the synthetic dataset generators: corpus statistics, ground
+// truth consistency, catalogs, and entity-pair generation.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <unordered_set>
+
+#include "datagen/catalogs.h"
+#include "datagen/corpus_gen.h"
+#include "datagen/pairs.h"
+
+namespace tabbin {
+namespace {
+
+TEST(CatalogsTest, SynthesizedNamesAreUniqueAndCount) {
+  auto names = SynthesizeNames("drug", 100, 5);
+  EXPECT_EQ(names.size(), 100u);
+  std::unordered_set<std::string> unique(names.begin(), names.end());
+  EXPECT_EQ(unique.size(), 100u);
+}
+
+TEST(CatalogsTest, Deterministic) {
+  EXPECT_EQ(SynthesizeNames("city", 30, 7), SynthesizeNames("city", 30, 7));
+  EXPECT_NE(SynthesizeNames("city", 30, 7), SynthesizeNames("city", 30, 8));
+}
+
+TEST(CatalogsTest, EighteenCatalogsAcrossFiveDatasets) {
+  auto all = AllCatalogs(9);
+  EXPECT_EQ(all.size(), 18u);  // paper: 18 entity types
+  std::set<std::string> datasets;
+  for (const auto& [ds, cat] : all) {
+    datasets.insert(ds);
+    EXPECT_FALSE(cat.entities.empty());
+  }
+  EXPECT_EQ(datasets.size(), 5u);
+}
+
+// ---------------------------------------------------------------------------
+// Corpus generators
+// ---------------------------------------------------------------------------
+
+class DatasetGenTest : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(DatasetGenTest, GeneratesValidLabeledCorpus) {
+  GeneratorOptions opts;
+  opts.num_tables = 60;
+  opts.seed = 21;
+  LabeledCorpus lc = GenerateDataset(GetParam(), opts);
+  EXPECT_EQ(lc.corpus.name, GetParam());
+  ASSERT_EQ(lc.corpus.tables.size(), 60u);
+  // Every table validates and has a topic.
+  for (const auto& t : lc.corpus.tables) {
+    EXPECT_TRUE(t.Validate().ok()) << t.id();
+    EXPECT_FALSE(t.topic().empty());
+    EXPECT_FALSE(t.caption().empty());
+  }
+  // Ground truth indices are in range.
+  EXPECT_EQ(lc.tables.size(), 60u);
+  for (const auto& q : lc.columns) {
+    ASSERT_LT(q.table_index, 60);
+    const Table& t = lc.corpus.tables[static_cast<size_t>(q.table_index)];
+    EXPECT_GE(q.col, t.vmd_cols());
+    EXPECT_LT(q.col, t.cols());
+    EXPECT_FALSE(q.label.empty());
+  }
+  for (const auto& q : lc.entities) {
+    ASSERT_LT(q.table_index, 60);
+    const Table& t = lc.corpus.tables[static_cast<size_t>(q.table_index)];
+    EXPECT_GE(q.row, t.hmd_rows());
+    // The recorded entity appears in the cell text.
+    const std::string cell_text = t.cell(q.row, q.col).value.ToString();
+    EXPECT_NE(cell_text.find(q.entity.substr(0, 4)), std::string::npos);
+  }
+  // Each dataset has at least two topics and multiple column labels.
+  std::set<std::string> topics, col_labels;
+  for (const auto& q : lc.tables) topics.insert(q.label);
+  for (const auto& q : lc.columns) col_labels.insert(q.label);
+  EXPECT_GE(topics.size(), 2u);
+  EXPECT_GE(col_labels.size(), 5u);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllDatasets, DatasetGenTest,
+                         ::testing::Values("webtables", "covidkg", "cancerkg",
+                                           "saus", "cius"));
+
+TEST(CorpusGenTest, CancerKgMatchesPaperStatistics) {
+  GeneratorOptions opts;
+  opts.num_tables = 300;
+  LabeledCorpus lc = GenerateDataset("cancerkg", opts);
+  // Paper: >40% non-relational, ~10% nested.
+  EXPECT_GT(lc.NonRelationalFraction(), 0.35);
+  EXPECT_LT(lc.NonRelationalFraction(), 0.60);
+  EXPECT_GT(lc.NestedFraction(), 0.04);
+  EXPECT_LT(lc.NestedFraction(), 0.20);
+}
+
+TEST(CorpusGenTest, WebtablesMostlyRelational) {
+  GeneratorOptions opts;
+  opts.num_tables = 200;
+  LabeledCorpus lc = GenerateDataset("webtables", opts);
+  EXPECT_LT(lc.NonRelationalFraction(), 0.30);
+}
+
+TEST(CorpusGenTest, NonRelationalTablesHaveHierarchicalMetadata) {
+  GeneratorOptions opts;
+  opts.num_tables = 100;
+  LabeledCorpus lc = GenerateDataset("covidkg", opts);
+  int checked = 0;
+  for (const auto& t : lc.corpus.tables) {
+    if (t.IsRelational()) continue;
+    if (t.vmd_cols() == 0) continue;
+    EXPECT_EQ(t.hmd_rows(), 2);
+    EXPECT_EQ(t.vmd_cols(), 2);
+    // VMD level-1 label repeats down the column.
+    const std::string first = t.cell(t.hmd_rows(), 0).value.ToString();
+    const std::string second = t.cell(t.hmd_rows() + 1, 0).value.ToString();
+    EXPECT_EQ(first, second);
+    ++checked;
+  }
+  EXPECT_GT(checked, 10);
+}
+
+TEST(CorpusGenTest, HeaderVariantsDiffer) {
+  GeneratorOptions opts;
+  opts.num_tables = 120;
+  LabeledCorpus lc = GenerateDataset("cancerkg", opts);
+  // The same canonical column label should appear under more than one
+  // header spelling (that is the CC hardness knob).
+  std::map<std::string, std::set<std::string>> spellings;
+  for (const auto& q : lc.columns) {
+    const Table& t = lc.corpus.tables[static_cast<size_t>(q.table_index)];
+    spellings[q.label].insert(
+        t.cell(t.hmd_rows() - 1, q.col).value.ToString());
+  }
+  int multi = 0;
+  for (const auto& [label, set] : spellings) {
+    if (set.size() > 1) ++multi;
+  }
+  EXPECT_GT(multi, 3);
+}
+
+TEST(CorpusGenTest, DeterministicForSeed) {
+  GeneratorOptions opts;
+  opts.num_tables = 20;
+  opts.seed = 33;
+  auto a = GenerateDataset("cius", opts);
+  auto b = GenerateDataset("cius", opts);
+  ASSERT_EQ(a.corpus.tables.size(), b.corpus.tables.size());
+  for (size_t i = 0; i < a.corpus.tables.size(); ++i) {
+    EXPECT_EQ(a.corpus.tables[i].caption(), b.corpus.tables[i].caption());
+    EXPECT_EQ(a.corpus.tables[i].rows(), b.corpus.tables[i].rows());
+  }
+}
+
+TEST(CorpusGenTest, ValuesIncludeRangesAndGaussians) {
+  GeneratorOptions opts;
+  opts.num_tables = 150;
+  LabeledCorpus lc = GenerateDataset("cancerkg", opts);
+  int ranges = 0, gaussians = 0, units = 0;
+  for (const auto& t : lc.corpus.tables) {
+    for (int r = t.hmd_rows(); r < t.rows(); ++r) {
+      for (int c = t.vmd_cols(); c < t.cols(); ++c) {
+        const Value& v = t.cell(r, c).value;
+        if (v.kind() == ValueKind::kRange) ++ranges;
+        if (v.kind() == ValueKind::kGaussian) ++gaussians;
+        if (v.has_unit()) ++units;
+      }
+    }
+  }
+  EXPECT_GT(ranges, 20);
+  EXPECT_GT(gaussians, 20);
+  EXPECT_GT(units, 100);
+}
+
+// ---------------------------------------------------------------------------
+// Pair generation
+// ---------------------------------------------------------------------------
+
+TEST(PairsTest, CatalogPairsBalancedAndSplit) {
+  EntityCatalog catalog{"drug", SynthesizeNames("drug", 80, 3)};
+  PairDataset ds = GenerateCatalogPairs(catalog, "cancer-pairs", 200, 200, 5);
+  EXPECT_EQ(ds.name, "cancer-pairs");
+  const size_t total = ds.train.size() + ds.test.size();
+  EXPECT_EQ(total, 400u);
+  EXPECT_GT(ds.test.size(), 50u);  // ~25% test split
+  int pos = 0;
+  for (const auto& p : ds.train) pos += p.match ? 1 : 0;
+  for (const auto& p : ds.test) pos += p.match ? 1 : 0;
+  EXPECT_EQ(pos, 200);
+}
+
+TEST(PairsTest, PositivePairsShareTokens) {
+  EntityCatalog catalog{"city", SynthesizeNames("city", 60, 4)};
+  PairDataset ds = GenerateCatalogPairs(catalog, "x", 100, 100, 6);
+  // Positives should usually share a prefix even after perturbation.
+  int similar = 0, count = 0;
+  for (const auto& p : ds.train) {
+    if (!p.match) continue;
+    ++count;
+    std::string a = p.a.substr(0, 3), b = p.b.substr(0, 3);
+    for (auto& ch : a) ch = static_cast<char>(std::tolower(ch));
+    for (auto& ch : b) ch = static_cast<char>(std::tolower(ch));
+    if (a == b) ++similar;
+  }
+  ASSERT_GT(count, 0);
+  EXPECT_GT(static_cast<double>(similar) / count, 0.5);
+}
+
+TEST(PairsTest, ProductStylesProduceDifferentNoise) {
+  PairDataset ag = GenerateProductPairs("amazon-google", 150, 150, 7);
+  PairDataset ab = GenerateProductPairs("abt-buy", 150, 150, 7);
+  EXPECT_FALSE(ag.train.empty());
+  EXPECT_FALSE(ab.train.empty());
+  // Abt-Buy style adds description tails: average string length longer.
+  auto avg_len = [](const PairDataset& ds) {
+    double total = 0;
+    int n = 0;
+    for (const auto& p : ds.train) {
+      total += static_cast<double>(p.a.size() + p.b.size());
+      n += 2;
+    }
+    return total / n;
+  };
+  EXPECT_GT(avg_len(ab), avg_len(ag) * 0.9);
+}
+
+}  // namespace
+}  // namespace tabbin

@@ -1,0 +1,107 @@
+// Tests for the bi-GRU metadata classifier (the paper's metadata-labeling
+// architecture) and its GRU layer substrate.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "meta/gru_classifier.h"
+#include "test_tables.h"
+
+namespace tabbin {
+namespace {
+
+TEST(GruLayerTest, OutputShapeAndFiniteness) {
+  Rng rng(1);
+  GruLayer gru(4, 8, &rng);
+  Tensor x = Tensor::Randn({5, 4}, &rng, 1.0f);
+  NoGradGuard guard;
+  Tensor h = gru.Forward(x);
+  EXPECT_EQ(h.dim(0), 5);
+  EXPECT_EQ(h.dim(1), 8);
+  for (size_t i = 0; i < h.size(); ++i) {
+    EXPECT_TRUE(std::isfinite(h.data()[i]));
+    EXPECT_LE(std::fabs(h.data()[i]), 1.0f + 1e-5f);  // tanh-bounded state
+  }
+}
+
+TEST(GruLayerTest, ReverseProcessesBackwards) {
+  // With a reversed pass, the output at the LAST row depends only on the
+  // last input row; changing the first input row must not affect it.
+  Rng rng(2);
+  GruLayer gru(3, 6, &rng);
+  Tensor x1 = Tensor::Randn({4, 3}, &rng, 1.0f);
+  Tensor x2 = x1.Clone();
+  for (int c = 0; c < 3; ++c) x2.set(0, c, x2.at(0, c) + 3.0f);
+  NoGradGuard guard;
+  Tensor h1 = gru.Forward(x1, /*reverse=*/true);
+  Tensor h2 = gru.Forward(x2, /*reverse=*/true);
+  for (int c = 0; c < 6; ++c) {
+    EXPECT_NEAR(h1.at(3, c), h2.at(3, c), 1e-6f);  // last row unaffected
+  }
+  // The first row's output *is* affected (it has seen the whole suffix).
+  bool differs = false;
+  for (int c = 0; c < 6; ++c) {
+    if (std::fabs(h1.at(0, c) - h2.at(0, c)) > 1e-6f) differs = true;
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST(GruLayerTest, GradientsFlowThroughRecurrence) {
+  Rng rng(3);
+  GruLayer gru(3, 4, &rng);
+  Tensor x = Tensor::Randn({4, 3}, &rng, 1.0f, /*requires_grad=*/true);
+  Tensor h = gru.Forward(x);
+  SumAll(h).Backward();
+  // Every input step should receive some gradient.
+  double total = 0;
+  for (size_t i = 0; i < x.size(); ++i) total += std::fabs(x.grad()[i]);
+  EXPECT_GT(total, 0.0);
+  auto params = gru.Parameters();
+  EXPECT_EQ(params.size(), 9u);  // 3 input linears w/ bias + 3 recurrent
+}
+
+TEST(GruMetadataClassifierTest, LearnsFixtureTables) {
+  std::vector<Table> corpus;
+  for (int i = 0; i < 8; ++i) {
+    corpus.push_back(MakeOncologyTable());
+    corpus.push_back(MakeRelationalTable());
+  }
+  GruMetadataClassifier::Options opts;
+  opts.epochs = 40;
+  GruMetadataClassifier clf(opts);
+  double loss = clf.TrainOnCorpus(corpus);
+  EXPECT_LT(loss, 0.5);
+
+  auto det_onc = clf.Detect(MakeOncologyTable());
+  EXPECT_EQ(det_onc.hmd_rows, 2);
+  EXPECT_EQ(det_onc.vmd_cols, 2);
+  auto det_rel = clf.Detect(MakeRelationalTable());
+  EXPECT_EQ(det_rel.hmd_rows, 1);
+  EXPECT_EQ(det_rel.vmd_cols, 0);
+}
+
+TEST(GruMetadataClassifierTest, PredictReturnsProbabilities) {
+  GruMetadataClassifier clf;
+  auto probs = clf.Predict(MakeOncologyTable(), /*is_row=*/true);
+  EXPECT_EQ(probs.size(), 8u);
+  for (double p : probs) {
+    EXPECT_GE(p, 0.0);
+    EXPECT_LE(p, 1.0);
+  }
+}
+
+TEST(GruMetadataClassifierTest, TrainingReducesLoss) {
+  std::vector<Table> corpus = {MakeOncologyTable(), MakeRelationalTable()};
+  GruMetadataClassifier::Options short_opts;
+  short_opts.epochs = 2;
+  GruMetadataClassifier a(short_opts);
+  double early = a.TrainOnCorpus(corpus);
+  GruMetadataClassifier::Options long_opts;
+  long_opts.epochs = 40;
+  GruMetadataClassifier b(long_opts);
+  double late = b.TrainOnCorpus(corpus);
+  EXPECT_LT(late, early);
+}
+
+}  // namespace
+}  // namespace tabbin

@@ -1,0 +1,109 @@
+// Tests for the BM25 retriever and the LLM+RAG behavioural simulator.
+#include <gtest/gtest.h>
+
+#include "llm/rag_simulator.h"
+
+namespace tabbin {
+namespace {
+
+std::vector<RagDocument> TopicDocs() {
+  // Three topics with distinctive vocabulary, 8 documents each.
+  std::vector<RagDocument> docs;
+  // Shared filler terms ("table", "total", "annual", "report") make the
+  // retrieval pools cross-topic, as in real corpora.
+  const char* medical[] = {"table survival months drug treatment cohort total",
+                           "drug efficacy survival treatment annual report",
+                           "cohort treatment survival drug months table",
+                           "treatment drug months cohort efficacy total"};
+  const char* sports[] = {"table club points wins goals league total",
+                          "league standings wins points club annual report",
+                          "goals club league points season table",
+                          "season wins goals standings league total"};
+  const char* finance[] = {"table revenue spending budget fiscal state total",
+                           "budget state revenue expenditure annual report",
+                           "fiscal spending budget revenue year table",
+                           "state budget fiscal revenue spending total"};
+  for (int i = 0; i < 8; ++i) {
+    docs.push_back({medical[i % 4], "medical"});
+    docs.push_back({sports[i % 4], "sports"});
+    docs.push_back({finance[i % 4], "finance"});
+  }
+  return docs;
+}
+
+TEST(Bm25Test, RetrievesSameTopicDocuments) {
+  auto docs = TopicDocs();
+  Bm25Retriever retriever;
+  retriever.Index(docs);
+  auto top = retriever.Retrieve("survival drug treatment", 5);
+  ASSERT_FALSE(top.empty());
+  // Majority of the top-5 should be medical documents.
+  int medical = 0;
+  for (int d : top) {
+    if (docs[static_cast<size_t>(d)].label == "medical") ++medical;
+  }
+  EXPECT_GE(medical, 3);
+}
+
+TEST(Bm25Test, ExcludesQueryDocument) {
+  auto docs = TopicDocs();
+  Bm25Retriever retriever;
+  retriever.Index(docs);
+  auto top = retriever.Retrieve(docs[0].text, 10, /*exclude=*/0);
+  for (int d : top) EXPECT_NE(d, 0);
+}
+
+TEST(Bm25Test, UnknownTermsYieldEmpty) {
+  auto docs = TopicDocs();
+  Bm25Retriever retriever;
+  retriever.Index(docs);
+  EXPECT_TRUE(retriever.Retrieve("zzz qqq xxx", 5).empty());
+}
+
+TEST(ProfileTest, KnownProfilesOrdered) {
+  EXPECT_LT(ProfileFor("gpt2").first_hit_accuracy,
+            ProfileFor("llama2").first_hit_accuracy);
+  EXPECT_LT(ProfileFor("llama2").first_hit_accuracy,
+            ProfileFor("llama2+rag").first_hit_accuracy);
+  EXPECT_LT(ProfileFor("gpt3.5+rag").first_hit_accuracy,
+            ProfileFor("gpt4+rag").first_hit_accuracy);
+  EXPECT_TRUE(ProfileFor("gpt4+rag").uses_rag);
+  EXPECT_FALSE(ProfileFor("gpt2").uses_rag);
+}
+
+TEST(RagSimulatorTest, RagImprovesOverNoRag) {
+  auto docs = TopicDocs();
+  RagLlmSimulator with_rag(ProfileFor("llama2+rag"), 1);
+  RagLlmSimulator without(ProfileFor("llama2"), 1);
+  with_rag.Index(docs);
+  without.Index(docs);
+  auto a = with_rag.Evaluate(10, 24);
+  auto b = without.Evaluate(10, 24);
+  EXPECT_GT(a.map, b.map);
+}
+
+TEST(RagSimulatorTest, Gpt4RagNearPerfectMrr) {
+  auto docs = TopicDocs();
+  RagLlmSimulator sim(ProfileFor("gpt4+rag"), 2);
+  sim.Index(docs);
+  auto r = sim.Evaluate(10, 24);
+  EXPECT_GT(r.mrr, 0.95);
+  // The tail is imperfect: MAP stays visibly below MRR.
+  EXPECT_LT(r.map, r.mrr);
+}
+
+TEST(RagSimulatorTest, RankedListsRespectK) {
+  auto docs = TopicDocs();
+  RagLlmSimulator sim(ProfileFor("gpt3.5+rag"), 3);
+  sim.Index(docs);
+  auto ranked = sim.RankFor(0, 5);
+  EXPECT_LE(ranked.size(), 5u);
+  for (int d : ranked) {
+    EXPECT_GE(d, 0);
+    EXPECT_LT(d, static_cast<int>(docs.size()));
+    EXPECT_NE(d, 0);  // query excluded
+  }
+}
+
+}  // namespace
+}  // namespace tabbin

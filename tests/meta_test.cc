@@ -1,0 +1,250 @@
+// Tests for unit recognition, value parsing, type inference, and the
+// metadata classifier.
+#include <gtest/gtest.h>
+
+#include "meta/metadata_classifier.h"
+#include "meta/type_inference.h"
+#include "meta/units.h"
+#include "meta/value_parser.h"
+#include "test_tables.h"
+
+namespace tabbin {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Units
+// ---------------------------------------------------------------------------
+
+TEST(UnitsTest, RecognizesCommonUnits) {
+  EXPECT_EQ(RecognizeUnit("kg")->category, UnitCategory::kWeight);
+  EXPECT_EQ(RecognizeUnit("months")->category, UnitCategory::kTime);
+  EXPECT_EQ(RecognizeUnit("%")->category, UnitCategory::kStats);
+  EXPECT_EQ(RecognizeUnit("mmHg")->category, UnitCategory::kPressure);
+  EXPECT_EQ(RecognizeUnit("ml")->category, UnitCategory::kCapacity);
+  EXPECT_EQ(RecognizeUnit("cm")->category, UnitCategory::kLength);
+  EXPECT_EQ(RecognizeUnit("celsius")->category, UnitCategory::kTemperature);
+}
+
+TEST(UnitsTest, NormalizesPluralAndCase) {
+  EXPECT_EQ(RecognizeUnit("Months")->canonical, "month");
+  EXPECT_EQ(RecognizeUnit("YEARS")->canonical, "year");
+  EXPECT_EQ(RecognizeUnit("mo.")->canonical, "month");
+}
+
+TEST(UnitsTest, RejectsNonUnits) {
+  EXPECT_FALSE(RecognizeUnit("banana").has_value());
+  EXPECT_FALSE(RecognizeUnit("").has_value());
+  EXPECT_FALSE(RecognizeUnit("patient").has_value());
+}
+
+TEST(UnitsTest, StatsMarkers) {
+  EXPECT_TRUE(IsStatsMarker("%"));
+  EXPECT_TRUE(IsStatsMarker("HR"));
+  EXPECT_FALSE(IsStatsMarker("kg"));
+}
+
+// ---------------------------------------------------------------------------
+// Value parser
+// ---------------------------------------------------------------------------
+
+TEST(ValueParserTest, Empty) {
+  EXPECT_TRUE(ParseValue("").is_empty());
+  EXPECT_TRUE(ParseValue("   ").is_empty());
+}
+
+TEST(ValueParserTest, PlainNumber) {
+  Value v = ParseValue("20.3");
+  ASSERT_EQ(v.kind(), ValueKind::kNumber);
+  EXPECT_DOUBLE_EQ(v.number(), 20.3);
+  EXPECT_FALSE(v.has_unit());
+}
+
+TEST(ValueParserTest, NumberWithThousandsSeparator) {
+  Value v = ParseValue("1,234");
+  ASSERT_EQ(v.kind(), ValueKind::kNumber);
+  EXPECT_DOUBLE_EQ(v.number(), 1234.0);
+}
+
+TEST(ValueParserTest, NumberWithUnit) {
+  Value v = ParseValue("20.3 months");
+  ASSERT_EQ(v.kind(), ValueKind::kNumber);
+  EXPECT_DOUBLE_EQ(v.number(), 20.3);
+  EXPECT_EQ(v.unit(), UnitCategory::kTime);
+  EXPECT_EQ(v.unit_text(), "month");
+}
+
+TEST(ValueParserTest, PercentAttached) {
+  Value v = ParseValue("85%");
+  ASSERT_EQ(v.kind(), ValueKind::kNumber);
+  EXPECT_EQ(v.unit(), UnitCategory::kStats);
+}
+
+TEST(ValueParserTest, NegativeNumber) {
+  Value v = ParseValue("-7.5");
+  ASSERT_EQ(v.kind(), ValueKind::kNumber);
+  EXPECT_DOUBLE_EQ(v.number(), -7.5);
+}
+
+TEST(ValueParserTest, RangeWithDash) {
+  Value v = ParseValue("20-30");
+  ASSERT_EQ(v.kind(), ValueKind::kRange);
+  EXPECT_DOUBLE_EQ(v.range_lo(), 20.0);
+  EXPECT_DOUBLE_EQ(v.range_hi(), 30.0);
+}
+
+TEST(ValueParserTest, RangeWithUnitAndSpaces) {
+  Value v = ParseValue("20 - 30 years");
+  ASSERT_EQ(v.kind(), ValueKind::kRange);
+  EXPECT_EQ(v.unit(), UnitCategory::kTime);
+}
+
+TEST(ValueParserTest, RangeWithEnDash) {
+  Value v = ParseValue("20–30");
+  ASSERT_EQ(v.kind(), ValueKind::kRange);
+}
+
+TEST(ValueParserTest, RangeWithTo) {
+  Value v = ParseValue("20 to 30 kg");
+  ASSERT_EQ(v.kind(), ValueKind::kRange);
+  EXPECT_EQ(v.unit(), UnitCategory::kWeight);
+}
+
+TEST(ValueParserTest, GaussianPlusMinusSymbol) {
+  Value v = ParseValue("5.2 ± 1.1");
+  ASSERT_EQ(v.kind(), ValueKind::kGaussian);
+  EXPECT_DOUBLE_EQ(v.mean(), 5.2);
+  EXPECT_DOUBLE_EQ(v.stddev(), 1.1);
+}
+
+TEST(ValueParserTest, GaussianAsciiForm) {
+  Value v = ParseValue("5.2 +/- 1.1 %");
+  ASSERT_EQ(v.kind(), ValueKind::kGaussian);
+  EXPECT_EQ(v.unit(), UnitCategory::kStats);
+}
+
+TEST(ValueParserTest, StringFallbacks) {
+  EXPECT_EQ(ParseValue("colon cancer").kind(), ValueKind::kString);
+  EXPECT_EQ(ParseValue("20.3 bananas").kind(), ValueKind::kString);
+  EXPECT_EQ(ParseValue("N/A").kind(), ValueKind::kString);
+  // A number followed by junk is not silently truncated to a number.
+  EXPECT_EQ(ParseValue("3 out of 5").kind(), ValueKind::kString);
+}
+
+TEST(ValueParserTest, TrimsWhitespace) {
+  Value v = ParseValue("  42  ");
+  ASSERT_EQ(v.kind(), ValueKind::kNumber);
+}
+
+// ---------------------------------------------------------------------------
+// Type inference
+// ---------------------------------------------------------------------------
+
+TEST(TypeInferenceTest, ValueKindDrivenTypes) {
+  TypeInferencer ti;
+  EXPECT_EQ(ti.Infer(Value::Number(5)), SemType::kNumeric);
+  EXPECT_EQ(ti.Infer(Value::Number(5, UnitCategory::kTime, "month")),
+            SemType::kMeasurement);
+  EXPECT_EQ(ti.Infer(Value::Range(1, 2)), SemType::kRange);
+  EXPECT_EQ(ti.Infer(Value::Gaussian(1, 2)), SemType::kMeasurement);
+}
+
+TEST(TypeInferenceTest, GazetteerLookups) {
+  TypeInferencer ti;
+  EXPECT_EQ(ti.InferText("colon"), SemType::kDisease);
+  EXPECT_EQ(ti.InferText("Moderna"), SemType::kVaccine);
+  EXPECT_EQ(ti.InferText("irinotecan"), SemType::kDrug);
+  EXPECT_EQ(ti.InferText("chemotherapy"), SemType::kTreatment);
+  EXPECT_EQ(ti.InferText("fever"), SemType::kSymptom);
+  EXPECT_EQ(ti.InferText("Florida"), SemType::kPlace);
+  EXPECT_EQ(ti.InferText("FDA"), SemType::kOrganization);
+}
+
+TEST(TypeInferenceTest, MultiWordFallsBackToWordLookup) {
+  TypeInferencer ti;
+  EXPECT_EQ(ti.InferText("metastatic colon tumor"), SemType::kDisease);
+}
+
+TEST(TypeInferenceTest, Dates) {
+  TypeInferencer ti;
+  EXPECT_EQ(ti.InferText("2021-03-15"), SemType::kDate);
+  EXPECT_EQ(ti.InferText("March 2021"), SemType::kDate);
+  EXPECT_EQ(ti.InferText("03/15/2021"), SemType::kDate);
+}
+
+TEST(TypeInferenceTest, PersonNameHeuristic) {
+  TypeInferencer ti;
+  EXPECT_EQ(ti.InferText("John Smith"), SemType::kPerson);
+  EXPECT_EQ(ti.InferText("lowercase words"), SemType::kText);
+}
+
+TEST(TypeInferenceTest, CustomTermsOverride) {
+  TypeInferencer ti;
+  ti.AddTerm("zelboraf", SemType::kDrug);
+  EXPECT_EQ(ti.InferText("Zelboraf"), SemType::kDrug);
+}
+
+TEST(TypeInferenceTest, DefaultIsText) {
+  TypeInferencer ti;
+  EXPECT_EQ(ti.InferText("miscellaneous"), SemType::kText);
+  EXPECT_EQ(ti.InferText(""), SemType::kText);
+}
+
+TEST(TypeInferenceTest, AllFourteenTypesHaveNames) {
+  for (int i = 0; i < kNumSemTypes; ++i) {
+    EXPECT_STRNE(SemTypeName(static_cast<SemType>(i)), "?");
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Metadata classifier
+// ---------------------------------------------------------------------------
+
+TEST(MetadataClassifierTest, HeuristicDetectsRelationalHeader) {
+  MetadataClassifier clf;
+  Table t = MakeRelationalTable();
+  auto det = clf.Detect(t);
+  EXPECT_EQ(det.hmd_rows, 1);
+  EXPECT_EQ(det.vmd_cols, 0);
+}
+
+TEST(MetadataClassifierTest, HeuristicDetectsOncologyMetadata) {
+  MetadataClassifier clf;
+  Table t = MakeOncologyTable();
+  auto det = clf.Detect(t);
+  EXPECT_EQ(det.hmd_rows, 2);
+  EXPECT_EQ(det.vmd_cols, 2);
+}
+
+TEST(MetadataClassifierTest, TrainingReducesLoss) {
+  std::vector<Table> corpus;
+  for (int i = 0; i < 6; ++i) {
+    corpus.push_back(MakeOncologyTable());
+    corpus.push_back(MakeRelationalTable());
+  }
+  MetadataClassifier clf;
+  double first = clf.TrainOnCorpus(corpus, /*epochs=*/1);
+  double last = clf.TrainOnCorpus(corpus, /*epochs=*/100);
+  EXPECT_LT(last, first);
+}
+
+TEST(MetadataClassifierTest, AnnotateWritesDetection) {
+  MetadataClassifier clf;
+  Table t = MakeOncologyTable();
+  t.set_hmd_rows(0);
+  t.set_vmd_cols(0);
+  clf.Annotate(&t);
+  EXPECT_EQ(t.hmd_rows(), 2);
+  EXPECT_EQ(t.vmd_cols(), 2);
+}
+
+TEST(MetadataClassifierTest, FeaturesNumericFraction) {
+  Table t = MakeRelationalTable();
+  // Header row: no numeric cells. Age column (index 1): 3/4 numeric.
+  auto header = ExtractLineFeatures(t, 0, /*is_row=*/true);
+  EXPECT_DOUBLE_EQ(header.f[1], 0.0);
+  auto age_col = ExtractLineFeatures(t, 1, /*is_row=*/false);
+  EXPECT_NEAR(age_col.f[1], 0.75, 1e-9);
+}
+
+}  // namespace
+}  // namespace tabbin

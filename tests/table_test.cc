@@ -1,0 +1,355 @@
+// Tests for the table data model, bi-dimensional coordinates, visibility
+// matrix, and segmentation.
+#include <gtest/gtest.h>
+
+#include "table/bicoord.h"
+#include "table/segmentation.h"
+#include "table/table.h"
+#include "table/value.h"
+#include "table/visibility.h"
+#include "test_tables.h"
+#include "util/rng.h"
+
+namespace tabbin {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Value
+// ---------------------------------------------------------------------------
+
+TEST(ValueTest, EmptyByDefault) {
+  Value v;
+  EXPECT_TRUE(v.is_empty());
+  EXPECT_FALSE(v.is_numeric());
+  EXPECT_EQ(v.ToString(), "");
+}
+
+TEST(ValueTest, NumberWithUnit) {
+  Value v = Value::Number(20.3, UnitCategory::kTime, "month");
+  EXPECT_EQ(v.kind(), ValueKind::kNumber);
+  EXPECT_TRUE(v.is_numeric());
+  EXPECT_TRUE(v.has_unit());
+  EXPECT_DOUBLE_EQ(v.number(), 20.3);
+  EXPECT_EQ(v.ToString(), "20.3 month");
+}
+
+TEST(ValueTest, RangeMidpointAndString) {
+  Value v = Value::Range(20, 30, UnitCategory::kTime, "year");
+  EXPECT_DOUBLE_EQ(v.number(), 25.0);
+  EXPECT_DOUBLE_EQ(v.range_lo(), 20.0);
+  EXPECT_DOUBLE_EQ(v.range_hi(), 30.0);
+  EXPECT_EQ(v.ToString(), "20-30 year");
+}
+
+TEST(ValueTest, GaussianAccessors) {
+  Value v = Value::Gaussian(5.2, 1.1, UnitCategory::kStats, "%");
+  EXPECT_DOUBLE_EQ(v.mean(), 5.2);
+  EXPECT_DOUBLE_EQ(v.stddev(), 1.1);
+  EXPECT_EQ(v.ToString(), "5.2 ± 1.1 %");
+}
+
+TEST(ValueTest, UnitFeatureBits) {
+  EXPECT_EQ(UnitFeatureBit(UnitCategory::kNone), -1);
+  EXPECT_EQ(UnitFeatureBit(UnitCategory::kStats), 0);
+  EXPECT_EQ(UnitFeatureBit(UnitCategory::kPressure), 6);
+}
+
+TEST(ValueTest, Equality) {
+  EXPECT_EQ(Value::Number(1.5), Value::Number(1.5));
+  EXPECT_FALSE(Value::Number(1.5) == Value::Number(2.5));
+  EXPECT_FALSE(Value::Number(1.5) == Value::String("1.5"));
+}
+
+// ---------------------------------------------------------------------------
+// Table
+// ---------------------------------------------------------------------------
+
+TEST(TableTest, SegmentsOfOncologyTable) {
+  Table t = MakeOncologyTable();
+  EXPECT_EQ(t.SegmentOf(0, 0), Segment::kStub);
+  EXPECT_EQ(t.SegmentOf(0, 5), Segment::kHmd);
+  EXPECT_EQ(t.SegmentOf(5, 0), Segment::kVmd);
+  EXPECT_EQ(t.SegmentOf(5, 5), Segment::kData);
+}
+
+TEST(TableTest, RelationalPredicate) {
+  EXPECT_TRUE(MakeRelationalTable().IsRelational());
+  EXPECT_FALSE(MakeOncologyTable().IsRelational());
+}
+
+TEST(TableTest, NestingDetection) {
+  EXPECT_TRUE(MakeOncologyTable().HasNesting());
+  EXPECT_FALSE(MakeRelationalTable().HasNesting());
+}
+
+TEST(TableTest, ValidateAcceptsFixtures) {
+  EXPECT_TRUE(MakeOncologyTable().Validate().ok());
+  EXPECT_TRUE(MakeRelationalTable().Validate().ok());
+}
+
+TEST(TableTest, ValidateRejectsBadMetadataSplit) {
+  Table t(2, 2, /*hmd_rows=*/2, /*vmd_cols=*/0);  // hmd == rows
+  EXPECT_FALSE(t.Validate().ok());
+}
+
+TEST(TableTest, CopyDeepCopiesNestedTables) {
+  Table t = MakeOncologyTable();
+  Table copy = t;
+  ASSERT_TRUE(copy.cell(2, 7).has_nested());
+  copy.cell(2, 7).nested->SetValue(0, 0, Value::String("mutated"));
+  EXPECT_EQ(t.cell(2, 7).nested->cell(0, 0).value.text(), "OS");
+}
+
+TEST(TableTest, NumericFractionCountsDataRegionOnly) {
+  Table t = MakeRelationalTable();
+  // Data region: 3 names (string), 3 ages (number), 3 jobs (string).
+  EXPECT_NEAR(t.NumericFraction(), 3.0 / 9.0, 1e-9);
+}
+
+TEST(TableTest, DataDims) {
+  Table t = MakeOncologyTable();
+  EXPECT_EQ(t.data_rows(), 6);
+  EXPECT_EQ(t.data_cols(), 6);
+}
+
+// ---------------------------------------------------------------------------
+// Bi-dimensional coordinates
+// ---------------------------------------------------------------------------
+
+TEST(BiCoordTest, HorizontalTreeStructure) {
+  Table t = MakeOncologyTable();
+  auto tree =
+      CoordinateTree::Build(t, CoordinateTree::Dimension::kHorizontal);
+  // Root -> "Efficacy End Point" -> {OS, PFS, Other Efficacy}.
+  ASSERT_EQ(tree.root().children.size(), 1u);
+  const CoordNode& top = *tree.root().children[0];
+  EXPECT_EQ(top.label, "Efficacy End Point");
+  ASSERT_EQ(top.children.size(), 3u);
+  EXPECT_EQ(top.children[0]->label, "OS");
+  EXPECT_EQ(top.children[1]->label, "PFS");
+  EXPECT_EQ(top.children[2]->label, "Other Efficacy");
+  EXPECT_EQ(tree.depth(), 2);
+}
+
+TEST(BiCoordTest, VerticalTreeStructure) {
+  Table t = MakeOncologyTable();
+  auto tree = CoordinateTree::Build(t, CoordinateTree::Dimension::kVertical);
+  ASSERT_EQ(tree.root().children.size(), 1u);
+  const CoordNode& cohort = *tree.root().children[0];
+  EXPECT_EQ(cohort.label, "Patient Cohort");
+  ASSERT_EQ(cohort.children.size(), 2u);
+  EXPECT_EQ(cohort.children[0]->label, "Previously Untreated");
+  EXPECT_EQ(cohort.children[0]->begin, 2);
+  EXPECT_EQ(cohort.children[0]->end, 5);
+}
+
+TEST(BiCoordTest, PathsThroughHierarchy) {
+  Table t = MakeOncologyTable();
+  auto htree =
+      CoordinateTree::Build(t, CoordinateTree::Dimension::kHorizontal);
+  // Column 6 ("Other Efficacy", third child of the only top node).
+  EXPECT_EQ(htree.PathTo(6), (std::vector<int>{1, 3}));
+  auto labels = htree.LabelPathTo(6);
+  ASSERT_EQ(labels.size(), 2u);
+  EXPECT_EQ(labels[1], "Other Efficacy");
+  // Column inside the metadata region has no path.
+  EXPECT_TRUE(htree.PathTo(0).empty());
+}
+
+TEST(BiCoordTest, RelationalReducesToCartesian) {
+  Table t = MakeRelationalTable();
+  auto htree =
+      CoordinateTree::Build(t, CoordinateTree::Dimension::kHorizontal);
+  // Flat tree: each column is its own level-1 node; path = column ordinal.
+  EXPECT_EQ(htree.depth(), 1);
+  EXPECT_EQ(htree.PathTo(0), (std::vector<int>{1}));
+  EXPECT_EQ(htree.PathTo(2), (std::vector<int>{3}));
+  auto vtree = CoordinateTree::Build(t, CoordinateTree::Dimension::kVertical);
+  EXPECT_EQ(vtree.depth(), 0);  // no VMD at all
+  EXPECT_TRUE(vtree.PathTo(1).empty());
+
+  CoordinateMap cm(t);
+  const CellCoordinate& cc = cm.at(2, 1);  // data cell "29"
+  EXPECT_EQ(cc.row, 3);
+  EXPECT_EQ(cc.column, 2);
+  EXPECT_EQ(cc.h_level, 1);
+  EXPECT_EQ(cc.v_level, 0);
+  EXPECT_EQ(cc.nested_row, 0);
+  EXPECT_EQ(cc.nested_col, 0);
+}
+
+TEST(BiCoordTest, CoordinateMapOnOncologyTable) {
+  Table t = MakeOncologyTable();
+  CoordinateMap cm(t);
+  // Upper-right data cell (2, 7): hosts the nested table.
+  const CellCoordinate& cc = cm.at(2, 7);
+  EXPECT_EQ(cc.segment, Segment::kData);
+  EXPECT_EQ(cc.h_level, 2);   // Efficacy End Point -> Other Efficacy
+  EXPECT_EQ(cc.column, 8);    // 1-based column
+  EXPECT_EQ(cc.v_level, 2);   // Patient Cohort -> Previously Untreated
+  EXPECT_EQ(cc.row, 3);       // 1-based row
+  ASSERT_EQ(cc.h_labels.size(), 2u);
+  EXPECT_EQ(cc.h_labels[0], "Efficacy End Point");
+  EXPECT_EQ(cc.h_labels[1], "Other Efficacy");
+  ASSERT_EQ(cc.v_labels.size(), 2u);
+  EXPECT_EQ(cc.v_labels[1], "Previously Untreated");
+  EXPECT_EQ(cc.ToString(), "(<2,8>;<2,3>)");
+}
+
+TEST(BiCoordTest, MetadataCellsGetBandPositions) {
+  Table t = MakeOncologyTable();
+  CoordinateMap cm(t);
+  const CellCoordinate& hmd = cm.at(1, 4);  // "PFS" header cell
+  EXPECT_EQ(hmd.segment, Segment::kHmd);
+  EXPECT_EQ(hmd.h_level, 2);  // second HMD row
+  const CellCoordinate& vmd = cm.at(6, 0);  // "Patient Cohort"
+  EXPECT_EQ(vmd.segment, Segment::kVmd);
+  EXPECT_EQ(vmd.v_level, 1);  // first VMD column
+}
+
+TEST(BiCoordTest, TreeToStringMentionsLabels) {
+  Table t = MakeOncologyTable();
+  auto tree =
+      CoordinateTree::Build(t, CoordinateTree::Dimension::kHorizontal);
+  std::string dump = tree.ToString();
+  EXPECT_NE(dump.find("Efficacy End Point"), std::string::npos);
+  EXPECT_NE(dump.find("OS"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Visibility matrix
+// ---------------------------------------------------------------------------
+
+TEST(VisibilityTest, SameRowAndColumnVisible) {
+  std::vector<TokenPosition> pos = {
+      {0, 0, false}, {0, 1, false}, {1, 0, false}, {1, 1, false}};
+  auto m = VisibilityMatrix::FromTokenPositions(pos);
+  EXPECT_TRUE(m.visible(0, 1));   // same row
+  EXPECT_TRUE(m.visible(0, 2));   // same column
+  EXPECT_FALSE(m.visible(0, 3));  // diagonal: neither
+}
+
+TEST(VisibilityTest, PaperTable2Example) {
+  // 'Sam' and 'Engineer' same row -> visible; 'Sam' vs 'Lawyer' -> not.
+  // Positions: Sam(1,0) Engineer(1,2) Lawyer(2,2) Job(0,2) Age(0,1)
+  // Scientist(3,2).
+  std::vector<TokenPosition> pos = {{1, 0, false}, {1, 2, false},
+                                    {2, 2, false}, {0, 2, false},
+                                    {0, 1, false}, {3, 2, false}};
+  auto m = VisibilityMatrix::FromTokenPositions(pos);
+  EXPECT_TRUE(m.visible(0, 1));   // Sam ~ Engineer
+  EXPECT_FALSE(m.visible(0, 2));  // Sam !~ Lawyer
+  EXPECT_TRUE(m.visible(5, 3));   // Scientist ~ Job (same column)
+  EXPECT_FALSE(m.visible(5, 4));  // Scientist !~ Age
+}
+
+TEST(VisibilityTest, ClsSpineSeesItsRowAndOtherCls) {
+  std::vector<TokenPosition> pos = {
+      {0, -1, true},   // row-0 CLS
+      {0, 3, false},   // row-0 token
+      {1, -1, true},   // row-1 CLS
+      {1, 7, false},   // row-1 token
+  };
+  auto m = VisibilityMatrix::FromTokenPositions(pos);
+  EXPECT_TRUE(m.visible(0, 1));   // CLS sees its row
+  EXPECT_TRUE(m.visible(0, 2));   // CLS sees CLS
+  EXPECT_FALSE(m.visible(0, 3));  // CLS does not see other rows' tokens
+  EXPECT_FALSE(m.visible(1, 3));  // tokens of different rows/cols hidden
+}
+
+TEST(VisibilityTest, SymmetricAndReflexive) {
+  Rng rng(42);
+  std::vector<TokenPosition> pos;
+  for (int i = 0; i < 40; ++i) {
+    pos.push_back({static_cast<int>(rng.Uniform(5)),
+                   static_cast<int>(rng.Uniform(5)),
+                   rng.Bernoulli(0.1)});
+  }
+  auto m = VisibilityMatrix::FromTokenPositions(pos);
+  for (int i = 0; i < m.size(); ++i) {
+    EXPECT_TRUE(m.visible(i, i));
+    for (int j = 0; j < m.size(); ++j) {
+      EXPECT_EQ(m.visible(i, j), m.visible(j, i));
+    }
+  }
+}
+
+TEST(VisibilityTest, AttentionBiasValues) {
+  std::vector<TokenPosition> pos = {{0, 0, false}, {1, 1, false}};
+  auto m = VisibilityMatrix::FromTokenPositions(pos);
+  std::vector<float> bias(4);
+  m.FillAttentionBias(bias.data());
+  EXPECT_EQ(bias[0], 0.0f);     // self
+  EXPECT_EQ(bias[1], -1e9f);    // unrelated
+  EXPECT_EQ(bias[3], 0.0f);     // self
+}
+
+TEST(VisibilityTest, AllVisibleDensityOne) {
+  auto m = VisibilityMatrix::AllVisible(7);
+  EXPECT_DOUBLE_EQ(m.Density(), 1.0);
+}
+
+TEST(VisibilityTest, CellVisibilityDensity) {
+  // For an r x c grid, each cell sees r + c - 1 cells.
+  Table t(3, 4, 1, 0);
+  auto bits = BuildCellVisibility(t);
+  const int n = 12;
+  int count = 0;
+  for (auto b : bits) count += b;
+  EXPECT_EQ(count, n * (3 + 4 - 1));
+}
+
+// Property sweep: density of the visibility matrix of an r x c token grid
+// is exactly (r + c - 1) / (r * c).
+class VisibilityDensityTest
+    : public ::testing::TestWithParam<std::pair<int, int>> {};
+
+TEST_P(VisibilityDensityTest, MatchesClosedForm) {
+  auto [r, c] = GetParam();
+  std::vector<TokenPosition> pos;
+  for (int i = 0; i < r; ++i) {
+    for (int j = 0; j < c; ++j) pos.push_back({i, j, false});
+  }
+  auto m = VisibilityMatrix::FromTokenPositions(pos);
+  EXPECT_NEAR(m.Density(),
+              static_cast<double>(r + c - 1) / (static_cast<double>(r) * c),
+              1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(Grids, VisibilityDensityTest,
+                         ::testing::Values(std::make_pair(1, 1),
+                                           std::make_pair(2, 3),
+                                           std::make_pair(4, 4),
+                                           std::make_pair(5, 2),
+                                           std::make_pair(6, 7)));
+
+// ---------------------------------------------------------------------------
+// Segmentation
+// ---------------------------------------------------------------------------
+
+TEST(SegmentationTest, CountsPerSegment) {
+  Table t = MakeOncologyTable();
+  EXPECT_EQ(ExtractSegment(t, Segment::kData).size(), 36u);
+  EXPECT_EQ(ExtractSegment(t, Segment::kHmd).size(), 12u);
+  EXPECT_EQ(ExtractSegment(t, Segment::kVmd).size(), 12u);
+  EXPECT_EQ(ExtractSegment(t, Segment::kStub).size(), 4u);
+}
+
+TEST(SegmentationTest, RowMajorOrder) {
+  Table t = MakeOncologyTable();
+  auto cells = ExtractSegment(t, Segment::kData, ScanOrder::kRowMajor);
+  EXPECT_EQ(cells[0].row, 2);
+  EXPECT_EQ(cells[0].col, 2);
+  EXPECT_EQ(cells[1].col, 3);  // advances along the row
+}
+
+TEST(SegmentationTest, ColumnMajorOrder) {
+  Table t = MakeOncologyTable();
+  auto cells = ExtractSegment(t, Segment::kData, ScanOrder::kColumnMajor);
+  EXPECT_EQ(cells[0].row, 2);
+  EXPECT_EQ(cells[0].col, 2);
+  EXPECT_EQ(cells[1].row, 3);  // advances down the column
+}
+
+}  // namespace
+}  // namespace tabbin

@@ -1,0 +1,223 @@
+// Tests for metrics, LSH blocking, and the clustering harness.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "tasks/clustering.h"
+#include "tasks/lsh.h"
+#include "tasks/metrics.h"
+#include "tasks/pipelines.h"
+#include "test_tables.h"
+
+namespace tabbin {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Metrics
+// ---------------------------------------------------------------------------
+
+TEST(MetricsTest, PerfectRankingApIsOne) {
+  std::vector<bool> rel = {true, true, true};
+  EXPECT_DOUBLE_EQ(AveragePrecisionAtK(rel, 3), 1.0);
+}
+
+TEST(MetricsTest, ApKnownValue) {
+  // Relevant at ranks 1 and 3: AP = (1/1 + 2/3) / 2 = 5/6.
+  std::vector<bool> rel = {true, false, true};
+  EXPECT_NEAR(AveragePrecisionAtK(rel, 3), 5.0 / 6.0, 1e-12);
+}
+
+TEST(MetricsTest, ApZeroWhenNothingRelevant) {
+  std::vector<bool> rel = {false, false};
+  EXPECT_DOUBLE_EQ(AveragePrecisionAtK(rel, 2), 0.0);
+}
+
+TEST(MetricsTest, ApRespectsCutoff) {
+  // Relevant only beyond k: contributes nothing.
+  std::vector<bool> rel = {false, false, true};
+  EXPECT_DOUBLE_EQ(AveragePrecisionAtK(rel, 2), 0.0);
+}
+
+TEST(MetricsTest, ApWithTotalRelevantNormalization) {
+  // One hit at rank 1, but two relevant items exist in the universe.
+  std::vector<bool> rel = {true, false};
+  EXPECT_DOUBLE_EQ(AveragePrecisionAtK(rel, 2, /*total_relevant=*/2), 0.5);
+}
+
+TEST(MetricsTest, MrrFirstHitPosition) {
+  EXPECT_DOUBLE_EQ(ReciprocalRankAtK({false, true, false}, 3), 0.5);
+  EXPECT_DOUBLE_EQ(ReciprocalRankAtK({true}, 1), 1.0);
+  EXPECT_DOUBLE_EQ(ReciprocalRankAtK({false, false}, 2), 0.0);
+}
+
+TEST(MetricsTest, MeanOverRuns) {
+  std::vector<std::vector<bool>> runs = {{true}, {false, true}};
+  EXPECT_DOUBLE_EQ(MeanReciprocalRank(runs, 2), (1.0 + 0.5) / 2);
+}
+
+TEST(MetricsTest, F1KnownValues) {
+  BinaryScore s = ComputeF1(8, 2, 2);
+  EXPECT_DOUBLE_EQ(s.precision, 0.8);
+  EXPECT_DOUBLE_EQ(s.recall, 0.8);
+  EXPECT_NEAR(s.f1, 0.8, 1e-12);
+  BinaryScore zero = ComputeF1(0, 0, 0);
+  EXPECT_DOUBLE_EQ(zero.f1, 0.0);
+}
+
+// ---------------------------------------------------------------------------
+// LSH
+// ---------------------------------------------------------------------------
+
+std::vector<float> RandomUnit(Rng* rng, int dim) {
+  std::vector<float> v(static_cast<size_t>(dim));
+  double norm = 0;
+  for (auto& x : v) {
+    x = static_cast<float>(rng->Gaussian());
+    norm += static_cast<double>(x) * x;
+  }
+  norm = std::sqrt(norm);
+  for (auto& x : v) x = static_cast<float>(x / norm);
+  return v;
+}
+
+TEST(LshTest, FindsNearDuplicates) {
+  Rng rng(3);
+  const int dim = 16;
+  LshIndex index(dim, 6, 10);
+  std::vector<std::vector<float>> vecs;
+  for (int i = 0; i < 50; ++i) {
+    vecs.push_back(RandomUnit(&rng, dim));
+    index.Insert(i, vecs.back());
+  }
+  // A tiny perturbation of vector 7 must collide with id 7.
+  std::vector<float> probe = vecs[7];
+  for (auto& x : probe) x += 0.01f * static_cast<float>(rng.Gaussian());
+  auto candidates = index.Query(probe);
+  EXPECT_NE(std::find(candidates.begin(), candidates.end(), 7),
+            candidates.end());
+}
+
+TEST(LshTest, CandidateSetSmallerThanCorpusForRandomVectors) {
+  Rng rng(4);
+  const int dim = 32;
+  LshIndex index(dim, 10, 4);
+  for (int i = 0; i < 400; ++i) index.Insert(i, RandomUnit(&rng, dim));
+  auto candidates = index.Query(RandomUnit(&rng, dim));
+  EXPECT_LT(candidates.size(), 400u);
+}
+
+// ---------------------------------------------------------------------------
+// Clustering harness
+// ---------------------------------------------------------------------------
+
+// Builds well-separated labeled clusters in embedding space.
+std::vector<LabeledEmbedding> MakeSeparatedClusters(int per_cluster,
+                                                    int clusters, int dim,
+                                                    double noise,
+                                                    uint64_t seed) {
+  Rng rng(seed);
+  std::vector<std::vector<float>> centers;
+  for (int c = 0; c < clusters; ++c) centers.push_back(RandomUnit(&rng, dim));
+  std::vector<LabeledEmbedding> out;
+  for (int c = 0; c < clusters; ++c) {
+    for (int i = 0; i < per_cluster; ++i) {
+      std::vector<float> v = centers[static_cast<size_t>(c)];
+      for (auto& x : v) x += static_cast<float>(noise * rng.Gaussian());
+      out.push_back({v, "cluster-" + std::to_string(c)});
+    }
+  }
+  return out;
+}
+
+TEST(ClusteringTest, SeparatedClustersScoreHigh) {
+  auto items = MakeSeparatedClusters(10, 4, 16, 0.05, 11);
+  ClusterEvalOptions opts;
+  opts.use_lsh = false;
+  auto result = EvaluateClustering(items, opts);
+  EXPECT_GT(result.map, 0.95);
+  EXPECT_GT(result.mrr, 0.95);
+  EXPECT_GT(result.queries, 0);
+}
+
+TEST(ClusteringTest, RandomEmbeddingsScoreLow) {
+  Rng rng(12);
+  std::vector<LabeledEmbedding> items;
+  for (int i = 0; i < 60; ++i) {
+    items.push_back({RandomUnit(&rng, 16),
+                     "cluster-" + std::to_string(i % 6)});
+  }
+  ClusterEvalOptions opts;
+  opts.use_lsh = false;
+  auto result = EvaluateClustering(items, opts);
+  EXPECT_LT(result.map, 0.6);
+}
+
+TEST(ClusteringTest, LshBlockingPreservesQualityOnSeparatedData) {
+  auto items = MakeSeparatedClusters(12, 4, 24, 0.05, 13);
+  ClusterEvalOptions with_lsh;
+  with_lsh.use_lsh = true;
+  ClusterEvalOptions without;
+  without.use_lsh = false;
+  auto a = EvaluateClustering(items, with_lsh);
+  auto b = EvaluateClustering(items, without);
+  EXPECT_NEAR(a.map, b.map, 0.1);
+}
+
+TEST(ClusteringTest, CentroidVariantScoresSeparatedClusters) {
+  auto items = MakeSeparatedClusters(10, 3, 16, 0.05, 14);
+  ClusterEvalOptions opts;
+  auto result = EvaluateCentroidClustering(items, opts);
+  EXPECT_GT(result.map, 0.9);
+  EXPECT_EQ(result.queries, 3);
+}
+
+TEST(ClusteringTest, RankBySimilarityOrdersByCosine) {
+  std::vector<LabeledEmbedding> items = {
+      {{1, 0}, "a"}, {{0.9f, 0.1f}, "a"}, {{0, 1}, "b"}};
+  auto ranked = RankBySimilarity(items, 0);
+  ASSERT_EQ(ranked.size(), 2u);
+  EXPECT_EQ(ranked[0].index, 1);
+  EXPECT_EQ(ranked[1].index, 2);
+}
+
+TEST(ClusteringTest, SingletonLabelsSkipped) {
+  std::vector<LabeledEmbedding> items = {
+      {{1, 0}, "only"}, {{0, 1}, "pair"}, {{0.1f, 1}, "pair"}};
+  ClusterEvalOptions opts;
+  opts.use_lsh = false;
+  auto result = EvaluateClustering(items, opts);
+  EXPECT_EQ(result.queries, 2);  // the singleton is not a query
+}
+
+// ---------------------------------------------------------------------------
+// Pipelines
+// ---------------------------------------------------------------------------
+
+TEST(PipelinesTest, NumericColumnPredicate) {
+  Table t = MakeRelationalTable();
+  EXPECT_FALSE(IsNumericColumn(t, 0));  // names
+  EXPECT_TRUE(IsNumericColumn(t, 1));   // ages
+  EXPECT_FALSE(IsNumericColumn(t, 2));  // jobs
+}
+
+TEST(PipelinesTest, NumericTablePredicate) {
+  EXPECT_FALSE(IsNumericTable(MakeRelationalTable()));
+  EXPECT_TRUE(IsNumericTable(MakeOncologyTable()));
+}
+
+TEST(PipelinesTest, EmbeddersReceiveRightCells) {
+  Corpus corpus;
+  corpus.tables.push_back(MakeRelationalTable());
+  std::vector<ColumnQuery> queries = {{0, 1, "age"}};
+  auto items = EmbedColumns(corpus, queries, [](const Table& t, int col) {
+    return std::vector<float>{static_cast<float>(col),
+                              static_cast<float>(t.rows())};
+  });
+  ASSERT_EQ(items.size(), 1u);
+  EXPECT_EQ(items[0].label, "age");
+  EXPECT_FLOAT_EQ(items[0].vec[0], 1.0f);
+  EXPECT_FLOAT_EQ(items[0].vec[1], 4.0f);
+}
+
+}  // namespace
+}  // namespace tabbin

@@ -1,0 +1,95 @@
+// Shared table fixtures modeled on the paper's Figure 1 / Table 1 / Table 2.
+#ifndef TABBIN_TESTS_TEST_TABLES_H_
+#define TABBIN_TESTS_TEST_TABLES_H_
+
+#include <string>
+
+#include "table/table.h"
+
+namespace tabbin {
+
+// A small nested table like the one inside Figure 1's upper-right cell:
+//   | OS | HR |
+//   | 20.3 months | 0.84 |
+inline Table MakeNestedInner() {
+  Table t(2, 2, /*hmd_rows=*/1, /*vmd_cols=*/0);
+  t.SetValue(0, 0, Value::String("OS"));
+  t.SetValue(0, 1, Value::String("HR"));
+  t.SetValue(1, 0, Value::Number(20.3, UnitCategory::kTime, "month"));
+  t.SetValue(1, 1, Value::Number(0.84));
+  return t;
+}
+
+// The Figure-1 style oncology table:
+//   - 2 HMD rows: "Efficacy End Point" spanning all data columns, with
+//     children OS / PFS / Other Efficacy (2 columns each);
+//   - 2 VMD columns: "Patient Cohort" spanning all data rows, with
+//     children "Previously Untreated" (rows 2-4) and "Failing under
+//     Fluoropyrimidine and Irinotecan" (rows 5-7);
+//   - a nested table in the upper-right data cell.
+// Grid is 8 x 8: rows 0-1 HMD, cols 0-1 VMD, data region 6 x 6.
+inline Table MakeOncologyTable() {
+  Table t(8, 8, /*hmd_rows=*/2, /*vmd_cols=*/2);
+  t.set_caption("Treatment efficacy for metastatic colorectal cancer");
+  t.set_topic("oncology");
+  // HMD level 1: one label spanning all data columns.
+  for (int c = 2; c < 8; ++c) {
+    t.SetValue(0, c, Value::String("Efficacy End Point"));
+  }
+  // HMD level 2: three children, two columns each.
+  for (int c = 2; c < 4; ++c) t.SetValue(1, c, Value::String("OS"));
+  for (int c = 4; c < 6; ++c) t.SetValue(1, c, Value::String("PFS"));
+  for (int c = 6; c < 8; ++c) {
+    t.SetValue(1, c, Value::String("Other Efficacy"));
+  }
+  // VMD level 1: one label spanning all data rows.
+  for (int r = 2; r < 8; ++r) {
+    t.SetValue(r, 0, Value::String("Patient Cohort"));
+  }
+  // VMD level 2: two children, three rows each.
+  for (int r = 2; r < 5; ++r) {
+    t.SetValue(r, 1, Value::String("Previously Untreated"));
+  }
+  for (int r = 5; r < 8; ++r) {
+    t.SetValue(r, 1,
+               Value::String("Failing under Fluoropyrimidine and Irinotecan"));
+  }
+  // Data: numbers with units, a range, a gaussian, and one nested table.
+  for (int r = 2; r < 8; ++r) {
+    for (int c = 2; c < 8; ++c) {
+      t.SetValue(r, c,
+                 Value::Number(10.0 * r + c, UnitCategory::kTime, "month"));
+    }
+  }
+  t.SetValue(3, 4, Value::Range(20, 30, UnitCategory::kTime, "month"));
+  t.SetValue(4, 5, Value::Gaussian(5.2, 1.1, UnitCategory::kStats, "%"));
+  t.SetNested(2, 7, MakeNestedInner());
+  return t;
+}
+
+// The paper's Table 2 (plain relational):
+//   Name | Age | Job
+//   Sam  | 35  | Engineer
+//   Mia  | 29  | Lawyer
+//   Leo  | 41  | Scientist
+inline Table MakeRelationalTable() {
+  Table t(4, 3, /*hmd_rows=*/1, /*vmd_cols=*/0);
+  t.set_caption("People");
+  t.set_topic("people");
+  t.SetValue(0, 0, Value::String("Name"));
+  t.SetValue(0, 1, Value::String("Age"));
+  t.SetValue(0, 2, Value::String("Job"));
+  const char* names[] = {"Sam", "Mia", "Leo"};
+  const double ages[] = {35, 29, 41};
+  const char* jobs[] = {"Engineer", "Lawyer", "Scientist"};
+  for (int i = 0; i < 3; ++i) {
+    t.SetValue(i + 1, 0, Value::String(names[i]));
+    t.SetValue(i + 1, 1, Value::Number(ages[i]));
+    t.SetValue(i + 1, 2, Value::String(jobs[i]));
+  }
+  return t;
+}
+
+}  // namespace tabbin
+
+#endif  // TABBIN_TESTS_TEST_TABLES_H_

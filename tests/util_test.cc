@@ -1,0 +1,280 @@
+// Unit tests for src/util: Status/Result, Rng, string utilities,
+// serialization and the thread pool.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdio>
+#include <set>
+
+#include "util/rng.h"
+#include "util/serialize.h"
+#include "util/status.h"
+#include "util/string_util.h"
+#include "util/threadpool.h"
+
+namespace tabbin {
+namespace {
+
+TEST(StatusTest, OkByDefault) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::InvalidArgument("bad dim");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(s.message(), "bad dim");
+  EXPECT_EQ(s.ToString(), "InvalidArgument: bad dim");
+}
+
+TEST(StatusTest, AllCodesHaveNames) {
+  for (auto code : {StatusCode::kOk, StatusCode::kInvalidArgument,
+                    StatusCode::kNotFound, StatusCode::kAlreadyExists,
+                    StatusCode::kOutOfRange, StatusCode::kUnimplemented,
+                    StatusCode::kInternal, StatusCode::kIoError,
+                    StatusCode::kParseError}) {
+    EXPECT_STRNE(StatusCodeName(code), "Unknown");
+  }
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r(42);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 42);
+  EXPECT_EQ(r.value_or(-1), 42);
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r(Status::NotFound("missing"));
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(r.value_or(-1), -1);
+}
+
+Result<int> HalfIfEven(int x) {
+  if (x % 2 != 0) return Status::InvalidArgument("odd");
+  return x / 2;
+}
+
+Status UseAssignOrReturn(int x, int* out) {
+  TABBIN_ASSIGN_OR_RETURN(int half, HalfIfEven(x));
+  *out = half;
+  return Status::OK();
+}
+
+TEST(ResultTest, AssignOrReturnMacro) {
+  int out = 0;
+  EXPECT_TRUE(UseAssignOrReturn(10, &out).ok());
+  EXPECT_EQ(out, 5);
+  EXPECT_FALSE(UseAssignOrReturn(7, &out).ok());
+}
+
+TEST(RngTest, DeterministicForSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int differing = 0;
+  for (int i = 0; i < 32; ++i) {
+    if (a.Next() != b.Next()) ++differing;
+  }
+  EXPECT_GT(differing, 30);
+}
+
+TEST(RngTest, UniformDoubleInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    double v = rng.UniformDouble();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(RngTest, UniformIntInclusiveBounds) {
+  Rng rng(9);
+  std::set<int64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    int64_t v = rng.UniformInt(3, 6);
+    EXPECT_GE(v, 3);
+    EXPECT_LE(v, 6);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 4u);  // all 4 values hit
+}
+
+TEST(RngTest, GaussianMoments) {
+  Rng rng(11);
+  double sum = 0, sq = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    double v = rng.Gaussian();
+    sum += v;
+    sq += v * v;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.05);
+  EXPECT_NEAR(sq / n, 1.0, 0.05);
+}
+
+TEST(RngTest, CategoricalRespectsWeights) {
+  Rng rng(13);
+  std::vector<double> w = {0.0, 9.0, 1.0};
+  int counts[3] = {0, 0, 0};
+  for (int i = 0; i < 10000; ++i) ++counts[rng.Categorical(w)];
+  EXPECT_EQ(counts[0], 0);
+  EXPECT_GT(counts[1], counts[2] * 5);
+}
+
+TEST(RngTest, ShuffleIsPermutation) {
+  Rng rng(17);
+  std::vector<int> v = {1, 2, 3, 4, 5, 6, 7, 8};
+  auto orig = v;
+  rng.Shuffle(&v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, orig);
+}
+
+TEST(StringUtilTest, Trim) {
+  EXPECT_EQ(Trim("  a b  "), "a b");
+  EXPECT_EQ(Trim("\t\nx\r"), "x");
+  EXPECT_EQ(Trim(""), "");
+  EXPECT_EQ(Trim("   "), "");
+}
+
+TEST(StringUtilTest, ToLower) {
+  EXPECT_EQ(ToLower("AbC dE"), "abc de");
+}
+
+TEST(StringUtilTest, SplitKeepsEmptyFields) {
+  auto parts = Split("a,,b,", ',');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[1], "");
+  EXPECT_EQ(parts[2], "b");
+  EXPECT_EQ(parts[3], "");
+}
+
+TEST(StringUtilTest, SplitWhitespaceDropsEmpty) {
+  auto parts = SplitWhitespace("  foo \t bar\nbaz ");
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "foo");
+  EXPECT_EQ(parts[2], "baz");
+}
+
+TEST(StringUtilTest, Join) {
+  EXPECT_EQ(Join({"a", "b", "c"}, "->"), "a->b->c");
+  EXPECT_EQ(Join({}, ","), "");
+}
+
+TEST(StringUtilTest, StartsEndsWith) {
+  EXPECT_TRUE(StartsWith("table", "tab"));
+  EXPECT_FALSE(StartsWith("tab", "table"));
+  EXPECT_TRUE(EndsWith("nested", "ted"));
+  EXPECT_FALSE(EndsWith("ted", "nested"));
+}
+
+TEST(StringUtilTest, ParseNumberBasic) {
+  EXPECT_DOUBLE_EQ(ParseNumber("20.3").value(), 20.3);
+  EXPECT_DOUBLE_EQ(ParseNumber("-7").value(), -7.0);
+  EXPECT_DOUBLE_EQ(ParseNumber("1,234.5").value(), 1234.5);
+  EXPECT_DOUBLE_EQ(ParseNumber(" 42 ").value(), 42.0);
+  EXPECT_DOUBLE_EQ(ParseNumber("1e3").value(), 1000.0);
+}
+
+TEST(StringUtilTest, ParseNumberRejectsNonNumbers) {
+  EXPECT_FALSE(ParseNumber("").has_value());
+  EXPECT_FALSE(ParseNumber("abc").has_value());
+  EXPECT_FALSE(ParseNumber("12 months").has_value());
+  EXPECT_FALSE(ParseNumber("20-30").has_value());
+}
+
+TEST(StringUtilTest, IsAllDigits) {
+  EXPECT_TRUE(IsAllDigits("0123"));
+  EXPECT_FALSE(IsAllDigits(""));
+  EXPECT_FALSE(IsAllDigits("12a"));
+}
+
+TEST(StringUtilTest, ReplaceAll) {
+  EXPECT_EQ(ReplaceAll("a-b-c", "-", "+"), "a+b+c");
+  EXPECT_EQ(ReplaceAll("aaa", "aa", "b"), "ba");
+}
+
+TEST(StringUtilTest, FormatDoubleTrimsZeros) {
+  EXPECT_EQ(FormatDouble(1.5), "1.5");
+  EXPECT_EQ(FormatDouble(2.0), "2");
+  EXPECT_EQ(FormatDouble(0.25, 2), "0.25");
+}
+
+TEST(SerializeTest, RoundTripPrimitives) {
+  BinaryWriter w;
+  w.WriteU32(7);
+  w.WriteU64(1ULL << 40);
+  w.WriteI64(-12345);
+  w.WriteF32(1.5f);
+  w.WriteF64(2.25);
+  w.WriteString("hello");
+  w.WriteF32Vector({1.0f, 2.0f, 3.0f});
+
+  BinaryReader r(w.buffer());
+  EXPECT_EQ(r.ReadU32().value(), 7u);
+  EXPECT_EQ(r.ReadU64().value(), 1ULL << 40);
+  EXPECT_EQ(r.ReadI64().value(), -12345);
+  EXPECT_FLOAT_EQ(r.ReadF32().value(), 1.5f);
+  EXPECT_DOUBLE_EQ(r.ReadF64().value(), 2.25);
+  EXPECT_EQ(r.ReadString().value(), "hello");
+  auto v = r.ReadF32Vector().value();
+  ASSERT_EQ(v.size(), 3u);
+  EXPECT_FLOAT_EQ(v[2], 3.0f);
+  EXPECT_TRUE(r.AtEnd());
+}
+
+TEST(SerializeTest, ReadPastEndFails) {
+  BinaryWriter w;
+  w.WriteU32(1);
+  BinaryReader r(w.buffer());
+  EXPECT_TRUE(r.ReadU32().ok());
+  EXPECT_FALSE(r.ReadU64().ok());
+}
+
+TEST(SerializeTest, FileRoundTrip) {
+  const std::string path = "/tmp/tabbin_serialize_test.bin";
+  BinaryWriter w;
+  w.WriteString("checkpoint");
+  w.WriteF32Vector({4.0f, 5.0f});
+  ASSERT_TRUE(w.ToFile(path).ok());
+  auto r = BinaryReader::FromFile(path);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().ReadString().value(), "checkpoint");
+  std::remove(path.c_str());
+}
+
+TEST(SerializeTest, MissingFileFails) {
+  EXPECT_FALSE(BinaryReader::FromFile("/nonexistent/x.bin").ok());
+}
+
+TEST(ThreadPoolTest, RunsSubmittedTasks) {
+  ThreadPool pool(2);
+  std::atomic<int> counter{0};
+  std::vector<std::future<void>> futs;
+  for (int i = 0; i < 50; ++i) {
+    futs.push_back(pool.Submit([&counter] { counter++; }));
+  }
+  for (auto& f : futs) f.get();
+  EXPECT_EQ(counter.load(), 50);
+}
+
+TEST(ThreadPoolTest, ParallelForCoversRange) {
+  std::vector<std::atomic<int>> hits(500);
+  ParallelFor(0, 500, [&hits](size_t i) { hits[i]++; }, /*grain=*/16);
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPoolTest, ParallelForEmptyRangeIsNoop) {
+  ParallelFor(5, 5, [](size_t) { FAIL() << "must not be called"; });
+}
+
+}  // namespace
+}  // namespace tabbin
