@@ -19,6 +19,7 @@
 #include "baselines/bertlike.h"
 #include "baselines/tuta.h"
 #include "baselines/word2vec.h"
+#include "core/encoder_engine.h"
 #include "core/tabbin.h"
 #include "datagen/corpus_gen.h"
 #include "tasks/clustering.h"
@@ -57,12 +58,20 @@ class BenchEnv {
   const LabeledCorpus& data() const { return data_; }
   const Corpus& corpus() const { return data_.corpus; }
   TabBiNSystem& tabbin() { return *tabbin_; }
+  EncoderEngine& engine() { return *engine_; }
   TutaModel& tuta() { return *tuta_; }
   BertLikeModel& bertlike() { return *bert_; }
   Word2Vec& word2vec() { return *w2v_; }
 
-  /// \brief Cached EncodeAll for a corpus table.
-  const TableEncodings& Encodings(int table_index);
+  /// \brief Cached EncodeAll for a table. Corpus tables resolve to the
+  /// constructor-prewarmed encodings in O(1); any other table goes
+  /// through the engine's fingerprint cache.
+  std::shared_ptr<const TableEncodings> Encodings(const Table& table);
+
+  /// \brief Encodes every corpus table in parallel via the engine (called
+  /// by the constructor when TabBiN is trained) and keeps the results
+  /// indexed by table position for O(1) embedder-callback access.
+  void PrewarmEncodings();
 
   // Embedder closures for the pipelines (capture `this`).
   ColumnEmbedder TabbinColumnComposite();
@@ -90,10 +99,11 @@ class BenchEnv {
  private:
   LabeledCorpus data_;
   std::unique_ptr<TabBiNSystem> tabbin_;
+  std::unique_ptr<EncoderEngine> engine_;
+  std::vector<std::shared_ptr<const TableEncodings>> prewarmed_;
   std::unique_ptr<TutaModel> tuta_;
   std::unique_ptr<BertLikeModel> bert_;
   std::unique_ptr<Word2Vec> w2v_;
-  std::map<int, TableEncodings> encoding_cache_;
 };
 
 // ---------------------------------------------------------------------------

@@ -3,11 +3,15 @@
 // encoder forward passes, LSH queries, and cosine ranking.
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+
+#include "core/encoder_engine.h"
 #include "core/tabbin.h"
 #include "datagen/corpus_gen.h"
 #include "tasks/clustering.h"
 #include "tasks/lsh.h"
 #include "text/wordpiece.h"
+#include "util/threadpool.h"
 
 namespace tabbin {
 namespace {
@@ -88,6 +92,50 @@ void BM_ColumnComposite(benchmark::State& state) {
 }
 BENCHMARK(BM_ColumnComposite);
 
+// Serial baseline: EncodeAll per table, one after another.
+void BM_EncodeAllSerial(benchmark::State& state) {
+  TabBiNSystem& sys = SharedSystem();
+  const auto& tables = SharedCorpus().corpus.tables;
+  const size_t n = std::min<size_t>(tables.size(), 8);
+  for (auto _ : state) {
+    for (size_t i = 0; i < n; ++i) {
+      benchmark::DoNotOptimize(sys.EncodeAll(tables[i]));
+    }
+  }
+  state.SetLabel("tables=" + std::to_string(n));
+}
+BENCHMARK(BM_EncodeAllSerial)->Unit(benchmark::kMillisecond);
+
+// Batched: the same tables through EncoderEngine::EncodeBatch on the
+// global thread pool. A fresh engine per iteration so the cache never
+// serves a hit — this measures parallel encoding, not memoization.
+void BM_EncodeAllBatched(benchmark::State& state) {
+  TabBiNSystem& sys = SharedSystem();
+  const auto& tables = SharedCorpus().corpus.tables;
+  const size_t n = std::min<size_t>(tables.size(), 8);
+  std::vector<const Table*> batch;
+  for (size_t i = 0; i < n; ++i) batch.push_back(&tables[i]);
+  for (auto _ : state) {
+    EncoderEngine engine(&sys, n);
+    benchmark::DoNotOptimize(engine.EncodeBatch(batch));
+  }
+  state.SetLabel("tables=" + std::to_string(n) + " workers=" +
+                 std::to_string(ThreadPool::Global().num_threads()));
+}
+BENCHMARK(BM_EncodeAllBatched)->Unit(benchmark::kMillisecond);
+
+// Steady-state cost of an engine cache hit (fingerprint + LRU touch).
+void BM_EncoderEngineCacheHit(benchmark::State& state) {
+  TabBiNSystem& sys = SharedSystem();
+  const Table& t = SharedCorpus().corpus.tables[0];
+  EncoderEngine engine(&sys, 4);
+  engine.Encode(t);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(engine.Encode(t));
+  }
+}
+BENCHMARK(BM_EncoderEngineCacheHit);
+
 void BM_LshQuery(benchmark::State& state) {
   const int dim = 72;
   Rng rng(5);
@@ -107,11 +155,11 @@ BENCHMARK(BM_LshQuery);
 
 void BM_CosineRanking(benchmark::State& state) {
   Rng rng(6);
-  std::vector<LabeledEmbedding> items;
+  LabeledEmbeddingSet items;
   for (int i = 0; i < 500; ++i) {
     std::vector<float> v(72);
     for (auto& x : v) x = static_cast<float>(rng.Gaussian());
-    items.push_back({std::move(v), "l" + std::to_string(i % 5)});
+    items.Add(v, "l" + std::to_string(i % 5));
   }
   for (auto _ : state) {
     benchmark::DoNotOptimize(RankBySimilarity(items, 0));

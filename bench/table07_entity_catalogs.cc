@@ -39,11 +39,11 @@ int main() {
       // (labels across all types; a good catalog keeps its type pure).
       std::vector<std::vector<bool>> runs;
       for (size_t i = 0; i < embedded.size(); ++i) {
-        if (embedded[i].label != catalog.name) continue;
+        if (embedded.label(i) != catalog.name) continue;
         auto ranked = RankBySimilarity(embedded, static_cast<int>(i));
         std::vector<bool> rel;
         for (const auto& r : ranked) {
-          rel.push_back(embedded[static_cast<size_t>(r.index)].label ==
+          rel.push_back(embedded.label(static_cast<size_t>(r.index)) ==
                         catalog.name);
         }
         runs.push_back(std::move(rel));

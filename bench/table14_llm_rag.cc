@@ -55,10 +55,17 @@ int main() {
       auto r = sim.Evaluate(eval_opts.k, eval_opts.max_queries);
       PrintRow(name + " (sim)", dataset + "/CC", r.map, r.mrr);
     }
+    auto cc_items =
+        EmbedColumns(data.corpus, data.columns, env.TabbinColumnComposite());
     {
-      auto r = EvaluateClustering(
-          EmbedColumns(data.corpus, data.columns, env.TabbinColumnComposite()),
-          eval_opts);
+      // RAG grounded in TabBiN embeddings: BM25 ∪ dense cosine candidates.
+      RagLlmSimulator sim(ProfileFor("gpt4+rag"), 97);
+      sim.Index(col_docs, cc_items.matrix());
+      auto r = sim.Evaluate(eval_opts.k, eval_opts.max_queries);
+      PrintRow("gpt4+rag+dense (sim)", dataset + "/CC", r.map, r.mrr);
+    }
+    {
+      auto r = EvaluateClustering(cc_items, eval_opts);
       PrintRow("TabBiN", dataset + "/CC", r.map, r.mrr, r.queries);
     }
 
@@ -74,10 +81,16 @@ int main() {
       auto r = sim.Evaluate(eval_opts.k, eval_opts.max_queries);
       PrintRow(name + " (sim)", dataset + "/TC", r.map, r.mrr);
     }
+    auto tc_items =
+        EmbedTables(data.corpus, data.tables, env.TabbinTableComposite1());
     {
-      auto r = EvaluateClustering(
-          EmbedTables(data.corpus, data.tables, env.TabbinTableComposite1()),
-          eval_opts);
+      RagLlmSimulator sim(ProfileFor("gpt4+rag"), 98);
+      sim.Index(tbl_docs, tc_items.matrix());
+      auto r = sim.Evaluate(eval_opts.k, eval_opts.max_queries);
+      PrintRow("gpt4+rag+dense (sim)", dataset + "/TC", r.map, r.mrr);
+    }
+    {
+      auto r = EvaluateClustering(tc_items, eval_opts);
       PrintRow("TabBiN", dataset + "/TC", r.map, r.mrr, r.queries);
     }
     std::printf("----------------------------------------------------------\n");

@@ -9,8 +9,10 @@
 // structure-aware composite embedding against a plain text baseline.
 #include <algorithm>
 #include <cstdio>
+#include <vector>
 
 #include "baselines/word2vec.h"
+#include "core/encoder_engine.h"
 #include "core/tabbin.h"
 #include "datagen/corpus_gen.h"
 #include "tensor/ops.h"
@@ -56,24 +58,27 @@ int main() {
               qt.caption().c_str(), qt.topic().c_str(), qt.rows(), qt.cols(),
               qt.HasNesting() ? "yes" : "no");
 
-  // Embed every table once with both systems.
-  std::vector<std::vector<float>> tabbin_emb, w2v_emb;
-  for (const auto& t : data.corpus.tables) {
-    TableEncodings enc = sys.EncodeAll(t);
-    tabbin_emb.push_back(sys.TableComposite1(enc));
+  // Embed every table once with both systems; the engine batches the
+  // TabBiN encodes across the thread pool, and both embedding sets live
+  // in flat [n, dim] matrices.
+  EncoderEngine engine(&sys, data.corpus.tables.size());
+  auto encodings = engine.EncodeBatch(data.corpus.tables);
+  EmbeddingMatrix tabbin_emb, w2v_emb;
+  for (size_t i = 0; i < data.corpus.tables.size(); ++i) {
+    const Table& t = data.corpus.tables[i];
+    tabbin_emb.AppendRow(sys.TableComposite1(*encodings[i]));
     std::string text = t.caption();
     for (const auto& s : SerializeTuples(t)) text += " " + s;
-    w2v_emb.push_back(w2v.Embed(text));
+    w2v_emb.AppendRow(w2v.Embed(text));
   }
 
-  auto print_top5 = [&](const char* name,
-                        const std::vector<std::vector<float>>& embs) {
+  auto print_top5 = [&](const char* name, const EmbeddingMatrix& embs) {
     std::vector<std::pair<float, int>> scored;
-    for (int i = 0; i < static_cast<int>(embs.size()); ++i) {
+    for (int i = 0; i < static_cast<int>(embs.rows()); ++i) {
       if (i == query) continue;
       scored.emplace_back(
-          CosineSimilarity(embs[static_cast<size_t>(query)],
-                           embs[static_cast<size_t>(i)]),
+          CosineSimilarity(embs.row(static_cast<size_t>(query)),
+                           embs.row(static_cast<size_t>(i))),
           i);
     }
     std::sort(scored.rbegin(), scored.rend());

@@ -14,7 +14,9 @@
 #include <cstring>
 #include <map>
 #include <string>
+#include <vector>
 
+#include "core/encoder_engine.h"
 #include "core/tabbin.h"
 #include "datagen/corpus_gen.h"
 #include "io/table_io.h"
@@ -142,23 +144,17 @@ int CmdEval(const std::string& corpus_path) {
   // as a weak label when no ground truth is available.
   TabBiNSystem sys = TabBiNSystem::Create(corpus.value().tables, CliConfig());
   sys.Pretrain(corpus.value().tables);
-  std::map<int, TableEncodings> cache;
-  auto get_enc = [&](int idx) -> const TableEncodings& {
-    auto it = cache.find(idx);
-    if (it == cache.end()) {
-      it = cache.emplace(idx, sys.EncodeAll(corpus.value()
-                                                .tables[static_cast<size_t>(
-                                                    idx)]))
-               .first;
-    }
-    return it->second;
-  };
-  std::vector<LabeledEmbedding> tables;
-  for (size_t i = 0; i < corpus.value().tables.size(); ++i) {
-    const Table& t = corpus.value().tables[i];
-    if (t.topic().empty()) continue;
-    tables.push_back(
-        {sys.TableComposite1(get_enc(static_cast<int>(i))), t.topic()});
+  // Batched, cached encoding: every labeled table is encoded once, in
+  // parallel across the global thread pool.
+  EncoderEngine engine(&sys, corpus.value().tables.size());
+  std::vector<const Table*> labeled;
+  for (const Table& t : corpus.value().tables) {
+    if (!t.topic().empty()) labeled.push_back(&t);
+  }
+  auto encodings = engine.EncodeBatch(labeled);
+  LabeledEmbeddingSet tables;
+  for (size_t i = 0; i < labeled.size(); ++i) {
+    tables.Add(sys.TableComposite1(*encodings[i]), labeled[i]->topic());
   }
   ClusterEvalOptions opts;
   auto tc = EvaluateClustering(tables, opts);

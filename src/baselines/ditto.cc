@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "tensor/embedding_matrix.h"
+
 #include "text/wordpiece.h"
 
 namespace tabbin {
@@ -109,11 +111,10 @@ float EmbeddingMatcher::Train(const std::vector<EntityPair>& pairs) {
   if (pairs.empty()) return 0.0f;
   // Pre-compute features once (embeddings are fixed; only the logistic
   // head is trained — the paper's "linear layer + softmax on top").
-  std::vector<std::vector<float>> feats;
+  EmbeddingMatrix feats;  // flat [pairs, 2 * dim] feature block
   std::vector<float> labels;
-  feats.reserve(pairs.size());
   for (const auto& p : pairs) {
-    feats.push_back(PairFeatures(p.a, p.b));
+    feats.AppendRow(PairFeatures(p.a, p.b));
     labels.push_back(p.match ? 1.0f : 0.0f);
   }
   const float lr = config_.learning_rate * 10;
@@ -122,26 +123,27 @@ float EmbeddingMatcher::Train(const std::vector<EntityPair>& pairs) {
   for (int epoch = 0; epoch < epochs; ++epoch) {
     double loss = 0;
     std::vector<float> grad(weights_.size(), 0.0f);
-    for (size_t i = 0; i < feats.size(); ++i) {
+    for (size_t i = 0; i < feats.rows(); ++i) {
+      const VecView f = feats.row(i);
       float z = weights_.back();
-      for (size_t k = 0; k < feats[i].size(); ++k) {
-        z += weights_[k] * feats[i][k];
+      for (size_t k = 0; k < f.size(); ++k) {
+        z += weights_[k] * f[k];
       }
       const float s = z >= 0 ? 1.0f / (1.0f + std::exp(-z))
                              : std::exp(z) / (1.0f + std::exp(z));
       loss += -(labels[i] * std::log(std::max(s, 1e-12f)) +
                 (1 - labels[i]) * std::log(std::max(1 - s, 1e-12f)));
       const float err = s - labels[i];
-      for (size_t k = 0; k < feats[i].size(); ++k) {
-        grad[k] += err * feats[i][k];
+      for (size_t k = 0; k < f.size(); ++k) {
+        grad[k] += err * f[k];
       }
       grad.back() += err;
     }
-    const float scale = lr / static_cast<float>(feats.size());
+    const float scale = lr / static_cast<float>(feats.rows());
     for (size_t k = 0; k < weights_.size(); ++k) {
       weights_[k] -= scale * grad[k];
     }
-    last_loss = static_cast<float>(loss / feats.size());
+    last_loss = static_cast<float>(loss / feats.rows());
   }
   return last_loss;
 }

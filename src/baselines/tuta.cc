@@ -63,13 +63,8 @@ SegmentEncoding TutaModel::EncodeTableSequence(const Table& table) const {
   if (enc.seq.empty()) return enc;
   NoGradGuard guard;
   Tensor hidden = model_->Encode(enc.seq);
-  const int n = hidden.dim(0), h = hidden.dim(1);
-  enc.hidden.resize(static_cast<size_t>(n));
-  for (int i = 0; i < n; ++i) {
-    enc.hidden[static_cast<size_t>(i)].assign(
-        hidden.data() + static_cast<size_t>(i) * h,
-        hidden.data() + static_cast<size_t>(i + 1) * h);
-  }
+  enc.hidden.Assign(static_cast<size_t>(hidden.dim(0)),
+                    static_cast<size_t>(hidden.dim(1)), hidden.data());
   return enc;
 }
 
@@ -81,8 +76,8 @@ std::vector<float> TutaModel::Pool(
   for (const CellSpan& span : enc.seq.cell_spans) {
     if (!f(span)) continue;
     for (int i = span.begin;
-         i < span.end && i < static_cast<int>(enc.hidden.size()); ++i) {
-      const auto& h = enc.hidden[static_cast<size_t>(i)];
+         i < span.end && i < static_cast<int>(enc.hidden.rows()); ++i) {
+      const float* h = enc.hidden.row(static_cast<size_t>(i)).data();
       for (size_t d = 0; d < sum.size(); ++d) sum[d] += h[d];
       ++count;
     }

@@ -1,0 +1,203 @@
+#include "core/encoder_engine.h"
+
+#include <future>
+#include <string>
+#include <utility>
+
+#include "util/threadpool.h"
+
+namespace tabbin {
+
+namespace {
+
+constexpr uint64_t kFnvOffset = 1469598103934665603ULL;
+constexpr uint64_t kFnvPrime = 1099511628211ULL;
+
+void HashBytes(const void* data, size_t n, uint64_t* h) {
+  const unsigned char* p = static_cast<const unsigned char*>(data);
+  for (size_t i = 0; i < n; ++i) {
+    *h ^= p[i];
+    *h *= kFnvPrime;
+  }
+}
+
+void HashString(const std::string& s, uint64_t* h) {
+  uint64_t len = s.size();
+  HashBytes(&len, sizeof(len), h);
+  HashBytes(s.data(), s.size(), h);
+}
+
+void HashInt(int64_t v, uint64_t* h) { HashBytes(&v, sizeof(v), h); }
+
+void HashTable(const Table& t, uint64_t* h) {
+  HashString(t.id(), h);
+  HashString(t.caption(), h);
+  HashString(t.topic(), h);
+  HashInt(t.rows(), h);
+  HashInt(t.cols(), h);
+  HashInt(t.hmd_rows(), h);
+  HashInt(t.vmd_cols(), h);
+  for (int r = 0; r < t.rows(); ++r) {
+    for (int c = 0; c < t.cols(); ++c) {
+      const Cell& cell = t.cell(r, c);
+      if (cell.is_empty()) continue;
+      // Position must enter the hash: the same value in a different cell
+      // is a different table.
+      HashInt(r, h);
+      HashInt(c, h);
+      if (!cell.value.is_empty()) {
+        // The kind must enter too: String("3") and Number(3) stringify
+        // alike but encode completely differently.
+        HashInt(static_cast<int64_t>(cell.value.kind()), h);
+        HashString(cell.value.ToString(), h);
+      }
+      if (cell.has_nested()) {
+        HashInt(-1, h);  // nesting marker
+        HashTable(*cell.nested, h);
+      }
+    }
+  }
+}
+
+}  // namespace
+
+uint64_t TableFingerprint(const Table& table) {
+  uint64_t h = kFnvOffset;
+  HashTable(table, &h);
+  return h;
+}
+
+EncoderEngine::EncoderEngine(const TabBiNSystem* system, size_t capacity)
+    : system_(system), capacity_(capacity == 0 ? 1 : capacity) {}
+
+size_t EncoderEngine::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return cache_.size();
+}
+
+size_t EncoderEngine::hits() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return hits_;
+}
+
+size_t EncoderEngine::misses() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return misses_;
+}
+
+void EncoderEngine::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  cache_.clear();
+  lru_.clear();
+  hits_ = 0;
+  misses_ = 0;
+}
+
+std::shared_ptr<const TableEncodings> EncoderEngine::LookupLocked(
+    uint64_t key) {
+  auto it = cache_.find(key);
+  if (it == cache_.end()) {
+    ++misses_;
+    return nullptr;
+  }
+  ++hits_;
+  lru_.splice(lru_.begin(), lru_, it->second.lru_pos);
+  return it->second.enc;
+}
+
+void EncoderEngine::InsertLocked(uint64_t key,
+                                 std::shared_ptr<const TableEncodings> enc) {
+  auto it = cache_.find(key);
+  if (it != cache_.end()) {
+    // A concurrent caller already filled this key; keep the existing entry
+    // (identical content) and just refresh recency.
+    lru_.splice(lru_.begin(), lru_, it->second.lru_pos);
+    return;
+  }
+  lru_.push_front(key);
+  cache_[key] = Entry{std::move(enc), lru_.begin()};
+  while (cache_.size() > capacity_) {
+    cache_.erase(lru_.back());
+    lru_.pop_back();
+  }
+}
+
+std::shared_ptr<const TableEncodings> EncoderEngine::Encode(
+    const Table& table) {
+  const uint64_t key = TableFingerprint(table);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (auto hit = LookupLocked(key)) return hit;
+  }
+  // Encode outside the lock; concurrent misses on the same key encode
+  // twice but converge to one cache entry (results are deterministic).
+  auto enc = std::make_shared<TableEncodings>(system_->EncodeAll(table));
+  std::lock_guard<std::mutex> lock(mu_);
+  InsertLocked(key, enc);
+  return enc;
+}
+
+std::vector<std::shared_ptr<const TableEncodings>> EncoderEngine::EncodeBatch(
+    const std::vector<Table>& tables) {
+  std::vector<const Table*> ptrs;
+  ptrs.reserve(tables.size());
+  for (const Table& t : tables) ptrs.push_back(&t);
+  return EncodeBatch(ptrs);
+}
+
+std::vector<std::shared_ptr<const TableEncodings>> EncoderEngine::EncodeBatch(
+    const std::vector<const Table*>& tables) {
+  const size_t n = tables.size();
+  std::vector<uint64_t> keys(n);
+  std::vector<std::shared_ptr<const TableEncodings>> out(n);
+
+  // Fingerprinting is pure — keep it outside the cache lock.
+  for (size_t i = 0; i < n; ++i) keys[i] = TableFingerprint(*tables[i]);
+
+  // Resolve hits and deduplicate misses (same table requested twice in
+  // one batch must encode once).
+  std::vector<size_t> miss_slots;  // first slot per unique missing key
+  std::unordered_map<uint64_t, size_t> first_slot;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (size_t i = 0; i < n; ++i) {
+      if (first_slot.count(keys[i])) continue;
+      if (auto hit = LookupLocked(keys[i])) {
+        out[i] = std::move(hit);
+      } else {
+        miss_slots.push_back(i);
+      }
+      first_slot.emplace(keys[i], i);
+    }
+  }
+
+  // Encode all misses in parallel; each table is independent, so the
+  // result is bitwise identical to a serial loop.
+  std::vector<std::shared_ptr<const TableEncodings>> encoded(
+      miss_slots.size());
+  ThreadPool& pool = ThreadPool::Global();
+  std::vector<std::future<void>> futures;
+  futures.reserve(miss_slots.size());
+  for (size_t m = 0; m < miss_slots.size(); ++m) {
+    const Table* t = tables[miss_slots[m]];
+    futures.push_back(pool.Submit([this, t, m, &encoded] {
+      encoded[m] = std::make_shared<TableEncodings>(system_->EncodeAll(*t));
+    }));
+  }
+  for (auto& f : futures) f.get();
+
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (size_t m = 0; m < miss_slots.size(); ++m) {
+      out[miss_slots[m]] = encoded[m];
+      InsertLocked(keys[miss_slots[m]], encoded[m]);
+    }
+  }
+  // Duplicate requests within the batch resolve to the first occurrence.
+  for (size_t i = 0; i < n; ++i) {
+    if (!out[i]) out[i] = out[first_slot[keys[i]]];
+  }
+  return out;
+}
+
+}  // namespace tabbin

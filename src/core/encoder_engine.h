@@ -1,0 +1,86 @@
+// EncoderEngine — batched, cached table encoding.
+//
+// Every downstream task (CC/TC/EC pipelines, the benchmarks, the CLI)
+// needs the four-segment TableEncodings of the same tables over and over.
+// Running TabBiNSystem::EncodeAll per query re-does four transformer
+// forward passes per table; the engine instead
+//
+//   * memoizes encodings in a bounded LRU cache keyed by table identity
+//     (a content fingerprint, so logically equal tables share an entry
+//     regardless of where they live in memory), and
+//   * encodes batches of tables in parallel across ThreadPool::Global().
+//
+// Encoding is inference-only (NoGradGuard is thread_local) and every
+// table is encoded independently, so batched results are bitwise
+// identical to serial EncodeAll calls.
+#ifndef TABBIN_CORE_ENCODER_ENGINE_H_
+#define TABBIN_CORE_ENCODER_ENGINE_H_
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "core/tabbin.h"
+
+namespace tabbin {
+
+/// \brief Deterministic 64-bit content fingerprint of a table (id,
+/// caption, geometry, cell values, nested tables). Cache key for
+/// EncoderEngine.
+uint64_t TableFingerprint(const Table& table);
+
+class EncoderEngine {
+ public:
+  /// \param system Borrowed; must outlive the engine.
+  /// \param capacity Maximum number of cached TableEncodings.
+  explicit EncoderEngine(const TabBiNSystem* system, size_t capacity = 256);
+
+  /// \brief Cached EncodeAll. The returned shared_ptr stays valid even if
+  /// the entry is later evicted.
+  std::shared_ptr<const TableEncodings> Encode(const Table& table);
+
+  /// \brief Encodes all tables, computing cache misses in parallel on the
+  /// global thread pool. Results are positionally aligned with `tables`
+  /// and bitwise identical to serial Encode calls.
+  std::vector<std::shared_ptr<const TableEncodings>> EncodeBatch(
+      const std::vector<const Table*>& tables);
+
+  /// \brief Convenience overload over an owned table container.
+  std::vector<std::shared_ptr<const TableEncodings>> EncodeBatch(
+      const std::vector<Table>& tables);
+
+  size_t hits() const;
+  size_t misses() const;
+  size_t size() const;
+  size_t capacity() const { return capacity_; }
+  const TabBiNSystem& system() const { return *system_; }
+
+  void Clear();
+
+ private:
+  struct Entry {
+    std::shared_ptr<const TableEncodings> enc;
+    std::list<uint64_t>::iterator lru_pos;
+  };
+
+  // Requires mu_ held. Returns nullptr on miss.
+  std::shared_ptr<const TableEncodings> LookupLocked(uint64_t key);
+  // Requires mu_ held. Inserts (or refreshes) and evicts past capacity.
+  void InsertLocked(uint64_t key, std::shared_ptr<const TableEncodings> enc);
+
+  const TabBiNSystem* system_;
+  size_t capacity_;
+
+  mutable std::mutex mu_;
+  std::list<uint64_t> lru_;  // front = most recently used
+  std::unordered_map<uint64_t, Entry> cache_;
+  size_t hits_ = 0;
+  size_t misses_ = 0;
+};
+
+}  // namespace tabbin
+
+#endif  // TABBIN_CORE_ENCODER_ENGINE_H_

@@ -24,8 +24,7 @@ void CollectTexts(const Table& table, std::vector<std::string>* out) {
 
 }  // namespace
 
-std::vector<float> ConcatEmbeddings(
-    const std::vector<std::vector<float>>& parts) {
+std::vector<float> ConcatEmbeddings(const std::vector<VecView>& parts) {
   // Each component is L2-normalized before concatenation so that cosine
   // similarity over the composite weighs every component equally — a
   // high-norm but noisy part (e.g. an undertrained metadata model) must
@@ -34,7 +33,7 @@ std::vector<float> ConcatEmbeddings(
   size_t total = 0;
   for (const auto& p : parts) total += p.size();
   out.reserve(total);
-  for (const auto& p : parts) {
+  for (VecView p : parts) {
     double norm = 0;
     for (float v : p) norm += static_cast<double>(v) * v;
     const float inv =
@@ -79,13 +78,10 @@ SegmentEncoding TabBiNSystem::EncodeSegment(const Table& table,
   if (enc.seq.empty()) return enc;
   NoGradGuard guard;
   Tensor hidden = models_[static_cast<size_t>(variant)]->Encode(enc.seq);
-  const int n = hidden.dim(0), h = hidden.dim(1);
-  enc.hidden.resize(static_cast<size_t>(n));
-  for (int i = 0; i < n; ++i) {
-    enc.hidden[static_cast<size_t>(i)].assign(
-        hidden.data() + static_cast<size_t>(i) * h,
-        hidden.data() + static_cast<size_t>(i + 1) * h);
-  }
+  // The encoder output is already one flat [n, hidden] block; adopt it
+  // wholesale instead of copying it out row by row.
+  enc.hidden.Assign(static_cast<size_t>(hidden.dim(0)),
+                    static_cast<size_t>(hidden.dim(1)), hidden.data());
   return enc;
 }
 
@@ -106,8 +102,8 @@ std::vector<float> TabBiNSystem::PoolCells(
   for (const CellSpan& span : enc.seq.cell_spans) {
     if (!cell_filter(span)) continue;
     for (int i = span.begin;
-         i < span.end && i < static_cast<int>(enc.hidden.size()); ++i) {
-      const auto& h = enc.hidden[static_cast<size_t>(i)];
+         i < span.end && i < static_cast<int>(enc.hidden.rows()); ++i) {
+      const float* h = enc.hidden.row(static_cast<size_t>(i)).data();
       for (size_t d = 0; d < sum.size(); ++d) sum[d] += h[d];
       ++count;
     }
@@ -186,12 +182,12 @@ std::vector<float> TabBiNSystem::NumericAttributeComposite(
     for (const CellSpan& span : enc.col.seq.cell_spans) {
       if (span.row != row || span.col != col) continue;
       for (int i = span.begin;
-           i < span.end && i < static_cast<int>(enc.col.hidden.size()); ++i) {
+           i < span.end && i < static_cast<int>(enc.col.hidden.rows()); ++i) {
         if (enc.col.seq.tokens[static_cast<size_t>(i)].token_id ==
             Vocab::kValId) {
           continue;
         }
-        const auto& hh = enc.col.hidden[static_cast<size_t>(i)];
+        const float* hh = enc.col.hidden.row(static_cast<size_t>(i)).data();
         for (size_t d = 0; d < unit.size(); ++d) unit[d] += hh[d];
         ++count;
       }
@@ -217,14 +213,14 @@ std::vector<float> TabBiNSystem::RangeComposite(const Table& table,
   for (const CellSpan& span : enc.col.seq.cell_spans) {
     if (span.row != row || span.col != col) continue;
     for (int i = span.begin;
-         i < span.end && i < static_cast<int>(enc.col.hidden.size()); ++i) {
-      const auto& h = enc.col.hidden[static_cast<size_t>(i)];
+         i < span.end && i < static_cast<int>(enc.col.hidden.rows()); ++i) {
+      VecView h = enc.col.hidden.row(static_cast<size_t>(i));
       if (enc.col.seq.tokens[static_cast<size_t>(i)].token_id ==
           Vocab::kValId) {
         if (val_seen == 0) {
-          start = h;
+          start = h.ToVector();
         } else if (val_seen == 1) {
-          end = h;
+          end = h.ToVector();
         }
         ++val_seen;
       } else {

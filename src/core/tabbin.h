@@ -27,14 +27,16 @@
 
 #include "core/model.h"
 #include "core/pretrainer.h"
+#include "tensor/embedding_matrix.h"
 
 namespace tabbin {
 
 /// \brief A table segment encoded by one model: the input sequence plus
-/// final hidden states (one row per token; detached from the tape).
+/// final hidden states as one flat [n, hidden] block (detached from the
+/// tape). Rows are accessed as VecView spans — no per-row allocations.
 struct SegmentEncoding {
   EncodedSequence seq;
-  std::vector<std::vector<float>> hidden;  // [n][hidden]
+  EmbeddingMatrix hidden;  // [n, hidden]
   bool empty() const { return seq.empty(); }
 };
 
@@ -134,9 +136,9 @@ class TabBiNSystem {
   std::array<std::unique_ptr<TabBiNModel>, 4> models_;
 };
 
-/// \brief Concatenates embedding vectors (⊕ in the paper's figures).
-std::vector<float> ConcatEmbeddings(
-    const std::vector<std::vector<float>>& parts);
+/// \brief Concatenates embedding spans (⊕ in the paper's figures). Owned
+/// vectors and EmbeddingMatrix rows both convert to VecView implicitly.
+std::vector<float> ConcatEmbeddings(const std::vector<VecView>& parts);
 
 }  // namespace tabbin
 

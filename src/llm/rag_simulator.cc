@@ -4,6 +4,7 @@
 #include <cmath>
 #include <unordered_set>
 
+#include "tensor/ops.h"
 #include "text/wordpiece.h"
 #include "util/logging.h"
 
@@ -101,15 +102,54 @@ RagLlmSimulator::RagLlmSimulator(const LlmProfile& profile, uint64_t seed)
 void RagLlmSimulator::Index(const std::vector<RagDocument>& docs) {
   docs_ = docs;
   retriever_.Index(docs_);
+  dense_.Clear();
+}
+
+void RagLlmSimulator::Index(const std::vector<RagDocument>& docs,
+                            EmbeddingMatrix embeddings) {
+  Index(docs);
+  if (embeddings.rows() == docs.size()) {
+    dense_ = std::move(embeddings);
+  } else {
+    TABBIN_LOG(WARNING) << "dense index dropped: " << embeddings.rows()
+                        << " embedding rows for " << docs.size() << " docs";
+  }
+}
+
+std::vector<int> RagLlmSimulator::DenseRetrieve(int query_index, int k) const {
+  if (dense_.empty()) return {};
+  const VecView q = dense_.row(static_cast<size_t>(query_index));
+  std::vector<std::pair<float, int>> scored;
+  scored.reserve(dense_.rows());
+  for (int d = 0; d < static_cast<int>(dense_.rows()); ++d) {
+    if (d == query_index) continue;
+    scored.emplace_back(CosineSimilarity(q, dense_.row(static_cast<size_t>(d))),
+                        d);
+  }
+  std::sort(scored.begin(), scored.end(), [](const auto& a, const auto& b) {
+    if (a.first != b.first) return a.first > b.first;
+    return a.second < b.second;
+  });
+  std::vector<int> out;
+  for (const auto& [s, d] : scored) {
+    if (static_cast<int>(out.size()) >= k) break;
+    out.push_back(d);
+  }
+  return out;
 }
 
 std::vector<int> RagLlmSimulator::RankFor(int query_index, int k) {
-  // RAG stage: with RAG the retrieval pool is the BM25 top-3k; without
+  // RAG stage: with RAG the retrieval pool is the BM25 top-3k (unioned
+  // with the dense cosine top-k when an embedding index is set); without
   // it the "context" the model sees is a noisy sample of the corpus.
   std::vector<int> pool;
   if (profile_.uses_rag) {
     pool = retriever_.Retrieve(docs_[static_cast<size_t>(query_index)].text,
                                3 * k, query_index);
+    std::unordered_set<int> in_pool(pool.begin(), pool.end());
+    for (int d : DenseRetrieve(query_index, k)) {
+      if (in_pool.insert(d).second) pool.push_back(d);
+    }
   } else {
     pool = retriever_.Retrieve(docs_[static_cast<size_t>(query_index)].text,
                                k, query_index);

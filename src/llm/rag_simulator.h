@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "tasks/metrics.h"
+#include "tensor/embedding_matrix.h"
 #include "util/rng.h"
 
 namespace tabbin {
@@ -78,6 +79,13 @@ class RagLlmSimulator {
 
   void Index(const std::vector<RagDocument>& docs);
 
+  /// \brief Like Index, but additionally grounds the RAG stage in dense
+  /// embeddings: row i of `embeddings` embeds docs[i] (flat [n, dim]
+  /// storage). The retrieval pool becomes the union of the BM25 top-k and
+  /// the cosine top-k over the embedding matrix, so lexically disjoint
+  /// but semantically close documents stay retrievable.
+  void Index(const std::vector<RagDocument>& docs, EmbeddingMatrix embeddings);
+
   /// \brief Ranked document indices for a query document (top-k cluster),
   /// mimicking "prompt the LLM with the retrieved candidates".
   std::vector<int> RankFor(int query_index, int k);
@@ -90,10 +98,15 @@ class RagLlmSimulator {
   EvalResult Evaluate(int k = 20, int max_queries = 200);
 
  private:
+  /// \brief Indices of the top-k documents by cosine similarity to the
+  /// query row of the dense matrix (empty when no dense index is set).
+  std::vector<int> DenseRetrieve(int query_index, int k) const;
+
   LlmProfile profile_;
   Rng rng_;
   std::vector<RagDocument> docs_;
   Bm25Retriever retriever_;
+  EmbeddingMatrix dense_;  // [docs, dim]; empty when lexical-only
 };
 
 }  // namespace tabbin

@@ -8,15 +8,15 @@
 
 namespace tabbin {
 
-std::vector<RankedItem> RankBySimilarity(
-    const std::vector<LabeledEmbedding>& items, int query_index,
-    const std::vector<int>* candidates) {
+std::vector<RankedItem> RankBySimilarity(const LabeledEmbeddingSet& items,
+                                         int query_index,
+                                         const std::vector<int>* candidates) {
   std::vector<RankedItem> ranked;
-  const auto& q = items[static_cast<size_t>(query_index)].vec;
+  const VecView q = items.vec(static_cast<size_t>(query_index));
   auto consider = [&](int i) {
     if (i == query_index) return;
     ranked.push_back(
-        {i, CosineSimilarity(q, items[static_cast<size_t>(i)].vec)});
+        {i, CosineSimilarity(q, items.vec(static_cast<size_t>(i)))});
   };
   if (candidates) {
     for (int i : *candidates) consider(i);
@@ -30,23 +30,23 @@ std::vector<RankedItem> RankBySimilarity(
   return ranked;
 }
 
-ClusterEvalResult EvaluateClustering(const std::vector<LabeledEmbedding>& items,
+ClusterEvalResult EvaluateClustering(const LabeledEmbeddingSet& items,
                                      const ClusterEvalOptions& options) {
   ClusterEvalResult result;
   if (items.size() < 2) return result;
 
   // Per-label population, to bound AP normalization.
   std::map<std::string, int> label_count;
-  for (const auto& it : items) ++label_count[it.label];
+  for (size_t i = 0; i < items.size(); ++i) ++label_count[items.label(i)];
 
   // Optional LSH blocking.
   std::unique_ptr<LshIndex> lsh;
-  if (options.use_lsh && !items.empty() && !items[0].vec.empty()) {
-    lsh = std::make_unique<LshIndex>(static_cast<int>(items[0].vec.size()),
+  if (options.use_lsh && items.dim() > 0) {
+    lsh = std::make_unique<LshIndex>(static_cast<int>(items.dim()),
                                      options.lsh_bits, options.lsh_tables,
                                      options.seed);
     for (int i = 0; i < static_cast<int>(items.size()); ++i) {
-      lsh->Insert(i, items[static_cast<size_t>(i)].vec);
+      lsh->Insert(i, items.vec(static_cast<size_t>(i)));
     }
   }
 
@@ -64,14 +64,14 @@ ClusterEvalResult EvaluateClustering(const std::vector<LabeledEmbedding>& items,
 
   std::vector<std::vector<bool>> runs;
   for (int q : queries) {
-    const std::string& label = items[static_cast<size_t>(q)].label;
+    const std::string& label = items.label(static_cast<size_t>(q));
     const int relevant_others = label_count[label] - 1;
     if (relevant_others <= 0) continue;  // nothing to retrieve
 
     std::vector<int> candidates;
     const std::vector<int>* cand_ptr = nullptr;
     if (lsh) {
-      candidates = lsh->Query(items[static_cast<size_t>(q)].vec);
+      candidates = lsh->Query(items.vec(static_cast<size_t>(q)));
       // LSH blocking may be too aggressive on tiny datasets; fall back to
       // exhaustive ranking when the block is smaller than the cluster.
       if (static_cast<int>(candidates.size()) > options.k) {
@@ -82,7 +82,7 @@ ClusterEvalResult EvaluateClustering(const std::vector<LabeledEmbedding>& items,
     std::vector<bool> rel;
     rel.reserve(ranked.size());
     for (const auto& r : ranked) {
-      rel.push_back(items[static_cast<size_t>(r.index)].label == label);
+      rel.push_back(items.label(static_cast<size_t>(r.index)) == label);
     }
     runs.push_back(std::move(rel));
     // AP normalization handled inside MeanAveragePrecision via hits.
@@ -93,32 +93,44 @@ ClusterEvalResult EvaluateClustering(const std::vector<LabeledEmbedding>& items,
   return result;
 }
 
-ClusterEvalResult EvaluateCentroidClustering(
-    const std::vector<LabeledEmbedding>& items,
-    const ClusterEvalOptions& options) {
+ClusterEvalResult EvaluateCentroidClustering(const LabeledEmbeddingSet& items,
+                                             const ClusterEvalOptions& options) {
   ClusterEvalResult result;
   if (items.empty()) return result;
-  const size_t dim = items[0].vec.size();
+  const size_t dim = items.dim();
 
-  std::map<std::string, std::vector<float>> centroids;
-  std::map<std::string, int> counts;
-  for (const auto& it : items) {
-    auto& c = centroids[it.label];
-    c.resize(dim, 0.0f);
-    for (size_t d = 0; d < dim; ++d) c[d] += it.vec[d];
-    ++counts[it.label];
+  // One flat [num_labels, dim] centroid matrix instead of a map of
+  // per-label vectors.
+  std::map<std::string, int> label_row;
+  for (size_t i = 0; i < items.size(); ++i) {
+    label_row.emplace(items.label(i), 0);
   }
-  for (auto& [label, c] : centroids) {
-    for (auto& v : c) v /= static_cast<float>(counts[label]);
+  int next = 0;
+  for (auto& [label, row] : label_row) row = next++;
+
+  EmbeddingMatrix centroids(static_cast<size_t>(next), dim);
+  std::vector<int> counts(static_cast<size_t>(next), 0);
+  for (size_t i = 0; i < items.size(); ++i) {
+    const int row = label_row[items.label(i)];
+    float* c = centroids.mutable_row(static_cast<size_t>(row));
+    const VecView v = items.vec(i);
+    for (size_t d = 0; d < dim; ++d) c[d] += v[d];
+    ++counts[static_cast<size_t>(row)];
+  }
+  for (int r = 0; r < next; ++r) {
+    float* c = centroids.mutable_row(static_cast<size_t>(r));
+    const float inv = 1.0f / static_cast<float>(counts[static_cast<size_t>(r)]);
+    for (size_t d = 0; d < dim; ++d) c[d] *= inv;
   }
 
   std::vector<std::vector<bool>> runs;
-  for (const auto& [label, centroid] : centroids) {
-    if (counts[label] < 2) continue;
+  for (const auto& [label, row] : label_row) {
+    if (counts[static_cast<size_t>(row)] < 2) continue;
+    const VecView centroid = centroids.row(static_cast<size_t>(row));
     std::vector<RankedItem> ranked;
     for (int i = 0; i < static_cast<int>(items.size()); ++i) {
       ranked.push_back(
-          {i, CosineSimilarity(centroid, items[static_cast<size_t>(i)].vec)});
+          {i, CosineSimilarity(centroid, items.vec(static_cast<size_t>(i)))});
     }
     std::stable_sort(ranked.begin(), ranked.end(),
                      [](const RankedItem& a, const RankedItem& b) {
@@ -126,7 +138,7 @@ ClusterEvalResult EvaluateCentroidClustering(
                      });
     std::vector<bool> rel;
     for (const auto& r : ranked) {
-      rel.push_back(items[static_cast<size_t>(r.index)].label == label);
+      rel.push_back(items.label(static_cast<size_t>(r.index)) == label);
     }
     runs.push_back(std::move(rel));
   }

@@ -5,18 +5,45 @@
 #define TABBIN_TASKS_CLUSTERING_H_
 
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "tasks/lsh.h"
 #include "tasks/metrics.h"
+#include "tensor/embedding_matrix.h"
 #include "util/rng.h"
 
 namespace tabbin {
 
-/// \brief An embedding with its ground-truth cluster label.
-struct LabeledEmbedding {
-  std::vector<float> vec;
-  std::string label;
+/// \brief A set of embeddings with ground-truth cluster labels, stored as
+/// one flat [n, dim] matrix (row i ↔ label i). This is the unit the whole
+/// evaluation stack passes around; rows are read as VecView spans.
+class LabeledEmbeddingSet {
+ public:
+  LabeledEmbeddingSet() = default;
+  LabeledEmbeddingSet(
+      std::initializer_list<std::pair<std::vector<float>, std::string>> items) {
+    for (const auto& [v, l] : items) Add(v, l);
+  }
+
+  /// \brief Appends one labeled embedding (width fixed by the first row).
+  void Add(VecView vec, std::string label) {
+    vecs_.AppendRow(vec);
+    labels_.push_back(std::move(label));
+  }
+
+  size_t size() const { return labels_.size(); }
+  bool empty() const { return labels_.empty(); }
+  size_t dim() const { return vecs_.cols(); }
+
+  VecView vec(size_t i) const { return vecs_.row(i); }
+  const std::string& label(size_t i) const { return labels_[i]; }
+  const EmbeddingMatrix& matrix() const { return vecs_; }
+  const std::vector<std::string>& labels() const { return labels_; }
+
+ private:
+  EmbeddingMatrix vecs_;
+  std::vector<std::string> labels_;
 };
 
 /// \brief One ranked result.
@@ -28,7 +55,7 @@ struct RankedItem {
 /// \brief Ranks `items` (excluding `query_index`) by cosine similarity to
 /// the query, descending; restricted to `candidates` when non-null.
 std::vector<RankedItem> RankBySimilarity(
-    const std::vector<LabeledEmbedding>& items, int query_index,
+    const LabeledEmbeddingSet& items, int query_index,
     const std::vector<int>* candidates = nullptr);
 
 /// \brief MAP/MRR outcome of a clustering evaluation.
@@ -55,15 +82,14 @@ struct ClusterEvalOptions {
 /// \brief Full evaluation: for each sampled query, rank all other items by
 /// cosine, take top-k as the cluster, and score AP/RR against labels
 /// (exactly the paper's §4.1-4.3 protocol).
-ClusterEvalResult EvaluateClustering(const std::vector<LabeledEmbedding>& items,
+ClusterEvalResult EvaluateClustering(const LabeledEmbeddingSet& items,
                                      const ClusterEvalOptions& options = {});
 
 /// \brief Centroid-based table clustering (paper §4.2): compute the
 /// centroid of each label's items, rank all items against it, score the
 /// top-k cluster per centroid.
 ClusterEvalResult EvaluateCentroidClustering(
-    const std::vector<LabeledEmbedding>& items,
-    const ClusterEvalOptions& options = {});
+    const LabeledEmbeddingSet& items, const ClusterEvalOptions& options = {});
 
 }  // namespace tabbin
 

@@ -1,26 +1,29 @@
 #include "tasks/lsh.h"
 
+#include <algorithm>
 #include <cassert>
 
 namespace tabbin {
 
 LshIndex::LshIndex(int dim, int num_bits, int num_tables, uint64_t seed)
-    : dim_(dim), num_bits_(num_bits), num_tables_(num_tables) {
+    : dim_(dim),
+      num_bits_(num_bits),
+      num_tables_(num_tables),
+      hyperplanes_(static_cast<size_t>(num_bits) * num_tables,
+                   static_cast<size_t>(dim)) {
   Rng rng(seed);
-  hyperplanes_.reserve(static_cast<size_t>(num_bits) * num_tables);
-  for (int i = 0; i < num_bits * num_tables; ++i) {
-    std::vector<float> h(static_cast<size_t>(dim));
-    for (auto& v : h) v = static_cast<float>(rng.Gaussian());
-    hyperplanes_.push_back(std::move(h));
+  float* h = hyperplanes_.data();
+  for (size_t i = 0; i < hyperplanes_.size(); ++i) {
+    h[i] = static_cast<float>(rng.Gaussian());
   }
   tables_.resize(static_cast<size_t>(num_tables));
 }
 
-uint64_t LshIndex::HashInTable(int table, const std::vector<float>& vec) const {
+uint64_t LshIndex::HashInTable(int table, VecView vec) const {
   uint64_t code = 0;
   for (int b = 0; b < num_bits_; ++b) {
-    const auto& h =
-        hyperplanes_[static_cast<size_t>(table) * num_bits_ + b];
+    const VecView h =
+        hyperplanes_.row(static_cast<size_t>(table) * num_bits_ + b);
     double dot = 0;
     const size_t n = std::min(vec.size(), h.size());
     for (size_t i = 0; i < n; ++i) dot += static_cast<double>(vec[i]) * h[i];
@@ -29,7 +32,7 @@ uint64_t LshIndex::HashInTable(int table, const std::vector<float>& vec) const {
   return code;
 }
 
-void LshIndex::Insert(int id, const std::vector<float>& vec) {
+void LshIndex::Insert(int id, VecView vec) {
   assert(static_cast<int>(vec.size()) == dim_);
   for (int t = 0; t < num_tables_; ++t) {
     tables_[static_cast<size_t>(t)][HashInTable(t, vec)].push_back(id);
@@ -37,14 +40,19 @@ void LshIndex::Insert(int id, const std::vector<float>& vec) {
   ++count_;
 }
 
-std::vector<int> LshIndex::Query(const std::vector<float>& vec) const {
-  std::unordered_set<int> seen;
+std::vector<int> LshIndex::Query(VecView vec) const {
+  std::vector<int> out;
   for (int t = 0; t < num_tables_; ++t) {
     auto it = tables_[static_cast<size_t>(t)].find(HashInTable(t, vec));
     if (it == tables_[static_cast<size_t>(t)].end()) continue;
-    for (int id : it->second) seen.insert(id);
+    out.insert(out.end(), it->second.begin(), it->second.end());
   }
-  return std::vector<int>(seen.begin(), seen.end());
+  // Sorted + deduplicated: candidate order must not depend on
+  // unordered_set iteration order (platform-specific), or downstream
+  // clustering results drift across standard libraries.
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
 }
 
 }  // namespace tabbin

@@ -6,9 +6,9 @@
 
 #include <cstdint>
 #include <unordered_map>
-#include <unordered_set>
 #include <vector>
 
+#include "tensor/embedding_matrix.h"
 #include "util/rng.h"
 
 namespace tabbin {
@@ -22,21 +22,24 @@ class LshIndex {
   LshIndex(int dim, int num_bits, int num_tables, uint64_t seed = 1234);
 
   /// \brief Adds a vector under an integer id.
-  void Insert(int id, const std::vector<float>& vec);
+  void Insert(int id, VecView vec);
 
   /// \brief Ids colliding with `vec` in at least one table (candidates
-  /// for exact cosine ranking). The query id itself may be included.
-  std::vector<int> Query(const std::vector<float>& vec) const;
+  /// for exact cosine ranking), in ascending id order so that blocking —
+  /// and everything ranked after it — is deterministic across platforms.
+  /// The query id itself may be included.
+  std::vector<int> Query(VecView vec) const;
 
   int size() const { return count_; }
 
  private:
-  uint64_t HashInTable(int table, const std::vector<float>& vec) const;
+  uint64_t HashInTable(int table, VecView vec) const;
 
   int dim_, num_bits_, num_tables_;
   int count_ = 0;
-  // hyperplanes_[t * num_bits + b] is a dim-sized normal vector.
-  std::vector<std::vector<float>> hyperplanes_;
+  // Row (t * num_bits + b) is the dim-sized normal of hyperplane b in
+  // table t — one flat block instead of num_tables * num_bits vectors.
+  EmbeddingMatrix hyperplanes_;
   std::vector<std::unordered_map<uint64_t, std::vector<int>>> tables_;
 };
 

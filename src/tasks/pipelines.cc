@@ -2,38 +2,35 @@
 
 namespace tabbin {
 
-std::vector<LabeledEmbedding> EmbedColumns(
-    const Corpus& corpus, const std::vector<ColumnQuery>& queries,
-    const ColumnEmbedder& embedder) {
-  std::vector<LabeledEmbedding> out;
-  out.reserve(queries.size());
+LabeledEmbeddingSet EmbedColumns(const Corpus& corpus,
+                                 const std::vector<ColumnQuery>& queries,
+                                 const ColumnEmbedder& embedder) {
+  LabeledEmbeddingSet out;
   for (const auto& q : queries) {
     const Table& t = corpus.tables[static_cast<size_t>(q.table_index)];
-    out.push_back({embedder(t, q.col), q.label});
+    out.Add(embedder(t, q.col), q.label);
   }
   return out;
 }
 
-std::vector<LabeledEmbedding> EmbedTables(const Corpus& corpus,
-                                          const std::vector<TableQuery>& queries,
-                                          const TableEmbedder& embedder) {
-  std::vector<LabeledEmbedding> out;
-  out.reserve(queries.size());
+LabeledEmbeddingSet EmbedTables(const Corpus& corpus,
+                                const std::vector<TableQuery>& queries,
+                                const TableEmbedder& embedder) {
+  LabeledEmbeddingSet out;
   for (const auto& q : queries) {
     const Table& t = corpus.tables[static_cast<size_t>(q.table_index)];
-    out.push_back({embedder(t), q.label});
+    out.Add(embedder(t), q.label);
   }
   return out;
 }
 
-std::vector<LabeledEmbedding> EmbedEntities(
-    const Corpus& corpus, const std::vector<EntityQuery>& queries,
-    const CellEmbedder& embedder) {
-  std::vector<LabeledEmbedding> out;
-  out.reserve(queries.size());
+LabeledEmbeddingSet EmbedEntities(const Corpus& corpus,
+                                  const std::vector<EntityQuery>& queries,
+                                  const CellEmbedder& embedder) {
+  LabeledEmbeddingSet out;
   for (const auto& q : queries) {
     const Table& t = corpus.tables[static_cast<size_t>(q.table_index)];
-    out.push_back({embedder(t, q.row, q.col), q.label});
+    out.Add(embedder(t, q.row, q.col), q.label);
   }
   return out;
 }

@@ -1,5 +1,5 @@
 // Thin adapters that turn labeled corpus queries + an embedder into the
-// LabeledEmbedding lists consumed by the clustering harness. These are
+// flat LabeledEmbeddingSet consumed by the clustering harness. These are
 // the CC / TC / EC pipelines shared by TabBiN and every baseline.
 #ifndef TABBIN_TASKS_PIPELINES_H_
 #define TABBIN_TASKS_PIPELINES_H_
@@ -38,19 +38,19 @@ using CellEmbedder =
     std::function<std::vector<float>(const Table&, int row, int col)>;
 
 /// \brief Embeds every column query (CC task input).
-std::vector<LabeledEmbedding> EmbedColumns(
-    const Corpus& corpus, const std::vector<ColumnQuery>& queries,
-    const ColumnEmbedder& embedder);
+LabeledEmbeddingSet EmbedColumns(const Corpus& corpus,
+                                 const std::vector<ColumnQuery>& queries,
+                                 const ColumnEmbedder& embedder);
 
 /// \brief Embeds every table query (TC task input).
-std::vector<LabeledEmbedding> EmbedTables(const Corpus& corpus,
-                                          const std::vector<TableQuery>& queries,
-                                          const TableEmbedder& embedder);
+LabeledEmbeddingSet EmbedTables(const Corpus& corpus,
+                                const std::vector<TableQuery>& queries,
+                                const TableEmbedder& embedder);
 
 /// \brief Embeds every entity query (EC task input).
-std::vector<LabeledEmbedding> EmbedEntities(
-    const Corpus& corpus, const std::vector<EntityQuery>& queries,
-    const CellEmbedder& embedder);
+LabeledEmbeddingSet EmbedEntities(const Corpus& corpus,
+                                  const std::vector<EntityQuery>& queries,
+                                  const CellEmbedder& embedder);
 
 /// \brief True when > `threshold` of the column's data cells are numeric
 /// (used for the textual/numerical splits of Table 4).

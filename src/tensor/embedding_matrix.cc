@@ -1,0 +1,26 @@
+#include "tensor/embedding_matrix.h"
+
+#include <algorithm>
+#include <cstring>
+
+namespace tabbin {
+
+void EmbeddingMatrix::Assign(size_t rows, size_t cols, const float* src) {
+  rows_ = rows;
+  cols_ = cols;
+  data_.resize(rows * cols);
+  if (!data_.empty()) {
+    std::memcpy(data_.data(), src, data_.size() * sizeof(float));
+  }
+}
+
+void EmbeddingMatrix::AppendRow(VecView v) {
+  if (rows_ == 0 && cols_ == 0) cols_ = v.size();
+  const size_t n = std::min(cols_, v.size());
+  data_.resize(data_.size() + cols_, 0.0f);
+  float* dst = data_.data() + rows_ * cols_;
+  if (n > 0) std::memcpy(dst, v.data(), n * sizeof(float));
+  ++rows_;
+}
+
+}  // namespace tabbin

@@ -1,0 +1,98 @@
+// Flat row-major embedding storage.
+//
+// Every stage of the TabBiN pipeline after the encoder forward pass works
+// on dense [n, d] blocks of float embeddings: segment hidden states,
+// labeled embedding sets for clustering, LSH hyperplanes, RAG grounding
+// matrices. EmbeddingMatrix keeps those blocks in one contiguous buffer
+// (the same discipline a libtorch buffer uses) instead of a
+// std::vector<std::vector<float>>, removing a heap allocation and a
+// pointer chase per row from every hot loop.
+//
+// VecView is the row accessor: a non-owning span of const float. It
+// converts implicitly from std::vector<float> so call sites can mix owned
+// vectors (single composite embeddings) and matrix rows freely.
+//
+// Invariant: all rows of a matrix have the same width; AppendRow
+// zero-pads or truncates to the established width so that ragged inputs
+// cannot silently corrupt the layout.
+#ifndef TABBIN_TENSOR_EMBEDDING_MATRIX_H_
+#define TABBIN_TENSOR_EMBEDDING_MATRIX_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace tabbin {
+
+/// \brief Non-owning read-only view over a contiguous float range.
+class VecView {
+ public:
+  VecView() = default;
+  VecView(const float* data, size_t size) : data_(data), size_(size) {}
+  // Intentionally implicit: lets owned vectors flow into span-taking APIs
+  // (ConcatEmbeddings, CosineSimilarity, LshIndex) without copies.
+  VecView(const std::vector<float>& v) : data_(v.data()), size_(v.size()) {}
+
+  const float* data() const { return data_; }
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  float operator[](size_t i) const { return data_[i]; }
+  const float* begin() const { return data_; }
+  const float* end() const { return data_ + size_; }
+
+  /// \brief Materializes the view as an owned vector.
+  std::vector<float> ToVector() const {
+    return std::vector<float>(data_, data_ + size_);
+  }
+
+ private:
+  const float* data_ = nullptr;
+  size_t size_ = 0;
+};
+
+/// \brief Dense [rows, cols] float matrix with contiguous row-major
+/// storage and O(1) row views.
+class EmbeddingMatrix {
+ public:
+  EmbeddingMatrix() = default;
+  EmbeddingMatrix(size_t rows, size_t cols)
+      : rows_(rows), cols_(cols), data_(rows * cols, 0.0f) {}
+
+  size_t rows() const { return rows_; }
+  size_t cols() const { return cols_; }
+  bool empty() const { return rows_ == 0; }
+  size_t size() const { return data_.size(); }
+
+  const float* data() const { return data_.data(); }
+  float* data() { return data_.data(); }
+
+  VecView row(size_t r) const {
+    return VecView(data_.data() + r * cols_, cols_);
+  }
+  float* mutable_row(size_t r) { return data_.data() + r * cols_; }
+
+  /// \brief Replaces the contents with a rows x cols block copied from
+  /// `src` (row-major, rows * cols floats).
+  void Assign(size_t rows, size_t cols, const float* src);
+
+  /// \brief Appends one row. The first append fixes the width; later rows
+  /// are zero-padded / truncated to it.
+  void AppendRow(VecView v);
+
+  /// \brief Pre-allocates storage for `rows` rows of the current width.
+  void Reserve(size_t rows) { data_.reserve(rows * cols_); }
+
+  void Clear() {
+    rows_ = 0;
+    cols_ = 0;
+    data_.clear();
+  }
+
+ private:
+  size_t rows_ = 0;
+  size_t cols_ = 0;
+  std::vector<float> data_;
+};
+
+}  // namespace tabbin
+
+#endif  // TABBIN_TENSOR_EMBEDDING_MATRIX_H_

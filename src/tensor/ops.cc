@@ -713,8 +713,7 @@ Tensor BinaryCrossEntropyWithLogits(const Tensor& logits,
   return result;
 }
 
-float CosineSimilarity(const std::vector<float>& a,
-                       const std::vector<float>& b) {
+float CosineSimilarity(VecView a, VecView b) {
   assert(a.size() == b.size());
   double dot = 0, na = 0, nb = 0;
   for (size_t i = 0; i < a.size(); ++i) {

@@ -11,6 +11,7 @@
 
 #include <vector>
 
+#include "tensor/embedding_matrix.h"
 #include "tensor/tensor.h"
 #include "util/rng.h"
 
@@ -89,9 +90,13 @@ Tensor Sigmoid(const Tensor& x);
 Tensor BinaryCrossEntropyWithLogits(const Tensor& logits,
                                     const std::vector<float>& labels);
 
-/// \brief Cosine similarity of two plain float vectors (not differentiable).
-float CosineSimilarity(const std::vector<float>& a,
-                       const std::vector<float>& b);
+/// \brief Cosine similarity of two float spans (not differentiable).
+/// Accepts owned vectors and EmbeddingMatrix rows alike via VecView.
+float CosineSimilarity(VecView a, VecView b);
+inline float CosineSimilarity(const std::vector<float>& a,
+                              const std::vector<float>& b) {
+  return CosineSimilarity(VecView(a), VecView(b));
+}
 
 }  // namespace tabbin
 

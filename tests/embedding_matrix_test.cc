@@ -1,0 +1,117 @@
+// Tests for the flat embedding storage layer: VecView spans,
+// EmbeddingMatrix row access/append semantics, the LabeledEmbeddingSet
+// container, and span-based ConcatEmbeddings / CosineSimilarity.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "core/tabbin.h"
+#include "tasks/clustering.h"
+#include "tensor/embedding_matrix.h"
+#include "tensor/ops.h"
+
+namespace tabbin {
+namespace {
+
+TEST(VecViewTest, ViewsOwnedVectorWithoutCopy) {
+  std::vector<float> v = {1.0f, 2.0f, 3.0f};
+  VecView view = v;
+  ASSERT_EQ(view.size(), 3u);
+  EXPECT_EQ(view.data(), v.data());  // non-owning: same storage
+  EXPECT_FLOAT_EQ(view[1], 2.0f);
+  EXPECT_EQ(view.ToVector(), v);
+}
+
+TEST(VecViewTest, DefaultIsEmpty) {
+  VecView view;
+  EXPECT_TRUE(view.empty());
+  EXPECT_EQ(view.begin(), view.end());
+}
+
+TEST(EmbeddingMatrixTest, RowViewsShareFlatStorage) {
+  EmbeddingMatrix m(3, 4);
+  for (size_t r = 0; r < 3; ++r) {
+    float* row = m.mutable_row(r);
+    for (size_t c = 0; c < 4; ++c) row[c] = static_cast<float>(r * 4 + c);
+  }
+  // Rows are contiguous slices of one buffer.
+  EXPECT_EQ(m.row(1).data(), m.data() + 4);
+  EXPECT_EQ(m.row(2).data(), m.data() + 8);
+  EXPECT_FLOAT_EQ(m.row(2)[3], 11.0f);
+}
+
+TEST(EmbeddingMatrixTest, AppendRowFixesWidth) {
+  EmbeddingMatrix m;
+  m.AppendRow(std::vector<float>{1, 2, 3});
+  ASSERT_EQ(m.cols(), 3u);
+  // Shorter rows are zero-padded, longer rows truncated — the flat
+  // layout invariant never breaks.
+  m.AppendRow(std::vector<float>{4});
+  m.AppendRow(std::vector<float>{5, 6, 7, 8});
+  ASSERT_EQ(m.rows(), 3u);
+  EXPECT_FLOAT_EQ(m.row(1)[0], 4.0f);
+  EXPECT_FLOAT_EQ(m.row(1)[1], 0.0f);
+  EXPECT_FLOAT_EQ(m.row(2)[2], 7.0f);
+  EXPECT_EQ(m.size(), 9u);
+}
+
+TEST(EmbeddingMatrixTest, AssignCopiesBlock) {
+  const float src[] = {1, 2, 3, 4, 5, 6};
+  EmbeddingMatrix m;
+  m.Assign(2, 3, src);
+  ASSERT_EQ(m.rows(), 2u);
+  ASSERT_EQ(m.cols(), 3u);
+  EXPECT_FLOAT_EQ(m.row(1)[2], 6.0f);
+}
+
+TEST(LabeledEmbeddingSetTest, AddAndAccess) {
+  LabeledEmbeddingSet set;
+  set.Add(std::vector<float>{1, 0}, "a");
+  set.Add(std::vector<float>{0, 1}, "b");
+  ASSERT_EQ(set.size(), 2u);
+  EXPECT_EQ(set.dim(), 2u);
+  EXPECT_EQ(set.label(1), "b");
+  EXPECT_FLOAT_EQ(set.vec(1)[1], 1.0f);
+  EXPECT_EQ(set.matrix().rows(), 2u);
+}
+
+TEST(LabeledEmbeddingSetTest, InitializerListConstruction) {
+  LabeledEmbeddingSet set = {{{1, 0}, "x"}, {{0, 1}, "y"}};
+  ASSERT_EQ(set.size(), 2u);
+  EXPECT_EQ(set.label(0), "x");
+  EXPECT_FLOAT_EQ(set.vec(0)[0], 1.0f);
+}
+
+TEST(ConcatEmbeddingsTest, NormalizesEachSpanIndependently) {
+  std::vector<float> a = {3, 4};     // norm 5
+  EmbeddingMatrix m;
+  m.AppendRow(std::vector<float>{0, 2});  // norm 2
+  // Mixed sources: owned vector + matrix row, both as VecView.
+  std::vector<float> out = ConcatEmbeddings({a, m.row(0)});
+  ASSERT_EQ(out.size(), 4u);
+  EXPECT_NEAR(out[0], 0.6f, 1e-6f);
+  EXPECT_NEAR(out[1], 0.8f, 1e-6f);
+  EXPECT_NEAR(out[2], 0.0f, 1e-6f);
+  EXPECT_NEAR(out[3], 1.0f, 1e-6f);
+}
+
+TEST(ConcatEmbeddingsTest, ZeroSpanStaysZero) {
+  std::vector<float> z = {0, 0};
+  std::vector<float> out = ConcatEmbeddings({z});
+  EXPECT_FLOAT_EQ(out[0], 0.0f);
+  EXPECT_FLOAT_EQ(out[1], 0.0f);
+}
+
+TEST(CosineSimilarityTest, MatrixRowsMatchOwnedVectors) {
+  std::vector<float> a = {0.5f, -1.25f, 2.0f};
+  std::vector<float> b = {1.5f, 0.25f, -0.75f};
+  EmbeddingMatrix m;
+  m.AppendRow(a);
+  m.AppendRow(b);
+  EXPECT_FLOAT_EQ(CosineSimilarity(m.row(0), m.row(1)),
+                  CosineSimilarity(a, b));
+}
+
+}  // namespace
+}  // namespace tabbin

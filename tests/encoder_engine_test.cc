@@ -1,0 +1,140 @@
+// Tests for the EncoderEngine: fingerprint identity, LRU cache hit/miss
+// semantics, bounded capacity, and bitwise equality of batched vs.
+// serial EncodeAll under the thread pool.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "core/encoder_engine.h"
+#include "test_tables.h"
+
+namespace tabbin {
+namespace {
+
+TabBiNConfig TinyConfig() {
+  TabBiNConfig cfg;
+  cfg.hidden = 24;
+  cfg.num_layers = 1;
+  cfg.num_heads = 2;
+  cfg.intermediate = 48;
+  cfg.max_seq_len = 96;
+  return cfg;
+}
+
+std::vector<Table> FixtureTables() {
+  Table third = MakeRelationalTable();
+  third.set_caption("third fixture, distinct content");
+  third.SetValue(1, 0, Value::String("Zed"));
+  std::vector<Table> tables = {MakeRelationalTable(), MakeOncologyTable(),
+                               std::move(third)};
+  for (size_t i = 0; i < tables.size(); ++i) {
+    tables[i].set_id("t" + std::to_string(i));
+  }
+  return tables;
+}
+
+// Untrained (but deterministically initialized) system: encoding is a
+// pure function of the weights, which is all these tests need.
+std::unique_ptr<TabBiNSystem> MakeSystem(const std::vector<Table>& tables) {
+  return std::make_unique<TabBiNSystem>(
+      TabBiNSystem::Create(tables, TinyConfig()));
+}
+
+void ExpectEncodingsEqual(const TableEncodings& a, const TableEncodings& b) {
+  const SegmentEncoding* as[] = {&a.row, &a.col, &a.hmd, &a.vmd};
+  const SegmentEncoding* bs[] = {&b.row, &b.col, &b.hmd, &b.vmd};
+  for (int s = 0; s < 4; ++s) {
+    ASSERT_EQ(as[s]->seq.size(), bs[s]->seq.size());
+    ASSERT_EQ(as[s]->hidden.rows(), bs[s]->hidden.rows());
+    ASSERT_EQ(as[s]->hidden.cols(), bs[s]->hidden.cols());
+    for (size_t i = 0; i < as[s]->hidden.size(); ++i) {
+      // Bitwise: batched and serial must run the identical float program.
+      ASSERT_EQ(as[s]->hidden.data()[i], bs[s]->hidden.data()[i]);
+    }
+  }
+}
+
+TEST(TableFingerprintTest, DistinguishesContentAndMatchesCopies) {
+  auto tables = FixtureTables();
+  EXPECT_NE(TableFingerprint(tables[0]), TableFingerprint(tables[1]));
+  Table copy = tables[0];
+  EXPECT_EQ(TableFingerprint(tables[0]), TableFingerprint(copy));
+  copy.SetValue(1, 0, Value::String("changed"));
+  EXPECT_NE(TableFingerprint(tables[0]), TableFingerprint(copy));
+}
+
+TEST(TableFingerprintTest, CellPositionEntersTheHash) {
+  // Regression: the same value in a different cell must fingerprint
+  // differently, or the encoder cache serves one table's encodings for
+  // the other.
+  Table a(1, 2, /*hmd_rows=*/0, /*vmd_cols=*/0);
+  a.SetValue(0, 0, Value::String("x"));
+  Table b(1, 2, /*hmd_rows=*/0, /*vmd_cols=*/0);
+  b.SetValue(0, 1, Value::String("x"));
+  EXPECT_NE(TableFingerprint(a), TableFingerprint(b));
+}
+
+TEST(EncoderEngineTest, SecondEncodeIsACacheHit) {
+  auto tables = FixtureTables();
+  auto sys = MakeSystem(tables);
+  EncoderEngine engine(sys.get(), 8);
+  auto first = engine.Encode(tables[0]);
+  EXPECT_EQ(engine.misses(), 1u);
+  EXPECT_EQ(engine.hits(), 0u);
+  auto second = engine.Encode(tables[0]);
+  EXPECT_EQ(engine.misses(), 1u);
+  EXPECT_EQ(engine.hits(), 1u);
+  EXPECT_EQ(first.get(), second.get());  // same cached object
+  // A logically equal copy hits too (identity = content, not address).
+  Table copy = tables[0];
+  EXPECT_EQ(engine.Encode(copy).get(), first.get());
+}
+
+TEST(EncoderEngineTest, LruEvictsBeyondCapacity) {
+  auto tables = FixtureTables();
+  auto sys = MakeSystem(tables);
+  EncoderEngine engine(sys.get(), 2);
+  auto e0 = engine.Encode(tables[0]);
+  engine.Encode(tables[1]);
+  engine.Encode(tables[2]);  // evicts tables[0]
+  EXPECT_EQ(engine.size(), 2u);
+  EXPECT_EQ(engine.misses(), 3u);
+  engine.Encode(tables[0]);  // miss again
+  EXPECT_EQ(engine.misses(), 4u);
+  // The caller's shared_ptr survived the eviction.
+  EXPECT_GT(e0->row.hidden.rows(), 0u);
+}
+
+TEST(EncoderEngineTest, BatchedMatchesSerialBitwise) {
+  auto tables = FixtureTables();
+  auto sys = MakeSystem(tables);
+  std::vector<const Table*> ptrs;
+  for (const auto& t : tables) ptrs.push_back(&t);
+
+  EncoderEngine engine(sys.get(), 8);
+  auto batched = engine.EncodeBatch(ptrs);
+  ASSERT_EQ(batched.size(), tables.size());
+  for (size_t i = 0; i < tables.size(); ++i) {
+    TableEncodings serial = sys->EncodeAll(tables[i]);
+    ExpectEncodingsEqual(*batched[i], serial);
+  }
+}
+
+TEST(EncoderEngineTest, BatchDeduplicatesAndWarmsCache) {
+  auto tables = FixtureTables();
+  auto sys = MakeSystem(tables);
+  EncoderEngine engine(sys.get(), 8);
+  std::vector<const Table*> ptrs = {&tables[0], &tables[1], &tables[0]};
+  auto out = engine.EncodeBatch(ptrs);
+  EXPECT_EQ(out[0].get(), out[2].get());  // duplicate encoded once
+  EXPECT_EQ(engine.misses(), 2u);
+  // Follow-up single encodes are all hits.
+  engine.Encode(tables[0]);
+  engine.Encode(tables[1]);
+  EXPECT_EQ(engine.misses(), 2u);
+  EXPECT_GE(engine.hits(), 2u);
+}
+
+}  // namespace
+}  // namespace tabbin

@@ -111,11 +111,10 @@ TEST(IntegrationTest, CheckpointRestoresIdenticalEmbeddings) {
   const Table& t = data.corpus.tables[0];
   auto e1 = sys.EncodeSegment(t, TabBiNVariant::kDataRow);
   auto e2 = restored.EncodeSegment(t, TabBiNVariant::kDataRow);
-  ASSERT_EQ(e1.hidden.size(), e2.hidden.size());
+  ASSERT_EQ(e1.hidden.rows(), e2.hidden.rows());
+  ASSERT_EQ(e1.hidden.cols(), e2.hidden.cols());
   for (size_t i = 0; i < e1.hidden.size(); ++i) {
-    for (size_t d = 0; d < e1.hidden[i].size(); ++d) {
-      ASSERT_FLOAT_EQ(e1.hidden[i][d], e2.hidden[i][d]);
-    }
+    ASSERT_FLOAT_EQ(e1.hidden.data()[i], e2.hidden.data()[i]);
   }
   std::remove(vocab_path.c_str());
   std::remove(model_path.c_str());

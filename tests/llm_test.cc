@@ -92,6 +92,49 @@ TEST(RagSimulatorTest, Gpt4RagNearPerfectMrr) {
   EXPECT_LT(r.map, r.mrr);
 }
 
+TEST(RagSimulatorTest, DenseGroundingRecoversLexicallyDisjointPairs) {
+  // Document pairs that share a label but not a single term: BM25 alone
+  // cannot connect them, a dense (embedding) index can.
+  std::vector<RagDocument> docs = {
+      {"alpha beta", "p0"},    {"gamma delta", "p0"},
+      {"epsilon zeta", "p1"},  {"eta theta", "p1"},
+      {"iota kappa", "p2"},    {"lambda mu", "p2"},
+  };
+  EmbeddingMatrix dense;
+  for (int i = 0; i < 6; ++i) {
+    std::vector<float> v(3, 0.0f);
+    v[static_cast<size_t>(i / 2)] = 1.0f;  // pair members share a direction
+    dense.AppendRow(v);
+  }
+  LlmProfile profile{"oracle+rag", 1.0, 1.0, true};
+
+  RagLlmSimulator lexical(profile, 7);
+  lexical.Index(docs);
+  EXPECT_TRUE(lexical.RankFor(0, 5).empty());  // no shared terms, no pool
+
+  RagLlmSimulator grounded(profile, 7);
+  grounded.Index(docs, dense);
+  auto ranked = grounded.RankFor(0, 5);
+  ASSERT_FALSE(ranked.empty());
+  EXPECT_EQ(ranked[0], 1);  // the embedding-space partner ranks first
+}
+
+TEST(RagSimulatorTest, MismatchedDenseIndexIsIgnored) {
+  auto docs = TopicDocs();
+  EmbeddingMatrix dense;
+  dense.AppendRow(std::vector<float>{1.0f});  // one row for many docs
+  RagLlmSimulator sim(ProfileFor("gpt4+rag"), 5);
+  sim.Index(docs, dense);
+  RagLlmSimulator plain(ProfileFor("gpt4+rag"), 5);
+  plain.Index(docs);
+  // The bad dense index is dropped; behaviour matches the lexical-only
+  // simulator exactly (same seed, same randomness consumption).
+  auto a = sim.Evaluate(10, 24);
+  auto b = plain.Evaluate(10, 24);
+  EXPECT_DOUBLE_EQ(a.map, b.map);
+  EXPECT_DOUBLE_EQ(a.mrr, b.mrr);
+}
+
 TEST(RagSimulatorTest, RankedListsRespectK) {
   auto docs = TopicDocs();
   RagLlmSimulator sim(ProfileFor("gpt3.5+rag"), 3);

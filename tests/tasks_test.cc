@@ -106,24 +106,46 @@ TEST(LshTest, CandidateSetSmallerThanCorpusForRandomVectors) {
   EXPECT_LT(candidates.size(), 400u);
 }
 
+TEST(LshTest, QueryReturnsSortedUniqueCandidates) {
+  // Regression: Query used to return unordered_set iteration order, which
+  // varies across standard libraries and made blocking (and therefore
+  // clustering output) platform-dependent.
+  Rng rng(5);
+  const int dim = 16;
+  LshIndex index(dim, 4, 8);
+  std::vector<std::vector<float>> vecs;
+  for (int i = 0; i < 200; ++i) {
+    vecs.push_back(RandomUnit(&rng, dim));
+    index.Insert(i, vecs.back());
+  }
+  for (int probe = 0; probe < 20; ++probe) {
+    auto candidates = index.Query(vecs[static_cast<size_t>(probe)]);
+    ASSERT_FALSE(candidates.empty());
+    for (size_t i = 1; i < candidates.size(); ++i) {
+      EXPECT_LT(candidates[i - 1], candidates[i]);  // strictly ascending
+    }
+    // Stable across repeated queries.
+    EXPECT_EQ(candidates, index.Query(vecs[static_cast<size_t>(probe)]));
+  }
+}
+
 // ---------------------------------------------------------------------------
 // Clustering harness
 // ---------------------------------------------------------------------------
 
 // Builds well-separated labeled clusters in embedding space.
-std::vector<LabeledEmbedding> MakeSeparatedClusters(int per_cluster,
-                                                    int clusters, int dim,
-                                                    double noise,
-                                                    uint64_t seed) {
+LabeledEmbeddingSet MakeSeparatedClusters(int per_cluster, int clusters,
+                                          int dim, double noise,
+                                          uint64_t seed) {
   Rng rng(seed);
-  std::vector<std::vector<float>> centers;
-  for (int c = 0; c < clusters; ++c) centers.push_back(RandomUnit(&rng, dim));
-  std::vector<LabeledEmbedding> out;
+  EmbeddingMatrix centers;
+  for (int c = 0; c < clusters; ++c) centers.AppendRow(RandomUnit(&rng, dim));
+  LabeledEmbeddingSet out;
   for (int c = 0; c < clusters; ++c) {
     for (int i = 0; i < per_cluster; ++i) {
-      std::vector<float> v = centers[static_cast<size_t>(c)];
+      std::vector<float> v = centers.row(static_cast<size_t>(c)).ToVector();
       for (auto& x : v) x += static_cast<float>(noise * rng.Gaussian());
-      out.push_back({v, "cluster-" + std::to_string(c)});
+      out.Add(v, "cluster-" + std::to_string(c));
     }
   }
   return out;
@@ -141,10 +163,9 @@ TEST(ClusteringTest, SeparatedClustersScoreHigh) {
 
 TEST(ClusteringTest, RandomEmbeddingsScoreLow) {
   Rng rng(12);
-  std::vector<LabeledEmbedding> items;
+  LabeledEmbeddingSet items;
   for (int i = 0; i < 60; ++i) {
-    items.push_back({RandomUnit(&rng, 16),
-                     "cluster-" + std::to_string(i % 6)});
+    items.Add(RandomUnit(&rng, 16), "cluster-" + std::to_string(i % 6));
   }
   ClusterEvalOptions opts;
   opts.use_lsh = false;
@@ -172,7 +193,7 @@ TEST(ClusteringTest, CentroidVariantScoresSeparatedClusters) {
 }
 
 TEST(ClusteringTest, RankBySimilarityOrdersByCosine) {
-  std::vector<LabeledEmbedding> items = {
+  LabeledEmbeddingSet items = {
       {{1, 0}, "a"}, {{0.9f, 0.1f}, "a"}, {{0, 1}, "b"}};
   auto ranked = RankBySimilarity(items, 0);
   ASSERT_EQ(ranked.size(), 2u);
@@ -181,7 +202,7 @@ TEST(ClusteringTest, RankBySimilarityOrdersByCosine) {
 }
 
 TEST(ClusteringTest, SingletonLabelsSkipped) {
-  std::vector<LabeledEmbedding> items = {
+  LabeledEmbeddingSet items = {
       {{1, 0}, "only"}, {{0, 1}, "pair"}, {{0.1f, 1}, "pair"}};
   ClusterEvalOptions opts;
   opts.use_lsh = false;
@@ -214,9 +235,9 @@ TEST(PipelinesTest, EmbeddersReceiveRightCells) {
                               static_cast<float>(t.rows())};
   });
   ASSERT_EQ(items.size(), 1u);
-  EXPECT_EQ(items[0].label, "age");
-  EXPECT_FLOAT_EQ(items[0].vec[0], 1.0f);
-  EXPECT_FLOAT_EQ(items[0].vec[1], 4.0f);
+  EXPECT_EQ(items.label(0), "age");
+  EXPECT_FLOAT_EQ(items.vec(0)[0], 1.0f);
+  EXPECT_FLOAT_EQ(items.vec(0)[1], 4.0f);
 }
 
 }  // namespace
