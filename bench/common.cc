@@ -1,11 +1,32 @@
 #include "bench/common.h"
 
 #include <algorithm>
+#include <cstdlib>
 
 #include "util/logging.h"
+#include "util/snapshot.h"
 
 namespace tabbin {
 namespace bench {
+
+namespace {
+std::string g_snapshot_dir;
+}  // namespace
+
+void InitFromArgs(int argc, char** argv) {
+  const std::string prefix = "--snapshot_dir=";
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind(prefix, 0) == 0) g_snapshot_dir = arg.substr(prefix.size());
+  }
+  if (g_snapshot_dir.empty()) {
+    if (const char* env = std::getenv("TABBIN_SNAPSHOT_DIR")) {
+      g_snapshot_dir = env;
+    }
+  }
+}
+
+const std::string& SnapshotDir() { return g_snapshot_dir; }
 
 TabBiNConfig BenchTabBiNConfig() {
   TabBiNConfig cfg;
@@ -49,34 +70,100 @@ BenchEnv::BenchEnv(const std::string& dataset, const ModelSet& models,
   data_ = GenerateDataset(dataset, gen);
 
   TabBiNConfig cfg = BenchTabBiNConfig();
-  tabbin_ = std::make_unique<TabBiNSystem>(
-      TabBiNSystem::Create(data_.corpus.tables, cfg));
-  // Register the dataset's catalogs so type inference covers them (the
-  // paper's "custom list of named-entities" step).
-  for (const auto& cat : data_.catalogs) {
-    SemType type = SemType::kText;
-    if (cat.name == "drug") type = SemType::kDrug;
-    else if (cat.name == "vaccine") type = SemType::kVaccine;
-    else if (cat.name == "disease") type = SemType::kDisease;
-    else if (cat.name == "symptom") type = SemType::kSymptom;
-    else if (cat.name == "treatment") type = SemType::kTreatment;
-    else if (cat.name == "organization") type = SemType::kOrganization;
-    else if (cat.name == "city" || cat.name == "state" ||
-             cat.name == "region") {
-      type = SemType::kPlace;
-    } else {
-      continue;
-    }
-    for (const auto& e : cat.entities) tabbin_->typer()->AddTerm(e, type);
-  }
-  if (models.tabbin) {
-    TABBIN_LOG(INFO) << dataset << ": pre-training TabBiN (4 models)";
-    tabbin_->Pretrain(data_.corpus.tables);
-  }
   // Capacity covers the whole corpus so no bench eval ever thrashes.
-  engine_ = std::make_unique<EncoderEngine>(
-      tabbin_.get(), std::max<size_t>(256, data_.corpus.tables.size()));
+  const size_t engine_capacity =
+      std::max<size_t>(256, data_.corpus.tables.size());
+  const std::string snap_path =
+      SnapshotDir().empty()
+          ? ""
+          : SnapshotDir() + "/" + dataset + "_s" + std::to_string(seed) +
+                ".tbsn";
+
+  // Warm start: a prior run of any paper table persisted the trained
+  // models (and their table encodings) for this dataset/seed; loading
+  // them replaces pretraining entirely.
+  bool warm = false;
+  if (models.tabbin && !snap_path.empty()) {
+    auto snapshot = SnapshotReader::FromFile(snap_path);
+    if (snapshot.ok()) {
+      auto sys = TabBiNSystem::FromSnapshot(snapshot.value());
+      if (sys.ok() && sys.value().config() != cfg) {
+        // A stale snapshot from an older BenchTabBiNConfig() would
+        // silently pin every "regenerated" number to the old geometry.
+        TABBIN_LOG(WARNING)
+            << dataset << ": snapshot " << snap_path
+            << " was written under a different bench config; re-pretraining";
+      } else if (sys.ok()) {
+        tabbin_ = std::make_unique<TabBiNSystem>(std::move(sys).value());
+        engine_ =
+            std::make_unique<EncoderEngine>(tabbin_.get(), engine_capacity);
+        auto warmed = engine_->WarmStart(snapshot.value());
+        if (warmed.ok()) {
+          TABBIN_LOG(INFO) << dataset << ": warm start from " << snap_path
+                           << " (" << warmed.value()
+                           << " cached table encodings)";
+          warm = true;
+        } else {
+          TABBIN_LOG(WARNING)
+              << dataset << ": snapshot cache rejected ("
+              << warmed.status().ToString() << "); re-pretraining";
+        }
+      } else {
+        TABBIN_LOG(WARNING) << dataset << ": snapshot rejected ("
+                            << sys.status().ToString()
+                            << "); re-pretraining";
+      }
+    } else if (snapshot.status().code() != StatusCode::kIoError) {
+      // Missing file (IoError) is the normal first run; anything else
+      // means the snapshot exists but is corrupt — say so before the
+      // silent re-pretrain overwrites the evidence.
+      TABBIN_LOG(WARNING) << dataset << ": snapshot unreadable ("
+                          << snapshot.status().ToString()
+                          << "); re-pretraining";
+    }
+  }
+
+  if (!warm) {
+    tabbin_ = std::make_unique<TabBiNSystem>(
+        TabBiNSystem::Create(data_.corpus.tables, cfg));
+    // Register the dataset's catalogs so type inference covers them (the
+    // paper's "custom list of named-entities" step). A warm-started
+    // system skips this: the snapshot persists the full lexicon.
+    for (const auto& cat : data_.catalogs) {
+      SemType type = SemType::kText;
+      if (cat.name == "drug") type = SemType::kDrug;
+      else if (cat.name == "vaccine") type = SemType::kVaccine;
+      else if (cat.name == "disease") type = SemType::kDisease;
+      else if (cat.name == "symptom") type = SemType::kSymptom;
+      else if (cat.name == "treatment") type = SemType::kTreatment;
+      else if (cat.name == "organization") type = SemType::kOrganization;
+      else if (cat.name == "city" || cat.name == "state" ||
+               cat.name == "region") {
+        type = SemType::kPlace;
+      } else {
+        continue;
+      }
+      for (const auto& e : cat.entities) tabbin_->typer()->AddTerm(e, type);
+    }
+    if (models.tabbin) {
+      TABBIN_LOG(INFO) << dataset << ": pre-training TabBiN (4 models)";
+      tabbin_->Pretrain(data_.corpus.tables);
+    }
+    engine_ = std::make_unique<EncoderEngine>(tabbin_.get(), engine_capacity);
+  }
   if (models.tabbin) PrewarmEncodings();
+  if (models.tabbin && !warm && !snap_path.empty()) {
+    SnapshotWriter snapshot;
+    tabbin_->AppendTo(&snapshot);
+    engine_->AppendCacheTo(&snapshot);
+    Status st = snapshot.ToFile(snap_path);
+    if (st.ok()) {
+      TABBIN_LOG(INFO) << dataset << ": wrote snapshot " << snap_path;
+    } else {
+      TABBIN_LOG(WARNING) << dataset << ": snapshot write failed: "
+                          << st.ToString();
+    }
+  }
   if (models.tuta) {
     TABBIN_LOG(INFO) << dataset << ": pre-training TUTA-like";
     tuta_ = std::make_unique<TutaModel>(cfg, &tabbin_->vocab(),

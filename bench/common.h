@@ -36,6 +36,17 @@ struct ModelSet {
   bool word2vec = false;
 };
 
+/// \brief Parses harness flags shared by every paper-table binary.
+/// Currently: `--snapshot_dir=DIR` (falling back to the
+/// TABBIN_SNAPSHOT_DIR environment variable) — when set, BenchEnv loads
+/// `<dir>/<dataset>_s<seed>.tbsn` instead of pretraining TabBiN, and
+/// writes that snapshot (models + cached table encodings) after the
+/// first cold run, so re-running any paper table skips pretraining.
+void InitFromArgs(int argc, char** argv);
+
+/// \brief Snapshot directory from InitFromArgs; empty when disabled.
+const std::string& SnapshotDir();
+
 /// \brief The CPU-scale TabBiN configuration used by all benchmarks.
 TabBiNConfig BenchTabBiNConfig();
 

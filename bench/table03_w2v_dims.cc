@@ -9,7 +9,8 @@
 using namespace tabbin;
 using namespace tabbin::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  InitFromArgs(argc, argv);
   ModelSet models;
   models.tabbin = false;  // Word2Vec only
   BenchEnv env("cancerkg", models, kBenchTables);

@@ -9,7 +9,8 @@
 using namespace tabbin;
 using namespace tabbin::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  InitFromArgs(argc, argv);
   std::printf("\n==========================================================\n");
   std::printf("Table 7 — Entity catalogs (18 types over 5 datasets)\n");
   std::printf("==========================================================\n");
@@ -38,6 +39,11 @@ int main() {
       // AP quality: cluster evaluation restricted to queries of this type
       // (labels across all types; a good catalog keeps its type pure).
       std::vector<std::vector<bool>> runs;
+      std::vector<int> totals;
+      int type_population = 0;
+      for (size_t i = 0; i < embedded.size(); ++i) {
+        if (embedded.label(i) == catalog.name) ++type_population;
+      }
       for (size_t i = 0; i < embedded.size(); ++i) {
         if (embedded.label(i) != catalog.name) continue;
         auto ranked = RankBySimilarity(embedded, static_cast<int>(i));
@@ -47,9 +53,10 @@ int main() {
                         catalog.name);
         }
         runs.push_back(std::move(rel));
+        totals.push_back(type_population - 1);
         if (runs.size() >= 40) break;  // paper: sample of size 40
       }
-      const double ap = MeanAveragePrecision(runs, eval_opts.k);
+      const double ap = MeanAveragePrecision(runs, eval_opts.k, totals);
       std::printf("%-12s %-18s %8zu %8d %8.3f\n", dataset.c_str(),
                   catalog.name.c_str(), catalog.entities.size(), mentions,
                   ap);

@@ -37,7 +37,8 @@ struct PairTask {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  InitFromArgs(argc, argv);
   std::printf("\n==========================================================\n");
   std::printf("Table 9 — Entity-matching F1 (%%): TabBiN vs DITTO\n");
   std::printf("==========================================================\n");

@@ -8,7 +8,8 @@
 using namespace tabbin;
 using namespace tabbin::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  InitFromArgs(argc, argv);
   ModelSet models;
   models.tabbin = true;
   models.bertlike = true;  // caption model for tblcomp2

@@ -31,7 +31,8 @@ const Ablation kAblations[] = {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  InitFromArgs(argc, argv);
   auto eval_opts = BenchEvalOptions();
   PrintHeader("Table 12", "CC ablations (TabBiN_1..4)");
 

@@ -29,7 +29,8 @@ const Ablation kAblations[] = {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  InitFromArgs(argc, argv);
   auto eval_opts = BenchEvalOptions();
   PrintHeader("Table 13", "TC ablations (TabBiN_1..4)");
 

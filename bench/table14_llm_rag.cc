@@ -30,7 +30,8 @@ std::string SerializeTable(const Table& t) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  InitFromArgs(argc, argv);
   ModelSet models;
   models.tabbin = true;
   auto eval_opts = BenchEvalOptions();

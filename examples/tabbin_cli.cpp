@@ -8,6 +8,12 @@
 //       Print the TC composite embedding of one table.
 //   tabbin_cli eval <corpus.json>
 //       Pretrain in-memory and report CC/TC MAP@20 / MRR@20.
+//   tabbin_cli save-model <corpus.json> <model.tbsn>
+//       Pretrain, encode the corpus, and write one versioned snapshot
+//       (models + vocabulary + cached table encodings).
+//   tabbin_cli load-model <model.tbsn> <corpus.json>
+//       Warm-start from a snapshot (no pretraining, cached encodings)
+//       and report TC MAP@20 / MRR@20.
 //   tabbin_cli inspect <corpus.json> <table_index>
 //       Print a table as CSV plus its coordinate trees.
 #include <cstdio>
@@ -45,6 +51,8 @@ int Usage() {
                "  tabbin_cli pretrain <corpus.json> <model_prefix>\n"
                "  tabbin_cli encode <corpus.json> <model_prefix> <index>\n"
                "  tabbin_cli eval <corpus.json>\n"
+               "  tabbin_cli save-model <corpus.json> <model.tbsn>\n"
+               "  tabbin_cli load-model <model.tbsn> <corpus.json>\n"
                "  tabbin_cli inspect <corpus.json> <index>\n"
                "datasets: webtables covidkg cancerkg saus cius\n");
   return 2;
@@ -163,6 +171,81 @@ int CmdEval(const std::string& corpus_path) {
   return 0;
 }
 
+int CmdSaveModel(const std::string& corpus_path, const std::string& out) {
+  auto corpus = LoadOrDie(corpus_path);
+  if (!corpus.ok()) {
+    std::fprintf(stderr, "error: %s\n", corpus.status().ToString().c_str());
+    return 1;
+  }
+  TabBiNSystem sys = TabBiNSystem::Create(corpus.value().tables, CliConfig());
+  auto stats = sys.Pretrain(corpus.value().tables);
+  for (int v = 0; v < 4; ++v) {
+    std::printf("%-12s loss %.3f -> %.3f\n",
+                TabBiNVariantName(static_cast<TabBiNVariant>(v)),
+                stats[static_cast<size_t>(v)].initial_loss,
+                stats[static_cast<size_t>(v)].final_loss);
+  }
+  // Encode every table now so the snapshot warm-starts future runs all
+  // the way through (no forward passes on load).
+  EncoderEngine engine(&sys, corpus.value().tables.size());
+  engine.EncodeBatch(corpus.value().tables);
+  SnapshotWriter snapshot;
+  sys.AppendTo(&snapshot);
+  engine.AppendCacheTo(&snapshot);
+  Status st = snapshot.ToFile(out);
+  if (!st.ok()) {
+    std::fprintf(stderr, "error: %s\n", st.ToString().c_str());
+    return 1;
+  }
+  std::printf("snapshot written to %s (%zu cached encodings)\n", out.c_str(),
+              engine.size());
+  return 0;
+}
+
+int CmdLoadModel(const std::string& snapshot_path,
+                 const std::string& corpus_path) {
+  auto corpus = LoadOrDie(corpus_path);
+  if (!corpus.ok()) {
+    std::fprintf(stderr, "error: %s\n", corpus.status().ToString().c_str());
+    return 1;
+  }
+  auto snapshot = SnapshotReader::FromFile(snapshot_path);
+  if (!snapshot.ok()) {
+    std::fprintf(stderr, "error: %s\n", snapshot.status().ToString().c_str());
+    return 1;
+  }
+  auto sys = TabBiNSystem::FromSnapshot(snapshot.value());
+  if (!sys.ok()) {
+    std::fprintf(stderr, "error: %s\n", sys.status().ToString().c_str());
+    return 1;
+  }
+  EncoderEngine engine(&sys.value(), corpus.value().tables.size());
+  auto warmed = engine.WarmStart(snapshot.value());
+  if (!warmed.ok()) {
+    std::fprintf(stderr, "error: %s\n", warmed.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("warm start: %zu cached encodings\n", warmed.value());
+
+  std::vector<const Table*> labeled;
+  for (const Table& t : corpus.value().tables) {
+    if (!t.topic().empty()) labeled.push_back(&t);
+  }
+  auto encodings = engine.EncodeBatch(labeled);
+  LabeledEmbeddingSet tables;
+  for (size_t i = 0; i < labeled.size(); ++i) {
+    tables.Add(sys.value().TableComposite1(*encodings[i]),
+               labeled[i]->topic());
+  }
+  ClusterEvalOptions opts;
+  auto tc = EvaluateClustering(tables, opts);
+  std::printf(
+      "TC (topic labels): MAP@20 %.3f MRR@20 %.3f (%d queries; cache "
+      "%zu hits / %zu misses)\n",
+      tc.map, tc.mrr, tc.queries, engine.hits(), engine.misses());
+  return 0;
+}
+
 int CmdInspect(const std::string& corpus_path, int index) {
   auto corpus = LoadOrDie(corpus_path);
   if (!corpus.ok()) {
@@ -198,6 +281,8 @@ int main(int argc, char** argv) {
     return CmdEncode(argv[2], argv[3], std::atoi(argv[4]));
   }
   if (cmd == "eval" && argc == 3) return CmdEval(argv[2]);
+  if (cmd == "save-model" && argc == 4) return CmdSaveModel(argv[2], argv[3]);
+  if (cmd == "load-model" && argc == 4) return CmdLoadModel(argv[2], argv[3]);
   if (cmd == "inspect" && argc == 4) {
     return CmdInspect(argv[2], std::atoi(argv[3]));
   }

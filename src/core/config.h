@@ -57,9 +57,31 @@ struct TabBiNConfig {
 
   /// \brief Validates divisibility constraints.
   bool Valid() const {
-    return hidden > 0 && hidden % num_heads == 0 && num_layers > 0 &&
-           max_seq_len > 8;
+    return hidden > 0 && num_heads > 0 && hidden % num_heads == 0 &&
+           num_layers > 0 && max_seq_len > 8;
   }
+
+  /// \brief Field-wise equality; used to detect snapshots written under
+  /// a different configuration than the caller expects.
+  bool operator==(const TabBiNConfig& o) const {
+    return hidden == o.hidden && num_layers == o.num_layers &&
+           num_heads == o.num_heads && intermediate == o.intermediate &&
+           dropout == o.dropout && max_seq_len == o.max_seq_len &&
+           max_cell_tokens == o.max_cell_tokens &&
+           max_tuples == o.max_tuples &&
+           num_numeric_bins == o.num_numeric_bins &&
+           num_cell_features == o.num_cell_features &&
+           num_types == o.num_types && pretrain_steps == o.pretrain_steps &&
+           batch_size == o.batch_size && learning_rate == o.learning_rate &&
+           mlm_probability == o.mlm_probability &&
+           clc_probability == o.clc_probability &&
+           use_visibility_matrix == o.use_visibility_matrix &&
+           use_type_inference == o.use_type_inference &&
+           use_units_nesting == o.use_units_nesting &&
+           use_bidimensional_coords == o.use_bidimensional_coords &&
+           seed == o.seed;
+  }
+  bool operator!=(const TabBiNConfig& o) const { return !(*this == o); }
 };
 
 }  // namespace tabbin

@@ -122,6 +122,65 @@ void EncoderEngine::InsertLocked(uint64_t key,
   }
 }
 
+void EncoderEngine::AppendCacheTo(SnapshotWriter* snapshot) const {
+  BinaryWriter* w = snapshot->AddSection("encoder.cache");
+  std::lock_guard<std::mutex> lock(mu_);
+  w->WriteU64(cache_.size());
+  // Back of lru_ = least recently used; writing in that order means a
+  // straight re-insert reproduces today's recency ranking.
+  for (auto it = lru_.rbegin(); it != lru_.rend(); ++it) {
+    w->WriteU64(*it);
+    SerializeTableEncodings(*cache_.at(*it).enc, w);
+  }
+}
+
+Result<size_t> EncoderEngine::WarmStart(const SnapshotReader& snapshot) {
+  if (!snapshot.HasSection("encoder.cache")) return static_cast<size_t>(0);
+  TABBIN_ASSIGN_OR_RETURN(BinaryReader r, snapshot.Section("encoder.cache"));
+  TABBIN_ASSIGN_OR_RETURN(uint64_t count, r.ReadU64());
+  const size_t hidden = static_cast<size_t>(system_->hidden());
+  size_t loaded = 0;
+  for (uint64_t i = 0; i < count; ++i) {
+    TABBIN_ASSIGN_OR_RETURN(uint64_t key, r.ReadU64());
+    TABBIN_ASSIGN_OR_RETURN(TableEncodings enc, DeserializeTableEncodings(&r));
+    // Downstream composites index seq.tokens through hidden-row bounds
+    // and concatenate hidden-width blocks: a persisted encoding must
+    // agree with this engine's system exactly or it is unusable.
+    for (const SegmentEncoding* seg : {&enc.row, &enc.col, &enc.hmd,
+                                       &enc.vmd}) {
+      if (seg->seq.empty()) {
+        if (!seg->hidden.empty()) {
+          return Status::ParseError(
+              "encoder cache: hidden states for an empty sequence");
+        }
+        continue;
+      }
+      if (seg->hidden.rows() != seg->seq.tokens.size() ||
+          seg->hidden.cols() != hidden) {
+        return Status::InvalidArgument(
+            "encoder cache: encoding geometry does not match the system "
+            "(was the snapshot written by a different model?)");
+      }
+    }
+    std::lock_guard<std::mutex> lock(mu_);
+    InsertLocked(key, std::make_shared<const TableEncodings>(std::move(enc)));
+    ++loaded;
+  }
+  return loaded;
+}
+
+Status EncoderEngine::SaveCache(const std::string& path) const {
+  SnapshotWriter snapshot;
+  AppendCacheTo(&snapshot);
+  return snapshot.ToFile(path);
+}
+
+Result<size_t> EncoderEngine::LoadCache(const std::string& path) {
+  TABBIN_ASSIGN_OR_RETURN(SnapshotReader snapshot,
+                          SnapshotReader::FromFile(path));
+  return WarmStart(snapshot);
+}
+
 std::shared_ptr<const TableEncodings> EncoderEngine::Encode(
     const Table& table) {
   const uint64_t key = TableFingerprint(table);

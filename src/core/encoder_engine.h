@@ -60,6 +60,25 @@ class EncoderEngine {
 
   void Clear();
 
+  // --- Warm start -------------------------------------------------------
+
+  /// \brief Appends every cached encoding (fingerprint + TableEncodings)
+  /// to the snapshot (section "encoder.cache"), least recently used
+  /// first so a reload reproduces the recency order.
+  void AppendCacheTo(SnapshotWriter* snapshot) const;
+
+  /// \brief Prepopulates the LRU from a snapshot's "encoder.cache"
+  /// section; subsequent Encode calls on the same tables are cache hits
+  /// (no forward passes). Entries whose geometry does not match this
+  /// engine's system (hidden width, token/hidden row agreement) are a
+  /// Status error. Returns the number of entries loaded; a snapshot
+  /// without the section loads 0.
+  Result<size_t> WarmStart(const SnapshotReader& snapshot);
+
+  /// \brief File wrappers over AppendCacheTo/WarmStart.
+  Status SaveCache(const std::string& path) const;
+  Result<size_t> LoadCache(const std::string& path);
+
  private:
   struct Entry {
     std::shared_ptr<const TableEncodings> enc;

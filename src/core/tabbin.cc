@@ -236,4 +236,254 @@ std::vector<float> TabBiNSystem::RangeComposite(const Table& table,
   return ConcatEmbeddings({attr, unit, start, end});
 }
 
+// --- Persistence --------------------------------------------------------
+
+namespace {
+
+void SerializeConfig(const TabBiNConfig& c, BinaryWriter* w) {
+  w->WriteI32(c.hidden);
+  w->WriteI32(c.num_layers);
+  w->WriteI32(c.num_heads);
+  w->WriteI32(c.intermediate);
+  w->WriteF32(c.dropout);
+  w->WriteI32(c.max_seq_len);
+  w->WriteI32(c.max_cell_tokens);
+  w->WriteI32(c.max_tuples);
+  w->WriteI32(c.num_numeric_bins);
+  w->WriteI32(c.num_cell_features);
+  w->WriteI32(c.num_types);
+  w->WriteI32(c.pretrain_steps);
+  w->WriteI32(c.batch_size);
+  w->WriteF32(c.learning_rate);
+  w->WriteF32(c.mlm_probability);
+  w->WriteF32(c.clc_probability);
+  w->WriteU32(c.use_visibility_matrix ? 1 : 0);
+  w->WriteU32(c.use_type_inference ? 1 : 0);
+  w->WriteU32(c.use_units_nesting ? 1 : 0);
+  w->WriteU32(c.use_bidimensional_coords ? 1 : 0);
+  w->WriteU64(c.seed);
+}
+
+Result<TabBiNConfig> DeserializeConfig(BinaryReader* r) {
+  TabBiNConfig c;
+  TABBIN_ASSIGN_OR_RETURN(c.hidden, r->ReadI32());
+  TABBIN_ASSIGN_OR_RETURN(c.num_layers, r->ReadI32());
+  TABBIN_ASSIGN_OR_RETURN(c.num_heads, r->ReadI32());
+  TABBIN_ASSIGN_OR_RETURN(c.intermediate, r->ReadI32());
+  TABBIN_ASSIGN_OR_RETURN(c.dropout, r->ReadF32());
+  TABBIN_ASSIGN_OR_RETURN(c.max_seq_len, r->ReadI32());
+  TABBIN_ASSIGN_OR_RETURN(c.max_cell_tokens, r->ReadI32());
+  TABBIN_ASSIGN_OR_RETURN(c.max_tuples, r->ReadI32());
+  TABBIN_ASSIGN_OR_RETURN(c.num_numeric_bins, r->ReadI32());
+  TABBIN_ASSIGN_OR_RETURN(c.num_cell_features, r->ReadI32());
+  TABBIN_ASSIGN_OR_RETURN(c.num_types, r->ReadI32());
+  TABBIN_ASSIGN_OR_RETURN(c.pretrain_steps, r->ReadI32());
+  TABBIN_ASSIGN_OR_RETURN(c.batch_size, r->ReadI32());
+  TABBIN_ASSIGN_OR_RETURN(c.learning_rate, r->ReadF32());
+  TABBIN_ASSIGN_OR_RETURN(c.mlm_probability, r->ReadF32());
+  TABBIN_ASSIGN_OR_RETURN(c.clc_probability, r->ReadF32());
+  uint32_t flag = 0;
+  TABBIN_ASSIGN_OR_RETURN(flag, r->ReadU32());
+  c.use_visibility_matrix = flag != 0;
+  TABBIN_ASSIGN_OR_RETURN(flag, r->ReadU32());
+  c.use_type_inference = flag != 0;
+  TABBIN_ASSIGN_OR_RETURN(flag, r->ReadU32());
+  c.use_units_nesting = flag != 0;
+  TABBIN_ASSIGN_OR_RETURN(flag, r->ReadU32());
+  c.use_bidimensional_coords = flag != 0;
+  TABBIN_ASSIGN_OR_RETURN(c.seed, r->ReadU64());
+  // Bounds come first: Valid() divides by num_heads (0 would be SIGFPE,
+  // not a Status), and unbounded geometry would allocate multi-GB models
+  // before any parameter check runs. 1<<20 is far beyond any real
+  // configuration of this system.
+  constexpr int kMaxDim = 1 << 20;
+  for (int field :
+       {c.hidden, c.num_layers, c.num_heads, c.intermediate, c.max_seq_len,
+        c.max_cell_tokens, c.max_tuples, c.num_numeric_bins,
+        c.num_cell_features, c.num_types}) {
+    if (field <= 0 || field > kMaxDim) {
+      return Status::ParseError("snapshot carries an invalid TabBiN config");
+    }
+  }
+  if (!c.Valid()) {
+    return Status::ParseError("snapshot carries an invalid TabBiN config");
+  }
+  return c;
+}
+
+}  // namespace
+
+void TabBiNSystem::AppendTo(SnapshotWriter* snapshot) const {
+  SerializeConfig(config_, snapshot->AddSection("tabbin.config"));
+  vocab_.Serialize(snapshot->AddSection("tabbin.vocab"));
+  typer_.Serialize(snapshot->AddSection("tabbin.typer"));
+  for (int v = 0; v < 4; ++v) {
+    const auto variant = static_cast<TabBiNVariant>(v);
+    SerializeParameters(
+        model(variant)->Parameters(),
+        snapshot->AddSection(std::string("tabbin.model.") +
+                             TabBiNVariantName(variant)));
+  }
+}
+
+Result<TabBiNSystem> TabBiNSystem::FromSnapshot(
+    const SnapshotReader& snapshot) {
+  TABBIN_ASSIGN_OR_RETURN(BinaryReader cfg_r,
+                          snapshot.Section("tabbin.config"));
+  TABBIN_ASSIGN_OR_RETURN(TabBiNConfig config, DeserializeConfig(&cfg_r));
+  TABBIN_ASSIGN_OR_RETURN(BinaryReader vocab_r,
+                          snapshot.Section("tabbin.vocab"));
+  TABBIN_ASSIGN_OR_RETURN(Vocab vocab, Vocab::Deserialize(&vocab_r));
+
+  TabBiNSystem sys(config, std::move(vocab));
+  TABBIN_ASSIGN_OR_RETURN(BinaryReader typer_r,
+                          snapshot.Section("tabbin.typer"));
+  TABBIN_ASSIGN_OR_RETURN(sys.typer_, TypeInferencer::Deserialize(&typer_r));
+  for (int v = 0; v < 4; ++v) {
+    const auto variant = static_cast<TabBiNVariant>(v);
+    TABBIN_ASSIGN_OR_RETURN(
+        BinaryReader model_r,
+        snapshot.Section(std::string("tabbin.model.") +
+                         TabBiNVariantName(variant)));
+    ParameterMap params = sys.model(variant)->Parameters();
+    TABBIN_RETURN_IF_ERROR(DeserializeParameters(&model_r, &params));
+  }
+  return sys;
+}
+
+Status TabBiNSystem::Save(const std::string& path) const {
+  SnapshotWriter snapshot;
+  AppendTo(&snapshot);
+  return snapshot.ToFile(path);
+}
+
+Result<TabBiNSystem> TabBiNSystem::Load(const std::string& path) {
+  TABBIN_ASSIGN_OR_RETURN(SnapshotReader snapshot,
+                          SnapshotReader::FromFile(path));
+  return FromSnapshot(snapshot);
+}
+
+void SerializeSegmentEncoding(const SegmentEncoding& enc, BinaryWriter* w) {
+  w->WriteU64(enc.seq.tokens.size());
+  for (const TokenFeatures& t : enc.seq.tokens) {
+    w->WriteI32(t.token_id);
+    w->WriteI32(t.magnitude);
+    w->WriteI32(t.precision);
+    w->WriteI32(t.first_digit);
+    w->WriteI32(t.last_digit);
+    w->WriteI32(t.cell_pos);
+    w->WriteI32(t.vr);
+    w->WriteI32(t.vc);
+    w->WriteI32(t.hr);
+    w->WriteI32(t.hc);
+    w->WriteI32(t.nr);
+    w->WriteI32(t.nc);
+    w->WriteI32(t.type_id);
+    w->WriteU32(t.fmt_bits);
+    w->WriteI32(t.position.row);
+    w->WriteI32(t.position.col);
+    w->WriteU32(t.position.is_cls ? 1 : 0);
+  }
+  w->WriteU64(enc.seq.line_cls.size());
+  for (const auto& [token_index, line_index] : enc.seq.line_cls) {
+    w->WriteI32(token_index);
+    w->WriteI32(line_index);
+  }
+  w->WriteU64(enc.seq.cell_spans.size());
+  for (const CellSpan& s : enc.seq.cell_spans) {
+    w->WriteI32(s.row);
+    w->WriteI32(s.col);
+    w->WriteI32(s.begin);
+    w->WriteI32(s.end);
+    w->WriteU32(s.nested ? 1 : 0);
+  }
+  enc.hidden.Serialize(w);
+}
+
+Result<SegmentEncoding> DeserializeSegmentEncoding(BinaryReader* r) {
+  SegmentEncoding enc;
+  TABBIN_ASSIGN_OR_RETURN(uint64_t n_tokens, r->ReadU64());
+  // Each serialized token is 17 fixed-width fields; an adversarial count
+  // is rejected before the reserve.
+  if (n_tokens > r->remaining() / (17 * sizeof(int32_t))) {
+    return Status::ParseError("SegmentEncoding: token count past stream end");
+  }
+  enc.seq.tokens.reserve(static_cast<size_t>(n_tokens));
+  for (uint64_t i = 0; i < n_tokens; ++i) {
+    TokenFeatures t;
+    TABBIN_ASSIGN_OR_RETURN(t.token_id, r->ReadI32());
+    TABBIN_ASSIGN_OR_RETURN(t.magnitude, r->ReadI32());
+    TABBIN_ASSIGN_OR_RETURN(t.precision, r->ReadI32());
+    TABBIN_ASSIGN_OR_RETURN(t.first_digit, r->ReadI32());
+    TABBIN_ASSIGN_OR_RETURN(t.last_digit, r->ReadI32());
+    TABBIN_ASSIGN_OR_RETURN(t.cell_pos, r->ReadI32());
+    TABBIN_ASSIGN_OR_RETURN(t.vr, r->ReadI32());
+    TABBIN_ASSIGN_OR_RETURN(t.vc, r->ReadI32());
+    TABBIN_ASSIGN_OR_RETURN(t.hr, r->ReadI32());
+    TABBIN_ASSIGN_OR_RETURN(t.hc, r->ReadI32());
+    TABBIN_ASSIGN_OR_RETURN(t.nr, r->ReadI32());
+    TABBIN_ASSIGN_OR_RETURN(t.nc, r->ReadI32());
+    TABBIN_ASSIGN_OR_RETURN(t.type_id, r->ReadI32());
+    uint32_t bits = 0;
+    TABBIN_ASSIGN_OR_RETURN(bits, r->ReadU32());
+    t.fmt_bits = static_cast<uint8_t>(bits);
+    TABBIN_ASSIGN_OR_RETURN(t.position.row, r->ReadI32());
+    TABBIN_ASSIGN_OR_RETURN(t.position.col, r->ReadI32());
+    uint32_t is_cls = 0;
+    TABBIN_ASSIGN_OR_RETURN(is_cls, r->ReadU32());
+    t.position.is_cls = is_cls != 0;
+    enc.seq.tokens.push_back(t);
+  }
+  TABBIN_ASSIGN_OR_RETURN(uint64_t n_cls, r->ReadU64());
+  if (n_cls > r->remaining() / (2 * sizeof(int32_t))) {
+    return Status::ParseError("SegmentEncoding: line count past stream end");
+  }
+  enc.seq.line_cls.reserve(static_cast<size_t>(n_cls));
+  for (uint64_t i = 0; i < n_cls; ++i) {
+    int32_t token_index = 0, line_index = 0;
+    TABBIN_ASSIGN_OR_RETURN(token_index, r->ReadI32());
+    TABBIN_ASSIGN_OR_RETURN(line_index, r->ReadI32());
+    enc.seq.line_cls.emplace_back(token_index, line_index);
+  }
+  TABBIN_ASSIGN_OR_RETURN(uint64_t n_spans, r->ReadU64());
+  if (n_spans > r->remaining() / (4 * sizeof(int32_t) + sizeof(uint32_t))) {
+    return Status::ParseError("SegmentEncoding: span count past stream end");
+  }
+  enc.seq.cell_spans.reserve(static_cast<size_t>(n_spans));
+  for (uint64_t i = 0; i < n_spans; ++i) {
+    CellSpan s;
+    TABBIN_ASSIGN_OR_RETURN(s.row, r->ReadI32());
+    TABBIN_ASSIGN_OR_RETURN(s.col, r->ReadI32());
+    TABBIN_ASSIGN_OR_RETURN(s.begin, r->ReadI32());
+    TABBIN_ASSIGN_OR_RETURN(s.end, r->ReadI32());
+    uint32_t nested = 0;
+    TABBIN_ASSIGN_OR_RETURN(nested, r->ReadU32());
+    s.nested = nested != 0;
+    // Malformed spans would index out of the hidden block in PoolCells'
+    // callers that trust begin <= end.
+    if (s.begin < 0 || s.end < s.begin) {
+      return Status::ParseError("SegmentEncoding: malformed cell span");
+    }
+    enc.seq.cell_spans.push_back(s);
+  }
+  TABBIN_ASSIGN_OR_RETURN(enc.hidden, EmbeddingMatrix::Deserialize(r));
+  return enc;
+}
+
+void SerializeTableEncodings(const TableEncodings& enc, BinaryWriter* w) {
+  SerializeSegmentEncoding(enc.row, w);
+  SerializeSegmentEncoding(enc.col, w);
+  SerializeSegmentEncoding(enc.hmd, w);
+  SerializeSegmentEncoding(enc.vmd, w);
+}
+
+Result<TableEncodings> DeserializeTableEncodings(BinaryReader* r) {
+  TableEncodings enc;
+  TABBIN_ASSIGN_OR_RETURN(enc.row, DeserializeSegmentEncoding(r));
+  TABBIN_ASSIGN_OR_RETURN(enc.col, DeserializeSegmentEncoding(r));
+  TABBIN_ASSIGN_OR_RETURN(enc.hmd, DeserializeSegmentEncoding(r));
+  TABBIN_ASSIGN_OR_RETURN(enc.vmd, DeserializeSegmentEncoding(r));
+  return enc;
+}
+
 }  // namespace tabbin

@@ -28,6 +28,7 @@
 #include "core/model.h"
 #include "core/pretrainer.h"
 #include "tensor/embedding_matrix.h"
+#include "util/snapshot.h"
 
 namespace tabbin {
 
@@ -122,6 +123,20 @@ class TabBiNSystem {
   /// \brief Hidden width of every single-model embedding.
   int hidden() const { return config_.hidden; }
 
+  // --- Persistence ------------------------------------------------------
+
+  /// \brief Writes config, vocabulary, type-inference lexicon and all
+  /// four models' parameters into the snapshot (sections "tabbin.*").
+  void AppendTo(SnapshotWriter* snapshot) const;
+
+  /// \brief Restores a system saved with AppendTo. A loaded system's
+  /// EncodeAll is bitwise identical to the saved one's.
+  static Result<TabBiNSystem> FromSnapshot(const SnapshotReader& snapshot);
+
+  /// \brief File wrappers over AppendTo/FromSnapshot.
+  Status Save(const std::string& path) const;
+  static Result<TabBiNSystem> Load(const std::string& path);
+
  private:
   // Mean of hidden states over token indices belonging to the given
   // grid cells (empty result when nothing matches -> zero vector).
@@ -139,6 +154,16 @@ class TabBiNSystem {
 /// \brief Concatenates embedding spans (⊕ in the paper's figures). Owned
 /// vectors and EmbeddingMatrix rows both convert to VecView implicitly.
 std::vector<float> ConcatEmbeddings(const std::vector<VecView>& parts);
+
+// --- TableEncodings persistence (EncoderEngine warm start) --------------
+
+/// \brief Writes one segment encoding (tokens, spans, hidden states).
+void SerializeSegmentEncoding(const SegmentEncoding& enc, BinaryWriter* w);
+Result<SegmentEncoding> DeserializeSegmentEncoding(BinaryReader* r);
+
+/// \brief Writes all four segment encodings of a table.
+void SerializeTableEncodings(const TableEncodings& enc, BinaryWriter* w);
+Result<TableEncodings> DeserializeTableEncodings(BinaryReader* r);
 
 }  // namespace tabbin
 

@@ -116,6 +116,43 @@ void RagLlmSimulator::Index(const std::vector<RagDocument>& docs,
   }
 }
 
+Status RagLlmSimulator::SaveIndex(const std::string& path) const {
+  SnapshotWriter snapshot;
+  BinaryWriter* docs = snapshot.AddSection("rag.docs");
+  docs->WriteU64(docs_.size());
+  for (const RagDocument& d : docs_) {
+    docs->WriteString(d.text);
+    docs->WriteString(d.label);
+  }
+  dense_.Serialize(snapshot.AddSection("rag.dense"));
+  return snapshot.ToFile(path);
+}
+
+Status RagLlmSimulator::LoadIndex(const std::string& path) {
+  TABBIN_ASSIGN_OR_RETURN(SnapshotReader snapshot,
+                          SnapshotReader::FromFile(path));
+  TABBIN_ASSIGN_OR_RETURN(BinaryReader docs_r, snapshot.Section("rag.docs"));
+  TABBIN_ASSIGN_OR_RETURN(uint64_t n, docs_r.ReadU64());
+  std::vector<RagDocument> docs;
+  docs.reserve(static_cast<size_t>(
+      std::min<uint64_t>(n, docs_r.remaining() / (2 * sizeof(uint64_t)))));
+  for (uint64_t i = 0; i < n; ++i) {
+    RagDocument d;
+    TABBIN_ASSIGN_OR_RETURN(d.text, docs_r.ReadString());
+    TABBIN_ASSIGN_OR_RETURN(d.label, docs_r.ReadString());
+    docs.push_back(std::move(d));
+  }
+  TABBIN_ASSIGN_OR_RETURN(BinaryReader dense_r, snapshot.Section("rag.dense"));
+  TABBIN_ASSIGN_OR_RETURN(EmbeddingMatrix dense,
+                          EmbeddingMatrix::Deserialize(&dense_r));
+  if (!dense.empty() && dense.rows() != docs.size()) {
+    return Status::ParseError("rag snapshot: dense rows do not match docs");
+  }
+  Index(docs);  // rebuilds BM25 postings and clears the dense index
+  dense_ = std::move(dense);
+  return Status::OK();
+}
+
 std::vector<int> RagLlmSimulator::DenseRetrieve(int query_index, int k) const {
   if (dense_.empty()) return {};
   const VecView q = dense_.row(static_cast<size_t>(query_index));
@@ -195,7 +232,10 @@ RagLlmSimulator::EvalResult RagLlmSimulator::Evaluate(int k,
   if (static_cast<int>(queries.size()) > max_queries) {
     queries.resize(static_cast<size_t>(max_queries));
   }
+  std::unordered_map<std::string, int> label_count;
+  for (const RagDocument& d : docs_) ++label_count[d.label];
   std::vector<std::vector<bool>> runs;
+  std::vector<int> totals;
   for (int q : queries) {
     std::vector<int> ranked = RankFor(q, k);
     std::vector<bool> rel;
@@ -205,9 +245,13 @@ RagLlmSimulator::EvalResult RagLlmSimulator::Evaluate(int k,
                     docs_[static_cast<size_t>(q)].label);
     }
     runs.push_back(std::move(rel));
+    totals.push_back(label_count[docs_[static_cast<size_t>(q)].label] - 1);
   }
   EvalResult result;
-  result.map = MeanAveragePrecision(runs, k);
+  // Same normalization as EvaluateClustering: AP is bounded by the
+  // query's relevant population, so an LLM whose top-k misses cluster
+  // members is penalized for them.
+  result.map = MeanAveragePrecision(runs, k, totals);
   result.mrr = MeanReciprocalRank(runs, k);
   return result;
 }

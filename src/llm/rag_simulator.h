@@ -23,6 +23,7 @@
 #include "tasks/metrics.h"
 #include "tensor/embedding_matrix.h"
 #include "util/rng.h"
+#include "util/snapshot.h"
 
 namespace tabbin {
 
@@ -96,6 +97,17 @@ class RagLlmSimulator {
     double mrr = 0;
   };
   EvalResult Evaluate(int k = 20, int max_queries = 200);
+
+  /// \brief Persists the grounding index — documents plus the dense
+  /// embedding matrix — to a versioned snapshot (sections "rag.docs",
+  /// "rag.dense"). The BM25 postings are derived state and are rebuilt
+  /// on load.
+  Status SaveIndex(const std::string& path) const;
+
+  /// \brief Restores an index saved with SaveIndex; afterwards RankFor /
+  /// Evaluate behave identically to the simulator that saved it (given
+  /// equal RNG state).
+  Status LoadIndex(const std::string& path);
 
  private:
   /// \brief Indices of the top-k documents by cosine similarity to the

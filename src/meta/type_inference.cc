@@ -1,6 +1,9 @@
 #include "meta/type_inference.h"
 
+#include <algorithm>
 #include <cctype>
+#include <utility>
+#include <vector>
 
 #include "util/string_util.h"
 
@@ -165,6 +168,32 @@ TypeInferencer::TypeInferencer() {
 
 void TypeInferencer::AddTerm(std::string_view term, SemType type) {
   lexicon_[ToLower(Trim(term))] = type;
+}
+
+void TypeInferencer::Serialize(BinaryWriter* w) const {
+  std::vector<std::pair<std::string, SemType>> entries(lexicon_.begin(),
+                                                       lexicon_.end());
+  std::sort(entries.begin(), entries.end());
+  w->WriteU64(entries.size());
+  for (const auto& [term, type] : entries) {
+    w->WriteString(term);
+    w->WriteI32(static_cast<int32_t>(type));
+  }
+}
+
+Result<TypeInferencer> TypeInferencer::Deserialize(BinaryReader* r) {
+  TABBIN_ASSIGN_OR_RETURN(uint64_t n, r->ReadU64());
+  TypeInferencer typer;
+  typer.lexicon_.clear();
+  for (uint64_t i = 0; i < n; ++i) {
+    TABBIN_ASSIGN_OR_RETURN(std::string term, r->ReadString());
+    TABBIN_ASSIGN_OR_RETURN(int32_t type, r->ReadI32());
+    if (type < 0 || type >= kNumSemTypes) {
+      return Status::ParseError("TypeInferencer: unknown semantic type id");
+    }
+    typer.lexicon_[term] = static_cast<SemType>(type);
+  }
+  return typer;
 }
 
 SemType TypeInferencer::Infer(const Value& value) const {

@@ -14,6 +14,8 @@
 #include <unordered_set>
 
 #include "table/value.h"
+#include "util/serialize.h"
+#include "util/status.h"
 
 namespace tabbin {
 
@@ -58,6 +60,14 @@ class TypeInferencer {
   SemType InferText(std::string_view text) const;
 
   size_t lexicon_size() const { return lexicon_.size(); }
+
+  /// \brief Writes the full lexicon (built-in + registered terms) in
+  /// sorted order so the byte stream is deterministic.
+  void Serialize(BinaryWriter* w) const;
+
+  /// \brief Replaces the lexicon with a serialized one; unknown type ids
+  /// are a Status error.
+  static Result<TypeInferencer> Deserialize(BinaryReader* r);
 
  private:
   std::unordered_map<std::string, SemType> lexicon_;

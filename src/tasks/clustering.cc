@@ -63,6 +63,7 @@ ClusterEvalResult EvaluateClustering(const LabeledEmbeddingSet& items,
   }
 
   std::vector<std::vector<bool>> runs;
+  std::vector<int> totals;  // per-query relevant population, for AP
   for (int q : queries) {
     const std::string& label = items.label(static_cast<size_t>(q));
     const int relevant_others = label_count[label] - 1;
@@ -85,10 +86,13 @@ ClusterEvalResult EvaluateClustering(const LabeledEmbeddingSet& items,
       rel.push_back(items.label(static_cast<size_t>(r.index)) == label);
     }
     runs.push_back(std::move(rel));
-    // AP normalization handled inside MeanAveragePrecision via hits.
+    totals.push_back(relevant_others);
   }
   result.queries = static_cast<int>(runs.size());
-  result.map = MeanAveragePrecision(runs, options.k);
+  // AP is normalized by min(relevant_others, k): a query whose cluster
+  // members fall outside the top-k scores below 1 even when every
+  // retrieved hit ranks early.
+  result.map = MeanAveragePrecision(runs, options.k, totals);
   result.mrr = MeanReciprocalRank(runs, options.k);
   return result;
 }
@@ -124,6 +128,7 @@ ClusterEvalResult EvaluateCentroidClustering(const LabeledEmbeddingSet& items,
   }
 
   std::vector<std::vector<bool>> runs;
+  std::vector<int> totals;
   for (const auto& [label, row] : label_row) {
     if (counts[static_cast<size_t>(row)] < 2) continue;
     const VecView centroid = centroids.row(static_cast<size_t>(row));
@@ -141,9 +146,12 @@ ClusterEvalResult EvaluateCentroidClustering(const LabeledEmbeddingSet& items,
       rel.push_back(items.label(static_cast<size_t>(r.index)) == label);
     }
     runs.push_back(std::move(rel));
+    // The centroid itself is not in the item set, so every item carrying
+    // the label is retrievable.
+    totals.push_back(counts[static_cast<size_t>(row)]);
   }
   result.queries = static_cast<int>(runs.size());
-  result.map = MeanAveragePrecision(runs, options.k);
+  result.map = MeanAveragePrecision(runs, options.k, totals);
   result.mrr = MeanReciprocalRank(runs, options.k);
   return result;
 }

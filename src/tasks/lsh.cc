@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cassert>
 
+#include "util/snapshot.h"
+
 namespace tabbin {
 
 LshIndex::LshIndex(int dim, int num_bits, int num_tables, uint64_t seed)
@@ -38,6 +40,79 @@ void LshIndex::Insert(int id, VecView vec) {
     tables_[static_cast<size_t>(t)][HashInTable(t, vec)].push_back(id);
   }
   ++count_;
+}
+
+void LshIndex::Serialize(BinaryWriter* w) const {
+  w->WriteI32(dim_);
+  w->WriteI32(num_bits_);
+  w->WriteI32(num_tables_);
+  w->WriteI32(count_);
+  hyperplanes_.Serialize(w);
+  for (const auto& table : tables_) {
+    w->WriteU64(table.size());
+    std::vector<uint64_t> keys;
+    keys.reserve(table.size());
+    for (const auto& [key, ids] : table) keys.push_back(key);
+    std::sort(keys.begin(), keys.end());
+    for (uint64_t key : keys) {
+      const auto& ids = table.at(key);
+      w->WriteU64(key);
+      w->WriteU64(ids.size());
+      for (int id : ids) w->WriteI32(id);
+    }
+  }
+}
+
+Result<LshIndex> LshIndex::Deserialize(BinaryReader* r) {
+  TABBIN_ASSIGN_OR_RETURN(int32_t dim, r->ReadI32());
+  TABBIN_ASSIGN_OR_RETURN(int32_t num_bits, r->ReadI32());
+  TABBIN_ASSIGN_OR_RETURN(int32_t num_tables, r->ReadI32());
+  TABBIN_ASSIGN_OR_RETURN(int32_t count, r->ReadI32());
+  if (dim <= 0 || num_bits <= 0 || num_bits > 64 || num_tables <= 0 ||
+      count < 0) {
+    return Status::ParseError("LshIndex: invalid geometry");
+  }
+  TABBIN_ASSIGN_OR_RETURN(EmbeddingMatrix planes,
+                          EmbeddingMatrix::Deserialize(r));
+  if (planes.rows() != static_cast<size_t>(num_bits) *
+                           static_cast<size_t>(num_tables) ||
+      planes.cols() != static_cast<size_t>(dim)) {
+    return Status::ParseError("LshIndex: hyperplane block mismatch");
+  }
+  LshIndex index(dim, num_bits, num_tables);
+  index.hyperplanes_ = std::move(planes);
+  index.count_ = count;
+  for (int t = 0; t < num_tables; ++t) {
+    TABBIN_ASSIGN_OR_RETURN(uint64_t buckets, r->ReadU64());
+    auto& table = index.tables_[static_cast<size_t>(t)];
+    for (uint64_t b = 0; b < buckets; ++b) {
+      TABBIN_ASSIGN_OR_RETURN(uint64_t key, r->ReadU64());
+      TABBIN_ASSIGN_OR_RETURN(uint64_t n_ids, r->ReadU64());
+      if (n_ids > r->remaining() / sizeof(int32_t)) {
+        return Status::ParseError("LshIndex: bucket past end of stream");
+      }
+      std::vector<int>& ids = table[key];
+      ids.reserve(static_cast<size_t>(n_ids));
+      for (uint64_t i = 0; i < n_ids; ++i) {
+        TABBIN_ASSIGN_OR_RETURN(int32_t id, r->ReadI32());
+        ids.push_back(id);
+      }
+    }
+  }
+  return index;
+}
+
+Status LshIndex::Save(const std::string& path) const {
+  SnapshotWriter snapshot;
+  Serialize(snapshot.AddSection("lsh"));
+  return snapshot.ToFile(path);
+}
+
+Result<LshIndex> LshIndex::Load(const std::string& path) {
+  TABBIN_ASSIGN_OR_RETURN(SnapshotReader snapshot,
+                          SnapshotReader::FromFile(path));
+  TABBIN_ASSIGN_OR_RETURN(BinaryReader r, snapshot.Section("lsh"));
+  return Deserialize(&r);
 }
 
 std::vector<int> LshIndex::Query(VecView vec) const {

@@ -10,6 +10,8 @@
 
 #include "tensor/embedding_matrix.h"
 #include "util/rng.h"
+#include "util/serialize.h"
+#include "util/status.h"
 
 namespace tabbin {
 
@@ -31,6 +33,20 @@ class LshIndex {
   std::vector<int> Query(VecView vec) const;
 
   int size() const { return count_; }
+
+  /// \brief Writes geometry, hyperplanes, and buckets (keys sorted, so
+  /// the byte stream is deterministic across platforms).
+  void Serialize(BinaryWriter* w) const;
+
+  /// \brief Inverse of Serialize; validates geometry and bucket contents
+  /// so corrupt streams return a Status error. The restored index answers
+  /// Query identically to the one serialized.
+  static Result<LshIndex> Deserialize(BinaryReader* r);
+
+  /// \brief File wrappers using the versioned snapshot container
+  /// (section "lsh").
+  Status Save(const std::string& path) const;
+  static Result<LshIndex> Load(const std::string& path);
 
  private:
   uint64_t HashInTable(int table, VecView vec) const;

@@ -1,6 +1,7 @@
 #include "tasks/metrics.h"
 
 #include <algorithm>
+#include <cassert>
 
 namespace tabbin {
 
@@ -34,6 +35,17 @@ double MeanAveragePrecision(const std::vector<std::vector<bool>>& runs,
   if (runs.empty()) return 0.0;
   double sum = 0;
   for (const auto& run : runs) sum += AveragePrecisionAtK(run, k);
+  return sum / static_cast<double>(runs.size());
+}
+
+double MeanAveragePrecision(const std::vector<std::vector<bool>>& runs, int k,
+                            const std::vector<int>& total_relevant) {
+  assert(runs.size() == total_relevant.size());
+  if (runs.empty()) return 0.0;
+  double sum = 0;
+  for (size_t i = 0; i < runs.size(); ++i) {
+    sum += AveragePrecisionAtK(runs[i], k, total_relevant[i]);
+  }
   return sum / static_cast<double>(runs.size());
 }
 

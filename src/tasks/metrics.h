@@ -19,8 +19,14 @@ double AveragePrecisionAtK(const std::vector<bool>& relevance, int k,
 /// (0 when none).
 double ReciprocalRankAtK(const std::vector<bool>& relevance, int k);
 
-/// \brief Means over queries.
+/// \brief Means over queries. The overload without totals normalizes
+/// each AP by hits only (inflates MAP when relevant items fall outside
+/// the top-k); callers that know the per-query relevant population must
+/// pass `total_relevant` (one entry per run) so AP is normalized by
+/// min(total_relevant, k) — the paper's MAP@k convention.
 double MeanAveragePrecision(const std::vector<std::vector<bool>>& runs, int k);
+double MeanAveragePrecision(const std::vector<std::vector<bool>>& runs, int k,
+                            const std::vector<int>& total_relevant);
 double MeanReciprocalRank(const std::vector<std::vector<bool>>& runs, int k);
 
 /// \brief Binary classification counts -> precision / recall / F1 (%).

@@ -23,4 +23,30 @@ void EmbeddingMatrix::AppendRow(VecView v) {
   ++rows_;
 }
 
+void EmbeddingMatrix::Serialize(BinaryWriter* w) const {
+  w->WriteU64(rows_);
+  w->WriteU64(cols_);
+  w->WriteF32Vector(data_);
+}
+
+Result<EmbeddingMatrix> EmbeddingMatrix::Deserialize(BinaryReader* r) {
+  TABBIN_ASSIGN_OR_RETURN(uint64_t rows, r->ReadU64());
+  TABBIN_ASSIGN_OR_RETURN(uint64_t cols, r->ReadU64());
+  TABBIN_ASSIGN_OR_RETURN(std::vector<float> data, r->ReadF32Vector());
+  // The data block is already bounds-checked against the buffer; the
+  // geometry must multiply out to exactly its length (checked without
+  // forming rows * cols, which can overflow).
+  const bool consistent =
+      cols == 0 ? data.empty()
+                : (data.size() % cols == 0 && data.size() / cols == rows);
+  if (!consistent) {
+    return Status::ParseError("EmbeddingMatrix: geometry/data mismatch");
+  }
+  EmbeddingMatrix m;
+  m.rows_ = static_cast<size_t>(rows);
+  m.cols_ = static_cast<size_t>(cols);
+  m.data_ = std::move(data);
+  return m;
+}
+
 }  // namespace tabbin

@@ -21,6 +21,9 @@
 #include <cstddef>
 #include <vector>
 
+#include "util/serialize.h"
+#include "util/status.h"
+
 namespace tabbin {
 
 /// \brief Non-owning read-only view over a contiguous float range.
@@ -86,6 +89,13 @@ class EmbeddingMatrix {
     cols_ = 0;
     data_.clear();
   }
+
+  /// \brief Writes rows, cols and the flat data block.
+  void Serialize(BinaryWriter* w) const;
+
+  /// \brief Inverse of Serialize; rejects inconsistent geometry (a data
+  /// block whose length is not rows * cols) with a Status error.
+  static Result<EmbeddingMatrix> Deserialize(BinaryReader* r);
 
  private:
   size_t rows_ = 0;

@@ -4,6 +4,7 @@
 
 #include "util/logging.h"
 #include "util/serialize.h"
+#include "util/snapshot.h"
 
 namespace tabbin {
 
@@ -168,22 +169,24 @@ void TransformerEncoder::CollectParameters(const std::string& prefix,
   }
 }
 
-Status SaveParameters(const ParameterMap& params, const std::string& path) {
-  BinaryWriter w;
-  w.WriteU64(params.size());
+void SerializeParameters(const ParameterMap& params, BinaryWriter* w) {
+  w->WriteU64(params.size());
   for (const auto& [name, t] : params) {
-    w.WriteString(name);
-    w.WriteF32Vector(t.vec());
+    w->WriteString(name);
+    w->WriteF32Vector(t.vec());
   }
-  return w.ToFile(path);
 }
 
-Status LoadParameters(const std::string& path, ParameterMap* params) {
-  TABBIN_ASSIGN_OR_RETURN(BinaryReader r, BinaryReader::FromFile(path));
-  TABBIN_ASSIGN_OR_RETURN(uint64_t count, r.ReadU64());
+Status DeserializeParameters(BinaryReader* r, ParameterMap* params) {
+  TABBIN_ASSIGN_OR_RETURN(uint64_t count, r->ReadU64());
+  if (count != params->size()) {
+    return Status::InvalidArgument(
+        "checkpoint has " + std::to_string(count) + " parameters, model has " +
+        std::to_string(params->size()));
+  }
   for (uint64_t i = 0; i < count; ++i) {
-    TABBIN_ASSIGN_OR_RETURN(std::string name, r.ReadString());
-    TABBIN_ASSIGN_OR_RETURN(std::vector<float> data, r.ReadF32Vector());
+    TABBIN_ASSIGN_OR_RETURN(std::string name, r->ReadString());
+    TABBIN_ASSIGN_OR_RETURN(std::vector<float> data, r->ReadF32Vector());
     auto it = params->find(name);
     if (it == params->end()) {
       return Status::NotFound("checkpoint parameter not in model: " + name);
@@ -194,6 +197,19 @@ Status LoadParameters(const std::string& path, ParameterMap* params) {
     std::copy(data.begin(), data.end(), it->second.vec().begin());
   }
   return Status::OK();
+}
+
+Status SaveParameters(const ParameterMap& params, const std::string& path) {
+  SnapshotWriter snapshot;
+  SerializeParameters(params, snapshot.AddSection("params"));
+  return snapshot.ToFile(path);
+}
+
+Status LoadParameters(const std::string& path, ParameterMap* params) {
+  TABBIN_ASSIGN_OR_RETURN(SnapshotReader snapshot,
+                          SnapshotReader::FromFile(path));
+  TABBIN_ASSIGN_OR_RETURN(BinaryReader r, snapshot.Section("params"));
+  return DeserializeParameters(&r, params);
 }
 
 }  // namespace tabbin

@@ -14,6 +14,7 @@
 #include "tensor/ops.h"
 #include "tensor/tensor.h"
 #include "util/rng.h"
+#include "util/serialize.h"
 #include "util/status.h"
 
 namespace tabbin {
@@ -174,11 +175,20 @@ class TransformerEncoder : public Module {
   std::vector<std::unique_ptr<TransformerEncoderLayer>> layers_;
 };
 
-/// \brief Saves all parameters (by name) to a binary checkpoint file.
+/// \brief Writes all parameters (by name) into a byte stream.
+void SerializeParameters(const ParameterMap& params, BinaryWriter* w);
+
+/// \brief Inverse of SerializeParameters. Every named parameter must
+/// exist in `params` with a matching element count; the tensor storage is
+/// overwritten in place.
+Status DeserializeParameters(BinaryReader* r, ParameterMap* params);
+
+/// \brief Saves all parameters to a versioned, checksummed snapshot file
+/// (section "params").
 Status SaveParameters(const ParameterMap& params, const std::string& path);
 
-/// \brief Loads a checkpoint produced by SaveParameters. Every named
-/// parameter must exist in `params` with a matching element count.
+/// \brief Loads a checkpoint produced by SaveParameters. Truncated,
+/// corrupt, or version-mismatched files return a Status error.
 Status LoadParameters(const std::string& path, ParameterMap* params);
 
 }  // namespace tabbin

@@ -1,6 +1,7 @@
 #include "text/vocab.h"
 
 #include "util/serialize.h"
+#include "util/snapshot.h"
 
 namespace tabbin {
 
@@ -25,19 +26,19 @@ int Vocab::GetId(const std::string& token) const {
   return it == token_to_id_.end() ? kUnkId : it->second;
 }
 
-Status Vocab::Save(const std::string& path) const {
-  BinaryWriter w;
-  w.WriteU64(tokens_.size());
-  for (const auto& t : tokens_) w.WriteString(t);
-  return w.ToFile(path);
+void Vocab::Serialize(BinaryWriter* w) const {
+  w->WriteU64(tokens_.size());
+  for (const auto& t : tokens_) w->WriteString(t);
 }
 
-Result<Vocab> Vocab::Load(const std::string& path) {
-  TABBIN_ASSIGN_OR_RETURN(BinaryReader r, BinaryReader::FromFile(path));
-  TABBIN_ASSIGN_OR_RETURN(uint64_t n, r.ReadU64());
+Result<Vocab> Vocab::Deserialize(BinaryReader* r) {
+  TABBIN_ASSIGN_OR_RETURN(uint64_t n, r->ReadU64());
+  if (n < static_cast<uint64_t>(kNumSpecialTokens)) {
+    return Status::ParseError("vocab stream missing special tokens");
+  }
   Vocab v;
   for (uint64_t i = 0; i < n; ++i) {
-    TABBIN_ASSIGN_OR_RETURN(std::string t, r.ReadString());
+    TABBIN_ASSIGN_OR_RETURN(std::string t, r->ReadString());
     if (i < static_cast<uint64_t>(kNumSpecialTokens)) {
       if (v.GetToken(static_cast<int>(i)) != t) {
         return Status::ParseError("vocab file special-token mismatch: " + t);
@@ -47,6 +48,19 @@ Result<Vocab> Vocab::Load(const std::string& path) {
     v.AddToken(t);
   }
   return v;
+}
+
+Status Vocab::Save(const std::string& path) const {
+  SnapshotWriter snapshot;
+  Serialize(snapshot.AddSection("vocab"));
+  return snapshot.ToFile(path);
+}
+
+Result<Vocab> Vocab::Load(const std::string& path) {
+  TABBIN_ASSIGN_OR_RETURN(SnapshotReader snapshot,
+                          SnapshotReader::FromFile(path));
+  TABBIN_ASSIGN_OR_RETURN(BinaryReader r, snapshot.Section("vocab"));
+  return Deserialize(&r);
 }
 
 }  // namespace tabbin

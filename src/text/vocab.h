@@ -11,6 +11,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "util/serialize.h"
 #include "util/status.h"
 
 namespace tabbin {
@@ -44,6 +45,15 @@ class Vocab {
 
   int size() const { return static_cast<int>(tokens_.size()); }
 
+  /// \brief Writes the token list into a byte stream.
+  void Serialize(BinaryWriter* w) const;
+
+  /// \brief Inverse of Serialize; rejects streams whose special-token
+  /// prefix does not match this build's special tokens.
+  static Result<Vocab> Deserialize(BinaryReader* r);
+
+  /// \brief File wrappers over Serialize/Deserialize using the versioned,
+  /// checksummed snapshot container (section "vocab").
   Status Save(const std::string& path) const;
   static Result<Vocab> Load(const std::string& path);
 

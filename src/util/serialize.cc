@@ -18,9 +18,22 @@ Status BinaryWriter::ToFile(const std::string& path) const {
 Result<BinaryReader> BinaryReader::FromFile(const std::string& path) {
   std::FILE* f = std::fopen(path.c_str(), "rb");
   if (!f) return Status::IoError("cannot open for read: " + path);
-  std::fseek(f, 0, SEEK_END);
+  // ftell can legitimately fail (pipes, directories, >2GiB on 32-bit
+  // longs); a negative size cast to size_t would request an enormous
+  // allocation, so every step is checked.
+  if (std::fseek(f, 0, SEEK_END) != 0) {
+    std::fclose(f);
+    return Status::IoError("cannot seek to end of " + path);
+  }
   long size = std::ftell(f);
-  std::fseek(f, 0, SEEK_SET);
+  if (size < 0) {
+    std::fclose(f);
+    return Status::IoError("cannot determine size of " + path);
+  }
+  if (std::fseek(f, 0, SEEK_SET) != 0) {
+    std::fclose(f);
+    return Status::IoError("cannot rewind " + path);
+  }
   std::vector<uint8_t> buf(static_cast<size_t>(size));
   size_t got = size ? std::fread(buf.data(), 1, buf.size(), f) : 0;
   std::fclose(f);
@@ -30,23 +43,41 @@ Result<BinaryReader> BinaryReader::FromFile(const std::string& path) {
 
 Result<std::string> BinaryReader::ReadString() {
   TABBIN_ASSIGN_OR_RETURN(uint64_t n, ReadU64());
-  if (pos_ + n > buf_.size()) {
+  // Compare against the remaining byte count instead of forming
+  // pos_ + n, which wraps around for adversarial n near UINT64_MAX and
+  // would pass a naive check.
+  if (n > remaining()) {
     return Status::OutOfRange("BinaryReader: string past end of buffer");
   }
-  std::string s(reinterpret_cast<const char*>(buf_.data() + pos_), n);
-  pos_ += n;
+  std::string s(reinterpret_cast<const char*>(buf_.data() + pos_),
+                static_cast<size_t>(n));
+  pos_ += static_cast<size_t>(n);
   return s;
 }
 
 Result<std::vector<float>> BinaryReader::ReadF32Vector() {
   TABBIN_ASSIGN_OR_RETURN(uint64_t n, ReadU64());
-  if (pos_ + n * sizeof(float) > buf_.size()) {
+  // n * sizeof(float) overflows for n >= 2^62; divide instead.
+  if (n > remaining() / sizeof(float)) {
     return Status::OutOfRange("BinaryReader: vector past end of buffer");
   }
-  std::vector<float> v(n);
-  std::memcpy(v.data(), buf_.data() + pos_, n * sizeof(float));
-  pos_ += n * sizeof(float);
+  std::vector<float> v(static_cast<size_t>(n));
+  if (n > 0) {
+    std::memcpy(v.data(), buf_.data() + pos_,
+                static_cast<size_t>(n) * sizeof(float));
+    pos_ += static_cast<size_t>(n) * sizeof(float);
+  }
   return v;
+}
+
+Result<std::vector<uint8_t>> BinaryReader::ReadBytes(uint64_t n) {
+  if (n > remaining()) {
+    return Status::OutOfRange("BinaryReader: bytes past end of buffer");
+  }
+  std::vector<uint8_t> out(buf_.begin() + static_cast<long>(pos_),
+                           buf_.begin() + static_cast<long>(pos_ + n));
+  pos_ += static_cast<size_t>(n);
+  return out;
 }
 
 }  // namespace tabbin

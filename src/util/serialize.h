@@ -18,6 +18,7 @@ class BinaryWriter {
  public:
   void WriteU32(uint32_t v) { WriteRaw(&v, sizeof(v)); }
   void WriteU64(uint64_t v) { WriteRaw(&v, sizeof(v)); }
+  void WriteI32(int32_t v) { WriteRaw(&v, sizeof(v)); }
   void WriteI64(int64_t v) { WriteRaw(&v, sizeof(v)); }
   void WriteF32(float v) { WriteRaw(&v, sizeof(v)); }
   void WriteF64(double v) { WriteRaw(&v, sizeof(v)); }
@@ -29,14 +30,19 @@ class BinaryWriter {
     WriteU64(v.size());
     WriteRaw(v.data(), v.size() * sizeof(float));
   }
+  /// \brief Appends raw bytes with no length prefix (snapshot payloads).
+  void WriteBytes(const void* data, size_t n) { WriteRaw(data, n); }
 
   const std::vector<uint8_t>& buffer() const { return buf_; }
+  /// \brief Moves the buffer out (the writer is spent afterwards).
+  std::vector<uint8_t> TakeBuffer() && { return std::move(buf_); }
 
   /// \brief Writes the buffer to a file; overwrites existing content.
   Status ToFile(const std::string& path) const;
 
  private:
   void WriteRaw(const void* data, size_t n) {
+    if (n == 0) return;  // empty vectors hand over a null data()
     const auto* p = static_cast<const uint8_t*>(data);
     buf_.insert(buf_.end(), p, p + n);
   }
@@ -53,18 +59,28 @@ class BinaryReader {
 
   Result<uint32_t> ReadU32() { return ReadPod<uint32_t>(); }
   Result<uint64_t> ReadU64() { return ReadPod<uint64_t>(); }
+  Result<int32_t> ReadI32() { return ReadPod<int32_t>(); }
   Result<int64_t> ReadI64() { return ReadPod<int64_t>(); }
   Result<float> ReadF32() { return ReadPod<float>(); }
   Result<double> ReadF64() { return ReadPod<double>(); }
   Result<std::string> ReadString();
   Result<std::vector<float>> ReadF32Vector();
+  /// \brief Reads exactly `n` raw bytes (bounds-checked).
+  Result<std::vector<uint8_t>> ReadBytes(uint64_t n);
 
   bool AtEnd() const { return pos_ == buf_.size(); }
+  /// \brief Moves the whole underlying buffer out, regardless of read
+  /// position (the reader is spent afterwards).
+  std::vector<uint8_t> TakeBuffer() && { return std::move(buf_); }
+  size_t position() const { return pos_; }
+  /// \brief Bytes left to read. The `remaining()`-relative bounds checks
+  /// below cannot overflow because pos_ <= buf_.size() is an invariant.
+  size_t remaining() const { return buf_.size() - pos_; }
 
  private:
   template <typename T>
   Result<T> ReadPod() {
-    if (pos_ + sizeof(T) > buf_.size()) {
+    if (sizeof(T) > remaining()) {
       return Status::OutOfRange("BinaryReader: read past end of buffer");
     }
     T v;

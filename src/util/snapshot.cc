@@ -1,0 +1,112 @@
+#include "util/snapshot.h"
+
+namespace tabbin {
+
+uint64_t Fnv1a64(const uint8_t* data, size_t n) {
+  uint64_t h = 1469598103934665603ULL;
+  for (size_t i = 0; i < n; ++i) {
+    h ^= data[i];
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+BinaryWriter* SnapshotWriter::AddSection(const std::string& name) {
+  for (auto& [existing, writer] : sections_) {
+    if (existing == name) return writer.get();
+  }
+  sections_.emplace_back(name, std::make_unique<BinaryWriter>());
+  return sections_.back().second.get();
+}
+
+void SnapshotWriter::AssembleInto(BinaryWriter* out) const {
+  out->WriteU32(kSnapshotMagic);
+  out->WriteU32(kSnapshotFormatVersion);
+  out->WriteU64(sections_.size());
+  for (const auto& [name, writer] : sections_) {
+    out->WriteString(name);
+    out->WriteU64(writer->buffer().size());
+    out->WriteBytes(writer->buffer().data(), writer->buffer().size());
+  }
+  const uint64_t checksum =
+      Fnv1a64(out->buffer().data(), out->buffer().size());
+  out->WriteU64(checksum);
+}
+
+std::vector<uint8_t> SnapshotWriter::Assemble() const {
+  BinaryWriter out;
+  AssembleInto(&out);
+  return std::move(out).TakeBuffer();
+}
+
+Status SnapshotWriter::ToFile(const std::string& path) const {
+  BinaryWriter out;
+  AssembleInto(&out);
+  return out.ToFile(path);
+}
+
+Result<SnapshotReader> SnapshotReader::FromBuffer(std::vector<uint8_t> buf) {
+  // Minimum: magic + version + section count + checksum.
+  constexpr size_t kMinSize = 4 + 4 + 8 + 8;
+  if (buf.size() < kMinSize) {
+    return Status::ParseError("snapshot truncated: " +
+                              std::to_string(buf.size()) + " bytes");
+  }
+  const size_t body = buf.size() - 8;
+  uint64_t stored = 0;
+  std::memcpy(&stored, buf.data() + body, sizeof(stored));
+  if (stored != Fnv1a64(buf.data(), body)) {
+    return Status::ParseError("snapshot checksum mismatch");
+  }
+
+  BinaryReader r(std::move(buf));
+  TABBIN_ASSIGN_OR_RETURN(uint32_t magic, r.ReadU32());
+  if (magic != kSnapshotMagic) {
+    return Status::ParseError("not a snapshot file (bad magic)");
+  }
+  TABBIN_ASSIGN_OR_RETURN(uint32_t version, r.ReadU32());
+  if (version != kSnapshotFormatVersion) {
+    return Status::ParseError(
+        "unsupported snapshot format version " + std::to_string(version) +
+        " (expected " + std::to_string(kSnapshotFormatVersion) + ")");
+  }
+  TABBIN_ASSIGN_OR_RETURN(uint64_t count, r.ReadU64());
+  SnapshotReader out;
+  for (uint64_t i = 0; i < count; ++i) {
+    TABBIN_ASSIGN_OR_RETURN(std::string name, r.ReadString());
+    TABBIN_ASSIGN_OR_RETURN(uint64_t size, r.ReadU64());
+    TABBIN_ASSIGN_OR_RETURN(std::vector<uint8_t> payload, r.ReadBytes(size));
+    if (!out.sections_.emplace(std::move(name), std::move(payload)).second) {
+      return Status::ParseError("snapshot has duplicate section");
+    }
+  }
+  // Every byte between the header and the checksum must belong to a
+  // declared section; trailing garbage (or a section that swallowed the
+  // checksum) is a corrupt file.
+  if (r.remaining() != 8) {
+    return Status::ParseError("snapshot sections do not span the file");
+  }
+  return out;
+}
+
+Result<SnapshotReader> SnapshotReader::FromFile(const std::string& path) {
+  TABBIN_ASSIGN_OR_RETURN(BinaryReader r, BinaryReader::FromFile(path));
+  return FromBuffer(std::move(r).TakeBuffer());
+}
+
+Result<BinaryReader> SnapshotReader::Section(const std::string& name) const {
+  auto it = sections_.find(name);
+  if (it == sections_.end()) {
+    return Status::NotFound("snapshot has no section '" + name + "'");
+  }
+  return BinaryReader(it->second);
+}
+
+std::vector<std::string> SnapshotReader::SectionNames() const {
+  std::vector<std::string> names;
+  names.reserve(sections_.size());
+  for (const auto& [name, payload] : sections_) names.push_back(name);
+  return names;
+}
+
+}  // namespace tabbin

@@ -1,0 +1,82 @@
+// Versioned snapshot container for persisted artifacts (model weights,
+// vocabularies, LSH indexes, cached table encodings).
+//
+// On-disk layout (all integers little-endian):
+//
+//   u32 magic            "TBSN" (0x4E534254)
+//   u32 format version   kFormatVersion
+//   u64 section count
+//   per section:
+//     string  name       (u64 length + bytes)
+//     u64     payload length
+//     bytes   payload    (opaque; written/read with BinaryWriter/Reader)
+//   u64 checksum         FNV-1a 64 over every preceding byte
+//
+// Readers validate magic, version, checksum, and every length prefix
+// before any payload is parsed: truncated, oversized, version-mismatched,
+// or corrupted files come back as a Status error, never as UB.
+#ifndef TABBIN_UTIL_SNAPSHOT_H_
+#define TABBIN_UTIL_SNAPSHOT_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "util/serialize.h"
+#include "util/status.h"
+
+namespace tabbin {
+
+inline constexpr uint32_t kSnapshotMagic = 0x4E534254;  // "TBSN"
+inline constexpr uint32_t kSnapshotFormatVersion = 1;
+
+/// \brief FNV-1a 64-bit hash (the snapshot trailing checksum).
+uint64_t Fnv1a64(const uint8_t* data, size_t n);
+
+/// \brief Assembles named sections into one checksummed snapshot file.
+class SnapshotWriter {
+ public:
+  /// \brief Starts (or resumes) the named section. The returned writer is
+  /// owned by the snapshot and stays valid until the snapshot dies.
+  BinaryWriter* AddSection(const std::string& name);
+
+  /// \brief Serializes magic + version + sections + checksum.
+  std::vector<uint8_t> Assemble() const;
+
+  Status ToFile(const std::string& path) const;
+
+ private:
+  void AssembleInto(BinaryWriter* out) const;
+
+  // unique_ptr keeps AddSection pointers stable across vector growth.
+  std::vector<std::pair<std::string, std::unique_ptr<BinaryWriter>>> sections_;
+};
+
+/// \brief Parses and validates a snapshot; hands out per-section readers.
+class SnapshotReader {
+ public:
+  /// \brief Validates the whole container (magic, version, checksum,
+  /// section bounds) before returning; a failure here means the file is
+  /// unusable and nothing was partially parsed.
+  static Result<SnapshotReader> FromBuffer(std::vector<uint8_t> buf);
+  static Result<SnapshotReader> FromFile(const std::string& path);
+
+  bool HasSection(const std::string& name) const {
+    return sections_.count(name) > 0;
+  }
+
+  /// \brief Reader positioned at the start of the section's payload.
+  Result<BinaryReader> Section(const std::string& name) const;
+
+  std::vector<std::string> SectionNames() const;
+
+ private:
+  std::map<std::string, std::vector<uint8_t>> sections_;
+};
+
+}  // namespace tabbin
+
+#endif  // TABBIN_UTIL_SNAPSHOT_H_

@@ -57,8 +57,10 @@ TEST(IntegrationTest, EndToEndColumnClustering) {
   auto result = EvaluateClustering(
       EmbedColumns(data.corpus, data.columns, embed), opts);
   EXPECT_GT(result.queries, 10);
-  // Even a tiny model beats random assignment by a wide margin.
-  EXPECT_GT(result.map, 0.3);
+  // Even a tiny model beats random assignment by a wide margin. (The
+  // threshold is calibrated to population-normalized MAP@k, which is
+  // strictly below the old hits-normalized score.)
+  EXPECT_GT(result.map, 0.25);
   EXPECT_LE(result.map, 1.0);
   EXPECT_GE(result.mrr, result.map - 1e-9);  // MRR >= MAP always
 }
@@ -204,8 +206,11 @@ TEST(IntegrationTest, StructureAwareBeatsBagOfWordsOnConfusableColumns) {
       EmbedColumns(data.corpus, string_cols, w2v_embed), eopts);
   // At this deliberately tiny training scale (24 tables, 40 steps) we only
   // require TabBiN to stay in the same quality band as the value-bag
-  // baseline; the full-scale comparison is bench/table04_cc.
-  EXPECT_GT(tabbin_result.map, w2v_result.map - 0.2);
+  // baseline; the full-scale comparison is bench/table04_cc. The band is
+  // calibrated to population-normalized MAP@k, which penalizes the
+  // undertrained encoder (low recall in the top-k) harder than the
+  // value-bag baseline.
+  EXPECT_GT(tabbin_result.map, w2v_result.map - 0.3);
   EXPECT_GT(tabbin_result.map, 0.35);
 }
 

@@ -1,0 +1,492 @@
+// Tests for the versioned snapshot subsystem: corrupt-input hardening of
+// BinaryReader / SnapshotReader, and save -> load round trips for every
+// persisted artifact (EmbeddingMatrix, Vocab, LshIndex, TypeInferencer,
+// TabBiNSystem, EncoderEngine cache, RAG grounding index).
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstring>
+
+#include "core/encoder_engine.h"
+#include "core/tabbin.h"
+#include "llm/rag_simulator.h"
+#include "tasks/lsh.h"
+#include "test_tables.h"
+#include "text/vocab.h"
+#include "util/snapshot.h"
+
+namespace tabbin {
+namespace {
+
+TabBiNConfig SnapshotTestConfig() {
+  TabBiNConfig cfg;
+  cfg.hidden = 16;
+  cfg.num_layers = 1;
+  cfg.num_heads = 2;
+  cfg.intermediate = 32;
+  cfg.max_seq_len = 48;
+  cfg.pretrain_steps = 2;
+  cfg.batch_size = 2;
+  return cfg;
+}
+
+std::vector<Table> SampleTables() {
+  std::vector<Table> tables;
+  tables.push_back(MakeOncologyTable());
+  tables.push_back(MakeRelationalTable());
+  return tables;
+}
+
+Status WriteFile(const std::string& path, const std::vector<uint8_t>& bytes) {
+  BinaryWriter w;
+  w.WriteBytes(bytes.data(), bytes.size());
+  return w.ToFile(path);
+}
+
+// ---------------------------------------------------------------------------
+// BinaryReader corrupt-input hardening
+// ---------------------------------------------------------------------------
+
+TEST(BinaryReaderHardeningTest, StringLengthOverflowRejected) {
+  // A length prefix near UINT64_MAX makes pos_ + n wrap around; the old
+  // check passed and read out of bounds.
+  BinaryWriter w;
+  w.WriteU64(UINT64_MAX - 2);
+  BinaryReader r(w.buffer());
+  EXPECT_FALSE(r.ReadString().ok());
+}
+
+TEST(BinaryReaderHardeningTest, VectorLengthOverflowRejected) {
+  // n * sizeof(float) overflows for n >= 2^62.
+  BinaryWriter w;
+  w.WriteU64((1ULL << 62) + 5);
+  BinaryReader r(w.buffer());
+  EXPECT_FALSE(r.ReadF32Vector().ok());
+}
+
+TEST(BinaryReaderHardeningTest, TruncatedStringRejected) {
+  BinaryWriter w;
+  w.WriteString("hello world");
+  std::vector<uint8_t> buf = w.buffer();
+  buf.resize(buf.size() - 4);  // cut into the payload
+  BinaryReader r(std::move(buf));
+  EXPECT_FALSE(r.ReadString().ok());
+}
+
+TEST(BinaryReaderHardeningTest, TruncatedVectorRejected) {
+  BinaryWriter w;
+  w.WriteF32Vector({1.0f, 2.0f, 3.0f});
+  std::vector<uint8_t> buf = w.buffer();
+  buf.resize(buf.size() - 1);
+  BinaryReader r(std::move(buf));
+  EXPECT_FALSE(r.ReadF32Vector().ok());
+}
+
+TEST(BinaryReaderHardeningTest, ReadBytesPastEndRejected) {
+  BinaryReader r(std::vector<uint8_t>{1, 2, 3});
+  EXPECT_FALSE(r.ReadBytes(4).ok());
+  EXPECT_TRUE(r.ReadBytes(3).ok());
+}
+
+TEST(BinaryReaderHardeningTest, EmptyFileYieldsEmptyReader) {
+  const std::string path = "/tmp/tabbin_snap_empty.bin";
+  ASSERT_TRUE(WriteFile(path, {}).ok());
+  auto r = BinaryReader::FromFile(path);
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r.value().AtEnd());
+  EXPECT_FALSE(r.value().ReadU32().ok());
+  std::remove(path.c_str());
+}
+
+// ---------------------------------------------------------------------------
+// Snapshot container
+// ---------------------------------------------------------------------------
+
+TEST(SnapshotTest, RoundTripSections) {
+  SnapshotWriter w;
+  w.AddSection("alpha")->WriteString("first");
+  w.AddSection("beta")->WriteU64(42);
+  w.AddSection("alpha")->WriteString("second");  // resumes, not duplicates
+
+  auto snapshot = SnapshotReader::FromBuffer(w.Assemble());
+  ASSERT_TRUE(snapshot.ok()) << snapshot.status().ToString();
+  EXPECT_TRUE(snapshot.value().HasSection("alpha"));
+  EXPECT_TRUE(snapshot.value().HasSection("beta"));
+  EXPECT_FALSE(snapshot.value().HasSection("gamma"));
+  EXPECT_FALSE(snapshot.value().Section("gamma").ok());
+
+  auto alpha = snapshot.value().Section("alpha");
+  ASSERT_TRUE(alpha.ok());
+  EXPECT_EQ(alpha.value().ReadString().value(), "first");
+  EXPECT_EQ(alpha.value().ReadString().value(), "second");
+  auto beta = snapshot.value().Section("beta");
+  ASSERT_TRUE(beta.ok());
+  EXPECT_EQ(beta.value().ReadU64().value(), 42u);
+}
+
+TEST(SnapshotTest, EmptyBufferRejected) {
+  EXPECT_FALSE(SnapshotReader::FromBuffer({}).ok());
+}
+
+TEST(SnapshotTest, EmptyFileRejected) {
+  const std::string path = "/tmp/tabbin_snap_emptyfile.tbsn";
+  ASSERT_TRUE(WriteFile(path, {}).ok());
+  auto snapshot = SnapshotReader::FromFile(path);
+  EXPECT_FALSE(snapshot.ok());
+  std::remove(path.c_str());
+}
+
+TEST(SnapshotTest, TruncatedSnapshotRejected) {
+  SnapshotWriter w;
+  w.AddSection("data")->WriteF32Vector({1, 2, 3, 4, 5});
+  std::vector<uint8_t> bytes = w.Assemble();
+  for (size_t cut : {bytes.size() - 1, bytes.size() / 2, size_t{5}}) {
+    std::vector<uint8_t> truncated(bytes.begin(),
+                                   bytes.begin() + static_cast<long>(cut));
+    EXPECT_FALSE(SnapshotReader::FromBuffer(std::move(truncated)).ok())
+        << "cut at " << cut;
+  }
+}
+
+TEST(SnapshotTest, ChecksumMismatchRejected) {
+  SnapshotWriter w;
+  w.AddSection("data")->WriteString("payload bytes");
+  std::vector<uint8_t> bytes = w.Assemble();
+  bytes[bytes.size() / 2] ^= 0x40;  // flip one payload bit
+  auto snapshot = SnapshotReader::FromBuffer(std::move(bytes));
+  ASSERT_FALSE(snapshot.ok());
+  EXPECT_NE(snapshot.status().message().find("checksum"), std::string::npos);
+}
+
+TEST(SnapshotTest, BadMagicRejected) {
+  SnapshotWriter w;
+  w.AddSection("data")->WriteU32(1);
+  std::vector<uint8_t> bytes = w.Assemble();
+  bytes[0] ^= 0xFF;
+  // Fix up the checksum so only the magic is wrong.
+  const uint64_t checksum = Fnv1a64(bytes.data(), bytes.size() - 8);
+  std::memcpy(bytes.data() + bytes.size() - 8, &checksum, sizeof(checksum));
+  auto snapshot = SnapshotReader::FromBuffer(std::move(bytes));
+  ASSERT_FALSE(snapshot.ok());
+  EXPECT_NE(snapshot.status().message().find("magic"), std::string::npos);
+}
+
+TEST(SnapshotTest, VersionMismatchRejected) {
+  SnapshotWriter w;
+  w.AddSection("data")->WriteU32(1);
+  std::vector<uint8_t> bytes = w.Assemble();
+  const uint32_t future_version = kSnapshotFormatVersion + 7;
+  std::memcpy(bytes.data() + 4, &future_version, sizeof(future_version));
+  const uint64_t checksum = Fnv1a64(bytes.data(), bytes.size() - 8);
+  std::memcpy(bytes.data() + bytes.size() - 8, &checksum, sizeof(checksum));
+  auto snapshot = SnapshotReader::FromBuffer(std::move(bytes));
+  ASSERT_FALSE(snapshot.ok());
+  EXPECT_NE(snapshot.status().message().find("version"), std::string::npos);
+}
+
+TEST(SnapshotTest, OverflowingSectionLengthRejected) {
+  // Hand-craft a snapshot whose single section claims a near-UINT64_MAX
+  // payload; the section bounds check must fail before any read.
+  BinaryWriter w;
+  w.WriteU32(kSnapshotMagic);
+  w.WriteU32(kSnapshotFormatVersion);
+  w.WriteU64(1);
+  w.WriteString("huge");
+  w.WriteU64(UINT64_MAX - 3);
+  std::vector<uint8_t> bytes = w.buffer();
+  const uint64_t checksum = Fnv1a64(bytes.data(), bytes.size());
+  BinaryWriter full;
+  full.WriteBytes(bytes.data(), bytes.size());
+  full.WriteU64(checksum);
+  EXPECT_FALSE(SnapshotReader::FromBuffer(full.buffer()).ok());
+}
+
+// ---------------------------------------------------------------------------
+// Artifact round trips
+// ---------------------------------------------------------------------------
+
+TEST(SnapshotTest, EmbeddingMatrixRoundTrip) {
+  EmbeddingMatrix m(3, 4);
+  for (size_t i = 0; i < m.size(); ++i) {
+    m.data()[i] = static_cast<float>(i) * 0.25f;
+  }
+  BinaryWriter w;
+  m.Serialize(&w);
+  BinaryReader r(w.buffer());
+  auto back = EmbeddingMatrix::Deserialize(&r);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back.value().rows(), 3u);
+  EXPECT_EQ(back.value().cols(), 4u);
+  EXPECT_EQ(std::memcmp(back.value().data(), m.data(),
+                        m.size() * sizeof(float)),
+            0);
+}
+
+TEST(SnapshotTest, EmbeddingMatrixGeometryMismatchRejected) {
+  BinaryWriter w;
+  w.WriteU64(3);  // rows
+  w.WriteU64(4);  // cols
+  w.WriteF32Vector({1, 2, 3});  // only 3 floats instead of 12
+  BinaryReader r(w.buffer());
+  EXPECT_FALSE(EmbeddingMatrix::Deserialize(&r).ok());
+}
+
+TEST(SnapshotTest, LshIndexRoundTripIdenticalQueries) {
+  const int dim = 8;
+  LshIndex index(dim, 6, 4, /*seed=*/77);
+  Rng rng(123);
+  std::vector<std::vector<float>> vecs;
+  for (int i = 0; i < 40; ++i) {
+    std::vector<float> v(dim);
+    for (auto& x : v) x = static_cast<float>(rng.Gaussian());
+    index.Insert(i, v);
+    vecs.push_back(std::move(v));
+  }
+
+  const std::string path = "/tmp/tabbin_snap_lsh.tbsn";
+  ASSERT_TRUE(index.Save(path).ok());
+  auto loaded = LshIndex::Load(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  std::remove(path.c_str());
+
+  EXPECT_EQ(loaded.value().size(), index.size());
+  for (const auto& v : vecs) {
+    EXPECT_EQ(loaded.value().Query(v), index.Query(v));
+  }
+}
+
+TEST(SnapshotTest, LshIndexBadGeometryRejected) {
+  BinaryWriter w;
+  w.WriteI32(-3);  // negative dim
+  w.WriteI32(6);
+  w.WriteI32(4);
+  w.WriteI32(0);
+  BinaryReader r(w.buffer());
+  EXPECT_FALSE(LshIndex::Deserialize(&r).ok());
+}
+
+TEST(SnapshotTest, TypeInferencerRoundTrip) {
+  TypeInferencer typer;
+  typer.AddTerm("frobinoxib", SemType::kDrug);
+  typer.AddTerm("Graxville", SemType::kPlace);
+  BinaryWriter w;
+  typer.Serialize(&w);
+  BinaryReader r(w.buffer());
+  auto back = TypeInferencer::Deserialize(&r);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back.value().lexicon_size(), typer.lexicon_size());
+  EXPECT_EQ(back.value().InferText("frobinoxib"), SemType::kDrug);
+  EXPECT_EQ(back.value().InferText("graxville"), SemType::kPlace);
+}
+
+// ---------------------------------------------------------------------------
+// TabBiNSystem snapshots + EncoderEngine warm start
+// ---------------------------------------------------------------------------
+
+TEST(SnapshotTest, SystemRoundTripBitwiseIdenticalEncodeAll) {
+  std::vector<Table> tables = SampleTables();
+  TabBiNSystem sys = TabBiNSystem::Create(tables, SnapshotTestConfig());
+  sys.typer()->AddTerm("bevacizumab", SemType::kDrug);
+  sys.Pretrain(tables);
+
+  const std::string path = "/tmp/tabbin_snap_system.tbsn";
+  ASSERT_TRUE(sys.Save(path).ok());
+  auto loaded = TabBiNSystem::Load(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  std::remove(path.c_str());
+
+  EXPECT_EQ(loaded.value().vocab().size(), sys.vocab().size());
+  EXPECT_EQ(loaded.value().typer()->lexicon_size(),
+            sys.typer()->lexicon_size());
+  for (const Table& t : tables) {
+    TableEncodings a = sys.EncodeAll(t);
+    TableEncodings b = loaded.value().EncodeAll(t);
+    for (auto [sa, sb] : {std::pair{&a.row, &b.row}, {&a.col, &b.col},
+                          {&a.hmd, &b.hmd}, {&a.vmd, &b.vmd}}) {
+      ASSERT_EQ(sa->hidden.rows(), sb->hidden.rows());
+      ASSERT_EQ(sa->hidden.cols(), sb->hidden.cols());
+      if (sa->hidden.size() == 0) continue;  // empty segment (e.g. no VMD)
+      EXPECT_EQ(std::memcmp(sa->hidden.data(), sb->hidden.data(),
+                            sa->hidden.size() * sizeof(float)),
+                0);
+    }
+  }
+}
+
+TEST(SnapshotTest, SystemLoadRejectsMissingSection) {
+  std::vector<Table> tables = SampleTables();
+  TabBiNSystem sys = TabBiNSystem::Create(tables, SnapshotTestConfig());
+  SnapshotWriter w;
+  sys.AppendTo(&w);
+  // Rebuild the snapshot without the VMD model section.
+  auto full = SnapshotReader::FromBuffer(w.Assemble());
+  ASSERT_TRUE(full.ok());
+  SnapshotWriter partial;
+  for (const std::string& name : full.value().SectionNames()) {
+    if (name == "tabbin.model.vmd") continue;
+    auto section = full.value().Section(name);
+    ASSERT_TRUE(section.ok());
+    auto bytes = section.value().ReadBytes(section.value().remaining());
+    ASSERT_TRUE(bytes.ok());
+    partial.AddSection(name)->WriteBytes(bytes.value().data(),
+                                         bytes.value().size());
+  }
+  auto loaded = SnapshotReader::FromBuffer(partial.Assemble());
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_FALSE(TabBiNSystem::FromSnapshot(loaded.value()).ok());
+}
+
+TEST(SnapshotTest, SystemLoadRejectsHostileConfig) {
+  // A snapshot with a valid checksum but num_heads = 0 used to reach
+  // TabBiNConfig::Valid()'s hidden % num_heads and die on SIGFPE.
+  SnapshotWriter w;
+  BinaryWriter* cfg = w.AddSection("tabbin.config");
+  cfg->WriteI32(16);  // hidden
+  cfg->WriteI32(1);   // num_layers
+  cfg->WriteI32(0);   // num_heads  <- hostile
+  cfg->WriteI32(32);  // intermediate
+  cfg->WriteF32(0.1f);
+  cfg->WriteI32(48);  // max_seq_len
+  cfg->WriteI32(64);  // max_cell_tokens
+  cfg->WriteI32(256);  // max_tuples
+  cfg->WriteI32(10);  // num_numeric_bins
+  cfg->WriteI32(8);   // num_cell_features
+  cfg->WriteI32(14);  // num_types
+  cfg->WriteI32(2);   // pretrain_steps
+  cfg->WriteI32(2);   // batch_size
+  cfg->WriteF32(1e-3f);
+  cfg->WriteF32(0.15f);
+  cfg->WriteF32(0.3f);
+  for (int i = 0; i < 4; ++i) cfg->WriteU32(1);  // ablation flags
+  cfg->WriteU64(17);  // seed
+  auto snapshot = SnapshotReader::FromBuffer(w.Assemble());
+  ASSERT_TRUE(snapshot.ok());
+  auto loaded = TabBiNSystem::FromSnapshot(snapshot.value());
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kParseError);
+}
+
+TEST(SnapshotTest, EncoderEngineWarmStartHitsWithoutForwardPasses) {
+  std::vector<Table> tables = SampleTables();
+  TabBiNSystem sys = TabBiNSystem::Create(tables, SnapshotTestConfig());
+  sys.Pretrain(tables);
+
+  EncoderEngine cold(&sys, 16);
+  auto first = cold.EncodeBatch(tables);
+  const std::string path = "/tmp/tabbin_snap_engine.tbsn";
+  ASSERT_TRUE(cold.SaveCache(path).ok());
+
+  EncoderEngine warm(&sys, 16);
+  auto warmed = warm.LoadCache(path);
+  ASSERT_TRUE(warmed.ok()) << warmed.status().ToString();
+  EXPECT_EQ(warmed.value(), tables.size());
+  std::remove(path.c_str());
+
+  for (size_t i = 0; i < tables.size(); ++i) {
+    auto enc = warm.Encode(tables[i]);
+    // Same fingerprint -> pure cache hit, bitwise-equal hidden states.
+    ASSERT_EQ(enc->row.hidden.size(), first[i]->row.hidden.size());
+    EXPECT_EQ(std::memcmp(enc->row.hidden.data(), first[i]->row.hidden.data(),
+                          enc->row.hidden.size() * sizeof(float)),
+              0);
+  }
+  EXPECT_EQ(warm.hits(), tables.size());
+  EXPECT_EQ(warm.misses(), 0u);
+}
+
+TEST(SnapshotTest, WarmStartRejectsForeignGeometry) {
+  std::vector<Table> tables = SampleTables();
+  TabBiNSystem sys = TabBiNSystem::Create(tables, SnapshotTestConfig());
+  EncoderEngine engine(&sys, 16);
+  engine.EncodeBatch(tables);
+  SnapshotWriter w;
+  engine.AppendCacheTo(&w);
+  auto snapshot = SnapshotReader::FromBuffer(w.Assemble());
+  ASSERT_TRUE(snapshot.ok());
+
+  // A system with a different hidden width must refuse the cache.
+  TabBiNConfig other_cfg = SnapshotTestConfig();
+  other_cfg.hidden = 24;
+  other_cfg.intermediate = 48;
+  TabBiNSystem other = TabBiNSystem::Create(tables, other_cfg);
+  EncoderEngine mismatched(&other, 16);
+  EXPECT_FALSE(mismatched.WarmStart(snapshot.value()).ok());
+}
+
+TEST(SnapshotTest, TableEncodingsRoundTripPreservesSequence) {
+  std::vector<Table> tables = SampleTables();
+  TabBiNSystem sys = TabBiNSystem::Create(tables, SnapshotTestConfig());
+  TableEncodings enc = sys.EncodeAll(tables[0]);
+  BinaryWriter w;
+  SerializeTableEncodings(enc, &w);
+  BinaryReader r(w.buffer());
+  auto back = DeserializeTableEncodings(&r);
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  EXPECT_TRUE(r.AtEnd());
+  ASSERT_EQ(back.value().col.seq.tokens.size(), enc.col.seq.tokens.size());
+  for (size_t i = 0; i < enc.col.seq.tokens.size(); ++i) {
+    const TokenFeatures& a = enc.col.seq.tokens[i];
+    const TokenFeatures& b = back.value().col.seq.tokens[i];
+    EXPECT_EQ(a.token_id, b.token_id);
+    EXPECT_EQ(a.type_id, b.type_id);
+    EXPECT_EQ(a.fmt_bits, b.fmt_bits);
+    EXPECT_EQ(a.position.row, b.position.row);
+    EXPECT_EQ(a.position.is_cls, b.position.is_cls);
+  }
+  ASSERT_EQ(back.value().col.seq.cell_spans.size(),
+            enc.col.seq.cell_spans.size());
+  EXPECT_EQ(back.value().col.seq.line_cls, enc.col.seq.line_cls);
+}
+
+// ---------------------------------------------------------------------------
+// RAG grounding index
+// ---------------------------------------------------------------------------
+
+TEST(SnapshotTest, RagIndexRoundTripIdenticalRanking) {
+  std::vector<RagDocument> docs = {
+      {"metastatic colorectal cancer survival", "oncology"},
+      {"colorectal cancer progression free survival", "oncology"},
+      {"influenza vaccine efficacy trial", "vaccines"},
+      {"vaccine dose response influenza", "vaccines"},
+      {"county population census households", "census"},
+      {"census household income by county", "census"},
+  };
+  EmbeddingMatrix dense(docs.size(), 4);
+  Rng rng(9);
+  for (size_t i = 0; i < dense.size(); ++i) {
+    dense.data()[i] = static_cast<float>(rng.Gaussian());
+  }
+
+  RagLlmSimulator a(ProfileFor("gpt4+rag"), /*seed=*/31);
+  a.Index(docs, dense);
+  const std::string path = "/tmp/tabbin_snap_rag.tbsn";
+  ASSERT_TRUE(a.SaveIndex(path).ok());
+
+  RagLlmSimulator b(ProfileFor("gpt4+rag"), /*seed=*/31);
+  ASSERT_TRUE(b.LoadIndex(path).ok());
+  std::remove(path.c_str());
+
+  for (int q = 0; q < static_cast<int>(docs.size()); ++q) {
+    EXPECT_EQ(a.RankFor(q, 4), b.RankFor(q, 4)) << "query " << q;
+  }
+}
+
+TEST(SnapshotTest, RagIndexRejectsMismatchedDense) {
+  SnapshotWriter w;
+  BinaryWriter* docs = w.AddSection("rag.docs");
+  docs->WriteU64(2);
+  for (int i = 0; i < 2; ++i) {
+    docs->WriteString("doc");
+    docs->WriteString("label");
+  }
+  EmbeddingMatrix dense(5, 3);  // 5 rows for 2 docs
+  dense.Serialize(w.AddSection("rag.dense"));
+  const std::string path = "/tmp/tabbin_snap_rag_bad.tbsn";
+  ASSERT_TRUE(w.ToFile(path).ok());
+  RagLlmSimulator sim(ProfileFor("gpt4+rag"));
+  EXPECT_FALSE(sim.LoadIndex(path).ok());
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace tabbin

@@ -44,6 +44,44 @@ TEST(MetricsTest, ApWithTotalRelevantNormalization) {
   EXPECT_DOUBLE_EQ(AveragePrecisionAtK(rel, 2, /*total_relevant=*/2), 0.5);
 }
 
+TEST(MetricsTest, MapWithPerQueryTotalsNormalizesByPopulation) {
+  // Run 1: hits at ranks 1 and 3, but 3 relevant items exist.
+  //   AP = (1/1 + 2/3) / min(3, 4) = (5/3) / 3 = 5/9.
+  // Run 2: hit at rank 2 of 2 relevant items.
+  //   AP = (1/2) / min(2, 4) = 1/4.
+  std::vector<std::vector<bool>> runs = {{true, false, true, false},
+                                         {false, true}};
+  std::vector<int> totals = {3, 2};
+  EXPECT_NEAR(MeanAveragePrecision(runs, 4, totals),
+              (5.0 / 9.0 + 1.0 / 4.0) / 2, 1e-12);
+}
+
+TEST(MetricsTest, MapWithoutTotalsStillNormalizesByHits) {
+  // The legacy overload (callers that genuinely cannot know the
+  // population) divides by hits: {true, false, true} -> (1 + 2/3)/2.
+  std::vector<std::vector<bool>> runs = {{true, false, true}};
+  EXPECT_NEAR(MeanAveragePrecision(runs, 3), 5.0 / 6.0, 1e-12);
+}
+
+TEST(ClusteringTest, MapPenalizesRelevantItemsOutsideTopK) {
+  // Query A1 has two cluster mates (A2, A3) but only A2 makes the top-2:
+  // the old hits-based normalization scored AP = 1.0; the population-
+  // bounded AP is (1/1) / min(2, 2) = 0.5.
+  LabeledEmbeddingSet items;
+  items.Add(std::vector<float>{1.0f, 0.0f}, "A");     // query
+  items.Add(std::vector<float>{0.99f, 0.14f}, "A");   // cos ~ 0.990
+  items.Add(std::vector<float>{0.9f, 0.43f}, "B");    // cos ~ 0.902
+  items.Add(std::vector<float>{0.0f, 1.0f}, "A");     // cos = 0
+  ClusterEvalOptions opts;
+  opts.k = 2;
+  opts.use_lsh = false;
+  opts.query_indices = {0};
+  ClusterEvalResult result = EvaluateClustering(items, opts);
+  ASSERT_EQ(result.queries, 1);
+  EXPECT_NEAR(result.map, 0.5, 1e-12);
+  EXPECT_NEAR(result.mrr, 1.0, 1e-12);
+}
+
 TEST(MetricsTest, MrrFirstHitPosition) {
   EXPECT_DOUBLE_EQ(ReciprocalRankAtK({false, true, false}, 3), 0.5);
   EXPECT_DOUBLE_EQ(ReciprocalRankAtK({true}, 1), 1.0);
