@@ -71,7 +71,8 @@ BenchEnv::BenchEnv(const std::string& dataset, const ModelSet& models,
 
   TabBiNConfig cfg = BenchTabBiNConfig();
   // Capacity covers the whole corpus so no bench eval ever thrashes.
-  const size_t engine_capacity =
+  ServiceOptions service_opts;
+  service_opts.encoder_cache_capacity =
       std::max<size_t>(256, data_.corpus.tables.size());
   const std::string snap_path =
       SnapshotDir().empty()
@@ -94,16 +95,16 @@ BenchEnv::BenchEnv(const std::string& dataset, const ModelSet& models,
             << dataset << ": snapshot " << snap_path
             << " was written under a different bench config; re-pretraining";
       } else if (sys.ok()) {
-        tabbin_ = std::make_unique<TabBiNSystem>(std::move(sys).value());
-        engine_ =
-            std::make_unique<EncoderEngine>(tabbin_.get(), engine_capacity);
-        auto warmed = engine_->WarmStart(snapshot.value());
+        tabbin_ = std::make_shared<TabBiNSystem>(std::move(sys).value());
+        service_ = std::make_unique<TabBinService>(tabbin_, service_opts);
+        auto warmed = service_->engine().WarmStart(snapshot.value());
         if (warmed.ok()) {
           TABBIN_LOG(INFO) << dataset << ": warm start from " << snap_path
                            << " (" << warmed.value()
                            << " cached table encodings)";
           warm = true;
         } else {
+          service_.reset();
           TABBIN_LOG(WARNING)
               << dataset << ": snapshot cache rejected ("
               << warmed.status().ToString() << "); re-pretraining";
@@ -124,7 +125,7 @@ BenchEnv::BenchEnv(const std::string& dataset, const ModelSet& models,
   }
 
   if (!warm) {
-    tabbin_ = std::make_unique<TabBiNSystem>(
+    tabbin_ = std::make_shared<TabBiNSystem>(
         TabBiNSystem::Create(data_.corpus.tables, cfg));
     // Register the dataset's catalogs so type inference covers them (the
     // paper's "custom list of named-entities" step). A warm-started
@@ -149,13 +150,13 @@ BenchEnv::BenchEnv(const std::string& dataset, const ModelSet& models,
       TABBIN_LOG(INFO) << dataset << ": pre-training TabBiN (4 models)";
       tabbin_->Pretrain(data_.corpus.tables);
     }
-    engine_ = std::make_unique<EncoderEngine>(tabbin_.get(), engine_capacity);
+    service_ = std::make_unique<TabBinService>(tabbin_, service_opts);
   }
   if (models.tabbin) PrewarmEncodings();
   if (models.tabbin && !warm && !snap_path.empty()) {
     SnapshotWriter snapshot;
     tabbin_->AppendTo(&snapshot);
-    engine_->AppendCacheTo(&snapshot);
+    service_->engine().AppendCacheTo(&snapshot);
     Status st = snapshot.ToFile(snap_path);
     if (st.ok()) {
       TABBIN_LOG(INFO) << dataset << ": wrote snapshot " << snap_path;
@@ -196,6 +197,20 @@ BenchEnv::BenchEnv(const std::string& dataset, const ModelSet& models,
   }
 }
 
+TabBinService& BenchEnv::service() {
+  if (!service_indexed_) {
+    // Encodings are already prewarmed, so indexing costs composites +
+    // LSH inserts only.
+    auto report = service_->AddTables(data_.corpus.tables);
+    if (!report.ok()) {
+      TABBIN_LOG(WARNING) << "BenchEnv: corpus indexing failed: "
+                          << report.status().ToString();
+    }
+    service_indexed_ = true;
+  }
+  return *service_;
+}
+
 std::shared_ptr<const TableEncodings> BenchEnv::Encodings(const Table& table) {
   const int index = IndexOf(table);
   if (index >= 0 && index < static_cast<int>(prewarmed_.size())) {
@@ -203,11 +218,11 @@ std::shared_ptr<const TableEncodings> BenchEnv::Encodings(const Table& table) {
   }
   // Not a corpus table (or prewarm skipped): the engine's content
   // fingerprint still deduplicates repeated encodes.
-  return engine_->Encode(table);
+  return service_->engine().Encode(table);
 }
 
 void BenchEnv::PrewarmEncodings() {
-  prewarmed_ = engine_->EncodeBatch(data_.corpus.tables);
+  prewarmed_ = service_->engine().EncodeBatch(data_.corpus.tables);
 }
 
 int BenchEnv::IndexOf(const Table& table) const {
@@ -218,8 +233,10 @@ int BenchEnv::IndexOf(const Table& table) const {
 }
 
 ColumnEmbedder BenchEnv::TabbinColumnComposite() {
+  // The service accessor is the production embedding path (engine-cached
+  // encode → CC composite); paper tables measure the code users call.
   return [this](const Table& t, int col) {
-    return tabbin_->ColumnComposite(*Encodings(t), col);
+    return service_->ColumnEmbedding(t, col);
   };
 }
 
@@ -230,9 +247,7 @@ ColumnEmbedder BenchEnv::TabbinColumnSingle() {
 }
 
 TableEmbedder BenchEnv::TabbinTableComposite1() {
-  return [this](const Table& t) {
-    return tabbin_->TableComposite1(*Encodings(t));
-  };
+  return [this](const Table& t) { return service_->TableEmbedding(t); };
 }
 
 TableEmbedder BenchEnv::TabbinTableComposite2() {
@@ -251,7 +266,7 @@ TableEmbedder BenchEnv::TabbinTableSingle() {
 
 CellEmbedder BenchEnv::TabbinEntity() {
   return [this](const Table& t, int row, int col) {
-    return tabbin_->EntityEmbedding(*Encodings(t), row, col);
+    return service_->EntityEmbedding(t, row, col);
   };
 }
 

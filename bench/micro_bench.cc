@@ -1,13 +1,17 @@
 // Microbenchmarks (google-benchmark) for the hot paths of the library:
 // tokenization, sequence building, visibility-matrix construction,
-// encoder forward passes, LSH queries, and cosine ranking.
+// encoder forward passes, LSH queries, cosine ranking, and the
+// TabBinService serving paths (query QPS, incremental vs rebuild).
 #include <benchmark/benchmark.h>
 
 #include <algorithm>
+#include <memory>
+#include <string>
 
 #include "core/encoder_engine.h"
 #include "core/tabbin.h"
 #include "datagen/corpus_gen.h"
+#include "service/table_service.h"
 #include "tasks/clustering.h"
 #include "tasks/lsh.h"
 #include "text/wordpiece.h"
@@ -135,6 +139,72 @@ void BM_EncoderEngineCacheHit(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_EncoderEngineCacheHit);
+
+std::shared_ptr<TabBiNSystem> SharedSystemPtr() {
+  // Aliases the function-static system; never deleted, so the no-op
+  // deleter is safe.
+  static std::shared_ptr<TabBiNSystem> sys(&SharedSystem(),
+                                           [](TabBiNSystem*) {});
+  return sys;
+}
+
+TabBinService& SharedService() {
+  static TabBinService* svc = [] {
+    auto* s = new TabBinService(SharedSystemPtr());
+    s->AddTables(SharedCorpus().corpus.tables);
+    return s;
+  }();
+  return *svc;
+}
+
+// Query throughput through the serving facade: LSH candidates + exact
+// cosine under the reader lock. ->Threads(8) reports aggregate 8-thread
+// QPS against the same service instance (items/s is the QPS figure).
+void BM_ServiceSimilarColumns(benchmark::State& state) {
+  TabBinService& svc = SharedService();
+  const auto& tables = SharedCorpus().corpus.tables;
+  // Spread threads across query tables so the engine cache, not one
+  // hot entry, is what's exercised.
+  const Table& t = tables[static_cast<size_t>(state.thread_index()) %
+                          tables.size()];
+  ColumnQueryRequest req{t.id(), nullptr, t.vmd_cols(), 10};
+  for (auto _ : state) {
+    auto r = svc.SimilarColumns(req);
+    benchmark::DoNotOptimize(r);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ServiceSimilarColumns)->Threads(1)->Threads(8);
+
+// Incremental corpus update: one new table encoded and inserted into
+// the live indexes (no rebuild).
+void BM_ServiceAddTablesIncremental(benchmark::State& state) {
+  TabBinService svc(SharedSystemPtr());
+  svc.AddTables(SharedCorpus().corpus.tables);
+  int64_t n = 0;
+  for (auto _ : state) {
+    Table t = SharedCorpus().corpus.tables[0];
+    // Fresh content every iteration so the engine cache cannot serve it.
+    t.set_id("inc-" + std::to_string(n));
+    t.set_caption("incremental table " + std::to_string(n));
+    ++n;
+    benchmark::DoNotOptimize(svc.AddTables({t}));
+  }
+  state.SetLabel("live=" + std::to_string(svc.NumLiveTables()));
+}
+BENCHMARK(BM_ServiceAddTablesIncremental)->Unit(benchmark::kMillisecond);
+
+// The alternative the facade replaces: re-encoding and re-indexing the
+// whole corpus from scratch on every change (fresh service, cold cache).
+void BM_ServiceFullRebuild(benchmark::State& state) {
+  const auto& tables = SharedCorpus().corpus.tables;
+  for (auto _ : state) {
+    TabBinService svc(SharedSystemPtr());
+    benchmark::DoNotOptimize(svc.AddTables(tables));
+  }
+  state.SetLabel("tables=" + std::to_string(tables.size()));
+}
+BENCHMARK(BM_ServiceFullRebuild)->Unit(benchmark::kMillisecond);
 
 void BM_LshQuery(benchmark::State& state) {
   const int dim = 72;

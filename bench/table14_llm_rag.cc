@@ -22,12 +22,6 @@ std::string SerializeColumn(const Table& t, int col) {
   return text;
 }
 
-std::string SerializeTable(const Table& t) {
-  std::string text = t.caption() + " ";
-  for (const auto& tuple : SerializeTuples(t)) text += tuple + " ";
-  return text;
-}
-
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -61,7 +55,11 @@ int main(int argc, char** argv) {
     {
       // RAG grounded in TabBiN embeddings: BM25 ∪ dense cosine candidates.
       RagLlmSimulator sim(ProfileFor("gpt4+rag"), 97);
-      sim.Index(col_docs, cc_items.matrix());
+      Status st = sim.Index(col_docs, cc_items.matrix());
+      if (!st.ok()) {
+        std::fprintf(stderr, "error: %s\n", st.ToString().c_str());
+        return 1;
+      }
       auto r = sim.Evaluate(eval_opts.k, eval_opts.max_queries);
       PrintRow("gpt4+rag+dense (sim)", dataset + "/CC", r.map, r.mrr);
     }
@@ -71,10 +69,11 @@ int main(int argc, char** argv) {
     }
 
     // --- TC ---
+    // Same serialization the service's Ask grounding index uses.
     std::vector<RagDocument> tbl_docs;
     for (const auto& q : data.tables) {
       const Table& t = data.corpus.tables[static_cast<size_t>(q.table_index)];
-      tbl_docs.push_back({SerializeTable(t), q.label});
+      tbl_docs.push_back({ServiceDocumentText(t), q.label});
     }
     for (const auto& name : llms) {
       RagLlmSimulator sim(ProfileFor(name), 98);
@@ -86,7 +85,11 @@ int main(int argc, char** argv) {
         EmbedTables(data.corpus, data.tables, env.TabbinTableComposite1());
     {
       RagLlmSimulator sim(ProfileFor("gpt4+rag"), 98);
-      sim.Index(tbl_docs, tc_items.matrix());
+      Status st = sim.Index(tbl_docs, tc_items.matrix());
+      if (!st.ok()) {
+        std::fprintf(stderr, "error: %s\n", st.ToString().c_str());
+        return 1;
+      }
       auto r = sim.Evaluate(eval_opts.k, eval_opts.max_queries);
       PrintRow("gpt4+rag+dense (sim)", dataset + "/TC", r.map, r.mrr);
     }

@@ -4,17 +4,18 @@
 //
 //   $ ./build/examples/medical_table_search
 //
-// Builds a CancerKG-like corpus, pre-trains TabBiN, and answers a
-// "find tables like this one" query with top-5 results, comparing the
-// structure-aware composite embedding against a plain text baseline.
+// Builds a CancerKG-like corpus, pre-trains TabBiN, serves the
+// "find tables like this one" query through the TabBinService facade
+// (LSH-blocked, engine-cached), and compares the structure-aware
+// composite embedding against a plain text baseline.
 #include <algorithm>
 #include <cstdio>
+#include <memory>
 #include <vector>
 
 #include "baselines/word2vec.h"
-#include "core/encoder_engine.h"
-#include "core/tabbin.h"
 #include "datagen/corpus_gen.h"
+#include "service/table_service.h"
 #include "tensor/ops.h"
 
 using namespace tabbin;
@@ -31,8 +32,18 @@ int main() {
   cfg.num_heads = 2;
   cfg.intermediate = 72;
   cfg.pretrain_steps = 50;
-  TabBiNSystem sys = TabBiNSystem::Create(data.corpus.tables, cfg);
-  sys.Pretrain(data.corpus.tables);
+  auto sys = std::make_shared<TabBiNSystem>(
+      TabBiNSystem::Create(data.corpus.tables, cfg));
+  sys->Pretrain(data.corpus.tables);
+
+  // The serving facade owns the encode → index → query lifecycle; the
+  // whole corpus is batch-encoded across the thread pool on insert.
+  TabBinService service(sys);
+  auto added = service.AddTables(data.corpus.tables);
+  if (!added.ok()) {
+    std::fprintf(stderr, "error: %s\n", added.status().ToString().c_str());
+    return 1;
+  }
 
   // Text baseline for comparison.
   Word2VecConfig wcfg;
@@ -58,45 +69,54 @@ int main() {
               qt.caption().c_str(), qt.topic().c_str(), qt.rows(), qt.cols(),
               qt.HasNesting() ? "yes" : "no");
 
-  // Embed every table once with both systems; the engine batches the
-  // TabBiN encodes across the thread pool, and both embedding sets live
-  // in flat [n, dim] matrices.
-  EncoderEngine engine(&sys, data.corpus.tables.size());
-  auto encodings = engine.EncodeBatch(data.corpus.tables);
-  EmbeddingMatrix tabbin_emb, w2v_emb;
-  for (size_t i = 0; i < data.corpus.tables.size(); ++i) {
-    const Table& t = data.corpus.tables[i];
-    tabbin_emb.AppendRow(sys.TableComposite1(*encodings[i]));
-    std::string text = t.caption();
-    for (const auto& s : SerializeTuples(t)) text += " " + s;
-    w2v_emb.AppendRow(w2v.Embed(text));
+  // TabBiN answers through the service: LSH candidates, exact cosine,
+  // self excluded — the exact code path a production caller uses.
+  auto response = service.SimilarTables({qt.id(), nullptr, 5});
+  if (!response.ok()) {
+    std::fprintf(stderr, "error: %s\n", response.status().ToString().c_str());
+    return 1;
   }
-
-  auto print_top5 = [&](const char* name, const EmbeddingMatrix& embs) {
-    std::vector<std::pair<float, int>> scored;
-    for (int i = 0; i < static_cast<int>(embs.rows()); ++i) {
-      if (i == query) continue;
-      scored.emplace_back(
-          CosineSimilarity(embs.row(static_cast<size_t>(query)),
-                           embs.row(static_cast<size_t>(i))),
-          i);
+  std::printf("TabBiN (service) top-5 similar tables:\n");
+  int correct = 0;
+  for (const auto& m : response.value().matches) {
+    // Recover the topic through the corpus (the service response carries
+    // id + caption + score).
+    std::string topic;
+    for (const auto& t : data.corpus.tables) {
+      if (t.id() == m.table_id) topic = t.topic();
     }
-    std::sort(scored.rbegin(), scored.rend());
-    std::printf("%s top-5 similar tables:\n", name);
-    int correct = 0;
-    for (int k = 0; k < 5 && k < static_cast<int>(scored.size()); ++k) {
-      const Table& t =
-          data.corpus.tables[static_cast<size_t>(scored[static_cast<size_t>(k)].second)];
-      const bool match = t.topic() == qt.topic();
-      correct += match;
-      std::printf("  %.3f  [%s] %-22s %s\n",
-                  scored[static_cast<size_t>(k)].first, match ? "ok " : "x  ",
-                  t.topic().c_str(), t.caption().c_str());
-    }
-    std::printf("  topic precision@5: %d/5\n\n", correct);
-  };
+    const bool match = topic == qt.topic();
+    correct += match;
+    std::printf("  %.3f  [%s] %-22s %s\n", m.score, match ? "ok " : "x  ",
+                topic.c_str(), m.caption.c_str());
+  }
+  std::printf("  topic precision@5: %d/5\n\n", correct);
 
-  print_top5("TabBiN (tblcomp1)", tabbin_emb);
-  print_top5("Word2Vec", w2v_emb);
+  // Word2Vec baseline: manual embed + rank (no structure awareness).
+  // Documents serialize the same way the service's Ask index does.
+  EmbeddingMatrix w2v_emb;
+  for (const auto& t : data.corpus.tables) {
+    w2v_emb.AppendRow(w2v.Embed(ServiceDocumentText(t)));
+  }
+  std::vector<std::pair<float, int>> scored;
+  for (int i = 0; i < static_cast<int>(w2v_emb.rows()); ++i) {
+    if (i == query) continue;
+    scored.emplace_back(
+        CosineSimilarity(w2v_emb.row(static_cast<size_t>(query)),
+                         w2v_emb.row(static_cast<size_t>(i))),
+        i);
+  }
+  std::sort(scored.rbegin(), scored.rend());
+  std::printf("Word2Vec top-5 similar tables:\n");
+  correct = 0;
+  for (int k = 0; k < 5 && k < static_cast<int>(scored.size()); ++k) {
+    const Table& t = data.corpus.tables[static_cast<size_t>(
+        scored[static_cast<size_t>(k)].second)];
+    const bool match = t.topic() == qt.topic();
+    correct += match;
+    std::printf("  %.3f  [%s] %-22s %s\n", scored[static_cast<size_t>(k)].first,
+                match ? "ok " : "x  ", t.topic().c_str(), t.caption().c_str());
+  }
+  std::printf("  topic precision@5: %d/5\n", correct);
   return 0;
 }

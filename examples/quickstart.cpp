@@ -1,18 +1,20 @@
-// Quickstart: generate a small corpus, pre-train TabBiN, and use the
-// composite embeddings for column and table similarity.
+// Quickstart: generate a small corpus, pre-train TabBiN, and serve
+// column/table similarity queries through the TabBinService facade.
 //
 //   $ ./build/examples/quickstart
 //
 // Walks through the library's main API surface: dataset generation,
-// TabBiNSystem::Create / Pretrain, EncodeAll, the CC/TC composite
-// embeddings (paper Figures 4-5), and cosine-similarity clustering.
+// TabBiNSystem::Create / Pretrain, then the serving facade — AddTables
+// (incremental indexing), SimilarTables / SimilarColumns, free-text Ask
+// (RAG grounding) — and the CC evaluation harness running over the same
+// service embedding path.
 #include <cstdio>
+#include <memory>
 
-#include "core/tabbin.h"
 #include "datagen/corpus_gen.h"
+#include "service/table_service.h"
 #include "tasks/clustering.h"
 #include "tasks/pipelines.h"
-#include "tensor/ops.h"
 
 using namespace tabbin;
 
@@ -34,9 +36,10 @@ int main() {
   cfg.num_heads = 2;
   cfg.intermediate = 72;
   cfg.pretrain_steps = 40;
-  TabBiNSystem sys = TabBiNSystem::Create(data.corpus.tables, cfg);
-  std::printf("vocabulary: %d wordpieces\n", sys.vocab().size());
-  auto stats = sys.Pretrain(data.corpus.tables);
+  auto sys = std::make_shared<TabBiNSystem>(
+      TabBiNSystem::Create(data.corpus.tables, cfg));
+  std::printf("vocabulary: %d wordpieces\n", sys->vocab().size());
+  auto stats = sys->Pretrain(data.corpus.tables);
   for (int v = 0; v < 4; ++v) {
     std::printf("pretrain %-12s loss %.3f -> %.3f\n",
                 TabBiNVariantName(static_cast<TabBiNVariant>(v)),
@@ -44,54 +47,61 @@ int main() {
                 stats[static_cast<size_t>(v)].final_loss);
   }
 
-  // 3. Composite embeddings (paper Fig. 5): encode two tables and compare.
-  const Table& a = data.corpus.tables[0];
-  TableEncodings enc_a = sys.EncodeAll(a);
-  std::printf("\ntable '%s' (topic %s)\n", a.caption().c_str(),
-              a.topic().c_str());
-  std::printf("  tblcomp1 dims: %zu (= 3 x hidden)\n",
-              sys.TableComposite1(enc_a).size());
-  std::printf("  colcomp dims for col %d: %zu (= 2 x hidden)\n",
-              a.vmd_cols(),
-              sys.ColumnComposite(enc_a, a.vmd_cols()).size());
+  // 3. Stand up the serving facade and index the corpus incrementally —
+  //    new tables are encoded in parallel and inserted into the live
+  //    column/table/entity LSH indexes, no rebuild.
+  TabBinService service(sys);
+  auto report = service.AddTables(data.corpus.tables);
+  if (!report.ok()) {
+    std::fprintf(stderr, "error: %s\n", report.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("\nservice: %d tables, %d columns, %d entities indexed\n",
+              report.value().tables_added, report.value().columns_indexed,
+              report.value().entities_indexed);
 
-  // 4. Find the most similar table by cosine over TC composites.
-  std::vector<float> query = sys.TableComposite1(enc_a);
-  int best = -1;
-  float best_score = -2;
-  for (size_t i = 1; i < data.corpus.tables.size(); ++i) {
-    TableEncodings enc = sys.EncodeAll(data.corpus.tables[i]);
-    float score = CosineSimilarity(query, sys.TableComposite1(enc));
-    if (score > best_score) {
-      best_score = score;
-      best = static_cast<int>(i);
+  // 4. "Find tables like this one" — the paper's motivating query.
+  const Table& probe = data.corpus.tables[0];
+  auto similar = service.SimilarTables({probe.id(), nullptr, 3});
+  if (!similar.ok()) {
+    std::fprintf(stderr, "error: %s\n", similar.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("\ntables similar to '%s' (topic %s):\n", probe.caption().c_str(),
+              probe.topic().c_str());
+  for (const auto& m : similar.value().matches) {
+    std::printf("  %.3f  %s\n", m.score, m.caption.c_str());
+  }
+
+  // 5. Column similarity from the same facade.
+  auto cols = service.SimilarColumns({probe.id(), nullptr, probe.vmd_cols(), 3});
+  if (cols.ok()) {
+    std::printf("\ncolumns similar to col %d of '%s':\n", probe.vmd_cols(),
+                probe.caption().c_str());
+    for (const auto& m : cols.value().matches) {
+      std::printf("  %.3f  col %d of %s\n", m.score, m.col,
+                  m.caption.c_str());
     }
   }
-  std::printf("\nmost similar table: '%s' (topic %s), cosine %.3f\n",
-              data.corpus.tables[static_cast<size_t>(best)].caption().c_str(),
-              data.corpus.tables[static_cast<size_t>(best)].topic().c_str(),
-              best_score);
-  std::printf("query topic matches: %s\n",
-              data.corpus.tables[static_cast<size_t>(best)].topic() ==
-                      a.topic()
-                  ? "yes"
-                  : "no");
 
-  // 5. Full CC evaluation with the shared harness.
-  std::map<int, TableEncodings> cache;
-  auto embed = [&](const Table& t, int col) {
-    int idx = -1;
-    for (size_t i = 0; i < data.corpus.tables.size(); ++i) {
-      if (&data.corpus.tables[i] == &t) idx = static_cast<int>(i);
-    }
-    auto it = cache.find(idx);
-    if (it == cache.end()) it = cache.emplace(idx, sys.EncodeAll(t)).first;
-    return sys.ColumnComposite(it->second, col);
-  };
+  // 6. Free-text grounding (the RAG front end of Table 14).
+  auto ask = service.Ask({"overall survival months", 3});
+  if (ask.ok()) {
+    std::printf("\nask: %s\n", ask.value().answer.c_str());
+  }
+
+  // 7. Full CC evaluation with the shared harness, embedding through the
+  //    very same service path the queries above used. The TableProvider
+  //    seam lets the pipelines run over any table store — here a Corpus,
+  //    but a service corpus or test fixture works identically.
   ClusterEvalOptions opts;
   opts.max_queries = 60;
   auto result = EvaluateClustering(
-      EmbedColumns(data.corpus, data.columns, embed), opts);
+      EmbedColumns(CorpusProvider(data.corpus), data.columns,
+                   [&](const Table& t, int col) {
+                     return service.ColumnEmbedding(t, col);
+                   }),
+      opts);
   std::printf("\ncolumn clustering: MAP@20 %.3f MRR@20 %.3f over %d queries\n",
               result.map, result.mrr, result.queries);
   return 0;

@@ -14,11 +14,20 @@
 //   tabbin_cli load-model <model.tbsn> <corpus.json>
 //       Warm-start from a snapshot (no pretraining, cached encodings)
 //       and report TC MAP@20 / MRR@20.
+//   tabbin_cli build-service <corpus.json> <service.tbsn>
+//       Pretrain, index the corpus in a TabBinService, and snapshot the
+//       whole service (models + encodings + corpus + LSH indexes).
+//   tabbin_cli query <service.tbsn> table <id> [k]
+//   tabbin_cli query <service.tbsn> column <id> <col> [k]
+//   tabbin_cli query <service.tbsn> ask <question> [k]
+//       Serve similarity / grounding queries from a service snapshot —
+//       no corpus file, no pretraining, no index rebuild.
 //   tabbin_cli inspect <corpus.json> <table_index>
 //       Print a table as CSV plus its coordinate trees.
 #include <cstdio>
 #include <cstring>
 #include <map>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -26,6 +35,7 @@
 #include "core/tabbin.h"
 #include "datagen/corpus_gen.h"
 #include "io/table_io.h"
+#include "service/table_service.h"
 #include "table/bicoord.h"
 #include "tasks/clustering.h"
 #include "tasks/pipelines.h"
@@ -53,6 +63,10 @@ int Usage() {
                "  tabbin_cli eval <corpus.json>\n"
                "  tabbin_cli save-model <corpus.json> <model.tbsn>\n"
                "  tabbin_cli load-model <model.tbsn> <corpus.json>\n"
+               "  tabbin_cli build-service <corpus.json> <service.tbsn>\n"
+               "  tabbin_cli query <service.tbsn> table <id> [k]\n"
+               "  tabbin_cli query <service.tbsn> column <id> <col> [k]\n"
+               "  tabbin_cli query <service.tbsn> ask <question> [k]\n"
                "  tabbin_cli inspect <corpus.json> <index>\n"
                "datasets: webtables covidkg cancerkg saus cius\n");
   return 2;
@@ -150,19 +164,18 @@ int CmdEval(const std::string& corpus_path) {
   }
   // Topic labels come from the tables themselves; columns use header text
   // as a weak label when no ground truth is available.
-  TabBiNSystem sys = TabBiNSystem::Create(corpus.value().tables, CliConfig());
-  sys.Pretrain(corpus.value().tables);
-  // Batched, cached encoding: every labeled table is encoded once, in
-  // parallel across the global thread pool.
-  EncoderEngine engine(&sys, corpus.value().tables.size());
-  std::vector<const Table*> labeled;
-  for (const Table& t : corpus.value().tables) {
-    if (!t.topic().empty()) labeled.push_back(&t);
-  }
-  auto encodings = engine.EncodeBatch(labeled);
+  auto sys = std::make_shared<TabBiNSystem>(
+      TabBiNSystem::Create(corpus.value().tables, CliConfig()));
+  sys->Pretrain(corpus.value().tables);
+  // The service owns the batched, cached encoding path; embeddings come
+  // out of the same accessors the query endpoints use.
+  ServiceOptions opts_svc;
+  opts_svc.encoder_cache_capacity = corpus.value().tables.size();
+  TabBinService service(sys, opts_svc);
+  service.engine().EncodeBatch(corpus.value().tables);
   LabeledEmbeddingSet tables;
-  for (size_t i = 0; i < labeled.size(); ++i) {
-    tables.Add(sys.TableComposite1(*encodings[i]), labeled[i]->topic());
+  for (const Table& t : corpus.value().tables) {
+    if (!t.topic().empty()) tables.Add(service.TableEmbedding(t), t.topic());
   }
   ClusterEvalOptions opts;
   auto tc = EvaluateClustering(tables, opts);
@@ -219,31 +232,123 @@ int CmdLoadModel(const std::string& snapshot_path,
     std::fprintf(stderr, "error: %s\n", sys.status().ToString().c_str());
     return 1;
   }
-  EncoderEngine engine(&sys.value(), corpus.value().tables.size());
-  auto warmed = engine.WarmStart(snapshot.value());
+  ServiceOptions opts_svc;
+  opts_svc.encoder_cache_capacity = corpus.value().tables.size();
+  TabBinService service(
+      std::make_shared<TabBiNSystem>(std::move(sys).value()), opts_svc);
+  auto warmed = service.engine().WarmStart(snapshot.value());
   if (!warmed.ok()) {
     std::fprintf(stderr, "error: %s\n", warmed.status().ToString().c_str());
     return 1;
   }
   std::printf("warm start: %zu cached encodings\n", warmed.value());
 
-  std::vector<const Table*> labeled;
-  for (const Table& t : corpus.value().tables) {
-    if (!t.topic().empty()) labeled.push_back(&t);
-  }
-  auto encodings = engine.EncodeBatch(labeled);
   LabeledEmbeddingSet tables;
-  for (size_t i = 0; i < labeled.size(); ++i) {
-    tables.Add(sys.value().TableComposite1(*encodings[i]),
-               labeled[i]->topic());
+  for (const Table& t : corpus.value().tables) {
+    if (!t.topic().empty()) tables.Add(service.TableEmbedding(t), t.topic());
   }
   ClusterEvalOptions opts;
   auto tc = EvaluateClustering(tables, opts);
   std::printf(
       "TC (topic labels): MAP@20 %.3f MRR@20 %.3f (%d queries; cache "
       "%zu hits / %zu misses)\n",
-      tc.map, tc.mrr, tc.queries, engine.hits(), engine.misses());
+      tc.map, tc.mrr, tc.queries, service.engine().hits(),
+      service.engine().misses());
   return 0;
+}
+
+int CmdBuildService(const std::string& corpus_path, const std::string& out) {
+  auto corpus = LoadOrDie(corpus_path);
+  if (!corpus.ok()) {
+    std::fprintf(stderr, "error: %s\n", corpus.status().ToString().c_str());
+    return 1;
+  }
+  auto sys = std::make_shared<TabBiNSystem>(
+      TabBiNSystem::Create(corpus.value().tables, CliConfig()));
+  auto stats = sys->Pretrain(corpus.value().tables);
+  for (int v = 0; v < 4; ++v) {
+    std::printf("%-12s loss %.3f -> %.3f\n",
+                TabBiNVariantName(static_cast<TabBiNVariant>(v)),
+                stats[static_cast<size_t>(v)].initial_loss,
+                stats[static_cast<size_t>(v)].final_loss);
+  }
+  ServiceOptions opts;
+  opts.encoder_cache_capacity = corpus.value().tables.size();
+  TabBinService service(sys, opts);
+  auto report = service.AddTables(corpus.value().tables);
+  if (!report.ok()) {
+    std::fprintf(stderr, "error: %s\n", report.status().ToString().c_str());
+    return 1;
+  }
+  Status st = service.Save(out);
+  if (!st.ok()) {
+    std::fprintf(stderr, "error: %s\n", st.ToString().c_str());
+    return 1;
+  }
+  std::printf(
+      "service snapshot written to %s (%d tables, %d columns, %d entities)\n",
+      out.c_str(), report.value().tables_added,
+      report.value().columns_indexed, report.value().entities_indexed);
+  return 0;
+}
+
+int CmdQuery(const std::string& snapshot_path, const std::string& kind,
+             const std::vector<std::string>& args) {
+  auto service = TabBinService::Load(snapshot_path);
+  if (!service.ok()) {
+    std::fprintf(stderr, "error: %s\n", service.status().ToString().c_str());
+    return 1;
+  }
+  TabBinService& svc = *service.value();
+  std::printf("service: %zu live tables, %zu columns, %zu entities\n",
+              svc.NumLiveTables(), svc.NumIndexedColumns(),
+              svc.NumIndexedEntities());
+  if (kind == "table" && !args.empty()) {
+    const int k = args.size() > 1 ? std::atoi(args[1].c_str()) : 5;
+    auto r = svc.SimilarTables({args[0], nullptr, k});
+    if (!r.ok()) {
+      std::fprintf(stderr, "error: %s\n", r.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("tables similar to %s (%d LSH candidates):\n", args[0].c_str(),
+                r.value().candidates);
+    for (const auto& m : r.value().matches) {
+      std::printf("  %.3f  %-16s %s\n", m.score, m.table_id.c_str(),
+                  m.caption.c_str());
+    }
+    return 0;
+  }
+  if (kind == "column" && args.size() >= 2) {
+    const int col = std::atoi(args[1].c_str());
+    const int k = args.size() > 2 ? std::atoi(args[2].c_str()) : 5;
+    auto r = svc.SimilarColumns({args[0], nullptr, col, k});
+    if (!r.ok()) {
+      std::fprintf(stderr, "error: %s\n", r.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("columns similar to %s:%d (%d LSH candidates):\n",
+                args[0].c_str(), col, r.value().candidates);
+    for (const auto& m : r.value().matches) {
+      std::printf("  %.3f  %-16s col %d  %s\n", m.score, m.table_id.c_str(),
+                  m.col, m.caption.c_str());
+    }
+    return 0;
+  }
+  if (kind == "ask" && !args.empty()) {
+    const int k = args.size() > 1 ? std::atoi(args[1].c_str()) : 5;
+    auto r = svc.Ask({args[0], k});
+    if (!r.ok()) {
+      std::fprintf(stderr, "error: %s\n", r.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("%s\n", r.value().answer.c_str());
+    for (const auto& m : r.value().tables) {
+      std::printf("  %.3f  %-16s %s\n", m.score, m.table_id.c_str(),
+                  m.caption.c_str());
+    }
+    return 0;
+  }
+  return Usage();
 }
 
 int CmdInspect(const std::string& corpus_path, int index) {
@@ -283,6 +388,14 @@ int main(int argc, char** argv) {
   if (cmd == "eval" && argc == 3) return CmdEval(argv[2]);
   if (cmd == "save-model" && argc == 4) return CmdSaveModel(argv[2], argv[3]);
   if (cmd == "load-model" && argc == 4) return CmdLoadModel(argv[2], argv[3]);
+  if (cmd == "build-service" && argc == 4) {
+    return CmdBuildService(argv[2], argv[3]);
+  }
+  if (cmd == "query" && argc >= 5) {
+    std::vector<std::string> rest;
+    for (int i = 4; i < argc; ++i) rest.emplace_back(argv[i]);
+    return CmdQuery(argv[2], argv[3], rest);
+  }
   if (cmd == "inspect" && argc == 4) {
     return CmdInspect(argv[2], std::atoi(argv[3]));
   }

@@ -1,5 +1,6 @@
 #include "core/encoder_engine.h"
 
+#include <deque>
 #include <future>
 #include <string>
 #include <utility>
@@ -85,6 +86,16 @@ size_t EncoderEngine::misses() const {
   return misses_;
 }
 
+size_t EncoderEngine::capacity() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return capacity_;
+}
+
+void EncoderEngine::Reserve(size_t capacity) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (capacity > capacity_) capacity_ = capacity;
+}
+
 void EncoderEngine::Clear() {
   std::lock_guard<std::mutex> lock(mu_);
   cache_.clear();
@@ -96,11 +107,7 @@ void EncoderEngine::Clear() {
 std::shared_ptr<const TableEncodings> EncoderEngine::LookupLocked(
     uint64_t key) {
   auto it = cache_.find(key);
-  if (it == cache_.end()) {
-    ++misses_;
-    return nullptr;
-  }
-  ++hits_;
+  if (it == cache_.end()) return nullptr;
   lru_.splice(lru_.begin(), lru_, it->second.lru_pos);
   return it->second.enc;
 }
@@ -184,15 +191,53 @@ Result<size_t> EncoderEngine::LoadCache(const std::string& path) {
 std::shared_ptr<const TableEncodings> EncoderEngine::Encode(
     const Table& table) {
   const uint64_t key = TableFingerprint(table);
+  std::promise<std::shared_ptr<const TableEncodings>> promise;
+  EncodingFuture flight;
+  bool owner = false;
   {
     std::lock_guard<std::mutex> lock(mu_);
-    if (auto hit = LookupLocked(key)) return hit;
+    if (auto hit = LookupLocked(key)) {
+      ++hits_;
+      return hit;
+    }
+    auto it = inflight_.find(key);
+    if (it != inflight_.end()) {
+      flight = it->second;
+    } else {
+      ++misses_;
+      owner = true;
+      flight = promise.get_future().share();
+      inflight_.emplace(key, flight);
+    }
   }
-  // Encode outside the lock; concurrent misses on the same key encode
-  // twice but converge to one cache entry (results are deterministic).
-  auto enc = std::make_shared<TableEncodings>(system_->EncodeAll(table));
-  std::lock_guard<std::mutex> lock(mu_);
-  InsertLocked(key, enc);
+  if (!owner) {
+    // Single-flight: another thread is already running the forward
+    // passes for this key; wait for its result instead of duplicating
+    // the work.
+    auto enc = flight.get();
+    std::lock_guard<std::mutex> lock(mu_);
+    ++hits_;
+    return enc;
+  }
+  // Encode outside the lock so cache hits on other keys proceed.
+  std::shared_ptr<const TableEncodings> enc;
+  try {
+    enc = std::make_shared<const TableEncodings>(system_->EncodeAll(table));
+  } catch (...) {
+    // Un-poison the key: joiners get this failure, later callers retry.
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      inflight_.erase(key);
+    }
+    promise.set_exception(std::current_exception());
+    throw;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    InsertLocked(key, enc);
+    inflight_.erase(key);
+  }
+  promise.set_value(enc);
   return enc;
 }
 
@@ -213,17 +258,26 @@ std::vector<std::shared_ptr<const TableEncodings>> EncoderEngine::EncodeBatch(
   // Fingerprinting is pure — keep it outside the cache lock.
   for (size_t i = 0; i < n; ++i) keys[i] = TableFingerprint(*tables[i]);
 
-  // Resolve hits and deduplicate misses (same table requested twice in
-  // one batch must encode once).
-  std::vector<size_t> miss_slots;  // first slot per unique missing key
+  // Resolve hits, join encodes already in flight on other threads, and
+  // deduplicate misses (same table requested twice in one batch must
+  // encode once).
+  std::vector<size_t> miss_slots;  // first slot per unique owned key
+  std::vector<std::pair<size_t, EncodingFuture>> joins;
+  std::deque<std::promise<std::shared_ptr<const TableEncodings>>> promises;
   std::unordered_map<uint64_t, size_t> first_slot;
   {
     std::lock_guard<std::mutex> lock(mu_);
     for (size_t i = 0; i < n; ++i) {
       if (first_slot.count(keys[i])) continue;
       if (auto hit = LookupLocked(keys[i])) {
+        ++hits_;
         out[i] = std::move(hit);
+      } else if (auto it = inflight_.find(keys[i]); it != inflight_.end()) {
+        joins.emplace_back(i, it->second);
       } else {
+        ++misses_;
+        promises.emplace_back();
+        inflight_.emplace(keys[i], promises.back().get_future().share());
         miss_slots.push_back(i);
       }
       first_slot.emplace(keys[i], i);
@@ -243,14 +297,45 @@ std::vector<std::shared_ptr<const TableEncodings>> EncoderEngine::EncodeBatch(
       encoded[m] = std::make_shared<TableEncodings>(system_->EncodeAll(*t));
     }));
   }
-  for (auto& f : futures) f.get();
+  // Drain every future even on failure (tasks reference `encoded`), then
+  // un-poison the owned keys so this batch's failure doesn't wedge later
+  // encodes of the same tables.
+  std::exception_ptr encode_error;
+  for (auto& f : futures) {
+    try {
+      f.get();
+    } catch (...) {
+      if (!encode_error) encode_error = std::current_exception();
+    }
+  }
+  if (encode_error) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      for (size_t m = 0; m < miss_slots.size(); ++m) {
+        inflight_.erase(keys[miss_slots[m]]);
+      }
+    }
+    for (auto& p : promises) p.set_exception(encode_error);
+    std::rethrow_exception(encode_error);
+  }
 
   {
     std::lock_guard<std::mutex> lock(mu_);
     for (size_t m = 0; m < miss_slots.size(); ++m) {
       out[miss_slots[m]] = encoded[m];
       InsertLocked(keys[miss_slots[m]], encoded[m]);
+      inflight_.erase(keys[miss_slots[m]]);
     }
+  }
+  // Publish only after the in-flight entries are gone so a joiner that
+  // wakes up and misses the cache re-encodes rather than deadlocks.
+  for (size_t m = 0; m < miss_slots.size(); ++m) {
+    promises[m].set_value(encoded[m]);
+  }
+  for (auto& [slot, future] : joins) {
+    out[slot] = future.get();
+    std::lock_guard<std::mutex> lock(mu_);
+    ++hits_;
   }
   // Duplicate requests within the batch resolve to the first occurrence.
   for (size_t i = 0; i < n; ++i) {

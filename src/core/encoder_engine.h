@@ -17,6 +17,7 @@
 #define TABBIN_CORE_ENCODER_ENGINE_H_
 
 #include <cstdint>
+#include <future>
 #include <list>
 #include <memory>
 #include <mutex>
@@ -40,6 +41,10 @@ class EncoderEngine {
 
   /// \brief Cached EncodeAll. The returned shared_ptr stays valid even if
   /// the entry is later evicted.
+  ///
+  /// Concurrent misses on the same table are single-flight: the first
+  /// caller runs the four forward passes, later callers block on that
+  /// in-flight result (counted as hits) instead of re-encoding.
   std::shared_ptr<const TableEncodings> Encode(const Table& table);
 
   /// \brief Encodes all tables, computing cache misses in parallel on the
@@ -55,7 +60,11 @@ class EncoderEngine {
   size_t hits() const;
   size_t misses() const;
   size_t size() const;
-  size_t capacity() const { return capacity_; }
+  size_t capacity() const;
+
+  /// \brief Raises the LRU capacity to at least `capacity` (never
+  /// shrinks; shrinking mid-serve would evict live entries).
+  void Reserve(size_t capacity);
   const TabBiNSystem& system() const { return *system_; }
 
   void Clear();
@@ -84,8 +93,12 @@ class EncoderEngine {
     std::shared_ptr<const TableEncodings> enc;
     std::list<uint64_t>::iterator lru_pos;
   };
+  using EncodingFuture =
+      std::shared_future<std::shared_ptr<const TableEncodings>>;
 
-  // Requires mu_ held. Returns nullptr on miss.
+  // Requires mu_ held. Returns nullptr on miss. Does not touch the
+  // hit/miss counters: callers account for them (a caller joining an
+  // in-flight encode is a hit, not a second miss).
   std::shared_ptr<const TableEncodings> LookupLocked(uint64_t key);
   // Requires mu_ held. Inserts (or refreshes) and evicts past capacity.
   void InsertLocked(uint64_t key, std::shared_ptr<const TableEncodings> enc);
@@ -96,6 +109,9 @@ class EncoderEngine {
   mutable std::mutex mu_;
   std::list<uint64_t> lru_;  // front = most recently used
   std::unordered_map<uint64_t, Entry> cache_;
+  // Keys currently being encoded; joiners wait on the future instead of
+  // running their own forward passes.
+  std::unordered_map<uint64_t, EncodingFuture> inflight_;
   size_t hits_ = 0;
   size_t misses_ = 0;
 };

@@ -17,19 +17,42 @@ void Bm25Retriever::Index(const std::vector<RagDocument>& docs) {
   doc_len_.clear();
   postings_.clear();
   idf_.clear();
+  total_len_ = 0;
   doc_terms_.reserve(docs.size());
-  double total_len = 0;
   for (int i = 0; i < static_cast<int>(docs.size()); ++i) {
     std::vector<std::string> terms =
         PreTokenize(docs[static_cast<size_t>(i)].text);
-    total_len += static_cast<double>(terms.size());
+    total_len_ += static_cast<double>(terms.size());
     std::unordered_set<std::string> unique(terms.begin(), terms.end());
     for (const auto& t : unique) postings_[t].push_back(i);
     doc_len_.push_back(static_cast<double>(terms.size()));
     doc_terms_.push_back(std::move(terms));
   }
-  avg_len_ = docs.empty() ? 0 : total_len / static_cast<double>(docs.size());
-  const double n = static_cast<double>(docs.size());
+  avg_len_ =
+      docs.empty() ? 0 : total_len_ / static_cast<double>(docs.size());
+  RecomputeIdf();
+}
+
+void Bm25Retriever::AppendDoc(const RagDocument& doc) {
+  const int i = static_cast<int>(doc_terms_.size());
+  std::vector<std::string> terms = PreTokenize(doc.text);
+  total_len_ += static_cast<double>(terms.size());
+  std::unordered_set<std::string> unique(terms.begin(), terms.end());
+  // Posting lists stay ascending: i is the largest doc id so far.
+  for (const auto& t : unique) postings_[t].push_back(i);
+  doc_len_.push_back(static_cast<double>(terms.size()));
+  doc_terms_.push_back(std::move(terms));
+}
+
+void Bm25Retriever::AddAll(const std::vector<RagDocument>& docs) {
+  if (docs.empty()) return;
+  for (const RagDocument& doc : docs) AppendDoc(doc);
+  avg_len_ = total_len_ / static_cast<double>(doc_terms_.size());
+  RecomputeIdf();
+}
+
+void Bm25Retriever::RecomputeIdf() {
+  const double n = static_cast<double>(doc_terms_.size());
   for (const auto& [term, posting] : postings_) {
     const double df = static_cast<double>(posting.size());
     idf_[term] = std::log(1.0 + (n - df + 0.5) / (df + 0.5));
@@ -105,15 +128,16 @@ void RagLlmSimulator::Index(const std::vector<RagDocument>& docs) {
   dense_.Clear();
 }
 
-void RagLlmSimulator::Index(const std::vector<RagDocument>& docs,
-                            EmbeddingMatrix embeddings) {
+Status RagLlmSimulator::Index(const std::vector<RagDocument>& docs,
+                              EmbeddingMatrix embeddings) {
   Index(docs);
-  if (embeddings.rows() == docs.size()) {
-    dense_ = std::move(embeddings);
-  } else {
-    TABBIN_LOG(WARNING) << "dense index dropped: " << embeddings.rows()
-                        << " embedding rows for " << docs.size() << " docs";
+  if (embeddings.rows() != docs.size()) {
+    return Status::InvalidArgument(
+        "RagLlmSimulator::Index: " + std::to_string(embeddings.rows()) +
+        " embedding rows for " + std::to_string(docs.size()) + " documents");
   }
+  dense_ = std::move(embeddings);
+  return Status::OK();
 }
 
 Status RagLlmSimulator::SaveIndex(const std::string& path) const {

@@ -41,6 +41,14 @@ class Bm25Retriever {
 
   void Index(const std::vector<RagDocument>& docs);
 
+  /// \brief Appends documents incrementally: postings and length stats
+  /// are extended and the idf table recomputed once per batch. The
+  /// resulting state is identical to re-Indexing the full document list.
+  void AddAll(const std::vector<RagDocument>& docs);
+  void Add(const RagDocument& doc) { AddAll({doc}); }
+
+  size_t size() const { return doc_terms_.size(); }
+
   /// \brief Indices of the top-k documents for a text query, best first.
   /// `exclude` removes the query document itself.
   std::vector<int> Retrieve(const std::string& query, int k,
@@ -49,9 +57,15 @@ class Bm25Retriever {
  private:
   double Score(const std::vector<std::string>& query_terms, int doc) const;
 
+  // Tokenizes one document into postings/length stats (no idf update).
+  void AppendDoc(const RagDocument& doc);
+  // Recomputes idf for every term (document count changed).
+  void RecomputeIdf();
+
   double k1_, b_;
   std::vector<std::vector<std::string>> doc_terms_;
   std::vector<double> doc_len_;
+  double total_len_ = 0;
   double avg_len_ = 0;
   std::unordered_map<std::string, std::vector<int>> postings_;
   std::unordered_map<std::string, double> idf_;
@@ -85,7 +99,11 @@ class RagLlmSimulator {
   /// storage). The retrieval pool becomes the union of the BM25 top-k and
   /// the cosine top-k over the embedding matrix, so lexically disjoint
   /// but semantically close documents stay retrievable.
-  void Index(const std::vector<RagDocument>& docs, EmbeddingMatrix embeddings);
+  ///
+  /// InvalidArgument when the embedding row count does not match the
+  /// document count; the simulator is left indexed lexical-only.
+  Status Index(const std::vector<RagDocument>& docs,
+               EmbeddingMatrix embeddings);
 
   /// \brief Ranked document indices for a query document (top-k cluster),
   /// mimicking "prompt the LLM with the retrieved candidates".

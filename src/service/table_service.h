@@ -1,0 +1,286 @@
+// TabBinService — the serving facade over the whole encode → index →
+// query lifecycle.
+//
+// Every caller used to hand-wire its own TabBiNSystem + EncoderEngine +
+// LshIndex + LabeledEmbeddingSet plumbing and rebuild indexes from
+// scratch on any corpus change. The service owns all of it behind one
+// request/response API whose only public error channel is Status/Result:
+//
+//   auto sys = std::make_shared<TabBiNSystem>(
+//       TabBiNSystem::Create(corpus, config));
+//   sys->Pretrain(corpus);
+//   TabBinService svc(sys);
+//   auto report = svc.AddTables(corpus);             // incremental insert
+//   auto similar = svc.SimilarTables({.table_id = "t-3", .k = 5});
+//   auto grounded = svc.Ask({.question = "overall survival months"});
+//   svc.Save("service.tbsn");                        // full state snapshot
+//
+// Incremental updates: AddTables encodes new tables through
+// EncoderEngine::EncodeBatch and inserts their embeddings into the live
+// per-task LSH indexes — no full rebuild. RemoveTable tombstones; dead
+// entries are filtered out of every response.
+//
+// Thread-safety contract: queries (SimilarColumns / SimilarTables /
+// SimilarEntities / Ask and the *Embedding accessors) may run from any
+// number of threads concurrently; AddTables / RemoveTable serialize
+// behind a writer lock (std::shared_mutex). A response is always
+// computed against one consistent corpus state — never a torn view of a
+// half-applied batch.
+#ifndef TABBIN_SERVICE_TABLE_SERVICE_H_
+#define TABBIN_SERVICE_TABLE_SERVICE_H_
+
+#include <memory>
+#include <shared_mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/encoder_engine.h"
+#include "core/tabbin.h"
+#include "llm/rag_simulator.h"
+#include "tasks/lsh.h"
+#include "util/status.h"
+
+namespace tabbin {
+
+/// \brief Construction knobs for a TabBinService.
+struct ServiceOptions {
+  /// EncoderEngine LRU capacity; 0 means auto — the cache grows with
+  /// the corpus (every AddTables reserves room for all live tables).
+  size_t encoder_cache_capacity = 1024;
+  /// LSH blocking geometry shared by the three per-task indexes. The
+  /// seed is part of the service identity: two services built with the
+  /// same seed over the same insertion order answer queries identically.
+  int lsh_bits = 8;
+  int lsh_tables = 12;
+  uint64_t lsh_seed = 1234;
+  /// Index textual data cells as entities (the EC task surface).
+  bool index_entities = true;
+  /// Cap on entity cells indexed per table (bounds index growth on wide
+  /// tables).
+  int max_entities_per_table = 64;
+};
+
+/// \brief Outcome of one AddTables batch.
+struct AddReport {
+  int tables_added = 0;
+  int tables_replaced = 0;  // same id re-added: old entry tombstoned
+  int columns_indexed = 0;
+  int entities_indexed = 0;
+};
+
+/// \brief One retrieved item. `col`/`row` are -1 when not applicable to
+/// the task (e.g. table matches have neither).
+struct ServiceMatch {
+  std::string table_id;
+  std::string caption;
+  int col = -1;
+  int row = -1;
+  std::string entity;  // surface form, entity matches only
+  float score = 0;
+};
+
+/// \brief Response shared by the three similarity endpoints.
+struct QueryResponse {
+  std::vector<ServiceMatch> matches;  // best first
+  int candidates = 0;                 // LSH candidate count before ranking
+};
+
+/// \brief Column similarity request: either a corpus table by id, or an
+/// ad-hoc table supplied inline (encoded on the fly, not inserted).
+struct ColumnQueryRequest {
+  std::string table_id;
+  const Table* table = nullptr;  // overrides table_id when set
+  int col = 0;                   // grid column index
+  int k = 10;
+};
+
+struct TableQueryRequest {
+  std::string table_id;
+  const Table* table = nullptr;
+  int k = 10;
+};
+
+struct EntityQueryRequest {
+  std::string table_id;
+  const Table* table = nullptr;
+  int row = 0;
+  int col = 0;
+  int k = 10;
+};
+
+/// \brief Free-text RAG grounding request (the paper's Sycamore-style
+/// front end): BM25 over serialized live tables unioned with dense
+/// cosine candidates, ranked by embedding similarity.
+struct AskRequest {
+  std::string question;
+  int k = 5;
+};
+
+struct AskResponse {
+  std::vector<ServiceMatch> tables;  // grounding set, best first
+  std::string answer;                // one-line grounded summary
+};
+
+class TabBinService {
+ public:
+  /// \param system Trained (or deterministically initialized) system;
+  /// shared so callers may keep using it directly (e.g. baselines that
+  /// borrow its vocabulary).
+  explicit TabBinService(std::shared_ptr<TabBiNSystem> system,
+                         ServiceOptions options = {});
+
+  TabBinService(const TabBinService&) = delete;
+  TabBinService& operator=(const TabBinService&) = delete;
+
+  // --- Corpus updates (writer lock) -------------------------------------
+
+  /// \brief Validates, encodes (batched, outside the writer lock) and
+  /// inserts tables into the live indexes. Atomic: on error nothing was
+  /// inserted. A table whose id is already live replaces the old entry.
+  /// Tables with empty ids get a content-fingerprint id.
+  Result<AddReport> AddTables(const std::vector<Table>& tables);
+
+  /// \brief Tombstones a live table; its columns/entities stop appearing
+  /// in responses. NotFound when no live table has the id.
+  Status RemoveTable(const std::string& id);
+
+  /// \brief Rebuilds every index over the live tables only, reclaiming
+  /// the memory and bucket pollution that removals/replacements leave
+  /// behind (dead entries are otherwise only filtered at rank time).
+  /// Holds the writer lock for the duration — an admin operation for
+  /// replace-heavy workloads, not a per-request call. Responses before
+  /// and after compaction are identical.
+  Status Compact();
+
+  // --- Queries (shared lock; safe from many threads) --------------------
+
+  Result<QueryResponse> SimilarColumns(const ColumnQueryRequest& req) const;
+  Result<QueryResponse> SimilarTables(const TableQueryRequest& req) const;
+  Result<QueryResponse> SimilarEntities(const EntityQueryRequest& req) const;
+  Result<AskResponse> Ask(const AskRequest& req) const;
+
+  // --- Embedding accessors ----------------------------------------------
+  // The exact embedding path the indexes are built from, cached through
+  // the engine; thread-safe. Benchmarks and evaluation pipelines route
+  // through these so paper numbers exercise the serving code.
+
+  std::vector<float> ColumnEmbedding(const Table& table, int col) const;
+  std::vector<float> TableEmbedding(const Table& table) const;
+  std::vector<float> EntityEmbedding(const Table& table, int row,
+                                     int col) const;
+
+  // --- Introspection ----------------------------------------------------
+
+  size_t NumLiveTables() const;
+  size_t NumIndexedColumns() const;  // includes tombstoned entries
+  size_t NumIndexedEntities() const;
+  std::vector<std::string> LiveTableIds() const;
+
+  TabBiNSystem& system() { return *system_; }
+  const TabBiNSystem& system() const { return *system_; }
+  EncoderEngine& engine() { return *engine_; }
+
+  // --- Persistence ------------------------------------------------------
+
+  /// \brief Appends the entire service state — system, warm encoder
+  /// cache, corpus tables, all three indexes — to a snapshot
+  /// ("tabbin.*", "encoder.cache", "service.*" sections).
+  void AppendTo(SnapshotWriter* snapshot) const;
+
+  /// \brief Restores a service saved with AppendTo. The restored service
+  /// answers every query identically to the saved one.
+  static Result<std::unique_ptr<TabBinService>> FromSnapshot(
+      const SnapshotReader& snapshot);
+
+  /// \brief File wrappers over AppendTo / FromSnapshot.
+  Status Save(const std::string& path) const;
+  static Result<std::unique_ptr<TabBinService>> Load(const std::string& path);
+
+ private:
+  struct TableSlot {
+    Table table;
+    bool live = true;
+    // Index rows owned by this slot, so id-addressed queries are served
+    // from the stored embeddings instead of re-encoding: exactly one
+    // table row, a contiguous column range, a contiguous entity range
+    // (-1 / empty when absent).
+    int tbl_row = -1;
+    int col_begin = -1, col_end = -1;
+    int ent_begin = -1, ent_end = -1;
+  };
+  struct ColumnRef {
+    int slot = 0;
+    int col = 0;
+  };
+  struct EntityRef {
+    int slot = 0;
+    int row = 0;
+    int col = 0;
+    std::string surface;
+  };
+
+  // Everything AddTables derives from one table before touching shared
+  // state (embeddings computed, widths validated, grounding doc built).
+  struct PreparedTable {
+    std::vector<std::pair<int, std::vector<float>>> columns;  // grid col
+    std::vector<float> table_vec;
+    std::vector<std::pair<EntityRef, std::vector<float>>> entities;
+    RagDocument doc;
+  };
+
+  // Embeds one encoded table for all three indexes; no lock needed.
+  Result<PreparedTable> PrepareTable(const Table& table,
+                                     const TableEncodings& enc) const;
+
+  // Requires mu_ held exclusively. Appends one prepared table as a new
+  // live slot under `id` (tombstoning a previous holder of the id).
+  void InsertPreparedLocked(const Table& table, const std::string& id,
+                            PreparedTable&& prepared, AddReport* report);
+
+  // Requires mu_ held exclusively. Re-derives the BM25 grounding index
+  // over live slots (needed after removals/replacements; pure appends go
+  // through Bm25Retriever::Add instead).
+  void RebuildAskIndexLocked();
+
+  // Shared ranking core: LSH candidates -> filter live -> exact cosine.
+  template <typename Ref, typename Accept, typename Emit>
+  QueryResponse RankLocked(const LshIndex& index, const EmbeddingMatrix& vecs,
+                           const std::vector<Ref>& refs, VecView query_vec,
+                           int k, const Accept& accept,
+                           const Emit& emit) const;
+
+  std::shared_ptr<TabBiNSystem> system_;
+  std::unique_ptr<EncoderEngine> engine_;
+  ServiceOptions options_;
+
+  mutable std::shared_mutex mu_;
+  std::vector<TableSlot> slots_;
+  std::unordered_map<std::string, int> id_to_slot_;  // live ids only
+  int live_count_ = 0;
+
+  LshIndex col_index_;
+  EmbeddingMatrix col_vecs_;  // row i ↔ col_refs_[i] ↔ LSH id i
+  std::vector<ColumnRef> col_refs_;
+
+  LshIndex tbl_index_;
+  EmbeddingMatrix tbl_vecs_;
+  std::vector<int> tbl_refs_;  // row i -> slot
+
+  LshIndex ent_index_;
+  EmbeddingMatrix ent_vecs_;
+  std::vector<EntityRef> ent_refs_;
+
+  // RAG grounding (derived state; rebuilt on every corpus change and on
+  // load, never serialized).
+  Bm25Retriever ask_retriever_;
+  std::vector<int> ask_slots_;  // BM25 doc i -> slot
+};
+
+/// \brief Serializes a table the way the service's Ask endpoint sees it
+/// (caption + tuple text), shared with the Table 14 benchmark.
+std::string ServiceDocumentText(const Table& table);
+
+}  // namespace tabbin
+
+#endif  // TABBIN_SERVICE_TABLE_SERVICE_H_

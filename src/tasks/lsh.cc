@@ -1,7 +1,7 @@
 #include "tasks/lsh.h"
 
 #include <algorithm>
-#include <cassert>
+#include <string>
 
 #include "util/snapshot.h"
 
@@ -34,12 +34,18 @@ uint64_t LshIndex::HashInTable(int table, VecView vec) const {
   return code;
 }
 
-void LshIndex::Insert(int id, VecView vec) {
-  assert(static_cast<int>(vec.size()) == dim_);
+Status LshIndex::Insert(int id, VecView vec) {
+  if (static_cast<int>(vec.size()) != dim_) {
+    return Status::InvalidArgument(
+        "LshIndex::Insert: vector size " + std::to_string(vec.size()) +
+        " does not match index dim " + std::to_string(dim_) + " (id " +
+        std::to_string(id) + ")");
+  }
   for (int t = 0; t < num_tables_; ++t) {
     tables_[static_cast<size_t>(t)][HashInTable(t, vec)].push_back(id);
   }
   ++count_;
+  return Status::OK();
 }
 
 void LshIndex::Serialize(BinaryWriter* w) const {
@@ -117,6 +123,10 @@ Result<LshIndex> LshIndex::Load(const std::string& path) {
 
 std::vector<int> LshIndex::Query(VecView vec) const {
   std::vector<int> out;
+  // A mis-sized probe would hash through truncated dot products and
+  // return candidates that are noise; an empty candidate set is the
+  // honest answer.
+  if (static_cast<int>(vec.size()) != dim_) return out;
   for (int t = 0; t < num_tables_; ++t) {
     auto it = tables_[static_cast<size_t>(t)].find(HashInTable(t, vec));
     if (it == tables_[static_cast<size_t>(t)].end()) continue;

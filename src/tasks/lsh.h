@@ -23,14 +23,20 @@ class LshIndex {
   /// \param num_tables Independent hash tables (recall knob).
   LshIndex(int dim, int num_bits, int num_tables, uint64_t seed = 1234);
 
-  /// \brief Adds a vector under an integer id.
-  void Insert(int id, VecView vec);
+  /// \brief Adds a vector under an integer id. Rejects vectors whose
+  /// size differs from the index dimensionality with InvalidArgument —
+  /// a mis-sized vector would hash against truncated hyperplanes and
+  /// silently poison every bucket it lands in.
+  Status Insert(int id, VecView vec);
 
   /// \brief Ids colliding with `vec` in at least one table (candidates
   /// for exact cosine ranking), in ascending id order so that blocking —
   /// and everything ranked after it — is deterministic across platforms.
-  /// The query id itself may be included.
+  /// The query id itself may be included. A vector whose size differs
+  /// from the index dimensionality matches nothing (empty result).
   std::vector<int> Query(VecView vec) const;
+
+  int dim() const { return dim_; }
 
   int size() const { return count_; }
 

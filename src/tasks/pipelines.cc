@@ -2,13 +2,37 @@
 
 namespace tabbin {
 
-LabeledEmbeddingSet EmbedColumns(const Corpus& corpus,
+TableProvider CorpusProvider(const Corpus& corpus) {
+  // Captures by reference: the corpus must outlive the provider, which
+  // every pipeline call below guarantees (the provider dies with the
+  // call expression).
+  return [&corpus](int table_index) -> const Table& {
+    return corpus.tables[static_cast<size_t>(table_index)];
+  };
+}
+
+LabeledEmbeddingSet EmbedColumns(const TableProvider& tables,
                                  const std::vector<ColumnQuery>& queries,
                                  const ColumnEmbedder& embedder) {
   LabeledEmbeddingSet out;
   for (const auto& q : queries) {
-    const Table& t = corpus.tables[static_cast<size_t>(q.table_index)];
-    out.Add(embedder(t, q.col), q.label);
+    out.Add(embedder(tables(q.table_index), q.col), q.label);
+  }
+  return out;
+}
+
+LabeledEmbeddingSet EmbedColumns(const Corpus& corpus,
+                                 const std::vector<ColumnQuery>& queries,
+                                 const ColumnEmbedder& embedder) {
+  return EmbedColumns(CorpusProvider(corpus), queries, embedder);
+}
+
+LabeledEmbeddingSet EmbedTables(const TableProvider& tables,
+                                const std::vector<TableQuery>& queries,
+                                const TableEmbedder& embedder) {
+  LabeledEmbeddingSet out;
+  for (const auto& q : queries) {
+    out.Add(embedder(tables(q.table_index)), q.label);
   }
   return out;
 }
@@ -16,10 +40,15 @@ LabeledEmbeddingSet EmbedColumns(const Corpus& corpus,
 LabeledEmbeddingSet EmbedTables(const Corpus& corpus,
                                 const std::vector<TableQuery>& queries,
                                 const TableEmbedder& embedder) {
+  return EmbedTables(CorpusProvider(corpus), queries, embedder);
+}
+
+LabeledEmbeddingSet EmbedEntities(const TableProvider& tables,
+                                  const std::vector<EntityQuery>& queries,
+                                  const CellEmbedder& embedder) {
   LabeledEmbeddingSet out;
   for (const auto& q : queries) {
-    const Table& t = corpus.tables[static_cast<size_t>(q.table_index)];
-    out.Add(embedder(t), q.label);
+    out.Add(embedder(tables(q.table_index), q.row, q.col), q.label);
   }
   return out;
 }
@@ -27,12 +56,7 @@ LabeledEmbeddingSet EmbedTables(const Corpus& corpus,
 LabeledEmbeddingSet EmbedEntities(const Corpus& corpus,
                                   const std::vector<EntityQuery>& queries,
                                   const CellEmbedder& embedder) {
-  LabeledEmbeddingSet out;
-  for (const auto& q : queries) {
-    const Table& t = corpus.tables[static_cast<size_t>(q.table_index)];
-    out.Add(embedder(t, q.row, q.col), q.label);
-  }
-  return out;
+  return EmbedEntities(CorpusProvider(corpus), queries, embedder);
 }
 
 bool IsNumericColumn(const Table& table, int col, double threshold) {

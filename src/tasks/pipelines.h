@@ -37,17 +37,34 @@ using TableEmbedder = std::function<std::vector<float>(const Table&)>;
 using CellEmbedder =
     std::function<std::vector<float>(const Table&, int row, int col)>;
 
+/// \brief Resolves a query's table_index to a table. The embedding
+/// pipelines only need this one lookup, so they run unchanged over any
+/// table store — a Corpus, a TabBinService corpus, a test fixture.
+using TableProvider = std::function<const Table&(int table_index)>;
+
+/// \brief Adapts a Corpus to the provider interface.
+TableProvider CorpusProvider(const Corpus& corpus);
+
 /// \brief Embeds every column query (CC task input).
+LabeledEmbeddingSet EmbedColumns(const TableProvider& tables,
+                                 const std::vector<ColumnQuery>& queries,
+                                 const ColumnEmbedder& embedder);
 LabeledEmbeddingSet EmbedColumns(const Corpus& corpus,
                                  const std::vector<ColumnQuery>& queries,
                                  const ColumnEmbedder& embedder);
 
 /// \brief Embeds every table query (TC task input).
+LabeledEmbeddingSet EmbedTables(const TableProvider& tables,
+                                const std::vector<TableQuery>& queries,
+                                const TableEmbedder& embedder);
 LabeledEmbeddingSet EmbedTables(const Corpus& corpus,
                                 const std::vector<TableQuery>& queries,
                                 const TableEmbedder& embedder);
 
 /// \brief Embeds every entity query (EC task input).
+LabeledEmbeddingSet EmbedEntities(const TableProvider& tables,
+                                  const std::vector<EntityQuery>& queries,
+                                  const CellEmbedder& embedder);
 LabeledEmbeddingSet EmbedEntities(const Corpus& corpus,
                                   const std::vector<EntityQuery>& queries,
                                   const CellEmbedder& embedder);

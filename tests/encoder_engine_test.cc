@@ -3,7 +3,9 @@
 // serial EncodeAll under the thread pool.
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <memory>
+#include <thread>
 #include <vector>
 
 #include "core/encoder_engine.h"
@@ -119,6 +121,32 @@ TEST(EncoderEngineTest, BatchedMatchesSerialBitwise) {
     TableEncodings serial = sys->EncodeAll(tables[i]);
     ExpectEncodingsEqual(*batched[i], serial);
   }
+}
+
+TEST(EncoderEngineTest, ConcurrentMissesAreSingleFlight) {
+  // Two threads racing on the same uncached table: the first to arrive
+  // runs the forward passes, the second waits on the in-flight result.
+  // Whichever interleaving the scheduler picks, exactly one encode runs.
+  auto tables = FixtureTables();
+  auto sys = MakeSystem(tables);
+  EncoderEngine engine(sys.get(), 8);
+
+  std::atomic<int> ready{0};
+  std::shared_ptr<const TableEncodings> results[2];
+  auto worker = [&](int slot) {
+    ready.fetch_add(1);
+    while (ready.load() < 2) {
+    }  // line both threads up on the same miss
+    results[slot] = engine.Encode(tables[0]);
+  };
+  std::thread t0(worker, 0), t1(worker, 1);
+  t0.join();
+  t1.join();
+
+  EXPECT_EQ(engine.misses(), 1u);
+  EXPECT_EQ(engine.hits(), 1u);
+  ASSERT_TRUE(results[0] && results[1]);
+  EXPECT_EQ(results[0].get(), results[1].get());  // one shared encoding
 }
 
 TEST(EncoderEngineTest, BatchDeduplicatesAndWarmsCache) {

@@ -113,22 +113,24 @@ TEST(RagSimulatorTest, DenseGroundingRecoversLexicallyDisjointPairs) {
   EXPECT_TRUE(lexical.RankFor(0, 5).empty());  // no shared terms, no pool
 
   RagLlmSimulator grounded(profile, 7);
-  grounded.Index(docs, dense);
+  ASSERT_TRUE(grounded.Index(docs, dense).ok());
   auto ranked = grounded.RankFor(0, 5);
   ASSERT_FALSE(ranked.empty());
   EXPECT_EQ(ranked[0], 1);  // the embedding-space partner ranks first
 }
 
-TEST(RagSimulatorTest, MismatchedDenseIndexIsIgnored) {
+TEST(RagSimulatorTest, MismatchedDenseIndexIsRejected) {
   auto docs = TopicDocs();
   EmbeddingMatrix dense;
   dense.AppendRow(std::vector<float>{1.0f});  // one row for many docs
   RagLlmSimulator sim(ProfileFor("gpt4+rag"), 5);
-  sim.Index(docs, dense);
+  Status st = sim.Index(docs, dense);
+  EXPECT_EQ(st.code(), StatusCode::kInvalidArgument);
   RagLlmSimulator plain(ProfileFor("gpt4+rag"), 5);
   plain.Index(docs);
-  // The bad dense index is dropped; behaviour matches the lexical-only
-  // simulator exactly (same seed, same randomness consumption).
+  // The bad dense index is rejected with a Status; the simulator stays
+  // lexical-only and matches the plain one exactly (same seed, same
+  // randomness consumption).
   auto a = sim.Evaluate(10, 24);
   auto b = plain.Evaluate(10, 24);
   EXPECT_DOUBLE_EQ(a.map, b.map);

@@ -458,7 +458,7 @@ TEST(SnapshotTest, RagIndexRoundTripIdenticalRanking) {
   }
 
   RagLlmSimulator a(ProfileFor("gpt4+rag"), /*seed=*/31);
-  a.Index(docs, dense);
+  ASSERT_TRUE(a.Index(docs, dense).ok());
   const std::string path = "/tmp/tabbin_snap_rag.tbsn";
   ASSERT_TRUE(a.SaveIndex(path).ok());
 

@@ -135,6 +135,28 @@ TEST(LshTest, FindsNearDuplicates) {
             candidates.end());
 }
 
+TEST(LshTest, RejectsMismatchedVectorSizes) {
+  // Regression: Insert/Query used to silently accept vectors whose size
+  // differs from dim_ — a shorter vector hashed against truncated
+  // hyperplane dot products and poisoned the buckets it landed in.
+  LshIndex index(/*dim=*/8, 4, 2);
+  std::vector<float> ok(8, 1.0f);
+  std::vector<float> shorter(5, 1.0f);
+  std::vector<float> longer(11, 1.0f);
+
+  ASSERT_TRUE(index.Insert(0, ok).ok());
+  Status st = index.Insert(1, shorter);
+  EXPECT_EQ(st.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(st.message().find("does not match index dim"), std::string::npos);
+  EXPECT_EQ(index.Insert(2, longer).code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(index.size(), 1);  // rejected inserts left no trace
+
+  // Mis-sized probes match nothing; a correctly sized probe still works.
+  EXPECT_TRUE(index.Query(shorter).empty());
+  EXPECT_TRUE(index.Query(longer).empty());
+  EXPECT_EQ(index.Query(ok), std::vector<int>{0});
+}
+
 TEST(LshTest, CandidateSetSmallerThanCorpusForRandomVectors) {
   Rng rng(4);
   const int dim = 32;
