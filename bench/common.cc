@@ -11,13 +11,18 @@ namespace bench {
 
 namespace {
 std::string g_snapshot_dir;
+int g_shards = 1;
 }  // namespace
 
 void InitFromArgs(int argc, char** argv) {
   const std::string prefix = "--snapshot_dir=";
+  const std::string shards_prefix = "--shards=";
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg.rfind(prefix, 0) == 0) g_snapshot_dir = arg.substr(prefix.size());
+    if (arg.rfind(shards_prefix, 0) == 0) {
+      g_shards = std::max(1, std::atoi(arg.c_str() + shards_prefix.size()));
+    }
   }
   if (g_snapshot_dir.empty()) {
     if (const char* env = std::getenv("TABBIN_SNAPSHOT_DIR")) {
@@ -27,6 +32,8 @@ void InitFromArgs(int argc, char** argv) {
 }
 
 const std::string& SnapshotDir() { return g_snapshot_dir; }
+
+int NumShards() { return g_shards; }
 
 TabBiNConfig BenchTabBiNConfig() {
   TabBiNConfig cfg;
@@ -96,7 +103,7 @@ BenchEnv::BenchEnv(const std::string& dataset, const ModelSet& models,
             << " was written under a different bench config; re-pretraining";
       } else if (sys.ok()) {
         tabbin_ = std::make_shared<TabBiNSystem>(std::move(sys).value());
-        service_ = std::make_unique<TabBinService>(tabbin_, service_opts);
+        service_ = MakeServing(tabbin_, NumShards(), service_opts);
         auto warmed = service_->engine().WarmStart(snapshot.value());
         if (warmed.ok()) {
           TABBIN_LOG(INFO) << dataset << ": warm start from " << snap_path
@@ -150,7 +157,7 @@ BenchEnv::BenchEnv(const std::string& dataset, const ModelSet& models,
       TABBIN_LOG(INFO) << dataset << ": pre-training TabBiN (4 models)";
       tabbin_->Pretrain(data_.corpus.tables);
     }
-    service_ = std::make_unique<TabBinService>(tabbin_, service_opts);
+    service_ = MakeServing(tabbin_, NumShards(), service_opts);
   }
   if (models.tabbin) PrewarmEncodings();
   if (models.tabbin && !warm && !snap_path.empty()) {
@@ -197,7 +204,7 @@ BenchEnv::BenchEnv(const std::string& dataset, const ModelSet& models,
   }
 }
 
-TabBinService& BenchEnv::service() {
+TabBinServing& BenchEnv::service() {
   if (!service_indexed_) {
     // Encodings are already prewarmed, so indexing costs composites +
     // LSH inserts only.

@@ -22,6 +22,7 @@
 #include "core/encoder_engine.h"
 #include "core/tabbin.h"
 #include "datagen/corpus_gen.h"
+#include "service/sharded_service.h"
 #include "service/table_service.h"
 #include "tasks/clustering.h"
 #include "tasks/pipelines.h"
@@ -37,16 +38,23 @@ struct ModelSet {
   bool word2vec = false;
 };
 
-/// \brief Parses harness flags shared by every paper-table binary.
-/// Currently: `--snapshot_dir=DIR` (falling back to the
-/// TABBIN_SNAPSHOT_DIR environment variable) — when set, BenchEnv loads
-/// `<dir>/<dataset>_s<seed>.tbsn` instead of pretraining TabBiN, and
-/// writes that snapshot (models + cached table encodings) after the
-/// first cold run, so re-running any paper table skips pretraining.
+/// \brief Parses harness flags shared by every paper-table binary:
+///   `--snapshot_dir=DIR` (falling back to the TABBIN_SNAPSHOT_DIR
+///   environment variable) — when set, BenchEnv loads
+///   `<dir>/<dataset>_s<seed>.tbsn` instead of pretraining TabBiN, and
+///   writes that snapshot (models + cached table encodings) after the
+///   first cold run, so re-running any paper table skips pretraining.
+///   `--shards=N` — BenchEnv serves TabBiN through a ShardedTabBinService
+///   with N hash-partitioned shards instead of the single-shard
+///   TabBinService (answers are byte-identical; the knob exists so the
+///   paper tables can exercise the scatter-gather path).
 void InitFromArgs(int argc, char** argv);
 
 /// \brief Snapshot directory from InitFromArgs; empty when disabled.
 const std::string& SnapshotDir();
+
+/// \brief Shard count from InitFromArgs (default 1 = single shard).
+int NumShards();
 
 /// \brief The CPU-scale TabBiN configuration used by all benchmarks.
 TabBiNConfig BenchTabBiNConfig();
@@ -74,10 +82,11 @@ class BenchEnv {
   const LabeledCorpus& data() const { return data_; }
   const Corpus& corpus() const { return data_.corpus; }
   TabBiNSystem& tabbin() { return *tabbin_; }
-  /// \brief The serving facade over this dataset. The corpus is indexed
+  /// \brief The serving facade over this dataset — a TabBinService, or
+  /// a ShardedTabBinService under `--shards=N`. The corpus is indexed
   /// (AddTables) lazily on first use, so benchmarks that only need the
   /// embedding accessors don't pay for LSH/entity index construction.
-  TabBinService& service();
+  TabBinServing& service();
   EncoderEngine& engine() { return service_->engine(); }
   TutaModel& tuta() { return *tuta_; }
   BertLikeModel& bertlike() { return *bert_; }
@@ -119,7 +128,7 @@ class BenchEnv {
  private:
   LabeledCorpus data_;
   std::shared_ptr<TabBiNSystem> tabbin_;  // shared with service_
-  std::unique_ptr<TabBinService> service_;
+  std::unique_ptr<TabBinServing> service_;
   bool service_indexed_ = false;
   std::vector<std::shared_ptr<const TableEncodings>> prewarmed_;
   std::unique_ptr<TutaModel> tuta_;

@@ -8,9 +8,13 @@
 #include <memory>
 #include <string>
 
+#include <map>
+#include <mutex>
+
 #include "core/encoder_engine.h"
 #include "core/tabbin.h"
 #include "datagen/corpus_gen.h"
+#include "service/sharded_service.h"
 #include "service/table_service.h"
 #include "tasks/clustering.h"
 #include "tasks/lsh.h"
@@ -205,6 +209,90 @@ void BM_ServiceFullRebuild(benchmark::State& state) {
   state.SetLabel("tables=" + std::to_string(tables.size()));
 }
 BENCHMARK(BM_ServiceFullRebuild)->Unit(benchmark::kMillisecond);
+
+// A corpus sized so per-query ranking work (LSH probe + exact cosine)
+// dominates the per-shard fixed costs; the 40-table SharedCorpus would
+// leave ~5 tables per shard and measure lock overhead only.
+const std::vector<Table>& MixedBenchCorpus() {
+  static const std::vector<Table>* tables = [] {
+    GeneratorOptions opts;
+    opts.num_tables = 120;
+    opts.seed = 23;
+    return new std::vector<Table>(
+        GenerateDataset("cancerkg", opts).corpus.tables);
+  }();
+  return *tables;
+}
+
+// One sharded service per shard count, shared across the benchmark's
+// threads (lazily built under a mutex — benchmark threads all race into
+// the first iteration).
+ShardedTabBinService& SharedShardedService(int shards) {
+  static std::mutex mu;
+  static auto* services =
+      new std::map<int, std::unique_ptr<ShardedTabBinService>>();
+  std::lock_guard<std::mutex> lock(mu);
+  auto& slot = (*services)[shards];
+  if (!slot) {
+    ServiceOptions opts;
+    opts.encoder_cache_capacity = MixedBenchCorpus().size() + 16;
+    slot = std::make_unique<ShardedTabBinService>(SharedSystemPtr(), shards,
+                                                  opts);
+    slot->AddTables(MixedBenchCorpus());
+  }
+  return *slot;
+}
+
+// Mixed read/write serving load — the workload sharding exists for.
+// Thread 0 churns one dedicated table id (add + remove per iteration;
+// the content repeats, so encodes are engine cache hits and the
+// measured cost is the write path itself) while the remaining threads
+// stream SimilarColumns queries across the whole corpus. With one
+// shard, every write serializes all readers behind a single writer
+// lock; with 8 shards only readers hitting the writer's shard ever
+// wait. items/s is the aggregate mixed-op throughput — compare the
+// shards=1 and shards=8 rows at ->Threads(8). The sharded row needs
+// real hardware parallelism to pull ahead: on a single-core host the 8
+// benchmark threads timeshare one CPU, rwlock contention (the PR 3
+// writer-starvation pathology) cannot manifest, and the per-shard
+// fan-out is pure overhead. Iterations are pinned so both
+// configurations accumulate the same number of tombstoned slots
+// (writer churn appends dead rows until the next Compact).
+void BM_ServiceMixedReadWrite(benchmark::State& state) {
+  const int shards = static_cast<int>(state.range(0));
+  ShardedTabBinService& svc = SharedShardedService(shards);
+  const auto& tables = MixedBenchCorpus();
+  if (state.thread_index() == 0) {
+    Table churn = tables[0];
+    churn.set_id("churn-" + std::to_string(shards));
+    churn.set_caption("churn table");
+    for (auto _ : state) {
+      benchmark::DoNotOptimize(svc.AddTables({churn}));
+      benchmark::DoNotOptimize(svc.RemoveTable(churn.id()));
+    }
+    // No Compact here: benchmark threads leave their timed loops at
+    // different times, and a writer-locked rebuild would land inside
+    // the readers' measurements. The pinned iteration count bounds the
+    // tombstone growth identically for both shard configurations.
+  } else {
+    size_t i = static_cast<size_t>(state.thread_index());
+    for (auto _ : state) {
+      const Table& t = tables[i % tables.size()];
+      i += 7;  // stride so threads spread over tables (and shards)
+      auto r = svc.SimilarColumns({t.id(), nullptr, t.vmd_cols(), 10});
+      benchmark::DoNotOptimize(r);
+    }
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.SetLabel("shards=" + std::to_string(shards));
+}
+BENCHMARK(BM_ServiceMixedReadWrite)
+    ->Arg(1)
+    ->Arg(8)
+    ->Threads(8)
+    ->Iterations(400)
+    ->UseRealTime()
+    ->Unit(benchmark::kMicrosecond);
 
 void BM_LshQuery(benchmark::State& state) {
   const int dim = 72;

@@ -14,16 +14,21 @@
 //   tabbin_cli load-model <model.tbsn> <corpus.json>
 //       Warm-start from a snapshot (no pretraining, cached encodings)
 //       and report TC MAP@20 / MRR@20.
-//   tabbin_cli build-service <corpus.json> <service.tbsn>
-//       Pretrain, index the corpus in a TabBinService, and snapshot the
-//       whole service (models + encodings + corpus + LSH indexes).
-//   tabbin_cli query <service.tbsn> table <id> [k]
-//   tabbin_cli query <service.tbsn> column <id> <col> [k]
-//   tabbin_cli query <service.tbsn> ask <question> [k]
+//   tabbin_cli build-service [--shards=N] <corpus.json> <service.tbsn>
+//       Pretrain, index the corpus in a serving core (--shards=N > 1
+//       hash-partitions it across a ShardedTabBinService), and snapshot
+//       the whole service (models + encodings + corpus + indexes).
+//   tabbin_cli query [--shards=N] <service.tbsn> table <id> [k]
+//   tabbin_cli query [--shards=N] <service.tbsn> column <id> <col> [k]
+//   tabbin_cli query [--shards=N] <service.tbsn> ask <question> [k]
 //       Serve similarity / grounding queries from a service snapshot —
-//       no corpus file, no pretraining, no index rebuild.
+//       no corpus file, no pretraining, no index rebuild. The snapshot
+//       format (single vs sharded) is auto-detected; --shards=N
+//       re-partitions onto N shards regardless of how it was saved.
+//       Answers are byte-identical at any shard count.
 //   tabbin_cli inspect <corpus.json> <table_index>
 //       Print a table as CSV plus its coordinate trees.
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
 #include <map>
@@ -35,6 +40,7 @@
 #include "core/tabbin.h"
 #include "datagen/corpus_gen.h"
 #include "io/table_io.h"
+#include "service/sharded_service.h"
 #include "service/table_service.h"
 #include "table/bicoord.h"
 #include "tasks/clustering.h"
@@ -63,12 +69,18 @@ int Usage() {
                "  tabbin_cli eval <corpus.json>\n"
                "  tabbin_cli save-model <corpus.json> <model.tbsn>\n"
                "  tabbin_cli load-model <model.tbsn> <corpus.json>\n"
-               "  tabbin_cli build-service <corpus.json> <service.tbsn>\n"
-               "  tabbin_cli query <service.tbsn> table <id> [k]\n"
-               "  tabbin_cli query <service.tbsn> column <id> <col> [k]\n"
-               "  tabbin_cli query <service.tbsn> ask <question> [k]\n"
+               "  tabbin_cli build-service [--shards=N] <corpus.json> "
+               "<service.tbsn>\n"
+               "  tabbin_cli query [--shards=N] <service.tbsn> table <id> "
+               "[k]\n"
+               "  tabbin_cli query [--shards=N] <service.tbsn> column <id> "
+               "<col> [k]\n"
+               "  tabbin_cli query [--shards=N] <service.tbsn> ask "
+               "<question> [k]\n"
                "  tabbin_cli inspect <corpus.json> <index>\n"
-               "datasets: webtables covidkg cancerkg saus cius\n");
+               "datasets: webtables covidkg cancerkg saus cius\n"
+               "--shards=N serves through N hash-partitioned shards\n"
+               "(scatter-gather; answers identical at any shard count)\n");
   return 2;
 }
 
@@ -257,7 +269,8 @@ int CmdLoadModel(const std::string& snapshot_path,
   return 0;
 }
 
-int CmdBuildService(const std::string& corpus_path, const std::string& out) {
+int CmdBuildService(const std::string& corpus_path, const std::string& out,
+                    int shards) {
   auto corpus = LoadOrDie(corpus_path);
   if (!corpus.ok()) {
     std::fprintf(stderr, "error: %s\n", corpus.status().ToString().c_str());
@@ -274,32 +287,34 @@ int CmdBuildService(const std::string& corpus_path, const std::string& out) {
   }
   ServiceOptions opts;
   opts.encoder_cache_capacity = corpus.value().tables.size();
-  TabBinService service(sys, opts);
-  auto report = service.AddTables(corpus.value().tables);
+  std::unique_ptr<TabBinServing> service = MakeServing(sys, shards, opts);
+  auto report = service->AddTables(corpus.value().tables);
   if (!report.ok()) {
     std::fprintf(stderr, "error: %s\n", report.status().ToString().c_str());
     return 1;
   }
-  Status st = service.Save(out);
+  Status st = service->Save(out);
   if (!st.ok()) {
     std::fprintf(stderr, "error: %s\n", st.ToString().c_str());
     return 1;
   }
   std::printf(
-      "service snapshot written to %s (%d tables, %d columns, %d entities)\n",
+      "service snapshot written to %s (%d tables, %d columns, %d entities, "
+      "%d shard%s)\n",
       out.c_str(), report.value().tables_added,
-      report.value().columns_indexed, report.value().entities_indexed);
+      report.value().columns_indexed, report.value().entities_indexed,
+      std::max(1, shards), shards > 1 ? "s" : "");
   return 0;
 }
 
 int CmdQuery(const std::string& snapshot_path, const std::string& kind,
-             const std::vector<std::string>& args) {
-  auto service = TabBinService::Load(snapshot_path);
+             const std::vector<std::string>& args, int shards) {
+  auto service = LoadServing(snapshot_path, shards);
   if (!service.ok()) {
     std::fprintf(stderr, "error: %s\n", service.status().ToString().c_str());
     return 1;
   }
-  TabBinService& svc = *service.value();
+  TabBinServing& svc = *service.value();
   std::printf("service: %zu live tables, %zu columns, %zu entities\n",
               svc.NumLiveTables(), svc.NumIndexedColumns(),
               svc.NumIndexedEntities());
@@ -376,28 +391,39 @@ int CmdInspect(const std::string& corpus_path, int index) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  if (argc < 2) return Usage();
-  const std::string cmd = argv[1];
-  if (cmd == "generate" && argc == 5) {
-    return CmdGenerate(argv[2], std::atoi(argv[3]), argv[4]);
+  // --shards=N may appear anywhere; strip it before positional parsing.
+  int shards = 0;  // 0 = default (single shard / saved layout)
+  std::vector<std::string> args;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--shards=", 0) == 0) {
+      shards = std::atoi(arg.c_str() + 9);
+      continue;
+    }
+    args.push_back(arg);
   }
-  if (cmd == "pretrain" && argc == 4) return CmdPretrain(argv[2], argv[3]);
-  if (cmd == "encode" && argc == 5) {
-    return CmdEncode(argv[2], argv[3], std::atoi(argv[4]));
+  const size_t n = args.size();
+  if (n < 1) return Usage();
+  const std::string& cmd = args[0];
+  if (cmd == "generate" && n == 4) {
+    return CmdGenerate(args[1], std::atoi(args[2].c_str()), args[3]);
   }
-  if (cmd == "eval" && argc == 3) return CmdEval(argv[2]);
-  if (cmd == "save-model" && argc == 4) return CmdSaveModel(argv[2], argv[3]);
-  if (cmd == "load-model" && argc == 4) return CmdLoadModel(argv[2], argv[3]);
-  if (cmd == "build-service" && argc == 4) {
-    return CmdBuildService(argv[2], argv[3]);
+  if (cmd == "pretrain" && n == 3) return CmdPretrain(args[1], args[2]);
+  if (cmd == "encode" && n == 4) {
+    return CmdEncode(args[1], args[2], std::atoi(args[3].c_str()));
   }
-  if (cmd == "query" && argc >= 5) {
-    std::vector<std::string> rest;
-    for (int i = 4; i < argc; ++i) rest.emplace_back(argv[i]);
-    return CmdQuery(argv[2], argv[3], rest);
+  if (cmd == "eval" && n == 2) return CmdEval(args[1]);
+  if (cmd == "save-model" && n == 3) return CmdSaveModel(args[1], args[2]);
+  if (cmd == "load-model" && n == 3) return CmdLoadModel(args[1], args[2]);
+  if (cmd == "build-service" && n == 3) {
+    return CmdBuildService(args[1], args[2], shards);
   }
-  if (cmd == "inspect" && argc == 4) {
-    return CmdInspect(argv[2], std::atoi(argv[3]));
+  if (cmd == "query" && n >= 4) {
+    std::vector<std::string> rest(args.begin() + 3, args.end());
+    return CmdQuery(args[1], args[2], rest, shards);
+  }
+  if (cmd == "inspect" && n == 3) {
+    return CmdInspect(args[1], std::atoi(args[2].c_str()));
   }
   return Usage();
 }

@@ -1,0 +1,162 @@
+// Request/response vocabulary of the serving layer, shared by the
+// single-shard TabBinService and the scatter-gather
+// ShardedTabBinService, plus the TabBinServing interface both
+// implement so callers (CLI, benchmarks, tests) can hold either behind
+// one handle and switch with a --shards=N knob.
+#ifndef TABBIN_SERVICE_SERVICE_TYPES_H_
+#define TABBIN_SERVICE_SERVICE_TYPES_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "table/table.h"
+#include "util/status.h"
+
+namespace tabbin {
+
+class TabBiNSystem;
+class EncoderEngine;
+
+/// \brief Construction knobs shared by both serving implementations.
+struct ServiceOptions {
+  /// EncoderEngine LRU capacity; 0 means auto — the cache grows with
+  /// the corpus (every AddTables reserves room for all live tables).
+  size_t encoder_cache_capacity = 1024;
+  /// LSH blocking geometry shared by the three per-task indexes. The
+  /// seed is part of the service identity: every shard builds its
+  /// indexes from the same seed, so a vector hashes into the same
+  /// buckets regardless of which shard owns it — the property that
+  /// makes scattered candidate generation equal to the single-index
+  /// candidate set.
+  int lsh_bits = 8;
+  int lsh_tables = 12;
+  uint64_t lsh_seed = 1234;
+  /// Index textual data cells as entities (the EC task surface).
+  bool index_entities = true;
+  /// Cap on entity cells indexed per table (bounds index growth on wide
+  /// tables).
+  int max_entities_per_table = 64;
+};
+
+/// \brief Outcome of one AddTables batch.
+struct AddReport {
+  int tables_added = 0;
+  int tables_replaced = 0;  // same id re-added: old entry tombstoned
+  int columns_indexed = 0;
+  int entities_indexed = 0;
+};
+
+/// \brief One retrieved item. `col`/`row` are -1 when not applicable to
+/// the task (e.g. table matches have neither).
+struct ServiceMatch {
+  std::string table_id;
+  std::string caption;
+  int col = -1;
+  int row = -1;
+  std::string entity;  // surface form, entity matches only
+  float score = 0;
+};
+
+/// \brief Response shared by the three similarity endpoints.
+struct QueryResponse {
+  std::vector<ServiceMatch> matches;  // best first
+  int candidates = 0;                 // LSH candidate count before ranking
+};
+
+/// \brief Column similarity request: either a corpus table by id, or an
+/// ad-hoc table supplied inline (encoded on the fly, not inserted).
+struct ColumnQueryRequest {
+  std::string table_id;
+  const Table* table = nullptr;  // overrides table_id when set
+  int col = 0;                   // grid column index
+  int k = 10;
+};
+
+struct TableQueryRequest {
+  std::string table_id;
+  const Table* table = nullptr;
+  int k = 10;
+};
+
+struct EntityQueryRequest {
+  std::string table_id;
+  const Table* table = nullptr;
+  int row = 0;
+  int col = 0;
+  int k = 10;
+};
+
+/// \brief Free-text RAG grounding request (the paper's Sycamore-style
+/// front end): a lexical candidate stage unioned with dense cosine
+/// candidates, ranked by embedding similarity.
+struct AskRequest {
+  std::string question;
+  int k = 5;
+};
+
+struct AskResponse {
+  std::vector<ServiceMatch> tables;  // grounding set, best first
+  std::string answer;                // one-line grounded summary
+};
+
+/// \brief The serving contract: corpus updates, similarity queries,
+/// free-text grounding, embedding accessors, and persistence. Both
+/// TabBinService (one shard, one lock) and ShardedTabBinService
+/// (hash-partitioned shards, scatter-gather) implement it; given the
+/// same system, options, and corpus they answer every query
+/// byte-identically (tests/sharded_service_test.cc is the proof).
+class TabBinServing {
+ public:
+  virtual ~TabBinServing() = default;
+
+  // Corpus updates.
+  virtual Result<AddReport> AddTables(const std::vector<Table>& tables) = 0;
+  virtual Status RemoveTable(const std::string& id) = 0;
+  virtual Status Compact() = 0;
+
+  // Queries.
+  virtual Result<QueryResponse> SimilarColumns(
+      const ColumnQueryRequest& req) const = 0;
+  virtual Result<QueryResponse> SimilarTables(
+      const TableQueryRequest& req) const = 0;
+  virtual Result<QueryResponse> SimilarEntities(
+      const EntityQueryRequest& req) const = 0;
+  virtual Result<AskResponse> Ask(const AskRequest& req) const = 0;
+
+  // Embedding accessors (the exact path the indexes are built from).
+  virtual std::vector<float> ColumnEmbedding(const Table& table,
+                                             int col) const = 0;
+  virtual std::vector<float> TableEmbedding(const Table& table) const = 0;
+  virtual std::vector<float> EntityEmbedding(const Table& table, int row,
+                                             int col) const = 0;
+
+  // Introspection.
+  virtual size_t NumLiveTables() const = 0;
+  virtual size_t NumIndexedColumns() const = 0;
+  virtual size_t NumIndexedEntities() const = 0;
+  virtual std::vector<std::string> LiveTableIds() const = 0;
+
+  virtual TabBiNSystem& system() = 0;
+  virtual EncoderEngine& engine() = 0;
+
+  // Persistence.
+  virtual Status Save(const std::string& path) const = 0;
+};
+
+/// \brief Serializes a table the way the serving Ask endpoint sees it
+/// (caption + tuple text), shared with the Table 14 benchmark.
+std::string ServiceDocumentText(const Table& table);
+
+/// \brief The id a table is served under: its own id, or a content
+/// fingerprint when the id is empty.
+std::string CanonicalTableId(const Table& table);
+
+/// \brief Stable table-id → shard assignment (FNV-1a 64 over the id
+/// bytes, mod num_shards). Deterministic across platforms and sessions,
+/// so a snapshot re-partitions identically wherever it is loaded.
+size_t ShardIndexFor(const std::string& id, size_t num_shards);
+
+}  // namespace tabbin
+
+#endif  // TABBIN_SERVICE_SERVICE_TYPES_H_

@@ -1,0 +1,1009 @@
+#include "service/shard.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <future>
+#include <map>
+#include <unordered_set>
+#include <utility>
+
+#include "baselines/word2vec.h"
+#include "tensor/ops.h"
+#include "text/wordpiece.h"
+#include "util/logging.h"
+#include "util/snapshot.h"
+#include "util/threadpool.h"
+
+namespace tabbin {
+
+int ServiceColumnDim(const TabBiNSystem& sys) { return 2 * sys.hidden(); }
+int ServiceTableDim(const TabBiNSystem& sys) { return 3 * sys.hidden(); }
+int ServiceEntityDim(const TabBiNSystem& sys) { return sys.hidden(); }
+
+std::string ServiceDocumentText(const Table& table) {
+  std::string text = table.caption();
+  for (const auto& tuple : SerializeTuples(table)) {
+    text += " ";
+    text += tuple;
+  }
+  return text;
+}
+
+std::string CanonicalTableId(const Table& table) {
+  if (!table.id().empty()) return table.id();
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "t%016llx",
+                static_cast<unsigned long long>(TableFingerprint(table)));
+  return buf;
+}
+
+size_t ShardIndexFor(const std::string& id, size_t num_shards) {
+  if (num_shards <= 1) return 0;
+  return static_cast<size_t>(
+             Fnv1a64(reinterpret_cast<const uint8_t*>(id.data()),
+                     id.size())) %
+         num_shards;
+}
+
+bool ServiceMatchOrder(const ServiceMatch& a, const ServiceMatch& b) {
+  if (a.score != b.score) return a.score > b.score;
+  if (a.table_id != b.table_id) return a.table_id < b.table_id;
+  if (a.col != b.col) return a.col < b.col;
+  return a.row < b.row;
+}
+
+void AppendServiceOptions(const ServiceOptions& options,
+                          SnapshotWriter* snapshot) {
+  BinaryWriter* opts = snapshot->AddSection("service.options");
+  opts->WriteU64(options.encoder_cache_capacity);
+  opts->WriteI32(options.lsh_bits);
+  opts->WriteI32(options.lsh_tables);
+  opts->WriteU64(options.lsh_seed);
+  opts->WriteI32(options.index_entities ? 1 : 0);
+  opts->WriteI32(options.max_entities_per_table);
+}
+
+Result<ServiceOptions> ReadServiceOptions(const SnapshotReader& snapshot) {
+  ServiceOptions options;
+  TABBIN_ASSIGN_OR_RETURN(BinaryReader opts_r,
+                          snapshot.Section("service.options"));
+  TABBIN_ASSIGN_OR_RETURN(uint64_t capacity, opts_r.ReadU64());
+  options.encoder_cache_capacity = static_cast<size_t>(capacity);
+  TABBIN_ASSIGN_OR_RETURN(options.lsh_bits, opts_r.ReadI32());
+  TABBIN_ASSIGN_OR_RETURN(options.lsh_tables, opts_r.ReadI32());
+  TABBIN_ASSIGN_OR_RETURN(options.lsh_seed, opts_r.ReadU64());
+  TABBIN_ASSIGN_OR_RETURN(int32_t index_entities, opts_r.ReadI32());
+  options.index_entities = index_entities != 0;
+  TABBIN_ASSIGN_OR_RETURN(options.max_entities_per_table, opts_r.ReadI32());
+  if (options.lsh_bits <= 0 || options.lsh_bits > 64 ||
+      options.lsh_tables <= 0) {
+    return Status::ParseError("service snapshot: invalid LSH options");
+  }
+  return options;
+}
+
+namespace {
+
+// Saturated term frequency (the BM25 tf kernel without idf or length
+// normalization). Doc-local by construction: the score of a document
+// never depends on what other documents exist, which is what lets a
+// shard rank its own documents and the merged per-shard top-k equal the
+// global top-k exactly.
+constexpr double kLexK1 = 1.2;
+
+double LexicalScore(const std::vector<std::string>& sorted_query_terms,
+                    const std::unordered_map<std::string, int>& doc_tf) {
+  double score = 0;
+  for (const auto& term : sorted_query_terms) {
+    auto it = doc_tf.find(term);
+    if (it == doc_tf.end()) continue;
+    const double tf = static_cast<double>(it->second);
+    score += tf * (kLexK1 + 1.0) / (tf + kLexK1);
+  }
+  return score;
+}
+
+}  // namespace
+
+std::unordered_map<std::string, int> ServiceDocTermFrequencies(
+    const Table& table) {
+  std::unordered_map<std::string, int> tf;
+  for (const auto& term : PreTokenize(ServiceDocumentText(table))) {
+    ++tf[term];
+  }
+  return tf;
+}
+
+// ---------------------------------------------------------------------------
+// ServiceShard
+// ---------------------------------------------------------------------------
+
+ServiceShard::ServiceShard(const TabBiNSystem* system,
+                           const ServiceOptions& options)
+    : system_(system),
+      options_(options),
+      col_index_(ServiceColumnDim(*system), options.lsh_bits,
+                 options.lsh_tables, options.lsh_seed),
+      tbl_index_(ServiceTableDim(*system), options.lsh_bits,
+                 options.lsh_tables, options.lsh_seed),
+      ent_index_(ServiceEntityDim(*system), options.lsh_bits,
+                 options.lsh_tables, options.lsh_seed) {}
+
+Result<ServiceShard::PreparedTable> ServiceShard::Prepare(
+    const TabBiNSystem& sys, const ServiceOptions& options, const Table& t,
+    const TableEncodings& enc) {
+  PreparedTable p;
+  p.table_vec = sys.TableComposite1(enc);
+  if (static_cast<int>(p.table_vec.size()) != ServiceTableDim(sys)) {
+    return Status::Internal("AddTables: unexpected table embedding width");
+  }
+  for (int c = t.vmd_cols(); c < t.cols(); ++c) {
+    auto vec = sys.ColumnComposite(enc, c);
+    if (static_cast<int>(vec.size()) != ServiceColumnDim(sys)) {
+      return Status::Internal("AddTables: unexpected column embedding width");
+    }
+    p.columns.emplace_back(c, std::move(vec));
+  }
+  if (options.index_entities) {
+    int budget = options.max_entities_per_table;
+    for (int r = t.hmd_rows(); r < t.rows() && budget > 0; ++r) {
+      for (int c = t.vmd_cols(); c < t.cols() && budget > 0; ++c) {
+        const Cell& cell = t.cell(r, c);
+        if (cell.has_nested() || cell.value.kind() != ValueKind::kString) {
+          continue;
+        }
+        EntityRef ref;
+        ref.row = r;
+        ref.col = c;
+        ref.surface = cell.value.text();
+        auto vec = sys.EntityEmbedding(enc, r, c);
+        if (static_cast<int>(vec.size()) != ServiceEntityDim(sys)) {
+          return Status::Internal(
+              "AddTables: unexpected entity embedding width");
+        }
+        p.entities.emplace_back(std::move(ref), std::move(vec));
+        --budget;
+      }
+    }
+  }
+  return p;
+}
+
+void ServiceShard::InsertPreparedLocked(Table table, const std::string& id,
+                                        PreparedTable&& prepared,
+                                        AddReport* report) {
+  // Every embedding width was validated by Prepare/InsertRows, so the
+  // index inserts below cannot legitimately fail; a rejection is a
+  // programming error worth shouting about rather than silently
+  // dropping.
+  auto must_insert = [](Status st) {
+    if (!st.ok()) {
+      TABBIN_LOG(ERROR) << "ServiceShard: index insert rejected: "
+                        << st.ToString();
+    }
+  };
+
+  auto it = id_to_slot_.find(id);
+  if (it != id_to_slot_.end()) {
+    slots_[static_cast<size_t>(it->second)].live = false;
+    --live_count_;
+    ++report->tables_replaced;
+  } else {
+    ++report->tables_added;
+  }
+  const int slot = static_cast<int>(slots_.size());
+  slots_.push_back(TableSlot{});
+  TableSlot& s = slots_.back();
+  s.table = std::move(table);
+  s.id = id;
+  s.doc_tf = ServiceDocTermFrequencies(s.table);
+  for (const auto& [term, count] : s.doc_tf) {
+    lex_postings_[term].push_back(slot);
+  }
+  id_to_slot_[id] = slot;
+  ++live_count_;
+
+  tbl_vecs_.AppendRow(prepared.table_vec);
+  tbl_refs_.push_back(slot);
+  s.tbl_row = static_cast<int>(tbl_refs_.size()) - 1;
+  must_insert(tbl_index_.Insert(s.tbl_row, prepared.table_vec));
+
+  if (!prepared.columns.empty()) {
+    s.col_begin = static_cast<int>(col_refs_.size());
+    s.col_end = s.col_begin + static_cast<int>(prepared.columns.size());
+  }
+  for (auto& [c, vec] : prepared.columns) {
+    col_vecs_.AppendRow(vec);
+    col_refs_.push_back(ColumnRef{slot, c});
+    must_insert(
+        col_index_.Insert(static_cast<int>(col_refs_.size()) - 1, vec));
+    ++report->columns_indexed;
+  }
+  if (!prepared.entities.empty()) {
+    s.ent_begin = static_cast<int>(ent_refs_.size());
+    s.ent_end = s.ent_begin + static_cast<int>(prepared.entities.size());
+  }
+  for (auto& [ref, vec] : prepared.entities) {
+    EntityRef full = ref;
+    full.slot = slot;
+    ent_vecs_.AppendRow(vec);
+    ent_refs_.push_back(std::move(full));
+    must_insert(
+        ent_index_.Insert(static_cast<int>(ent_refs_.size()) - 1, vec));
+    ++report->entities_indexed;
+  }
+}
+
+void ServiceShard::InsertBatch(std::vector<Table> tables,
+                               std::vector<std::string> ids,
+                               std::vector<PreparedTable> prepared,
+                               AddReport* report) {
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  for (size_t i = 0; i < tables.size(); ++i) {
+    InsertPreparedLocked(std::move(tables[i]), ids[i],
+                         std::move(prepared[i]), report);
+  }
+}
+
+Status ServiceShard::InsertRows(LiveTableRows&& rows, AddReport* report) {
+  PreparedTable p;
+  p.table_vec = std::move(rows.table_vec);
+  if (static_cast<int>(p.table_vec.size()) != ServiceTableDim(*system_)) {
+    return Status::ParseError(
+        "service shard restore: table embedding width mismatch");
+  }
+  for (auto& [c, vec] : rows.columns) {
+    if (static_cast<int>(vec.size()) != ServiceColumnDim(*system_)) {
+      return Status::ParseError(
+          "service shard restore: column embedding width mismatch");
+    }
+    if (c < 0 || c >= rows.table.cols()) {
+      return Status::ParseError(
+          "service shard restore: column index out of range");
+    }
+    p.columns.emplace_back(c, std::move(vec));
+  }
+  for (auto& [ref, vec] : rows.entities) {
+    if (static_cast<int>(vec.size()) != ServiceEntityDim(*system_)) {
+      return Status::ParseError(
+          "service shard restore: entity embedding width mismatch");
+    }
+    if (ref.row < 0 || ref.row >= rows.table.rows() || ref.col < 0 ||
+        ref.col >= rows.table.cols()) {
+      return Status::ParseError(
+          "service shard restore: entity cell out of range");
+    }
+    p.entities.emplace_back(ref, std::move(vec));
+  }
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  InsertPreparedLocked(std::move(rows.table), rows.id, std::move(p), report);
+  return Status::OK();
+}
+
+Status ServiceShard::Remove(const std::string& id) {
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  auto it = id_to_slot_.find(id);
+  if (it == id_to_slot_.end()) {
+    return Status::NotFound("RemoveTable: no live table with id '" + id +
+                            "'");
+  }
+  slots_[static_cast<size_t>(it->second)].live = false;
+  id_to_slot_.erase(it);
+  --live_count_;
+  return Status::OK();
+}
+
+Status ServiceShard::Compact() {
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  if (static_cast<size_t>(live_count_) == slots_.size()) {
+    return Status::OK();  // nothing dead, nothing to do
+  }
+  // Gather the live tables WITH their stored embedding rows in slot
+  // (= insertion) order, then rebuild every structure from those rows.
+  // Runs under the writer lock so queries never observe a partially
+  // rebuilt shard. Deliberately encoder-free: an engine call here could
+  // block on an in-flight encode whose pool task queues behind workers
+  // that are themselves waiting on this writer lock — a deadlock — and
+  // the stored rows already ARE the prepared vectors, bit for bit.
+  std::vector<LiveTableRows> live;
+  live.reserve(static_cast<size_t>(live_count_));
+  ExportLiveLocked(&live);
+
+  slots_.clear();
+  id_to_slot_.clear();
+  live_count_ = 0;
+  col_index_ = LshIndex(ServiceColumnDim(*system_), options_.lsh_bits,
+                        options_.lsh_tables, options_.lsh_seed);
+  col_vecs_ = EmbeddingMatrix();
+  col_refs_.clear();
+  tbl_index_ = LshIndex(ServiceTableDim(*system_), options_.lsh_bits,
+                        options_.lsh_tables, options_.lsh_seed);
+  tbl_vecs_ = EmbeddingMatrix();
+  tbl_refs_.clear();
+  ent_index_ = LshIndex(ServiceEntityDim(*system_), options_.lsh_bits,
+                        options_.lsh_tables, options_.lsh_seed);
+  ent_vecs_ = EmbeddingMatrix();
+  ent_refs_.clear();
+  lex_postings_.clear();
+
+  AddReport discard;
+  for (LiveTableRows& rows : live) {
+    PreparedTable p;
+    p.table_vec = std::move(rows.table_vec);
+    p.columns = std::move(rows.columns);
+    p.entities = std::move(rows.entities);
+    InsertPreparedLocked(std::move(rows.table), rows.id, std::move(p),
+                         &discard);
+  }
+  return Status::OK();
+}
+
+// --- Reads ----------------------------------------------------------------
+
+Result<ServiceShard::Resolved> ServiceShard::ResolveColumn(
+    const std::string& id, int col) const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  auto it = id_to_slot_.find(id);
+  if (it == id_to_slot_.end()) {
+    return Status::NotFound("no live table with id '" + id + "'");
+  }
+  const TableSlot& s = slots_[static_cast<size_t>(it->second)];
+  if (col < 0 || col >= s.table.cols()) {
+    return Status::OutOfRange("SimilarColumns: column " +
+                              std::to_string(col) + " out of range");
+  }
+  Resolved r;
+  for (int row = s.col_begin; row >= 0 && row < s.col_end; ++row) {
+    if (col_refs_[static_cast<size_t>(row)].col == col) {
+      r.vec = col_vecs_.row(static_cast<size_t>(row)).ToVector();
+      return r;
+    }
+  }
+  // A metadata (VMD) column is queryable but not indexed: hand back a
+  // copy for the caller to encode outside every lock.
+  r.table_copy = s.table;
+  r.needs_encode = true;
+  return r;
+}
+
+Result<ServiceShard::Resolved> ServiceShard::ResolveTable(
+    const std::string& id) const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  auto it = id_to_slot_.find(id);
+  if (it == id_to_slot_.end()) {
+    return Status::NotFound("no live table with id '" + id + "'");
+  }
+  const TableSlot& s = slots_[static_cast<size_t>(it->second)];
+  Resolved r;
+  r.vec = tbl_vecs_.row(static_cast<size_t>(s.tbl_row)).ToVector();
+  return r;
+}
+
+Result<ServiceShard::Resolved> ServiceShard::ResolveEntity(
+    const std::string& id, int row, int col) const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  auto it = id_to_slot_.find(id);
+  if (it == id_to_slot_.end()) {
+    return Status::NotFound("no live table with id '" + id + "'");
+  }
+  const TableSlot& s = slots_[static_cast<size_t>(it->second)];
+  if (row < 0 || row >= s.table.rows() || col < 0 || col >= s.table.cols()) {
+    return Status::OutOfRange("SimilarEntities: cell (" +
+                              std::to_string(row) + ", " +
+                              std::to_string(col) + ") out of range");
+  }
+  Resolved r;
+  for (int e = s.ent_begin; e >= 0 && e < s.ent_end; ++e) {
+    const EntityRef& ref = ent_refs_[static_cast<size_t>(e)];
+    if (ref.row == row && ref.col == col) {
+      r.vec = ent_vecs_.row(static_cast<size_t>(e)).ToVector();
+      return r;
+    }
+  }
+  // Cell isn't in the entity index (numeric, nested, or past the
+  // per-table budget): the caller encodes a copy outside every lock.
+  r.table_copy = s.table;
+  r.needs_encode = true;
+  return r;
+}
+
+template <typename Ref, typename Accept, typename TieLess, typename Emit>
+ServiceShard::MatchSet ServiceShard::RankLocked(
+    const LshIndex& index, const EmbeddingMatrix& vecs,
+    const std::vector<Ref>& refs, VecView query_vec,
+    const std::vector<uint64_t>& keys, int k, const Accept& accept,
+    const TieLess& tie_less, const Emit& emit) const {
+  MatchSet out;
+  std::vector<int> candidates = index.QueryByKeys(keys);
+  out.candidates = static_cast<int>(candidates.size());
+  std::vector<std::pair<float, int>> scored;
+  scored.reserve(candidates.size());
+  for (int id : candidates) {
+    if (id < 0 || id >= static_cast<int>(refs.size())) continue;
+    const Ref& ref = refs[static_cast<size_t>(id)];
+    if (!accept(ref)) continue;
+    scored.emplace_back(
+        CosineSimilarity(query_vec, vecs.row(static_cast<size_t>(id))), id);
+  }
+  // Descending score, then the partition-independent tie order (table
+  // id / col / row) — never internal row ids, so the ranking does not
+  // depend on insertion order or shard assignment.
+  std::sort(scored.begin(), scored.end(),
+            [&](const auto& a, const auto& b) {
+              if (a.first != b.first) return a.first > b.first;
+              return tie_less(refs[static_cast<size_t>(a.second)],
+                              refs[static_cast<size_t>(b.second)]);
+            });
+  if (static_cast<int>(scored.size()) > k) {
+    scored.resize(static_cast<size_t>(k));
+  }
+  out.matches.reserve(scored.size());
+  for (const auto& [score, id] : scored) {
+    out.matches.push_back(emit(refs[static_cast<size_t>(id)], score));
+  }
+  return out;
+}
+
+ServiceShard::MatchSet ServiceShard::TopColumns(
+    VecView query, const std::vector<uint64_t>& keys, int k,
+    const std::string& exclude_id, int exclude_col) const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  auto self = id_to_slot_.find(exclude_id);
+  const int self_slot = self == id_to_slot_.end() ? -1 : self->second;
+  return RankLocked(
+      col_index_, col_vecs_, col_refs_, query, keys, k,
+      [&](const ColumnRef& ref) {
+        if (!slots_[static_cast<size_t>(ref.slot)].live) return false;
+        return !(ref.slot == self_slot && ref.col == exclude_col);
+      },
+      [&](const ColumnRef& a, const ColumnRef& b) {
+        const std::string& ida = slots_[static_cast<size_t>(a.slot)].id;
+        const std::string& idb = slots_[static_cast<size_t>(b.slot)].id;
+        if (ida != idb) return ida < idb;
+        return a.col < b.col;
+      },
+      [&](const ColumnRef& ref, float score) {
+        const TableSlot& s = slots_[static_cast<size_t>(ref.slot)];
+        ServiceMatch m;
+        m.table_id = s.id;
+        m.caption = s.table.caption();
+        m.col = ref.col;
+        m.score = score;
+        return m;
+      });
+}
+
+ServiceShard::MatchSet ServiceShard::TopTables(
+    VecView query, const std::vector<uint64_t>& keys, int k,
+    const std::string& exclude_id) const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  auto self = id_to_slot_.find(exclude_id);
+  const int self_slot = self == id_to_slot_.end() ? -1 : self->second;
+  return RankLocked(
+      tbl_index_, tbl_vecs_, tbl_refs_, query, keys, k,
+      [&](int slot) {
+        return slots_[static_cast<size_t>(slot)].live && slot != self_slot;
+      },
+      [&](int a, int b) {
+        return slots_[static_cast<size_t>(a)].id <
+               slots_[static_cast<size_t>(b)].id;
+      },
+      [&](int slot, float score) {
+        const TableSlot& s = slots_[static_cast<size_t>(slot)];
+        ServiceMatch m;
+        m.table_id = s.id;
+        m.caption = s.table.caption();
+        m.score = score;
+        return m;
+      });
+}
+
+ServiceShard::MatchSet ServiceShard::TopEntities(
+    VecView query, const std::vector<uint64_t>& keys, int k,
+    const std::string& exclude_id, int exclude_row,
+    int exclude_col) const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  auto self = id_to_slot_.find(exclude_id);
+  const int self_slot = self == id_to_slot_.end() ? -1 : self->second;
+  return RankLocked(
+      ent_index_, ent_vecs_, ent_refs_, query, keys, k,
+      [&](const EntityRef& ref) {
+        if (!slots_[static_cast<size_t>(ref.slot)].live) return false;
+        return !(ref.slot == self_slot && ref.row == exclude_row &&
+                 ref.col == exclude_col);
+      },
+      [&](const EntityRef& a, const EntityRef& b) {
+        const std::string& ida = slots_[static_cast<size_t>(a.slot)].id;
+        const std::string& idb = slots_[static_cast<size_t>(b.slot)].id;
+        if (ida != idb) return ida < idb;
+        // col before row — the same total order as ServiceMatchOrder,
+        // or the per-shard top-k cut and the merged output would
+        // disagree on bit-equal-score ties.
+        if (a.col != b.col) return a.col < b.col;
+        return a.row < b.row;
+      },
+      [&](const EntityRef& ref, float score) {
+        const TableSlot& s = slots_[static_cast<size_t>(ref.slot)];
+        ServiceMatch m;
+        m.table_id = s.id;
+        m.caption = s.table.caption();
+        m.row = ref.row;
+        m.col = ref.col;
+        m.entity = ref.surface;
+        m.score = score;
+        return m;
+      });
+}
+
+ServiceShard::AskPartial ServiceShard::AskCandidates(
+    const std::vector<std::string>& query_terms, VecView query_vec,
+    const std::vector<uint64_t>& tbl_keys, int pool) const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  AskPartial out;
+  out.live = static_cast<size_t>(live_count_);
+
+  // Lexical stage: candidate slots come from the per-term postings
+  // (only docs sharing a query term can score > 0 — exactly the old
+  // full scan's surviving set, at postings cost instead of
+  // O(live corpus) per query), each scored by doc-local saturated tf.
+  std::vector<std::pair<double, int>> lex;  // (score, slot)
+  std::unordered_set<int> seen;
+  for (const auto& term : query_terms) {
+    auto postings = lex_postings_.find(term);
+    if (postings == lex_postings_.end()) continue;
+    for (int s : postings->second) {
+      if (!slots_[static_cast<size_t>(s)].live) continue;
+      if (!seen.insert(s).second) continue;
+      const double score =
+          LexicalScore(query_terms, slots_[static_cast<size_t>(s)].doc_tf);
+      if (score > 0) lex.emplace_back(score, s);
+    }
+  }
+  std::sort(lex.begin(), lex.end(), [&](const auto& a, const auto& b) {
+    if (a.first != b.first) return a.first > b.first;
+    return slots_[static_cast<size_t>(a.second)].id <
+           slots_[static_cast<size_t>(b.second)].id;
+  });
+  if (static_cast<int>(lex.size()) > pool) {
+    lex.resize(static_cast<size_t>(pool));
+  }
+  out.lexical.reserve(lex.size());
+  for (const auto& [score, slot] : lex) {
+    const TableSlot& s = slots_[static_cast<size_t>(slot)];
+    LexicalHit hit;
+    hit.lex = score;
+    hit.match.table_id = s.id;
+    hit.match.caption = s.table.caption();
+    hit.match.score = CosineSimilarity(
+        query_vec, tbl_vecs_.row(static_cast<size_t>(s.tbl_row)));
+    out.lexical.push_back(std::move(hit));
+  }
+
+  // Dense stage: live LSH candidates with their exact cosine.
+  for (int row : tbl_index_.QueryByKeys(tbl_keys)) {
+    if (row < 0 || row >= static_cast<int>(tbl_refs_.size())) continue;
+    const TableSlot& s =
+        slots_[static_cast<size_t>(tbl_refs_[static_cast<size_t>(row)])];
+    if (!s.live) continue;
+    ServiceMatch m;
+    m.table_id = s.id;
+    m.caption = s.table.caption();
+    m.score =
+        CosineSimilarity(query_vec, tbl_vecs_.row(static_cast<size_t>(row)));
+    out.dense.push_back(std::move(m));
+  }
+  return out;
+}
+
+// --- Introspection --------------------------------------------------------
+
+size_t ServiceShard::live_count() const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  return static_cast<size_t>(live_count_);
+}
+
+size_t ServiceShard::slot_count() const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  return slots_.size();
+}
+
+size_t ServiceShard::indexed_columns() const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  return col_refs_.size();
+}
+
+size_t ServiceShard::indexed_entities() const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  return ent_refs_.size();
+}
+
+void ServiceShard::AppendLiveIds(std::vector<std::string>* out) const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  for (const auto& [id, slot] : id_to_slot_) out->push_back(id);
+}
+
+void ServiceShard::ExportLive(std::vector<LiveTableRows>* out) const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  ExportLiveLocked(out);
+}
+
+void ServiceShard::ExportLiveLocked(std::vector<LiveTableRows>* out) const {
+  for (const TableSlot& s : slots_) {
+    if (!s.live) continue;
+    LiveTableRows rows;
+    rows.table = s.table;
+    rows.id = s.id;
+    rows.table_vec =
+        tbl_vecs_.row(static_cast<size_t>(s.tbl_row)).ToVector();
+    for (int r = s.col_begin; r >= 0 && r < s.col_end; ++r) {
+      rows.columns.emplace_back(
+          col_refs_[static_cast<size_t>(r)].col,
+          col_vecs_.row(static_cast<size_t>(r)).ToVector());
+    }
+    for (int e = s.ent_begin; e >= 0 && e < s.ent_end; ++e) {
+      EntityRef ref = ent_refs_[static_cast<size_t>(e)];
+      ref.slot = 0;  // re-assigned on insert
+      rows.entities.emplace_back(
+          std::move(ref), ent_vecs_.row(static_cast<size_t>(e)).ToVector());
+    }
+    out->push_back(std::move(rows));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Scatter-gather coordinator
+// ---------------------------------------------------------------------------
+
+namespace {
+
+// Runs fn(i) for every shard index. With more than one shard and a
+// pool that actually has parallelism, shards 1..N-1 fan out across
+// ThreadPool::Global() while shard 0 runs on the calling thread, and
+// the call joins before returning; on a single-core pool (or a single
+// shard) everything runs inline — per-shard ranking is cheap, and
+// submit/join overhead would only serialize queries behind the one
+// worker. fn writes only to its own slot of any result vector, so no
+// synchronization is needed beyond the join.
+template <typename Fn>
+void ForEachShard(const std::vector<ServiceShard*>& shards, const Fn& fn) {
+  if (shards.size() <= 1 || ThreadPool::Global().num_threads() <= 1) {
+    for (size_t i = 0; i < shards.size(); ++i) fn(i);
+    return;
+  }
+  std::vector<std::future<void>> futures;
+  futures.reserve(shards.size() - 1);
+  for (size_t i = 1; i < shards.size(); ++i) {
+    futures.push_back(ThreadPool::Global().Submit([&fn, i] { fn(i); }));
+  }
+  fn(0);
+  for (auto& f : futures) f.get();
+}
+
+// A free-text question enters the embedding space as a minimal table:
+// the question is both caption and single data cell, so TableComposite1
+// places it where topically similar tables live.
+Table QuestionTable(const std::string& question) {
+  Table t(1, 1, /*hmd_rows=*/0, /*vmd_cols=*/0);
+  t.SetValue(0, 0, Value::String(question));
+  t.set_caption(question);
+  return t;
+}
+
+Status ValidateInline(const Table* table) {
+  Status st = table->Validate();
+  if (!st.ok()) {
+    return Status::InvalidArgument("query table invalid: " + st.message());
+  }
+  return Status::OK();
+}
+
+// Merges per-shard ranked contributions into the global top-k. Each
+// shard list is already capped at k and ordered by ServiceMatchOrder;
+// the global top-k is a subset of the union (any globally top-k item
+// ranks top-k within its shard), so a sort+truncate over <= k*N items
+// reproduces the single-index ranking exactly.
+QueryResponse MergeMatchSets(std::vector<ServiceShard::MatchSet> partials,
+                             int k) {
+  QueryResponse response;
+  size_t total = 0;
+  for (const auto& p : partials) {
+    response.candidates += p.candidates;
+    total += p.matches.size();
+  }
+  response.matches.reserve(total);
+  for (auto& p : partials) {
+    for (auto& m : p.matches) response.matches.push_back(std::move(m));
+  }
+  std::sort(response.matches.begin(), response.matches.end(),
+            ServiceMatchOrder);
+  if (static_cast<int>(response.matches.size()) > k) {
+    response.matches.resize(static_cast<size_t>(k));
+  }
+  return response;
+}
+
+}  // namespace
+
+std::vector<float> ServingColumnEmbedding(const ServingCore& core,
+                                          const Table& table, int col) {
+  auto enc = core.engine->Encode(table);
+  return core.system->ColumnComposite(*enc, col);
+}
+
+std::vector<float> ServingTableEmbedding(const ServingCore& core,
+                                         const Table& table) {
+  auto enc = core.engine->Encode(table);
+  return core.system->TableComposite1(*enc);
+}
+
+std::vector<float> ServingEntityEmbedding(const ServingCore& core,
+                                          const Table& table, int row,
+                                          int col) {
+  auto enc = core.engine->Encode(table);
+  return core.system->EntityEmbedding(*enc, row, col);
+}
+
+Result<AddReport> ScatterAddTables(const ServingCore& core,
+                                   const std::vector<Table>& tables) {
+  const std::vector<ServiceShard*>& shards = *core.shards;
+  AddReport report;
+  if (tables.empty()) return report;
+
+  std::vector<std::string> ids;
+  ids.reserve(tables.size());
+  for (const Table& t : tables) {
+    Status st = t.Validate();
+    if (!st.ok()) {
+      return Status::InvalidArgument("AddTables: table '" + t.id() +
+                                     "': " + st.message());
+    }
+    ids.push_back(CanonicalTableId(t));
+  }
+
+  // Encode the batch before any shard lock is taken: forward passes are
+  // the expensive part and the engine has its own synchronization, so
+  // readers keep being served while new tables encode. Embeddings are
+  // derived outside the locks too; each shard's writer critical section
+  // is appends and index inserts only.
+  auto encodings = core.engine->EncodeBatch(tables);
+  std::vector<ServiceShard::PreparedTable> prepared;
+  prepared.reserve(tables.size());
+  for (size_t i = 0; i < tables.size(); ++i) {
+    TABBIN_ASSIGN_OR_RETURN(
+        ServiceShard::PreparedTable p,
+        ServiceShard::Prepare(*core.system, *core.options, tables[i],
+                              *encodings[i]));
+    prepared.push_back(std::move(p));
+  }
+
+  if (core.options->encoder_cache_capacity == 0) {
+    // Documented auto mode: the cache grows with the corpus so steady-
+    // state queries never re-run forward passes.
+    size_t slots = 0;
+    for (ServiceShard* shard : shards) slots += shard->slot_count();
+    core.engine->Reserve(slots + tables.size());
+  }
+
+  // Group by owning shard, preserving batch order within each group so
+  // same-id replacement semantics inside one batch are unchanged.
+  std::vector<std::vector<Table>> shard_tables(shards.size());
+  std::vector<std::vector<std::string>> shard_ids(shards.size());
+  std::vector<std::vector<ServiceShard::PreparedTable>> shard_prepared(
+      shards.size());
+  for (size_t i = 0; i < tables.size(); ++i) {
+    const size_t s = ShardIndexFor(ids[i], shards.size());
+    shard_tables[s].push_back(tables[i]);
+    shard_ids[s].push_back(std::move(ids[i]));
+    shard_prepared[s].push_back(std::move(prepared[i]));
+  }
+  // Per-shard inserts are cheap memory operations; run them serially so
+  // the report needs no synchronization. Each shard's batch is applied
+  // atomically under that shard's writer lock; cross-shard visibility
+  // is per-shard (a reader may observe shard A's half of a batch before
+  // shard B's).
+  for (size_t s = 0; s < shards.size(); ++s) {
+    if (shard_tables[s].empty()) continue;
+    shards[s]->InsertBatch(std::move(shard_tables[s]),
+                           std::move(shard_ids[s]),
+                           std::move(shard_prepared[s]), &report);
+  }
+  return report;
+}
+
+Status ScatterRemoveTable(const ServingCore& core, const std::string& id) {
+  const std::vector<ServiceShard*>& shards = *core.shards;
+  return shards[ShardIndexFor(id, shards.size())]->Remove(id);
+}
+
+Status ScatterCompact(const ServingCore& core) {
+  for (ServiceShard* shard : *core.shards) {
+    TABBIN_RETURN_IF_ERROR(shard->Compact());
+  }
+  return Status::OK();
+}
+
+Result<QueryResponse> ScatterSimilarColumns(const ServingCore& core,
+                                            const ColumnQueryRequest& req) {
+  if (req.k <= 0) return Status::InvalidArgument("SimilarColumns: k <= 0");
+  const std::vector<ServiceShard*>& shards = *core.shards;
+  std::vector<float> qvec;
+  std::string exclude_id;
+  if (req.table != nullptr) {
+    TABBIN_RETURN_IF_ERROR(ValidateInline(req.table));
+    if (req.col < 0 || req.col >= req.table->cols()) {
+      return Status::OutOfRange("SimilarColumns: column " +
+                                std::to_string(req.col) + " out of range");
+    }
+    // Inline query tables encode before any lock is taken: forward
+    // passes must never stall writers behind a held reader lock.
+    qvec = ServingColumnEmbedding(core, *req.table, req.col);
+  } else {
+    exclude_id = req.table_id;
+    ServiceShard* owner =
+        shards[ShardIndexFor(req.table_id, shards.size())];
+    TABBIN_ASSIGN_OR_RETURN(ServiceShard::Resolved r,
+                            owner->ResolveColumn(req.table_id, req.col));
+    qvec = r.needs_encode
+               ? ServingColumnEmbedding(core, r.table_copy, req.col)
+               : std::move(r.vec);
+  }
+  const std::vector<uint64_t> keys = core.hashers->col.QueryKeys(qvec);
+  std::vector<ServiceShard::MatchSet> partials(shards.size());
+  ForEachShard(shards, [&](size_t i) {
+    partials[i] =
+        shards[i]->TopColumns(qvec, keys, req.k, exclude_id, req.col);
+  });
+  return MergeMatchSets(std::move(partials), req.k);
+}
+
+Result<QueryResponse> ScatterSimilarTables(const ServingCore& core,
+                                           const TableQueryRequest& req) {
+  if (req.k <= 0) return Status::InvalidArgument("SimilarTables: k <= 0");
+  const std::vector<ServiceShard*>& shards = *core.shards;
+  std::vector<float> qvec;
+  std::string exclude_id;
+  if (req.table != nullptr) {
+    TABBIN_RETURN_IF_ERROR(ValidateInline(req.table));
+    qvec = ServingTableEmbedding(core, *req.table);  // outside all locks
+  } else {
+    exclude_id = req.table_id;
+    ServiceShard* owner =
+        shards[ShardIndexFor(req.table_id, shards.size())];
+    TABBIN_ASSIGN_OR_RETURN(ServiceShard::Resolved r,
+                            owner->ResolveTable(req.table_id));
+    qvec = std::move(r.vec);  // the table row is always stored
+  }
+  const std::vector<uint64_t> keys = core.hashers->tbl.QueryKeys(qvec);
+  std::vector<ServiceShard::MatchSet> partials(shards.size());
+  ForEachShard(shards, [&](size_t i) {
+    partials[i] = shards[i]->TopTables(qvec, keys, req.k, exclude_id);
+  });
+  return MergeMatchSets(std::move(partials), req.k);
+}
+
+Result<QueryResponse> ScatterSimilarEntities(const ServingCore& core,
+                                             const EntityQueryRequest& req) {
+  if (req.k <= 0) return Status::InvalidArgument("SimilarEntities: k <= 0");
+  const std::vector<ServiceShard*>& shards = *core.shards;
+  std::vector<float> qvec;
+  std::string exclude_id;
+  if (req.table != nullptr) {
+    TABBIN_RETURN_IF_ERROR(ValidateInline(req.table));
+    if (req.row < 0 || req.row >= req.table->rows() || req.col < 0 ||
+        req.col >= req.table->cols()) {
+      return Status::OutOfRange("SimilarEntities: cell (" +
+                                std::to_string(req.row) + ", " +
+                                std::to_string(req.col) + ") out of range");
+    }
+    qvec = ServingEntityEmbedding(core, *req.table, req.row, req.col);
+  } else {
+    exclude_id = req.table_id;
+    ServiceShard* owner =
+        shards[ShardIndexFor(req.table_id, shards.size())];
+    TABBIN_ASSIGN_OR_RETURN(
+        ServiceShard::Resolved r,
+        owner->ResolveEntity(req.table_id, req.row, req.col));
+    qvec = r.needs_encode
+               ? ServingEntityEmbedding(core, r.table_copy, req.row, req.col)
+               : std::move(r.vec);
+  }
+  const std::vector<uint64_t> keys = core.hashers->ent.QueryKeys(qvec);
+  std::vector<ServiceShard::MatchSet> partials(shards.size());
+  ForEachShard(shards, [&](size_t i) {
+    partials[i] = shards[i]->TopEntities(qvec, keys, req.k, exclude_id,
+                                         req.row, req.col);
+  });
+  return MergeMatchSets(std::move(partials), req.k);
+}
+
+Result<AskResponse> ScatterAsk(const ServingCore& core,
+                               const AskRequest& req) {
+  if (req.question.empty()) {
+    return Status::InvalidArgument("Ask: empty question");
+  }
+  if (req.k <= 0) return Status::InvalidArgument("Ask: k <= 0");
+  const std::vector<ServiceShard*>& shards = *core.shards;
+  // Bound k before the 3 * k pool sizing below: CLI-supplied values near
+  // INT_MAX must clamp, not overflow.
+  const int k = std::min(req.k, 1 << 20);
+  const int pool = 3 * k;
+
+  // The question embeds as a one-cell table; EncodeAll is inference-only
+  // and thread-safe, and runs before any lock so it never stalls
+  // writers. Deliberately bypasses the engine cache so ad-hoc questions
+  // never evict corpus encodings.
+  const Table pseudo = QuestionTable(req.question);
+  const std::vector<float> qvec =
+      core.system->TableComposite1(core.system->EncodeAll(pseudo));
+
+  // Sorted distinct query terms: the lexical scores sum term
+  // contributions in one fixed order, so every shard — and the
+  // single-shard service — computes bit-identical scores.
+  std::vector<std::string> terms = PreTokenize(req.question);
+  std::sort(terms.begin(), terms.end());
+  terms.erase(std::unique(terms.begin(), terms.end()), terms.end());
+
+  const std::vector<uint64_t> tbl_keys = core.hashers->tbl.QueryKeys(qvec);
+  std::vector<ServiceShard::AskPartial> partials(shards.size());
+  ForEachShard(shards, [&](size_t i) {
+    partials[i] = shards[i]->AskCandidates(terms, qvec, tbl_keys, pool);
+  });
+
+  AskResponse response;
+  size_t total_live = 0;
+  for (const auto& p : partials) total_live += p.live;
+  if (total_live == 0) {
+    response.answer = "no tables indexed";
+    return response;
+  }
+
+  // Global lexical top-pool: each shard already returned its own
+  // top-pool by the doc-local score, so sorting the union and
+  // truncating reproduces the single-index lexical cut exactly.
+  std::vector<ServiceShard::LexicalHit> lexical;
+  for (auto& p : partials) {
+    for (auto& hit : p.lexical) lexical.push_back(std::move(hit));
+  }
+  std::sort(lexical.begin(), lexical.end(),
+            [](const ServiceShard::LexicalHit& a,
+               const ServiceShard::LexicalHit& b) {
+              if (a.lex != b.lex) return a.lex > b.lex;
+              return a.match.table_id < b.match.table_id;
+            });
+  if (static_cast<int>(lexical.size()) > pool) {
+    lexical.resize(static_cast<size_t>(pool));
+  }
+
+  // Candidate pool: lexical cut ∪ dense LSH candidates, deduplicated by
+  // table id, then exact cosine ranking — the same lexical ∪ dense
+  // recipe the Table 14 grounding uses.
+  std::map<std::string, ServiceMatch> pool_map;
+  for (auto& hit : lexical) {
+    pool_map.emplace(hit.match.table_id, std::move(hit.match));
+  }
+  for (auto& p : partials) {
+    for (auto& m : p.dense) {
+      pool_map.emplace(m.table_id, std::move(m));
+    }
+  }
+  response.tables.reserve(pool_map.size());
+  for (auto& [id, m] : pool_map) response.tables.push_back(std::move(m));
+  std::sort(response.tables.begin(), response.tables.end(),
+            ServiceMatchOrder);
+  if (static_cast<int>(response.tables.size()) > k) {
+    response.tables.resize(static_cast<size_t>(k));
+  }
+
+  if (response.tables.empty()) {
+    response.answer = "no grounding found for the question";
+  } else {
+    const ServiceMatch& top = response.tables.front();
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), " (score %.3f)", top.score);
+    response.answer = "grounded in table '" + top.caption + "' [" +
+                      top.table_id + "]" + buf;
+  }
+  return response;
+}
+
+}  // namespace tabbin

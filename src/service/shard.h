@@ -1,0 +1,325 @@
+// ServiceShard — the unit of corpus ownership in the serving layer.
+//
+// A shard owns everything needed to answer similarity and grounding
+// queries over its subset of the corpus: the table slots (live +
+// tombstoned), the three per-task LSH indexes with their flat embedding
+// matrices, the doc-local lexical statistics behind Ask, and one
+// std::shared_mutex. TabBinService is exactly one shard behind the
+// public API; ShardedTabBinService hash-partitions the corpus across N
+// of them so a write to one shard never blocks reads on the others.
+//
+// Determinism contract (what makes scatter-gather exact):
+//   * Every shard builds its LSH indexes from the same ServiceOptions
+//     seed, so a vector hashes into the same buckets regardless of
+//     which shard owns it — the union of per-shard candidate sets IS
+//     the single-index candidate set.
+//   * Ranking ties break on (table id, col, row), never on internal row
+//     ids, so results do not depend on insertion order or partitioning.
+//   * The Ask lexical gate scores documents with doc-local saturated
+//     term frequency (no corpus-wide idf / average-length terms), so a
+//     shard can rank its own documents without knowing the rest of the
+//     corpus and the merged per-shard top-k equals the global top-k.
+// Together these give: for any shard count, merged per-shard top-k ==
+// single-service top-k, byte for byte (tests/sharded_service_test.cc).
+#ifndef TABBIN_SERVICE_SHARD_H_
+#define TABBIN_SERVICE_SHARD_H_
+
+#include <memory>
+#include <shared_mutex>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "core/encoder_engine.h"
+#include "core/tabbin.h"
+#include "service/service_types.h"
+#include "tasks/lsh.h"
+#include "util/snapshot.h"
+#include "util/status.h"
+
+namespace tabbin {
+
+// Embedding widths per task, fixed by the composite constructions
+// (Fig. 5): CC composite is HMD ⊕ column mean, TC composite is
+// row ⊕ HMD ⊕ VMD means, entity embeddings come from the column model.
+int ServiceColumnDim(const TabBiNSystem& sys);
+int ServiceTableDim(const TabBiNSystem& sys);
+int ServiceEntityDim(const TabBiNSystem& sys);
+
+/// \brief Total order on matches: score descending, then table id /
+/// column / row ascending. Partition-independent — the property every
+/// per-shard ranking and every cross-shard merge sorts by.
+bool ServiceMatchOrder(const ServiceMatch& a, const ServiceMatch& b);
+
+/// \brief Term counts of a table's Ask document text — THE lexical
+/// recipe of the serving layer. Every site that derives doc stats
+/// (insert, snapshot restore) must call this one function, or a
+/// restored service would score the lexical gate differently from a
+/// live-built one and silently break the equivalence guarantees.
+std::unordered_map<std::string, int> ServiceDocTermFrequencies(
+    const Table& table);
+
+/// \brief Writes / reads the "service.options" snapshot section, shared
+/// by both service implementations (construction knobs travel with the
+/// state so a restored service behaves identically on later updates).
+void AppendServiceOptions(const ServiceOptions& options,
+                          SnapshotWriter* snapshot);
+Result<ServiceOptions> ReadServiceOptions(const SnapshotReader& snapshot);
+
+class ServiceShard {
+ public:
+  struct ColumnRef {
+    int slot = 0;
+    int col = 0;
+  };
+  struct EntityRef {
+    int slot = 0;
+    int row = 0;
+    int col = 0;
+    std::string surface;
+  };
+  struct TableSlot {
+    Table table;
+    std::string id;  // canonical serving id (never empty)
+    bool live = true;
+    // Index rows owned by this slot, so id-addressed queries are served
+    // from the stored embeddings instead of re-encoding: exactly one
+    // table row, a contiguous column range, a contiguous entity range
+    // (-1 / empty when absent).
+    int tbl_row = -1;
+    int col_begin = -1, col_end = -1;
+    int ent_begin = -1, ent_end = -1;
+    // Doc-local lexical stats for the Ask gate (term -> count over the
+    // serialized table text). Derived state: recomputed on insert and
+    // on snapshot load, never serialized.
+    std::unordered_map<std::string, int> doc_tf;
+  };
+
+  /// \brief Shard-local inverted index for the Ask lexical stage:
+  /// term -> slots whose documents contain it. Candidate generation
+  /// probes only the query's terms instead of scanning every live slot.
+  /// Like the LSH indexes, entries for tombstoned slots linger (filtered
+  /// by liveness at query time) until Compact rebuilds.
+  using LexPostings = std::unordered_map<std::string, std::vector<int>>;
+
+  // Everything AddTables derives from one table before touching shared
+  // state (embeddings computed, widths validated).
+  struct PreparedTable {
+    std::vector<std::pair<int, std::vector<float>>> columns;  // grid col
+    std::vector<float> table_vec;
+    std::vector<std::pair<EntityRef, std::vector<float>>> entities;
+  };
+
+  /// \brief One live table with its stored embedding rows — the
+  /// exchange format for sharded snapshots and re-partitioning.
+  struct LiveTableRows {
+    Table table;
+    std::string id;
+    std::vector<float> table_vec;
+    std::vector<std::pair<int, std::vector<float>>> columns;
+    std::vector<std::pair<EntityRef, std::vector<float>>> entities;
+  };
+
+  ServiceShard(const TabBiNSystem* system, const ServiceOptions& options);
+
+  ServiceShard(const ServiceShard&) = delete;
+  ServiceShard& operator=(const ServiceShard&) = delete;
+
+  /// \brief Embeds one encoded table for all three indexes; pure — no
+  /// lock, no shard state touched.
+  static Result<PreparedTable> Prepare(const TabBiNSystem& sys,
+                                       const ServiceOptions& options,
+                                       const Table& table,
+                                       const TableEncodings& enc);
+
+  // --- Writes (exclusive lock, taken internally) ------------------------
+
+  /// \brief Appends prepared tables as live slots (tombstoning previous
+  /// holders of re-used ids). Pure memory operation — encoding happened
+  /// in Prepare, outside any lock.
+  void InsertBatch(std::vector<Table> tables, std::vector<std::string> ids,
+                   std::vector<PreparedTable> prepared, AddReport* report);
+
+  /// \brief Re-inserts one table from stored embedding rows (snapshot
+  /// restore / re-partitioning): validates widths, then inserts without
+  /// any encoder involvement. ParseError on width mismatch.
+  Status InsertRows(LiveTableRows&& rows, AddReport* report);
+
+  Status Remove(const std::string& id);
+
+  /// \brief Rebuilds every index over the live tables only, from their
+  /// stored embedding rows — no encoder involvement (calling the engine
+  /// under the writer lock could deadlock against pool-queued encodes);
+  /// the writer lock is held for the duration.
+  Status Compact();
+
+  // --- Reads (shared lock, taken internally) ----------------------------
+
+  /// \brief Outcome of resolving an id-addressed query against this
+  /// shard: either the stored query embedding (copied out so no lock
+  /// outlives the call), or a table copy the caller must encode because
+  /// the addressed column/cell is not indexed (VMD columns, numeric or
+  /// over-budget cells).
+  struct Resolved {
+    std::vector<float> vec;
+    Table table_copy;
+    bool needs_encode = false;
+  };
+  Result<Resolved> ResolveColumn(const std::string& id, int col) const;
+  Result<Resolved> ResolveTable(const std::string& id) const;
+  Result<Resolved> ResolveEntity(const std::string& id, int row,
+                                 int col) const;
+
+  /// \brief This shard's ranked contribution to one scattered query.
+  struct MatchSet {
+    std::vector<ServiceMatch> matches;  // ServiceMatchOrder, <= k
+    int candidates = 0;                 // LSH candidates before ranking
+  };
+  /// `keys` are the query's LSH bucket keys, hashed ONCE by the
+  /// coordinator (QueryHashers) and probed into every shard — identical
+  /// hyperplanes everywhere make the probe exact, and N shards cost one
+  /// hash instead of N.
+  MatchSet TopColumns(VecView query, const std::vector<uint64_t>& keys,
+                      int k, const std::string& exclude_id,
+                      int exclude_col) const;
+  MatchSet TopTables(VecView query, const std::vector<uint64_t>& keys,
+                     int k, const std::string& exclude_id) const;
+  MatchSet TopEntities(VecView query, const std::vector<uint64_t>& keys,
+                       int k, const std::string& exclude_id,
+                       int exclude_row, int exclude_col) const;
+
+  /// \brief This shard's Ask candidates: the lexical top-`pool` of its
+  /// live documents (doc-local saturated-tf score over the sorted
+  /// distinct query terms) and the live dense LSH candidates, each with
+  /// their exact cosine against the question embedding.
+  struct LexicalHit {
+    // Partition-independent lexical score. Kept in double: the shard-
+    // local pool cut and the coordinator's merged cut must order by the
+    // SAME precision, or two docs whose doubles differ but whose floats
+    // tie could straddle the pool boundary differently at different
+    // shard counts.
+    double lex = 0;
+    ServiceMatch match;  // match.score carries the cosine
+  };
+  struct AskPartial {
+    std::vector<LexicalHit> lexical;   // (lex desc, id asc), <= pool
+    std::vector<ServiceMatch> dense;   // unordered, live only
+    size_t live = 0;                   // live tables in this shard
+  };
+  AskPartial AskCandidates(const std::vector<std::string>& query_terms,
+                           VecView query_vec,
+                           const std::vector<uint64_t>& tbl_keys,
+                           int pool) const;
+
+  // --- Introspection ----------------------------------------------------
+
+  size_t live_count() const;
+  size_t slot_count() const;
+  size_t indexed_columns() const;  // includes tombstoned entries
+  size_t indexed_entities() const;
+  void AppendLiveIds(std::vector<std::string>* out) const;
+
+  /// \brief Copies every live table with its embedding rows (snapshot
+  /// export / re-partitioning), in slot order.
+  void ExportLive(std::vector<LiveTableRows>* out) const;
+
+ private:
+  // TabBinService serializes/restores its single shard in the legacy
+  // "service.*" snapshot byte format, which needs raw field access.
+  friend class TabBinService;
+
+  // Requires mu_ held exclusively.
+  void InsertPreparedLocked(Table table, const std::string& id,
+                            PreparedTable&& prepared, AddReport* report);
+
+  // Requires mu_ held (shared suffices).
+  void ExportLiveLocked(std::vector<LiveTableRows>* out) const;
+
+  template <typename Ref, typename Accept, typename TieLess,
+            typename Emit>
+  MatchSet RankLocked(const LshIndex& index, const EmbeddingMatrix& vecs,
+                      const std::vector<Ref>& refs, VecView query_vec,
+                      const std::vector<uint64_t>& keys, int k,
+                      const Accept& accept, const TieLess& tie_less,
+                      const Emit& emit) const;
+
+  const TabBiNSystem* system_;
+  ServiceOptions options_;
+
+  mutable std::shared_mutex mu_;
+  std::vector<TableSlot> slots_;
+  std::unordered_map<std::string, int> id_to_slot_;  // live ids only
+  int live_count_ = 0;
+
+  LshIndex col_index_;
+  EmbeddingMatrix col_vecs_;  // row i ↔ col_refs_[i] ↔ LSH id i
+  std::vector<ColumnRef> col_refs_;
+
+  LshIndex tbl_index_;
+  EmbeddingMatrix tbl_vecs_;
+  std::vector<int> tbl_refs_;  // row i -> slot
+
+  LshIndex ent_index_;
+  EmbeddingMatrix ent_vecs_;
+  std::vector<EntityRef> ent_refs_;
+
+  LexPostings lex_postings_;
+};
+
+// ---------------------------------------------------------------------------
+// Scatter-gather coordinator, shared by TabBinService (one shard) and
+// ShardedTabBinService (N shards). All functions are free of service
+// state: they see the system/engine/options plus a stable view of the
+// shard set, route id-addressed requests to the owning shard
+// (ShardIndexFor), encode ad-hoc inputs outside every lock, fan the
+// ranking out (across ThreadPool::Global() when there is more than one
+// shard), and merge with the partition-independent ServiceMatchOrder.
+// ---------------------------------------------------------------------------
+
+/// \brief Lock-free per-task hashers with the same geometry and seed as
+/// every shard's indexes. Immutable after construction, so coordinators
+/// hash each query vector once — no shard lock, no per-shard re-hash.
+struct QueryHashers {
+  LshIndex col, tbl, ent;
+  QueryHashers(const TabBiNSystem& sys, const ServiceOptions& o)
+      : col(ServiceColumnDim(sys), o.lsh_bits, o.lsh_tables, o.lsh_seed),
+        tbl(ServiceTableDim(sys), o.lsh_bits, o.lsh_tables, o.lsh_seed),
+        ent(ServiceEntityDim(sys), o.lsh_bits, o.lsh_tables, o.lsh_seed) {}
+};
+
+struct ServingCore {
+  const TabBiNSystem* system = nullptr;
+  EncoderEngine* engine = nullptr;
+  const ServiceOptions* options = nullptr;
+  const QueryHashers* hashers = nullptr;
+  const std::vector<ServiceShard*>* shards = nullptr;
+};
+
+Result<AddReport> ScatterAddTables(const ServingCore& core,
+                                   const std::vector<Table>& tables);
+Status ScatterRemoveTable(const ServingCore& core, const std::string& id);
+Status ScatterCompact(const ServingCore& core);
+
+Result<QueryResponse> ScatterSimilarColumns(const ServingCore& core,
+                                            const ColumnQueryRequest& req);
+Result<QueryResponse> ScatterSimilarTables(const ServingCore& core,
+                                           const TableQueryRequest& req);
+Result<QueryResponse> ScatterSimilarEntities(const ServingCore& core,
+                                             const EntityQueryRequest& req);
+Result<AskResponse> ScatterAsk(const ServingCore& core,
+                               const AskRequest& req);
+
+// The embedding accessors both services expose (engine-cached encode →
+// composite; thread-safe, no shard locks).
+std::vector<float> ServingColumnEmbedding(const ServingCore& core,
+                                          const Table& table, int col);
+std::vector<float> ServingTableEmbedding(const ServingCore& core,
+                                         const Table& table);
+std::vector<float> ServingEntityEmbedding(const ServingCore& core,
+                                          const Table& table, int row,
+                                          int col);
+
+}  // namespace tabbin
+
+#endif  // TABBIN_SERVICE_SHARD_H_

@@ -1,0 +1,398 @@
+#include "service/sharded_service.h"
+
+#include <algorithm>
+#include <unordered_set>
+#include <utility>
+
+#include "io/table_io.h"
+#include "service/table_service.h"
+#include "util/logging.h"
+#include "util/snapshot.h"
+
+namespace tabbin {
+
+namespace {
+
+// Backstop against hostile manifests; far above any sane deployment.
+constexpr uint32_t kMaxShards = 4096;
+
+std::string ShardSectionName(uint32_t i) {
+  return "sharded.shard" + std::to_string(i);
+}
+
+}  // namespace
+
+ShardedTabBinService::ShardedTabBinService(
+    std::shared_ptr<TabBiNSystem> system, int num_shards,
+    ServiceOptions options)
+    : system_(std::move(system)),
+      options_(options),
+      hashers_(*system_, options_) {
+  const size_t n = static_cast<size_t>(std::max(1, num_shards));
+  shards_.reserve(n);
+  shard_view_.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    shards_.push_back(
+        std::make_unique<ServiceShard>(system_.get(), options_));
+    shard_view_.push_back(shards_.back().get());
+  }
+  const size_t capacity = options_.encoder_cache_capacity == 0
+                              ? 256
+                              : options_.encoder_cache_capacity;
+  engine_ = std::make_unique<EncoderEngine>(system_.get(), capacity);
+}
+
+// --- Corpus updates -------------------------------------------------------
+
+Result<AddReport> ShardedTabBinService::AddTables(
+    const std::vector<Table>& tables) {
+  return ScatterAddTables(core(), tables);
+}
+
+Status ShardedTabBinService::RemoveTable(const std::string& id) {
+  return ScatterRemoveTable(core(), id);
+}
+
+Status ShardedTabBinService::Compact() { return ScatterCompact(core()); }
+
+// --- Queries --------------------------------------------------------------
+
+Result<QueryResponse> ShardedTabBinService::SimilarColumns(
+    const ColumnQueryRequest& req) const {
+  return ScatterSimilarColumns(core(), req);
+}
+
+Result<QueryResponse> ShardedTabBinService::SimilarTables(
+    const TableQueryRequest& req) const {
+  return ScatterSimilarTables(core(), req);
+}
+
+Result<QueryResponse> ShardedTabBinService::SimilarEntities(
+    const EntityQueryRequest& req) const {
+  return ScatterSimilarEntities(core(), req);
+}
+
+Result<AskResponse> ShardedTabBinService::Ask(const AskRequest& req) const {
+  return ScatterAsk(core(), req);
+}
+
+// --- Embedding accessors --------------------------------------------------
+
+std::vector<float> ShardedTabBinService::ColumnEmbedding(const Table& table,
+                                                         int col) const {
+  return ServingColumnEmbedding(core(), table, col);
+}
+
+std::vector<float> ShardedTabBinService::TableEmbedding(
+    const Table& table) const {
+  return ServingTableEmbedding(core(), table);
+}
+
+std::vector<float> ShardedTabBinService::EntityEmbedding(const Table& table,
+                                                         int row,
+                                                         int col) const {
+  return ServingEntityEmbedding(core(), table, row, col);
+}
+
+// --- Introspection --------------------------------------------------------
+
+size_t ShardedTabBinService::NumLiveTables() const {
+  size_t n = 0;
+  for (const auto& shard : shards_) n += shard->live_count();
+  return n;
+}
+
+size_t ShardedTabBinService::NumIndexedColumns() const {
+  size_t n = 0;
+  for (const auto& shard : shards_) n += shard->indexed_columns();
+  return n;
+}
+
+size_t ShardedTabBinService::NumIndexedEntities() const {
+  size_t n = 0;
+  for (const auto& shard : shards_) n += shard->indexed_entities();
+  return n;
+}
+
+std::vector<std::string> ShardedTabBinService::LiveTableIds() const {
+  std::vector<std::string> ids;
+  for (const auto& shard : shards_) shard->AppendLiveIds(&ids);
+  std::sort(ids.begin(), ids.end());
+  return ids;
+}
+
+size_t ShardedTabBinService::ShardLiveCount(int shard) const {
+  if (shard < 0 || shard >= num_shards()) return 0;
+  return shards_[static_cast<size_t>(shard)]->live_count();
+}
+
+// --- Persistence ----------------------------------------------------------
+//
+// Layout (inside the standard snapshot container):
+//   "sharded.manifest":  u32 shard count | u64 total live tables |
+//                        u64 live count per shard
+//   "sharded.shard<i>":  u64 live count, then per live table:
+//                        id | table JSON | table embedding row |
+//                        u64 columns (grid col + row each) |
+//                        u64 entities (row, col, surface + row each)
+// Embedding rows are stored so a load re-partitions by pure hashing —
+// re-inserting vectors into fresh LSH indexes, no forward passes.
+
+void ShardedTabBinService::AppendTo(SnapshotWriter* snapshot) const {
+  system_->AppendTo(snapshot);
+  engine_->AppendCacheTo(snapshot);
+  AppendServiceOptions(options_, snapshot);
+
+  std::vector<std::vector<ServiceShard::LiveTableRows>> exported(
+      shards_.size());
+  uint64_t total = 0;
+  for (size_t i = 0; i < shards_.size(); ++i) {
+    shards_[i]->ExportLive(&exported[i]);
+    total += exported[i].size();
+  }
+
+  BinaryWriter* manifest = snapshot->AddSection("sharded.manifest");
+  manifest->WriteU32(static_cast<uint32_t>(shards_.size()));
+  manifest->WriteU64(total);
+  for (const auto& rows : exported) {
+    manifest->WriteU64(rows.size());
+  }
+
+  for (size_t i = 0; i < exported.size(); ++i) {
+    BinaryWriter* w =
+        snapshot->AddSection(ShardSectionName(static_cast<uint32_t>(i)));
+    w->WriteU64(exported[i].size());
+    for (const ServiceShard::LiveTableRows& rows : exported[i]) {
+      w->WriteString(rows.id);
+      w->WriteString(TableToJson(rows.table).Dump());
+      w->WriteF32Vector(rows.table_vec);
+      w->WriteU64(rows.columns.size());
+      for (const auto& [col, vec] : rows.columns) {
+        w->WriteI32(col);
+        w->WriteF32Vector(vec);
+      }
+      w->WriteU64(rows.entities.size());
+      for (const auto& [ref, vec] : rows.entities) {
+        w->WriteI32(ref.row);
+        w->WriteI32(ref.col);
+        w->WriteString(ref.surface);
+        w->WriteF32Vector(vec);
+      }
+    }
+  }
+}
+
+namespace {
+
+Result<std::vector<ServiceShard::LiveTableRows>> ParseShardSection(
+    BinaryReader* r, uint64_t expected_live) {
+  TABBIN_ASSIGN_OR_RETURN(uint64_t n, r->ReadU64());
+  if (n != expected_live) {
+    return Status::ParseError(
+        "sharded snapshot: shard live count disagrees with manifest");
+  }
+  // Every serialized table costs at least five u64 length prefixes; a
+  // count beyond that bound is hostile and must never reach reserve()
+  // (an adversarial manifest could otherwise force a length_error /
+  // bad_alloc crash instead of the contractual ParseError).
+  if (n > r->remaining() / 40) {
+    return Status::ParseError(
+        "sharded snapshot: shard live count past end of stream");
+  }
+  std::vector<ServiceShard::LiveTableRows> rows;
+  rows.reserve(static_cast<size_t>(n));
+  for (uint64_t i = 0; i < n; ++i) {
+    ServiceShard::LiveTableRows row;
+    TABBIN_ASSIGN_OR_RETURN(row.id, r->ReadString());
+    if (row.id.empty()) {
+      return Status::ParseError("sharded snapshot: empty table id");
+    }
+    TABBIN_ASSIGN_OR_RETURN(std::string json_text, r->ReadString());
+    TABBIN_ASSIGN_OR_RETURN(Json json, Json::Parse(json_text));
+    TABBIN_ASSIGN_OR_RETURN(row.table, TableFromJson(json));
+    TABBIN_ASSIGN_OR_RETURN(row.table_vec, r->ReadF32Vector());
+    TABBIN_ASSIGN_OR_RETURN(uint64_t n_cols, r->ReadU64());
+    for (uint64_t c = 0; c < n_cols; ++c) {
+      TABBIN_ASSIGN_OR_RETURN(int32_t grid_col, r->ReadI32());
+      TABBIN_ASSIGN_OR_RETURN(std::vector<float> vec, r->ReadF32Vector());
+      row.columns.emplace_back(grid_col, std::move(vec));
+    }
+    TABBIN_ASSIGN_OR_RETURN(uint64_t n_ents, r->ReadU64());
+    for (uint64_t e = 0; e < n_ents; ++e) {
+      ServiceShard::EntityRef ref;
+      TABBIN_ASSIGN_OR_RETURN(ref.row, r->ReadI32());
+      TABBIN_ASSIGN_OR_RETURN(ref.col, r->ReadI32());
+      TABBIN_ASSIGN_OR_RETURN(ref.surface, r->ReadString());
+      TABBIN_ASSIGN_OR_RETURN(std::vector<float> vec, r->ReadF32Vector());
+      row.entities.emplace_back(std::move(ref), std::move(vec));
+    }
+    rows.push_back(std::move(row));
+  }
+  return rows;
+}
+
+}  // namespace
+
+Result<std::unique_ptr<ShardedTabBinService>>
+ShardedTabBinService::FromSnapshot(const SnapshotReader& snapshot,
+                                   int num_shards_override) {
+  std::shared_ptr<TabBiNSystem> system;
+  ServiceOptions options;
+  std::vector<ServiceShard::LiveTableRows> rows;
+  uint32_t saved_shards = 1;
+
+  if (snapshot.HasSection("sharded.manifest")) {
+    TABBIN_ASSIGN_OR_RETURN(TabBiNSystem sys,
+                            TabBiNSystem::FromSnapshot(snapshot));
+    system = std::make_shared<TabBiNSystem>(std::move(sys));
+    TABBIN_ASSIGN_OR_RETURN(options, ReadServiceOptions(snapshot));
+
+    TABBIN_ASSIGN_OR_RETURN(BinaryReader manifest,
+                            snapshot.Section("sharded.manifest"));
+    auto shard_count = manifest.ReadU32();
+    auto total_live = manifest.ReadU64();
+    if (!shard_count.ok() || !total_live.ok()) {
+      return Status::ParseError("sharded snapshot: truncated manifest");
+    }
+    saved_shards = shard_count.value();
+    if (saved_shards == 0 || saved_shards > kMaxShards) {
+      return Status::ParseError("sharded snapshot: shard count " +
+                                std::to_string(saved_shards) +
+                                " out of range");
+    }
+    std::vector<uint64_t> per_shard;
+    per_shard.reserve(saved_shards);
+    uint64_t manifest_sum = 0;
+    for (uint32_t i = 0; i < saved_shards; ++i) {
+      auto n = manifest.ReadU64();
+      if (!n.ok()) {
+        return Status::ParseError("sharded snapshot: truncated manifest");
+      }
+      per_shard.push_back(n.value());
+      manifest_sum += n.value();
+    }
+    if (manifest_sum != total_live.value()) {
+      return Status::ParseError(
+          "sharded snapshot: manifest live counts disagree with total");
+    }
+    // The manifest's shard count and the shard sections must agree in
+    // both directions: a missing section loses tables silently, an
+    // extra one means the manifest undercounts.
+    for (uint32_t i = 0; i < saved_shards; ++i) {
+      if (!snapshot.HasSection(ShardSectionName(i))) {
+        return Status::ParseError(
+            "sharded snapshot: manifest declares " +
+            std::to_string(saved_shards) + " shards but section '" +
+            ShardSectionName(i) + "' is missing");
+      }
+    }
+    if (snapshot.HasSection(ShardSectionName(saved_shards))) {
+      return Status::ParseError(
+          "sharded snapshot: more shard sections than the manifest's " +
+          std::to_string(saved_shards));
+    }
+    for (uint32_t i = 0; i < saved_shards; ++i) {
+      TABBIN_ASSIGN_OR_RETURN(BinaryReader r,
+                              snapshot.Section(ShardSectionName(i)));
+      TABBIN_ASSIGN_OR_RETURN(auto shard_rows,
+                              ParseShardSection(&r, per_shard[i]));
+      for (auto& row : shard_rows) rows.push_back(std::move(row));
+    }
+  } else if (snapshot.HasSection("service.tables")) {
+    // Legacy single-service snapshot: let TabBinService run its own
+    // validation, then take its live tables (with stored rows) and
+    // re-partition them. This instantiates (and discards) the single
+    // service — a transient extra index build on this cold path — in
+    // exchange for one copy of the legacy byte-format validation logic.
+    TABBIN_ASSIGN_OR_RETURN(std::unique_ptr<TabBinService> single,
+                            TabBinService::FromSnapshot(snapshot));
+    system = single->shared_system();
+    options = single->options();
+    single->ExportLive(&rows);
+  } else {
+    return Status::ParseError(
+        "sharded snapshot: no corpus sections (neither sharded.manifest "
+        "nor service.tables)");
+  }
+
+  // A table must be live in exactly one shard; duplicates would leave
+  // an unremovable ghost answering under the same id.
+  std::unordered_set<std::string> seen;
+  seen.reserve(rows.size());
+  for (const auto& row : rows) {
+    if (!seen.insert(row.id).second) {
+      return Status::ParseError(
+          "sharded snapshot: duplicate table id '" + row.id +
+          "' across shards");
+    }
+  }
+
+  const int target = num_shards_override > 0
+                         ? num_shards_override
+                         : static_cast<int>(saved_shards);
+  auto service = std::unique_ptr<ShardedTabBinService>(
+      new ShardedTabBinService(std::move(system), target, options));
+  if (options.encoder_cache_capacity == 0) {
+    service->engine_->Reserve(rows.size());
+  }
+  TABBIN_ASSIGN_OR_RETURN(size_t warmed,
+                          service->engine_->WarmStart(snapshot));
+  (void)warmed;
+
+  // Canonical re-insert order: sorted by id. Insertion order only
+  // shapes internal row ids, which the partition-independent ranking
+  // never consults — so the restored service answers identically to
+  // the saved one, at any shard count.
+  std::sort(rows.begin(), rows.end(),
+            [](const ServiceShard::LiveTableRows& a,
+               const ServiceShard::LiveTableRows& b) { return a.id < b.id; });
+  AddReport discard;
+  for (auto& row : rows) {
+    const size_t shard = ShardIndexFor(row.id, service->shards_.size());
+    TABBIN_RETURN_IF_ERROR(
+        service->shards_[shard]->InsertRows(std::move(row), &discard));
+  }
+  return service;
+}
+
+Status ShardedTabBinService::Save(const std::string& path) const {
+  SnapshotWriter snapshot;
+  AppendTo(&snapshot);
+  return snapshot.ToFile(path);
+}
+
+Result<std::unique_ptr<ShardedTabBinService>> ShardedTabBinService::Load(
+    const std::string& path, int num_shards_override) {
+  TABBIN_ASSIGN_OR_RETURN(SnapshotReader snapshot,
+                          SnapshotReader::FromFile(path));
+  return FromSnapshot(snapshot, num_shards_override);
+}
+
+// --- Factories ------------------------------------------------------------
+
+std::unique_ptr<TabBinServing> MakeServing(
+    std::shared_ptr<TabBiNSystem> system, int num_shards,
+    ServiceOptions options) {
+  if (num_shards <= 1) {
+    return std::make_unique<TabBinService>(std::move(system), options);
+  }
+  return std::make_unique<ShardedTabBinService>(std::move(system),
+                                                num_shards, options);
+}
+
+Result<std::unique_ptr<TabBinServing>> LoadServing(const std::string& path,
+                                                   int num_shards_override) {
+  TABBIN_ASSIGN_OR_RETURN(SnapshotReader snapshot,
+                          SnapshotReader::FromFile(path));
+  if (snapshot.HasSection("sharded.manifest") || num_shards_override > 0) {
+    auto sharded =
+        ShardedTabBinService::FromSnapshot(snapshot, num_shards_override);
+    if (!sharded.ok()) return sharded.status();
+    return std::unique_ptr<TabBinServing>(std::move(sharded).value());
+  }
+  auto single = TabBinService::FromSnapshot(snapshot);
+  if (!single.ok()) return single.status();
+  return std::unique_ptr<TabBinServing>(std::move(single).value());
+}
+
+}  // namespace tabbin

@@ -1,0 +1,148 @@
+// ShardedTabBinService — the scatter-gather serving core.
+//
+// TabBinService serializes every corpus update behind one
+// std::shared_mutex; its own stress test documents writer starvation
+// once readers keep the lock's duty cycle near 100%. This service
+// partitions the corpus across N ServiceShards by a stable hash of the
+// table id (ShardIndexFor: FNV-1a 64 mod N), each shard owning its own
+// embedding rows, LSH indexes, Ask lexical stats, and shared_mutex —
+// so a write to one shard never blocks reads on the others.
+//
+// Queries scatter across the shards on ThreadPool::Global() and merge
+// the per-shard top-k with the partition-independent ServiceMatchOrder
+// (score desc, then table id / col / row). Because every shard builds
+// its LSH indexes from the same seed and the Ask lexical gate is
+// doc-local, the merged answer is byte-identical to what a single-shard
+// TabBinService returns over the same corpus — for any shard count
+// (tests/sharded_service_test.cc proves shards ∈ {1, 3, 8}).
+//
+// Consistency: each endpoint is atomic per shard. A multi-table
+// AddTables batch is applied under each owning shard's writer lock, but
+// a concurrent reader may observe shard A's part of the batch before
+// shard B's — the price of independent shard locks.
+//
+// Persistence: Save writes a shard manifest ("sharded.manifest") plus
+// one live-rows section per shard ("sharded.shard<i>") into the
+// standard snapshot container, alongside the system, encoder cache, and
+// options sections. Load re-partitions: the target shard count may
+// differ from the saved one (and a legacy single-service snapshot loads
+// too) — stored embedding rows are re-inserted by hash, with no encoder
+// forward passes.
+#ifndef TABBIN_SERVICE_SHARDED_SERVICE_H_
+#define TABBIN_SERVICE_SHARDED_SERVICE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/encoder_engine.h"
+#include "core/tabbin.h"
+#include "service/service_types.h"
+#include "service/shard.h"
+#include "util/status.h"
+
+namespace tabbin {
+
+class ShardedTabBinService : public TabBinServing {
+ public:
+  /// \param num_shards Partition count; clamped to >= 1. More shards
+  /// buy write concurrency at a small per-query merge cost.
+  ShardedTabBinService(std::shared_ptr<TabBiNSystem> system, int num_shards,
+                       ServiceOptions options = {});
+
+  ShardedTabBinService(const ShardedTabBinService&) = delete;
+  ShardedTabBinService& operator=(const ShardedTabBinService&) = delete;
+
+  // --- Corpus updates (per-shard writer locks) --------------------------
+
+  Result<AddReport> AddTables(const std::vector<Table>& tables) override;
+  Status RemoveTable(const std::string& id) override;
+  Status Compact() override;
+
+  // --- Queries (scatter-gather; safe from many threads) -----------------
+
+  Result<QueryResponse> SimilarColumns(
+      const ColumnQueryRequest& req) const override;
+  Result<QueryResponse> SimilarTables(
+      const TableQueryRequest& req) const override;
+  Result<QueryResponse> SimilarEntities(
+      const EntityQueryRequest& req) const override;
+  Result<AskResponse> Ask(const AskRequest& req) const override;
+
+  // --- Embedding accessors ----------------------------------------------
+
+  std::vector<float> ColumnEmbedding(const Table& table,
+                                     int col) const override;
+  std::vector<float> TableEmbedding(const Table& table) const override;
+  std::vector<float> EntityEmbedding(const Table& table, int row,
+                                     int col) const override;
+
+  // --- Introspection ----------------------------------------------------
+
+  size_t NumLiveTables() const override;
+  size_t NumIndexedColumns() const override;
+  size_t NumIndexedEntities() const override;
+  std::vector<std::string> LiveTableIds() const override;
+  int num_shards() const { return static_cast<int>(shards_.size()); }
+  /// \brief Live tables in one shard (observability / tests).
+  size_t ShardLiveCount(int shard) const;
+
+  TabBiNSystem& system() override { return *system_; }
+  const TabBiNSystem& system() const { return *system_; }
+  EncoderEngine& engine() override { return *engine_; }
+  std::shared_ptr<TabBiNSystem> shared_system() const { return system_; }
+  const ServiceOptions& options() const { return options_; }
+
+  // --- Persistence ------------------------------------------------------
+
+  /// \brief Appends system, encoder cache, options, the shard manifest,
+  /// and one live-rows section per shard. Shards are exported one at a
+  /// time (each under its own reader lock); concurrent writers may land
+  /// between shard exports, so snapshot under a write-quiesced service
+  /// when cross-shard point-in-time consistency matters.
+  void AppendTo(SnapshotWriter* snapshot) const;
+
+  /// \brief Restores a sharded snapshot — or a legacy single-service
+  /// snapshot — re-partitioning onto `num_shards_override` shards
+  /// (0 = the saved shard count; 1 for legacy snapshots). Corrupt
+  /// manifests (truncated, shard-count/section mismatch, duplicate
+  /// table ids across shards, bad embedding widths) come back as
+  /// ParseError, never UB.
+  static Result<std::unique_ptr<ShardedTabBinService>> FromSnapshot(
+      const SnapshotReader& snapshot, int num_shards_override = 0);
+
+  Status Save(const std::string& path) const override;
+  static Result<std::unique_ptr<ShardedTabBinService>> Load(
+      const std::string& path, int num_shards_override = 0);
+
+ private:
+  ServingCore core() const {
+    return ServingCore{system_.get(), engine_.get(), &options_, &hashers_,
+                       &shard_view_};
+  }
+
+  std::shared_ptr<TabBiNSystem> system_;
+  std::unique_ptr<EncoderEngine> engine_;
+  ServiceOptions options_;
+  QueryHashers hashers_;
+  std::vector<std::unique_ptr<ServiceShard>> shards_;
+  std::vector<ServiceShard*> shard_view_;
+};
+
+/// \brief Factory for the `--shards=N` knob: N <= 1 builds a
+/// TabBinService, N > 1 a ShardedTabBinService.
+std::unique_ptr<TabBinServing> MakeServing(
+    std::shared_ptr<TabBiNSystem> system, int num_shards,
+    ServiceOptions options = {});
+
+/// \brief Loads whichever service format `path` holds behind the
+/// TabBinServing interface. `num_shards_override` > 0 re-partitions
+/// onto that many shards (any source format); 0 keeps the saved layout
+/// (legacy snapshots restore as a TabBinService, sharded ones at their
+/// saved shard count).
+Result<std::unique_ptr<TabBinServing>> LoadServing(
+    const std::string& path, int num_shards_override = 0);
+
+}  // namespace tabbin
+
+#endif  // TABBIN_SERVICE_SHARDED_SERVICE_H_

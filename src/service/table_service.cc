@@ -1,64 +1,22 @@
 #include "service/table_service.h"
 
 #include <algorithm>
-#include <cstdio>
-#include <unordered_set>
+#include <shared_mutex>
 #include <utility>
 
-#include "baselines/word2vec.h"
 #include "io/table_io.h"
-#include "tensor/ops.h"
 #include "util/logging.h"
+#include "util/snapshot.h"
 
 namespace tabbin {
-
-namespace {
-
-// Embedding widths per task, fixed by the composite constructions
-// (Fig. 5): CC composite is HMD ⊕ column mean, TC composite is
-// row ⊕ HMD ⊕ VMD means, entity embeddings come from the column model.
-int ColumnDim(const TabBiNSystem& sys) { return 2 * sys.hidden(); }
-int TableDim(const TabBiNSystem& sys) { return 3 * sys.hidden(); }
-int EntityDim(const TabBiNSystem& sys) { return sys.hidden(); }
-
-std::string FingerprintId(const Table& table) {
-  char buf[32];
-  std::snprintf(buf, sizeof(buf), "t%016llx",
-                static_cast<unsigned long long>(TableFingerprint(table)));
-  return buf;
-}
-
-// A free-text question enters the embedding space as a minimal table:
-// the question is both caption and single data cell, so TableComposite1
-// places it where topically similar tables live.
-Table QuestionTable(const std::string& question) {
-  Table t(1, 1, /*hmd_rows=*/0, /*vmd_cols=*/0);
-  t.SetValue(0, 0, Value::String(question));
-  t.set_caption(question);
-  return t;
-}
-
-}  // namespace
-
-std::string ServiceDocumentText(const Table& table) {
-  std::string text = table.caption();
-  for (const auto& tuple : SerializeTuples(table)) {
-    text += " ";
-    text += tuple;
-  }
-  return text;
-}
 
 TabBinService::TabBinService(std::shared_ptr<TabBiNSystem> system,
                              ServiceOptions options)
     : system_(std::move(system)),
       options_(options),
-      col_index_(ColumnDim(*system_), options.lsh_bits, options.lsh_tables,
-                 options.lsh_seed),
-      tbl_index_(TableDim(*system_), options.lsh_bits, options.lsh_tables,
-                 options.lsh_seed),
-      ent_index_(EntityDim(*system_), options.lsh_bits, options.lsh_tables,
-                 options.lsh_seed) {
+      hashers_(*system_, options_),
+      shard_(system_.get(), options_),
+      shard_view_{&shard_} {
   // Auto mode starts small; AddTables reserves capacity for the whole
   // corpus as it grows.
   const size_t capacity = options_.encoder_cache_capacity == 0
@@ -71,647 +29,132 @@ TabBinService::TabBinService(std::shared_ptr<TabBiNSystem> system,
 
 std::vector<float> TabBinService::ColumnEmbedding(const Table& table,
                                                   int col) const {
-  auto enc = engine_->Encode(table);
-  return system_->ColumnComposite(*enc, col);
+  return ServingColumnEmbedding(core(), table, col);
 }
 
 std::vector<float> TabBinService::TableEmbedding(const Table& table) const {
-  auto enc = engine_->Encode(table);
-  return system_->TableComposite1(*enc);
+  return ServingTableEmbedding(core(), table);
 }
 
 std::vector<float> TabBinService::EntityEmbedding(const Table& table, int row,
                                                   int col) const {
-  auto enc = engine_->Encode(table);
-  return system_->EntityEmbedding(*enc, row, col);
+  return ServingEntityEmbedding(core(), table, row, col);
 }
 
 // --- Corpus updates -------------------------------------------------------
 
 Result<AddReport> TabBinService::AddTables(const std::vector<Table>& tables) {
-  AddReport report;
-  if (tables.empty()) return report;
-
-  std::vector<std::string> ids;
-  ids.reserve(tables.size());
-  for (const Table& t : tables) {
-    Status st = t.Validate();
-    if (!st.ok()) {
-      return Status::InvalidArgument("AddTables: table '" + t.id() +
-                                     "': " + st.message());
-    }
-    ids.push_back(t.id().empty() ? FingerprintId(t) : t.id());
-  }
-
-  // Encode the batch before taking the writer lock: forward passes are
-  // the expensive part and the engine has its own synchronization, so
-  // readers keep being served while new tables encode. Embeddings and
-  // grounding docs are derived outside the lock too; the writer critical
-  // section is appends and index inserts only.
-  auto encodings = engine_->EncodeBatch(tables);
-  std::vector<PreparedTable> prepared;
-  prepared.reserve(tables.size());
-  for (size_t i = 0; i < tables.size(); ++i) {
-    TABBIN_ASSIGN_OR_RETURN(PreparedTable p,
-                            PrepareTable(tables[i], *encodings[i]));
-    prepared.push_back(std::move(p));
-  }
-
-  std::unique_lock<std::shared_mutex> lock(mu_);
-  if (options_.encoder_cache_capacity == 0) {
-    // Documented auto mode: the cache grows with the corpus so steady-
-    // state queries never re-run forward passes.
-    engine_->Reserve(slots_.size() + tables.size());
-  }
-  const int first_new_slot = static_cast<int>(slots_.size());
-  std::vector<RagDocument> docs;
-  docs.reserve(tables.size());
-  for (size_t i = 0; i < tables.size(); ++i) {
-    docs.push_back(std::move(prepared[i].doc));
-    InsertPreparedLocked(tables[i], ids[i], std::move(prepared[i]), &report);
-  }
-  if (report.tables_replaced > 0) {
-    // Tombstoned docs must leave the BM25 pool: re-derive it.
-    RebuildAskIndexLocked();
-  } else {
-    // Pure append: extend the grounding index incrementally — identical
-    // state to a full rebuild, at O(batch) (one idf recompute per batch)
-    // instead of O(corpus).
-    for (size_t i = 0; i < tables.size(); ++i) {
-      ask_slots_.push_back(first_new_slot + static_cast<int>(i));
-    }
-    ask_retriever_.AddAll(docs);
-  }
-  return report;
-}
-
-Result<TabBinService::PreparedTable> TabBinService::PrepareTable(
-    const Table& t, const TableEncodings& enc) const {
-  PreparedTable p;
-  p.table_vec = system_->TableComposite1(enc);
-  if (static_cast<int>(p.table_vec.size()) != TableDim(*system_)) {
-    return Status::Internal("AddTables: unexpected table embedding width");
-  }
-  for (int c = t.vmd_cols(); c < t.cols(); ++c) {
-    auto vec = system_->ColumnComposite(enc, c);
-    if (static_cast<int>(vec.size()) != ColumnDim(*system_)) {
-      return Status::Internal("AddTables: unexpected column embedding width");
-    }
-    p.columns.emplace_back(c, std::move(vec));
-  }
-  if (options_.index_entities) {
-    int budget = options_.max_entities_per_table;
-    for (int r = t.hmd_rows(); r < t.rows() && budget > 0; ++r) {
-      for (int c = t.vmd_cols(); c < t.cols() && budget > 0; ++c) {
-        const Cell& cell = t.cell(r, c);
-        if (cell.has_nested() || cell.value.kind() != ValueKind::kString) {
-          continue;
-        }
-        EntityRef ref;
-        ref.row = r;
-        ref.col = c;
-        ref.surface = cell.value.text();
-        auto vec = system_->EntityEmbedding(enc, r, c);
-        if (static_cast<int>(vec.size()) != EntityDim(*system_)) {
-          return Status::Internal(
-              "AddTables: unexpected entity embedding width");
-        }
-        p.entities.emplace_back(std::move(ref), std::move(vec));
-        --budget;
-      }
-    }
-  }
-  p.doc = RagDocument{ServiceDocumentText(t), t.topic()};
-  return p;
-}
-
-void TabBinService::InsertPreparedLocked(const Table& table,
-                                         const std::string& id,
-                                         PreparedTable&& prepared,
-                                         AddReport* report) {
-  // Every embedding width was validated by PrepareTable, so the index
-  // inserts below cannot legitimately fail; a rejection is a programming
-  // error worth shouting about rather than silently dropping.
-  auto must_insert = [](Status st) {
-    if (!st.ok()) {
-      TABBIN_LOG(ERROR) << "TabBinService: index insert rejected: "
-                        << st.ToString();
-    }
-  };
-
-  auto it = id_to_slot_.find(id);
-  if (it != id_to_slot_.end()) {
-    slots_[static_cast<size_t>(it->second)].live = false;
-    --live_count_;
-    ++report->tables_replaced;
-  } else {
-    ++report->tables_added;
-  }
-  const int slot = static_cast<int>(slots_.size());
-  slots_.push_back(TableSlot{table, true, -1, -1, -1, -1, -1});
-  TableSlot& s = slots_.back();
-  id_to_slot_[id] = slot;
-  ++live_count_;
-
-  tbl_vecs_.AppendRow(prepared.table_vec);
-  tbl_refs_.push_back(slot);
-  s.tbl_row = static_cast<int>(tbl_refs_.size()) - 1;
-  must_insert(tbl_index_.Insert(s.tbl_row, prepared.table_vec));
-
-  if (!prepared.columns.empty()) {
-    s.col_begin = static_cast<int>(col_refs_.size());
-    s.col_end = s.col_begin + static_cast<int>(prepared.columns.size());
-  }
-  for (auto& [c, vec] : prepared.columns) {
-    col_vecs_.AppendRow(vec);
-    col_refs_.push_back(ColumnRef{slot, c});
-    must_insert(
-        col_index_.Insert(static_cast<int>(col_refs_.size()) - 1, vec));
-    ++report->columns_indexed;
-  }
-  if (!prepared.entities.empty()) {
-    s.ent_begin = static_cast<int>(ent_refs_.size());
-    s.ent_end = s.ent_begin + static_cast<int>(prepared.entities.size());
-  }
-  for (auto& [ref, vec] : prepared.entities) {
-    EntityRef full = ref;
-    full.slot = slot;
-    ent_vecs_.AppendRow(vec);
-    ent_refs_.push_back(std::move(full));
-    must_insert(
-        ent_index_.Insert(static_cast<int>(ent_refs_.size()) - 1, vec));
-    ++report->entities_indexed;
-  }
-}
-
-Status TabBinService::Compact() {
-  std::unique_lock<std::shared_mutex> lock(mu_);
-  if (static_cast<size_t>(live_count_) == slots_.size()) {
-    return Status::OK();  // nothing dead, nothing to do
-  }
-  // Gather the live tables (in slot order, preserving insertion order),
-  // then rebuild every structure over them. Runs under the writer lock
-  // so queries never observe a partially rebuilt corpus; encodings come
-  // from the engine cache, so no forward passes re-run for cached
-  // tables.
-  std::vector<std::pair<std::string, Table>> live;
-  live.reserve(static_cast<size_t>(live_count_));
-  for (const auto& [id, slot] : id_to_slot_) {
-    live.emplace_back(id, slots_[static_cast<size_t>(slot)].table);
-  }
-  std::sort(live.begin(), live.end(),
-            [this](const auto& a, const auto& b) {
-              return id_to_slot_.at(a.first) < id_to_slot_.at(b.first);
-            });
-
-  slots_.clear();
-  id_to_slot_.clear();
-  live_count_ = 0;
-  col_index_ = LshIndex(ColumnDim(*system_), options_.lsh_bits,
-                        options_.lsh_tables, options_.lsh_seed);
-  col_vecs_ = EmbeddingMatrix();
-  col_refs_.clear();
-  tbl_index_ = LshIndex(TableDim(*system_), options_.lsh_bits,
-                        options_.lsh_tables, options_.lsh_seed);
-  tbl_vecs_ = EmbeddingMatrix();
-  tbl_refs_.clear();
-  ent_index_ = LshIndex(EntityDim(*system_), options_.lsh_bits,
-                        options_.lsh_tables, options_.lsh_seed);
-  ent_vecs_ = EmbeddingMatrix();
-  ent_refs_.clear();
-
-  AddReport discard;
-  for (auto& [id, table] : live) {
-    auto enc = engine_->Encode(table);
-    TABBIN_ASSIGN_OR_RETURN(PreparedTable p, PrepareTable(table, *enc));
-    InsertPreparedLocked(table, id, std::move(p), &discard);
-  }
-  RebuildAskIndexLocked();
-  return Status::OK();
+  return ScatterAddTables(core(), tables);
 }
 
 Status TabBinService::RemoveTable(const std::string& id) {
-  std::unique_lock<std::shared_mutex> lock(mu_);
-  auto it = id_to_slot_.find(id);
-  if (it == id_to_slot_.end()) {
-    return Status::NotFound("RemoveTable: no live table with id '" + id +
-                            "'");
-  }
-  slots_[static_cast<size_t>(it->second)].live = false;
-  id_to_slot_.erase(it);
-  --live_count_;
-  RebuildAskIndexLocked();
-  return Status::OK();
+  return ScatterRemoveTable(core(), id);
 }
 
-void TabBinService::RebuildAskIndexLocked() {
-  std::vector<RagDocument> docs;
-  ask_slots_.clear();
-  for (size_t s = 0; s < slots_.size(); ++s) {
-    if (!slots_[s].live) continue;
-    docs.push_back(
-        RagDocument{ServiceDocumentText(slots_[s].table), slots_[s].table.topic()});
-    ask_slots_.push_back(static_cast<int>(s));
-  }
-  ask_retriever_.Index(docs);
-}
+Status TabBinService::Compact() { return ScatterCompact(core()); }
 
 // --- Queries --------------------------------------------------------------
 
-namespace {
-
-Status ValidateInline(const Table* table) {
-  Status st = table->Validate();
-  if (!st.ok()) {
-    return Status::InvalidArgument("query table invalid: " + st.message());
-  }
-  return Status::OK();
-}
-
-}  // namespace
-
-template <typename Ref, typename Accept, typename Emit>
-QueryResponse TabBinService::RankLocked(const LshIndex& index,
-                                        const EmbeddingMatrix& vecs,
-                                        const std::vector<Ref>& refs,
-                                        VecView query_vec, int k,
-                                        const Accept& accept,
-                                        const Emit& emit) const {
-  QueryResponse response;
-  std::vector<int> candidates = index.Query(query_vec);
-  response.candidates = static_cast<int>(candidates.size());
-  std::vector<std::pair<float, int>> scored;
-  scored.reserve(candidates.size());
-  for (int id : candidates) {
-    if (id < 0 || id >= static_cast<int>(refs.size())) continue;
-    const Ref& ref = refs[static_cast<size_t>(id)];
-    if (!accept(ref)) continue;
-    scored.emplace_back(
-        CosineSimilarity(query_vec, vecs.row(static_cast<size_t>(id))), id);
-  }
-  // Descending score; ascending id breaks ties so responses are
-  // deterministic across platforms.
-  std::sort(scored.begin(), scored.end(), [](const auto& a, const auto& b) {
-    if (a.first != b.first) return a.first > b.first;
-    return a.second < b.second;
-  });
-  if (static_cast<int>(scored.size()) > k) {
-    scored.resize(static_cast<size_t>(k));
-  }
-  for (const auto& [score, id] : scored) {
-    response.matches.push_back(emit(refs[static_cast<size_t>(id)], score));
-  }
-  return response;
-}
-
 Result<QueryResponse> TabBinService::SimilarColumns(
     const ColumnQueryRequest& req) const {
-  if (req.k <= 0) return Status::InvalidArgument("SimilarColumns: k <= 0");
-  // Inline query tables encode before the lock is taken: forward passes
-  // must never stall writers behind a long-held reader lock.
-  std::vector<float> computed;
-  if (req.table != nullptr) {
-    TABBIN_RETURN_IF_ERROR(ValidateInline(req.table));
-    if (req.col < 0 || req.col >= req.table->cols()) {
-      return Status::OutOfRange("SimilarColumns: column " +
-                                std::to_string(req.col) + " out of range");
-    }
-    computed = ColumnEmbedding(*req.table, req.col);
-  }
-  std::shared_lock<std::shared_mutex> lock(mu_);
-  int qslot = -1;
-  int qrow = -1;
-  if (req.table == nullptr) {
-    auto it = id_to_slot_.find(req.table_id);
-    if (it == id_to_slot_.end()) {
-      return Status::NotFound("no live table with id '" + req.table_id +
-                              "'");
-    }
-    qslot = it->second;
-    const TableSlot& s = slots_[static_cast<size_t>(qslot)];
-    if (req.col < 0 || req.col >= s.table.cols()) {
-      return Status::OutOfRange("SimilarColumns: column " +
-                                std::to_string(req.col) + " out of range");
-    }
-    // Serve the query vector from the stored embeddings — no encode.
-    for (int r = s.col_begin; r >= 0 && r < s.col_end; ++r) {
-      if (col_refs_[static_cast<size_t>(r)].col == req.col) {
-        qrow = r;
-        break;
-      }
-    }
-    if (qrow < 0) {
-      // A metadata (VMD) column is queryable but not indexed: compute
-      // its embedding on a copy, outside the lock.
-      Table copy = s.table;
-      lock.unlock();
-      computed = ColumnEmbedding(copy, req.col);
-      lock.lock();
-      // The slot may have moved while unlocked; re-resolve for
-      // self-exclusion (best effort — worst case the table is gone and
-      // exclusion is moot).
-      auto again = id_to_slot_.find(req.table_id);
-      qslot = again == id_to_slot_.end() ? -1 : again->second;
-    }
-  }
-  const VecView qvec =
-      qrow >= 0 ? col_vecs_.row(static_cast<size_t>(qrow)) : VecView(computed);
-  return RankLocked(
-      col_index_, col_vecs_, col_refs_, qvec, req.k,
-      [&](const ColumnRef& ref) {
-        if (!slots_[static_cast<size_t>(ref.slot)].live) return false;
-        return !(ref.slot == qslot && ref.col == req.col);  // not itself
-      },
-      [&](const ColumnRef& ref, float score) {
-        const Table& t = slots_[static_cast<size_t>(ref.slot)].table;
-        ServiceMatch m;
-        m.table_id = t.id().empty() ? FingerprintId(t) : t.id();
-        m.caption = t.caption();
-        m.col = ref.col;
-        m.score = score;
-        return m;
-      });
+  return ScatterSimilarColumns(core(), req);
 }
 
 Result<QueryResponse> TabBinService::SimilarTables(
     const TableQueryRequest& req) const {
-  if (req.k <= 0) return Status::InvalidArgument("SimilarTables: k <= 0");
-  std::vector<float> computed;
-  if (req.table != nullptr) {
-    TABBIN_RETURN_IF_ERROR(ValidateInline(req.table));
-    computed = TableEmbedding(*req.table);  // outside the lock
-  }
-  std::shared_lock<std::shared_mutex> lock(mu_);
-  int qslot = -1;
-  int qrow = -1;
-  if (req.table == nullptr) {
-    auto it = id_to_slot_.find(req.table_id);
-    if (it == id_to_slot_.end()) {
-      return Status::NotFound("no live table with id '" + req.table_id +
-                              "'");
-    }
-    qslot = it->second;
-    qrow = slots_[static_cast<size_t>(qslot)].tbl_row;  // always stored
-  }
-  const VecView qvec =
-      qrow >= 0 ? tbl_vecs_.row(static_cast<size_t>(qrow)) : VecView(computed);
-  return RankLocked(
-      tbl_index_, tbl_vecs_, tbl_refs_, qvec, req.k,
-      [&](int slot) {
-        return slots_[static_cast<size_t>(slot)].live && slot != qslot;
-      },
-      [&](int slot, float score) {
-        const Table& t = slots_[static_cast<size_t>(slot)].table;
-        ServiceMatch m;
-        m.table_id = t.id().empty() ? FingerprintId(t) : t.id();
-        m.caption = t.caption();
-        m.score = score;
-        return m;
-      });
+  return ScatterSimilarTables(core(), req);
 }
 
 Result<QueryResponse> TabBinService::SimilarEntities(
     const EntityQueryRequest& req) const {
-  if (req.k <= 0) return Status::InvalidArgument("SimilarEntities: k <= 0");
-  std::vector<float> computed;
-  if (req.table != nullptr) {
-    TABBIN_RETURN_IF_ERROR(ValidateInline(req.table));
-    if (req.row < 0 || req.row >= req.table->rows() || req.col < 0 ||
-        req.col >= req.table->cols()) {
-      return Status::OutOfRange("SimilarEntities: cell (" +
-                                std::to_string(req.row) + ", " +
-                                std::to_string(req.col) + ") out of range");
-    }
-    computed = EntityEmbedding(*req.table, req.row, req.col);
-  }
-  std::shared_lock<std::shared_mutex> lock(mu_);
-  int qslot = -1;
-  int qrow = -1;
-  if (req.table == nullptr) {
-    auto it = id_to_slot_.find(req.table_id);
-    if (it == id_to_slot_.end()) {
-      return Status::NotFound("no live table with id '" + req.table_id +
-                              "'");
-    }
-    qslot = it->second;
-    const TableSlot& s = slots_[static_cast<size_t>(qslot)];
-    if (req.row < 0 || req.row >= s.table.rows() || req.col < 0 ||
-        req.col >= s.table.cols()) {
-      return Status::OutOfRange("SimilarEntities: cell (" +
-                                std::to_string(req.row) + ", " +
-                                std::to_string(req.col) + ") out of range");
-    }
-    for (int r = s.ent_begin; r >= 0 && r < s.ent_end; ++r) {
-      const EntityRef& ref = ent_refs_[static_cast<size_t>(r)];
-      if (ref.row == req.row && ref.col == req.col) {
-        qrow = r;
-        break;
-      }
-    }
-    if (qrow < 0) {
-      // Cell isn't in the entity index (numeric, nested, or past the
-      // per-table budget): compute its embedding outside the lock.
-      Table copy = s.table;
-      lock.unlock();
-      computed = EntityEmbedding(copy, req.row, req.col);
-      lock.lock();
-      auto again = id_to_slot_.find(req.table_id);
-      qslot = again == id_to_slot_.end() ? -1 : again->second;
-    }
-  }
-  const VecView qvec =
-      qrow >= 0 ? ent_vecs_.row(static_cast<size_t>(qrow)) : VecView(computed);
-  return RankLocked(
-      ent_index_, ent_vecs_, ent_refs_, qvec, req.k,
-      [&](const EntityRef& ref) {
-        if (!slots_[static_cast<size_t>(ref.slot)].live) return false;
-        return !(ref.slot == qslot && ref.row == req.row &&
-                 ref.col == req.col);
-      },
-      [&](const EntityRef& ref, float score) {
-        const Table& t = slots_[static_cast<size_t>(ref.slot)].table;
-        ServiceMatch m;
-        m.table_id = t.id().empty() ? FingerprintId(t) : t.id();
-        m.caption = t.caption();
-        m.row = ref.row;
-        m.col = ref.col;
-        m.entity = ref.surface;
-        m.score = score;
-        return m;
-      });
+  return ScatterSimilarEntities(core(), req);
 }
 
 Result<AskResponse> TabBinService::Ask(const AskRequest& req) const {
-  if (req.question.empty()) {
-    return Status::InvalidArgument("Ask: empty question");
-  }
-  if (req.k <= 0) return Status::InvalidArgument("Ask: k <= 0");
-  // Bound k before the 3 * k pool sizing below: CLI-supplied values near
-  // INT_MAX must clamp, not overflow.
-  const int k = std::min(req.k, 1 << 20);
-  // The question embeds as a one-cell table; EncodeAll is inference-only
-  // and thread-safe, and runs before the lock so it never stalls
-  // writers. Deliberately bypasses the engine cache so ad-hoc questions
-  // never evict corpus encodings.
-  const Table pseudo = QuestionTable(req.question);
-  const std::vector<float> qvec =
-      system_->TableComposite1(system_->EncodeAll(pseudo));
-
-  std::shared_lock<std::shared_mutex> lock(mu_);
-  AskResponse response;
-  if (live_count_ == 0) {
-    response.answer = "no tables indexed";
-    return response;
-  }
-
-  // Candidate pool: BM25 lexical top-3k (the RAG stage) unioned with the
-  // dense LSH candidates, then exact cosine ranking — the same
-  // BM25 ∪ dense recipe the Table 14 grounding uses.
-  std::unordered_set<int> rows;  // tbl_vecs_ row ids
-  for (int doc : ask_retriever_.Retrieve(req.question, 3 * k)) {
-    // Each slot has exactly one embedding row (appended at insert).
-    rows.insert(slots_[static_cast<size_t>(
-                           ask_slots_[static_cast<size_t>(doc)])]
-                    .tbl_row);
-  }
-  for (int id : tbl_index_.Query(qvec)) rows.insert(id);
-
-  std::vector<std::pair<float, int>> scored;
-  scored.reserve(rows.size());
-  for (int r : rows) {
-    if (r < 0 || r >= static_cast<int>(tbl_refs_.size())) continue;
-    const int slot = tbl_refs_[static_cast<size_t>(r)];
-    if (!slots_[static_cast<size_t>(slot)].live) continue;
-    scored.emplace_back(
-        CosineSimilarity(qvec, tbl_vecs_.row(static_cast<size_t>(r))), r);
-  }
-  std::sort(scored.begin(), scored.end(), [](const auto& a, const auto& b) {
-    if (a.first != b.first) return a.first > b.first;
-    return a.second < b.second;
-  });
-  if (static_cast<int>(scored.size()) > k) {
-    scored.resize(static_cast<size_t>(k));
-  }
-  for (const auto& [score, r] : scored) {
-    const Table& t =
-        slots_[static_cast<size_t>(tbl_refs_[static_cast<size_t>(r)])].table;
-    ServiceMatch m;
-    m.table_id = t.id().empty() ? FingerprintId(t) : t.id();
-    m.caption = t.caption();
-    m.score = score;
-    response.tables.push_back(std::move(m));
-  }
-  if (response.tables.empty()) {
-    response.answer = "no grounding found for the question";
-  } else {
-    const ServiceMatch& top = response.tables.front();
-    char buf[64];
-    std::snprintf(buf, sizeof(buf), " (score %.3f)", top.score);
-    response.answer = "grounded in table '" + top.caption + "' [" +
-                      top.table_id + "]" + buf;
-  }
-  return response;
+  return ScatterAsk(core(), req);
 }
 
 // --- Introspection --------------------------------------------------------
 
-size_t TabBinService::NumLiveTables() const {
-  std::shared_lock<std::shared_mutex> lock(mu_);
-  return static_cast<size_t>(live_count_);
-}
+size_t TabBinService::NumLiveTables() const { return shard_.live_count(); }
 
 size_t TabBinService::NumIndexedColumns() const {
-  std::shared_lock<std::shared_mutex> lock(mu_);
-  return col_refs_.size();
+  return shard_.indexed_columns();
 }
 
 size_t TabBinService::NumIndexedEntities() const {
-  std::shared_lock<std::shared_mutex> lock(mu_);
-  return ent_refs_.size();
+  return shard_.indexed_entities();
 }
 
 std::vector<std::string> TabBinService::LiveTableIds() const {
-  std::shared_lock<std::shared_mutex> lock(mu_);
   std::vector<std::string> ids;
-  ids.reserve(id_to_slot_.size());
-  for (const auto& [id, slot] : id_to_slot_) ids.push_back(id);
+  shard_.AppendLiveIds(&ids);
   std::sort(ids.begin(), ids.end());
   return ids;
 }
 
 // --- Persistence ----------------------------------------------------------
+//
+// The single-shard service keeps the PR-3 "service.*" snapshot byte
+// format: slots (live + tombstoned), per-task refs, embedding matrices,
+// and serialized LSH indexes. A restored service is bit-identical to
+// the saved one — including the bucket pollution of dead entries, so
+// even `candidates` counts match. (ShardedTabBinService uses the
+// re-partitionable live-rows format instead; it can also load this
+// one.)
 
 void TabBinService::AppendTo(SnapshotWriter* snapshot) const {
   system_->AppendTo(snapshot);
   engine_->AppendCacheTo(snapshot);
 
-  // Construction knobs travel with the state: a restored service must
-  // behave identically on subsequent AddTables, not just on queries.
-  BinaryWriter* opts = snapshot->AddSection("service.options");
-  opts->WriteU64(options_.encoder_cache_capacity);
-  opts->WriteI32(options_.lsh_bits);
-  opts->WriteI32(options_.lsh_tables);
-  opts->WriteU64(options_.lsh_seed);
-  opts->WriteI32(options_.index_entities ? 1 : 0);
-  opts->WriteI32(options_.max_entities_per_table);
+  AppendServiceOptions(options_, snapshot);
 
-  std::shared_lock<std::shared_mutex> lock(mu_);
+  std::shared_lock<std::shared_mutex> lock(shard_.mu_);
   BinaryWriter* tables = snapshot->AddSection("service.tables");
-  tables->WriteU64(slots_.size());
-  for (const TableSlot& slot : slots_) {
+  tables->WriteU64(shard_.slots_.size());
+  for (const ServiceShard::TableSlot& slot : shard_.slots_) {
     tables->WriteI32(slot.live ? 1 : 0);
     tables->WriteString(TableToJson(slot.table).Dump());
   }
 
   BinaryWriter* cols = snapshot->AddSection("service.columns");
-  cols->WriteU64(col_refs_.size());
-  for (const ColumnRef& ref : col_refs_) {
+  cols->WriteU64(shard_.col_refs_.size());
+  for (const ServiceShard::ColumnRef& ref : shard_.col_refs_) {
     cols->WriteI32(ref.slot);
     cols->WriteI32(ref.col);
   }
-  col_vecs_.Serialize(cols);
-  col_index_.Serialize(cols);
+  shard_.col_vecs_.Serialize(cols);
+  shard_.col_index_.Serialize(cols);
 
   BinaryWriter* tbls = snapshot->AddSection("service.table_index");
-  tbls->WriteU64(tbl_refs_.size());
-  for (int slot : tbl_refs_) tbls->WriteI32(slot);
-  tbl_vecs_.Serialize(tbls);
-  tbl_index_.Serialize(tbls);
+  tbls->WriteU64(shard_.tbl_refs_.size());
+  for (int slot : shard_.tbl_refs_) tbls->WriteI32(slot);
+  shard_.tbl_vecs_.Serialize(tbls);
+  shard_.tbl_index_.Serialize(tbls);
 
   BinaryWriter* ents = snapshot->AddSection("service.entities");
-  ents->WriteU64(ent_refs_.size());
-  for (const EntityRef& ref : ent_refs_) {
+  ents->WriteU64(shard_.ent_refs_.size());
+  for (const ServiceShard::EntityRef& ref : shard_.ent_refs_) {
     ents->WriteI32(ref.slot);
     ents->WriteI32(ref.row);
     ents->WriteI32(ref.col);
     ents->WriteString(ref.surface);
   }
-  ent_vecs_.Serialize(ents);
-  ent_index_.Serialize(ents);
+  shard_.ent_vecs_.Serialize(ents);
+  shard_.ent_index_.Serialize(ents);
 }
 
 Result<std::unique_ptr<TabBinService>> TabBinService::FromSnapshot(
     const SnapshotReader& snapshot) {
-  TABBIN_ASSIGN_OR_RETURN(TabBiNSystem sys, TabBiNSystem::FromSnapshot(snapshot));
+  TABBIN_ASSIGN_OR_RETURN(TabBiNSystem sys,
+                          TabBiNSystem::FromSnapshot(snapshot));
 
-  ServiceOptions options;
-  TABBIN_ASSIGN_OR_RETURN(BinaryReader opts_r,
-                          snapshot.Section("service.options"));
-  TABBIN_ASSIGN_OR_RETURN(uint64_t capacity, opts_r.ReadU64());
-  options.encoder_cache_capacity = static_cast<size_t>(capacity);
-  TABBIN_ASSIGN_OR_RETURN(options.lsh_bits, opts_r.ReadI32());
-  TABBIN_ASSIGN_OR_RETURN(options.lsh_tables, opts_r.ReadI32());
-  TABBIN_ASSIGN_OR_RETURN(options.lsh_seed, opts_r.ReadU64());
-  TABBIN_ASSIGN_OR_RETURN(int32_t index_entities, opts_r.ReadI32());
-  options.index_entities = index_entities != 0;
-  TABBIN_ASSIGN_OR_RETURN(options.max_entities_per_table, opts_r.ReadI32());
-  if (options.lsh_bits <= 0 || options.lsh_bits > 64 ||
-      options.lsh_tables <= 0) {
-    return Status::ParseError("service snapshot: invalid LSH options");
-  }
+  TABBIN_ASSIGN_OR_RETURN(ServiceOptions options,
+                          ReadServiceOptions(snapshot));
 
   auto service = std::unique_ptr<TabBinService>(new TabBinService(
       std::make_shared<TabBiNSystem>(std::move(sys)), options));
+  ServiceShard& shard = service->shard_;
 
   TABBIN_ASSIGN_OR_RETURN(BinaryReader tables,
                           snapshot.Section("service.tables"));
@@ -721,26 +164,32 @@ Result<std::unique_ptr<TabBinService>> TabBinService::FromSnapshot(
     TABBIN_ASSIGN_OR_RETURN(std::string json_text, tables.ReadString());
     TABBIN_ASSIGN_OR_RETURN(Json json, Json::Parse(json_text));
     TABBIN_ASSIGN_OR_RETURN(Table t, TableFromJson(json));
-    const int slot = static_cast<int>(service->slots_.size());
-    service->slots_.push_back(TableSlot{std::move(t), live != 0});
-    if (live != 0) {
-      const Table& stored = service->slots_.back().table;
-      const std::string id =
-          stored.id().empty() ? FingerprintId(stored) : stored.id();
-      if (!service->id_to_slot_.emplace(id, slot).second) {
+    const int slot = static_cast<int>(shard.slots_.size());
+    shard.slots_.push_back(ServiceShard::TableSlot{});
+    ServiceShard::TableSlot& s = shard.slots_.back();
+    s.table = std::move(t);
+    s.id = CanonicalTableId(s.table);
+    s.live = live != 0;
+    if (s.live) {
+      // Lexical stats for Ask are derived state, rebuilt per live slot.
+      s.doc_tf = ServiceDocTermFrequencies(s.table);
+      for (const auto& [term, count] : s.doc_tf) {
+        shard.lex_postings_[term].push_back(slot);
+      }
+      if (!shard.id_to_slot_.emplace(s.id, slot).second) {
         // Two live slots under one id would leave an unremovable ghost
         // table in every response.
         return Status::ParseError(
-            "service snapshot: duplicate live table id '" + id + "'");
+            "service snapshot: duplicate live table id '" + s.id + "'");
       }
-      ++service->live_count_;
+      ++shard.live_count_;
     }
   }
   if (options.encoder_cache_capacity == 0) {
     // Auto capacity must cover the restored corpus, or the warm cache
     // entries evict each other and snapshot serving re-runs forward
     // passes it already paid for.
-    service->engine_->Reserve(service->slots_.size());
+    service->engine_->Reserve(shard.slots_.size());
   }
   TABBIN_ASSIGN_OR_RETURN(size_t warmed,
                           service->engine_->WarmStart(snapshot));
@@ -750,26 +199,26 @@ Result<std::unique_ptr<TabBinService>> TabBinService::FromSnapshot(
                           snapshot.Section("service.columns"));
   TABBIN_ASSIGN_OR_RETURN(uint64_t n_cols, cols.ReadU64());
   for (uint64_t i = 0; i < n_cols; ++i) {
-    ColumnRef ref;
+    ServiceShard::ColumnRef ref;
     TABBIN_ASSIGN_OR_RETURN(ref.slot, cols.ReadI32());
     TABBIN_ASSIGN_OR_RETURN(ref.col, cols.ReadI32());
-    if (ref.slot < 0 || ref.slot >= static_cast<int>(service->slots_.size())) {
+    if (ref.slot < 0 || ref.slot >= static_cast<int>(shard.slots_.size())) {
       return Status::ParseError("service snapshot: column ref slot range");
     }
-    service->col_refs_.push_back(ref);
+    shard.col_refs_.push_back(ref);
   }
-  TABBIN_ASSIGN_OR_RETURN(service->col_vecs_,
+  TABBIN_ASSIGN_OR_RETURN(shard.col_vecs_,
                           EmbeddingMatrix::Deserialize(&cols));
-  TABBIN_ASSIGN_OR_RETURN(service->col_index_, LshIndex::Deserialize(&cols));
-  if (service->col_vecs_.rows() != service->col_refs_.size() ||
-      service->col_index_.dim() != ColumnDim(*service->system_)) {
+  TABBIN_ASSIGN_OR_RETURN(shard.col_index_, LshIndex::Deserialize(&cols));
+  if (shard.col_vecs_.rows() != shard.col_refs_.size() ||
+      shard.col_index_.dim() != ServiceColumnDim(*service->system_)) {
     return Status::ParseError("service snapshot: column index mismatch");
   }
   // Re-derive each slot's contiguous column range (insertion order
   // groups a slot's columns together).
-  for (size_t i = 0; i < service->col_refs_.size(); ++i) {
-    TableSlot& s =
-        service->slots_[static_cast<size_t>(service->col_refs_[i].slot)];
+  for (size_t i = 0; i < shard.col_refs_.size(); ++i) {
+    ServiceShard::TableSlot& s =
+        shard.slots_[static_cast<size_t>(shard.col_refs_[i].slot)];
     if (s.col_begin < 0) {
       s.col_begin = static_cast<int>(i);
       s.col_end = static_cast<int>(i) + 1;
@@ -786,22 +235,22 @@ Result<std::unique_ptr<TabBinService>> TabBinService::FromSnapshot(
   TABBIN_ASSIGN_OR_RETURN(uint64_t n_tbls, tbls.ReadU64());
   for (uint64_t i = 0; i < n_tbls; ++i) {
     TABBIN_ASSIGN_OR_RETURN(int32_t slot, tbls.ReadI32());
-    if (slot < 0 || slot >= static_cast<int>(service->slots_.size())) {
+    if (slot < 0 || slot >= static_cast<int>(shard.slots_.size())) {
       return Status::ParseError("service snapshot: table ref slot range");
     }
-    service->tbl_refs_.push_back(slot);
+    shard.tbl_refs_.push_back(slot);
   }
-  TABBIN_ASSIGN_OR_RETURN(service->tbl_vecs_,
+  TABBIN_ASSIGN_OR_RETURN(shard.tbl_vecs_,
                           EmbeddingMatrix::Deserialize(&tbls));
-  TABBIN_ASSIGN_OR_RETURN(service->tbl_index_, LshIndex::Deserialize(&tbls));
-  if (service->tbl_vecs_.rows() != service->tbl_refs_.size() ||
-      service->tbl_refs_.size() != service->slots_.size() ||
-      service->tbl_index_.dim() != TableDim(*service->system_)) {
+  TABBIN_ASSIGN_OR_RETURN(shard.tbl_index_, LshIndex::Deserialize(&tbls));
+  if (shard.tbl_vecs_.rows() != shard.tbl_refs_.size() ||
+      shard.tbl_refs_.size() != shard.slots_.size() ||
+      shard.tbl_index_.dim() != ServiceTableDim(*service->system_)) {
     return Status::ParseError("service snapshot: table index mismatch");
   }
-  for (size_t r = 0; r < service->tbl_refs_.size(); ++r) {
-    TableSlot& s =
-        service->slots_[static_cast<size_t>(service->tbl_refs_[r])];
+  for (size_t r = 0; r < shard.tbl_refs_.size(); ++r) {
+    ServiceShard::TableSlot& s =
+        shard.slots_[static_cast<size_t>(shard.tbl_refs_[r])];
     if (s.tbl_row != -1) {
       return Status::ParseError("service snapshot: duplicate table row slot");
     }
@@ -812,26 +261,26 @@ Result<std::unique_ptr<TabBinService>> TabBinService::FromSnapshot(
                           snapshot.Section("service.entities"));
   TABBIN_ASSIGN_OR_RETURN(uint64_t n_ents, ents.ReadU64());
   for (uint64_t i = 0; i < n_ents; ++i) {
-    EntityRef ref;
+    ServiceShard::EntityRef ref;
     TABBIN_ASSIGN_OR_RETURN(ref.slot, ents.ReadI32());
     TABBIN_ASSIGN_OR_RETURN(ref.row, ents.ReadI32());
     TABBIN_ASSIGN_OR_RETURN(ref.col, ents.ReadI32());
     TABBIN_ASSIGN_OR_RETURN(ref.surface, ents.ReadString());
-    if (ref.slot < 0 || ref.slot >= static_cast<int>(service->slots_.size())) {
+    if (ref.slot < 0 || ref.slot >= static_cast<int>(shard.slots_.size())) {
       return Status::ParseError("service snapshot: entity ref slot range");
     }
-    service->ent_refs_.push_back(std::move(ref));
+    shard.ent_refs_.push_back(std::move(ref));
   }
-  TABBIN_ASSIGN_OR_RETURN(service->ent_vecs_,
+  TABBIN_ASSIGN_OR_RETURN(shard.ent_vecs_,
                           EmbeddingMatrix::Deserialize(&ents));
-  TABBIN_ASSIGN_OR_RETURN(service->ent_index_, LshIndex::Deserialize(&ents));
-  if (service->ent_vecs_.rows() != service->ent_refs_.size() ||
-      service->ent_index_.dim() != EntityDim(*service->system_)) {
+  TABBIN_ASSIGN_OR_RETURN(shard.ent_index_, LshIndex::Deserialize(&ents));
+  if (shard.ent_vecs_.rows() != shard.ent_refs_.size() ||
+      shard.ent_index_.dim() != ServiceEntityDim(*service->system_)) {
     return Status::ParseError("service snapshot: entity index mismatch");
   }
-  for (size_t i = 0; i < service->ent_refs_.size(); ++i) {
-    TableSlot& s =
-        service->slots_[static_cast<size_t>(service->ent_refs_[i].slot)];
+  for (size_t i = 0; i < shard.ent_refs_.size(); ++i) {
+    ServiceShard::TableSlot& s =
+        shard.slots_[static_cast<size_t>(shard.ent_refs_[i].slot)];
     if (s.ent_begin < 0) {
       s.ent_begin = static_cast<int>(i);
       s.ent_end = static_cast<int>(i) + 1;
@@ -843,9 +292,6 @@ Result<std::unique_ptr<TabBinService>> TabBinService::FromSnapshot(
     }
   }
 
-  std::unique_lock<std::shared_mutex> lock(service->mu_);
-  service->RebuildAskIndexLocked();
-  lock.unlock();
   return service;
 }
 

@@ -23,106 +23,34 @@
 // Thread-safety contract: queries (SimilarColumns / SimilarTables /
 // SimilarEntities / Ask and the *Embedding accessors) may run from any
 // number of threads concurrently; AddTables / RemoveTable serialize
-// behind a writer lock (std::shared_mutex). A response is always
-// computed against one consistent corpus state — never a torn view of a
-// half-applied batch.
+// behind a writer lock (std::shared_mutex). Each ranking pass runs
+// under one shared-lock hold, so it never observes a torn view of a
+// half-applied batch. A query's vector resolution is a separate
+// (earlier) lock hold: a write that lands between the two is visible
+// to the ranking but not to the already-resolved query embedding —
+// same read-then-rank semantics as the sharded service.
+//
+// Internally the corpus state lives in one ServiceShard (service/shard.h)
+// — the same unit ShardedTabBinService hash-partitions the corpus
+// across N of. Both services answer byte-identically over the same
+// corpus; pick the sharded one when a single writer lock becomes the
+// bottleneck (see README "Sharded serving").
 #ifndef TABBIN_SERVICE_TABLE_SERVICE_H_
 #define TABBIN_SERVICE_TABLE_SERVICE_H_
 
 #include <memory>
-#include <shared_mutex>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
 #include "core/encoder_engine.h"
 #include "core/tabbin.h"
-#include "llm/rag_simulator.h"
-#include "tasks/lsh.h"
+#include "service/service_types.h"
+#include "service/shard.h"
 #include "util/status.h"
 
 namespace tabbin {
 
-/// \brief Construction knobs for a TabBinService.
-struct ServiceOptions {
-  /// EncoderEngine LRU capacity; 0 means auto — the cache grows with
-  /// the corpus (every AddTables reserves room for all live tables).
-  size_t encoder_cache_capacity = 1024;
-  /// LSH blocking geometry shared by the three per-task indexes. The
-  /// seed is part of the service identity: two services built with the
-  /// same seed over the same insertion order answer queries identically.
-  int lsh_bits = 8;
-  int lsh_tables = 12;
-  uint64_t lsh_seed = 1234;
-  /// Index textual data cells as entities (the EC task surface).
-  bool index_entities = true;
-  /// Cap on entity cells indexed per table (bounds index growth on wide
-  /// tables).
-  int max_entities_per_table = 64;
-};
-
-/// \brief Outcome of one AddTables batch.
-struct AddReport {
-  int tables_added = 0;
-  int tables_replaced = 0;  // same id re-added: old entry tombstoned
-  int columns_indexed = 0;
-  int entities_indexed = 0;
-};
-
-/// \brief One retrieved item. `col`/`row` are -1 when not applicable to
-/// the task (e.g. table matches have neither).
-struct ServiceMatch {
-  std::string table_id;
-  std::string caption;
-  int col = -1;
-  int row = -1;
-  std::string entity;  // surface form, entity matches only
-  float score = 0;
-};
-
-/// \brief Response shared by the three similarity endpoints.
-struct QueryResponse {
-  std::vector<ServiceMatch> matches;  // best first
-  int candidates = 0;                 // LSH candidate count before ranking
-};
-
-/// \brief Column similarity request: either a corpus table by id, or an
-/// ad-hoc table supplied inline (encoded on the fly, not inserted).
-struct ColumnQueryRequest {
-  std::string table_id;
-  const Table* table = nullptr;  // overrides table_id when set
-  int col = 0;                   // grid column index
-  int k = 10;
-};
-
-struct TableQueryRequest {
-  std::string table_id;
-  const Table* table = nullptr;
-  int k = 10;
-};
-
-struct EntityQueryRequest {
-  std::string table_id;
-  const Table* table = nullptr;
-  int row = 0;
-  int col = 0;
-  int k = 10;
-};
-
-/// \brief Free-text RAG grounding request (the paper's Sycamore-style
-/// front end): BM25 over serialized live tables unioned with dense
-/// cosine candidates, ranked by embedding similarity.
-struct AskRequest {
-  std::string question;
-  int k = 5;
-};
-
-struct AskResponse {
-  std::vector<ServiceMatch> tables;  // grounding set, best first
-  std::string answer;                // one-line grounded summary
-};
-
-class TabBinService {
+class TabBinService : public TabBinServing {
  public:
   /// \param system Trained (or deterministically initialized) system;
   /// shared so callers may keep using it directly (e.g. baselines that
@@ -139,11 +67,11 @@ class TabBinService {
   /// inserts tables into the live indexes. Atomic: on error nothing was
   /// inserted. A table whose id is already live replaces the old entry.
   /// Tables with empty ids get a content-fingerprint id.
-  Result<AddReport> AddTables(const std::vector<Table>& tables);
+  Result<AddReport> AddTables(const std::vector<Table>& tables) override;
 
   /// \brief Tombstones a live table; its columns/entities stop appearing
   /// in responses. NotFound when no live table has the id.
-  Status RemoveTable(const std::string& id);
+  Status RemoveTable(const std::string& id) override;
 
   /// \brief Rebuilds every index over the live tables only, reclaiming
   /// the memory and bucket pollution that removals/replacements leave
@@ -151,35 +79,40 @@ class TabBinService {
   /// Holds the writer lock for the duration — an admin operation for
   /// replace-heavy workloads, not a per-request call. Responses before
   /// and after compaction are identical.
-  Status Compact();
+  Status Compact() override;
 
   // --- Queries (shared lock; safe from many threads) --------------------
 
-  Result<QueryResponse> SimilarColumns(const ColumnQueryRequest& req) const;
-  Result<QueryResponse> SimilarTables(const TableQueryRequest& req) const;
-  Result<QueryResponse> SimilarEntities(const EntityQueryRequest& req) const;
-  Result<AskResponse> Ask(const AskRequest& req) const;
+  Result<QueryResponse> SimilarColumns(
+      const ColumnQueryRequest& req) const override;
+  Result<QueryResponse> SimilarTables(
+      const TableQueryRequest& req) const override;
+  Result<QueryResponse> SimilarEntities(
+      const EntityQueryRequest& req) const override;
+  Result<AskResponse> Ask(const AskRequest& req) const override;
 
   // --- Embedding accessors ----------------------------------------------
   // The exact embedding path the indexes are built from, cached through
   // the engine; thread-safe. Benchmarks and evaluation pipelines route
   // through these so paper numbers exercise the serving code.
 
-  std::vector<float> ColumnEmbedding(const Table& table, int col) const;
-  std::vector<float> TableEmbedding(const Table& table) const;
+  std::vector<float> ColumnEmbedding(const Table& table,
+                                     int col) const override;
+  std::vector<float> TableEmbedding(const Table& table) const override;
   std::vector<float> EntityEmbedding(const Table& table, int row,
-                                     int col) const;
+                                     int col) const override;
 
   // --- Introspection ----------------------------------------------------
 
-  size_t NumLiveTables() const;
-  size_t NumIndexedColumns() const;  // includes tombstoned entries
-  size_t NumIndexedEntities() const;
-  std::vector<std::string> LiveTableIds() const;
+  size_t NumLiveTables() const override;
+  size_t NumIndexedColumns() const override;  // includes tombstones
+  size_t NumIndexedEntities() const override;
+  std::vector<std::string> LiveTableIds() const override;
 
-  TabBiNSystem& system() { return *system_; }
+  TabBiNSystem& system() override { return *system_; }
   const TabBiNSystem& system() const { return *system_; }
-  EncoderEngine& engine() { return *engine_; }
+  EncoderEngine& engine() override { return *engine_; }
+  std::shared_ptr<TabBiNSystem> shared_system() const { return system_; }
 
   // --- Persistence ------------------------------------------------------
 
@@ -194,92 +127,30 @@ class TabBinService {
       const SnapshotReader& snapshot);
 
   /// \brief File wrappers over AppendTo / FromSnapshot.
-  Status Save(const std::string& path) const;
+  Status Save(const std::string& path) const override;
   static Result<std::unique_ptr<TabBinService>> Load(const std::string& path);
 
+  /// \brief Copies every live table with its stored embedding rows —
+  /// the exchange format ShardedTabBinService re-partitions from.
+  void ExportLive(std::vector<ServiceShard::LiveTableRows>* out) const {
+    shard_.ExportLive(out);
+  }
+
+  const ServiceOptions& options() const { return options_; }
+
  private:
-  struct TableSlot {
-    Table table;
-    bool live = true;
-    // Index rows owned by this slot, so id-addressed queries are served
-    // from the stored embeddings instead of re-encoding: exactly one
-    // table row, a contiguous column range, a contiguous entity range
-    // (-1 / empty when absent).
-    int tbl_row = -1;
-    int col_begin = -1, col_end = -1;
-    int ent_begin = -1, ent_end = -1;
-  };
-  struct ColumnRef {
-    int slot = 0;
-    int col = 0;
-  };
-  struct EntityRef {
-    int slot = 0;
-    int row = 0;
-    int col = 0;
-    std::string surface;
-  };
-
-  // Everything AddTables derives from one table before touching shared
-  // state (embeddings computed, widths validated, grounding doc built).
-  struct PreparedTable {
-    std::vector<std::pair<int, std::vector<float>>> columns;  // grid col
-    std::vector<float> table_vec;
-    std::vector<std::pair<EntityRef, std::vector<float>>> entities;
-    RagDocument doc;
-  };
-
-  // Embeds one encoded table for all three indexes; no lock needed.
-  Result<PreparedTable> PrepareTable(const Table& table,
-                                     const TableEncodings& enc) const;
-
-  // Requires mu_ held exclusively. Appends one prepared table as a new
-  // live slot under `id` (tombstoning a previous holder of the id).
-  void InsertPreparedLocked(const Table& table, const std::string& id,
-                            PreparedTable&& prepared, AddReport* report);
-
-  // Requires mu_ held exclusively. Re-derives the BM25 grounding index
-  // over live slots (needed after removals/replacements; pure appends go
-  // through Bm25Retriever::Add instead).
-  void RebuildAskIndexLocked();
-
-  // Shared ranking core: LSH candidates -> filter live -> exact cosine.
-  template <typename Ref, typename Accept, typename Emit>
-  QueryResponse RankLocked(const LshIndex& index, const EmbeddingMatrix& vecs,
-                           const std::vector<Ref>& refs, VecView query_vec,
-                           int k, const Accept& accept,
-                           const Emit& emit) const;
+  ServingCore core() const {
+    return ServingCore{system_.get(), engine_.get(), &options_, &hashers_,
+                       &shard_view_};
+  }
 
   std::shared_ptr<TabBiNSystem> system_;
   std::unique_ptr<EncoderEngine> engine_;
   ServiceOptions options_;
-
-  mutable std::shared_mutex mu_;
-  std::vector<TableSlot> slots_;
-  std::unordered_map<std::string, int> id_to_slot_;  // live ids only
-  int live_count_ = 0;
-
-  LshIndex col_index_;
-  EmbeddingMatrix col_vecs_;  // row i ↔ col_refs_[i] ↔ LSH id i
-  std::vector<ColumnRef> col_refs_;
-
-  LshIndex tbl_index_;
-  EmbeddingMatrix tbl_vecs_;
-  std::vector<int> tbl_refs_;  // row i -> slot
-
-  LshIndex ent_index_;
-  EmbeddingMatrix ent_vecs_;
-  std::vector<EntityRef> ent_refs_;
-
-  // RAG grounding (derived state; rebuilt on every corpus change and on
-  // load, never serialized).
-  Bm25Retriever ask_retriever_;
-  std::vector<int> ask_slots_;  // BM25 doc i -> slot
+  QueryHashers hashers_;
+  ServiceShard shard_;
+  std::vector<ServiceShard*> shard_view_;
 };
-
-/// \brief Serializes a table the way the service's Ask endpoint sees it
-/// (caption + tuple text), shared with the Table 14 benchmark.
-std::string ServiceDocumentText(const Table& table);
 
 }  // namespace tabbin
 

@@ -121,14 +121,26 @@ Result<LshIndex> LshIndex::Load(const std::string& path) {
   return Deserialize(&r);
 }
 
-std::vector<int> LshIndex::Query(VecView vec) const {
-  std::vector<int> out;
+std::vector<uint64_t> LshIndex::QueryKeys(VecView vec) const {
+  std::vector<uint64_t> keys;
   // A mis-sized probe would hash through truncated dot products and
-  // return candidates that are noise; an empty candidate set is the
-  // honest answer.
-  if (static_cast<int>(vec.size()) != dim_) return out;
+  // return candidates that are noise; an empty key set is the honest
+  // answer.
+  if (static_cast<int>(vec.size()) != dim_) return keys;
+  keys.reserve(static_cast<size_t>(num_tables_));
   for (int t = 0; t < num_tables_; ++t) {
-    auto it = tables_[static_cast<size_t>(t)].find(HashInTable(t, vec));
+    keys.push_back(HashInTable(t, vec));
+  }
+  return keys;
+}
+
+std::vector<int> LshIndex::QueryByKeys(
+    const std::vector<uint64_t>& keys) const {
+  std::vector<int> out;
+  if (keys.size() != static_cast<size_t>(num_tables_)) return out;
+  for (int t = 0; t < num_tables_; ++t) {
+    auto it = tables_[static_cast<size_t>(t)].find(
+        keys[static_cast<size_t>(t)]);
     if (it == tables_[static_cast<size_t>(t)].end()) continue;
     out.insert(out.end(), it->second.begin(), it->second.end());
   }
@@ -138,6 +150,10 @@ std::vector<int> LshIndex::Query(VecView vec) const {
   std::sort(out.begin(), out.end());
   out.erase(std::unique(out.begin(), out.end()), out.end());
   return out;
+}
+
+std::vector<int> LshIndex::Query(VecView vec) const {
+  return QueryByKeys(QueryKeys(vec));
 }
 
 }  // namespace tabbin

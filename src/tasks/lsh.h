@@ -36,6 +36,18 @@ class LshIndex {
   /// from the index dimensionality matches nothing (empty result).
   std::vector<int> Query(VecView vec) const;
 
+  /// \brief The per-table bucket keys `vec` hashes to (empty on a
+  /// dimensionality mismatch). Two indexes built with the same geometry
+  /// and seed share hyperplanes bit for bit, so keys computed once can
+  /// probe them all — the sharded serving core hashes each query once
+  /// and scatters the keys instead of re-hashing per shard.
+  std::vector<uint64_t> QueryKeys(VecView vec) const;
+
+  /// \brief Query by precomputed keys: identical to Query(vec) when
+  /// `keys` came from QueryKeys(vec) on a same-geometry index. A key
+  /// count that does not match num_tables matches nothing.
+  std::vector<int> QueryByKeys(const std::vector<uint64_t>& keys) const;
+
   int dim() const { return dim_; }
 
   int size() const { return count_; }

@@ -3,14 +3,20 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <map>
+#include <memory>
+#include <string>
 
 #include "core/input_builder.h"
 #include "core/pretrainer.h"
 #include "datagen/corpus_gen.h"
 #include "io/table_io.h"
 #include "meta/value_parser.h"
+#include "service/sharded_service.h"
+#include "service/table_service.h"
 #include "table/bicoord.h"
 #include "tasks/metrics.h"
+#include "tensor/ops.h"
 #include "text/wordpiece.h"
 
 namespace tabbin {
@@ -322,6 +328,154 @@ TEST_P(GeneratorProperty, AllGeneratedTablesEncodeEverySegment) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, GeneratorProperty, ::testing::Values(5, 9));
+
+// ---------------------------------------------------------------------------
+// Sharded serving under random churn
+// ---------------------------------------------------------------------------
+
+// Random Add/Remove/replace/Compact sequences driven by a seeded RNG
+// must keep ShardedTabBinService answers equal to the single-shard
+// service AND to a brute-force oracle: every returned score is
+// recomputed as the exact cosine of independently derived embeddings,
+// the ranking is monotone, only live tables appear, and the live set
+// matches a plain std::map mirror of the operations. On failure the
+// SCOPED_TRACE lines pin the seed and operation index, so the shrink is
+// one INSTANTIATE line: rerun with that single seed and bisect ops.
+class ShardedChurnProperty : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ShardedChurnProperty, ShardedMatchesSingleServiceAndExactCosine) {
+  const uint64_t seed = GetParam();
+  SCOPED_TRACE("shrink: rerun with seed=" + std::to_string(seed));
+  Rng rng(seed);
+
+  TabBiNConfig cfg;
+  cfg.hidden = 16;
+  cfg.num_layers = 1;
+  cfg.num_heads = 2;
+  cfg.intermediate = 32;
+  cfg.max_seq_len = 64;
+
+  int next_id = 0;
+  auto fresh_table = [&](const std::string& id) {
+    Table t = RandomTable(&rng);
+    t.set_id(id);
+    t.set_caption("random table " + id);
+    return t;
+  };
+  std::vector<Table> initial;
+  for (int i = 0; i < 5; ++i) {
+    initial.push_back(fresh_table("p" + std::to_string(next_id++)));
+  }
+  auto sys = std::make_shared<TabBiNSystem>(
+      TabBiNSystem::Create(initial, cfg));
+  TabBinService single(sys);
+  ShardedTabBinService sharded(sys, 3);
+  std::map<std::string, Table> oracle;
+
+  auto add_all = [&](const std::vector<Table>& batch) {
+    ASSERT_TRUE(single.AddTables(batch).ok());
+    ASSERT_TRUE(sharded.AddTables(batch).ok());
+    for (const Table& t : batch) oracle[t.id()] = t;
+  };
+  auto live_ids = [&] {
+    std::vector<std::string> ids;
+    for (const auto& [id, t] : oracle) ids.push_back(id);
+    return ids;
+  };
+
+  auto checkpoint = [&] {
+    ASSERT_EQ(single.NumLiveTables(), oracle.size());
+    ASSERT_EQ(sharded.NumLiveTables(), oracle.size());
+    ASSERT_EQ(single.LiveTableIds(), live_ids());
+    ASSERT_EQ(sharded.LiveTableIds(), live_ids());
+    const std::vector<std::string> ids = live_ids();
+    if (ids.empty()) return;
+    // Probe the first, middle, and last live id (deterministic picks).
+    for (size_t pick : {size_t{0}, ids.size() / 2, ids.size() - 1}) {
+      const std::string& qid = ids[pick];
+      SCOPED_TRACE("probe id " + qid);
+      auto a = single.SimilarTables({qid, nullptr, 8});
+      auto b = sharded.SimilarTables({qid, nullptr, 8});
+      ASSERT_TRUE(a.ok()) << a.status().ToString();
+      ASSERT_TRUE(b.ok()) << b.status().ToString();
+      const auto& am = a.value().matches;
+      const auto& bm = b.value().matches;
+      ASSERT_EQ(am.size(), bm.size());
+      const std::vector<float> qvec =
+          single.TableEmbedding(oracle.at(qid));
+      for (size_t i = 0; i < am.size(); ++i) {
+        SCOPED_TRACE("rank " + std::to_string(i));
+        // Sharded == single, byte for byte.
+        ASSERT_EQ(am[i].table_id, bm[i].table_id);
+        ASSERT_EQ(am[i].score, bm[i].score);
+        // Only live tables, never the probe itself.
+        ASSERT_NE(am[i].table_id, qid);
+        ASSERT_TRUE(oracle.count(am[i].table_id)) << am[i].table_id;
+        // Exact-cosine oracle: the served score must equal the cosine
+        // of independently recomputed embeddings.
+        const std::vector<float> mvec =
+            single.TableEmbedding(oracle.at(am[i].table_id));
+        ASSERT_EQ(am[i].score, CosineSimilarity(qvec, mvec));
+        // Ranking is monotone.
+        if (i > 0) ASSERT_LE(am[i].score, am[i - 1].score);
+      }
+    }
+    auto aska = single.Ask({"alpha beta gamma", 4});
+    auto askb = sharded.Ask({"alpha beta gamma", 4});
+    ASSERT_TRUE(aska.ok() && askb.ok());
+    ASSERT_EQ(aska.value().answer, askb.value().answer);
+    ASSERT_EQ(aska.value().tables.size(), askb.value().tables.size());
+    for (size_t i = 0; i < aska.value().tables.size(); ++i) {
+      ASSERT_EQ(aska.value().tables[i].table_id,
+                askb.value().tables[i].table_id);
+      ASSERT_EQ(aska.value().tables[i].score,
+                askb.value().tables[i].score);
+    }
+  };
+
+  add_all(initial);
+  checkpoint();
+  for (int op = 0; op < 10; ++op) {
+    SCOPED_TRACE("op " + std::to_string(op));
+    const std::vector<std::string> ids = live_ids();
+    switch (rng.Uniform(4)) {
+      case 0: {  // add 1-2 fresh tables
+        std::vector<Table> batch;
+        const int n = 1 + static_cast<int>(rng.Uniform(2));
+        for (int i = 0; i < n; ++i) {
+          batch.push_back(fresh_table("p" + std::to_string(next_id++)));
+        }
+        add_all(batch);
+        break;
+      }
+      case 1: {  // replace a random live table under its id
+        if (ids.empty()) break;
+        const std::string& id =
+            ids[rng.Uniform(static_cast<uint64_t>(ids.size()))];
+        add_all({fresh_table(id)});
+        break;
+      }
+      case 2: {  // remove a random live table
+        if (ids.empty()) break;
+        const std::string& id =
+            ids[rng.Uniform(static_cast<uint64_t>(ids.size()))];
+        ASSERT_TRUE(single.RemoveTable(id).ok());
+        ASSERT_TRUE(sharded.RemoveTable(id).ok());
+        oracle.erase(id);
+        break;
+      }
+      default: {  // compact both sides
+        ASSERT_TRUE(single.Compact().ok());
+        ASSERT_TRUE(sharded.Compact().ok());
+        break;
+      }
+    }
+    checkpoint();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ShardedChurnProperty,
+                         ::testing::Values(17, 42, 271, 828));
 
 }  // namespace
 }  // namespace tabbin
