@@ -9,6 +9,7 @@
 #ifndef TABBIN_BENCH_COMMON_H_
 #define TABBIN_BENCH_COMMON_H_
 
+#include <cmath>
 #include <cstdio>
 #include <functional>
 #include <map>
@@ -29,6 +30,22 @@
 
 namespace tabbin {
 namespace bench {
+
+/// \brief The pre-kernel per-pair scoring path, kept verbatim as the
+/// "before" baseline of the PR-5 candidate-scoring comparison:
+/// double-accumulated scalar cosine that recomputes BOTH row norms on
+/// every call. micro_bench and perf_report share this one copy so their
+/// published speedups measure against the same baseline.
+inline float PerPairCosineBaseline(VecView a, VecView b) {
+  double dot = 0, na = 0, nb = 0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    dot += static_cast<double>(a[i]) * b[i];
+    na += static_cast<double>(a[i]) * a[i];
+    nb += static_cast<double>(b[i]) * b[i];
+  }
+  if (na == 0 || nb == 0) return 0.0f;
+  return static_cast<float>(dot / (std::sqrt(na) * std::sqrt(nb)));
+}
 
 /// \brief Which models to train for a benchmark (training dominates cost).
 struct ModelSet {

@@ -5,12 +5,14 @@
 #include <benchmark/benchmark.h>
 
 #include <algorithm>
+#include <cmath>
 #include <memory>
 #include <string>
 
 #include <map>
 #include <mutex>
 
+#include "bench/common.h"
 #include "core/encoder_engine.h"
 #include "core/tabbin.h"
 #include "datagen/corpus_gen.h"
@@ -18,6 +20,8 @@
 #include "service/table_service.h"
 #include "tasks/clustering.h"
 #include "tasks/lsh.h"
+#include "tensor/kernels.h"
+#include "tensor/ops.h"
 #include "text/wordpiece.h"
 #include "util/threadpool.h"
 
@@ -293,6 +297,97 @@ BENCHMARK(BM_ServiceMixedReadWrite)
     ->Iterations(400)
     ->UseRealTime()
     ->Unit(benchmark::kMicrosecond);
+
+using bench::PerPairCosineBaseline;
+
+struct CandidateFixture {
+  EmbeddingMatrix matrix;
+  std::vector<int> candidates;
+  std::vector<float> query;
+};
+
+// A serving-shaped candidate set: 2000 indexed rows, 500 LSH survivors.
+const CandidateFixture& SharedCandidates() {
+  static const CandidateFixture* fx = [] {
+    auto* f = new CandidateFixture();
+    Rng rng(7);
+    const size_t dim = 72;
+    for (int i = 0; i < 2000; ++i) {
+      std::vector<float> v(dim);
+      for (auto& x : v) x = static_cast<float>(rng.Gaussian());
+      f->matrix.AppendRow(v);
+    }
+    for (int i = 0; i < 500; ++i) {
+      f->candidates.push_back(
+          static_cast<int>(rng.Uniform(f->matrix.rows())));
+    }
+    f->query.resize(dim);
+    for (auto& x : f->query) x = static_cast<float>(rng.Gaussian());
+    return f;
+  }();
+  return *fx;
+}
+
+// Candidate scoring, old path: one per-pair call per candidate. items/s
+// is candidates scored per second — compare against the batched row.
+void BM_CandidateScoringPerPair(benchmark::State& state) {
+  const CandidateFixture& fx = SharedCandidates();
+  for (auto _ : state) {
+    float sum = 0.0f;
+    for (int id : fx.candidates) {
+      sum += PerPairCosineBaseline(fx.query,
+                                   fx.matrix.row(static_cast<size_t>(id)));
+    }
+    benchmark::DoNotOptimize(sum);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(fx.candidates.size()));
+  state.SetLabel("per-pair baseline");
+}
+BENCHMARK(BM_CandidateScoringPerPair);
+
+// Candidate scoring, new path: ONE norm-free batched kernel pass over
+// the candidate rows (cached inverse norms). This is exactly what
+// ServiceShard::RankLocked / AskCandidates, clustering, and RAG dense
+// retrieval now execute.
+void BM_CandidateScoringBatchedKernel(benchmark::State& state) {
+  const CandidateFixture& fx = SharedCandidates();
+  const float inv_q =
+      kernels::InvNorm(fx.query.data(), fx.query.size());
+  std::vector<float> scores(fx.candidates.size());
+  for (auto _ : state) {
+    kernels::BatchedCosineRows(fx.query.data(), inv_q, fx.matrix.data(),
+                               fx.matrix.cols(), fx.candidates.data(),
+                               fx.candidates.size(), fx.matrix.inv_norms(),
+                               scores.data());
+    benchmark::DoNotOptimize(scores.data());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(fx.candidates.size()));
+  state.SetLabel(std::string("dispatch=") + kernels::ActiveName());
+}
+BENCHMARK(BM_CandidateScoringBatchedKernel);
+
+// The blocked GEMM micro-kernel at encoder-forward shape
+// ([seq, hidden] x [hidden, hidden]).
+void BM_KernelGemm(benchmark::State& state) {
+  const int n = 96, k = 72, m = 72;
+  Rng rng(8);
+  std::vector<float> a(static_cast<size_t>(n) * k);
+  std::vector<float> b(static_cast<size_t>(k) * m);
+  for (auto& x : a) x = static_cast<float>(rng.Gaussian());
+  for (auto& x : b) x = static_cast<float>(rng.Gaussian());
+  std::vector<float> c(static_cast<size_t>(n) * m);
+  for (auto _ : state) {
+    std::fill(c.begin(), c.end(), 0.0f);
+    kernels::Gemm(a.data(), b.data(), c.data(), n, k, m);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 2 *
+                          static_cast<int64_t>(n) * k * m);  // FLOPs
+  state.SetLabel(std::string("dispatch=") + kernels::ActiveName());
+}
+BENCHMARK(BM_KernelGemm);
 
 void BM_LshQuery(benchmark::State& state) {
   const int dim = 72;

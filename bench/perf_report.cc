@@ -1,0 +1,260 @@
+// perf_report — machine-readable performance trajectory for the repo.
+//
+// Runs the serving-path micro-workloads (kernel candidate scoring, the
+// blocked GEMM, LSH hashing, encoder forward passes, TabBinService
+// queries and incremental writes) with a self-contained timer — no
+// google-benchmark dependency, so the binary builds everywhere the
+// library does — and writes BENCH_PR5.json:
+//
+//   { "dispatch": "<active kernel level>",
+//     "results": [ {"op": ..., "ns_per_op": ..., "mb_per_s": ...,
+//                   "items_per_s": ..., "dispatch": ...}, ... ],
+//     "derived": { "candidate_scoring_speedup_vs_per_pair": ... } }
+//
+// Usage: perf_report [output.json]   (default: BENCH_PR5.json in cwd)
+//
+// CI runs this as a perf smoke step and uploads the JSON as an
+// artifact; compare files across PRs for the trajectory. Set
+// TABBIN_FORCE_SCALAR=1 to record the portable-scalar baseline on the
+// same machine.
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench/common.h"
+#include "core/encoder_engine.h"
+#include "core/tabbin.h"
+#include "datagen/corpus_gen.h"
+#include "service/table_service.h"
+#include "tasks/lsh.h"
+#include "tensor/kernels.h"
+#include "util/rng.h"
+
+namespace tabbin {
+namespace {
+
+struct BenchResult {
+  std::string op;
+  double ns_per_op = 0;
+  double mb_per_s = 0;     // 0 when bytes/op is not meaningful
+  double items_per_s = 0;  // 0 when items/op is not meaningful
+};
+
+// Times fn() until it has run for >= 200ms (after one warmup call) and
+// returns average ns per call. fn must return a value the optimizer
+// cannot discard; we accumulate it into a volatile sink.
+volatile double g_sink = 0;
+
+template <typename Fn>
+double TimeNs(const Fn& fn) {
+  using Clock = std::chrono::steady_clock;
+  g_sink += fn();  // warmup
+  long iters = 0;
+  const auto start = Clock::now();
+  std::chrono::nanoseconds elapsed{0};
+  do {
+    g_sink += fn();
+    ++iters;
+    elapsed = Clock::now() - start;
+  } while (elapsed < std::chrono::milliseconds(200));
+  return static_cast<double>(elapsed.count()) / static_cast<double>(iters);
+}
+
+BenchResult Report(const std::string& op, double ns, double mb_per_op,
+                   double items_per_op) {
+  BenchResult r;
+  r.op = op;
+  r.ns_per_op = ns;
+  if (mb_per_op > 0) r.mb_per_s = mb_per_op * 1e9 / ns;
+  if (items_per_op > 0) r.items_per_s = items_per_op * 1e9 / ns;
+  std::printf("%-40s %12.1f ns/op %10.1f MB/s %12.1f items/s\n",
+              r.op.c_str(), r.ns_per_op, r.mb_per_s, r.items_per_s);
+  return r;
+}
+
+using bench::PerPairCosineBaseline;
+
+int Run(const std::string& out_path) {
+  std::vector<BenchResult> results;
+  const std::string dispatch = kernels::ActiveName();
+  std::printf("kernel dispatch: %s\n\n", dispatch.c_str());
+
+  // --- Candidate scoring: batched norm-cached kernel vs per-pair ------
+  Rng rng(7);
+  const size_t dim = 72;
+  const size_t n_rows = 2000, n_cand = 500;
+  EmbeddingMatrix matrix;
+  for (size_t i = 0; i < n_rows; ++i) {
+    std::vector<float> v(dim);
+    for (auto& x : v) x = static_cast<float>(rng.Gaussian());
+    matrix.AppendRow(v);
+  }
+  std::vector<int> cand;
+  for (size_t i = 0; i < n_cand; ++i) {
+    cand.push_back(static_cast<int>(rng.Uniform(n_rows)));
+  }
+  std::vector<float> query(dim);
+  for (auto& x : query) x = static_cast<float>(rng.Gaussian());
+  const double cand_bytes =
+      static_cast<double>(n_cand) * dim * sizeof(float) / 1e6;
+
+  const double per_pair_ns = TimeNs([&] {
+    float sum = 0.0f;
+    for (int id : cand) {
+      sum += PerPairCosineBaseline(query,
+                                   matrix.row(static_cast<size_t>(id)));
+    }
+    return static_cast<double>(sum);
+  });
+  results.push_back(Report("candidate_scoring_per_pair_500x72",
+                           per_pair_ns, cand_bytes,
+                           static_cast<double>(n_cand)));
+
+  const float inv_q = kernels::InvNorm(query.data(), query.size());
+  std::vector<float> scores(n_cand);
+  const double batched_ns = TimeNs([&] {
+    kernels::BatchedCosineRows(query.data(), inv_q, matrix.data(),
+                               matrix.cols(), cand.data(), cand.size(),
+                               matrix.inv_norms(), scores.data());
+    return static_cast<double>(scores[0]);
+  });
+  results.push_back(Report("candidate_scoring_batched_500x72", batched_ns,
+                           cand_bytes, static_cast<double>(n_cand)));
+  const double cosine_speedup = per_pair_ns / batched_ns;
+  std::printf("  -> batched cosine speedup vs per-pair: %.2fx\n\n",
+              cosine_speedup);
+
+  // --- Blocked GEMM at encoder-forward shape --------------------------
+  const int gn = 96, gk = 72, gm = 72;
+  std::vector<float> ga(static_cast<size_t>(gn) * gk);
+  std::vector<float> gb(static_cast<size_t>(gk) * gm);
+  for (auto& x : ga) x = static_cast<float>(rng.Gaussian());
+  for (auto& x : gb) x = static_cast<float>(rng.Gaussian());
+  std::vector<float> gc(static_cast<size_t>(gn) * gm);
+  const double gemm_bytes =
+      static_cast<double>(gn * gk + gk * gm + gn * gm) * sizeof(float) /
+      1e6;
+  const double gemm_ns = TimeNs([&] {
+    std::fill(gc.begin(), gc.end(), 0.0f);
+    kernels::Gemm(ga.data(), gb.data(), gc.data(), gn, gk, gm);
+    return static_cast<double>(gc[0]);
+  });
+  results.push_back(Report("gemm_96x72x72", gemm_ns, gemm_bytes, 0));
+  // Scalar reference at the same shape (explicit-level entry point, so
+  // one report records the MatMul dispatch win even on SIMD hardware).
+  const double gemm_scalar_ns = TimeNs([&] {
+    std::fill(gc.begin(), gc.end(), 0.0f);
+    kernels::GemmAt(kernels::Dispatch::kScalar, ga.data(), gb.data(),
+                    gc.data(), gn, gk, gm);
+    return static_cast<double>(gc[0]);
+  });
+  results.push_back(
+      Report("gemm_96x72x72_scalar_ref", gemm_scalar_ns, gemm_bytes, 0));
+  const double gemm_speedup = gemm_scalar_ns / gemm_ns;
+  std::printf("  -> gemm dispatch speedup vs scalar: %.2fx\n\n",
+              gemm_speedup);
+
+  // --- LSH hashing: one matvec against the flat hyperplane block ------
+  LshIndex lsh(static_cast<int>(dim), 8, 12);
+  const double lsh_bytes =
+      static_cast<double>(8 * 12) * dim * sizeof(float) / 1e6;
+  const double lsh_ns = TimeNs([&] {
+    return static_cast<double>(lsh.QueryKeys(query).size());
+  });
+  results.push_back(Report("lsh_query_keys_96planes", lsh_ns, lsh_bytes, 0));
+
+  // --- Encoder forward + serving paths --------------------------------
+  GeneratorOptions gopts;
+  gopts.num_tables = 40;
+  const LabeledCorpus corpus = GenerateDataset("cancerkg", gopts);
+  TabBiNConfig cfg;
+  cfg.hidden = 36;
+  cfg.num_layers = 1;
+  cfg.num_heads = 2;
+  cfg.intermediate = 72;
+  cfg.max_seq_len = 96;
+  auto sys = std::make_shared<TabBiNSystem>(
+      TabBiNSystem::Create(corpus.corpus.tables, cfg));
+
+  const double encode_ns = TimeNs([&] {
+    return static_cast<double>(
+        sys->EncodeAll(corpus.corpus.tables[0]).row.hidden.rows());
+  });
+  results.push_back(Report("encode_all_one_table", encode_ns, 0, 1));
+
+  TabBinService svc(sys);
+  auto add = svc.AddTables(corpus.corpus.tables);
+  if (!add.ok()) {
+    std::fprintf(stderr, "AddTables failed: %s\n",
+                 add.status().ToString().c_str());
+    return 1;
+  }
+
+  const double query_ns = TimeNs([&] {
+    const Table& t = corpus.corpus.tables[0];
+    auto r = svc.SimilarColumns({t.id(), nullptr, t.vmd_cols(), 10});
+    return r.ok() ? static_cast<double>(r.value().matches.size()) : 0.0;
+  });
+  results.push_back(Report("service_similar_columns", query_ns, 0, 1));
+
+  // Mixed read/write: one churn write (add + remove of a cached-encode
+  // table) followed by 8 reads, serialized — a single-threaded stand-in
+  // for BM_ServiceMixedReadWrite that stays meaningful on 1-core CI.
+  Table churn = corpus.corpus.tables[0];
+  churn.set_id("churn");
+  churn.set_caption("churn table");
+  const double mixed_ns = TimeNs([&] {
+    double acc = 0;
+    svc.AddTables({churn});
+    for (int i = 0; i < 8; ++i) {
+      const Table& t =
+          corpus.corpus.tables[static_cast<size_t>(i * 5 + 1) %
+                               corpus.corpus.tables.size()];
+      auto r = svc.SimilarColumns({t.id(), nullptr, t.vmd_cols(), 10});
+      acc += r.ok() ? 1 : 0;
+    }
+    acc += svc.RemoveTable("churn").ok() ? 1 : 0;
+    return acc;
+  });
+  results.push_back(Report("service_mixed_1w8r", mixed_ns, 0, 9));
+
+  // --- JSON -----------------------------------------------------------
+  std::FILE* f = std::fopen(out_path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot open %s for writing\n", out_path.c_str());
+    return 1;
+  }
+  std::fprintf(f, "{\n  \"dispatch\": \"%s\",\n  \"results\": [\n",
+               dispatch.c_str());
+  for (size_t i = 0; i < results.size(); ++i) {
+    const BenchResult& r = results[i];
+    std::fprintf(f,
+                 "    {\"op\": \"%s\", \"ns_per_op\": %.1f, "
+                 "\"mb_per_s\": %.1f, \"items_per_s\": %.1f, "
+                 "\"dispatch\": \"%s\"}%s\n",
+                 r.op.c_str(), r.ns_per_op, r.mb_per_s,
+                 r.items_per_s, dispatch.c_str(),
+                 i + 1 < results.size() ? "," : "");
+  }
+  std::fprintf(f,
+               "  ],\n  \"derived\": {\n"
+               "    \"candidate_scoring_speedup_vs_per_pair\": %.2f,\n"
+               "    \"gemm_dispatch_speedup_vs_scalar\": %.2f\n"
+               "  }\n}\n",
+               cosine_speedup, gemm_speedup);
+  std::fclose(f);
+  std::printf("\nwrote %s\n", out_path.c_str());
+  return 0;
+}
+
+}  // namespace
+}  // namespace tabbin
+
+int main(int argc, char** argv) {
+  const std::string out = argc > 1 ? argv[1] : "BENCH_PR5.json";
+  return tabbin::Run(out);
+}

@@ -4,7 +4,7 @@
 #include <cmath>
 #include <unordered_set>
 
-#include "tensor/ops.h"
+#include "tensor/kernels.h"
 #include "text/wordpiece.h"
 #include "util/logging.h"
 
@@ -137,6 +137,10 @@ Status RagLlmSimulator::Index(const std::vector<RagDocument>& docs,
         " embedding rows for " + std::to_string(docs.size()) + " documents");
   }
   dense_ = std::move(embeddings);
+  // Callers commonly fill the matrix through raw data() (no cache
+  // maintenance); the cached inverse norms MUST match the rows before
+  // DenseRetrieve's batched cosine pass reads them.
+  dense_.RecomputeInvNorms();
   return Status::OK();
 }
 
@@ -178,24 +182,42 @@ Status RagLlmSimulator::LoadIndex(const std::string& path) {
 }
 
 std::vector<int> RagLlmSimulator::DenseRetrieve(int query_index, int k) const {
-  if (dense_.empty()) return {};
+  if (dense_.empty() || k <= 0) return {};
   const VecView q = dense_.row(static_cast<size_t>(query_index));
-  std::vector<std::pair<float, int>> scored;
-  scored.reserve(dense_.rows());
+  // One norm-free batched kernel pass over the grounding matrix (cached
+  // per-row inverse norms; the query is a row of the same matrix, so its
+  // norm is cached too), then nth_element top-k selection — (score desc,
+  // doc asc) is a total order, so the selected prefix equals the old
+  // full-sort-then-truncate output exactly.
+  std::vector<int> rows;
+  rows.reserve(dense_.rows());
   for (int d = 0; d < static_cast<int>(dense_.rows()); ++d) {
-    if (d == query_index) continue;
-    scored.emplace_back(CosineSimilarity(q, dense_.row(static_cast<size_t>(d))),
-                        d);
+    if (d != query_index) rows.push_back(d);
   }
-  std::sort(scored.begin(), scored.end(), [](const auto& a, const auto& b) {
+  std::vector<float> scores(rows.size());
+  kernels::BatchedCosineRows(
+      q.data(), dense_.inv_norm(static_cast<size_t>(query_index)),
+      dense_.data(), dense_.cols(), rows.data(), rows.size(),
+      dense_.inv_norms(), scores.data());
+  std::vector<std::pair<float, int>> scored;
+  scored.reserve(rows.size());
+  for (size_t i = 0; i < rows.size(); ++i) {
+    scored.emplace_back(scores[i], rows[i]);
+  }
+  const auto order = [](const std::pair<float, int>& a,
+                        const std::pair<float, int>& b) {
     if (a.first != b.first) return a.first > b.first;
     return a.second < b.second;
-  });
-  std::vector<int> out;
-  for (const auto& [s, d] : scored) {
-    if (static_cast<int>(out.size()) >= k) break;
-    out.push_back(d);
+  };
+  if (static_cast<size_t>(k) < scored.size()) {
+    std::nth_element(scored.begin(), scored.begin() + k, scored.end(),
+                     order);
+    scored.resize(static_cast<size_t>(k));
   }
+  std::sort(scored.begin(), scored.end(), order);
+  std::vector<int> out;
+  out.reserve(scored.size());
+  for (const auto& [s, d] : scored) out.push_back(d);
   return out;
 }
 

@@ -8,7 +8,7 @@
 #include <utility>
 
 #include "baselines/word2vec.h"
-#include "tensor/ops.h"
+#include "tensor/kernels.h"
 #include "text/wordpiece.h"
 #include "util/logging.h"
 #include "util/snapshot.h"
@@ -416,27 +416,47 @@ ServiceShard::MatchSet ServiceShard::RankLocked(
   MatchSet out;
   std::vector<int> candidates = index.QueryByKeys(keys);
   out.candidates = static_cast<int>(candidates.size());
-  std::vector<std::pair<float, int>> scored;
-  scored.reserve(candidates.size());
+  // Accepted candidates first, then ONE norm-free batched pass over
+  // their rows: the matrix caches per-row inverse norms, so each score
+  // is a single kernel dot — bit-identical to pairwise
+  // CosineSimilarity, which evaluates the same kernel expression.
+  std::vector<int> rows;
+  rows.reserve(candidates.size());
   for (int id : candidates) {
     if (id < 0 || id >= static_cast<int>(refs.size())) continue;
-    const Ref& ref = refs[static_cast<size_t>(id)];
-    if (!accept(ref)) continue;
-    scored.emplace_back(
-        CosineSimilarity(query_vec, vecs.row(static_cast<size_t>(id))), id);
+    if (!accept(refs[static_cast<size_t>(id)])) continue;
+    rows.push_back(id);
+  }
+  std::vector<float> scores(rows.size());
+  kernels::BatchedCosineRows(
+      query_vec.data(), kernels::InvNorm(query_vec.data(), query_vec.size()),
+      vecs.data(), vecs.cols(), rows.data(), rows.size(), vecs.inv_norms(),
+      scores.data());
+  std::vector<std::pair<float, int>> scored;
+  scored.reserve(rows.size());
+  for (size_t i = 0; i < rows.size(); ++i) {
+    scored.emplace_back(scores[i], rows[i]);
   }
   // Descending score, then the partition-independent tie order (table
   // id / col / row) — never internal row ids, so the ranking does not
-  // depend on insertion order or shard assignment.
-  std::sort(scored.begin(), scored.end(),
-            [&](const auto& a, const auto& b) {
-              if (a.first != b.first) return a.first > b.first;
-              return tie_less(refs[static_cast<size_t>(a.second)],
-                              refs[static_cast<size_t>(b.second)]);
-            });
-  if (static_cast<int>(scored.size()) > k) {
+  // depend on insertion order or shard assignment. The comparator is a
+  // strict total order (distinct candidates always differ in their tie
+  // key), so top-k selection commutes with the full sort: nth_element
+  // puts exactly the k winners in the prefix, and sorting that prefix
+  // reproduces the full-sort-then-truncate output byte for byte —
+  // candidates can be 100x k, so selection beats sorting the lot.
+  const auto order = [&](const std::pair<float, int>& a,
+                         const std::pair<float, int>& b) {
+    if (a.first != b.first) return a.first > b.first;
+    return tie_less(refs[static_cast<size_t>(a.second)],
+                    refs[static_cast<size_t>(b.second)]);
+  };
+  if (static_cast<size_t>(k) < scored.size()) {
+    std::nth_element(scored.begin(), scored.begin() + k, scored.end(),
+                     order);
     scored.resize(static_cast<size_t>(k));
   }
+  std::sort(scored.begin(), scored.end(), order);
   out.matches.reserve(scored.size());
   for (const auto& [score, id] : scored) {
     out.matches.push_back(emit(refs[static_cast<size_t>(id)], score));
@@ -542,6 +562,9 @@ ServiceShard::AskPartial ServiceShard::AskCandidates(
   AskPartial out;
   out.live = static_cast<size_t>(live_count_);
 
+  const float inv_q =
+      kernels::InvNorm(query_vec.data(), query_vec.size());
+
   // Lexical stage: candidate slots come from the per-term postings
   // (only docs sharing a query term can score > 0 — exactly the old
   // full scan's surviving set, at postings cost instead of
@@ -559,37 +582,67 @@ ServiceShard::AskPartial ServiceShard::AskCandidates(
       if (score > 0) lex.emplace_back(score, s);
     }
   }
-  std::sort(lex.begin(), lex.end(), [&](const auto& a, const auto& b) {
+  // (lex desc, id asc) is a strict total order over distinct slots, so
+  // nth_element + prefix sort equals full sort + truncate exactly; the
+  // postings can surface far more candidates than the pool keeps.
+  const auto lex_order = [&](const std::pair<double, int>& a,
+                             const std::pair<double, int>& b) {
     if (a.first != b.first) return a.first > b.first;
     return slots_[static_cast<size_t>(a.second)].id <
            slots_[static_cast<size_t>(b.second)].id;
-  });
-  if (static_cast<int>(lex.size()) > pool) {
+  };
+  if (static_cast<size_t>(pool) < lex.size()) {
+    std::nth_element(lex.begin(), lex.begin() + pool, lex.end(), lex_order);
     lex.resize(static_cast<size_t>(pool));
   }
-  out.lexical.reserve(lex.size());
+  std::sort(lex.begin(), lex.end(), lex_order);
+
+  // One batched norm-free cosine pass over the surviving lexical rows
+  // (cached inverse norms; bit-identical to pairwise CosineSimilarity).
+  std::vector<int> lex_rows;
+  lex_rows.reserve(lex.size());
   for (const auto& [score, slot] : lex) {
-    const TableSlot& s = slots_[static_cast<size_t>(slot)];
+    lex_rows.push_back(slots_[static_cast<size_t>(slot)].tbl_row);
+  }
+  std::vector<float> lex_cos(lex_rows.size());
+  kernels::BatchedCosineRows(query_vec.data(), inv_q, tbl_vecs_.data(),
+                             tbl_vecs_.cols(), lex_rows.data(),
+                             lex_rows.size(), tbl_vecs_.inv_norms(),
+                             lex_cos.data());
+  out.lexical.reserve(lex.size());
+  for (size_t i = 0; i < lex.size(); ++i) {
+    const TableSlot& s = slots_[static_cast<size_t>(lex[i].second)];
     LexicalHit hit;
-    hit.lex = score;
+    hit.lex = lex[i].first;
     hit.match.table_id = s.id;
     hit.match.caption = s.table.caption();
-    hit.match.score = CosineSimilarity(
-        query_vec, tbl_vecs_.row(static_cast<size_t>(s.tbl_row)));
+    hit.match.score = lex_cos[i];
     out.lexical.push_back(std::move(hit));
   }
 
-  // Dense stage: live LSH candidates with their exact cosine.
+  // Dense stage: live LSH candidates, scored by the same batched pass.
+  std::vector<int> dense_rows;
   for (int row : tbl_index_.QueryByKeys(tbl_keys)) {
     if (row < 0 || row >= static_cast<int>(tbl_refs_.size())) continue;
-    const TableSlot& s =
-        slots_[static_cast<size_t>(tbl_refs_[static_cast<size_t>(row)])];
-    if (!s.live) continue;
+    if (!slots_[static_cast<size_t>(tbl_refs_[static_cast<size_t>(row)])]
+             .live) {
+      continue;
+    }
+    dense_rows.push_back(row);
+  }
+  std::vector<float> dense_cos(dense_rows.size());
+  kernels::BatchedCosineRows(query_vec.data(), inv_q, tbl_vecs_.data(),
+                             tbl_vecs_.cols(), dense_rows.data(),
+                             dense_rows.size(), tbl_vecs_.inv_norms(),
+                             dense_cos.data());
+  out.dense.reserve(dense_rows.size());
+  for (size_t i = 0; i < dense_rows.size(); ++i) {
+    const TableSlot& s = slots_[static_cast<size_t>(
+        tbl_refs_[static_cast<size_t>(dense_rows[i])])];
     ServiceMatch m;
     m.table_id = s.id;
     m.caption = s.table.caption();
-    m.score =
-        CosineSimilarity(query_vec, tbl_vecs_.row(static_cast<size_t>(row)));
+    m.score = dense_cos[i];
     out.dense.push_back(std::move(m));
   }
   return out;

@@ -4,29 +4,73 @@
 #include <map>
 #include <memory>
 
-#include "tensor/ops.h"
+#include "tensor/kernels.h"
 
 namespace tabbin {
 
+namespace {
+
+// (score desc, index asc) — a strict total order over distinct items,
+// identical to the old stable_sort on score alone (rows were always
+// appended in ascending index order), which is what makes nth_element
+// top-k selection equal full-sort-then-truncate byte for byte.
+bool RankedOrder(const RankedItem& a, const RankedItem& b) {
+  if (a.score != b.score) return a.score > b.score;
+  return a.index < b.index;
+}
+
+// Sorts `ranked` by RankedOrder, keeping only the top-k prefix when
+// top_k >= 0 (nth_element selection — candidate sets can be 100x k).
+void SelectTopRanked(std::vector<RankedItem>* ranked, int top_k) {
+  if (top_k >= 0 && static_cast<size_t>(top_k) < ranked->size()) {
+    std::nth_element(ranked->begin(), ranked->begin() + top_k,
+                     ranked->end(), RankedOrder);
+    ranked->resize(static_cast<size_t>(top_k));
+  }
+  std::sort(ranked->begin(), ranked->end(), RankedOrder);
+}
+
+// One batched norm-cached cosine pass of `query` (with inverse norm
+// `inv_q`) against the listed rows of the item matrix.
+std::vector<RankedItem> ScoreRows(const LabeledEmbeddingSet& items,
+                                  VecView query, float inv_q,
+                                  std::vector<int> rows) {
+  std::vector<float> scores(rows.size());
+  kernels::BatchedCosineRows(query.data(), inv_q, items.matrix().data(),
+                             items.matrix().cols(), rows.data(), rows.size(),
+                             items.matrix().inv_norms(), scores.data());
+  std::vector<RankedItem> ranked(rows.size());
+  for (size_t i = 0; i < rows.size(); ++i) {
+    ranked[i] = {rows[i], scores[i]};
+  }
+  return ranked;
+}
+
+}  // namespace
+
 std::vector<RankedItem> RankBySimilarity(const LabeledEmbeddingSet& items,
                                          int query_index,
-                                         const std::vector<int>* candidates) {
-  std::vector<RankedItem> ranked;
-  const VecView q = items.vec(static_cast<size_t>(query_index));
-  auto consider = [&](int i) {
-    if (i == query_index) return;
-    ranked.push_back(
-        {i, CosineSimilarity(q, items.vec(static_cast<size_t>(i)))});
-  };
+                                         const std::vector<int>* candidates,
+                                         int top_k) {
+  std::vector<int> rows;
   if (candidates) {
-    for (int i : *candidates) consider(i);
+    rows.reserve(candidates->size());
+    for (int i : *candidates) {
+      if (i != query_index) rows.push_back(i);
+    }
   } else {
-    for (int i = 0; i < static_cast<int>(items.size()); ++i) consider(i);
+    rows.reserve(items.size());
+    for (int i = 0; i < static_cast<int>(items.size()); ++i) {
+      if (i != query_index) rows.push_back(i);
+    }
   }
-  std::stable_sort(ranked.begin(), ranked.end(),
-                   [](const RankedItem& a, const RankedItem& b) {
-                     return a.score > b.score;
-                   });
+  // The query is a row of the same matrix, so its inverse norm is
+  // already cached (same bits as a fresh kernels::InvNorm).
+  std::vector<RankedItem> ranked =
+      ScoreRows(items, items.vec(static_cast<size_t>(query_index)),
+                items.matrix().inv_norm(static_cast<size_t>(query_index)),
+                std::move(rows));
+  SelectTopRanked(&ranked, top_k);
   return ranked;
 }
 
@@ -79,7 +123,10 @@ ClusterEvalResult EvaluateClustering(const LabeledEmbeddingSet& items,
         cand_ptr = &candidates;
       }
     }
-    auto ranked = RankBySimilarity(items, q, cand_ptr);
+    // Only the top-k prefix is retrieved: AP@k and RR@k never read past
+    // rank k, and nth_element selection is far cheaper than sorting a
+    // candidate block 100x the cluster size.
+    auto ranked = RankBySimilarity(items, q, cand_ptr, options.k);
     std::vector<bool> rel;
     rel.reserve(ranked.size());
     for (const auto& r : ranked) {
@@ -129,18 +176,18 @@ ClusterEvalResult EvaluateCentroidClustering(const LabeledEmbeddingSet& items,
 
   std::vector<std::vector<bool>> runs;
   std::vector<int> totals;
+  std::vector<int> all_rows(items.size());
+  for (size_t i = 0; i < items.size(); ++i) all_rows[i] = static_cast<int>(i);
   for (const auto& [label, row] : label_row) {
     if (counts[static_cast<size_t>(row)] < 2) continue;
+    // The centroid was accumulated through mutable_row, so its cached
+    // norm is stale — compute the query inverse norm fresh; the item
+    // rows were appended normally and their cache is exact.
     const VecView centroid = centroids.row(static_cast<size_t>(row));
-    std::vector<RankedItem> ranked;
-    for (int i = 0; i < static_cast<int>(items.size()); ++i) {
-      ranked.push_back(
-          {i, CosineSimilarity(centroid, items.vec(static_cast<size_t>(i)))});
-    }
-    std::stable_sort(ranked.begin(), ranked.end(),
-                     [](const RankedItem& a, const RankedItem& b) {
-                       return a.score > b.score;
-                     });
+    std::vector<RankedItem> ranked = ScoreRows(
+        items, centroid, kernels::InvNorm(centroid.data(), centroid.size()),
+        all_rows);
+    SelectTopRanked(&ranked, options.k);
     std::vector<bool> rel;
     for (const auto& r : ranked) {
       rel.push_back(items.label(static_cast<size_t>(r.index)) == label);

@@ -53,10 +53,14 @@ struct RankedItem {
 };
 
 /// \brief Ranks `items` (excluding `query_index`) by cosine similarity to
-/// the query, descending; restricted to `candidates` when non-null.
+/// the query, descending (ties by ascending index); restricted to
+/// `candidates` when non-null. Scores come from one batched norm-cached
+/// kernel pass over the item matrix. When `top_k >= 0` only the top-k
+/// prefix is returned — selected with nth_element, byte-identical to
+/// truncating the full ranking (the (score, index) order is total).
 std::vector<RankedItem> RankBySimilarity(
     const LabeledEmbeddingSet& items, int query_index,
-    const std::vector<int>* candidates = nullptr);
+    const std::vector<int>* candidates = nullptr, int top_k = -1);
 
 /// \brief MAP/MRR outcome of a clustering evaluation.
 struct ClusterEvalResult {

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <string>
 
+#include "tensor/kernels.h"
 #include "util/snapshot.h"
 
 namespace tabbin {
@@ -21,17 +22,25 @@ LshIndex::LshIndex(int dim, int num_bits, int num_tables, uint64_t seed)
   tables_.resize(static_cast<size_t>(num_tables));
 }
 
-uint64_t LshIndex::HashInTable(int table, VecView vec) const {
-  uint64_t code = 0;
-  for (int b = 0; b < num_bits_; ++b) {
-    const VecView h =
-        hyperplanes_.row(static_cast<size_t>(table) * num_bits_ + b);
-    double dot = 0;
-    const size_t n = std::min(vec.size(), h.size());
-    for (size_t i = 0; i < n; ++i) dot += static_cast<double>(vec[i]) * h[i];
-    code = (code << 1) | (dot >= 0 ? 1u : 0u);
+std::vector<uint64_t> LshIndex::HashAllTables(VecView vec) const {
+  // One kernel matrix-vector product against the whole flat hyperplane
+  // block instead of num_tables * num_bits scalar dot loops; the sign of
+  // each dot is that hyperplane's bit. Callers guarantee
+  // vec.size() == dim_ (Insert rejects, QueryKeys returns empty).
+  const size_t planes = hyperplanes_.rows();
+  std::vector<float> dots(planes);
+  kernels::MatVec(hyperplanes_.data(), planes,
+                  static_cast<size_t>(dim_), vec.data(), dots.data());
+  std::vector<uint64_t> keys(static_cast<size_t>(num_tables_));
+  size_t p = 0;
+  for (int t = 0; t < num_tables_; ++t) {
+    uint64_t code = 0;
+    for (int b = 0; b < num_bits_; ++b, ++p) {
+      code = (code << 1) | (dots[p] >= 0.0f ? 1u : 0u);
+    }
+    keys[static_cast<size_t>(t)] = code;
   }
-  return code;
+  return keys;
 }
 
 Status LshIndex::Insert(int id, VecView vec) {
@@ -41,8 +50,10 @@ Status LshIndex::Insert(int id, VecView vec) {
         " does not match index dim " + std::to_string(dim_) + " (id " +
         std::to_string(id) + ")");
   }
+  const std::vector<uint64_t> keys = HashAllTables(vec);
   for (int t = 0; t < num_tables_; ++t) {
-    tables_[static_cast<size_t>(t)][HashInTable(t, vec)].push_back(id);
+    tables_[static_cast<size_t>(t)][keys[static_cast<size_t>(t)]]
+        .push_back(id);
   }
   ++count_;
   return Status::OK();
@@ -122,27 +133,35 @@ Result<LshIndex> LshIndex::Load(const std::string& path) {
 }
 
 std::vector<uint64_t> LshIndex::QueryKeys(VecView vec) const {
-  std::vector<uint64_t> keys;
   // A mis-sized probe would hash through truncated dot products and
   // return candidates that are noise; an empty key set is the honest
   // answer.
-  if (static_cast<int>(vec.size()) != dim_) return keys;
-  keys.reserve(static_cast<size_t>(num_tables_));
-  for (int t = 0; t < num_tables_; ++t) {
-    keys.push_back(HashInTable(t, vec));
-  }
-  return keys;
+  if (static_cast<int>(vec.size()) != dim_) return {};
+  return HashAllTables(vec);
 }
 
 std::vector<int> LshIndex::QueryByKeys(
     const std::vector<uint64_t>& keys) const {
   std::vector<int> out;
   if (keys.size() != static_cast<size_t>(num_tables_)) return out;
+  // Two passes: collect the per-table bucket hits first, then bulk-copy
+  // into one exactly-sized buffer and merge with a single sort+unique.
+  // At high collision rates the buckets hold many duplicate ids; growing
+  // `out` incrementally per table reallocated repeatedly for the same
+  // final contents.
+  std::vector<const std::vector<int>*> hits;
+  hits.reserve(static_cast<size_t>(num_tables_));
+  size_t total = 0;
   for (int t = 0; t < num_tables_; ++t) {
-    auto it = tables_[static_cast<size_t>(t)].find(
-        keys[static_cast<size_t>(t)]);
-    if (it == tables_[static_cast<size_t>(t)].end()) continue;
-    out.insert(out.end(), it->second.begin(), it->second.end());
+    const auto& table = tables_[static_cast<size_t>(t)];
+    auto it = table.find(keys[static_cast<size_t>(t)]);
+    if (it == table.end() || it->second.empty()) continue;
+    hits.push_back(&it->second);
+    total += it->second.size();
+  }
+  out.reserve(total);
+  for (const std::vector<int>* bucket : hits) {
+    out.insert(out.end(), bucket->begin(), bucket->end());
   }
   // Sorted + deduplicated: candidate order must not depend on
   // unordered_set iteration order (platform-specific), or downstream

@@ -58,7 +58,16 @@ class LshIndex {
 
   /// \brief Inverse of Serialize; validates geometry and bucket contents
   /// so corrupt streams return a Status error. The restored index answers
-  /// Query identically to the one serialized.
+  /// Query identically to the one serialized — when writer and reader
+  /// hash identically: same kernel dispatch level AND both post-PR-5
+  /// (which moved hashing from double-accumulated scalar dots to float
+  /// kernel dots). Bucket keys are insert-time hashes, so across a
+  /// dispatch-level change or the PR-5 transition the rare vector whose
+  /// hyperplane dot sits within rounding of zero can land on a flipped
+  /// key bit, costing that vector one table's worth of candidate recall
+  /// (never a crash or a wrong score — candidates are always
+  /// exact-cosine re-ranked). The sharded service snapshot is immune:
+  /// it stores embedding rows and re-inserts (re-hashes) on load.
   static Result<LshIndex> Deserialize(BinaryReader* r);
 
   /// \brief File wrappers using the versioned snapshot container
@@ -67,7 +76,9 @@ class LshIndex {
   static Result<LshIndex> Load(const std::string& path);
 
  private:
-  uint64_t HashInTable(int table, VecView vec) const;
+  // All per-table bucket keys of `vec` in one kernel matrix-vector pass
+  // over the flat hyperplane block. Requires vec.size() == dim_.
+  std::vector<uint64_t> HashAllTables(VecView vec) const;
 
   int dim_, num_bits_, num_tables_;
   int count_ = 0;

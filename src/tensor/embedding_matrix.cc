@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cstring>
 
+#include "tensor/kernels.h"
+
 namespace tabbin {
 
 void EmbeddingMatrix::Assign(size_t rows, size_t cols, const float* src) {
@@ -12,6 +14,7 @@ void EmbeddingMatrix::Assign(size_t rows, size_t cols, const float* src) {
   if (!data_.empty()) {
     std::memcpy(data_.data(), src, data_.size() * sizeof(float));
   }
+  RecomputeInvNorms();
 }
 
 void EmbeddingMatrix::AppendRow(VecView v) {
@@ -21,6 +24,24 @@ void EmbeddingMatrix::AppendRow(VecView v) {
   float* dst = data_.data() + rows_ * cols_;
   if (n > 0) std::memcpy(dst, v.data(), n * sizeof(float));
   ++rows_;
+  // Norm of the STORED row (post pad/truncate), so the cache is exact
+  // even for ragged inputs.
+  inv_norms_.push_back(kernels::InvNorm(dst, cols_));
+}
+
+void EmbeddingMatrix::set_row(size_t r, VecView v) {
+  float* dst = data_.data() + r * cols_;
+  const size_t n = std::min(cols_, v.size());
+  if (n > 0) std::memcpy(dst, v.data(), n * sizeof(float));
+  if (n < cols_) std::memset(dst + n, 0, (cols_ - n) * sizeof(float));
+  inv_norms_[r] = kernels::InvNorm(dst, cols_);
+}
+
+void EmbeddingMatrix::RecomputeInvNorms() {
+  inv_norms_.resize(rows_);
+  for (size_t r = 0; r < rows_; ++r) {
+    inv_norms_[r] = kernels::InvNorm(data_.data() + r * cols_, cols_);
+  }
 }
 
 void EmbeddingMatrix::Serialize(BinaryWriter* w) const {
@@ -46,6 +67,7 @@ Result<EmbeddingMatrix> EmbeddingMatrix::Deserialize(BinaryReader* r) {
   m.rows_ = static_cast<size_t>(rows);
   m.cols_ = static_cast<size_t>(cols);
   m.data_ = std::move(data);
+  m.RecomputeInvNorms();
   return m;
 }
 

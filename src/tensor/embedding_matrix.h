@@ -58,7 +58,12 @@ class EmbeddingMatrix {
  public:
   EmbeddingMatrix() = default;
   EmbeddingMatrix(size_t rows, size_t cols)
-      : rows_(rows), cols_(cols), data_(rows * cols, 0.0f) {}
+      : rows_(rows),
+        cols_(cols),
+        data_(rows * cols, 0.0f),
+        // All-zero rows have inverse norm 0 by definition; callers that
+        // fill rows through data() must RecomputeInvNorms().
+        inv_norms_(rows, 0.0f) {}
 
   size_t rows() const { return rows_; }
   size_t cols() const { return cols_; }
@@ -81,26 +86,50 @@ class EmbeddingMatrix {
   /// are zero-padded / truncated to it.
   void AppendRow(VecView v);
 
+  /// \brief Overwrites row `r` (copying min(cols, v.size()) floats,
+  /// zero-padding the rest) and refreshes its cached inverse norm.
+  void set_row(size_t r, VecView v);
+
+  /// \brief Cached 1 / ||row r||_2 (0 for a zero row), produced by
+  /// kernels::InvNorm — the same bits a fresh computation over the row
+  /// yields. Maintained by Assign / AppendRow / set_row / Deserialize;
+  /// code that mutates rows through mutable_row() or data() must call
+  /// RecomputeInvNorms() before anyone reads the cache.
+  float inv_norm(size_t r) const { return inv_norms_[r]; }
+  const float* inv_norms() const { return inv_norms_.data(); }
+
+  /// \brief Rebuilds the whole inverse-norm cache from the row data.
+  void RecomputeInvNorms();
+
   /// \brief Pre-allocates storage for `rows` rows of the current width.
-  void Reserve(size_t rows) { data_.reserve(rows * cols_); }
+  void Reserve(size_t rows) {
+    data_.reserve(rows * cols_);
+    inv_norms_.reserve(rows);
+  }
 
   void Clear() {
     rows_ = 0;
     cols_ = 0;
     data_.clear();
+    inv_norms_.clear();
   }
 
-  /// \brief Writes rows, cols and the flat data block.
+  /// \brief Writes rows, cols and the flat data block. The inverse-norm
+  /// cache is derived state and deliberately NOT serialized — the byte
+  /// format predates it and must not change.
   void Serialize(BinaryWriter* w) const;
 
   /// \brief Inverse of Serialize; rejects inconsistent geometry (a data
-  /// block whose length is not rows * cols) with a Status error.
+  /// block whose length is not rows * cols) with a Status error. The
+  /// inverse-norm cache is recomputed from the loaded rows.
   static Result<EmbeddingMatrix> Deserialize(BinaryReader* r);
 
  private:
   size_t rows_ = 0;
   size_t cols_ = 0;
   std::vector<float> data_;
+  // inv_norms_[r] == kernels::InvNorm(row r); always rows_ entries.
+  std::vector<float> inv_norms_;
 };
 
 }  // namespace tabbin

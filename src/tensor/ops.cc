@@ -4,6 +4,7 @@
 #include <cassert>
 #include <cmath>
 
+#include "tensor/kernels.h"
 #include "util/logging.h"
 
 namespace tabbin {
@@ -156,19 +157,13 @@ Tensor AddRowBroadcast(const Tensor& x, const Tensor& bias) {
 Tensor MatMul(const Tensor& a, const Tensor& b) {
   assert(a.ndim() == 2 && b.ndim() == 2 && a.dim(1) == b.dim(0));
   const int n = a.dim(0), k = a.dim(1), m = b.dim(1);
+  // Forward runs on the dispatched blocked GEMM micro-kernel. The old
+  // scalar loop skipped av == 0.0f terms, a branch that defeated
+  // vectorization on the hot encoder path for a rare win; the kernel
+  // streams unconditionally (adding av * brow where av == 0 contributes
+  // exact zeros for finite inputs).
   std::vector<float> out(static_cast<size_t>(n) * m, 0.0f);
-  const float* A = a.data();
-  const float* B = b.data();
-  // ikj loop order for cache-friendly access to B's rows.
-  for (int i = 0; i < n; ++i) {
-    for (int kk = 0; kk < k; ++kk) {
-      const float av = A[static_cast<size_t>(i) * k + kk];
-      if (av == 0.0f) continue;
-      const float* brow = B + static_cast<size_t>(kk) * m;
-      float* orow = out.data() + static_cast<size_t>(i) * m;
-      for (int j = 0; j < m; ++j) orow[j] += av * brow[j];
-    }
-  }
+  kernels::Gemm(a.data(), b.data(), out.data(), n, k, m);
   Tensor result = MakeOpOutput({n, m}, std::move(out), {a, b}, nullptr);
   if (result.requires_grad()) {
     TensorImpl* ai = a.impl().get();
@@ -178,29 +173,28 @@ Tensor MatMul(const Tensor& a, const Tensor& b) {
       const std::vector<float>& gout = oi->grad;
       if (ai->requires_grad) {
         ai->EnsureGrad();
-        // dA = dOut * B^T : [n, m] x [m, k]
+        // dA = dOut * B^T. dA[i, kk] = <dOut row i, B row kk> — every
+        // term is a dot of two contiguous rows, so one batched
+        // row-dot pass per output row replaces the strided scalar loop.
+        std::vector<float> row_dots(static_cast<size_t>(k));
         for (int i = 0; i < n; ++i) {
-          for (int j = 0; j < m; ++j) {
-            const float g = gout[static_cast<size_t>(i) * m + j];
-            if (g == 0.0f) continue;
-            const float* brow = bi->data.data();
-            for (int kk = 0; kk < k; ++kk) {
-              ai->grad[static_cast<size_t>(i) * k + kk] +=
-                  g * brow[static_cast<size_t>(kk) * m + j];
-            }
-          }
+          const float* grow = gout.data() + static_cast<size_t>(i) * m;
+          kernels::MatVec(bi->data.data(), static_cast<size_t>(k),
+                          static_cast<size_t>(m), grow, row_dots.data());
+          kernels::Axpy(1.0f, row_dots.data(),
+                        ai->grad.data() + static_cast<size_t>(i) * k,
+                        static_cast<size_t>(k));
         }
       }
       if (bi->requires_grad) {
         bi->EnsureGrad();
-        // dB = A^T * dOut : [k, n] x [n, m]
+        // dB = A^T * dOut: rank-1 updates, one SIMD axpy per (i, kk).
         for (int i = 0; i < n; ++i) {
+          const float* grow = gout.data() + static_cast<size_t>(i) * m;
           for (int kk = 0; kk < k; ++kk) {
-            const float av = ai->data[static_cast<size_t>(i) * k + kk];
-            if (av == 0.0f) continue;
-            const float* grow = gout.data() + static_cast<size_t>(i) * m;
-            float* brow = bi->grad.data() + static_cast<size_t>(kk) * m;
-            for (int j = 0; j < m; ++j) brow[j] += av * grow[j];
+            kernels::Axpy(ai->data[static_cast<size_t>(i) * k + kk], grow,
+                          bi->grad.data() + static_cast<size_t>(kk) * m,
+                          static_cast<size_t>(m));
           }
         }
       }
@@ -715,14 +709,15 @@ Tensor BinaryCrossEntropyWithLogits(const Tensor& logits,
 
 float CosineSimilarity(VecView a, VecView b) {
   assert(a.size() == b.size());
-  double dot = 0, na = 0, nb = 0;
-  for (size_t i = 0; i < a.size(); ++i) {
-    dot += static_cast<double>(a[i]) * b[i];
-    na += static_cast<double>(a[i]) * a[i];
-    nb += static_cast<double>(b[i]) * b[i];
-  }
-  if (na == 0 || nb == 0) return 0.0f;
-  return static_cast<float>(dot / (std::sqrt(na) * std::sqrt(nb)));
+  // (dot * inv_a) * inv_b through the dispatched kernels — the exact
+  // expression kernels::BatchedCosineRows evaluates per row, so a
+  // pairwise score and a batched score over the same bytes are the same
+  // bits. InvNorm returns 0 for a zero vector, which zeroes the product
+  // (the documented zero-vector result) without a branch that the
+  // batched path would lack.
+  const float inv_a = kernels::InvNorm(a.data(), a.size());
+  const float inv_b = kernels::InvNorm(b.data(), b.size());
+  return kernels::Dot(a.data(), b.data(), a.size()) * inv_a * inv_b;
 }
 
 }  // namespace tabbin

@@ -189,6 +189,46 @@ TEST(LshTest, QueryReturnsSortedUniqueCandidates) {
   }
 }
 
+TEST(LshTest, QueryByKeysMatchesPerTableLookupMerge) {
+  // Regression for the bulk bucket merge: QueryByKeys now gathers every
+  // per-table bucket first and merges with one reserve + sort + unique
+  // pass. The result must be identical to the reference per-table
+  // lookup loop at any collision rate — few bits forces heavy bucket
+  // collisions, so the duplicate-merging path is actually exercised.
+  Rng rng(6);
+  const int dim = 16;
+  LshIndex index(dim, /*num_bits=*/2, /*num_tables=*/8);
+  std::vector<std::vector<float>> vecs;
+  for (int i = 0; i < 300; ++i) {
+    vecs.push_back(RandomUnit(&rng, dim));
+    index.Insert(i, vecs.back());
+  }
+  for (int probe = 0; probe < 25; ++probe) {
+    const auto keys = index.QueryKeys(vecs[static_cast<size_t>(probe)]);
+    const auto got = index.QueryByKeys(keys);
+    // Independent oracle for the old path's answer: id i collides with
+    // the probe iff they share a bucket key in at least one table
+    // (hashing is deterministic, so re-hashing every vector recovers
+    // exactly the bucket each insert landed in), sorted and unique.
+    std::vector<int> expected;
+    for (int i = 0; i < static_cast<int>(vecs.size()); ++i) {
+      const auto other = index.QueryKeys(vecs[static_cast<size_t>(i)]);
+      for (size_t t = 0; t < keys.size(); ++t) {
+        if (other[t] == keys[t]) {
+          expected.push_back(i);
+          break;
+        }
+      }
+    }
+    EXPECT_EQ(got, expected) << "probe " << probe;
+    // High collision rate: the merged set must still be sorted, unique,
+    // and contain the probe itself.
+    EXPECT_TRUE(std::is_sorted(got.begin(), got.end()));
+    EXPECT_EQ(std::adjacent_find(got.begin(), got.end()), got.end());
+    EXPECT_NE(std::find(got.begin(), got.end(), probe), got.end());
+  }
+}
+
 // ---------------------------------------------------------------------------
 // Clustering harness
 // ---------------------------------------------------------------------------
