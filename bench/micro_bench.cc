@@ -368,6 +368,74 @@ void BM_CandidateScoringBatchedKernel(benchmark::State& state) {
 }
 BENCHMARK(BM_CandidateScoringBatchedKernel);
 
+// First-pass scan fixture: large enough (60k x 72 floats ~= 17 MB) that
+// the scan is memory-bound — the regime the int8 tier targets, where its
+// 4x smaller row bytes translate into scan throughput rather than just
+// saved ALU work.
+struct ScanFixture {
+  EmbeddingMatrix matrix;
+  std::vector<float> query;
+  std::vector<int> rows;
+};
+
+const ScanFixture& SharedScan() {
+  static const ScanFixture* fx = [] {
+    auto* f = new ScanFixture();
+    const size_t n = 60000, dim = 72;
+    Rng rng(7);
+    f->matrix.Reserve(n);
+    std::vector<float> v(dim);
+    for (size_t i = 0; i < n; ++i) {
+      for (auto& x : v) x = static_cast<float>(rng.Gaussian());
+      f->matrix.AppendRow(v);
+    }
+    f->matrix.EnableQuantization();
+    f->query.resize(dim);
+    for (auto& x : f->query) x = static_cast<float>(rng.Gaussian());
+    f->rows.resize(n);
+    for (size_t i = 0; i < n; ++i) f->rows[i] = static_cast<int>(i);
+    return f;
+  }();
+  return *fx;
+}
+
+// Exact float first pass over every row — the cost the quantized scan
+// replaces. items/s = rows scanned per second.
+void BM_FloatScan(benchmark::State& state) {
+  const ScanFixture& fx = SharedScan();
+  const float inv_q = kernels::InvNorm(fx.query.data(), fx.query.size());
+  std::vector<float> scores(fx.rows.size());
+  for (auto _ : state) {
+    kernels::BatchedCosineRows(fx.query.data(), inv_q, fx.matrix.data(),
+                               fx.matrix.cols(), fx.rows.data(),
+                               fx.rows.size(), fx.matrix.inv_norms(),
+                               scores.data());
+    benchmark::DoNotOptimize(scores.data());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(fx.rows.size()));
+  state.SetLabel(std::string("dispatch=") + kernels::ActiveName());
+}
+BENCHMARK(BM_FloatScan);
+
+// Int8 first pass over the same rows (query quantized once per scan,
+// as ServiceShard::RankLocked does). Reads 1/4 of the bytes.
+void BM_QuantizedScan(benchmark::State& state) {
+  const ScanFixture& fx = SharedScan();
+  const QuantizedQuery qq =
+      MakeQuantizedQuery(VecView(fx.query.data(), fx.query.size()));
+  std::vector<float> scores(fx.rows.size());
+  for (auto _ : state) {
+    QuantizedCosineRows(fx.matrix, qq, fx.rows.data(), fx.rows.size(),
+                        scores.data());
+    benchmark::DoNotOptimize(scores.data());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(fx.rows.size()));
+  state.SetLabel(std::string("dispatch=") + kernels::ActiveName());
+}
+BENCHMARK(BM_QuantizedScan);
+
 // The blocked GEMM micro-kernel at encoder-forward shape
 // ([seq, hidden] x [hidden, hidden]).
 void BM_KernelGemm(benchmark::State& state) {

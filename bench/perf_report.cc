@@ -1,26 +1,33 @@
 // perf_report — machine-readable performance trajectory for the repo.
 //
 // Runs the serving-path micro-workloads (kernel candidate scoring, the
-// blocked GEMM, LSH hashing, encoder forward passes, TabBinService
-// queries and incremental writes) with a self-contained timer — no
-// google-benchmark dependency, so the binary builds everywhere the
-// library does — and writes BENCH_PR5.json:
+// int8 quantized first-pass scan vs the float scan, the blocked GEMM,
+// LSH hashing, encoder forward passes, TabBinService queries and
+// incremental writes) with a self-contained timer — no google-benchmark
+// dependency, so the binary builds everywhere the library does — and
+// writes BENCH_PR6.json:
 //
 //   { "dispatch": "<active kernel level>",
 //     "results": [ {"op": ..., "ns_per_op": ..., "mb_per_s": ...,
 //                   "items_per_s": ..., "dispatch": ...}, ... ],
-//     "derived": { "candidate_scoring_speedup_vs_per_pair": ... } }
+//     "derived": { "candidate_scoring_speedup_vs_per_pair": ...,
+//                  "quantized_scan_speedup_vs_float_scan": ...,
+//                  "quantized_recall_at_10_r4": ..., ... } }
 //
-// Usage: perf_report [output.json]   (default: BENCH_PR5.json in cwd)
+// Usage: perf_report [output.json]   (default: BENCH_PR6.json in cwd)
 //
 // CI runs this as a perf smoke step and uploads the JSON as an
 // artifact; compare files across PRs for the trajectory. Set
 // TABBIN_FORCE_SCALAR=1 to record the portable-scalar baseline on the
-// same machine.
+// same machine. The run doubles as the quantization quality gate: it
+// exits non-zero when recall@10 of the two-stage scan vs the float
+// oracle drops below 0.99 at the default shortlist multiplier (r=4).
 #include <algorithm>
 #include <chrono>
 #include <cmath>
+#include <cstdint>
 #include <cstdio>
+#include <iterator>
 #include <memory>
 #include <string>
 #include <vector>
@@ -125,8 +132,172 @@ int Run(const std::string& out_path) {
   results.push_back(Report("candidate_scoring_batched_500x72", batched_ns,
                            cand_bytes, static_cast<double>(n_cand)));
   const double cosine_speedup = per_pair_ns / batched_ns;
-  std::printf("  -> batched cosine speedup vs per-pair: %.2fx\n\n",
+  std::printf("  -> batched cosine speedup vs per-pair: %.2fx\n",
               cosine_speedup);
+
+  // Same fixture through the int8 sidecar: the candidate set fits in
+  // cache, so this row isolates the compute-side win of the quantized
+  // kernel from the bandwidth story the 60k scan below tells.
+  matrix.EnableQuantization();
+  const QuantizedQuery cand_qq =
+      MakeQuantizedQuery(VecView(query.data(), query.size()));
+  const double quant_cand_ns = TimeNs([&] {
+    QuantizedCosineRows(matrix, cand_qq, cand.data(), cand.size(),
+                        scores.data());
+    return static_cast<double>(scores[0]);
+  });
+  results.push_back(Report("candidate_scoring_quantized_500x72",
+                           quant_cand_ns,
+                           static_cast<double>(n_cand) * dim / 1e6,
+                           static_cast<double>(n_cand)));
+  const double quant_cand_speedup = batched_ns / quant_cand_ns;
+  std::printf(
+      "  -> quantized candidate scoring speedup vs float batched: "
+      "%.2fx\n\n",
+      quant_cand_speedup);
+
+  // --- Int8 first-pass scan vs float scan -----------------------------
+  // Shape chosen to be memory-bound (60k x 72 floats ~= 17 MB, well past
+  // L2): this is the regime the quantized tier targets — its win comes
+  // from reading 1/4 of the bytes per row, not from cheaper ALU work.
+  const size_t scan_rows = 60000;
+  EmbeddingMatrix scan_matrix;
+  scan_matrix.Reserve(scan_rows);
+  {
+    std::vector<float> v(dim);
+    for (size_t i = 0; i < scan_rows; ++i) {
+      for (auto& x : v) x = static_cast<float>(rng.Gaussian());
+      scan_matrix.AppendRow(v);
+    }
+  }
+  scan_matrix.EnableQuantization();
+  std::vector<int> scan_idx(scan_rows);
+  for (size_t i = 0; i < scan_rows; ++i) scan_idx[i] = static_cast<int>(i);
+  std::vector<float> scan_scores(scan_rows);
+  const double scan_float_bytes =
+      static_cast<double>(scan_rows) * dim * sizeof(float) / 1e6;
+  const double scan_int8_bytes = static_cast<double>(scan_rows) * dim / 1e6;
+
+  const double float_scan_ns = TimeNs([&] {
+    kernels::BatchedCosineRows(query.data(), inv_q, scan_matrix.data(),
+                               scan_matrix.cols(), scan_idx.data(),
+                               scan_idx.size(), scan_matrix.inv_norms(),
+                               scan_scores.data());
+    return static_cast<double>(scan_scores[0]);
+  });
+  results.push_back(Report("float_scan_60000x72", float_scan_ns,
+                           scan_float_bytes,
+                           static_cast<double>(scan_rows)));
+
+  const QuantizedQuery qq =
+      MakeQuantizedQuery(VecView(query.data(), query.size()));
+  const double quant_scan_ns = TimeNs([&] {
+    QuantizedCosineRows(scan_matrix, qq, scan_idx.data(), scan_idx.size(),
+                        scan_scores.data());
+    return static_cast<double>(scan_scores[0]);
+  });
+  results.push_back(Report("quantized_scan_60000x72", quant_scan_ns,
+                           scan_int8_bytes,
+                           static_cast<double>(scan_rows)));
+  const double quant_speedup = float_scan_ns / quant_scan_ns;
+  std::printf("  -> quantized scan speedup vs float scan: %.2fx\n",
+              quant_speedup);
+
+  // Exact rerank of a k*r shortlist — the second stage's whole cost.
+  const int rerank_k = 10, rerank_r = 4;
+  std::vector<int> shortlist(static_cast<size_t>(rerank_k * rerank_r));
+  for (size_t i = 0; i < shortlist.size(); ++i) {
+    shortlist[i] = static_cast<int>(rng.Uniform(scan_rows));
+  }
+  std::vector<float> rerank_scores(shortlist.size());
+  const double rerank_ns = TimeNs([&] {
+    kernels::BatchedCosineRows(query.data(), inv_q, scan_matrix.data(),
+                               scan_matrix.cols(), shortlist.data(),
+                               shortlist.size(), scan_matrix.inv_norms(),
+                               rerank_scores.data());
+    return static_cast<double>(rerank_scores[0]);
+  });
+  results.push_back(Report("rerank_shortlist_40x72", rerank_ns, 0,
+                           static_cast<double>(shortlist.size())));
+
+  // Corpus density at dim 72: bytes held per million columns, float row
+  // + inv-norm cache vs int8 codes + per-row (scale, zero). The scan
+  // itself touches exactly 4x fewer bytes (row data only).
+  const double float_bytes_per_mcols =
+      1e6 * (dim * sizeof(float) + sizeof(float));
+  const double int8_bytes_per_mcols =
+      1e6 * (dim * sizeof(int8_t) + sizeof(float) + sizeof(int32_t));
+  std::printf(
+      "  -> bytes per million columns (dim 72): float %.0f MB, int8 "
+      "%.0f MB (%.2fx denser)\n",
+      float_bytes_per_mcols / 1e6, int8_bytes_per_mcols / 1e6,
+      float_bytes_per_mcols / int8_bytes_per_mcols);
+
+  // Recall@10 of scan -> shortlist -> rerank vs the float oracle,
+  // sweeping the shortlist multiplier r. Seeded queries; the r=4 figure
+  // is the CI quality gate.
+  const auto tie_order = [&scan_scores](int a, int b) {
+    if (scan_scores[static_cast<size_t>(a)] !=
+        scan_scores[static_cast<size_t>(b)]) {
+      return scan_scores[static_cast<size_t>(a)] >
+             scan_scores[static_cast<size_t>(b)];
+    }
+    return a < b;
+  };
+  const int recall_sweep[] = {1, 2, 4, 8};
+  double recall_at[4] = {0, 0, 0, 0};
+  const int recall_queries = 20;
+  std::vector<float> approx(scan_rows);
+  for (int qi = 0; qi < recall_queries; ++qi) {
+    std::vector<float> rq(dim);
+    for (auto& x : rq) x = static_cast<float>(rng.Gaussian());
+    const float rq_inv = kernels::InvNorm(rq.data(), rq.size());
+    // Float oracle top-10.
+    kernels::BatchedCosineRows(rq.data(), rq_inv, scan_matrix.data(),
+                               scan_matrix.cols(), scan_idx.data(),
+                               scan_idx.size(), scan_matrix.inv_norms(),
+                               scan_scores.data());
+    std::vector<int> oracle = scan_idx;
+    std::nth_element(oracle.begin(), oracle.begin() + rerank_k, oracle.end(),
+                     tie_order);
+    oracle.resize(static_cast<size_t>(rerank_k));
+    std::sort(oracle.begin(), oracle.end());
+    // One quantized pass, reused across the r sweep.
+    const QuantizedQuery rqq =
+        MakeQuantizedQuery(VecView(rq.data(), rq.size()));
+    QuantizedCosineRows(scan_matrix, rqq, scan_idx.data(), scan_idx.size(),
+                        approx.data());
+    for (size_t ri = 0; ri < 4; ++ri) {
+      const size_t cut = static_cast<size_t>(rerank_k * recall_sweep[ri]);
+      std::vector<int> pool = scan_idx;
+      std::nth_element(pool.begin(), pool.begin() + cut, pool.end(),
+                       [&approx](int a, int b) {
+                         if (approx[static_cast<size_t>(a)] !=
+                             approx[static_cast<size_t>(b)]) {
+                           return approx[static_cast<size_t>(a)] >
+                                  approx[static_cast<size_t>(b)];
+                         }
+                         return a < b;
+                       });
+      pool.resize(cut);
+      // Exact rerank of the shortlist (scan_scores still holds this
+      // query's float scores for every row).
+      std::nth_element(pool.begin(),
+                       pool.begin() + std::min<size_t>(rerank_k, cut),
+                       pool.end(), tie_order);
+      pool.resize(std::min<size_t>(rerank_k, cut));
+      std::sort(pool.begin(), pool.end());
+      std::vector<int> hit;
+      std::set_intersection(oracle.begin(), oracle.end(), pool.begin(),
+                            pool.end(), std::back_inserter(hit));
+      recall_at[ri] += static_cast<double>(hit.size()) / rerank_k;
+    }
+  }
+  for (double& r : recall_at) r /= recall_queries;
+  std::printf(
+      "  -> recall@10 vs float oracle: r=1 %.3f, r=2 %.3f, r=4 %.3f, "
+      "r=8 %.3f\n\n",
+      recall_at[0], recall_at[1], recall_at[2], recall_at[3]);
 
   // --- Blocked GEMM at encoder-forward shape --------------------------
   const int gn = 96, gk = 72, gm = 72;
@@ -243,11 +414,34 @@ int Run(const std::string& out_path) {
   std::fprintf(f,
                "  ],\n  \"derived\": {\n"
                "    \"candidate_scoring_speedup_vs_per_pair\": %.2f,\n"
-               "    \"gemm_dispatch_speedup_vs_scalar\": %.2f\n"
+               "    \"gemm_dispatch_speedup_vs_scalar\": %.2f,\n"
+               "    \"quantized_scan_speedup_vs_float_scan\": %.2f,\n"
+               "    \"quantized_candidate_scoring_speedup_vs_float\": "
+               "%.2f,\n"
+               "    \"float_bytes_per_million_cols_dim72\": %.0f,\n"
+               "    \"int8_bytes_per_million_cols_dim72\": %.0f,\n"
+               "    \"quantized_density_ratio\": %.2f,\n"
+               "    \"quantized_recall_at_10_r1\": %.4f,\n"
+               "    \"quantized_recall_at_10_r2\": %.4f,\n"
+               "    \"quantized_recall_at_10_r4\": %.4f,\n"
+               "    \"quantized_recall_at_10_r8\": %.4f\n"
                "  }\n}\n",
-               cosine_speedup, gemm_speedup);
+               cosine_speedup, gemm_speedup, quant_speedup,
+               quant_cand_speedup, float_bytes_per_mcols,
+               int8_bytes_per_mcols,
+               float_bytes_per_mcols / int8_bytes_per_mcols, recall_at[0],
+               recall_at[1], recall_at[2], recall_at[3]);
   std::fclose(f);
   std::printf("\nwrote %s\n", out_path.c_str());
+
+  // Quality gate: the two-stage scan must keep recall@10 >= 0.99 at the
+  // default shortlist multiplier, or the perf smoke step fails.
+  if (recall_at[2] < 0.99) {
+    std::fprintf(stderr,
+                 "FAIL: recall@10 at r=4 is %.4f (< 0.99 gate)\n",
+                 recall_at[2]);
+    return 1;
+  }
   return 0;
 }
 
@@ -255,6 +449,6 @@ int Run(const std::string& out_path) {
 }  // namespace tabbin
 
 int main(int argc, char** argv) {
-  const std::string out = argc > 1 ? argv[1] : "BENCH_PR5.json";
+  const std::string out = argc > 1 ? argv[1] : "BENCH_PR6.json";
   return tabbin::Run(out);
 }

@@ -18,14 +18,19 @@
 //       Pretrain, index the corpus in a serving core (--shards=N > 1
 //       hash-partitions it across a ShardedTabBinService), and snapshot
 //       the whole service (models + encodings + corpus + indexes).
-//   tabbin_cli query [--shards=N] <service.tbsn> table <id> [k]
-//   tabbin_cli query [--shards=N] <service.tbsn> column <id> <col> [k]
-//   tabbin_cli query [--shards=N] <service.tbsn> ask <question> [k]
+//   tabbin_cli query [--shards=N] [--quantized[=r]] <service.tbsn> table
+//       <id> [k]
+//   tabbin_cli query [--shards=N] [--quantized[=r]] <service.tbsn> column
+//       <id> <col> [k]
+//   tabbin_cli query [--shards=N] [--quantized[=r]] <service.tbsn> ask
+//       <question> [k]
 //       Serve similarity / grounding queries from a service snapshot —
 //       no corpus file, no pretraining, no index rebuild. The snapshot
 //       format (single vs sharded) is auto-detected; --shards=N
 //       re-partitions onto N shards regardless of how it was saved.
-//       Answers are byte-identical at any shard count.
+//       Answers are byte-identical at any shard count. --quantized[=r]
+//       turns on the int8 two-stage scan (shortlist = k*r, default r=4;
+//       final scores stay float-exact).
 //   tabbin_cli inspect <corpus.json> <table_index>
 //       Print a table as CSV plus its coordinate trees.
 #include <algorithm>
@@ -71,16 +76,18 @@ int Usage() {
                "  tabbin_cli load-model <model.tbsn> <corpus.json>\n"
                "  tabbin_cli build-service [--shards=N] <corpus.json> "
                "<service.tbsn>\n"
-               "  tabbin_cli query [--shards=N] <service.tbsn> table <id> "
-               "[k]\n"
-               "  tabbin_cli query [--shards=N] <service.tbsn> column <id> "
-               "<col> [k]\n"
-               "  tabbin_cli query [--shards=N] <service.tbsn> ask "
-               "<question> [k]\n"
+               "  tabbin_cli query [--shards=N] [--quantized[=r]] "
+               "<service.tbsn> table <id> [k]\n"
+               "  tabbin_cli query [--shards=N] [--quantized[=r]] "
+               "<service.tbsn> column <id> <col> [k]\n"
+               "  tabbin_cli query [--shards=N] [--quantized[=r]] "
+               "<service.tbsn> ask <question> [k]\n"
                "  tabbin_cli inspect <corpus.json> <index>\n"
                "datasets: webtables covidkg cancerkg saus cius\n"
                "--shards=N serves through N hash-partitioned shards\n"
-               "(scatter-gather; answers identical at any shard count)\n");
+               "(scatter-gather; answers identical at any shard count)\n"
+               "--quantized[=r] scores through the int8 two-stage scan\n"
+               "(k*r shortlist, float-exact rerank; default r=4)\n");
   return 2;
 }
 
@@ -308,13 +315,20 @@ int CmdBuildService(const std::string& corpus_path, const std::string& out,
 }
 
 int CmdQuery(const std::string& snapshot_path, const std::string& kind,
-             const std::vector<std::string>& args, int shards) {
+             const std::vector<std::string>& args, int shards,
+             int quantized_r) {
   auto service = LoadServing(snapshot_path, shards);
   if (!service.ok()) {
     std::fprintf(stderr, "error: %s\n", service.status().ToString().c_str());
     return 1;
   }
   TabBinServing& svc = *service.value();
+  if (quantized_r > 0) {
+    // The scan knob is runtime state (never part of the snapshot), so it
+    // is applied after loading.
+    svc.SetQuantizedScan(true, quantized_r);
+    std::printf("quantized scan: on (shortlist = k * %d)\n", quantized_r);
+  }
   std::printf("service: %zu live tables, %zu columns, %zu entities\n",
               svc.NumLiveTables(), svc.NumIndexedColumns(),
               svc.NumIndexedEntities());
@@ -391,13 +405,23 @@ int CmdInspect(const std::string& corpus_path, int index) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  // --shards=N may appear anywhere; strip it before positional parsing.
-  int shards = 0;  // 0 = default (single shard / saved layout)
+  // --shards=N and --quantized[=r] may appear anywhere; strip them
+  // before positional parsing.
+  int shards = 0;       // 0 = default (single shard / saved layout)
+  int quantized_r = 0;  // 0 = exact scoring; > 0 = shortlist multiplier
   std::vector<std::string> args;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg.rfind("--shards=", 0) == 0) {
       shards = std::atoi(arg.c_str() + 9);
+      continue;
+    }
+    if (arg == "--quantized") {
+      quantized_r = 4;
+      continue;
+    }
+    if (arg.rfind("--quantized=", 0) == 0) {
+      quantized_r = std::max(1, std::atoi(arg.c_str() + 12));
       continue;
     }
     args.push_back(arg);
@@ -420,7 +444,7 @@ int main(int argc, char** argv) {
   }
   if (cmd == "query" && n >= 4) {
     std::vector<std::string> rest(args.begin() + 3, args.end());
-    return CmdQuery(args[1], args[2], rest, shards);
+    return CmdQuery(args[1], args[2], rest, shards, quantized_r);
   }
   if (cmd == "inspect" && n == 3) {
     return CmdInspect(args[1], std::atoi(args[2].c_str()));

@@ -141,7 +141,19 @@ Status RagLlmSimulator::Index(const std::vector<RagDocument>& docs,
   // maintenance); the cached inverse norms MUST match the rows before
   // DenseRetrieve's batched cosine pass reads them.
   dense_.RecomputeInvNorms();
+  if (quantized_retrieval_) dense_.EnableQuantization();
   return Status::OK();
+}
+
+void RagLlmSimulator::EnableQuantizedRetrieval(bool on,
+                                               int shortlist_multiplier) {
+  quantized_retrieval_ = on;
+  quantized_shortlist_multiplier_ = std::max(1, shortlist_multiplier);
+  if (on) {
+    dense_.EnableQuantization();
+  } else {
+    dense_.DisableQuantization();
+  }
 }
 
 Status RagLlmSimulator::SaveIndex(const std::string& path) const {
@@ -178,6 +190,7 @@ Status RagLlmSimulator::LoadIndex(const std::string& path) {
   }
   Index(docs);  // rebuilds BM25 postings and clears the dense index
   dense_ = std::move(dense);
+  if (quantized_retrieval_) dense_.EnableQuantization();
   return Status::OK();
 }
 
@@ -193,6 +206,28 @@ std::vector<int> RagLlmSimulator::DenseRetrieve(int query_index, int k) const {
   rows.reserve(dense_.rows());
   for (int d = 0; d < static_cast<int>(dense_.rows()); ++d) {
     if (d != query_index) rows.push_back(d);
+  }
+  // Two-stage scan: an int8 approximate pass cuts the pool before the
+  // exact scoring below. Skipped when the pool already fits in the
+  // shortlist, so small corpora stay byte-identical to the exact path.
+  const size_t shortlist =
+      static_cast<size_t>(k) *
+      static_cast<size_t>(quantized_shortlist_multiplier_);
+  if (quantized_retrieval_ && dense_.quantized() && rows.size() > shortlist) {
+    const QuantizedQuery qq = MakeQuantizedQuery(q);
+    std::vector<float> approx(rows.size());
+    QuantizedCosineRows(dense_, qq, rows.data(), rows.size(), approx.data());
+    std::vector<size_t> order(rows.size());
+    for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+    std::nth_element(order.begin(), order.begin() + shortlist, order.end(),
+                     [&](size_t a, size_t b) {
+                       if (approx[a] != approx[b]) return approx[a] > approx[b];
+                       return rows[a] < rows[b];
+                     });
+    std::vector<int> kept(shortlist);
+    for (size_t i = 0; i < shortlist; ++i) kept[i] = rows[order[i]];
+    std::sort(kept.begin(), kept.end());  // restore ascending-doc order
+    rows = std::move(kept);
   }
   std::vector<float> scores(rows.size());
   kernels::BatchedCosineRows(

@@ -124,8 +124,19 @@ class RagLlmSimulator {
 
   /// \brief Restores an index saved with SaveIndex; afterwards RankFor /
   /// Evaluate behave identically to the simulator that saved it (given
-  /// equal RNG state).
+  /// equal RNG state). Quantized retrieval is in-memory state, never
+  /// persisted: a simulator that has it enabled keeps it across
+  /// LoadIndex (the sidecar is rebuilt for the loaded matrix), but a
+  /// fresh simulator loading the same file starts on the exact path.
   Status LoadIndex(const std::string& path);
+
+  /// \brief Switches DenseRetrieve to the two-stage int8 scan: an
+  /// approximate quantized pass over all documents cuts the pool to
+  /// (k * shortlist_multiplier) before the exact float cosine top-k.
+  /// Builds the code sidecar for the current dense matrix (and Index /
+  /// LoadIndex rebuild it for new matrices). Pass on=false to restore
+  /// the exact full scan.
+  void EnableQuantizedRetrieval(bool on = true, int shortlist_multiplier = 4);
 
  private:
   /// \brief Indices of the top-k documents by cosine similarity to the
@@ -137,6 +148,8 @@ class RagLlmSimulator {
   std::vector<RagDocument> docs_;
   Bm25Retriever retriever_;
   EmbeddingMatrix dense_;  // [docs, dim]; empty when lexical-only
+  bool quantized_retrieval_ = false;
+  int quantized_shortlist_multiplier_ = 4;
 };
 
 }  // namespace tabbin

@@ -37,6 +37,21 @@ struct ServiceOptions {
   /// Cap on entity cells indexed per table (bounds index growth on wide
   /// tables).
   int max_entities_per_table = 64;
+  /// Two-stage quantized candidate scoring: when true, ranking passes
+  /// first scan LSH candidates through the int8 code sidecar
+  /// (approximate, 4x less bandwidth), keep the top
+  /// (k * quantized_shortlist_multiplier) shortlist, and rerank ONLY the
+  /// shortlist with the exact float cosine kernels — final scores are
+  /// always float-exact; only shortlist membership is approximate. Off
+  /// by default: the exact full scan remains the reference behavior.
+  /// Runtime scoring knobs, deliberately NOT serialized (the snapshot
+  /// byte format predates them; re-apply via SetQuantizedScan after
+  /// load).
+  bool quantized_scan = false;
+  /// Shortlist size as a multiple of k; clamped to >= 1. Larger r
+  /// trades scan speedup for recall (r where recall@10 saturates is
+  /// established by the perf_report sweep; 4 is the measured default).
+  int quantized_shortlist_multiplier = 4;
 };
 
 /// \brief Outcome of one AddTables batch.
@@ -114,6 +129,14 @@ class TabBinServing {
   virtual Result<AddReport> AddTables(const std::vector<Table>& tables) = 0;
   virtual Status RemoveTable(const std::string& id) = 0;
   virtual Status Compact() = 0;
+
+  /// \brief Flips the two-stage quantized first-pass scorer at runtime
+  /// (see ServiceOptions::quantized_scan). Enabling builds the int8
+  /// code sidecars from the stored float rows (snapshots never carry
+  /// codes); disabling frees them and restores the exact full scan —
+  /// and with it byte-identity with a service that never quantized.
+  /// Takes each shard's writer lock; not a per-request call.
+  virtual void SetQuantizedScan(bool on, int shortlist_multiplier = 4) = 0;
 
   // Queries.
   virtual Result<QueryResponse> SimilarColumns(

@@ -127,7 +127,19 @@ ServiceShard::ServiceShard(const TabBiNSystem* system,
       tbl_index_(ServiceTableDim(*system), options.lsh_bits,
                  options.lsh_tables, options.lsh_seed),
       ent_index_(ServiceEntityDim(*system), options.lsh_bits,
-                 options.lsh_tables, options.lsh_seed) {}
+                 options.lsh_tables, options.lsh_seed) {
+  options_.quantized_shortlist_multiplier =
+      std::max(1, options_.quantized_shortlist_multiplier);
+  if (options_.quantized_scan) {
+    // Enabled before any row exists: every AppendRow maintains the
+    // sidecar from here on (including snapshot-restore inserts, which
+    // is how codes are recomputed on deserialize without ever being
+    // serialized).
+    col_vecs_.EnableQuantization();
+    tbl_vecs_.EnableQuantization();
+    ent_vecs_.EnableQuantization();
+  }
+}
 
 Result<ServiceShard::PreparedTable> ServiceShard::Prepare(
     const TabBiNSystem& sys, const ServiceOptions& options, const Table& t,
@@ -293,6 +305,21 @@ Status ServiceShard::Remove(const std::string& id) {
   return Status::OK();
 }
 
+void ServiceShard::SetQuantizedScan(bool on, int shortlist_multiplier) {
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  options_.quantized_scan = on;
+  options_.quantized_shortlist_multiplier = std::max(1, shortlist_multiplier);
+  if (on) {
+    col_vecs_.EnableQuantization();
+    tbl_vecs_.EnableQuantization();
+    ent_vecs_.EnableQuantization();
+  } else {
+    col_vecs_.DisableQuantization();
+    tbl_vecs_.DisableQuantization();
+    ent_vecs_.DisableQuantization();
+  }
+}
+
 Status ServiceShard::Compact() {
   std::unique_lock<std::shared_mutex> lock(mu_);
   if (static_cast<size_t>(live_count_) == slots_.size()) {
@@ -325,6 +352,13 @@ Status ServiceShard::Compact() {
   ent_vecs_ = EmbeddingMatrix();
   ent_refs_.clear();
   lex_postings_.clear();
+  if (options_.quantized_scan) {
+    // Fresh matrices start unquantized; re-enable so the re-inserts
+    // below rebuild the code sidecars along with everything else.
+    col_vecs_.EnableQuantization();
+    tbl_vecs_.EnableQuantization();
+    ent_vecs_.EnableQuantization();
+  }
 
   AddReport discard;
   for (LiveTableRows& rows : live) {
@@ -426,6 +460,42 @@ ServiceShard::MatchSet ServiceShard::RankLocked(
     if (id < 0 || id >= static_cast<int>(refs.size())) continue;
     if (!accept(refs[static_cast<size_t>(id)])) continue;
     rows.push_back(id);
+  }
+  // Quantized first pass: when the scan knob is on and the candidate
+  // set is larger than the shortlist, score everything through the
+  // int8 sidecar (1/4 the bandwidth, exact integer dots) and keep only
+  // the approximate top-(k * r) for the float rerank below. The
+  // shortlist cut uses the same tie order as the final ranking, so it
+  // is deterministic; when the candidate set already fits the
+  // shortlist the quantized pass is skipped entirely and the result is
+  // byte-identical to the exact path by construction.
+  if (options_.quantized_scan && vecs.quantized() && k > 0) {
+    const size_t shortlist =
+        static_cast<size_t>(k) *
+        static_cast<size_t>(options_.quantized_shortlist_multiplier);
+    if (rows.size() > shortlist) {
+      const QuantizedQuery qq = MakeQuantizedQuery(query_vec);
+      std::vector<float> approx(rows.size());
+      QuantizedCosineRows(vecs, qq, rows.data(), rows.size(),
+                          approx.data());
+      std::vector<std::pair<float, int>> ranked;
+      ranked.reserve(rows.size());
+      for (size_t i = 0; i < rows.size(); ++i) {
+        ranked.emplace_back(approx[i], rows[i]);
+      }
+      const auto approx_order = [&](const std::pair<float, int>& a,
+                                    const std::pair<float, int>& b) {
+        if (a.first != b.first) return a.first > b.first;
+        return tie_less(refs[static_cast<size_t>(a.second)],
+                        refs[static_cast<size_t>(b.second)]);
+      };
+      std::nth_element(ranked.begin(),
+                       ranked.begin() + static_cast<ptrdiff_t>(shortlist),
+                       ranked.end(), approx_order);
+      ranked.resize(shortlist);
+      rows.clear();
+      for (const auto& [score, id] : ranked) rows.push_back(id);
+    }
   }
   std::vector<float> scores(rows.size());
   kernels::BatchedCosineRows(
@@ -629,6 +699,43 @@ ServiceShard::AskPartial ServiceShard::AskCandidates(
       continue;
     }
     dense_rows.push_back(row);
+  }
+  // Quantized first pass over the dense candidates, mirroring
+  // RankLocked: the final Ask cut keeps `pool` tables at most, so a
+  // (pool * r) approximate shortlist bounds the exact rerank the same
+  // way. Ties break on table id — the partition-independent order the
+  // dense stage itself merges by.
+  if (options_.quantized_scan && tbl_vecs_.quantized()) {
+    const size_t shortlist =
+        static_cast<size_t>(pool) *
+        static_cast<size_t>(options_.quantized_shortlist_multiplier);
+    if (dense_rows.size() > shortlist) {
+      const QuantizedQuery qq = MakeQuantizedQuery(query_vec);
+      std::vector<float> approx(dense_rows.size());
+      QuantizedCosineRows(tbl_vecs_, qq, dense_rows.data(),
+                          dense_rows.size(), approx.data());
+      std::vector<std::pair<float, int>> ranked;
+      ranked.reserve(dense_rows.size());
+      for (size_t i = 0; i < dense_rows.size(); ++i) {
+        ranked.emplace_back(approx[i], dense_rows[i]);
+      }
+      const auto approx_order = [&](const std::pair<float, int>& a,
+                                    const std::pair<float, int>& b) {
+        if (a.first != b.first) return a.first > b.first;
+        return slots_[static_cast<size_t>(
+                   tbl_refs_[static_cast<size_t>(a.second)])]
+                   .id <
+               slots_[static_cast<size_t>(
+                   tbl_refs_[static_cast<size_t>(b.second)])]
+                   .id;
+      };
+      std::nth_element(ranked.begin(),
+                       ranked.begin() + static_cast<ptrdiff_t>(shortlist),
+                       ranked.end(), approx_order);
+      ranked.resize(shortlist);
+      dense_rows.clear();
+      for (const auto& [score, row] : ranked) dense_rows.push_back(row);
+    }
   }
   std::vector<float> dense_cos(dense_rows.size());
   kernels::BatchedCosineRows(query_vec.data(), inv_q, tbl_vecs_.data(),

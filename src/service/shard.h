@@ -148,6 +148,11 @@ class ServiceShard {
 
   Status Remove(const std::string& id);
 
+  /// \brief Enables/disables the int8 quantized first-pass scorer for
+  /// this shard: builds (or frees) the code sidecars of the three
+  /// embedding matrices and updates the scan options. Writer lock.
+  void SetQuantizedScan(bool on, int shortlist_multiplier);
+
   /// \brief Rebuilds every index over the live tables only, from their
   /// stored embedding rows — no encoder involvement (calling the engine
   /// under the writer lock could deadlock against pool-queued encodes);

@@ -55,6 +55,15 @@ Status ShardedTabBinService::RemoveTable(const std::string& id) {
 
 Status ShardedTabBinService::Compact() { return ScatterCompact(core()); }
 
+void ShardedTabBinService::SetQuantizedScan(bool on,
+                                            int shortlist_multiplier) {
+  options_.quantized_scan = on;
+  options_.quantized_shortlist_multiplier = std::max(1, shortlist_multiplier);
+  for (auto& shard : shards_) {
+    shard->SetQuantizedScan(on, shortlist_multiplier);
+  }
+}
+
 // --- Queries --------------------------------------------------------------
 
 Result<QueryResponse> ShardedTabBinService::SimilarColumns(

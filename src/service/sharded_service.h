@@ -59,6 +59,14 @@ class ShardedTabBinService : public TabBinServing {
   Status RemoveTable(const std::string& id) override;
   Status Compact() override;
 
+  /// \brief Flips the int8 two-stage first-pass scorer on every shard
+  /// (each under its own writer lock). Not persisted by Save. With the
+  /// scan ON, per-shard shortlists are cut shard-locally, so answers
+  /// may differ (only in shortlist membership, never in score
+  /// arithmetic) across shard counts; the OFF default keeps the exact
+  /// N-shard == 1-shard byte-identity.
+  void SetQuantizedScan(bool on, int shortlist_multiplier = 4) override;
+
   // --- Queries (scatter-gather; safe from many threads) -----------------
 
   Result<QueryResponse> SimilarColumns(

@@ -53,6 +53,12 @@ Status TabBinService::RemoveTable(const std::string& id) {
 
 Status TabBinService::Compact() { return ScatterCompact(core()); }
 
+void TabBinService::SetQuantizedScan(bool on, int shortlist_multiplier) {
+  options_.quantized_scan = on;
+  options_.quantized_shortlist_multiplier = std::max(1, shortlist_multiplier);
+  shard_.SetQuantizedScan(on, shortlist_multiplier);
+}
+
 // --- Queries --------------------------------------------------------------
 
 Result<QueryResponse> TabBinService::SimilarColumns(

@@ -81,6 +81,10 @@ class TabBinService : public TabBinServing {
   /// and after compaction are identical.
   Status Compact() override;
 
+  /// \brief Flips the int8 two-stage first-pass scorer (builds or frees
+  /// the code sidecars under the writer lock). Not persisted by Save.
+  void SetQuantizedScan(bool on, int shortlist_multiplier = 4) override;
+
   // --- Queries (shared lock; safe from many threads) --------------------
 
   Result<QueryResponse> SimilarColumns(

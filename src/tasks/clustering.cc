@@ -46,12 +46,37 @@ std::vector<RankedItem> ScoreRows(const LabeledEmbeddingSet& items,
   return ranked;
 }
 
+// Cuts `rows` down to the `shortlist` entries with the highest int8
+// approximate cosine (ties by ascending index — the same tie order the
+// exact ranking uses, so the cut is deterministic). No-op unless the
+// pool actually exceeds the shortlist, which keeps small candidate
+// blocks byte-identical to the exact path even with the knob on.
+void QuantizedShortlist(const LabeledEmbeddingSet& items, VecView query,
+                        size_t shortlist, std::vector<int>* rows) {
+  if (shortlist == 0 || rows->size() <= shortlist) return;
+  const QuantizedQuery qq = MakeQuantizedQuery(query);
+  std::vector<float> approx(rows->size());
+  QuantizedCosineRows(items.matrix(), qq, rows->data(), rows->size(),
+                      approx.data());
+  std::vector<size_t> order(rows->size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::nth_element(order.begin(), order.begin() + shortlist, order.end(),
+                   [&](size_t a, size_t b) {
+                     if (approx[a] != approx[b]) return approx[a] > approx[b];
+                     return (*rows)[a] < (*rows)[b];
+                   });
+  std::vector<int> kept(shortlist);
+  for (size_t i = 0; i < shortlist; ++i) kept[i] = (*rows)[order[i]];
+  *rows = std::move(kept);
+}
+
 }  // namespace
 
 std::vector<RankedItem> RankBySimilarity(const LabeledEmbeddingSet& items,
                                          int query_index,
                                          const std::vector<int>* candidates,
-                                         int top_k) {
+                                         int top_k, bool quantized_scan,
+                                         int shortlist_multiplier) {
   std::vector<int> rows;
   if (candidates) {
     rows.reserve(candidates->size());
@@ -64,10 +89,18 @@ std::vector<RankedItem> RankBySimilarity(const LabeledEmbeddingSet& items,
       if (i != query_index) rows.push_back(i);
     }
   }
+  const VecView query = items.vec(static_cast<size_t>(query_index));
+  if (quantized_scan && items.matrix().quantized() && top_k >= 0) {
+    QuantizedShortlist(
+        items, query,
+        static_cast<size_t>(top_k) *
+            static_cast<size_t>(std::max(1, shortlist_multiplier)),
+        &rows);
+  }
   // The query is a row of the same matrix, so its inverse norm is
   // already cached (same bits as a fresh kernels::InvNorm).
   std::vector<RankedItem> ranked =
-      ScoreRows(items, items.vec(static_cast<size_t>(query_index)),
+      ScoreRows(items, query,
                 items.matrix().inv_norm(static_cast<size_t>(query_index)),
                 std::move(rows));
   SelectTopRanked(&ranked, top_k);
@@ -126,7 +159,9 @@ ClusterEvalResult EvaluateClustering(const LabeledEmbeddingSet& items,
     // Only the top-k prefix is retrieved: AP@k and RR@k never read past
     // rank k, and nth_element selection is far cheaper than sorting a
     // candidate block 100x the cluster size.
-    auto ranked = RankBySimilarity(items, q, cand_ptr, options.k);
+    auto ranked =
+        RankBySimilarity(items, q, cand_ptr, options.k, options.quantized_scan,
+                         options.quantized_shortlist_multiplier);
     std::vector<bool> rel;
     rel.reserve(ranked.size());
     for (const auto& r : ranked) {

@@ -41,6 +41,12 @@ class LabeledEmbeddingSet {
   const EmbeddingMatrix& matrix() const { return vecs_; }
   const std::vector<std::string>& labels() const { return labels_; }
 
+  /// \brief Builds the int8 code sidecar so RankBySimilarity /
+  /// EvaluateClustering can run the two-stage quantized scan (their
+  /// quantized_scan knobs silently fall back to the exact path when the
+  /// sidecar is absent). Later Add calls keep it maintained.
+  void EnableQuantizedScan() { vecs_.EnableQuantization(); }
+
  private:
   EmbeddingMatrix vecs_;
   std::vector<std::string> labels_;
@@ -58,9 +64,15 @@ struct RankedItem {
 /// kernel pass over the item matrix. When `top_k >= 0` only the top-k
 /// prefix is returned — selected with nth_element, byte-identical to
 /// truncating the full ranking (the (score, index) order is total).
+/// With `quantized_scan` (and top_k >= 0, and the item set's sidecar
+/// enabled via EnableQuantizedScan), an int8 approximate pass cuts the
+/// pool to (top_k * shortlist_multiplier) before the exact scoring —
+/// returned scores are still float-exact; only shortlist membership is
+/// approximate.
 std::vector<RankedItem> RankBySimilarity(
     const LabeledEmbeddingSet& items, int query_index,
-    const std::vector<int>* candidates = nullptr, int top_k = -1);
+    const std::vector<int>* candidates = nullptr, int top_k = -1,
+    bool quantized_scan = false, int shortlist_multiplier = 4);
 
 /// \brief MAP/MRR outcome of a clustering evaluation.
 struct ClusterEvalResult {
@@ -81,6 +93,11 @@ struct ClusterEvalOptions {
   // item set remains the retrieval pool. Used for split evaluations
   // (e.g. "nested tables" as queries against the full corpus).
   std::vector<int> query_indices;
+  // Two-stage int8 scan before the exact top-k (requires the caller to
+  // EnableQuantizedScan() on the item set first; falls back to the
+  // exact path otherwise).
+  bool quantized_scan = false;
+  int quantized_shortlist_multiplier = 4;
 };
 
 /// \brief Full evaluation: for each sampled query, rank all other items by

@@ -27,6 +27,12 @@ void EmbeddingMatrix::AppendRow(VecView v) {
   // Norm of the STORED row (post pad/truncate), so the cache is exact
   // even for ragged inputs.
   inv_norms_.push_back(kernels::InvNorm(dst, cols_));
+  if (quantized_) {
+    codes_.resize(codes_.size() + cols_);
+    code_params_.resize(rows_);
+    dequant_.resize(2 * rows_);
+    QuantizeRow(rows_ - 1);
+  }
 }
 
 void EmbeddingMatrix::set_row(size_t r, VecView v) {
@@ -35,6 +41,7 @@ void EmbeddingMatrix::set_row(size_t r, VecView v) {
   if (n > 0) std::memcpy(dst, v.data(), n * sizeof(float));
   if (n < cols_) std::memset(dst + n, 0, (cols_ - n) * sizeof(float));
   inv_norms_[r] = kernels::InvNorm(dst, cols_);
+  if (quantized_) QuantizeRow(r);
 }
 
 void EmbeddingMatrix::RecomputeInvNorms() {
@@ -42,6 +49,39 @@ void EmbeddingMatrix::RecomputeInvNorms() {
   for (size_t r = 0; r < rows_; ++r) {
     inv_norms_[r] = kernels::InvNorm(data_.data() + r * cols_, cols_);
   }
+  if (quantized_) {
+    codes_.resize(rows_ * cols_);
+    code_params_.resize(rows_);
+    dequant_.resize(2 * rows_);
+    for (size_t r = 0; r < rows_; ++r) QuantizeRow(r);
+  }
+}
+
+void EmbeddingMatrix::EnableQuantization() {
+  if (quantized_) return;
+  quantized_ = true;
+  codes_.resize(rows_ * cols_);
+  code_params_.resize(rows_);
+  dequant_.resize(2 * rows_);
+  for (size_t r = 0; r < rows_; ++r) QuantizeRow(r);
+}
+
+void EmbeddingMatrix::DisableQuantization() {
+  quantized_ = false;
+  codes_.clear();
+  codes_.shrink_to_fit();
+  code_params_.clear();
+  code_params_.shrink_to_fit();
+  dequant_.clear();
+  dequant_.shrink_to_fit();
+}
+
+void EmbeddingMatrix::QuantizeRow(size_t r) {
+  code_params_[r] = kernels::QuantizeRowAffine(
+      data_.data() + r * cols_, cols_, codes_.data() + r * cols_);
+  const float a = code_params_[r].scale * inv_norms_[r];
+  dequant_[2 * r] = a;
+  dequant_[2 * r + 1] = static_cast<float>(code_params_[r].zero) * a;
 }
 
 void EmbeddingMatrix::Serialize(BinaryWriter* w) const {
@@ -69,6 +109,44 @@ Result<EmbeddingMatrix> EmbeddingMatrix::Deserialize(BinaryReader* r) {
   m.data_ = std::move(data);
   m.RecomputeInvNorms();
   return m;
+}
+
+QuantizedQuery MakeQuantizedQuery(VecView q) {
+  QuantizedQuery out;
+  out.codes.resize(q.size());
+  const kernels::QueryQuantParams p =
+      kernels::QuantizeSymmetric(q.data(), q.size(), out.codes.data());
+  out.scale = p.scale;
+  out.code_sum = p.code_sum;
+  out.inv_norm = kernels::InvNorm(q.data(), q.size());
+  return out;
+}
+
+void QuantizedCosineRows(const EmbeddingMatrix& m, const QuantizedQuery& q,
+                         const int* rows, size_t nrows, float* out) {
+  // Integer part first (exact at every dispatch level), then ONE
+  // fixed-order float combine — the only place approximate scores are
+  // assembled, so every caller ranks by the same bits. Processed in
+  // blocks so the integer dots never leave L1 and the scan allocates
+  // nothing (per-block results are identical to one whole-scan pass:
+  // each row's value depends only on that row).
+  constexpr size_t kBlock = 1024;
+  int32_t idots[kBlock];
+  const float sum_d = static_cast<float>(q.code_sum);
+  const float q_combo = q.scale * q.inv_norm;
+  const float* dq = m.dequant_pairs();
+  for (size_t base = 0; base < nrows; base += kBlock) {
+    const size_t count = std::min(kBlock, nrows - base);
+    kernels::BatchedQuantizedDotRows(q.codes.data(), m.codes(), m.cols(),
+                                     rows + base, count, idots);
+    for (size_t i = 0; i < count; ++i) {
+      // dq holds {scale * inv_norm, zero * scale * inv_norm} per row:
+      // one contiguous 8-byte load instead of two gathers.
+      const float* d = dq + 2 * static_cast<size_t>(rows[base + i]);
+      out[base + i] =
+          q_combo * (static_cast<float>(idots[i]) * d[0] - sum_d * d[1]);
+    }
+  }
 }
 
 }  // namespace tabbin

@@ -19,8 +19,10 @@
 #define TABBIN_TENSOR_EMBEDDING_MATRIX_H_
 
 #include <cstddef>
+#include <cstdint>
 #include <vector>
 
+#include "tensor/kernels.h"
 #include "util/serialize.h"
 #include "util/status.h"
 
@@ -98,13 +100,53 @@ class EmbeddingMatrix {
   float inv_norm(size_t r) const { return inv_norms_[r]; }
   const float* inv_norms() const { return inv_norms_.data(); }
 
-  /// \brief Rebuilds the whole inverse-norm cache from the row data.
+  /// \brief Rebuilds the whole inverse-norm cache from the row data
+  /// (and, when quantization is enabled, the int8 code sidecar too —
+  /// this is the one hook raw data()/mutable_row() writers already
+  /// call, so enabling quantization adds no new maintenance duty).
   void RecomputeInvNorms();
+
+  // --- Int8 scalar-quantized sidecar ------------------------------------
+  // Opt-in per matrix: the serving shards enable it when the
+  // quantized-scan knob is on; training-side matrices never pay the
+  // ~25% memory overhead. Codes are DERIVED state, like the inverse
+  // norms: maintained by Assign / AppendRow / set_row /
+  // RecomputeInvNorms, never serialized (the snapshot byte format is
+  // unchanged — a restored matrix re-derives codes when quantization is
+  // re-enabled).
+
+  /// \brief Turns the sidecar on and (re)encodes every existing row.
+  /// Idempotent.
+  void EnableQuantization();
+
+  /// \brief Drops the sidecar and its memory.
+  void DisableQuantization();
+
+  bool quantized() const { return quantized_; }
+
+  /// \brief Row-major [rows, cols] int8 codes; row r decodes as
+  /// code_scale(r) * (code - code_zero(r)). Valid only when
+  /// quantized().
+  const int8_t* codes() const { return codes_.data(); }
+  float code_scale(size_t r) const { return code_params_[r].scale; }
+  int32_t code_zero(size_t r) const { return code_params_[r].zero; }
+
+  /// \brief Fused per-row combine constants for the quantized scan, two
+  /// per row: [2r] = code_scale(r) * inv_norm(r) and [2r+1] = that times
+  /// code_zero(r). One contiguous 8-byte load replaces two gathers from
+  /// separate arrays in the scan's float combine. Derived alongside the
+  /// codes; valid only when quantized().
+  const float* dequant_pairs() const { return dequant_.data(); }
 
   /// \brief Pre-allocates storage for `rows` rows of the current width.
   void Reserve(size_t rows) {
     data_.reserve(rows * cols_);
     inv_norms_.reserve(rows);
+    if (quantized_) {
+      codes_.reserve(rows * cols_);
+      code_params_.reserve(rows);
+      dequant_.reserve(2 * rows);
+    }
   }
 
   void Clear() {
@@ -112,11 +154,15 @@ class EmbeddingMatrix {
     cols_ = 0;
     data_.clear();
     inv_norms_.clear();
+    codes_.clear();
+    code_params_.clear();
+    dequant_.clear();
   }
 
   /// \brief Writes rows, cols and the flat data block. The inverse-norm
-  /// cache is derived state and deliberately NOT serialized — the byte
-  /// format predates it and must not change.
+  /// cache and the int8 code sidecar are derived state and deliberately
+  /// NOT serialized — the byte format predates them and must not
+  /// change.
   void Serialize(BinaryWriter* w) const;
 
   /// \brief Inverse of Serialize; rejects inconsistent geometry (a data
@@ -125,12 +171,47 @@ class EmbeddingMatrix {
   static Result<EmbeddingMatrix> Deserialize(BinaryReader* r);
 
  private:
+  // Re-encodes row r into the sidecar (requires quantized_).
+  void QuantizeRow(size_t r);
+
   size_t rows_ = 0;
   size_t cols_ = 0;
   std::vector<float> data_;
   // inv_norms_[r] == kernels::InvNorm(row r); always rows_ entries.
   std::vector<float> inv_norms_;
+  // Int8 sidecar: empty unless quantized_; then codes_ is [rows, cols]
+  // and code_params_ has rows_ entries.
+  bool quantized_ = false;
+  std::vector<int8_t> codes_;
+  std::vector<kernels::RowQuantParams> code_params_;
+  // dequant_[2r] = scale * inv_norm, dequant_[2r+1] = zero * scale *
+  // inv_norm; 2 * rows_ entries when quantized_, refreshed by
+  // QuantizeRow.
+  std::vector<float> dequant_;
 };
+
+/// \brief A query vector quantized once for scanning against any
+/// quantized matrix of the same width: symmetric int8 codes, their
+/// scale and sum, and the float inverse norm the approximate cosine
+/// combine shares with the exact path.
+struct QuantizedQuery {
+  std::vector<int8_t> codes;
+  float scale = 0.0f;
+  int32_t code_sum = 0;
+  float inv_norm = 0.0f;
+};
+
+QuantizedQuery MakeQuantizedQuery(VecView q);
+
+/// \brief Approximate cosine of `q` against the listed rows through the
+/// int8 sidecar: one exact integer dot per row (bit-identical across
+/// dispatch levels) plus a fixed-order float combine
+///   (q_scale * q_inv_norm) * (idot * dq0 - code_sum * dq1),
+/// where {dq0, dq1} are the row's fused dequant_pairs() constants.
+/// The fast first pass of the scan -> shortlist -> rerank path; final
+/// scores always come from the float kernels. Requires m.quantized().
+void QuantizedCosineRows(const EmbeddingMatrix& m, const QuantizedQuery& q,
+                         const int* rows, size_t nrows, float* out);
 
 }  // namespace tabbin
 

@@ -1,7 +1,9 @@
 #include "tensor/kernels.h"
 
+#include <algorithm>
 #include <cmath>
 #include <cstdlib>
+#include <vector>
 
 #if defined(__x86_64__) || defined(__i386__)
 #define TABBIN_KERNELS_X86 1
@@ -44,6 +46,23 @@ void GemmScalar(const float* A, const float* B, float* C, int n, int k,
       const float* brow = B + static_cast<size_t>(kk) * m;
       for (int j = 0; j < m; ++j) crow[j] += av * brow[j];
     }
+  }
+}
+
+int32_t QuantizedDotScalar(const int8_t* a, const int8_t* b, size_t n) {
+  int32_t sum = 0;
+  for (size_t i = 0; i < n; ++i) {
+    sum += static_cast<int32_t>(a[i]) * static_cast<int32_t>(b[i]);
+  }
+  return sum;
+}
+
+void BatchedQuantizedDotRowsScalar(const int8_t* q, const int8_t* codes,
+                                   size_t cols, const int* rows, size_t nrows,
+                                   int32_t* out) {
+  for (size_t i = 0; i < nrows; ++i) {
+    out[i] = QuantizedDotScalar(q, codes + static_cast<size_t>(rows[i]) * cols,
+                                cols);
   }
 }
 
@@ -149,6 +168,257 @@ __attribute__((target("avx2,fma"))) void GemmAvx2(const float* A,
   }
 }
 
+// Int8 dot via the unsigned-signed maddubs path, made exact by a range
+// contract instead of hope: query codes stay within [-63, 63] (see
+// QuantizeSymmetric), so after shifting row codes to unsigned with one
+// XOR (row + 128, giving [1, 255]) every int16 pair sum is bounded by
+// 2 * 255 * 63 = 32130 < 32767 — vpmaddubsw cannot saturate. The shift
+// is undone with the exact integer correction
+//   dot = maddubs_total - 128 * sum(query codes covered by maddubs);
+// the sub-8 scalar tail multiplies raw codes, so its query codes are
+// excluded from the correction sum. Everything accumulates in int32 and
+// integer addition is associative, so the result equals the scalar loop
+// bit for bit.
+//
+// Why not sign-extend both sides to int16 and vpmaddwd? That costs a
+// shuffle-port cvt per 16 codes; maddubs eats 32 codes per instruction
+// with one cheap XOR, roughly halving the port pressure per byte.
+
+// Query-code prefix sum over the maddubs-covered lanes (multiples of 8).
+inline int32_t QuerySumPrefix(const int8_t* q, size_t n8) {
+  int32_t s = 0;
+  for (size_t i = 0; i < n8; ++i) s += static_cast<int32_t>(q[i]);
+  return s;
+}
+
+__attribute__((target("avx2"))) int32_t QuantizedDotAvx2(const int8_t* a,
+                                                         const int8_t* b,
+                                                         size_t n) {
+  const __m256i k80 = _mm256_set1_epi8(static_cast<char>(0x80));
+  const __m256i ones = _mm256_set1_epi16(1);
+  __m256i acc = _mm256_setzero_si256();
+  size_t i = 0;
+  for (; i + 32 <= n; i += 32) {
+    const __m256i qv =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a + i));
+    const __m256i ru = _mm256_xor_si256(
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(b + i)), k80);
+    acc = _mm256_add_epi32(
+        acc, _mm256_madd_epi16(_mm256_maddubs_epi16(ru, qv), ones));
+  }
+  const __m128i k80s = _mm256_castsi256_si128(k80);
+  const __m128i ones_s = _mm256_castsi256_si128(ones);
+  __m128i s = _mm_add_epi32(_mm256_castsi256_si128(acc),
+                            _mm256_extracti128_si256(acc, 1));
+  if (i + 16 <= n) {
+    const __m128i qv =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(a + i));
+    const __m128i ru = _mm_xor_si128(
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(b + i)), k80s);
+    s = _mm_add_epi32(s, _mm_madd_epi16(_mm_maddubs_epi16(ru, qv), ones_s));
+    i += 16;
+  }
+  if (i + 8 <= n) {
+    // 64-bit loads zero the upper bytes: the query side stays 0 there,
+    // so the (shifted) garbage lanes of the row side multiply to 0.
+    const __m128i qv =
+        _mm_loadl_epi64(reinterpret_cast<const __m128i*>(a + i));
+    const __m128i ru = _mm_xor_si128(
+        _mm_loadl_epi64(reinterpret_cast<const __m128i*>(b + i)), k80s);
+    s = _mm_add_epi32(s, _mm_madd_epi16(_mm_maddubs_epi16(ru, qv), ones_s));
+    i += 8;
+  }
+  s = _mm_add_epi32(s, _mm_shuffle_epi32(s, _MM_SHUFFLE(1, 0, 3, 2)));
+  s = _mm_add_epi32(s, _mm_shuffle_epi32(s, _MM_SHUFFLE(2, 3, 0, 1)));
+  int32_t sum = _mm_cvtsi128_si32(s) - 128 * QuerySumPrefix(a, i);
+  for (; i < n; ++i) {
+    sum += static_cast<int32_t>(a[i]) * static_cast<int32_t>(b[i]);
+  }
+  return sum;
+}
+
+// The scan inner loop. Per-row costs the pairwise entry point pays are
+// hoisted or restructured away:
+//   - the query loads and its correction sum are shared across the call;
+//   - rows run four at a time, amortizing loads and loop control and
+//     hiding the maddubs latency behind four accumulators;
+//   - the four horizontal sums collapse through one hadd tree into a
+//     single 4-lane store (and the shared correction folds in with one
+//     vector subtract).
+__attribute__((target("avx2"))) void BatchedQuantizedDotRowsAvx2(
+    const int8_t* q, const int8_t* codes, size_t cols, const int* rows,
+    size_t nrows, int32_t* out) {
+  const __m256i k80 = _mm256_set1_epi8(static_cast<char>(0x80));
+  const __m256i ones = _mm256_set1_epi16(1);
+  const __m128i k80s = _mm256_castsi256_si128(k80);
+  const __m128i ones_s = _mm256_castsi256_si128(ones);
+  const size_t simd_cols = cols - cols % 8;
+  const __m128i corr = _mm_set1_epi32(128 * QuerySumPrefix(q, simd_cols));
+
+  size_t r = 0;
+  for (; r + 4 <= nrows; r += 4) {
+    const int8_t* row0 = codes + static_cast<size_t>(rows[r]) * cols;
+    const int8_t* row1 = codes + static_cast<size_t>(rows[r + 1]) * cols;
+    const int8_t* row2 = codes + static_cast<size_t>(rows[r + 2]) * cols;
+    const int8_t* row3 = codes + static_cast<size_t>(rows[r + 3]) * cols;
+    __m256i acc0 = _mm256_setzero_si256();
+    __m256i acc1 = _mm256_setzero_si256();
+    __m256i acc2 = _mm256_setzero_si256();
+    __m256i acc3 = _mm256_setzero_si256();
+    size_t i = 0;
+    for (; i + 32 <= cols; i += 32) {
+      const __m256i qv =
+          _mm256_loadu_si256(reinterpret_cast<const __m256i*>(q + i));
+      acc0 = _mm256_add_epi32(
+          acc0, _mm256_madd_epi16(
+                    _mm256_maddubs_epi16(
+                        _mm256_xor_si256(
+                            _mm256_loadu_si256(
+                                reinterpret_cast<const __m256i*>(row0 + i)),
+                            k80),
+                        qv),
+                    ones));
+      acc1 = _mm256_add_epi32(
+          acc1, _mm256_madd_epi16(
+                    _mm256_maddubs_epi16(
+                        _mm256_xor_si256(
+                            _mm256_loadu_si256(
+                                reinterpret_cast<const __m256i*>(row1 + i)),
+                            k80),
+                        qv),
+                    ones));
+      acc2 = _mm256_add_epi32(
+          acc2, _mm256_madd_epi16(
+                    _mm256_maddubs_epi16(
+                        _mm256_xor_si256(
+                            _mm256_loadu_si256(
+                                reinterpret_cast<const __m256i*>(row2 + i)),
+                            k80),
+                        qv),
+                    ones));
+      acc3 = _mm256_add_epi32(
+          acc3, _mm256_madd_epi16(
+                    _mm256_maddubs_epi16(
+                        _mm256_xor_si256(
+                            _mm256_loadu_si256(
+                                reinterpret_cast<const __m256i*>(row3 + i)),
+                            k80),
+                        qv),
+                    ones));
+    }
+    if (i + 16 <= cols) {
+      const __m128i qv =
+          _mm_loadu_si128(reinterpret_cast<const __m128i*>(q + i));
+      acc0 = _mm256_add_epi32(
+          acc0, _mm256_zextsi128_si256(_mm_madd_epi16(
+                    _mm_maddubs_epi16(
+                        _mm_xor_si128(_mm_loadu_si128(
+                                          reinterpret_cast<const __m128i*>(
+                                              row0 + i)),
+                                      k80s),
+                        qv),
+                    ones_s)));
+      acc1 = _mm256_add_epi32(
+          acc1, _mm256_zextsi128_si256(_mm_madd_epi16(
+                    _mm_maddubs_epi16(
+                        _mm_xor_si128(_mm_loadu_si128(
+                                          reinterpret_cast<const __m128i*>(
+                                              row1 + i)),
+                                      k80s),
+                        qv),
+                    ones_s)));
+      acc2 = _mm256_add_epi32(
+          acc2, _mm256_zextsi128_si256(_mm_madd_epi16(
+                    _mm_maddubs_epi16(
+                        _mm_xor_si128(_mm_loadu_si128(
+                                          reinterpret_cast<const __m128i*>(
+                                              row2 + i)),
+                                      k80s),
+                        qv),
+                    ones_s)));
+      acc3 = _mm256_add_epi32(
+          acc3, _mm256_zextsi128_si256(_mm_madd_epi16(
+                    _mm_maddubs_epi16(
+                        _mm_xor_si128(_mm_loadu_si128(
+                                          reinterpret_cast<const __m128i*>(
+                                              row3 + i)),
+                                      k80s),
+                        qv),
+                    ones_s)));
+      i += 16;
+    }
+    if (i + 8 <= cols) {
+      // 64-bit loads zero the upper bytes; the query side stays 0 there,
+      // so the shifted garbage lanes of the row side multiply to 0.
+      const __m128i qv =
+          _mm_loadl_epi64(reinterpret_cast<const __m128i*>(q + i));
+      acc0 = _mm256_add_epi32(
+          acc0, _mm256_zextsi128_si256(_mm_madd_epi16(
+                    _mm_maddubs_epi16(
+                        _mm_xor_si128(_mm_loadl_epi64(
+                                          reinterpret_cast<const __m128i*>(
+                                              row0 + i)),
+                                      k80s),
+                        qv),
+                    ones_s)));
+      acc1 = _mm256_add_epi32(
+          acc1, _mm256_zextsi128_si256(_mm_madd_epi16(
+                    _mm_maddubs_epi16(
+                        _mm_xor_si128(_mm_loadl_epi64(
+                                          reinterpret_cast<const __m128i*>(
+                                              row1 + i)),
+                                      k80s),
+                        qv),
+                    ones_s)));
+      acc2 = _mm256_add_epi32(
+          acc2, _mm256_zextsi128_si256(_mm_madd_epi16(
+                    _mm_maddubs_epi16(
+                        _mm_xor_si128(_mm_loadl_epi64(
+                                          reinterpret_cast<const __m128i*>(
+                                              row2 + i)),
+                                      k80s),
+                        qv),
+                    ones_s)));
+      acc3 = _mm256_add_epi32(
+          acc3, _mm256_zextsi128_si256(_mm_madd_epi16(
+                    _mm_maddubs_epi16(
+                        _mm_xor_si128(_mm_loadl_epi64(
+                                          reinterpret_cast<const __m128i*>(
+                                              row3 + i)),
+                                      k80s),
+                        qv),
+                    ones_s)));
+      i += 8;
+    }
+    // hadd tree: two in-lane levels then one cross-lane fold leave
+    // [sum0, sum1, sum2, sum3] in one vector; the shared unsigned-shift
+    // correction comes off all four lanes with one subtract.
+    const __m256i h01 = _mm256_hadd_epi32(acc0, acc1);
+    const __m256i h23 = _mm256_hadd_epi32(acc2, acc3);
+    const __m256i h = _mm256_hadd_epi32(h01, h23);
+    __m128i t = _mm_sub_epi32(
+        _mm_add_epi32(_mm256_castsi256_si128(h),
+                      _mm256_extracti128_si256(h, 1)),
+        corr);
+    if (i < cols) {
+      int32_t tail[4] = {0, 0, 0, 0};
+      for (; i < cols; ++i) {
+        tail[0] += static_cast<int32_t>(row0[i]) * static_cast<int32_t>(q[i]);
+        tail[1] += static_cast<int32_t>(row1[i]) * static_cast<int32_t>(q[i]);
+        tail[2] += static_cast<int32_t>(row2[i]) * static_cast<int32_t>(q[i]);
+        tail[3] += static_cast<int32_t>(row3[i]) * static_cast<int32_t>(q[i]);
+      }
+      t = _mm_add_epi32(
+          t, _mm_loadu_si128(reinterpret_cast<const __m128i*>(tail)));
+    }
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(out + r), t);
+  }
+  for (; r < nrows; ++r) {
+    out[r] =
+        QuantizedDotAvx2(q, codes + static_cast<size_t>(rows[r]) * cols, cols);
+  }
+}
+
 #endif  // TABBIN_KERNELS_X86
 
 #if TABBIN_KERNELS_NEON
@@ -227,6 +497,41 @@ void GemmNeon(const float* A, const float* B, float* C, int n, int k,
   }
 }
 
+// Int8 dot on NEON: vmull_s8 widens 8 x (s8 * s8) to int16 (max
+// magnitude 127 * 127, no overflow), vpadalq_s16 pair-accumulates into
+// int32 lanes. Exact integer arithmetic — bit-identical to the scalar
+// loop. (sdot would need the optional DotProd extension; the widening
+// form is baseline Advanced SIMD and exact everywhere.)
+int32_t QuantizedDotNeon(const int8_t* a, const int8_t* b, size_t n) {
+  int32x4_t acc = vdupq_n_s32(0);
+  size_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    const int8x16_t va = vld1q_s8(a + i);
+    const int8x16_t vb = vld1q_s8(b + i);
+    acc = vpadalq_s16(acc, vmull_s8(vget_low_s8(va), vget_low_s8(vb)));
+    acc = vpadalq_s16(acc, vmull_s8(vget_high_s8(va), vget_high_s8(vb)));
+  }
+  for (; i + 8 <= n; i += 8) {
+    acc = vpadalq_s16(acc, vmull_s8(vld1_s8(a + i), vld1_s8(b + i)));
+  }
+  int32_t sum = vaddvq_s32(acc);
+  for (; i < n; ++i) {
+    sum += static_cast<int32_t>(a[i]) * static_cast<int32_t>(b[i]);
+  }
+  return sum;
+}
+
+// vmull_s8 already widens for free, so the NEON scan needs no query
+// pre-widening — only the hoisted dispatch.
+void BatchedQuantizedDotRowsNeon(const int8_t* q, const int8_t* codes,
+                                 size_t cols, const int* rows, size_t nrows,
+                                 int32_t* out) {
+  for (size_t i = 0; i < nrows; ++i) {
+    out[i] =
+        QuantizedDotNeon(q, codes + static_cast<size_t>(rows[i]) * cols, cols);
+  }
+}
+
 #endif  // TABBIN_KERNELS_NEON
 
 // --- Dispatch table -----------------------------------------------------
@@ -235,17 +540,26 @@ struct KernelTable {
   float (*dot)(const float*, const float*, size_t);
   void (*axpy)(float, const float*, float*, size_t);
   void (*gemm)(const float*, const float*, float*, int, int, int);
+  int32_t (*qdot)(const int8_t*, const int8_t*, size_t);
+  void (*qdot_rows)(const int8_t*, const int8_t*, size_t, const int*, size_t,
+                    int32_t*);
 };
 
-constexpr KernelTable kScalarTable = {DotScalar, AxpyScalar, GemmScalar};
+constexpr KernelTable kScalarTable = {DotScalar, AxpyScalar, GemmScalar,
+                                      QuantizedDotScalar,
+                                      BatchedQuantizedDotRowsScalar};
 
 const KernelTable& TableFor(Dispatch d) {
 #if TABBIN_KERNELS_X86
-  static constexpr KernelTable kAvx2Table = {DotAvx2, AxpyAvx2, GemmAvx2};
+  static constexpr KernelTable kAvx2Table = {DotAvx2, AxpyAvx2, GemmAvx2,
+                                             QuantizedDotAvx2,
+                                             BatchedQuantizedDotRowsAvx2};
   if (d == Dispatch::kAvx2) return kAvx2Table;
 #endif
 #if TABBIN_KERNELS_NEON
-  static constexpr KernelTable kNeonTable = {DotNeon, AxpyNeon, GemmNeon};
+  static constexpr KernelTable kNeonTable = {DotNeon, AxpyNeon, GemmNeon,
+                                             QuantizedDotNeon,
+                                             BatchedQuantizedDotRowsNeon};
   if (d == Dispatch::kNeon) return kNeonTable;
 #endif
   (void)d;
@@ -343,6 +657,79 @@ void Gemm(const float* A, const float* B, float* C, int n, int k, int m) {
   ActiveTable().gemm(A, B, C, n, k, m);
 }
 
+RowQuantParams QuantizeRowAffine(const float* x, size_t n, int8_t* out) {
+  RowQuantParams p;
+  if (n == 0) return p;
+  float lo = x[0], hi = x[0];
+  for (size_t i = 1; i < n; ++i) {
+    lo = std::min(lo, x[i]);
+    hi = std::max(hi, x[i]);
+  }
+  if (hi == lo) {
+    if (lo == 0.0f) {
+      // Zero row: codes 0 decode to exactly 0 with any scale.
+      for (size_t i = 0; i < n; ++i) out[i] = 0;
+      return p;
+    }
+    // Constant row: one code value reproduces it exactly.
+    p.scale = std::fabs(lo) / 127.0f;
+    p.zero = 0;
+    const int8_t c = lo > 0 ? 127 : -127;
+    for (size_t i = 0; i < n; ++i) out[i] = c;
+    return p;
+  }
+  // Affine map of [lo, hi] onto [-127, 127] (never -128: its negation
+  // is not an int8, and keeping the range symmetric means saturating
+  // extremes stay exactly representable).
+  p.scale = (hi - lo) / 254.0f;
+  const double inv_scale = 1.0 / static_cast<double>(p.scale);
+  p.zero = static_cast<int32_t>(
+      std::lround(-127.0 - static_cast<double>(lo) * inv_scale));
+  for (size_t i = 0; i < n; ++i) {
+    long c = std::lround(static_cast<double>(x[i]) * inv_scale) +
+             static_cast<long>(p.zero);
+    if (c < -127) c = -127;
+    if (c > 127) c = 127;
+    out[i] = static_cast<int8_t>(c);
+  }
+  return p;
+}
+
+QueryQuantParams QuantizeSymmetric(const float* x, size_t n, int8_t* out) {
+  QueryQuantParams p;
+  float amax = 0.0f;
+  for (size_t i = 0; i < n; ++i) amax = std::max(amax, std::fabs(x[i]));
+  if (amax == 0.0f) {
+    for (size_t i = 0; i < n; ++i) out[i] = 0;
+    return p;  // scale 0: the zero query scores 0 everywhere, like cosine
+  }
+  // [-63, 63], not [-127, 127]: the reduced query range is what lets
+  // the AVX2 scan use vpmaddubsw with zero saturation (see kernels.h).
+  // Rows keep full 8-bit precision; the query loses one bit, which the
+  // scan -> shortlist -> rerank contract absorbs (final scores are
+  // float-exact regardless).
+  p.scale = amax / 63.0f;
+  const double inv_scale = 1.0 / static_cast<double>(p.scale);
+  for (size_t i = 0; i < n; ++i) {
+    long c = std::lround(static_cast<double>(x[i]) * inv_scale);
+    if (c < -63) c = -63;
+    if (c > 63) c = 63;
+    out[i] = static_cast<int8_t>(c);
+    p.code_sum += static_cast<int32_t>(out[i]);
+  }
+  return p;
+}
+
+int32_t QuantizedDot(const int8_t* a, const int8_t* b, size_t n) {
+  return ActiveTable().qdot(a, b, n);
+}
+
+void BatchedQuantizedDotRows(const int8_t* q, const int8_t* codes,
+                             size_t cols, const int* rows, size_t nrows,
+                             int32_t* out) {
+  ActiveTable().qdot_rows(q, codes, cols, rows, nrows, out);
+}
+
 float DotAt(Dispatch d, const float* a, const float* b, size_t n) {
   return TableFor(d).dot(a, b, n);
 }
@@ -358,6 +745,28 @@ void AxpyAt(Dispatch d, float a, const float* x, float* y, size_t n) {
 void GemmAt(Dispatch d, const float* A, const float* B, float* C, int n,
             int k, int m) {
   TableFor(d).gemm(A, B, C, n, k, m);
+}
+
+void MatVecAt(Dispatch d, const float* m, size_t nrows, size_t cols,
+              const float* q, float* out) {
+  const auto dot = TableFor(d).dot;
+  for (size_t r = 0; r < nrows; ++r) out[r] = dot(m + r * cols, q, cols);
+}
+
+void BatchedCosineRowsAt(Dispatch d, const float* q, float inv_q,
+                         const float* m, size_t cols, const int* rows,
+                         size_t nrows, const float* row_inv_norms,
+                         float* out) {
+  const auto dot = TableFor(d).dot;
+  for (size_t i = 0; i < nrows; ++i) {
+    const size_t r = static_cast<size_t>(rows[i]);
+    out[i] = dot(q, m + r * cols, cols) * inv_q * row_inv_norms[r];
+  }
+}
+
+int32_t QuantizedDotAt(Dispatch d, const int8_t* a, const int8_t* b,
+                       size_t n) {
+  return TableFor(d).qdot(a, b, n);
 }
 
 }  // namespace kernels

@@ -28,6 +28,7 @@
 #define TABBIN_TENSOR_KERNELS_H_
 
 #include <cstddef>
+#include <cstdint>
 
 namespace tabbin {
 namespace kernels {
@@ -90,6 +91,67 @@ void BatchedCosineRows(const float* q, float inv_q, const float* m,
 /// dispatch level, so results are deterministic for a fixed level.
 void Gemm(const float* A, const float* B, float* C, int n, int k, int m);
 
+// --- Int8 scalar-quantized tier ----------------------------------------
+// The fast first-pass scorer behind the two-stage scan -> rerank query
+// path: embedding rows are stored a second time as per-row affine int8
+// codes (x_i ~= scale * (code_i - zero)), queries quantize symmetrically
+// once per scan, and candidate scoring becomes an integer dot over 1/4
+// of the bytes. Unlike the float kernels, the integer dot is EXACT:
+// every dispatch level accumulates the same int32, so the quantized
+// scan is bit-identical across scalar/AVX2/NEON — only the final float
+// combine (a fixed-order expression evaluated once, outside the
+// kernels) carries rounding at all.
+//
+// Range contract (what makes the AVX2 path both fast and exact):
+//   - row codes stay in [-127, 127]; -128 is never emitted, so negation
+//     and widening tricks cannot overflow, and the int32 accumulator is
+//     exact for any n <= 130000 (127 * 127 * n < 2^31);
+//   - query codes stay in [-63, 63] (QuantizeSymmetric enforces this).
+//     With rows shifted to unsigned ([1, 255]) the vpmaddubsw pair sums
+//     are bounded by 2 * 255 * 63 = 32130 < 32767 — the classic
+//     maddubs saturation trap is impossible by construction, and one
+//     exact integer correction (128 * query code sum) undoes the shift.
+//     The query spends one precision bit to let the scan eat 32 codes
+//     per instruction; rows (the side that costs memory) keep all 8.
+
+/// \brief Per-row affine quantization parameters: x ~= scale * (code -
+/// zero). `zero` is an integer so the dot-product correction term
+/// (idot - zero * query_code_sum) stays in exact integer arithmetic.
+struct RowQuantParams {
+  float scale = 1.0f;
+  int32_t zero = 0;
+};
+
+/// \brief Encodes one row with per-row min/max affine parameters.
+/// Deterministic scalar code (not dispatched): codes are data, and data
+/// must not depend on the hardware that produced it. out holds n codes.
+RowQuantParams QuantizeRowAffine(const float* x, size_t n, int8_t* out);
+
+/// \brief Symmetric query-side quantization: q_i ~= scale * code_i,
+/// plus the code sum the affine correction term needs. scale == 0 for
+/// the zero vector (all codes 0). Codes stay in [-63, 63] — the range
+/// the AVX2 maddubs scan path requires (see the contract above).
+struct QueryQuantParams {
+  float scale = 0.0f;
+  int32_t code_sum = 0;
+};
+QueryQuantParams QuantizeSymmetric(const float* x, size_t n, int8_t* out);
+
+/// \brief sum_i a[i] * b[i] in exact int32 arithmetic — the same value
+/// at every dispatch level (integer addition is associative). The
+/// operands are NOT symmetric: `a` is the query side and must obey the
+/// [-63, 63] query range (the AVX2 path shifts `b` to unsigned and
+/// uses vpmaddubsw, which only the bounded query keeps saturation-free);
+/// `b` may use the full [-127, 127] row range. NEON uses vmull_s8 +
+/// pairwise accumulate, which is exact for any int8 inputs.
+int32_t QuantizedDot(const int8_t* a, const int8_t* b, size_t n);
+
+/// \brief out[i] = QuantizedDot(q, codes + rows[i] * cols): the
+/// gathered batched form of the scan, mirroring BatchedDotRows.
+void BatchedQuantizedDotRows(const int8_t* q, const int8_t* codes,
+                             size_t cols, const int* rows, size_t nrows,
+                             int32_t* out);
+
 // --- Explicit-level variants -------------------------------------------
 // For tests (SIMD vs scalar agreement) and the perf report. Calling a
 // level the hardware does not support is undefined; guard with
@@ -99,6 +161,14 @@ float SquaredNormAt(Dispatch d, const float* x, size_t n);
 void AxpyAt(Dispatch d, float a, const float* x, float* y, size_t n);
 void GemmAt(Dispatch d, const float* A, const float* B, float* C, int n,
             int k, int m);
+void MatVecAt(Dispatch d, const float* m, size_t nrows, size_t cols,
+              const float* q, float* out);
+void BatchedCosineRowsAt(Dispatch d, const float* q, float inv_q,
+                         const float* m, size_t cols, const int* rows,
+                         size_t nrows, const float* row_inv_norms,
+                         float* out);
+int32_t QuantizedDotAt(Dispatch d, const int8_t* a, const int8_t* b,
+                       size_t n);
 
 }  // namespace kernels
 }  // namespace tabbin
