@@ -6,6 +6,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdlib>
 #include <memory>
 #include <string>
 
@@ -159,7 +160,7 @@ std::shared_ptr<TabBiNSystem> SharedSystemPtr() {
 TabBinService& SharedService() {
   static TabBinService* svc = [] {
     auto* s = new TabBinService(SharedSystemPtr());
-    s->AddTables(SharedCorpus().corpus.tables);
+    if (!s->AddTables(SharedCorpus().corpus.tables).ok()) std::abort();
     return s;
   }();
   return *svc;
@@ -188,7 +189,7 @@ BENCHMARK(BM_ServiceSimilarColumns)->Threads(1)->Threads(8);
 // the live indexes (no rebuild).
 void BM_ServiceAddTablesIncremental(benchmark::State& state) {
   TabBinService svc(SharedSystemPtr());
-  svc.AddTables(SharedCorpus().corpus.tables);
+  if (!svc.AddTables(SharedCorpus().corpus.tables).ok()) std::abort();
   int64_t n = 0;
   for (auto _ : state) {
     Table t = SharedCorpus().corpus.tables[0];
@@ -242,7 +243,7 @@ ShardedTabBinService& SharedShardedService(int shards) {
     opts.encoder_cache_capacity = MixedBenchCorpus().size() + 16;
     slot = std::make_unique<ShardedTabBinService>(SharedSystemPtr(), shards,
                                                   opts);
-    slot->AddTables(MixedBenchCorpus());
+    if (!slot->AddTables(MixedBenchCorpus()).ok()) std::abort();
   }
   return *slot;
 }
@@ -465,7 +466,7 @@ void BM_LshQuery(benchmark::State& state) {
   for (int i = 0; i < 2000; ++i) {
     std::vector<float> v(dim);
     for (auto& x : v) x = static_cast<float>(rng.Gaussian());
-    index.Insert(i, v);
+    if (!index.Insert(i, v).ok()) std::abort();
     if (i == 0) probe = v;
   }
   for (auto _ : state) {

@@ -380,7 +380,7 @@ int Run(const std::string& out_path) {
   churn.set_caption("churn table");
   const double mixed_ns = TimeNs([&] {
     double acc = 0;
-    svc.AddTables({churn});
+    acc += svc.AddTables({churn}).ok() ? 1 : 0;
     for (int i = 0; i < 8; ++i) {
       const Table& t =
           corpus.corpus.tables[static_cast<size_t>(i * 5 + 1) %

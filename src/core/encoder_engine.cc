@@ -72,32 +72,32 @@ EncoderEngine::EncoderEngine(const TabBiNSystem* system, size_t capacity)
     : system_(system), capacity_(capacity == 0 ? 1 : capacity) {}
 
 size_t EncoderEngine::size() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return cache_.size();
 }
 
 size_t EncoderEngine::hits() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return hits_;
 }
 
 size_t EncoderEngine::misses() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return misses_;
 }
 
 size_t EncoderEngine::capacity() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return capacity_;
 }
 
 void EncoderEngine::Reserve(size_t capacity) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   if (capacity > capacity_) capacity_ = capacity;
 }
 
 void EncoderEngine::Clear() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   cache_.clear();
   lru_.clear();
   hits_ = 0;
@@ -131,7 +131,7 @@ void EncoderEngine::InsertLocked(uint64_t key,
 
 void EncoderEngine::AppendCacheTo(SnapshotWriter* snapshot) const {
   BinaryWriter* w = snapshot->AddSection("encoder.cache");
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   w->WriteU64(cache_.size());
   // Back of lru_ = least recently used; writing in that order means a
   // straight re-insert reproduces today's recency ranking.
@@ -169,7 +169,7 @@ Result<size_t> EncoderEngine::WarmStart(const SnapshotReader& snapshot) {
             "(was the snapshot written by a different model?)");
       }
     }
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     InsertLocked(key, std::make_shared<const TableEncodings>(std::move(enc)));
     ++loaded;
   }
@@ -195,7 +195,7 @@ std::shared_ptr<const TableEncodings> EncoderEngine::Encode(
   EncodingFuture flight;
   bool owner = false;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     if (auto hit = LookupLocked(key)) {
       ++hits_;
       return hit;
@@ -215,7 +215,7 @@ std::shared_ptr<const TableEncodings> EncoderEngine::Encode(
     // passes for this key; wait for its result instead of duplicating
     // the work.
     auto enc = flight.get();
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     ++hits_;
     return enc;
   }
@@ -226,14 +226,14 @@ std::shared_ptr<const TableEncodings> EncoderEngine::Encode(
   } catch (...) {
     // Un-poison the key: joiners get this failure, later callers retry.
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(&mu_);
       inflight_.erase(key);
     }
     promise.set_exception(std::current_exception());
     throw;
   }
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     InsertLocked(key, enc);
     inflight_.erase(key);
   }
@@ -266,7 +266,7 @@ std::vector<std::shared_ptr<const TableEncodings>> EncoderEngine::EncodeBatch(
   std::deque<std::promise<std::shared_ptr<const TableEncodings>>> promises;
   std::unordered_map<uint64_t, size_t> first_slot;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     for (size_t i = 0; i < n; ++i) {
       if (first_slot.count(keys[i])) continue;
       if (auto hit = LookupLocked(keys[i])) {
@@ -310,7 +310,7 @@ std::vector<std::shared_ptr<const TableEncodings>> EncoderEngine::EncodeBatch(
   }
   if (encode_error) {
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(&mu_);
       for (size_t m = 0; m < miss_slots.size(); ++m) {
         inflight_.erase(keys[miss_slots[m]]);
       }
@@ -320,7 +320,7 @@ std::vector<std::shared_ptr<const TableEncodings>> EncoderEngine::EncodeBatch(
   }
 
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     for (size_t m = 0; m < miss_slots.size(); ++m) {
       out[miss_slots[m]] = encoded[m];
       InsertLocked(keys[miss_slots[m]], encoded[m]);
@@ -334,7 +334,7 @@ std::vector<std::shared_ptr<const TableEncodings>> EncoderEngine::EncodeBatch(
   }
   for (auto& [slot, future] : joins) {
     out[slot] = future.get();
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     ++hits_;
   }
   // Duplicate requests within the batch resolve to the first occurrence.

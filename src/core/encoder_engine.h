@@ -20,11 +20,12 @@
 #include <future>
 #include <list>
 #include <memory>
-#include <mutex>
 #include <unordered_map>
 #include <vector>
 
 #include "core/tabbin.h"
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace tabbin {
 
@@ -45,36 +46,37 @@ class EncoderEngine {
   /// Concurrent misses on the same table are single-flight: the first
   /// caller runs the four forward passes, later callers block on that
   /// in-flight result (counted as hits) instead of re-encoding.
-  std::shared_ptr<const TableEncodings> Encode(const Table& table);
+  std::shared_ptr<const TableEncodings> Encode(const Table& table)
+      TABBIN_EXCLUDES(mu_);
 
   /// \brief Encodes all tables, computing cache misses in parallel on the
   /// global thread pool. Results are positionally aligned with `tables`
   /// and bitwise identical to serial Encode calls.
   std::vector<std::shared_ptr<const TableEncodings>> EncodeBatch(
-      const std::vector<const Table*>& tables);
+      const std::vector<const Table*>& tables) TABBIN_EXCLUDES(mu_);
 
   /// \brief Convenience overload over an owned table container.
   std::vector<std::shared_ptr<const TableEncodings>> EncodeBatch(
-      const std::vector<Table>& tables);
+      const std::vector<Table>& tables) TABBIN_EXCLUDES(mu_);
 
-  size_t hits() const;
-  size_t misses() const;
-  size_t size() const;
-  size_t capacity() const;
+  size_t hits() const TABBIN_EXCLUDES(mu_);
+  size_t misses() const TABBIN_EXCLUDES(mu_);
+  size_t size() const TABBIN_EXCLUDES(mu_);
+  size_t capacity() const TABBIN_EXCLUDES(mu_);
 
   /// \brief Raises the LRU capacity to at least `capacity` (never
   /// shrinks; shrinking mid-serve would evict live entries).
-  void Reserve(size_t capacity);
+  void Reserve(size_t capacity) TABBIN_EXCLUDES(mu_);
   const TabBiNSystem& system() const { return *system_; }
 
-  void Clear();
+  void Clear() TABBIN_EXCLUDES(mu_);
 
   // --- Warm start -------------------------------------------------------
 
   /// \brief Appends every cached encoding (fingerprint + TableEncodings)
   /// to the snapshot (section "encoder.cache"), least recently used
   /// first so a reload reproduces the recency order.
-  void AppendCacheTo(SnapshotWriter* snapshot) const;
+  void AppendCacheTo(SnapshotWriter* snapshot) const TABBIN_EXCLUDES(mu_);
 
   /// \brief Prepopulates the LRU from a snapshot's "encoder.cache"
   /// section; subsequent Encode calls on the same tables are cache hits
@@ -82,7 +84,8 @@ class EncoderEngine {
   /// engine's system (hidden width, token/hidden row agreement) are a
   /// Status error. Returns the number of entries loaded; a snapshot
   /// without the section loads 0.
-  Result<size_t> WarmStart(const SnapshotReader& snapshot);
+  Result<size_t> WarmStart(const SnapshotReader& snapshot)
+      TABBIN_EXCLUDES(mu_);
 
   /// \brief File wrappers over AppendCacheTo/WarmStart.
   Status SaveCache(const std::string& path) const;
@@ -96,24 +99,30 @@ class EncoderEngine {
   using EncodingFuture =
       std::shared_future<std::shared_ptr<const TableEncodings>>;
 
-  // Requires mu_ held. Returns nullptr on miss. Does not touch the
-  // hit/miss counters: callers account for them (a caller joining an
-  // in-flight encode is a hit, not a second miss).
-  std::shared_ptr<const TableEncodings> LookupLocked(uint64_t key);
-  // Requires mu_ held. Inserts (or refreshes) and evicts past capacity.
-  void InsertLocked(uint64_t key, std::shared_ptr<const TableEncodings> enc);
+  // Returns nullptr on miss. Does not touch the hit/miss counters:
+  // callers account for them (a caller joining an in-flight encode is a
+  // hit, not a second miss).
+  std::shared_ptr<const TableEncodings> LookupLocked(uint64_t key)
+      TABBIN_REQUIRES(mu_);
+  // Inserts (or refreshes) and evicts past capacity.
+  void InsertLocked(uint64_t key, std::shared_ptr<const TableEncodings> enc)
+      TABBIN_REQUIRES(mu_);
 
   const TabBiNSystem* system_;
-  size_t capacity_;
+  size_t capacity_ TABBIN_GUARDED_BY(mu_);
 
-  mutable std::mutex mu_;
-  std::list<uint64_t> lru_;  // front = most recently used
-  std::unordered_map<uint64_t, Entry> cache_;
+  mutable Mutex mu_;
+  // front = most recently used
+  std::list<uint64_t> lru_ TABBIN_GUARDED_BY(mu_);
+  std::unordered_map<uint64_t, Entry> cache_ TABBIN_GUARDED_BY(mu_);
   // Keys currently being encoded; joiners wait on the future instead of
-  // running their own forward passes.
-  std::unordered_map<uint64_t, EncodingFuture> inflight_;
-  size_t hits_ = 0;
-  size_t misses_ = 0;
+  // running their own forward passes. Only the map is guarded — the
+  // shared_futures handed out are waited on OUTSIDE mu_ (blocking on a
+  // forward pass under the cache lock would stall every cache hit).
+  std::unordered_map<uint64_t, EncodingFuture> inflight_
+      TABBIN_GUARDED_BY(mu_);
+  size_t hits_ TABBIN_GUARDED_BY(mu_) = 0;
+  size_t misses_ TABBIN_GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace tabbin

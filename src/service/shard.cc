@@ -250,7 +250,7 @@ void ServiceShard::InsertBatch(std::vector<Table> tables,
                                std::vector<std::string> ids,
                                std::vector<PreparedTable> prepared,
                                AddReport* report) {
-  std::unique_lock<std::shared_mutex> lock(mu_);
+  WriterMutexLock lock(&mu_);
   for (size_t i = 0; i < tables.size(); ++i) {
     InsertPreparedLocked(std::move(tables[i]), ids[i],
                          std::move(prepared[i]), report);
@@ -287,13 +287,13 @@ Status ServiceShard::InsertRows(LiveTableRows&& rows, AddReport* report) {
     }
     p.entities.emplace_back(ref, std::move(vec));
   }
-  std::unique_lock<std::shared_mutex> lock(mu_);
+  WriterMutexLock lock(&mu_);
   InsertPreparedLocked(std::move(rows.table), rows.id, std::move(p), report);
   return Status::OK();
 }
 
 Status ServiceShard::Remove(const std::string& id) {
-  std::unique_lock<std::shared_mutex> lock(mu_);
+  WriterMutexLock lock(&mu_);
   auto it = id_to_slot_.find(id);
   if (it == id_to_slot_.end()) {
     return Status::NotFound("RemoveTable: no live table with id '" + id +
@@ -306,7 +306,7 @@ Status ServiceShard::Remove(const std::string& id) {
 }
 
 void ServiceShard::SetQuantizedScan(bool on, int shortlist_multiplier) {
-  std::unique_lock<std::shared_mutex> lock(mu_);
+  WriterMutexLock lock(&mu_);
   options_.quantized_scan = on;
   options_.quantized_shortlist_multiplier = std::max(1, shortlist_multiplier);
   if (on) {
@@ -321,7 +321,7 @@ void ServiceShard::SetQuantizedScan(bool on, int shortlist_multiplier) {
 }
 
 Status ServiceShard::Compact() {
-  std::unique_lock<std::shared_mutex> lock(mu_);
+  WriterMutexLock lock(&mu_);
   if (static_cast<size_t>(live_count_) == slots_.size()) {
     return Status::OK();  // nothing dead, nothing to do
   }
@@ -376,7 +376,7 @@ Status ServiceShard::Compact() {
 
 Result<ServiceShard::Resolved> ServiceShard::ResolveColumn(
     const std::string& id, int col) const {
-  std::shared_lock<std::shared_mutex> lock(mu_);
+  ReaderMutexLock lock(&mu_);
   auto it = id_to_slot_.find(id);
   if (it == id_to_slot_.end()) {
     return Status::NotFound("no live table with id '" + id + "'");
@@ -402,7 +402,7 @@ Result<ServiceShard::Resolved> ServiceShard::ResolveColumn(
 
 Result<ServiceShard::Resolved> ServiceShard::ResolveTable(
     const std::string& id) const {
-  std::shared_lock<std::shared_mutex> lock(mu_);
+  ReaderMutexLock lock(&mu_);
   auto it = id_to_slot_.find(id);
   if (it == id_to_slot_.end()) {
     return Status::NotFound("no live table with id '" + id + "'");
@@ -415,7 +415,7 @@ Result<ServiceShard::Resolved> ServiceShard::ResolveTable(
 
 Result<ServiceShard::Resolved> ServiceShard::ResolveEntity(
     const std::string& id, int row, int col) const {
-  std::shared_lock<std::shared_mutex> lock(mu_);
+  ReaderMutexLock lock(&mu_);
   auto it = id_to_slot_.find(id);
   if (it == id_to_slot_.end()) {
     return Status::NotFound("no live table with id '" + id + "'");
@@ -537,23 +537,26 @@ ServiceShard::MatchSet ServiceShard::RankLocked(
 ServiceShard::MatchSet ServiceShard::TopColumns(
     VecView query, const std::vector<uint64_t>& keys, int k,
     const std::string& exclude_id, int exclude_col) const {
-  std::shared_lock<std::shared_mutex> lock(mu_);
+  ReaderMutexLock lock(&mu_);
   auto self = id_to_slot_.find(exclude_id);
   const int self_slot = self == id_to_slot_.end() ? -1 : self->second;
+  // Lock-held alias for the lambdas below: a lambda body is analyzed as
+  // its own function, which cannot see that this frame holds mu_.
+  const std::vector<TableSlot>& slots = slots_;
   return RankLocked(
       col_index_, col_vecs_, col_refs_, query, keys, k,
       [&](const ColumnRef& ref) {
-        if (!slots_[static_cast<size_t>(ref.slot)].live) return false;
+        if (!slots[static_cast<size_t>(ref.slot)].live) return false;
         return !(ref.slot == self_slot && ref.col == exclude_col);
       },
       [&](const ColumnRef& a, const ColumnRef& b) {
-        const std::string& ida = slots_[static_cast<size_t>(a.slot)].id;
-        const std::string& idb = slots_[static_cast<size_t>(b.slot)].id;
+        const std::string& ida = slots[static_cast<size_t>(a.slot)].id;
+        const std::string& idb = slots[static_cast<size_t>(b.slot)].id;
         if (ida != idb) return ida < idb;
         return a.col < b.col;
       },
       [&](const ColumnRef& ref, float score) {
-        const TableSlot& s = slots_[static_cast<size_t>(ref.slot)];
+        const TableSlot& s = slots[static_cast<size_t>(ref.slot)];
         ServiceMatch m;
         m.table_id = s.id;
         m.caption = s.table.caption();
@@ -566,20 +569,21 @@ ServiceShard::MatchSet ServiceShard::TopColumns(
 ServiceShard::MatchSet ServiceShard::TopTables(
     VecView query, const std::vector<uint64_t>& keys, int k,
     const std::string& exclude_id) const {
-  std::shared_lock<std::shared_mutex> lock(mu_);
+  ReaderMutexLock lock(&mu_);
   auto self = id_to_slot_.find(exclude_id);
   const int self_slot = self == id_to_slot_.end() ? -1 : self->second;
+  const std::vector<TableSlot>& slots = slots_;  // lock-held lambda alias
   return RankLocked(
       tbl_index_, tbl_vecs_, tbl_refs_, query, keys, k,
       [&](int slot) {
-        return slots_[static_cast<size_t>(slot)].live && slot != self_slot;
+        return slots[static_cast<size_t>(slot)].live && slot != self_slot;
       },
       [&](int a, int b) {
-        return slots_[static_cast<size_t>(a)].id <
-               slots_[static_cast<size_t>(b)].id;
+        return slots[static_cast<size_t>(a)].id <
+               slots[static_cast<size_t>(b)].id;
       },
       [&](int slot, float score) {
-        const TableSlot& s = slots_[static_cast<size_t>(slot)];
+        const TableSlot& s = slots[static_cast<size_t>(slot)];
         ServiceMatch m;
         m.table_id = s.id;
         m.caption = s.table.caption();
@@ -592,19 +596,20 @@ ServiceShard::MatchSet ServiceShard::TopEntities(
     VecView query, const std::vector<uint64_t>& keys, int k,
     const std::string& exclude_id, int exclude_row,
     int exclude_col) const {
-  std::shared_lock<std::shared_mutex> lock(mu_);
+  ReaderMutexLock lock(&mu_);
   auto self = id_to_slot_.find(exclude_id);
   const int self_slot = self == id_to_slot_.end() ? -1 : self->second;
+  const std::vector<TableSlot>& slots = slots_;  // lock-held lambda alias
   return RankLocked(
       ent_index_, ent_vecs_, ent_refs_, query, keys, k,
       [&](const EntityRef& ref) {
-        if (!slots_[static_cast<size_t>(ref.slot)].live) return false;
+        if (!slots[static_cast<size_t>(ref.slot)].live) return false;
         return !(ref.slot == self_slot && ref.row == exclude_row &&
                  ref.col == exclude_col);
       },
       [&](const EntityRef& a, const EntityRef& b) {
-        const std::string& ida = slots_[static_cast<size_t>(a.slot)].id;
-        const std::string& idb = slots_[static_cast<size_t>(b.slot)].id;
+        const std::string& ida = slots[static_cast<size_t>(a.slot)].id;
+        const std::string& idb = slots[static_cast<size_t>(b.slot)].id;
         if (ida != idb) return ida < idb;
         // col before row — the same total order as ServiceMatchOrder,
         // or the per-shard top-k cut and the merged output would
@@ -613,7 +618,7 @@ ServiceShard::MatchSet ServiceShard::TopEntities(
         return a.row < b.row;
       },
       [&](const EntityRef& ref, float score) {
-        const TableSlot& s = slots_[static_cast<size_t>(ref.slot)];
+        const TableSlot& s = slots[static_cast<size_t>(ref.slot)];
         ServiceMatch m;
         m.table_id = s.id;
         m.caption = s.table.caption();
@@ -628,9 +633,13 @@ ServiceShard::MatchSet ServiceShard::TopEntities(
 ServiceShard::AskPartial ServiceShard::AskCandidates(
     const std::vector<std::string>& query_terms, VecView query_vec,
     const std::vector<uint64_t>& tbl_keys, int pool) const {
-  std::shared_lock<std::shared_mutex> lock(mu_);
+  ReaderMutexLock lock(&mu_);
   AskPartial out;
   out.live = static_cast<size_t>(live_count_);
+  // Lock-held aliases for the ordering lambdas below (lambda bodies are
+  // analyzed as separate functions that cannot see this frame's lock).
+  const std::vector<TableSlot>& slots = slots_;
+  const std::vector<int>& tbl_refs = tbl_refs_;
 
   const float inv_q =
       kernels::InvNorm(query_vec.data(), query_vec.size());
@@ -658,8 +667,8 @@ ServiceShard::AskPartial ServiceShard::AskCandidates(
   const auto lex_order = [&](const std::pair<double, int>& a,
                              const std::pair<double, int>& b) {
     if (a.first != b.first) return a.first > b.first;
-    return slots_[static_cast<size_t>(a.second)].id <
-           slots_[static_cast<size_t>(b.second)].id;
+    return slots[static_cast<size_t>(a.second)].id <
+           slots[static_cast<size_t>(b.second)].id;
   };
   if (static_cast<size_t>(pool) < lex.size()) {
     std::nth_element(lex.begin(), lex.begin() + pool, lex.end(), lex_order);
@@ -722,11 +731,11 @@ ServiceShard::AskPartial ServiceShard::AskCandidates(
       const auto approx_order = [&](const std::pair<float, int>& a,
                                     const std::pair<float, int>& b) {
         if (a.first != b.first) return a.first > b.first;
-        return slots_[static_cast<size_t>(
-                   tbl_refs_[static_cast<size_t>(a.second)])]
+        return slots[static_cast<size_t>(
+                   tbl_refs[static_cast<size_t>(a.second)])]
                    .id <
-               slots_[static_cast<size_t>(
-                   tbl_refs_[static_cast<size_t>(b.second)])]
+               slots[static_cast<size_t>(
+                   tbl_refs[static_cast<size_t>(b.second)])]
                    .id;
       };
       std::nth_element(ranked.begin(),
@@ -758,32 +767,32 @@ ServiceShard::AskPartial ServiceShard::AskCandidates(
 // --- Introspection --------------------------------------------------------
 
 size_t ServiceShard::live_count() const {
-  std::shared_lock<std::shared_mutex> lock(mu_);
+  ReaderMutexLock lock(&mu_);
   return static_cast<size_t>(live_count_);
 }
 
 size_t ServiceShard::slot_count() const {
-  std::shared_lock<std::shared_mutex> lock(mu_);
+  ReaderMutexLock lock(&mu_);
   return slots_.size();
 }
 
 size_t ServiceShard::indexed_columns() const {
-  std::shared_lock<std::shared_mutex> lock(mu_);
+  ReaderMutexLock lock(&mu_);
   return col_refs_.size();
 }
 
 size_t ServiceShard::indexed_entities() const {
-  std::shared_lock<std::shared_mutex> lock(mu_);
+  ReaderMutexLock lock(&mu_);
   return ent_refs_.size();
 }
 
 void ServiceShard::AppendLiveIds(std::vector<std::string>* out) const {
-  std::shared_lock<std::shared_mutex> lock(mu_);
+  ReaderMutexLock lock(&mu_);
   for (const auto& [id, slot] : id_to_slot_) out->push_back(id);
 }
 
 void ServiceShard::ExportLive(std::vector<LiveTableRows>* out) const {
-  std::shared_lock<std::shared_mutex> lock(mu_);
+  ReaderMutexLock lock(&mu_);
   ExportLiveLocked(out);
 }
 

@@ -4,7 +4,7 @@
 // queries over its subset of the corpus: the table slots (live +
 // tombstoned), the three per-task LSH indexes with their flat embedding
 // matrices, the doc-local lexical statistics behind Ask, and one
-// std::shared_mutex. TabBinService is exactly one shard behind the
+// SharedMutex (util/mutex.h, the annotated std::shared_mutex). TabBinService is exactly one shard behind the
 // public API; ShardedTabBinService hash-partitions the corpus across N
 // of them so a write to one shard never blocks reads on the others.
 //
@@ -25,7 +25,6 @@
 #define TABBIN_SERVICE_SHARD_H_
 
 #include <memory>
-#include <shared_mutex>
 #include <string>
 #include <unordered_map>
 #include <utility>
@@ -35,8 +34,10 @@
 #include "core/tabbin.h"
 #include "service/service_types.h"
 #include "tasks/lsh.h"
+#include "util/mutex.h"
 #include "util/snapshot.h"
 #include "util/status.h"
+#include "util/thread_annotations.h"
 
 namespace tabbin {
 
@@ -139,25 +140,28 @@ class ServiceShard {
   /// holders of re-used ids). Pure memory operation — encoding happened
   /// in Prepare, outside any lock.
   void InsertBatch(std::vector<Table> tables, std::vector<std::string> ids,
-                   std::vector<PreparedTable> prepared, AddReport* report);
+                   std::vector<PreparedTable> prepared, AddReport* report)
+      TABBIN_EXCLUDES(mu_);
 
   /// \brief Re-inserts one table from stored embedding rows (snapshot
   /// restore / re-partitioning): validates widths, then inserts without
   /// any encoder involvement. ParseError on width mismatch.
-  Status InsertRows(LiveTableRows&& rows, AddReport* report);
+  Status InsertRows(LiveTableRows&& rows, AddReport* report)
+      TABBIN_EXCLUDES(mu_);
 
-  Status Remove(const std::string& id);
+  Status Remove(const std::string& id) TABBIN_EXCLUDES(mu_);
 
   /// \brief Enables/disables the int8 quantized first-pass scorer for
   /// this shard: builds (or frees) the code sidecars of the three
   /// embedding matrices and updates the scan options. Writer lock.
-  void SetQuantizedScan(bool on, int shortlist_multiplier);
+  void SetQuantizedScan(bool on, int shortlist_multiplier)
+      TABBIN_EXCLUDES(mu_);
 
   /// \brief Rebuilds every index over the live tables only, from their
   /// stored embedding rows — no encoder involvement (calling the engine
   /// under the writer lock could deadlock against pool-queued encodes);
   /// the writer lock is held for the duration.
-  Status Compact();
+  Status Compact() TABBIN_EXCLUDES(mu_);
 
   // --- Reads (shared lock, taken internally) ----------------------------
 
@@ -171,10 +175,12 @@ class ServiceShard {
     Table table_copy;
     bool needs_encode = false;
   };
-  Result<Resolved> ResolveColumn(const std::string& id, int col) const;
-  Result<Resolved> ResolveTable(const std::string& id) const;
+  Result<Resolved> ResolveColumn(const std::string& id, int col) const
+      TABBIN_EXCLUDES(mu_);
+  Result<Resolved> ResolveTable(const std::string& id) const
+      TABBIN_EXCLUDES(mu_);
   Result<Resolved> ResolveEntity(const std::string& id, int row,
-                                 int col) const;
+                                 int col) const TABBIN_EXCLUDES(mu_);
 
   /// \brief This shard's ranked contribution to one scattered query.
   struct MatchSet {
@@ -187,12 +193,14 @@ class ServiceShard {
   /// hash instead of N.
   MatchSet TopColumns(VecView query, const std::vector<uint64_t>& keys,
                       int k, const std::string& exclude_id,
-                      int exclude_col) const;
+                      int exclude_col) const TABBIN_EXCLUDES(mu_);
   MatchSet TopTables(VecView query, const std::vector<uint64_t>& keys,
-                     int k, const std::string& exclude_id) const;
+                     int k, const std::string& exclude_id) const
+      TABBIN_EXCLUDES(mu_);
   MatchSet TopEntities(VecView query, const std::vector<uint64_t>& keys,
                        int k, const std::string& exclude_id,
-                       int exclude_row, int exclude_col) const;
+                       int exclude_row, int exclude_col) const
+      TABBIN_EXCLUDES(mu_);
 
   /// \brief This shard's Ask candidates: the lexical top-`pool` of its
   /// live documents (doc-local saturated-tf score over the sorted
@@ -215,31 +223,36 @@ class ServiceShard {
   AskPartial AskCandidates(const std::vector<std::string>& query_terms,
                            VecView query_vec,
                            const std::vector<uint64_t>& tbl_keys,
-                           int pool) const;
+                           int pool) const TABBIN_EXCLUDES(mu_);
 
   // --- Introspection ----------------------------------------------------
 
-  size_t live_count() const;
-  size_t slot_count() const;
-  size_t indexed_columns() const;  // includes tombstoned entries
-  size_t indexed_entities() const;
-  void AppendLiveIds(std::vector<std::string>* out) const;
+  size_t live_count() const TABBIN_EXCLUDES(mu_);
+  size_t slot_count() const TABBIN_EXCLUDES(mu_);
+  // includes tombstoned entries
+  size_t indexed_columns() const TABBIN_EXCLUDES(mu_);
+  size_t indexed_entities() const TABBIN_EXCLUDES(mu_);
+  void AppendLiveIds(std::vector<std::string>* out) const
+      TABBIN_EXCLUDES(mu_);
 
   /// \brief Copies every live table with its embedding rows (snapshot
   /// export / re-partitioning), in slot order.
-  void ExportLive(std::vector<LiveTableRows>* out) const;
+  void ExportLive(std::vector<LiveTableRows>* out) const
+      TABBIN_EXCLUDES(mu_);
 
  private:
   // TabBinService serializes/restores its single shard in the legacy
-  // "service.*" snapshot byte format, which needs raw field access.
+  // "service.*" snapshot byte format, which needs raw field access
+  // (taken under this shard's mu_, which the analysis still checks —
+  // friendship does not bypass TABBIN_GUARDED_BY).
   friend class TabBinService;
 
-  // Requires mu_ held exclusively.
   void InsertPreparedLocked(Table table, const std::string& id,
-                            PreparedTable&& prepared, AddReport* report);
+                            PreparedTable&& prepared, AddReport* report)
+      TABBIN_REQUIRES(mu_);
 
-  // Requires mu_ held (shared suffices).
-  void ExportLiveLocked(std::vector<LiveTableRows>* out) const;
+  void ExportLiveLocked(std::vector<LiveTableRows>* out) const
+      TABBIN_REQUIRES_SHARED(mu_);
 
   template <typename Ref, typename Accept, typename TieLess,
             typename Emit>
@@ -247,29 +260,33 @@ class ServiceShard {
                       const std::vector<Ref>& refs, VecView query_vec,
                       const std::vector<uint64_t>& keys, int k,
                       const Accept& accept, const TieLess& tie_less,
-                      const Emit& emit) const;
+                      const Emit& emit) const TABBIN_REQUIRES_SHARED(mu_);
 
   const TabBiNSystem* system_;
-  ServiceOptions options_;
 
-  mutable std::shared_mutex mu_;
-  std::vector<TableSlot> slots_;
-  std::unordered_map<std::string, int> id_to_slot_;  // live ids only
-  int live_count_ = 0;
+  mutable SharedMutex mu_;
+  // options_ is guarded too: SetQuantizedScan mutates the scan knobs at
+  // runtime while queries read them inside RankLocked/AskCandidates.
+  ServiceOptions options_ TABBIN_GUARDED_BY(mu_);
+  std::vector<TableSlot> slots_ TABBIN_GUARDED_BY(mu_);
+  // live ids only
+  std::unordered_map<std::string, int> id_to_slot_ TABBIN_GUARDED_BY(mu_);
+  int live_count_ TABBIN_GUARDED_BY(mu_) = 0;
 
-  LshIndex col_index_;
-  EmbeddingMatrix col_vecs_;  // row i ↔ col_refs_[i] ↔ LSH id i
-  std::vector<ColumnRef> col_refs_;
+  LshIndex col_index_ TABBIN_GUARDED_BY(mu_);
+  // row i ↔ col_refs_[i] ↔ LSH id i
+  EmbeddingMatrix col_vecs_ TABBIN_GUARDED_BY(mu_);
+  std::vector<ColumnRef> col_refs_ TABBIN_GUARDED_BY(mu_);
 
-  LshIndex tbl_index_;
-  EmbeddingMatrix tbl_vecs_;
-  std::vector<int> tbl_refs_;  // row i -> slot
+  LshIndex tbl_index_ TABBIN_GUARDED_BY(mu_);
+  EmbeddingMatrix tbl_vecs_ TABBIN_GUARDED_BY(mu_);
+  std::vector<int> tbl_refs_ TABBIN_GUARDED_BY(mu_);  // row i -> slot
 
-  LshIndex ent_index_;
-  EmbeddingMatrix ent_vecs_;
-  std::vector<EntityRef> ent_refs_;
+  LshIndex ent_index_ TABBIN_GUARDED_BY(mu_);
+  EmbeddingMatrix ent_vecs_ TABBIN_GUARDED_BY(mu_);
+  std::vector<EntityRef> ent_refs_ TABBIN_GUARDED_BY(mu_);
 
-  LexPostings lex_postings_;
+  LexPostings lex_postings_ TABBIN_GUARDED_BY(mu_);
 };
 
 // ---------------------------------------------------------------------------

@@ -1,11 +1,11 @@
 // ShardedTabBinService — the scatter-gather serving core.
 //
 // TabBinService serializes every corpus update behind one
-// std::shared_mutex; its own stress test documents writer starvation
+// SharedMutex; its own stress test documents writer starvation
 // once readers keep the lock's duty cycle near 100%. This service
 // partitions the corpus across N ServiceShards by a stable hash of the
 // table id (ShardIndexFor: FNV-1a 64 mod N), each shard owning its own
-// embedding rows, LSH indexes, Ask lexical stats, and shared_mutex —
+// embedding rows, LSH indexes, Ask lexical stats, and SharedMutex —
 // so a write to one shard never blocks reads on the others.
 //
 // Queries scatter across the shards on ThreadPool::Global() and merge
@@ -131,6 +131,12 @@ class ShardedTabBinService : public TabBinServing {
 
   std::shared_ptr<TabBiNSystem> system_;
   std::unique_ptr<EncoderEngine> engine_;
+  // Not TABBIN_GUARDED_BY anything: the service level holds no mutex —
+  // all mutable corpus state lives inside the shards behind their
+  // annotated SharedMutex. The scan knobs SetQuantizedScan writes here
+  // are service-level copies read only by later admin/config calls on
+  // the caller's thread; the copies queries actually consult are the
+  // per-shard ones, which ARE guarded (ServiceShard::options_).
   ServiceOptions options_;
   QueryHashers hashers_;
   std::vector<std::unique_ptr<ServiceShard>> shards_;

@@ -1,7 +1,6 @@
 #include "service/table_service.h"
 
 #include <algorithm>
-#include <shared_mutex>
 #include <utility>
 
 #include "io/table_io.h"
@@ -115,7 +114,7 @@ void TabBinService::AppendTo(SnapshotWriter* snapshot) const {
 
   AppendServiceOptions(options_, snapshot);
 
-  std::shared_lock<std::shared_mutex> lock(shard_.mu_);
+  ReaderMutexLock lock(&shard_.mu_);
   BinaryWriter* tables = snapshot->AddSection("service.tables");
   tables->WriteU64(shard_.slots_.size());
   for (const ServiceShard::TableSlot& slot : shard_.slots_) {
@@ -161,6 +160,13 @@ Result<std::unique_ptr<TabBinService>> TabBinService::FromSnapshot(
   auto service = std::unique_ptr<TabBinService>(new TabBinService(
       std::make_shared<TabBiNSystem>(std::move(sys)), options));
   ServiceShard& shard = service->shard_;
+  // The service is freshly constructed and unpublished, so the restore
+  // is uncontended; the writer lock is for the thread-safety analysis,
+  // which cannot know the shard is still thread-private. Holding it
+  // across engine_->Reserve/WarmStart below is safe: those take only
+  // the engine's own cache mutex and run no forward passes, so neither
+  // lock ordering nor the no-encode-under-lock invariant is at risk.
+  WriterMutexLock lock(&shard.mu_);
 
   TABBIN_ASSIGN_OR_RETURN(BinaryReader tables,
                           snapshot.Section("service.tables"));

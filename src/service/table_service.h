@@ -23,7 +23,7 @@
 // Thread-safety contract: queries (SimilarColumns / SimilarTables /
 // SimilarEntities / Ask and the *Embedding accessors) may run from any
 // number of threads concurrently; AddTables / RemoveTable serialize
-// behind a writer lock (std::shared_mutex). Each ranking pass runs
+// behind a writer lock (SharedMutex, util/mutex.h). Each ranking pass runs
 // under one shared-lock hold, so it never observes a torn view of a
 // half-applied batch. A query's vector resolution is a separate
 // (earlier) lock hold: a write that lands between the two is visible
@@ -150,6 +150,12 @@ class TabBinService : public TabBinServing {
 
   std::shared_ptr<TabBiNSystem> system_;
   std::unique_ptr<EncoderEngine> engine_;
+  // Not TABBIN_GUARDED_BY anything: the service level holds no mutex —
+  // all mutable corpus state lives inside the shards behind their
+  // annotated SharedMutex. The scan knobs SetQuantizedScan writes here
+  // are service-level copies read only by later admin/config calls on
+  // the caller's thread; the copies queries actually consult are the
+  // per-shard ones, which ARE guarded (ServiceShard::options_).
   ServiceOptions options_;
   QueryHashers hashers_;
   ServiceShard shard_;

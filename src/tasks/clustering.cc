@@ -123,7 +123,8 @@ ClusterEvalResult EvaluateClustering(const LabeledEmbeddingSet& items,
                                      options.lsh_bits, options.lsh_tables,
                                      options.seed);
     for (int i = 0; i < static_cast<int>(items.size()); ++i) {
-      lsh->Insert(i, items.vec(static_cast<size_t>(i)));
+      // Cannot fail: the index was just built with items.dim().
+      TABBIN_IGNORE_STATUS(lsh->Insert(i, items.vec(static_cast<size_t>(i))));
     }
   }
 
@@ -198,6 +199,9 @@ ClusterEvalResult EvaluateCentroidClustering(const LabeledEmbeddingSet& items,
   std::vector<int> counts(static_cast<size_t>(next), 0);
   for (size_t i = 0; i < items.size(); ++i) {
     const int row = label_row[items.label(i)];
+    // Stale-by-design: the centroid norm is computed fresh at query
+    // time below; the matrix's norm cache is never read.
+    // tabbin-lint: allow(raw-row-mutation)
     float* c = centroids.mutable_row(static_cast<size_t>(row));
     const VecView v = items.vec(i);
     for (size_t d = 0; d < dim; ++d) c[d] += v[d];

@@ -32,7 +32,13 @@ enum class StatusCode {
 const char* StatusCodeName(StatusCode code);
 
 /// \brief Success-or-error outcome of an operation.
-class Status {
+///
+/// [[nodiscard]] at class level: every function returning Status by
+/// value is a can-fail operation, and silently dropping the outcome has
+/// already hidden real bugs (an unchecked Save wrote no file, the
+/// caller served stale data). Intentional drops must say so with
+/// TABBIN_IGNORE_STATUS.
+class [[nodiscard]] Status {
  public:
   /// Constructs an OK status.
   Status() : code_(StatusCode::kOk) {}
@@ -83,7 +89,7 @@ class Status {
 
 /// \brief A value of type T or an error Status.
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
   // Intentionally implicit so `return value;` and `return status;` work.
   Result(T value) : payload_(std::move(value)) {}  // NOLINT
@@ -121,6 +127,15 @@ class Result {
  private:
   std::variant<T, Status> payload_;
 };
+
+// Explicitly discards a Status/Result. The cast-to-void spelling alone
+// is easy to write by accident and impossible to grep for intent; this
+// macro is the only sanctioned way to drop an outcome, and every use
+// should carry a comment saying why failure is acceptable there.
+#define TABBIN_IGNORE_STATUS(expr) \
+  do {                             \
+    (void)(expr);                  \
+  } while (0)
 
 // Propagates an error Status from an expression to the caller.
 #define TABBIN_RETURN_IF_ERROR(expr)                \

@@ -1,0 +1,95 @@
+// Clang thread-safety-analysis macros (no-ops on GCC/MSVC).
+//
+// The serving layer's concurrency rules — which members a mutex guards,
+// which methods require it held, which must never be entered with it —
+// used to live in comments and TSan runs that only fire when the bug
+// does. These macros turn the same rules into compiler-checked
+// attributes: a clang build with
+//
+//   -Wthread-safety -Werror=thread-safety-analysis
+//
+// (the CI `static-analysis` job, or TABBIN_WERROR=ON under clang)
+// rejects any access to a TABBIN_GUARDED_BY member outside its lock and
+// any call of a TABBIN_REQUIRES method without it — at compile time,
+// deterministically, before TSan would need the race to actually occur.
+//
+// The analysis only understands annotated lock types, and libstdc++'s
+// std::mutex / std::shared_mutex carry no annotations — which is why
+// util/mutex.h wraps them in annotated capability types. Use those
+// wrappers (Mutex / SharedMutex and their RAII guards) for any new
+// locked state; a raw std::mutex is invisible to the analysis.
+#ifndef TABBIN_UTIL_THREAD_ANNOTATIONS_H_
+#define TABBIN_UTIL_THREAD_ANNOTATIONS_H_
+
+#if defined(__clang__)
+#define TABBIN_THREAD_ANNOTATION_(x) __attribute__((x))
+#else
+#define TABBIN_THREAD_ANNOTATION_(x)  // GCC/MSVC: compiles to nothing
+#endif
+
+// --- Type annotations ----------------------------------------------------
+
+/// Marks a type as a lockable capability (e.g. "mutex").
+#define TABBIN_CAPABILITY(x) TABBIN_THREAD_ANNOTATION_(capability(x))
+
+/// Marks an RAII type whose constructor acquires and destructor
+/// releases a capability.
+#define TABBIN_SCOPED_CAPABILITY TABBIN_THREAD_ANNOTATION_(scoped_lockable)
+
+// --- Data annotations ----------------------------------------------------
+
+/// The member may only be read/written while holding `x`.
+#define TABBIN_GUARDED_BY(x) TABBIN_THREAD_ANNOTATION_(guarded_by(x))
+
+/// The pointed-to data (not the pointer itself) is guarded by `x`.
+#define TABBIN_PT_GUARDED_BY(x) TABBIN_THREAD_ANNOTATION_(pt_guarded_by(x))
+
+// --- Function annotations -------------------------------------------------
+
+/// Caller must hold the capability exclusively.
+#define TABBIN_REQUIRES(...) \
+  TABBIN_THREAD_ANNOTATION_(requires_capability(__VA_ARGS__))
+
+/// Caller must hold the capability at least shared.
+#define TABBIN_REQUIRES_SHARED(...) \
+  TABBIN_THREAD_ANNOTATION_(requires_shared_capability(__VA_ARGS__))
+
+/// The function acquires the capability (exclusively / shared) and does
+/// not release it before returning.
+#define TABBIN_ACQUIRE(...) \
+  TABBIN_THREAD_ANNOTATION_(acquire_capability(__VA_ARGS__))
+#define TABBIN_ACQUIRE_SHARED(...) \
+  TABBIN_THREAD_ANNOTATION_(acquire_shared_capability(__VA_ARGS__))
+
+/// The function releases the capability (any mode for plain RELEASE —
+/// the form scoped-guard destructors use).
+#define TABBIN_RELEASE(...) \
+  TABBIN_THREAD_ANNOTATION_(release_capability(__VA_ARGS__))
+#define TABBIN_RELEASE_SHARED(...) \
+  TABBIN_THREAD_ANNOTATION_(release_shared_capability(__VA_ARGS__))
+
+/// The function acquires the capability only when returning `b`.
+#define TABBIN_TRY_ACQUIRE(b, ...) \
+  TABBIN_THREAD_ANNOTATION_(try_acquire_capability(b, __VA_ARGS__))
+
+/// Caller must NOT hold the capability — the annotation behind the
+/// "no encoder call under a shard lock" deadlock class: entering an
+/// EXCLUDES function with the lock held is a compile error under clang.
+#define TABBIN_EXCLUDES(...) \
+  TABBIN_THREAD_ANNOTATION_(locks_excluded(__VA_ARGS__))
+
+/// Asserts (at runtime, for the analysis) that the capability is held.
+#define TABBIN_ASSERT_CAPABILITY(x) \
+  TABBIN_THREAD_ANNOTATION_(assert_capability(x))
+
+/// The function returns a reference to the capability guarding it.
+#define TABBIN_RETURN_CAPABILITY(x) \
+  TABBIN_THREAD_ANNOTATION_(lock_returned(x))
+
+/// Opts a function out of the analysis entirely. Every use must carry a
+/// comment justifying why the analysis cannot express the pattern; a
+/// bare escape hatch is a review rejection.
+#define TABBIN_NO_THREAD_SAFETY_ANALYSIS \
+  TABBIN_THREAD_ANNOTATION_(no_thread_safety_analysis)
+
+#endif  // TABBIN_UTIL_THREAD_ANNOTATIONS_H_

@@ -16,7 +16,7 @@ ThreadPool::ThreadPool(size_t num_threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     shutdown_ = true;
   }
   cv_.notify_all();
@@ -29,7 +29,7 @@ std::future<void> ThreadPool::Submit(std::function<void()> task) {
   std::packaged_task<void()> pt(std::move(task));
   std::future<void> fut = pt.get_future();
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     tasks_.push(std::move(pt));
   }
   cv_.notify_one();
@@ -40,8 +40,11 @@ void ThreadPool::WorkerLoop() {
   for (;;) {
     std::packaged_task<void()> task;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      cv_.wait(lock, [this] { return shutdown_ || !tasks_.empty(); });
+      MutexLock lock(&mu_);
+      // Explicit predicate loop instead of the lambda-predicate wait
+      // overload: a lambda body is analyzed as its own function, which
+      // cannot see that the lock is held here.
+      while (!shutdown_ && tasks_.empty()) cv_.wait(mu_);
       if (shutdown_ && tasks_.empty()) return;
       task = std::move(tasks_.front());
       tasks_.pop();

@@ -6,10 +6,12 @@
 #include <condition_variable>
 #include <functional>
 #include <future>
-#include <mutex>
 #include <queue>
 #include <thread>
 #include <vector>
+
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace tabbin {
 
@@ -24,7 +26,8 @@ class ThreadPool {
   ThreadPool& operator=(const ThreadPool&) = delete;
 
   /// \brief Enqueues a task and returns a future for its completion.
-  std::future<void> Submit(std::function<void()> task);
+  std::future<void> Submit(std::function<void()> task)
+      TABBIN_EXCLUDES(mu_);
 
   size_t num_threads() const { return workers_.size(); }
 
@@ -35,10 +38,12 @@ class ThreadPool {
   void WorkerLoop();
 
   std::vector<std::thread> workers_;
-  std::queue<std::packaged_task<void()>> tasks_;
-  std::mutex mu_;
-  std::condition_variable cv_;
-  bool shutdown_ = false;
+  Mutex mu_;
+  // _any variant: it waits on the annotated Mutex directly, so the
+  // worker's blocked wait stays inside one analyzed MutexLock region.
+  std::condition_variable_any cv_;
+  std::queue<std::packaged_task<void()>> tasks_ TABBIN_GUARDED_BY(mu_);
+  bool shutdown_ TABBIN_GUARDED_BY(mu_) = false;
 };
 
 /// \brief Runs fn(i) for i in [begin, end) across the global pool.

@@ -32,6 +32,8 @@ TEST(VecViewTest, DefaultIsEmpty) {
 TEST(EmbeddingMatrixTest, RowViewsShareFlatStorage) {
   EmbeddingMatrix m(3, 4);
   for (size_t r = 0; r < 3; ++r) {
+    // Layout test only; the norm cache is never scored against.
+    // tabbin-lint: allow(raw-row-mutation)
     float* row = m.mutable_row(r);
     for (size_t c = 0; c < 4; ++c) row[c] = static_cast<float>(r * 4 + c);
   }

@@ -83,7 +83,9 @@ TEST(KernelDispatchTest, ActiveHonorsEnvironment) {
   const char* env = std::getenv("TABBIN_FORCE_SCALAR");
   const bool forced = env != nullptr && env[0] == '1' && env[1] == '\0';
   EXPECT_EQ(kernels::Active(), kernels::Detect(forced));
-  if (forced) EXPECT_EQ(kernels::Active(), Dispatch::kScalar);
+  if (forced) {
+    EXPECT_EQ(kernels::Active(), Dispatch::kScalar);
+  }
 }
 
 TEST(KernelDispatchTest, NamesAreStable) {
@@ -111,7 +113,7 @@ TEST(KernelAgreementTest, DotSimdMatchesScalarAcrossLengths) {
 }
 
 TEST(KernelAgreementTest, DotZeroVectorsAreExact) {
-  Dispatch simd;
+  Dispatch simd = Dispatch::kScalar;
   const bool has_simd = SimdLevel(&simd);
   for (size_t n : kLengths) {
     std::vector<float> zero(n, 0.0f);

@@ -417,7 +417,9 @@ TEST_P(ShardedChurnProperty, ShardedMatchesSingleServiceAndExactCosine) {
             single.TableEmbedding(oracle.at(am[i].table_id));
         ASSERT_EQ(am[i].score, CosineSimilarity(qvec, mvec));
         // Ranking is monotone.
-        if (i > 0) ASSERT_LE(am[i].score, am[i - 1].score);
+        if (i > 0) {
+          ASSERT_LE(am[i].score, am[i - 1].score);
+        }
       }
     }
     auto aska = single.Ask({"alpha beta gamma", 4});

@@ -146,7 +146,7 @@ TEST(QuantizeEncodeTest, QueryCodesObeyTheMaddubsRange) {
 }
 
 TEST(QuantizedDotTest, SimdMatchesScalarExactlyAcrossLengths) {
-  Dispatch simd;
+  Dispatch simd = Dispatch::kScalar;
   const bool has_simd = SimdLevel(&simd);
   Rng rng(62);
   for (size_t n : kLengths) {
@@ -168,7 +168,7 @@ TEST(QuantizedDotTest, SimdMatchesScalarExactlyAcrossLengths) {
 }
 
 TEST(QuantizedDotTest, SaturatingExtremesAreExact) {
-  Dispatch simd;
+  Dispatch simd = Dispatch::kScalar;
   const bool has_simd = SimdLevel(&simd);
   for (size_t n : kLengths) {
     // The adversarial corner of the range contract: max-magnitude query
@@ -342,7 +342,9 @@ TEST(QuantizedRecallTest, RecallAtTenVsFloatOracle) {
       // runs the same batched kernel), so any shared member carries the
       // identical score bits.
       for (const auto& e : exact) {
-        if (e.index == r.index) EXPECT_EQ(e.score, r.score);
+        if (e.index == r.index) {
+          EXPECT_EQ(e.score, r.score);
+        }
       }
     }
     total += static_cast<double>(exact.size());
@@ -517,6 +519,8 @@ TEST(QuantizedRagTest, QuantizedRetrievalKeepsEvaluationShape) {
     docs.push_back({"doc tokens shared vocab " + std::to_string(i % 9),
                     "l" + std::to_string(i % 9)});
     const auto v = RandomVec(&rng, dim);
+    // RagLlmSimulator::Index recomputes the norm cache on ingest.
+    // tabbin-lint: allow(raw-row-mutation)
     std::copy(v.begin(), v.end(), dense.mutable_row(i));
   }
   RagLlmSimulator exact(ProfileFor("gpt4+rag"), 7);

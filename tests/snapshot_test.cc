@@ -188,6 +188,8 @@ TEST(SnapshotTest, OverflowingSectionLengthRejected) {
   // Hand-craft a snapshot whose single section claims a near-UINT64_MAX
   // payload; the section bounds check must fail before any read.
   BinaryWriter w;
+  // Corruption fixture: hand-crafts the frozen container bytes.
+  // tabbin-lint: allow(naked-new-sections)
   w.WriteU32(kSnapshotMagic);
   w.WriteU32(kSnapshotFormatVersion);
   w.WriteU64(1);
@@ -239,7 +241,7 @@ TEST(SnapshotTest, LshIndexRoundTripIdenticalQueries) {
   for (int i = 0; i < 40; ++i) {
     std::vector<float> v(dim);
     for (auto& x : v) x = static_cast<float>(rng.Gaussian());
-    index.Insert(i, v);
+    ASSERT_TRUE(index.Insert(i, v).ok());
     vecs.push_back(std::move(v));
   }
 

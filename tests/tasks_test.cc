@@ -125,7 +125,7 @@ TEST(LshTest, FindsNearDuplicates) {
   std::vector<std::vector<float>> vecs;
   for (int i = 0; i < 50; ++i) {
     vecs.push_back(RandomUnit(&rng, dim));
-    index.Insert(i, vecs.back());
+    ASSERT_TRUE(index.Insert(i, vecs.back()).ok());
   }
   // A tiny perturbation of vector 7 must collide with id 7.
   std::vector<float> probe = vecs[7];
@@ -161,7 +161,9 @@ TEST(LshTest, CandidateSetSmallerThanCorpusForRandomVectors) {
   Rng rng(4);
   const int dim = 32;
   LshIndex index(dim, 10, 4);
-  for (int i = 0; i < 400; ++i) index.Insert(i, RandomUnit(&rng, dim));
+  for (int i = 0; i < 400; ++i) {
+    ASSERT_TRUE(index.Insert(i, RandomUnit(&rng, dim)).ok());
+  }
   auto candidates = index.Query(RandomUnit(&rng, dim));
   EXPECT_LT(candidates.size(), 400u);
 }
@@ -176,7 +178,7 @@ TEST(LshTest, QueryReturnsSortedUniqueCandidates) {
   std::vector<std::vector<float>> vecs;
   for (int i = 0; i < 200; ++i) {
     vecs.push_back(RandomUnit(&rng, dim));
-    index.Insert(i, vecs.back());
+    ASSERT_TRUE(index.Insert(i, vecs.back()).ok());
   }
   for (int probe = 0; probe < 20; ++probe) {
     auto candidates = index.Query(vecs[static_cast<size_t>(probe)]);
@@ -201,7 +203,7 @@ TEST(LshTest, QueryByKeysMatchesPerTableLookupMerge) {
   std::vector<std::vector<float>> vecs;
   for (int i = 0; i < 300; ++i) {
     vecs.push_back(RandomUnit(&rng, dim));
-    index.Insert(i, vecs.back());
+    ASSERT_TRUE(index.Insert(i, vecs.back()).ok());
   }
   for (int probe = 0; probe < 25; ++probe) {
     const auto keys = index.QueryKeys(vecs[static_cast<size_t>(probe)]);

@@ -1,0 +1,15 @@
+// Fixture: MUST trip encode-under-lock (and only that rule).
+// An encoder forward pass inside a shard writer-lock region — the
+// PR-4 deadlock/serialization class the rule exists for.
+#include "service/shard.h"
+
+namespace tabbin {
+
+void BadAddUnderLock(ServiceShard* shard, EncoderEngine* engine,
+                     const Table& table) {
+  WriterMutexLock lock(&shard_mutex());
+  auto enc = engine->Encode(table);  // forward pass under the lock
+  Use(enc);
+}
+
+}  // namespace tabbin

@@ -1,0 +1,17 @@
+// Fixture: MUST trip kernel-bypass (and only that rule).
+// A hand-rolled dot-product reduction over embedding rows outside
+// src/tensor/ — exactly the scalar drift the PR-5 kernel layer
+// (SIMD dispatch + TABBIN_FORCE_SCALAR) exists to prevent.
+#include "tensor/embedding_matrix.h"
+
+namespace tabbin {
+
+float BadManualDot(const EmbeddingMatrix& m, size_t a, size_t b) {
+  const float* x = m.row(a).data();
+  const float* y = m.row(b).data();
+  float dot = 0;
+  for (size_t d = 0; d < m.dim(); ++d) dot += x[d] * y[d];
+  return dot;
+}
+
+}  // namespace tabbin

@@ -1,0 +1,14 @@
+// Fixture: MUST trip raw-row-mutation (and only that rule).
+// Writes through mutable_row() and returns without refreshing the
+// cached inverse norms, leaving the norm cache (and any int8 sidecar)
+// disagreeing with the floats.
+#include "tensor/embedding_matrix.h"
+
+namespace tabbin {
+
+void BadScaleRow(EmbeddingMatrix* m, size_t r, float factor) {
+  float* row = m->mutable_row(r);
+  for (size_t d = 0; d < m->dim(); ++d) row[d] *= factor;
+}
+
+}  // namespace tabbin

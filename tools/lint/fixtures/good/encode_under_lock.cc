@@ -1,0 +1,16 @@
+// Fixture: near-miss for encode-under-lock — MUST pass.
+// Same shapes as the bad fixture, but the encode runs before the lock
+// is taken (the sanctioned encode-then-lock order), and the call that
+// does appear under the lock is not an encoder entry point.
+#include "service/shard.h"
+
+namespace tabbin {
+
+void GoodEncodeThenLock(ServiceShard* shard, EncoderEngine* engine,
+                        const Table& table) {
+  auto enc = engine->Encode(table);  // forward pass, lock not yet held
+  WriterMutexLock lock(&shard_mutex());
+  shard->InsertPreparedLocked(table, enc);  // no encoder work here
+}
+
+}  // namespace tabbin

@@ -1,0 +1,19 @@
+// Fixture: near-miss for kernel-bypass — MUST pass.
+// The same scoring goes through tensor/kernels.h, and the float loop
+// that does appear is elementwise (no reduction over a row product).
+#include "tensor/embedding_matrix.h"
+#include "tensor/kernels.h"
+
+namespace tabbin {
+
+float GoodKernelDot(const EmbeddingMatrix& m, size_t a, size_t b) {
+  return kernels::Dot(m.row(a).data(), m.row(b).data(), m.dim());
+}
+
+void GoodElementwiseShift(EmbeddingMatrix* m, size_t r, float bias) {
+  float* row = m->mutable_row(r);
+  for (size_t d = 0; d < m->dim(); ++d) row[d] += bias;
+  m->RecomputeInvNorms();
+}
+
+}  // namespace tabbin

@@ -1,0 +1,14 @@
+// Fixture: near-miss for naked-new-sections — MUST pass.
+// Sections are created through the sanctioned SnapshotWriter API; no
+// container magic appears outside util/snapshot.*.
+#include "util/snapshot.h"
+
+namespace tabbin {
+
+void GoodSectionViaWriter(SnapshotWriter* snapshot) {
+  BinaryWriter* section = snapshot->AddSection("my.section");
+  section->WriteU64(1);
+  section->WriteString("payload");
+}
+
+}  // namespace tabbin

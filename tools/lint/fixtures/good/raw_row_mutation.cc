@@ -1,0 +1,14 @@
+// Fixture: near-miss for raw-row-mutation — MUST pass.
+// Same raw write, but the function refreshes the norm cache before
+// returning, so scoring stays consistent with the floats.
+#include "tensor/embedding_matrix.h"
+
+namespace tabbin {
+
+void GoodScaleRow(EmbeddingMatrix* m, size_t r, float factor) {
+  float* row = m->mutable_row(r);
+  for (size_t d = 0; d < m->dim(); ++d) row[d] *= factor;
+  m->RecomputeInvNorms();
+}
+
+}  // namespace tabbin

@@ -1,0 +1,23 @@
+// Fixture: suppression syntax — MUST pass.
+// Each would-be finding carries a rule-scoped allow marker; the
+// selftest pins that suppression works and stays rule-scoped.
+#include "tensor/embedding_matrix.h"
+
+namespace tabbin {
+
+void SuppressedMutation(EmbeddingMatrix* m, size_t r) {
+  // Covered by a caller-side RecomputeInvNorms (fixture pretext).
+  // tabbin-lint: allow(raw-row-mutation)
+  float* row = m->mutable_row(r);
+  row[0] = 1.0f;
+}
+
+float SuppressedDot(const EmbeddingMatrix& m, size_t a, size_t b) {
+  const float* x = m.row(a).data();
+  const float* y = m.row(b).data();
+  float dot = 0;  // tabbin-lint: allow(kernel-bypass)
+  for (size_t d = 0; d < m.dim(); ++d) dot += x[d] * y[d];
+  return dot;
+}
+
+}  // namespace tabbin
