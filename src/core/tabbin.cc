@@ -3,6 +3,7 @@
 #include <cmath>
 #include <functional>
 
+#include "store/snapshot_bridge.h"
 #include "text/wordpiece.h"
 
 namespace tabbin {
@@ -51,12 +52,14 @@ TabBiNSystem TabBiNSystem::Create(const std::vector<Table>& sample,
   return TabBiNSystem(config, std::move(vocab));
 }
 
-TabBiNSystem::TabBiNSystem(const TabBiNConfig& config, Vocab vocab)
+TabBiNSystem::TabBiNSystem(const TabBiNConfig& config, Vocab vocab,
+                           bool init_params)
     : config_(config), vocab_(std::move(vocab)) {
   Rng rng(config.seed);
   for (int v = 0; v < 4; ++v) {
     models_[static_cast<size_t>(v)] = std::make_unique<TabBiNModel>(
-        config, vocab_.size(), static_cast<TabBiNVariant>(v), &rng);
+        config, vocab_.size(), static_cast<TabBiNVariant>(v),
+        init_params ? &rng : nullptr);
   }
 }
 
@@ -335,7 +338,8 @@ Result<TabBiNSystem> TabBiNSystem::FromSnapshot(
                           snapshot.Section("tabbin.vocab"));
   TABBIN_ASSIGN_OR_RETURN(Vocab vocab, Vocab::Deserialize(&vocab_r));
 
-  TabBiNSystem sys(config, std::move(vocab));
+  // Every parameter is overwritten below, so skip the random draws.
+  TabBiNSystem sys(config, std::move(vocab), /*init_params=*/false);
   TABBIN_ASSIGN_OR_RETURN(BinaryReader typer_r,
                           snapshot.Section("tabbin.typer"));
   TABBIN_ASSIGN_OR_RETURN(sys.typer_, TypeInferencer::Deserialize(&typer_r));
@@ -358,8 +362,19 @@ Status TabBiNSystem::Save(const std::string& path) const {
 }
 
 Result<TabBiNSystem> TabBiNSystem::Load(const std::string& path) {
+  TABBIN_ASSIGN_OR_RETURN(std::string file, ResolveSnapshotPath(path));
+  TABBIN_ASSIGN_OR_RETURN(uint32_t version, PeekSnapshotVersion(file));
+  if (version >= 2) {
+    // A v2 paged store carries the model sections verbatim; the system
+    // itself is metadata-sized, so load it through the bridge copy
+    // rather than holding the whole mapping alive.
+    TABBIN_ASSIGN_OR_RETURN(PagedSnapshotReader r,
+                            PagedSnapshotReader::Open(file));
+    TABBIN_ASSIGN_OR_RETURN(SnapshotReader bridge, ExtractBridgeSections(r));
+    return FromSnapshot(bridge);
+  }
   TABBIN_ASSIGN_OR_RETURN(SnapshotReader snapshot,
-                          SnapshotReader::FromFile(path));
+                          SnapshotReader::FromFile(file));
   return FromSnapshot(snapshot);
 }
 

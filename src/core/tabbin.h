@@ -56,7 +56,12 @@ class TabBiNSystem {
   static TabBiNSystem Create(const std::vector<Table>& sample,
                              const TabBiNConfig& config);
 
-  TabBiNSystem(const TabBiNConfig& config, Vocab vocab);
+  /// \brief Builds the four models. `init_params` false skips the
+  /// random parameter draws (the tensors stay zero) — only for callers
+  /// that immediately overwrite every parameter from a snapshot, where
+  /// the ~millions of Gaussian draws are measurable cold-start waste.
+  TabBiNSystem(const TabBiNConfig& config, Vocab vocab,
+               bool init_params = true);
 
   /// \brief Pre-trains all four models on a corpus; returns per-variant
   /// stats in variant order (row, column, hmd, vmd).

@@ -8,6 +8,7 @@
 #include <utility>
 
 #include "baselines/word2vec.h"
+#include "io/table_io.h"
 #include "tensor/kernels.h"
 #include "text/wordpiece.h"
 #include "util/logging.h"
@@ -207,6 +208,9 @@ void ServiceShard::InsertPreparedLocked(Table table, const std::string& id,
   slots_.push_back(TableSlot{});
   TableSlot& s = slots_.back();
   s.table = std::move(table);
+  s.caption = s.table.caption();
+  s.grid_rows = s.table.rows();
+  s.grid_cols = s.table.cols();
   s.id = id;
   s.doc_tf = ServiceDocTermFrequencies(s.table);
   for (const auto& [term, count] : s.doc_tf) {
@@ -323,7 +327,25 @@ void ServiceShard::SetQuantizedScan(bool on, int shortlist_multiplier) {
 Status ServiceShard::Compact() {
   WriterMutexLock lock(&mu_);
   if (static_cast<size_t>(live_count_) == slots_.size()) {
-    return Status::OK();  // nothing dead, nothing to do
+    if (store_keepalive_ == nullptr) {
+      return Status::OK();  // nothing dead, nothing to do
+    }
+    // Mapped shard with no tombstones: merge the heap delta into owned
+    // storage, parse every lazy table, and release the mapping. Row ids
+    // do not change, so the indexes and refs stay untouched — and the
+    // matrices' segment-split scoring collapses back to one owned pass.
+    for (TableSlot& s : slots_) {
+      if (s.table_loaded) continue;
+      TABBIN_ASSIGN_OR_RETURN(s.table, MaterializeTableLocked(s));
+      s.table_loaded = true;
+      s.json_ptr = nullptr;
+      s.json_len = 0;
+    }
+    col_vecs_.MaterializeOwned();
+    tbl_vecs_.MaterializeOwned();
+    ent_vecs_.MaterializeOwned();
+    store_keepalive_.reset();
+    return Status::OK();
   }
   // Gather the live tables WITH their stored embedding rows in slot
   // (= insertion) order, then rebuild every structure from those rows.
@@ -334,7 +356,7 @@ Status ServiceShard::Compact() {
   // the stored rows already ARE the prepared vectors, bit for bit.
   std::vector<LiveTableRows> live;
   live.reserve(static_cast<size_t>(live_count_));
-  ExportLiveLocked(&live);
+  TABBIN_RETURN_IF_ERROR(ExportLiveLocked(&live));
 
   slots_.clear();
   id_to_slot_.clear();
@@ -352,6 +374,9 @@ Status ServiceShard::Compact() {
   ent_vecs_ = EmbeddingMatrix();
   ent_refs_.clear();
   lex_postings_.clear();
+  // The export above copied everything to heap; nothing below reads the
+  // mapping again, so a mapped shard drops it here.
+  store_keepalive_.reset();
   if (options_.quantized_scan) {
     // Fresh matrices start unquantized; re-enable so the re-inserts
     // below rebuild the code sidecars along with everything else.
@@ -382,7 +407,7 @@ Result<ServiceShard::Resolved> ServiceShard::ResolveColumn(
     return Status::NotFound("no live table with id '" + id + "'");
   }
   const TableSlot& s = slots_[static_cast<size_t>(it->second)];
-  if (col < 0 || col >= s.table.cols()) {
+  if (col < 0 || col >= s.grid_cols) {
     return Status::OutOfRange("SimilarColumns: column " +
                               std::to_string(col) + " out of range");
   }
@@ -395,7 +420,7 @@ Result<ServiceShard::Resolved> ServiceShard::ResolveColumn(
   }
   // A metadata (VMD) column is queryable but not indexed: hand back a
   // copy for the caller to encode outside every lock.
-  r.table_copy = s.table;
+  TABBIN_ASSIGN_OR_RETURN(r.table_copy, MaterializeTableLocked(s));
   r.needs_encode = true;
   return r;
 }
@@ -421,7 +446,7 @@ Result<ServiceShard::Resolved> ServiceShard::ResolveEntity(
     return Status::NotFound("no live table with id '" + id + "'");
   }
   const TableSlot& s = slots_[static_cast<size_t>(it->second)];
-  if (row < 0 || row >= s.table.rows() || col < 0 || col >= s.table.cols()) {
+  if (row < 0 || row >= s.grid_rows || col < 0 || col >= s.grid_cols) {
     return Status::OutOfRange("SimilarEntities: cell (" +
                               std::to_string(row) + ", " +
                               std::to_string(col) + ") out of range");
@@ -436,7 +461,7 @@ Result<ServiceShard::Resolved> ServiceShard::ResolveEntity(
   }
   // Cell isn't in the entity index (numeric, nested, or past the
   // per-table budget): the caller encodes a copy outside every lock.
-  r.table_copy = s.table;
+  TABBIN_ASSIGN_OR_RETURN(r.table_copy, MaterializeTableLocked(s));
   r.needs_encode = true;
   return r;
 }
@@ -498,10 +523,12 @@ ServiceShard::MatchSet ServiceShard::RankLocked(
     }
   }
   std::vector<float> scores(rows.size());
-  kernels::BatchedCosineRows(
-      query_vec.data(), kernels::InvNorm(query_vec.data(), query_vec.size()),
-      vecs.data(), vecs.cols(), rows.data(), rows.size(), vecs.inv_norms(),
-      scores.data());
+  // Routed through the matrix (not kernels:: directly): in mapped mode
+  // it splits base/delta segments itself, each row still one identical
+  // kernel evaluation — bit-equal to the owned single pass.
+  vecs.CosineRows(query_vec.data(),
+                  kernels::InvNorm(query_vec.data(), query_vec.size()),
+                  rows.data(), rows.size(), scores.data());
   std::vector<std::pair<float, int>> scored;
   scored.reserve(rows.size());
   for (size_t i = 0; i < rows.size(); ++i) {
@@ -559,7 +586,7 @@ ServiceShard::MatchSet ServiceShard::TopColumns(
         const TableSlot& s = slots[static_cast<size_t>(ref.slot)];
         ServiceMatch m;
         m.table_id = s.id;
-        m.caption = s.table.caption();
+        m.caption = s.caption;
         m.col = ref.col;
         m.score = score;
         return m;
@@ -586,7 +613,7 @@ ServiceShard::MatchSet ServiceShard::TopTables(
         const TableSlot& s = slots[static_cast<size_t>(slot)];
         ServiceMatch m;
         m.table_id = s.id;
-        m.caption = s.table.caption();
+        m.caption = s.caption;
         m.score = score;
         return m;
       });
@@ -621,7 +648,7 @@ ServiceShard::MatchSet ServiceShard::TopEntities(
         const TableSlot& s = slots[static_cast<size_t>(ref.slot)];
         ServiceMatch m;
         m.table_id = s.id;
-        m.caption = s.table.caption();
+        m.caption = s.caption;
         m.row = ref.row;
         m.col = ref.col;
         m.entity = ref.surface;
@@ -684,17 +711,15 @@ ServiceShard::AskPartial ServiceShard::AskCandidates(
     lex_rows.push_back(slots_[static_cast<size_t>(slot)].tbl_row);
   }
   std::vector<float> lex_cos(lex_rows.size());
-  kernels::BatchedCosineRows(query_vec.data(), inv_q, tbl_vecs_.data(),
-                             tbl_vecs_.cols(), lex_rows.data(),
-                             lex_rows.size(), tbl_vecs_.inv_norms(),
-                             lex_cos.data());
+  tbl_vecs_.CosineRows(query_vec.data(), inv_q, lex_rows.data(),
+                       lex_rows.size(), lex_cos.data());
   out.lexical.reserve(lex.size());
   for (size_t i = 0; i < lex.size(); ++i) {
     const TableSlot& s = slots_[static_cast<size_t>(lex[i].second)];
     LexicalHit hit;
     hit.lex = lex[i].first;
     hit.match.table_id = s.id;
-    hit.match.caption = s.table.caption();
+    hit.match.caption = s.caption;
     hit.match.score = lex_cos[i];
     out.lexical.push_back(std::move(hit));
   }
@@ -747,17 +772,15 @@ ServiceShard::AskPartial ServiceShard::AskCandidates(
     }
   }
   std::vector<float> dense_cos(dense_rows.size());
-  kernels::BatchedCosineRows(query_vec.data(), inv_q, tbl_vecs_.data(),
-                             tbl_vecs_.cols(), dense_rows.data(),
-                             dense_rows.size(), tbl_vecs_.inv_norms(),
-                             dense_cos.data());
+  tbl_vecs_.CosineRows(query_vec.data(), inv_q, dense_rows.data(),
+                       dense_rows.size(), dense_cos.data());
   out.dense.reserve(dense_rows.size());
   for (size_t i = 0; i < dense_rows.size(); ++i) {
     const TableSlot& s = slots_[static_cast<size_t>(
         tbl_refs_[static_cast<size_t>(dense_rows[i])])];
     ServiceMatch m;
     m.table_id = s.id;
-    m.caption = s.table.caption();
+    m.caption = s.caption;
     m.score = dense_cos[i];
     out.dense.push_back(std::move(m));
   }
@@ -791,16 +814,28 @@ void ServiceShard::AppendLiveIds(std::vector<std::string>* out) const {
   for (const auto& [id, slot] : id_to_slot_) out->push_back(id);
 }
 
-void ServiceShard::ExportLive(std::vector<LiveTableRows>* out) const {
+Status ServiceShard::ExportLive(std::vector<LiveTableRows>* out) const {
   ReaderMutexLock lock(&mu_);
-  ExportLiveLocked(out);
+  return ExportLiveLocked(out);
 }
 
-void ServiceShard::ExportLiveLocked(std::vector<LiveTableRows>* out) const {
+bool ServiceShard::is_mapped() const {
+  ReaderMutexLock lock(&mu_);
+  return store_keepalive_ != nullptr;
+}
+
+Result<Table> ServiceShard::MaterializeTableLocked(const TableSlot& s) const {
+  if (s.table_loaded) return s.table;
+  TABBIN_ASSIGN_OR_RETURN(Json json,
+                          Json::Parse(std::string(s.json_ptr, s.json_len)));
+  return TableFromJson(json);
+}
+
+Status ServiceShard::ExportLiveLocked(std::vector<LiveTableRows>* out) const {
   for (const TableSlot& s : slots_) {
     if (!s.live) continue;
     LiveTableRows rows;
-    rows.table = s.table;
+    TABBIN_ASSIGN_OR_RETURN(rows.table, MaterializeTableLocked(s));
     rows.id = s.id;
     rows.table_vec =
         tbl_vecs_.row(static_cast<size_t>(s.tbl_row)).ToVector();
@@ -817,6 +852,7 @@ void ServiceShard::ExportLiveLocked(std::vector<LiveTableRows>* out) const {
     }
     out->push_back(std::move(rows));
   }
+  return Status::OK();
 }
 
 // ---------------------------------------------------------------------------

@@ -33,6 +33,7 @@
 #include "core/encoder_engine.h"
 #include "core/tabbin.h"
 #include "service/service_types.h"
+#include "store/paged_snapshot.h"
 #include "tasks/lsh.h"
 #include "util/mutex.h"
 #include "util/snapshot.h"
@@ -68,6 +69,22 @@ void AppendServiceOptions(const ServiceOptions& options,
                           SnapshotWriter* snapshot);
 Result<ServiceOptions> ReadServiceOptions(const SnapshotReader& snapshot);
 
+// --- Paged (v2) store plumbing shared by both services ---------------------
+// (implemented in service/shard_store.cc)
+
+/// \brief What the "store.meta" section says about the saved service.
+struct StoreMeta {
+  bool sharded = false;
+  uint32_t shards = 1;
+};
+void AppendStoreMeta(PagedSnapshotWriter* w, const StoreMeta& meta);
+Result<StoreMeta> ReadStoreMeta(const PagedSnapshotReader& reader);
+
+/// \brief Section prefix for shard i ("store.s<i>.").
+/// (Section bridging and path resolution shared with the core loader
+/// live in store/snapshot_bridge.h.)
+std::string StoreShardPrefix(uint32_t shard);
+
 class ServiceShard {
  public:
   struct ColumnRef {
@@ -81,9 +98,22 @@ class ServiceShard {
     std::string surface;
   };
   struct TableSlot {
+    // The parsed table — populated on live inserts and v1 restores.
+    // On a v2 (mapped) restore it stays empty: `table_loaded` is false
+    // and the slot instead points at the table's JSON inside the mapped
+    // snapshot (json_ptr/json_len, kept alive by store_keepalive_).
+    // MaterializeTableLocked parses on demand; the hot query paths only
+    // ever need the eager fields below, so a cold start parses nothing.
     Table table;
+    bool table_loaded = true;
+    const char* json_ptr = nullptr;
+    size_t json_len = 0;
     std::string id;  // canonical serving id (never empty)
     bool live = true;
+    // Eager mirrors of the table fields the query paths read (emit
+    // lambdas, Resolve* bounds checks) — valid in both storage modes.
+    std::string caption;
+    int grid_rows = 0, grid_cols = 0;
     // Index rows owned by this slot, so id-addressed queries are served
     // from the stored embeddings instead of re-encoding: exactly one
     // table row, a contiguous column range, a contiguous entity range
@@ -92,8 +122,9 @@ class ServiceShard {
     int col_begin = -1, col_end = -1;
     int ent_begin = -1, ent_end = -1;
     // Doc-local lexical stats for the Ask gate (term -> count over the
-    // serialized table text). Derived state: recomputed on insert and
-    // on snapshot load, never serialized.
+    // serialized table text). Derived on insert and on v1 snapshot
+    // load; the v2 paged store persists it (sorted) so a mapped restore
+    // rebuilds the postings without parsing any table JSON.
     std::unordered_map<std::string, int> doc_tf;
   };
 
@@ -236,9 +267,36 @@ class ServiceShard {
       TABBIN_EXCLUDES(mu_);
 
   /// \brief Copies every live table with its embedding rows (snapshot
-  /// export / re-partitioning), in slot order.
-  void ExportLive(std::vector<LiveTableRows>* out) const
+  /// export / re-partitioning), in slot order. On a mapped shard this
+  /// parses every lazy table JSON — ParseError if the mapped blob is
+  /// corrupt, so the failure surfaces here instead of as a bad export.
+  Status ExportLive(std::vector<LiveTableRows>* out) const
       TABBIN_EXCLUDES(mu_);
+
+  // --- Paged store persistence (service/shard_store.cc) -----------------
+
+  /// \brief Writes this shard's full state (slots incl. tombstones,
+  /// refs, embedding blocks, inverse norms, LSH indexes, table JSON
+  /// blob) as "<prefix>meta/json/norms/lsh/tbl/col/ent" sections. The
+  /// embedding blocks land page-aligned so a reader can map them.
+  void AppendStoreSections(PagedSnapshotWriter* w,
+                           const std::string& prefix) const
+      TABBIN_EXCLUDES(mu_);
+
+  /// \brief Restores the state AppendStoreSections wrote, serving the
+  /// embedding blocks zero-copy off the mapped snapshot: the matrices
+  /// wrap the mapped row blocks (WrapExternal) and each slot's table
+  /// JSON stays an unparsed pointer into the mapping. `keepalive` (the
+  /// owning PagedSnapshotReader) is retained until Compact or
+  /// destruction. Every cross-section invariant is validated; corrupt
+  /// input is ParseError, never UB.
+  Status RestoreFromStore(const PagedSnapshotReader& reader,
+                          std::shared_ptr<const void> keepalive,
+                          const std::string& prefix) TABBIN_EXCLUDES(mu_);
+
+  /// \brief True when this shard serves embeddings off a mapped
+  /// snapshot (observability / tests).
+  bool is_mapped() const TABBIN_EXCLUDES(mu_);
 
  private:
   // TabBinService serializes/restores its single shard in the legacy
@@ -251,7 +309,13 @@ class ServiceShard {
                             PreparedTable&& prepared, AddReport* report)
       TABBIN_REQUIRES(mu_);
 
-  void ExportLiveLocked(std::vector<LiveTableRows>* out) const
+  Status ExportLiveLocked(std::vector<LiveTableRows>* out) const
+      TABBIN_REQUIRES_SHARED(mu_);
+
+  /// \brief The slot's full table: a copy when loaded, otherwise parsed
+  /// from the mapped JSON (no caching — parsing under a shared lock
+  /// must not mutate the slot).
+  Result<Table> MaterializeTableLocked(const TableSlot& s) const
       TABBIN_REQUIRES_SHARED(mu_);
 
   template <typename Ref, typename Accept, typename TieLess,
@@ -287,6 +351,11 @@ class ServiceShard {
   std::vector<EntityRef> ent_refs_ TABBIN_GUARDED_BY(mu_);
 
   LexPostings lex_postings_ TABBIN_GUARDED_BY(mu_);
+
+  // Keeps the mapped snapshot (and with it every json_ptr and every
+  // WrapExternal base block) alive while this shard serves off it.
+  // Dropped by Compact once all state has been materialized to heap.
+  std::shared_ptr<const void> store_keepalive_ TABBIN_GUARDED_BY(mu_);
 };
 
 // ---------------------------------------------------------------------------

@@ -6,6 +6,8 @@
 
 #include "io/table_io.h"
 #include "service/table_service.h"
+#include "store/paged_snapshot.h"
+#include "store/snapshot_bridge.h"
 #include "util/logging.h"
 #include "util/snapshot.h"
 
@@ -147,7 +149,7 @@ size_t ShardedTabBinService::ShardLiveCount(int shard) const {
 // Embedding rows are stored so a load re-partitions by pure hashing —
 // re-inserting vectors into fresh LSH indexes, no forward passes.
 
-void ShardedTabBinService::AppendTo(SnapshotWriter* snapshot) const {
+Status ShardedTabBinService::AppendTo(SnapshotWriter* snapshot) const {
   system_->AppendTo(snapshot);
   engine_->AppendCacheTo(snapshot);
   AppendServiceOptions(options_, snapshot);
@@ -156,7 +158,7 @@ void ShardedTabBinService::AppendTo(SnapshotWriter* snapshot) const {
       shards_.size());
   uint64_t total = 0;
   for (size_t i = 0; i < shards_.size(); ++i) {
-    shards_[i]->ExportLive(&exported[i]);
+    TABBIN_RETURN_IF_ERROR(shards_[i]->ExportLive(&exported[i]));
     total += exported[i].size();
   }
 
@@ -189,6 +191,7 @@ void ShardedTabBinService::AppendTo(SnapshotWriter* snapshot) const {
       }
     }
   }
+  return Status::OK();
 }
 
 namespace {
@@ -317,7 +320,7 @@ ShardedTabBinService::FromSnapshot(const SnapshotReader& snapshot,
                             TabBinService::FromSnapshot(snapshot));
     system = single->shared_system();
     options = single->options();
-    single->ExportLive(&rows);
+    TABBIN_RETURN_IF_ERROR(single->ExportLive(&rows));
   } else {
     return Status::ParseError(
         "sharded snapshot: no corpus sections (neither sharded.manifest "
@@ -364,17 +367,131 @@ ShardedTabBinService::FromSnapshot(const SnapshotReader& snapshot,
   return service;
 }
 
+void ShardedTabBinService::AppendStore(PagedSnapshotWriter* w) const {
+  SnapshotWriter bridge;
+  system_->AppendTo(&bridge);
+  AppendServiceOptions(options_, &bridge);
+  AppendBridgeSections(bridge, w);
+  AppendStoreMeta(
+      w, StoreMeta{/*sharded=*/true,
+                   /*shards=*/static_cast<uint32_t>(shards_.size())});
+  for (size_t i = 0; i < shards_.size(); ++i) {
+    shards_[i]->AppendStoreSections(
+        w, StoreShardPrefix(static_cast<uint32_t>(i)));
+  }
+}
+
+Result<std::unique_ptr<ShardedTabBinService>> ShardedTabBinService::FromStore(
+    std::shared_ptr<const PagedSnapshotReader> reader,
+    int num_shards_override) {
+  TABBIN_ASSIGN_OR_RETURN(StoreMeta meta, ReadStoreMeta(*reader));
+  // A single-service store uses the same "store.s0.*" sections, so it
+  // restores through the identical per-shard path at saved count 1.
+  const uint32_t saved = meta.shards;
+  if (reader->HasSection(StoreShardPrefix(saved) + "meta")) {
+    return Status::ParseError(
+        "paged store: more shard section groups than the meta's " +
+        std::to_string(saved));
+  }
+  TABBIN_ASSIGN_OR_RETURN(SnapshotReader bridge,
+                          ExtractBridgeSections(*reader));
+  TABBIN_ASSIGN_OR_RETURN(TabBiNSystem sys,
+                          TabBiNSystem::FromSnapshot(bridge));
+  TABBIN_ASSIGN_OR_RETURN(ServiceOptions options, ReadServiceOptions(bridge));
+  std::shared_ptr<TabBiNSystem> system =
+      std::make_shared<TabBiNSystem>(std::move(sys));
+
+  // Restore at the SAVED count first: with a matching (or absent)
+  // override that mapped service is the answer, byte-identical to the
+  // saved one (tombstones, bucket pollution and all).
+  auto service = std::unique_ptr<ShardedTabBinService>(
+      new ShardedTabBinService(system, static_cast<int>(saved), options));
+  size_t total_slots = 0;
+  for (uint32_t i = 0; i < saved; ++i) {
+    TABBIN_RETURN_IF_ERROR(service->shards_[i]->RestoreFromStore(
+        *reader, reader, StoreShardPrefix(i)));
+    total_slots += service->shards_[i]->slot_count();
+  }
+  // A table must be live in exactly one shard; duplicates would leave
+  // an unremovable ghost answering under the same id.
+  {
+    std::vector<std::string> ids;
+    for (const auto& shard : service->shards_) shard->AppendLiveIds(&ids);
+    std::sort(ids.begin(), ids.end());
+    const auto dup = std::adjacent_find(ids.begin(), ids.end());
+    if (dup != ids.end()) {
+      return Status::ParseError(
+          "paged store: duplicate table id '" + *dup + "' across shards");
+    }
+  }
+  const int target = num_shards_override > 0
+                         ? num_shards_override
+                         : static_cast<int>(saved);
+  if (target == static_cast<int>(saved)) {
+    if (options.encoder_cache_capacity == 0) {
+      service->engine_->Reserve(total_slots);
+    }
+    return service;
+  }
+
+  // Re-partition: materialize the mapped state (parses the lazy table
+  // JSON) and re-insert by hash into a fresh heap-backed service — the
+  // same cold path a legacy re-partition takes.
+  std::vector<ServiceShard::LiveTableRows> rows;
+  for (const auto& shard : service->shards_) {
+    TABBIN_RETURN_IF_ERROR(shard->ExportLive(&rows));
+  }
+  service.reset();  // drop the mapping before the heap rebuild
+  auto repart = std::unique_ptr<ShardedTabBinService>(
+      new ShardedTabBinService(std::move(system), target, options));
+  if (options.encoder_cache_capacity == 0) {
+    repart->engine_->Reserve(rows.size());
+  }
+  std::sort(rows.begin(), rows.end(),
+            [](const ServiceShard::LiveTableRows& a,
+               const ServiceShard::LiveTableRows& b) { return a.id < b.id; });
+  AddReport discard;
+  for (auto& row : rows) {
+    const size_t shard = ShardIndexFor(row.id, repart->shards_.size());
+    TABBIN_RETURN_IF_ERROR(
+        repart->shards_[shard]->InsertRows(std::move(row), &discard));
+  }
+  return repart;
+}
+
 Status ShardedTabBinService::Save(const std::string& path) const {
+  PagedSnapshotWriter w;
+  AppendStore(&w);
+  return WriteStoreSnapshot(path, w);
+}
+
+Status ShardedTabBinService::SaveV1(const std::string& path) const {
   SnapshotWriter snapshot;
-  AppendTo(&snapshot);
+  TABBIN_RETURN_IF_ERROR(AppendTo(&snapshot));
   return snapshot.ToFile(path);
 }
 
 Result<std::unique_ptr<ShardedTabBinService>> ShardedTabBinService::Load(
     const std::string& path, int num_shards_override) {
+  TABBIN_ASSIGN_OR_RETURN(std::string file, ResolveSnapshotPath(path));
+  TABBIN_ASSIGN_OR_RETURN(uint32_t version, PeekSnapshotVersion(file));
+  if (version >= 2) {
+    TABBIN_ASSIGN_OR_RETURN(PagedSnapshotReader r,
+                            PagedSnapshotReader::Open(file));
+    return FromStore(
+        std::make_shared<const PagedSnapshotReader>(std::move(r)),
+        num_shards_override);
+  }
   TABBIN_ASSIGN_OR_RETURN(SnapshotReader snapshot,
-                          SnapshotReader::FromFile(path));
+                          SnapshotReader::FromFile(file));
   return FromSnapshot(snapshot, num_shards_override);
+}
+
+bool ShardedTabBinService::IsMapped() const {
+  for (const auto& shard : shards_) {
+    if (shard->is_mapped()) return true;
+  }
+  return false;
 }
 
 // --- Factories ------------------------------------------------------------
@@ -391,8 +508,25 @@ std::unique_ptr<TabBinServing> MakeServing(
 
 Result<std::unique_ptr<TabBinServing>> LoadServing(const std::string& path,
                                                    int num_shards_override) {
+  TABBIN_ASSIGN_OR_RETURN(std::string file, ResolveSnapshotPath(path));
+  TABBIN_ASSIGN_OR_RETURN(uint32_t version, PeekSnapshotVersion(file));
+  if (version >= 2) {
+    TABBIN_ASSIGN_OR_RETURN(PagedSnapshotReader r,
+                            PagedSnapshotReader::Open(file));
+    auto reader = std::make_shared<const PagedSnapshotReader>(std::move(r));
+    TABBIN_ASSIGN_OR_RETURN(StoreMeta meta, ReadStoreMeta(*reader));
+    if (meta.sharded || num_shards_override > 0) {
+      auto sharded = ShardedTabBinService::FromStore(std::move(reader),
+                                                     num_shards_override);
+      if (!sharded.ok()) return sharded.status();
+      return std::unique_ptr<TabBinServing>(std::move(sharded).value());
+    }
+    auto single = TabBinService::FromStore(std::move(reader));
+    if (!single.ok()) return single.status();
+    return std::unique_ptr<TabBinServing>(std::move(single).value());
+  }
   TABBIN_ASSIGN_OR_RETURN(SnapshotReader snapshot,
-                          SnapshotReader::FromFile(path));
+                          SnapshotReader::FromFile(file));
   if (snapshot.HasSection("sharded.manifest") || num_shards_override > 0) {
     auto sharded =
         ShardedTabBinService::FromSnapshot(snapshot, num_shards_override);

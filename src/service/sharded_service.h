@@ -104,11 +104,13 @@ class ShardedTabBinService : public TabBinServing {
   // --- Persistence ------------------------------------------------------
 
   /// \brief Appends system, encoder cache, options, the shard manifest,
-  /// and one live-rows section per shard. Shards are exported one at a
-  /// time (each under its own reader lock); concurrent writers may land
-  /// between shard exports, so snapshot under a write-quiesced service
-  /// when cross-shard point-in-time consistency matters.
-  void AppendTo(SnapshotWriter* snapshot) const;
+  /// and one live-rows section per shard in the legacy v1 format.
+  /// Shards are exported one at a time (each under its own reader
+  /// lock); concurrent writers may land between shard exports, so
+  /// snapshot under a write-quiesced service when cross-shard
+  /// point-in-time consistency matters. Fallible: mapped shards parse
+  /// their lazy table JSON during export.
+  Status AppendTo(SnapshotWriter* snapshot) const;
 
   /// \brief Restores a sharded snapshot — or a legacy single-service
   /// snapshot — re-partitioning onto `num_shards_override` shards
@@ -119,9 +121,37 @@ class ShardedTabBinService : public TabBinServing {
   static Result<std::unique_ptr<ShardedTabBinService>> FromSnapshot(
       const SnapshotReader& snapshot, int num_shards_override = 0);
 
+  /// \brief Appends the service as a TBSN v2 paged store: bridged
+  /// system/options sections, the store meta, and per-shard full state
+  /// ("store.s<i>.*", embedding blocks page-aligned). The encoder
+  /// cache is deliberately omitted (deterministic re-encode).
+  void AppendStore(PagedSnapshotWriter* w) const;
+
+  /// \brief Restores a paged store — sharded or single — serving each
+  /// shard zero-copy off the mapped snapshot. With
+  /// `num_shards_override` == 0 (or == the saved count) the restore is
+  /// byte-identical to the saved service, including tombstones and
+  /// candidates counts. A differing override re-partitions: the mapped
+  /// state is materialized and re-inserted by hash (heap-backed, same
+  /// cold path as a legacy re-partition).
+  static Result<std::unique_ptr<ShardedTabBinService>> FromStore(
+      std::shared_ptr<const PagedSnapshotReader> reader,
+      int num_shards_override = 0);
+
+  /// \brief Saves in the v2 paged format: single file (atomic replace)
+  /// or generation directory (store/generation.h).
   Status Save(const std::string& path) const override;
+
+  /// \brief Saves in the legacy v1 stream format.
+  Status SaveV1(const std::string& path) const;
+
+  /// \brief Loads either format (directories resolve through the
+  /// generation manifest; the version byte dispatches v1 / v2).
   static Result<std::unique_ptr<ShardedTabBinService>> Load(
       const std::string& path, int num_shards_override = 0);
+
+  /// \brief True when any shard serves off a mapped snapshot.
+  bool IsMapped() const;
 
  private:
   ServingCore core() const {

@@ -4,6 +4,8 @@
 #include <utility>
 
 #include "io/table_io.h"
+#include "store/paged_snapshot.h"
+#include "store/snapshot_bridge.h"
 #include "util/logging.h"
 #include "util/snapshot.h"
 
@@ -108,7 +110,7 @@ std::vector<std::string> TabBinService::LiveTableIds() const {
 // re-partitionable live-rows format instead; it can also load this
 // one.)
 
-void TabBinService::AppendTo(SnapshotWriter* snapshot) const {
+Status TabBinService::AppendTo(SnapshotWriter* snapshot) const {
   system_->AppendTo(snapshot);
   engine_->AppendCacheTo(snapshot);
 
@@ -119,7 +121,13 @@ void TabBinService::AppendTo(SnapshotWriter* snapshot) const {
   tables->WriteU64(shard_.slots_.size());
   for (const ServiceShard::TableSlot& slot : shard_.slots_) {
     tables->WriteI32(slot.live ? 1 : 0);
-    tables->WriteString(TableToJson(slot.table).Dump());
+    if (slot.table_loaded) {
+      tables->WriteString(TableToJson(slot.table).Dump());
+    } else {
+      // Mapped slot: the JSON in the blob is exactly what a previous
+      // save rendered — copy it through instead of parse + re-render.
+      tables->WriteString(std::string(slot.json_ptr, slot.json_len));
+    }
   }
 
   BinaryWriter* cols = snapshot->AddSection("service.columns");
@@ -147,6 +155,7 @@ void TabBinService::AppendTo(SnapshotWriter* snapshot) const {
   }
   shard_.ent_vecs_.Serialize(ents);
   shard_.ent_index_.Serialize(ents);
+  return Status::OK();
 }
 
 Result<std::unique_ptr<TabBinService>> TabBinService::FromSnapshot(
@@ -180,6 +189,9 @@ Result<std::unique_ptr<TabBinService>> TabBinService::FromSnapshot(
     shard.slots_.push_back(ServiceShard::TableSlot{});
     ServiceShard::TableSlot& s = shard.slots_.back();
     s.table = std::move(t);
+    s.caption = s.table.caption();
+    s.grid_rows = s.table.rows();
+    s.grid_cols = s.table.cols();
     s.id = CanonicalTableId(s.table);
     s.live = live != 0;
     if (s.live) {
@@ -307,16 +319,70 @@ Result<std::unique_ptr<TabBinService>> TabBinService::FromSnapshot(
   return service;
 }
 
+void TabBinService::AppendStore(PagedSnapshotWriter* w) const {
+  // The model sections keep their v1 serializers: they are metadata-
+  // sized, so the paged store just carries their bytes verbatim. The
+  // encoder cache is deliberately NOT bridged — encodes are
+  // deterministic, so a cold cache re-derives identical bits, and
+  // omitting it is a large share of the cold-start win.
+  SnapshotWriter bridge;
+  system_->AppendTo(&bridge);
+  AppendServiceOptions(options_, &bridge);
+  AppendBridgeSections(bridge, w);
+  AppendStoreMeta(w, StoreMeta{/*sharded=*/false, /*shards=*/1});
+  shard_.AppendStoreSections(w, StoreShardPrefix(0));
+}
+
+Result<std::unique_ptr<TabBinService>> TabBinService::FromStore(
+    std::shared_ptr<const PagedSnapshotReader> reader) {
+  TABBIN_ASSIGN_OR_RETURN(StoreMeta meta, ReadStoreMeta(*reader));
+  if (meta.sharded || meta.shards != 1) {
+    return Status::ParseError(
+        "paged store holds a sharded service; load through "
+        "ShardedTabBinService::LoadServing");
+  }
+  TABBIN_ASSIGN_OR_RETURN(SnapshotReader bridge,
+                          ExtractBridgeSections(*reader));
+  TABBIN_ASSIGN_OR_RETURN(TabBiNSystem sys,
+                          TabBiNSystem::FromSnapshot(bridge));
+  TABBIN_ASSIGN_OR_RETURN(ServiceOptions options, ReadServiceOptions(bridge));
+
+  auto service = std::unique_ptr<TabBinService>(new TabBinService(
+      std::make_shared<TabBiNSystem>(std::move(sys)), options));
+  TABBIN_RETURN_IF_ERROR(service->shard_.RestoreFromStore(
+      *reader, reader, StoreShardPrefix(0)));
+  if (options.encoder_cache_capacity == 0) {
+    // Same auto-capacity rule as the v1 restore path; the cache itself
+    // starts cold (see AppendStore).
+    service->engine_->Reserve(service->shard_.slot_count());
+  }
+  return service;
+}
+
 Status TabBinService::Save(const std::string& path) const {
+  PagedSnapshotWriter w;
+  AppendStore(&w);
+  return WriteStoreSnapshot(path, w);
+}
+
+Status TabBinService::SaveV1(const std::string& path) const {
   SnapshotWriter snapshot;
-  AppendTo(&snapshot);
+  TABBIN_RETURN_IF_ERROR(AppendTo(&snapshot));
   return snapshot.ToFile(path);
 }
 
 Result<std::unique_ptr<TabBinService>> TabBinService::Load(
     const std::string& path) {
+  TABBIN_ASSIGN_OR_RETURN(std::string file, ResolveSnapshotPath(path));
+  TABBIN_ASSIGN_OR_RETURN(uint32_t version, PeekSnapshotVersion(file));
+  if (version >= 2) {
+    TABBIN_ASSIGN_OR_RETURN(PagedSnapshotReader r,
+                            PagedSnapshotReader::Open(file));
+    return FromStore(
+        std::make_shared<const PagedSnapshotReader>(std::move(r)));
+  }
   TABBIN_ASSIGN_OR_RETURN(SnapshotReader snapshot,
-                          SnapshotReader::FromFile(path));
+                          SnapshotReader::FromFile(file));
   return FromSnapshot(snapshot);
 }
 

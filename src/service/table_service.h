@@ -121,24 +121,50 @@ class TabBinService : public TabBinServing {
   // --- Persistence ------------------------------------------------------
 
   /// \brief Appends the entire service state — system, warm encoder
-  /// cache, corpus tables, all three indexes — to a snapshot
-  /// ("tabbin.*", "encoder.cache", "service.*" sections).
-  void AppendTo(SnapshotWriter* snapshot) const;
+  /// cache, corpus tables, all three indexes — in the legacy v1 byte
+  /// format ("tabbin.*", "encoder.cache", "service.*" sections).
+  Status AppendTo(SnapshotWriter* snapshot) const;
 
   /// \brief Restores a service saved with AppendTo. The restored service
   /// answers every query identically to the saved one.
   static Result<std::unique_ptr<TabBinService>> FromSnapshot(
       const SnapshotReader& snapshot);
 
-  /// \brief File wrappers over AppendTo / FromSnapshot.
+  /// \brief Appends the service as a TBSN v2 paged store ("tabbin.*",
+  /// "service.options", "store.*" sections; embedding blocks
+  /// page-aligned). The encoder cache is deliberately omitted — encodes
+  /// are deterministic, so a cold cache re-derives identical bits.
+  void AppendStore(PagedSnapshotWriter* w) const;
+
+  /// \brief Restores a paged store, serving embeddings and table JSON
+  /// zero-copy off the mapped snapshot (`reader` is retained as the
+  /// keepalive). Answers are byte-identical to the saved service.
+  static Result<std::unique_ptr<TabBinService>> FromStore(
+      std::shared_ptr<const PagedSnapshotReader> reader);
+
+  /// \brief Saves in the v2 paged format: to a single snapshot file
+  /// (atomic replace), or — when `path` is an existing directory — as a
+  /// new generation behind its MANIFEST (store/generation.h).
   Status Save(const std::string& path) const override;
+
+  /// \brief Saves in the legacy v1 stream format (still loadable; kept
+  /// for format-compatibility tests and cold-start benchmarks).
+  Status SaveV1(const std::string& path) const;
+
+  /// \brief Loads either format: directories resolve through the
+  /// generation manifest, then the snapshot version byte dispatches to
+  /// the v1 or v2 (mapped) restore path.
   static Result<std::unique_ptr<TabBinService>> Load(const std::string& path);
 
   /// \brief Copies every live table with its stored embedding rows —
   /// the exchange format ShardedTabBinService re-partitions from.
-  void ExportLive(std::vector<ServiceShard::LiveTableRows>* out) const {
-    shard_.ExportLive(out);
+  /// Parses lazy (mapped) tables, hence fallible.
+  Status ExportLive(std::vector<ServiceShard::LiveTableRows>* out) const {
+    return shard_.ExportLive(out);
   }
+
+  /// \brief True when the corpus is served off a mapped snapshot.
+  bool IsMapped() const { return shard_.is_mapped(); }
 
   const ServiceOptions& options() const { return options_; }
 

@@ -1,0 +1,166 @@
+#include "store/mapped_file.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <utility>
+
+// The POSIX backend. Everything syscall-shaped is confined to this
+// translation unit (tabbin_lint `raw-mmap` allows only src/store/).
+#if defined(__unix__) || defined(__APPLE__)
+#define TABBIN_STORE_HAVE_MMAP 1
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+#else
+#define TABBIN_STORE_HAVE_MMAP 0
+#endif
+
+namespace tabbin {
+
+namespace {
+
+// CI sets TABBIN_STORE_NO_MMAP=1 to force the portable heap path, so
+// both legs stay tested on the platform that normally never takes the
+// fallback.
+bool MmapDisabledByEnv() {
+  const char* env = std::getenv("TABBIN_STORE_NO_MMAP");
+  return env != nullptr && env[0] == '1' && env[1] == '\0';
+}
+
+Status ReadWholeFile(const std::string& path, uint64_t max_bytes,
+                     std::vector<uint8_t>* out) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (!f) {
+    return Status::IoError("MappedFile: cannot open '" + path + "'");
+  }
+  if (std::fseek(f, 0, SEEK_END) != 0) {
+    std::fclose(f);
+    return Status::IoError("MappedFile: cannot seek '" + path + "'");
+  }
+  const long size = std::ftell(f);
+  if (size < 0) {
+    std::fclose(f);
+    return Status::IoError("MappedFile: cannot stat '" + path + "'");
+  }
+  if (static_cast<uint64_t>(size) > max_bytes) {
+    std::fclose(f);
+    return Status::OutOfRange(
+        "MappedFile: '" + path + "' is " + std::to_string(size) +
+        " bytes, above the " + std::to_string(max_bytes) + " byte cap");
+  }
+  std::rewind(f);
+  out->resize(static_cast<size_t>(size));
+  if (size > 0 &&
+      std::fread(out->data(), 1, out->size(), f) != out->size()) {
+    std::fclose(f);
+    return Status::IoError("MappedFile: short read on '" + path + "'");
+  }
+  std::fclose(f);
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<MappedFile> MappedFile::Open(const std::string& path,
+                                    uint64_t max_bytes) {
+  MappedFile mf;
+  mf.path_ = path;
+#if TABBIN_STORE_HAVE_MMAP
+  if (!MmapDisabledByEnv()) {
+    const int fd = ::open(path.c_str(), O_RDONLY);
+    if (fd < 0) {
+      return Status::IoError("MappedFile: cannot open '" + path + "'");
+    }
+    struct stat st;
+    if (::fstat(fd, &st) != 0 || st.st_size < 0) {
+      ::close(fd);
+      return Status::IoError("MappedFile: cannot stat '" + path + "'");
+    }
+    if (static_cast<uint64_t>(st.st_size) > max_bytes) {
+      ::close(fd);
+      return Status::OutOfRange(
+          "MappedFile: '" + path + "' is " + std::to_string(st.st_size) +
+          " bytes, above the " + std::to_string(max_bytes) + " byte cap");
+    }
+    if (st.st_size == 0) {
+      // mmap(len=0) is EINVAL; an empty file is a valid empty span.
+      ::close(fd);
+      return mf;
+    }
+    void* addr = ::mmap(nullptr, static_cast<size_t>(st.st_size), PROT_READ,
+                        MAP_PRIVATE, fd, 0);
+    // The descriptor is not needed once the mapping exists (POSIX keeps
+    // the mapping valid after close) — and on mmap failure we fall
+    // through to the heap path rather than erroring, so exotic
+    // filesystems degrade instead of breaking.
+    ::close(fd);
+    if (addr != MAP_FAILED) {
+      mf.data_ = static_cast<const uint8_t*>(addr);
+      mf.size_ = static_cast<size_t>(st.st_size);
+      mf.mapped_ = true;
+      return mf;
+    }
+  }
+#endif
+  TABBIN_RETURN_IF_ERROR(ReadWholeFile(path, max_bytes, &mf.fallback_));
+  mf.data_ = mf.fallback_.data();
+  mf.size_ = mf.fallback_.size();
+  mf.mapped_ = false;
+  return mf;
+}
+
+void MappedFile::Advise(Advice advice) const {
+#if TABBIN_STORE_HAVE_MMAP
+  if (!mapped_ || size_ == 0) return;
+  int native = MADV_NORMAL;
+  switch (advice) {
+    case Advice::kNormal: native = MADV_NORMAL; break;
+    case Advice::kSequential: native = MADV_SEQUENTIAL; break;
+    case Advice::kRandom: native = MADV_RANDOM; break;
+    case Advice::kWillNeed: native = MADV_WILLNEED; break;
+  }
+  // Best effort by contract; failure changes performance, not behavior.
+  (void)::madvise(const_cast<uint8_t*>(data_), size_, native);
+#else
+  (void)advice;
+#endif
+}
+
+MappedFile& MappedFile::operator=(MappedFile&& other) noexcept {
+  if (this == &other) return *this;
+#if TABBIN_STORE_HAVE_MMAP
+  if (mapped_ && data_ != nullptr) {
+    (void)::munmap(const_cast<uint8_t*>(data_), size_);
+  }
+#endif
+  data_ = other.data_;
+  size_ = other.size_;
+  mapped_ = other.mapped_;
+  fallback_ = std::move(other.fallback_);
+  path_ = std::move(other.path_);
+  if (!mapped_) data_ = fallback_.empty() ? nullptr : fallback_.data();
+  other.data_ = nullptr;
+  other.size_ = 0;
+  other.mapped_ = false;
+  return *this;
+}
+
+MappedFile::~MappedFile() {
+#if TABBIN_STORE_HAVE_MMAP
+  if (mapped_ && data_ != nullptr) {
+    (void)::munmap(const_cast<uint8_t*>(data_), size_);
+  }
+#endif
+}
+
+size_t StorePageSize() {
+#if TABBIN_STORE_HAVE_MMAP
+  const long ps = ::sysconf(_SC_PAGESIZE);
+  if (ps > 0) return static_cast<size_t>(ps);
+#endif
+  return 4096;
+}
+
+}  // namespace tabbin

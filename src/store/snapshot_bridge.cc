@@ -1,0 +1,49 @@
+#include "store/snapshot_bridge.h"
+
+#include <map>
+#include <utility>
+#include <vector>
+
+#include "store/generation.h"
+
+namespace tabbin {
+
+void AppendBridgeSections(const SnapshotWriter& src,
+                          PagedSnapshotWriter* dst) {
+  for (const auto& [name, writer] : src.sections()) {
+    dst->AddSection(name)->WriteBytes(writer->buffer().data(),
+                                      writer->buffer().size());
+  }
+}
+
+Result<SnapshotReader> ExtractBridgeSections(
+    const PagedSnapshotReader& reader) {
+  std::map<std::string, std::vector<uint8_t>> sections;
+  for (const PagedSnapshotReader::SectionInfo& info : reader.sections()) {
+    const bool bridged = info.name.rfind("tabbin.", 0) == 0 ||
+                         info.name == "service.options";
+    if (!bridged) continue;
+    TABBIN_ASSIGN_OR_RETURN(ByteSpan span, reader.SectionSpan(info.name));
+    sections.emplace(info.name,
+                     std::vector<uint8_t>(span.data, span.data + span.size));
+  }
+  return SnapshotReader::FromSections(std::move(sections));
+}
+
+Result<std::string> ResolveSnapshotPath(const std::string& path) {
+  if (!IsDirectory(path)) return path;
+  return ResolveGeneration(path);
+}
+
+Status WriteStoreSnapshot(const std::string& path,
+                          const PagedSnapshotWriter& w) {
+  if (IsDirectory(path)) {
+    TABBIN_ASSIGN_OR_RETURN(uint64_t generation,
+                            PublishGeneration(path, w.Assemble()));
+    (void)generation;
+    return Status::OK();
+  }
+  return w.ToFile(path);
+}
+
+}  // namespace tabbin

@@ -1,0 +1,48 @@
+// Glue between the v1 stream container (util/snapshot.h) and the v2
+// paged store (store/paged_snapshot.h), plus the path conventions the
+// two save/load formats share.
+//
+// The model/options sections are metadata-sized, so the v2 format does
+// not re-invent their byte layout: a writer renders them with the v1
+// serializers into a scratch SnapshotWriter and bridges the bytes into
+// the paged container verbatim (AppendBridgeSections); a reader copies
+// them back out into a synthetic SnapshotReader (ExtractBridgeSections)
+// and runs the unchanged v1 parsers. Only the bulk corpus state gets a
+// v2-native, page-aligned layout (service/shard_store.cc).
+#ifndef TABBIN_STORE_SNAPSHOT_BRIDGE_H_
+#define TABBIN_STORE_SNAPSHOT_BRIDGE_H_
+
+#include <string>
+
+#include "store/paged_snapshot.h"
+#include "util/snapshot.h"
+#include "util/status.h"
+
+namespace tabbin {
+
+/// \brief Copies every section of `src` into `dst` byte-for-byte
+/// (alignment 1 — bridged sections are metadata, not bulk blocks).
+void AppendBridgeSections(const SnapshotWriter& src,
+                          PagedSnapshotWriter* dst);
+
+/// \brief Copies the bridged model/options sections ("tabbin.*" and
+/// "service.options") out of a paged store into a synthetic v1 reader,
+/// checksum-validating each. Sections a v1 parser never looks at
+/// (bulk "store.*" state) are skipped.
+Result<SnapshotReader> ExtractBridgeSections(
+    const PagedSnapshotReader& reader);
+
+/// \brief Maps a user-supplied path to the snapshot file to open: a
+/// directory resolves through its generation MANIFEST
+/// (store/generation.h), anything else is returned as-is.
+Result<std::string> ResolveSnapshotPath(const std::string& path);
+
+/// \brief Writes an assembled v2 snapshot to `path`: into an existing
+/// directory as the next generation (MANIFEST swing), otherwise as a
+/// single file via temp + fsync + atomic rename.
+Status WriteStoreSnapshot(const std::string& path,
+                          const PagedSnapshotWriter& w);
+
+}  // namespace tabbin
+
+#endif  // TABBIN_STORE_SNAPSHOT_BRIDGE_H_

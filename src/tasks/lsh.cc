@@ -101,7 +101,14 @@ Result<LshIndex> LshIndex::Deserialize(BinaryReader* r) {
   index.count_ = count;
   for (int t = 0; t < num_tables; ++t) {
     TABBIN_ASSIGN_OR_RETURN(uint64_t buckets, r->ReadU64());
+    // A bucket is at least (key, count) = 16 bytes; a count past that
+    // bound is hostile, and checking it before reserve() keeps a forged
+    // header from turning into a giant allocation.
+    if (buckets > r->remaining() / 16) {
+      return Status::ParseError("LshIndex: bucket count past end of stream");
+    }
     auto& table = index.tables_[static_cast<size_t>(t)];
+    table.reserve(static_cast<size_t>(buckets));
     for (uint64_t b = 0; b < buckets; ++b) {
       TABBIN_ASSIGN_OR_RETURN(uint64_t key, r->ReadU64());
       TABBIN_ASSIGN_OR_RETURN(uint64_t n_ids, r->ReadU64());
@@ -109,11 +116,11 @@ Result<LshIndex> LshIndex::Deserialize(BinaryReader* r) {
         return Status::ParseError("LshIndex: bucket past end of stream");
       }
       std::vector<int>& ids = table[key];
-      ids.reserve(static_cast<size_t>(n_ids));
-      for (uint64_t i = 0; i < n_ids; ++i) {
-        TABBIN_ASSIGN_OR_RETURN(int32_t id, r->ReadI32());
-        ids.push_back(id);
-      }
+      ids.resize(static_cast<size_t>(n_ids));
+      static_assert(sizeof(int) == sizeof(int32_t),
+                    "bulk id read assumes 32-bit int");
+      TABBIN_RETURN_IF_ERROR(
+          r->ReadI32Into(ids.data(), n_ids));
     }
   }
   return index;

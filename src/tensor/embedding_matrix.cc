@@ -8,6 +8,9 @@
 namespace tabbin {
 
 void EmbeddingMatrix::Assign(size_t rows, size_t cols, const float* src) {
+  base_data_ = nullptr;
+  base_rows_ = 0;
+  owner_.reset();
   rows_ = rows;
   cols_ = cols;
   data_.resize(rows * cols);
@@ -20,8 +23,10 @@ void EmbeddingMatrix::Assign(size_t rows, size_t cols, const float* src) {
 void EmbeddingMatrix::AppendRow(VecView v) {
   if (rows_ == 0 && cols_ == 0) cols_ = v.size();
   const size_t n = std::min(cols_, v.size());
+  // data_ holds only the delta rows in external mode, so the write
+  // position is delta-relative (== the old end of data_ either way).
   data_.resize(data_.size() + cols_, 0.0f);
-  float* dst = data_.data() + rows_ * cols_;
+  float* dst = data_.data() + data_.size() - cols_;
   if (n > 0) std::memcpy(dst, v.data(), n * sizeof(float));
   ++rows_;
   // Norm of the STORED row (post pad/truncate), so the cache is exact
@@ -36,7 +41,7 @@ void EmbeddingMatrix::AppendRow(VecView v) {
 }
 
 void EmbeddingMatrix::set_row(size_t r, VecView v) {
-  float* dst = data_.data() + r * cols_;
+  float* dst = mutable_row(r);  // asserts r is not a borrowed base row
   const size_t n = std::min(cols_, v.size());
   if (n > 0) std::memcpy(dst, v.data(), n * sizeof(float));
   if (n < cols_) std::memset(dst + n, 0, (cols_ - n) * sizeof(float));
@@ -47,13 +52,136 @@ void EmbeddingMatrix::set_row(size_t r, VecView v) {
 void EmbeddingMatrix::RecomputeInvNorms() {
   inv_norms_.resize(rows_);
   for (size_t r = 0; r < rows_; ++r) {
-    inv_norms_[r] = kernels::InvNorm(data_.data() + r * cols_, cols_);
+    inv_norms_[r] = kernels::InvNorm(row_ptr(r), cols_);
   }
   if (quantized_) {
     codes_.resize(rows_ * cols_);
     code_params_.resize(rows_);
     dequant_.resize(2 * rows_);
     for (size_t r = 0; r < rows_; ++r) QuantizeRow(r);
+  }
+}
+
+void EmbeddingMatrix::WrapExternal(const float* data, size_t rows,
+                                   size_t cols,
+                                   std::shared_ptr<const void> owner,
+                                   const float* inv_norms) {
+  // Clear() drops the codes but not the flag; re-arm below so a
+  // previously-quantized matrix re-encodes the wrapped rows instead of
+  // advertising an empty sidecar.
+  const bool was_quantized = quantized_;
+  quantized_ = false;
+  Clear();
+  base_data_ = data;
+  base_rows_ = rows;
+  rows_ = rows;
+  cols_ = cols;
+  owner_ = std::move(owner);
+  inv_norms_.resize(rows);
+  if (inv_norms != nullptr) {
+    if (rows > 0) {
+      std::memcpy(inv_norms_.data(), inv_norms, rows * sizeof(float));
+    }
+  } else {
+    for (size_t r = 0; r < rows; ++r) {
+      inv_norms_[r] = kernels::InvNorm(data + r * cols, cols);
+    }
+  }
+  if (was_quantized) EnableQuantization();
+}
+
+void EmbeddingMatrix::CosineRows(const float* q, float inv_q,
+                                 const int* rows, size_t nrows,
+                                 float* out) const {
+  if (nrows == 0) return;
+  if (base_data_ == nullptr) {
+    kernels::BatchedCosineRows(q, inv_q, data_.data(), cols_, rows, nrows,
+                               inv_norms_.data(), out);
+    return;
+  }
+  // Common serving case: no writes since the wrap — every index is a
+  // base row and one kernel pass over the mapping suffices.
+  bool all_base = true;
+  for (size_t i = 0; i < nrows; ++i) {
+    if (static_cast<size_t>(rows[i]) >= base_rows_) {
+      all_base = false;
+      break;
+    }
+  }
+  if (all_base) {
+    kernels::BatchedCosineRows(q, inv_q, base_data_, cols_, rows, nrows,
+                               inv_norms_.data(), out);
+    return;
+  }
+  // Mixed: split by segment, run each through the kernel against its
+  // block, and scatter back to the caller's order. Delta indices are
+  // rebased so the kernel reads data_ — and its row_inv_norms base is
+  // rebased in lockstep, so norms[i] still matches row rows[i]. Each
+  // row's score is one kernel evaluation either way: bit-identical to
+  // the owned-storage single pass.
+  std::vector<int> idx;
+  std::vector<size_t> pos;
+  std::vector<float> tmp;
+  idx.reserve(nrows);
+  pos.reserve(nrows);
+  for (size_t i = 0; i < nrows; ++i) {
+    if (static_cast<size_t>(rows[i]) < base_rows_) {
+      idx.push_back(rows[i]);
+      pos.push_back(i);
+    }
+  }
+  tmp.resize(nrows);
+  if (!idx.empty()) {
+    kernels::BatchedCosineRows(q, inv_q, base_data_, cols_, idx.data(),
+                               idx.size(), inv_norms_.data(), tmp.data());
+    for (size_t i = 0; i < idx.size(); ++i) out[pos[i]] = tmp[i];
+  }
+  idx.clear();
+  pos.clear();
+  for (size_t i = 0; i < nrows; ++i) {
+    if (static_cast<size_t>(rows[i]) >= base_rows_) {
+      idx.push_back(rows[i] - static_cast<int>(base_rows_));
+      pos.push_back(i);
+    }
+  }
+  if (!idx.empty()) {
+    kernels::BatchedCosineRows(q, inv_q, data_.data(), cols_, idx.data(),
+                               idx.size(), inv_norms_.data() + base_rows_,
+                               tmp.data());
+    for (size_t i = 0; i < idx.size(); ++i) out[pos[i]] = tmp[i];
+  }
+}
+
+void EmbeddingMatrix::MaterializeOwned() {
+  if (base_data_ == nullptr) return;
+  std::vector<float> full(rows_ * cols_);
+  if (base_rows_ > 0) {
+    std::memcpy(full.data(), base_data_, base_rows_ * cols_ * sizeof(float));
+  }
+  if (!data_.empty()) {
+    std::memcpy(full.data() + base_rows_ * cols_, data_.data(),
+                data_.size() * sizeof(float));
+  }
+  data_ = std::move(full);
+  base_data_ = nullptr;
+  base_rows_ = 0;
+  owner_.reset();
+}
+
+void EmbeddingMatrix::AdoptQuantizedSidecar(
+    const int8_t* codes, std::vector<kernels::RowQuantParams> params) {
+  assert(params.size() == rows_ && "sidecar params/rows mismatch");
+  quantized_ = true;
+  codes_.resize(rows_ * cols_);
+  if (!codes_.empty()) {
+    std::memcpy(codes_.data(), codes, codes_.size());
+  }
+  code_params_ = std::move(params);
+  dequant_.resize(2 * rows_);
+  for (size_t r = 0; r < rows_; ++r) {
+    const float a = code_params_[r].scale * inv_norms_[r];
+    dequant_[2 * r] = a;
+    dequant_[2 * r + 1] = static_cast<float>(code_params_[r].zero) * a;
   }
 }
 
@@ -78,7 +206,7 @@ void EmbeddingMatrix::DisableQuantization() {
 
 void EmbeddingMatrix::QuantizeRow(size_t r) {
   code_params_[r] = kernels::QuantizeRowAffine(
-      data_.data() + r * cols_, cols_, codes_.data() + r * cols_);
+      row_ptr(r), cols_, codes_.data() + r * cols_);
   const float a = code_params_[r].scale * inv_norms_[r];
   dequant_[2 * r] = a;
   dequant_[2 * r + 1] = static_cast<float>(code_params_[r].zero) * a;
@@ -87,7 +215,25 @@ void EmbeddingMatrix::QuantizeRow(size_t r) {
 void EmbeddingMatrix::Serialize(BinaryWriter* w) const {
   w->WriteU64(rows_);
   w->WriteU64(cols_);
-  w->WriteF32Vector(data_);
+  if (base_data_ == nullptr) {
+    w->WriteF32Vector(data_);
+    return;
+  }
+  // External mode: emit the identical bytes WriteF32Vector would for
+  // the logical full block — count, then base segment, then delta — so
+  // the byte format is storage-mode-independent.
+  w->WriteU64(rows_ * cols_);
+  w->WriteBytes(base_data_, base_rows_ * cols_ * sizeof(float));
+  w->WriteBytes(data_.data(), data_.size() * sizeof(float));
+}
+
+void EmbeddingMatrix::AppendRowBytes(BinaryWriter* w) const {
+  if (base_data_ != nullptr && base_rows_ > 0) {
+    w->WriteBytes(base_data_, base_rows_ * cols_ * sizeof(float));
+  }
+  if (!data_.empty()) {
+    w->WriteBytes(data_.data(), data_.size() * sizeof(float));
+  }
 }
 
 Result<EmbeddingMatrix> EmbeddingMatrix::Deserialize(BinaryReader* r) {

@@ -18,8 +18,10 @@
 #ifndef TABBIN_TENSOR_EMBEDDING_MATRIX_H_
 #define TABBIN_TENSOR_EMBEDDING_MATRIX_H_
 
+#include <cassert>
 #include <cstddef>
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "tensor/kernels.h"
@@ -70,15 +72,38 @@ class EmbeddingMatrix {
   size_t rows() const { return rows_; }
   size_t cols() const { return cols_; }
   bool empty() const { return rows_ == 0; }
-  size_t size() const { return data_.size(); }
+  size_t size() const { return rows_ * cols_; }
 
-  const float* data() const { return data_.data(); }
-  float* data() { return data_.data(); }
-
-  VecView row(size_t r) const {
-    return VecView(data_.data() + r * cols_, cols_);
+  // Whole-block accessors are owned-storage only: an external matrix
+  // has no single contiguous block (base mapping + heap delta). Batched
+  // scoring goes through CosineRows, per-row reads through row()/
+  // row_ptr().
+  const float* data() const {
+    assert(base_data_ == nullptr && "data() on an external matrix");
+    return data_.data();
   }
-  float* mutable_row(size_t r) { return data_.data() + r * cols_; }
+  float* data() {
+    assert(base_data_ == nullptr && "data() on an external matrix");
+    return data_.data();
+  }
+
+  VecView row(size_t r) const { return VecView(row_ptr(r), cols_); }
+
+  /// \brief Pointer to row r wherever it lives: the borrowed base block
+  /// for r < base_rows(), the heap delta above it.
+  const float* row_ptr(size_t r) const {
+    return r < base_rows_ ? base_data_ + r * cols_
+                          : data_.data() + (r - base_rows_) * cols_;
+  }
+
+  float* mutable_row(size_t r) {
+    // Base rows live in a read-only mapping; writing through them is a
+    // hard bug (SIGSEGV at best). The serving layer never rewrites rows
+    // in place (replacement = tombstone + append), so only delta rows
+    // are ever mutable.
+    assert(r >= base_rows_ && "mutable_row() on a borrowed (mapped) row");
+    return data_.data() + (r - base_rows_) * cols_;
+  }
 
   /// \brief Replaces the contents with a rows x cols block copied from
   /// `src` (row-major, rows * cols floats).
@@ -105,6 +130,50 @@ class EmbeddingMatrix {
   /// this is the one hook raw data()/mutable_row() writers already
   /// call, so enabling quantization adds no new maintenance duty).
   void RecomputeInvNorms();
+
+  // --- Borrowed (mapped) base storage -----------------------------------
+  // The zero-copy serving mode behind the paged snapshot store: the
+  // first base_rows() rows live in an external read-only block (a
+  // mapped snapshot section), rows appended afterwards go to the owned
+  // heap delta. Sidecars (inverse norms, int8 codes) are always
+  // per-process heap, full-length, and absolutely indexed — so the
+  // quantized scan and inv_norm() behave identically in both modes.
+
+  /// \brief Replaces the contents with a borrowed [rows, cols] row-major
+  /// block. `owner` keeps the backing storage (typically a mapped
+  /// snapshot) alive for the matrix's lifetime. When `inv_norms` is
+  /// non-null it supplies the rows cached inverse norms (persisted at
+  /// save time — adopting them avoids faulting in every row page on
+  /// load); otherwise they are recomputed from the block.
+  void WrapExternal(const float* data, size_t rows, size_t cols,
+                    std::shared_ptr<const void> owner,
+                    const float* inv_norms = nullptr);
+
+  bool is_external() const { return base_data_ != nullptr; }
+  size_t base_rows() const { return base_rows_; }
+  size_t delta_rows() const { return rows_ - base_rows_; }
+
+  /// \brief Batched cosine of `q` (with cached inv_q) against the
+  /// listed rows, out[i] matching rows[i]. Owned matrices take one
+  /// kernels::BatchedCosineRows pass; external ones split the indices
+  /// by segment and scatter — per-row arithmetic is the same kernel
+  /// either way, so scores are bit-identical across storage modes.
+  void CosineRows(const float* q, float inv_q, const int* rows,
+                  size_t nrows, float* out) const;
+
+  /// \brief Copies the borrowed base into owned heap storage and drops
+  /// the external reference (no-op when already owned). Sidecars are
+  /// untouched — they are already heap-resident and absolutely indexed.
+  void MaterializeOwned();
+
+  /// \brief Installs a persisted int8 sidecar instead of re-encoding
+  /// rows: copies [rows(), cols()] codes and takes the per-row params,
+  /// rebuilding the fused dequant constants from the current inverse
+  /// norms. `params.size()` must equal rows(). Equivalent to
+  /// EnableQuantization() bit for bit (QuantizeRowAffine is
+  /// deterministic), minus the page faults of reading every row.
+  void AdoptQuantizedSidecar(const int8_t* codes,
+                             std::vector<kernels::RowQuantParams> params);
 
   // --- Int8 scalar-quantized sidecar ------------------------------------
   // Opt-in per matrix: the serving shards enable it when the
@@ -152,6 +221,9 @@ class EmbeddingMatrix {
   void Clear() {
     rows_ = 0;
     cols_ = 0;
+    base_data_ = nullptr;
+    base_rows_ = 0;
+    owner_.reset();
     data_.clear();
     inv_norms_.clear();
     codes_.clear();
@@ -170,12 +242,24 @@ class EmbeddingMatrix {
   /// inverse-norm cache is recomputed from the loaded rows.
   static Result<EmbeddingMatrix> Deserialize(BinaryReader* r);
 
+  /// \brief Writes exactly rows() * cols() raw floats of row data (no
+  /// header; base block then delta) — the page-aligned block format of
+  /// the paged snapshot store, which a reader WrapExternal()s in place.
+  void AppendRowBytes(BinaryWriter* w) const;
+
  private:
   // Re-encodes row r into the sidecar (requires quantized_).
   void QuantizeRow(size_t r);
 
   size_t rows_ = 0;
   size_t cols_ = 0;
+  // External mode: the first base_rows_ rows are read through
+  // base_data_ (borrowed; owner_ keeps it alive) and data_ holds ONLY
+  // the delta rows appended since. Owned mode: base_data_ is null,
+  // base_rows_ is 0, and data_ holds every row.
+  const float* base_data_ = nullptr;
+  size_t base_rows_ = 0;
+  std::shared_ptr<const void> owner_;
   std::vector<float> data_;
   // inv_norms_[r] == kernels::InvNorm(row r); always rows_ entries.
   std::vector<float> inv_norms_;

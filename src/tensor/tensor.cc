@@ -42,6 +42,7 @@ Tensor Tensor::FromData(std::vector<int> shape, std::vector<float> data,
 Tensor Tensor::Randn(std::vector<int> shape, Rng* rng, float stddev,
                      bool requires_grad) {
   Tensor t = Zeros(std::move(shape), requires_grad);
+  if (rng == nullptr) return t;  // deferred init: stay zero
   for (auto& v : t.vec()) {
     v = static_cast<float>(rng->Gaussian(0.0, stddev));
   }
@@ -51,6 +52,7 @@ Tensor Tensor::Randn(std::vector<int> shape, Rng* rng, float stddev,
 Tensor Tensor::RandUniform(std::vector<int> shape, Rng* rng, float bound,
                            bool requires_grad) {
   Tensor t = Zeros(std::move(shape), requires_grad);
+  if (rng == nullptr) return t;  // deferred init: stay zero
   for (auto& v : t.vec()) {
     v = rng->UniformFloat(-bound, bound);
   }

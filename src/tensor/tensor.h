@@ -78,10 +78,14 @@ class Tensor {
   /// \brief Tensor adopting the given row-major data.
   static Tensor FromData(std::vector<int> shape, std::vector<float> data,
                          bool requires_grad = false);
-  /// \brief Gaussian-initialized tensor (mean 0).
+  /// \brief Gaussian-initialized tensor (mean 0). A null `rng` defers
+  /// initialization and leaves the tensor zero — for parameters a
+  /// deserializer is about to overwrite, where drawing the random
+  /// values would be pure load-time waste.
   static Tensor Randn(std::vector<int> shape, Rng* rng, float stddev,
                       bool requires_grad = false);
-  /// \brief Uniform(-bound, bound) initialized tensor.
+  /// \brief Uniform(-bound, bound) initialized tensor (zero when `rng`
+  /// is null, as with Randn).
   static Tensor RandUniform(std::vector<int> shape, Rng* rng, float bound,
                             bool requires_grad = false);
 

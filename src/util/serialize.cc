@@ -15,7 +15,8 @@ Status BinaryWriter::ToFile(const std::string& path) const {
   return Status::OK();
 }
 
-Result<BinaryReader> BinaryReader::FromFile(const std::string& path) {
+Result<BinaryReader> BinaryReader::FromFile(const std::string& path,
+                                            uint64_t max_bytes) {
   std::FILE* f = std::fopen(path.c_str(), "rb");
   if (!f) return Status::IoError("cannot open for read: " + path);
   // ftell can legitimately fail (pipes, directories, >2GiB on 32-bit
@@ -33,6 +34,12 @@ Result<BinaryReader> BinaryReader::FromFile(const std::string& path) {
   if (std::fseek(f, 0, SEEK_SET) != 0) {
     std::fclose(f);
     return Status::IoError("cannot rewind " + path);
+  }
+  if (static_cast<uint64_t>(size) > max_bytes) {
+    std::fclose(f);
+    return Status::OutOfRange(
+        "refusing to load " + path + ": " + std::to_string(size) +
+        " bytes exceeds the " + std::to_string(max_bytes) + " byte cap");
   }
   std::vector<uint8_t> buf(static_cast<size_t>(size));
   size_t got = size ? std::fread(buf.data(), 1, buf.size(), f) : 0;
@@ -78,6 +85,15 @@ Result<std::vector<uint8_t>> BinaryReader::ReadBytes(uint64_t n) {
                            buf_.begin() + static_cast<long>(pos_ + n));
   pos_ += static_cast<size_t>(n);
   return out;
+}
+
+Status BinaryReader::ReadI32Into(int32_t* dst, uint64_t n) {
+  if (n > remaining() / sizeof(int32_t)) {
+    return Status::OutOfRange("BinaryReader: i32 block past end of buffer");
+  }
+  std::memcpy(dst, buf_.data() + pos_, n * sizeof(int32_t));
+  pos_ += static_cast<size_t>(n) * sizeof(int32_t);
+  return Status::OK();
 }
 
 }  // namespace tabbin

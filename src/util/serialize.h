@@ -54,8 +54,16 @@ class BinaryReader {
  public:
   explicit BinaryReader(std::vector<uint8_t> buf) : buf_(std::move(buf)) {}
 
-  /// \brief Loads a whole file into a reader.
-  static Result<BinaryReader> FromFile(const std::string& path);
+  // 1 GiB: generous for every artifact this reader loads (model
+  // checkpoints, v1 snapshots), small enough that a hostile path can
+  // never turn the pre-validation read into a multi-GiB allocation.
+  static constexpr uint64_t kDefaultMaxFileBytes = 1ull << 30;
+
+  /// \brief Loads a whole file into a reader. Files larger than
+  /// `max_bytes` are rejected with OutOfRange BEFORE any allocation —
+  /// the size check is the first validation, not the last.
+  static Result<BinaryReader> FromFile(
+      const std::string& path, uint64_t max_bytes = kDefaultMaxFileBytes);
 
   Result<uint32_t> ReadU32() { return ReadPod<uint32_t>(); }
   Result<uint64_t> ReadU64() { return ReadPod<uint64_t>(); }
@@ -67,6 +75,11 @@ class BinaryReader {
   Result<std::vector<float>> ReadF32Vector();
   /// \brief Reads exactly `n` raw bytes (bounds-checked).
   Result<std::vector<uint8_t>> ReadBytes(uint64_t n);
+  /// \brief Bulk-reads `n` contiguous i32 values into `dst` (which must
+  /// hold n entries) with one bounds check and one memcpy — the hot
+  /// path for id lists at load time, where per-element ReadI32 calls
+  /// pay Result-wrapping overhead n times.
+  Status ReadI32Into(int32_t* dst, uint64_t n);
 
   bool AtEnd() const { return pos_ == buf_.size(); }
   /// \brief Moves the whole underlying buffer out, regardless of read

@@ -89,6 +89,13 @@ Result<SnapshotReader> SnapshotReader::FromBuffer(std::vector<uint8_t> buf) {
   return out;
 }
 
+SnapshotReader SnapshotReader::FromSections(
+    std::map<std::string, std::vector<uint8_t>> sections) {
+  SnapshotReader out;
+  out.sections_ = std::move(sections);
+  return out;
+}
+
 Result<SnapshotReader> SnapshotReader::FromFile(const std::string& path) {
   TABBIN_ASSIGN_OR_RETURN(BinaryReader r, BinaryReader::FromFile(path));
   return FromBuffer(std::move(r).TakeBuffer());

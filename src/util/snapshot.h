@@ -48,6 +48,14 @@ class SnapshotWriter {
 
   Status ToFile(const std::string& path) const;
 
+  /// \brief The sections in insertion order — the bridge the v2 paged
+  /// store (store/paged_snapshot.h) uses to re-home v1 logical sections
+  /// (system weights, options) without re-deriving their byte formats.
+  const std::vector<std::pair<std::string, std::unique_ptr<BinaryWriter>>>&
+  sections() const {
+    return sections_;
+  }
+
  private:
   void AssembleInto(BinaryWriter* out) const;
 
@@ -63,6 +71,14 @@ class SnapshotReader {
   /// unusable and nothing was partially parsed.
   static Result<SnapshotReader> FromBuffer(std::vector<uint8_t> buf);
   static Result<SnapshotReader> FromFile(const std::string& path);
+
+  /// \brief Wraps already-extracted section payloads (the inverse of
+  /// SnapshotWriter::sections()): how v1-format parsers (TabBiNSystem,
+  /// service options) run unchanged over sections that actually live
+  /// inside a v2 paged snapshot. No container-level validation — the
+  /// caller extracted the payloads from an already-validated file.
+  static SnapshotReader FromSections(
+      std::map<std::string, std::vector<uint8_t>> sections);
 
   bool HasSection(const std::string& name) const {
     return sections_.count(name) > 0;

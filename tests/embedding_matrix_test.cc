@@ -4,6 +4,9 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdint>
+#include <cstring>
+#include <memory>
 #include <vector>
 
 #include "core/tabbin.h"
@@ -113,6 +116,130 @@ TEST(CosineSimilarityTest, MatrixRowsMatchOwnedVectors) {
   m.AppendRow(b);
   EXPECT_FLOAT_EQ(CosineSimilarity(m.row(0), m.row(1)),
                   CosineSimilarity(a, b));
+}
+
+// --- Borrowed (mapped) base storage -------------------------------------
+
+// Deterministic pseudo-random row: value depends only on (r, c).
+std::vector<float> TestRow(size_t r, size_t cols) {
+  std::vector<float> row(cols);
+  for (size_t c = 0; c < cols; ++c) {
+    uint32_t h = static_cast<uint32_t>(r * 2654435761u + c * 40503u + 17u);
+    h ^= h >> 13;
+    row[c] = static_cast<float>(static_cast<int32_t>(h % 2001) - 1000) / 250.0f;
+  }
+  return row;
+}
+
+EmbeddingMatrix OwnedMatrix(size_t rows, size_t cols) {
+  EmbeddingMatrix m;
+  for (size_t r = 0; r < rows; ++r) m.AppendRow(TestRow(r, cols));
+  return m;
+}
+
+// Wraps the first `base` rows of an owned reference as an external block
+// (backed by a shared vector, like a mapped snapshot section) and appends
+// the remainder as heap delta rows.
+EmbeddingMatrix SplitMatrix(const EmbeddingMatrix& ref, size_t base,
+                            bool adopt_norms) {
+  auto block = std::make_shared<std::vector<float>>(
+      ref.data(), ref.data() + base * ref.cols());
+  EmbeddingMatrix m;
+  m.WrapExternal(block->data(), base, ref.cols(), block,
+                 adopt_norms ? ref.inv_norms() : nullptr);
+  for (size_t r = base; r < ref.rows(); ++r)
+    m.AppendRow(TestRow(r, ref.cols()));
+  return m;
+}
+
+TEST(ExternalStorageTest, MixedSegmentCosinesBitIdenticalToOwned) {
+  const size_t kRows = 37, kCols = 24, kBase = 29;
+  EmbeddingMatrix owned = OwnedMatrix(kRows, kCols);
+  EmbeddingMatrix split = SplitMatrix(owned, kBase, /*adopt_norms=*/false);
+  ASSERT_TRUE(split.is_external());
+  EXPECT_EQ(split.base_rows(), kBase);
+  EXPECT_EQ(split.delta_rows(), kRows - kBase);
+  ASSERT_FALSE(owned.is_external());
+
+  std::vector<float> q = TestRow(1234, kCols);
+  // Any query scale works — both matrices receive the same value.
+  float inv_q = owned.inv_norm(0);
+  // Interleave base and delta rows so the external path must split and
+  // scatter; include repeats and boundary rows.
+  std::vector<int> idx = {0, 36, 29, 5, 28, 30, 5, 17, 35, 1, 29};
+  std::vector<float> got(idx.size()), want(idx.size());
+  owned.CosineRows(q.data(), inv_q, idx.data(), idx.size(), want.data());
+  split.CosineRows(q.data(), inv_q, idx.data(), idx.size(), got.data());
+  for (size_t i = 0; i < idx.size(); ++i) {
+    // Bitwise, not approximate: mapped serving must be byte-identical.
+    EXPECT_EQ(std::memcmp(&got[i], &want[i], sizeof(float)), 0)
+        << "row " << idx[i];
+  }
+}
+
+TEST(ExternalStorageTest, AdoptedInvNormsMatchRecomputed) {
+  const size_t kRows = 12, kCols = 16, kBase = 12;
+  EmbeddingMatrix owned = OwnedMatrix(kRows, kCols);
+  EmbeddingMatrix adopted = SplitMatrix(owned, kBase, /*adopt_norms=*/true);
+  EmbeddingMatrix recomputed = SplitMatrix(owned, kBase, /*adopt_norms=*/false);
+  for (size_t r = 0; r < kRows; ++r) {
+    EXPECT_EQ(adopted.inv_norm(r), owned.inv_norm(r)) << r;
+    EXPECT_EQ(recomputed.inv_norm(r), owned.inv_norm(r)) << r;
+  }
+}
+
+TEST(ExternalStorageTest, MaterializeOwnedPreservesBytes) {
+  const size_t kRows = 9, kCols = 8, kBase = 6;
+  EmbeddingMatrix owned = OwnedMatrix(kRows, kCols);
+  EmbeddingMatrix split = SplitMatrix(owned, kBase, /*adopt_norms=*/true);
+  split.MaterializeOwned();
+  EXPECT_FALSE(split.is_external());
+  ASSERT_EQ(split.rows(), owned.rows());
+  ASSERT_EQ(split.cols(), owned.cols());
+  EXPECT_EQ(std::memcmp(split.data(), owned.data(),
+                        kRows * kCols * sizeof(float)),
+            0);
+  split.MaterializeOwned();  // no-op when already owned
+  EXPECT_FALSE(split.is_external());
+}
+
+TEST(ExternalStorageTest, AdoptQuantizedSidecarMatchesReencoding) {
+  const size_t kRows = 15, kCols = 20;
+  EmbeddingMatrix reference = OwnedMatrix(kRows, kCols);
+  reference.EnableQuantization();
+
+  EmbeddingMatrix adopted = OwnedMatrix(kRows, kCols);
+  std::vector<kernels::RowQuantParams> params(kRows);
+  for (size_t r = 0; r < kRows; ++r) {
+    params[r].scale = reference.code_scale(r);
+    params[r].zero = reference.code_zero(r);
+  }
+  adopted.AdoptQuantizedSidecar(reference.codes(), std::move(params));
+  ASSERT_TRUE(adopted.quantized());
+  EXPECT_EQ(std::memcmp(adopted.codes(), reference.codes(), kRows * kCols), 0);
+
+  QuantizedQuery q = MakeQuantizedQuery(TestRow(777, kCols));
+  std::vector<int> idx(kRows);
+  for (size_t r = 0; r < kRows; ++r) idx[r] = static_cast<int>(r);
+  std::vector<float> got(kRows), want(kRows);
+  QuantizedCosineRows(reference, q, idx.data(), idx.size(), want.data());
+  QuantizedCosineRows(adopted, q, idx.data(), idx.size(), got.data());
+  EXPECT_EQ(std::memcmp(got.data(), want.data(), kRows * sizeof(float)), 0);
+}
+
+TEST(ExternalStorageTest, WrapExternalRearmsQuantizedSidecar) {
+  const size_t kRows = 10, kCols = 12;
+  EmbeddingMatrix owned = OwnedMatrix(kRows, kCols);
+  owned.EnableQuantization();
+
+  EmbeddingMatrix wrapped = OwnedMatrix(3, kCols);
+  wrapped.EnableQuantization();
+  auto block = std::make_shared<std::vector<float>>(
+      owned.data(), owned.data() + kRows * kCols);
+  wrapped.WrapExternal(block->data(), kRows, kCols, block);
+  // The sidecar survives the storage swap and re-encodes the new rows.
+  ASSERT_TRUE(wrapped.quantized());
+  EXPECT_EQ(std::memcmp(wrapped.codes(), owned.codes(), kRows * kCols), 0);
 }
 
 }  // namespace

@@ -366,7 +366,7 @@ class ShardedManifestCorruptionTest : public ::testing::Test {
     ASSERT_GT(live0_, 0u);
     ASSERT_GT(live1_, 0u);
     SnapshotWriter w;
-    svc.AppendTo(&w);
+    ASSERT_TRUE(svc.AppendTo(&w).ok());
     auto snapshot = SnapshotReader::FromBuffer(w.Assemble());
     ASSERT_TRUE(snapshot.ok());
     sections_ = SectionBytes(snapshot.value());

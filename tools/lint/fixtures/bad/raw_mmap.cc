@@ -1,0 +1,16 @@
+// Fixture: MUST trip raw-mmap (and only that rule).
+// Maps a file directly instead of going through MappedFile, escaping
+// the store layer's unmap lifetime and no-mmap fallback.
+#include <sys/mman.h>
+
+namespace tabbin {
+
+const void* BadRawMapping(int fd, unsigned long size) {
+  void* p = mmap(nullptr, size, PROT_READ, MAP_PRIVATE, fd, 0);
+  if (p == MAP_FAILED) return nullptr;
+  return p;  // nobody ever munmap()s this, and nothing keeps fd alive
+}
+
+void BadRawUnmapping(void* p, unsigned long size) { munmap(p, size); }
+
+}  // namespace tabbin

@@ -1,0 +1,17 @@
+// Fixture: near-miss for raw-mmap — MUST pass.
+// Mentions mappings only through the sanctioned MappedFile API (and in
+// comments/strings, which the linter strips before matching).
+#include "store/mapped_file.h"
+
+namespace tabbin {
+
+// Talking about mmap() in a comment is fine; calling it is not.
+Result<MappedFile> GoodMapping(const std::string& path) {
+  // MappedFile::Open handles mmap failure by falling back to a heap
+  // read, so callers never see the syscall.
+  return MappedFile::Open(path);
+}
+
+const char* GoodMessage() { return "mmap(2) stays inside src/store/"; }
+
+}  // namespace tabbin

@@ -37,9 +37,18 @@ kernel-bypass
 naked-new-sections
     Snapshot sections are created only through SnapshotWriter/
     SnapshotReader (and the section constants they define). Code
-    outside util/snapshot.* must not re-derive the container magic or
+    outside util/snapshot.* and the v2 container (store/
+    paged_snapshot.*) must not re-derive the container magic or
     hand-roll section framing; the byte format is frozen and
     re-implementations fork it.
+
+raw-mmap
+    mmap/munmap calls live only in src/store/ (MappedFile is the RAII
+    owner; everything else takes a ByteSpan). A raw mapping elsewhere
+    escapes the unmap/keepalive discipline — the exact use-after-unmap
+    and truncation-SIGBUS classes the store layer exists to contain —
+    and silently skips the read-into-buffer fallback for platforms and
+    filesystems where mmap fails.
 
 Suppression
 -----------
@@ -80,7 +89,10 @@ RULES = {
     ),
     "naked-new-sections": (
         "snapshot container magic / section framing re-derived outside "
-        "util/snapshot.*"
+        "util/snapshot.* and store/paged_snapshot.*"
+    ),
+    "raw-mmap": (
+        "raw mmap/munmap outside src/store/ (use store/mapped_file.h)"
     ),
 }
 
@@ -106,6 +118,14 @@ RULE_EXCLUDES = {
     "naked-new-sections": [
         "src/util/snapshot.h",
         "src/util/snapshot.cc",
+        # The v2 paged container shares the TBSN magic by design (same
+        # vocabulary, bumped version byte; see store/paged_snapshot.h).
+        "src/store/paged_snapshot.h",
+        "src/store/paged_snapshot.cc",
+    ],
+    "raw-mmap": [
+        # The store layer IS the sanctioned mmap owner.
+        "src/store/",
     ],
 }
 
@@ -373,11 +393,29 @@ def rule_naked_new_sections(path, code_lines, fn_ranges, mask):
     return findings
 
 
+MMAP_RE = re.compile(r"\b(mmap|mmap64|munmap)\s*\(")
+
+
+def rule_raw_mmap(path, code_lines, fn_ranges, mask):
+    findings = []
+    for idx, line in enumerate(code_lines):
+        m = MMAP_RE.search(line)
+        if m:
+            findings.append(Finding(
+                path, idx + 1, "raw-mmap",
+                "raw '%s' outside src/store/; go through MappedFile "
+                "(store/mapped_file.h) so unmap lifetime, keepalives, "
+                "and the no-mmap fallback stay in one place"
+                % m.group(1)))
+    return findings
+
+
 RULE_FNS = {
     "encode-under-lock": rule_encode_under_lock,
     "raw-row-mutation": rule_raw_row_mutation,
     "kernel-bypass": rule_kernel_bypass,
     "naked-new-sections": rule_naked_new_sections,
+    "raw-mmap": rule_raw_mmap,
 }
 
 
