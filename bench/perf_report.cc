@@ -6,16 +6,25 @@
 // incremental writes, plus snapshot cold start: v1 heap load vs v2
 // mapped open) with a self-contained timer — no google-benchmark
 // dependency, so the binary builds everywhere the library does — and
-// writes BENCH_PR8.json:
+// writes BENCH_PR9.json:
 //
 //   { "dispatch": "<active kernel level>",
 //     "results": [ {"op": ..., "ns_per_op": ..., "mb_per_s": ...,
 //                   "items_per_s": ..., "dispatch": ...}, ... ],
+//     "open_loop": [ {"target_qps": ..., "p50_ms": ..., "p95_ms": ...,
+//                     "p99_ms": ..., "rejected": ...}, ... ],
 //     "derived": { "candidate_scoring_speedup_vs_per_pair": ...,
 //                  "quantized_scan_speedup_vs_float_scan": ...,
 //                  "quantized_recall_at_10_r4": ..., ... } }
 //
-// Usage: perf_report [output.json]   (default: BENCH_PR8.json in cwd)
+// The open_loop section drives the AsyncExecutor (exec/executor.h)
+// with scheduled Poisson-free fixed-rate arrivals — requests are
+// stamped at their SCHEDULED arrival time, so queueing delay counts
+// against latency (no coordinated omission) — at a moderate rate and
+// at ~2x the measured single-thread capacity, where admission control
+// is expected to shed load instead of growing an unbounded backlog.
+//
+// Usage: perf_report [output.json]   (default: BENCH_PR9.json in cwd)
 //
 // CI runs this as a perf smoke step and uploads the JSON as an
 // artifact; compare files across PRs for the trajectory. Set
@@ -24,19 +33,23 @@
 // exits non-zero when recall@10 of the two-stage scan vs the float
 // oracle drops below 0.99 at the default shortlist multiplier (r=4).
 #include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <cmath>
 #include <cstdint>
 #include <cstdio>
+#include <future>
 #include <iterator>
 #include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "bench/common.h"
 #include "core/encoder_engine.h"
 #include "core/tabbin.h"
 #include "datagen/corpus_gen.h"
+#include "exec/executor.h"
 #include "service/table_service.h"
 #include "tasks/lsh.h"
 #include "tensor/kernels.h"
@@ -85,6 +98,110 @@ BenchResult Report(const std::string& op, double ns, double mb_per_op,
 }
 
 using bench::PerPairCosineBaseline;
+
+// --- Open-loop executor load -----------------------------------------
+// Fixed-rate arrivals against the AsyncExecutor. Latency for each
+// request is completion time minus its SCHEDULED arrival time — if the
+// load thread falls behind schedule, that delay is charged to the
+// request, so queueing under overload shows up in the percentiles
+// instead of being coordinated away.
+struct OpenLoopRow {
+  double target_qps = 0;
+  int sent = 0;
+  int completed_ok = 0;
+  int rejected = 0;
+  double p50_ms = 0;
+  double p95_ms = 0;
+  double p99_ms = 0;
+  uint64_t batches = 0;
+  uint64_t batched_jobs = 0;
+  uint64_t max_batch_seen = 0;
+};
+
+double PercentileMs(std::vector<double>& sorted, double p) {
+  if (sorted.empty()) return 0;
+  const size_t idx = static_cast<size_t>(
+      p * static_cast<double>(sorted.size() - 1) + 0.5);
+  return sorted[std::min(idx, sorted.size() - 1)];
+}
+
+OpenLoopRow RunOpenLoop(TabBinServing& serving,
+                        const std::vector<Table>& tables, double target_qps,
+                        int n_requests) {
+  using Clock = std::chrono::steady_clock;
+  ExecutorOptions eopts;
+  eopts.read_queue_depth = 64;
+  AsyncExecutor exec(&serving, eopts);
+
+  std::vector<std::future<Result<QueryResponse>>> futures(
+      static_cast<size_t>(n_requests));
+  std::vector<Clock::time_point> scheduled(static_cast<size_t>(n_requests));
+  std::vector<Clock::time_point> done(static_cast<size_t>(n_requests));
+  std::atomic<int> produced{0};
+
+  // The collector stamps each completion as it happens; the executor
+  // resolves read promises in FIFO order, so waiting in submission
+  // order observes each future at (essentially) the moment it is set.
+  std::thread collector([&] {
+    for (int i = 0; i < n_requests; ++i) {
+      while (produced.load(std::memory_order_acquire) <= i) {
+        std::this_thread::sleep_for(std::chrono::microseconds(20));
+      }
+      const size_t idx = static_cast<size_t>(i);
+      futures[idx].wait();
+      done[idx] = Clock::now();
+    }
+  });
+
+  const auto start = Clock::now();
+  const std::chrono::nanoseconds gap(
+      static_cast<long long>(1e9 / target_qps));
+  for (int i = 0; i < n_requests; ++i) {
+    const auto arrival = start + gap * i;
+    std::this_thread::sleep_until(arrival);
+    const size_t idx = static_cast<size_t>(i);
+    scheduled[idx] = arrival;
+    const Table& t = tables[idx % tables.size()];
+    futures[idx] =
+        exec.SubmitSimilarColumns({t.id(), nullptr, t.vmd_cols(), 10});
+    produced.store(i + 1, std::memory_order_release);
+  }
+  collector.join();
+
+  OpenLoopRow row;
+  row.target_qps = target_qps;
+  row.sent = n_requests;
+  std::vector<double> lat_ms;
+  lat_ms.reserve(static_cast<size_t>(n_requests));
+  for (int i = 0; i < n_requests; ++i) {
+    const size_t idx = static_cast<size_t>(i);
+    auto r = futures[idx].get();
+    if (!r.ok()) {
+      ++row.rejected;
+      continue;
+    }
+    ++row.completed_ok;
+    lat_ms.push_back(
+        std::chrono::duration<double, std::milli>(done[idx] - scheduled[idx])
+            .count());
+  }
+  std::sort(lat_ms.begin(), lat_ms.end());
+  row.p50_ms = PercentileMs(lat_ms, 0.50);
+  row.p95_ms = PercentileMs(lat_ms, 0.95);
+  row.p99_ms = PercentileMs(lat_ms, 0.99);
+  exec.Shutdown();
+  const AsyncExecutor::Stats st = exec.stats();
+  row.batches = st.batches;
+  row.batched_jobs = st.batched_jobs;
+  row.max_batch_seen = st.max_batch_seen;
+  std::printf(
+      "open_loop %8.0f qps: p50 %7.2f ms  p95 %7.2f ms  p99 %7.2f ms  "
+      "(%d ok, %d shed; %llu batches, max batch %llu)\n",
+      row.target_qps, row.p50_ms, row.p95_ms, row.p99_ms, row.completed_ok,
+      row.rejected, static_cast<unsigned long long>(row.batches),
+      static_cast<unsigned long long>(row.max_batch_seen));
+  return row;
+}
 
 int Run(const std::string& out_path) {
   std::vector<BenchResult> results;
@@ -467,6 +584,48 @@ int Run(const std::string& out_path) {
               "%.2fx\n\n",
               cold_start_speedup);
 
+  // --- Open-loop executor load ----------------------------------------
+  // Calibrate against the executor's own closed-loop round-trip (which
+  // includes dispatch, the coalesce-window linger, and promise/future
+  // overhead — on a small machine that is several times the bare query
+  // cost), then drive two arrival rates: moderate (~half the calibrated
+  // capacity), where everything should be admitted, and overload (~2x),
+  // where the bounded lane is expected to shed the excess with
+  // ResourceExhausted instead of letting the backlog (and p99) grow
+  // without bound.
+  double exec_rt_ns = 0;
+  {
+    AsyncExecutor calib(&svc);
+    const Table& t0 = corpus.corpus.tables[0];
+    exec_rt_ns = TimeNs([&] {
+      auto r = calib.SubmitSimilarColumns({t0.id(), nullptr, t0.vmd_cols(),
+                                           10})
+                   .get();
+      return r.ok() ? static_cast<double>(r.value().matches.size()) : 0.0;
+    });
+  }
+  results.push_back(
+      Report("executor_single_query_roundtrip", exec_rt_ns, 0, 1));
+  const double capacity_qps = 1e9 / exec_rt_ns;
+  // 0.5x: everything admitted, batches of 1. 2x: micro-batching kicks
+  // in and absorbs the excess (coalescing amortizes the dispatch +
+  // linger overhead across up to max_batch jobs). 32x: past what
+  // max_batch=16 coalescing can amortize on any machine, so the
+  // bounded lane sheds — that rejection count is admission control
+  // doing its job.
+  const double load_multipliers[] = {0.5, 2.0, 32.0};
+  const int open_loop_requests = 400;
+  std::printf(
+      "open-loop executor load (calibrated async capacity ~%.0f qps):\n",
+      capacity_qps);
+  std::vector<OpenLoopRow> open_loop;
+  for (const double mult : load_multipliers) {
+    open_loop.push_back(RunOpenLoop(svc, corpus.corpus.tables,
+                                    std::max(1.0, mult * capacity_qps),
+                                    open_loop_requests));
+  }
+  std::printf("\n");
+
   // --- JSON -----------------------------------------------------------
   std::FILE* f = std::fopen(out_path.c_str(), "w");
   if (f == nullptr) {
@@ -484,6 +643,22 @@ int Run(const std::string& out_path) {
                  r.op.c_str(), r.ns_per_op, r.mb_per_s,
                  r.items_per_s, dispatch.c_str(),
                  i + 1 < results.size() ? "," : "");
+  }
+  std::fprintf(f, "  ],\n  \"open_loop\": [\n");
+  for (size_t i = 0; i < open_loop.size(); ++i) {
+    const OpenLoopRow& r = open_loop[i];
+    std::fprintf(f,
+                 "    {\"target_qps\": %.0f, \"sent\": %d, "
+                 "\"completed_ok\": %d, \"rejected\": %d, "
+                 "\"p50_ms\": %.3f, \"p95_ms\": %.3f, \"p99_ms\": %.3f, "
+                 "\"batches\": %llu, \"batched_jobs\": %llu, "
+                 "\"max_batch_seen\": %llu}%s\n",
+                 r.target_qps, r.sent, r.completed_ok, r.rejected, r.p50_ms,
+                 r.p95_ms, r.p99_ms,
+                 static_cast<unsigned long long>(r.batches),
+                 static_cast<unsigned long long>(r.batched_jobs),
+                 static_cast<unsigned long long>(r.max_batch_seen),
+                 i + 1 < open_loop.size() ? "," : "");
   }
   std::fprintf(f,
                "  ],\n  \"derived\": {\n"
@@ -527,6 +702,6 @@ int Run(const std::string& out_path) {
 }  // namespace tabbin
 
 int main(int argc, char** argv) {
-  const std::string out = argc > 1 ? argv[1] : "BENCH_PR8.json";
+  const std::string out = argc > 1 ? argv[1] : "BENCH_PR9.json";
   return tabbin::Run(out);
 }

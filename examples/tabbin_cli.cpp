@@ -18,19 +18,23 @@
 //       Pretrain, index the corpus in a serving core (--shards=N > 1
 //       hash-partitions it across a ShardedTabBinService), and snapshot
 //       the whole service (models + encodings + corpus + indexes).
-//   tabbin_cli query [--shards=N] [--quantized[=r]] <service.tbsn> table
-//       <id> [k]
-//   tabbin_cli query [--shards=N] [--quantized[=r]] <service.tbsn> column
-//       <id> <col> [k]
-//   tabbin_cli query [--shards=N] [--quantized[=r]] <service.tbsn> ask
-//       <question> [k]
+//   tabbin_cli query [--shards=N] [--quantized[=r]] [--async [--qps=N]]
+//       <service.tbsn> table <id> [k]
+//   tabbin_cli query [--shards=N] [--quantized[=r]] [--async [--qps=N]]
+//       <service.tbsn> column <id> <col> [k]
+//   tabbin_cli query [--shards=N] [--quantized[=r]] [--async [--qps=N]]
+//       <service.tbsn> ask <question> [k]
 //       Serve similarity / grounding queries from a service snapshot —
 //       no corpus file, no pretraining, no index rebuild. The snapshot
 //       format (single vs sharded) is auto-detected; --shards=N
 //       re-partitions onto N shards regardless of how it was saved.
 //       Answers are byte-identical at any shard count. --quantized[=r]
 //       turns on the int8 two-stage scan (shortlist = k*r, default r=4;
-//       final scores stay float-exact).
+//       final scores stay float-exact). --async routes the query
+//       through the admission-controlled AsyncExecutor (same answer,
+//       async path); --qps=N additionally replays it open-loop at N
+//       requests/s and prints p50/p95/p99 latency plus how many
+//       requests the bounded lane shed.
 //   tabbin_cli inspect <corpus.json> <table_index>
 //       Print a table as CSV plus its coordinate trees.
 //   tabbin_cli inspect <snapshot.tbsn | generation_dir>
@@ -39,16 +43,21 @@
 //       directory, the manifest state first. Validates every section
 //       checksum, exit 1 on any mismatch.
 #include <algorithm>
+#include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <cstring>
+#include <future>
 #include <map>
 #include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "core/encoder_engine.h"
 #include "core/tabbin.h"
 #include "datagen/corpus_gen.h"
+#include "exec/executor.h"
 #include "io/table_io.h"
 #include "service/sharded_service.h"
 #include "service/table_service.h"
@@ -85,18 +94,21 @@ int Usage() {
                "  tabbin_cli build-service [--shards=N] <corpus.json> "
                "<service.tbsn>\n"
                "  tabbin_cli query [--shards=N] [--quantized[=r]] "
-               "<service.tbsn> table <id> [k]\n"
+               "[--async [--qps=N]] <service.tbsn> table <id> [k]\n"
                "  tabbin_cli query [--shards=N] [--quantized[=r]] "
-               "<service.tbsn> column <id> <col> [k]\n"
+               "[--async [--qps=N]] <service.tbsn> column <id> <col> [k]\n"
                "  tabbin_cli query [--shards=N] [--quantized[=r]] "
-               "<service.tbsn> ask <question> [k]\n"
+               "[--async [--qps=N]] <service.tbsn> ask <question> [k]\n"
                "  tabbin_cli inspect <corpus.json> <index>\n"
                "  tabbin_cli inspect <snapshot.tbsn | generation_dir>\n"
                "datasets: webtables covidkg cancerkg saus cius\n"
                "--shards=N serves through N hash-partitioned shards\n"
                "(scatter-gather; answers identical at any shard count)\n"
                "--quantized[=r] scores through the int8 two-stage scan\n"
-               "(k*r shortlist, float-exact rerank; default r=4)\n");
+               "(k*r shortlist, float-exact rerank; default r=4)\n"
+               "--async routes queries through the AsyncExecutor;\n"
+               "--qps=N replays the query open-loop at N requests/s and\n"
+               "prints latency percentiles + shed count (implies --async)\n");
   return 2;
 }
 
@@ -323,9 +335,69 @@ int CmdBuildService(const std::string& corpus_path, const std::string& out,
   return 0;
 }
 
+// Open-loop replay of one query through the executor: submit at fixed
+// scheduled arrival times, stamp completions as they happen (FIFO — the
+// executor resolves read promises in submission order), and charge any
+// queueing delay against the request's scheduled arrival. Works for any
+// submit() returning a std::future over a Result with ok().
+template <typename SubmitFn>
+void RunAsyncLoad(const SubmitFn& submit, int qps, int n) {
+  using Clock = std::chrono::steady_clock;
+  using FutureT = decltype(submit());
+  std::vector<FutureT> futures(static_cast<size_t>(n));
+  std::vector<Clock::time_point> sched(static_cast<size_t>(n));
+  std::vector<Clock::time_point> done(static_cast<size_t>(n));
+  std::atomic<int> produced{0};
+  std::thread collector([&] {
+    for (int i = 0; i < n; ++i) {
+      while (produced.load(std::memory_order_acquire) <= i) {
+        std::this_thread::sleep_for(std::chrono::microseconds(50));
+      }
+      const size_t idx = static_cast<size_t>(i);
+      futures[idx].wait();
+      done[idx] = Clock::now();
+    }
+  });
+  const auto start = Clock::now();
+  const std::chrono::nanoseconds gap(
+      static_cast<long long>(1e9 / static_cast<double>(qps)));
+  for (int i = 0; i < n; ++i) {
+    const auto arrival = start + gap * i;
+    std::this_thread::sleep_until(arrival);
+    const size_t idx = static_cast<size_t>(i);
+    sched[idx] = arrival;
+    futures[idx] = submit();
+    produced.store(i + 1, std::memory_order_release);
+  }
+  collector.join();
+  std::vector<double> lat_ms;
+  int shed = 0;
+  for (int i = 0; i < n; ++i) {
+    const size_t idx = static_cast<size_t>(i);
+    if (!futures[idx].get().ok()) {
+      ++shed;
+      continue;
+    }
+    lat_ms.push_back(
+        std::chrono::duration<double, std::milli>(done[idx] - sched[idx])
+            .count());
+  }
+  std::sort(lat_ms.begin(), lat_ms.end());
+  const auto pct = [&lat_ms](double p) {
+    if (lat_ms.empty()) return 0.0;
+    const size_t idx = static_cast<size_t>(
+        p * static_cast<double>(lat_ms.size() - 1) + 0.5);
+    return lat_ms[std::min(idx, lat_ms.size() - 1)];
+  };
+  std::printf(
+      "open-loop: %d requests at %d qps: p50 %.2f ms  p95 %.2f ms  "
+      "p99 %.2f ms  (%zu ok, %d shed)\n",
+      n, qps, pct(0.50), pct(0.95), pct(0.99), lat_ms.size(), shed);
+}
+
 int CmdQuery(const std::string& snapshot_path, const std::string& kind,
              const std::vector<std::string>& args, int shards,
-             int quantized_r) {
+             int quantized_r, bool use_async, int qps) {
   auto service = LoadServing(snapshot_path, shards);
   if (!service.ok()) {
     std::fprintf(stderr, "error: %s\n", service.status().ToString().c_str());
@@ -338,12 +410,26 @@ int CmdQuery(const std::string& snapshot_path, const std::string& kind,
     svc.SetQuantizedScan(true, quantized_r);
     std::printf("quantized scan: on (shortlist = k * %d)\n", quantized_r);
   }
+  std::unique_ptr<AsyncExecutor> exec;
+  if (use_async) {
+    exec = std::make_unique<AsyncExecutor>(&svc);
+    std::printf("async executor: on (read lane depth %zu)\n",
+                exec->read_queue_capacity());
+  }
+  const int load_requests = 200;
   std::printf("service: %zu live tables, %zu columns, %zu entities\n",
               svc.NumLiveTables(), svc.NumIndexedColumns(),
               svc.NumIndexedEntities());
   if (kind == "table" && !args.empty()) {
     const int k = args.size() > 1 ? std::atoi(args[1].c_str()) : 5;
-    auto r = svc.SimilarTables({args[0], nullptr, k});
+    if (exec != nullptr && qps > 0) {
+      RunAsyncLoad(
+          [&] { return exec->SubmitSimilarTables({args[0], nullptr, k}); },
+          qps, load_requests);
+    }
+    auto r = exec != nullptr
+                 ? exec->SubmitSimilarTables({args[0], nullptr, k}).get()
+                 : svc.SimilarTables({args[0], nullptr, k});
     if (!r.ok()) {
       std::fprintf(stderr, "error: %s\n", r.status().ToString().c_str());
       return 1;
@@ -359,7 +445,17 @@ int CmdQuery(const std::string& snapshot_path, const std::string& kind,
   if (kind == "column" && args.size() >= 2) {
     const int col = std::atoi(args[1].c_str());
     const int k = args.size() > 2 ? std::atoi(args[2].c_str()) : 5;
-    auto r = svc.SimilarColumns({args[0], nullptr, col, k});
+    if (exec != nullptr && qps > 0) {
+      RunAsyncLoad(
+          [&] {
+            return exec->SubmitSimilarColumns({args[0], nullptr, col, k});
+          },
+          qps, load_requests);
+    }
+    auto r =
+        exec != nullptr
+            ? exec->SubmitSimilarColumns({args[0], nullptr, col, k}).get()
+            : svc.SimilarColumns({args[0], nullptr, col, k});
     if (!r.ok()) {
       std::fprintf(stderr, "error: %s\n", r.status().ToString().c_str());
       return 1;
@@ -374,7 +470,12 @@ int CmdQuery(const std::string& snapshot_path, const std::string& kind,
   }
   if (kind == "ask" && !args.empty()) {
     const int k = args.size() > 1 ? std::atoi(args[1].c_str()) : 5;
-    auto r = svc.Ask({args[0], k});
+    if (exec != nullptr && qps > 0) {
+      RunAsyncLoad([&] { return exec->SubmitAsk({args[0], k}); }, qps,
+                   load_requests);
+    }
+    auto r = exec != nullptr ? exec->SubmitAsk({args[0], k}).get()
+                             : svc.Ask({args[0], k});
     if (!r.ok()) {
       std::fprintf(stderr, "error: %s\n", r.status().ToString().c_str());
       return 1;
@@ -486,10 +587,12 @@ int CmdInspect(const std::string& corpus_path, int index) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  // --shards=N and --quantized[=r] may appear anywhere; strip them
-  // before positional parsing.
+  // --shards=N, --quantized[=r], --async, and --qps=N may appear
+  // anywhere; strip them before positional parsing.
   int shards = 0;       // 0 = default (single shard / saved layout)
   int quantized_r = 0;  // 0 = exact scoring; > 0 = shortlist multiplier
+  bool use_async = false;
+  int qps = 0;  // > 0 = open-loop replay rate (implies --async)
   std::vector<std::string> args;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -503,6 +606,15 @@ int main(int argc, char** argv) {
     }
     if (arg.rfind("--quantized=", 0) == 0) {
       quantized_r = std::max(1, std::atoi(arg.c_str() + 12));
+      continue;
+    }
+    if (arg == "--async") {
+      use_async = true;
+      continue;
+    }
+    if (arg.rfind("--qps=", 0) == 0) {
+      qps = std::max(1, std::atoi(arg.c_str() + 6));
+      use_async = true;
       continue;
     }
     args.push_back(arg);
@@ -525,7 +637,8 @@ int main(int argc, char** argv) {
   }
   if (cmd == "query" && n >= 4) {
     std::vector<std::string> rest(args.begin() + 3, args.end());
-    return CmdQuery(args[1], args[2], rest, shards, quantized_r);
+    return CmdQuery(args[1], args[2], rest, shards, quantized_r, use_async,
+                    qps);
   }
   if (cmd == "inspect" && n == 3) {
     return CmdInspect(args[1], std::atoi(args[2].c_str()));

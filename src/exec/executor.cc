@@ -1,0 +1,380 @@
+#include "exec/executor.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace tabbin {
+
+namespace {
+
+ExecutorOptions Sanitize(ExecutorOptions o) {
+  if (o.max_batch == 0) o.max_batch = 1;
+  if (o.coalesce_window.count() < 0) {
+    o.coalesce_window = std::chrono::microseconds{0};
+  }
+  return o;
+}
+
+bool Coalescable(JobKind kind) {
+  return kind == JobKind::kSimilarColumns ||
+         kind == JobKind::kSimilarTables ||
+         kind == JobKind::kSimilarEntities;
+}
+
+Status Rejected(const char* lane) {
+  return Status::ResourceExhausted(
+      std::string(lane) + " lane rejected: queue at capacity or shut down");
+}
+
+}  // namespace
+
+AsyncExecutor::AsyncExecutor(TabBinServing* serving, ExecutorOptions options)
+    : serving_(serving),
+      options_(Sanitize(options)),
+      read_queue_(options_.read_queue_depth),
+      write_queue_(options_.write_queue_depth) {
+  dispatcher_ = std::thread([this] { DispatcherLoop(); });
+  writer_ = std::thread([this] { WriterLoop(); });
+}
+
+AsyncExecutor::~AsyncExecutor() { Shutdown(); }
+
+void AsyncExecutor::Shutdown() {
+  {
+    MutexLock lock(&shutdown_mu_);
+    if (shutdown_) return;
+    shutdown_ = true;
+  }
+  // Release a paused dispatcher first: a parked dispatcher cannot drain.
+  {
+    MutexLock lock(&pause_mu_);
+    pause_requested_.store(false, std::memory_order_release);
+  }
+  pause_cv_.notify_all();
+  // Closing stops admissions; both loops drain what was already
+  // admitted (every promise gets satisfied), then exit.
+  read_queue_.Close();
+  write_queue_.Close();
+  if (dispatcher_.joinable()) dispatcher_.join();
+  if (writer_.joinable()) writer_.join();
+}
+
+// --- Submits ---------------------------------------------------------------
+
+std::future<Result<QueryResponse>> AsyncExecutor::SubmitSimilarColumns(
+    const ColumnQueryRequest& req) {
+  Job job;
+  job.kind = JobKind::kSimilarColumns;
+  job.col = req;
+  if (req.table != nullptr) {
+    // Own the inline table: the caller's pointer need not outlive this
+    // call. The stored request keeps table = nullptr; the dispatcher
+    // re-points it at the owned copy when the batch is built.
+    job.query_table = *req.table;
+    job.has_query_table = true;
+    job.col.table = nullptr;
+  }
+  std::future<Result<QueryResponse>> fut = job.query_promise.get_future();
+  if (read_queue_.TryEnqueue(std::move(job))) {
+    MutexLock lock(&stats_mu_);
+    ++stats_.submitted;
+  } else {
+    {
+      MutexLock lock(&stats_mu_);
+      ++stats_.rejected;
+    }
+    job.query_promise.set_value(Rejected("read"));
+  }
+  return fut;
+}
+
+std::future<Result<QueryResponse>> AsyncExecutor::SubmitSimilarTables(
+    const TableQueryRequest& req) {
+  Job job;
+  job.kind = JobKind::kSimilarTables;
+  job.tbl = req;
+  if (req.table != nullptr) {
+    job.query_table = *req.table;
+    job.has_query_table = true;
+    job.tbl.table = nullptr;
+  }
+  std::future<Result<QueryResponse>> fut = job.query_promise.get_future();
+  if (read_queue_.TryEnqueue(std::move(job))) {
+    MutexLock lock(&stats_mu_);
+    ++stats_.submitted;
+  } else {
+    {
+      MutexLock lock(&stats_mu_);
+      ++stats_.rejected;
+    }
+    job.query_promise.set_value(Rejected("read"));
+  }
+  return fut;
+}
+
+std::future<Result<QueryResponse>> AsyncExecutor::SubmitSimilarEntities(
+    const EntityQueryRequest& req) {
+  Job job;
+  job.kind = JobKind::kSimilarEntities;
+  job.ent = req;
+  if (req.table != nullptr) {
+    job.query_table = *req.table;
+    job.has_query_table = true;
+    job.ent.table = nullptr;
+  }
+  std::future<Result<QueryResponse>> fut = job.query_promise.get_future();
+  if (read_queue_.TryEnqueue(std::move(job))) {
+    MutexLock lock(&stats_mu_);
+    ++stats_.submitted;
+  } else {
+    {
+      MutexLock lock(&stats_mu_);
+      ++stats_.rejected;
+    }
+    job.query_promise.set_value(Rejected("read"));
+  }
+  return fut;
+}
+
+std::future<Result<AskResponse>> AsyncExecutor::SubmitAsk(
+    const AskRequest& req) {
+  Job job;
+  job.kind = JobKind::kAsk;
+  job.ask = req;
+  std::future<Result<AskResponse>> fut = job.ask_promise.get_future();
+  if (read_queue_.TryEnqueue(std::move(job))) {
+    MutexLock lock(&stats_mu_);
+    ++stats_.submitted;
+  } else {
+    {
+      MutexLock lock(&stats_mu_);
+      ++stats_.rejected;
+    }
+    job.ask_promise.set_value(Rejected("read"));
+  }
+  return fut;
+}
+
+std::future<Result<AddReport>> AsyncExecutor::SubmitAddTables(
+    std::vector<Table> tables) {
+  Job job;
+  job.kind = JobKind::kAddTables;
+  job.add_tables = std::move(tables);
+  std::future<Result<AddReport>> fut = job.add_promise.get_future();
+  if (write_queue_.TryEnqueue(std::move(job))) {
+    MutexLock lock(&stats_mu_);
+    ++stats_.submitted;
+  } else {
+    {
+      MutexLock lock(&stats_mu_);
+      ++stats_.rejected;
+    }
+    job.add_promise.set_value(Rejected("write"));
+  }
+  return fut;
+}
+
+std::future<Status> AsyncExecutor::SubmitRemoveTable(const std::string& id) {
+  Job job;
+  job.kind = JobKind::kRemoveTable;
+  job.remove_id = id;
+  std::future<Status> fut = job.remove_promise.get_future();
+  if (write_queue_.TryEnqueue(std::move(job))) {
+    MutexLock lock(&stats_mu_);
+    ++stats_.submitted;
+  } else {
+    {
+      MutexLock lock(&stats_mu_);
+      ++stats_.rejected;
+    }
+    job.remove_promise.set_value(Rejected("write"));
+  }
+  return fut;
+}
+
+AsyncExecutor::Stats AsyncExecutor::stats() const {
+  MutexLock lock(&stats_mu_);
+  return stats_;
+}
+
+// --- Pause seam ------------------------------------------------------------
+
+void AsyncExecutor::PauseDispatchForTesting() {
+  {
+    MutexLock lock(&shutdown_mu_);
+    if (shutdown_) return;  // dispatcher is gone; nothing to park
+  }
+  MutexLock lock(&pause_mu_);
+  pause_requested_.store(true, std::memory_order_release);
+  // Wait until the dispatcher is actually parked: from the moment this
+  // returns, no read job leaves the queue, so a test can fill the lane
+  // to exactly its capacity. Shutdown releases the park, and with it
+  // this wait (pause_acked_ then stays false).
+  while (!pause_acked_ &&
+         pause_requested_.load(std::memory_order_acquire)) {
+    pause_cv_.wait(pause_mu_);
+  }
+}
+
+void AsyncExecutor::ResumeDispatchForTesting() {
+  {
+    MutexLock lock(&pause_mu_);
+    pause_requested_.store(false, std::memory_order_release);
+  }
+  pause_cv_.notify_all();
+}
+
+void AsyncExecutor::PausePoint() {
+  if (!pause_requested_.load(std::memory_order_acquire)) return;
+  MutexLock lock(&pause_mu_);
+  pause_acked_ = true;
+  pause_cv_.notify_all();
+  while (pause_requested_.load(std::memory_order_acquire)) {
+    pause_cv_.wait(pause_mu_);
+  }
+  pause_acked_ = false;
+}
+
+// --- Dispatcher (read lane) ------------------------------------------------
+
+void AsyncExecutor::DispatcherLoop() {
+  for (;;) {
+    PausePoint();
+    Job head;
+    // Short idle poll instead of an indefinite block: the dispatcher
+    // must notice a pause request even when no job ever arrives, and a
+    // pending pause must not let it consume the job that triggered the
+    // wakeup (the predicate refuses while a pause is requested).
+    const auto poll_deadline =
+        std::chrono::steady_clock::now() + std::chrono::milliseconds(10);
+    const DequeueIf got = read_queue_.WaitDequeueIfUntil(
+        [this](const Job&) {
+          return !pause_requested_.load(std::memory_order_acquire);
+        },
+        poll_deadline, &head);
+    if (got == DequeueIf::kClosed) return;  // closed AND drained
+    if (got != DequeueIf::kPopped) continue;  // idle poll or pause pending
+
+    std::vector<Job> batch;
+    batch.push_back(std::move(head));
+    if (Coalescable(batch.front().kind)) {
+      // Linger up to the coalesce window for more jobs of the same
+      // kind. An incompatible job at the front ends the batch and
+      // stays queued as the next head — jobs are never reordered, so
+      // a caller that observed response A before submitting B still
+      // sees A's effects ordered before B.
+      const JobKind kind = batch.front().kind;
+      const auto window_deadline =
+          std::chrono::steady_clock::now() + options_.coalesce_window;
+      while (batch.size() < options_.max_batch) {
+        Job next;
+        const DequeueIf more = read_queue_.WaitDequeueIfUntil(
+            [kind](const Job& j) { return j.kind == kind; },
+            window_deadline, &next);
+        if (more != DequeueIf::kPopped) break;
+        batch.push_back(std::move(next));
+      }
+    }
+    ExecuteReadBatch(std::move(batch));
+    // Batches execute strictly one after another, so every shard's
+    // reader count returns to zero between batches — the gap a writer
+    // on the dedicated lane needs to acquire a reader-preferring
+    // rwlock under 100%-duty read load.
+  }
+}
+
+void AsyncExecutor::ExecuteReadBatch(std::vector<Job> batch) {
+  if (Coalescable(batch.front().kind)) {
+    // Counted BEFORE any promise is satisfied: a caller that observed
+    // its future resolve must also observe the batch in stats().
+    MutexLock lock(&stats_mu_);
+    ++stats_.batches;
+    stats_.batched_jobs += batch.size();
+    stats_.max_batch_seen =
+        std::max<uint64_t>(stats_.max_batch_seen, batch.size());
+  }
+  switch (batch.front().kind) {
+    case JobKind::kSimilarColumns: {
+      std::vector<ColumnQueryRequest> reqs;
+      reqs.reserve(batch.size());
+      for (Job& j : batch) {
+        if (j.has_query_table) j.col.table = &j.query_table;
+        reqs.push_back(j.col);
+      }
+      std::vector<Result<QueryResponse>> results =
+          serving_->SimilarColumnsBatch(reqs);
+      for (size_t i = 0; i < batch.size(); ++i) {
+        batch[i].query_promise.set_value(std::move(results[i]));
+      }
+      break;
+    }
+    case JobKind::kSimilarTables: {
+      std::vector<TableQueryRequest> reqs;
+      reqs.reserve(batch.size());
+      for (Job& j : batch) {
+        if (j.has_query_table) j.tbl.table = &j.query_table;
+        reqs.push_back(j.tbl);
+      }
+      std::vector<Result<QueryResponse>> results =
+          serving_->SimilarTablesBatch(reqs);
+      for (size_t i = 0; i < batch.size(); ++i) {
+        batch[i].query_promise.set_value(std::move(results[i]));
+      }
+      break;
+    }
+    case JobKind::kSimilarEntities: {
+      std::vector<EntityQueryRequest> reqs;
+      reqs.reserve(batch.size());
+      for (Job& j : batch) {
+        if (j.has_query_table) j.ent.table = &j.query_table;
+        reqs.push_back(j.ent);
+      }
+      std::vector<Result<QueryResponse>> results =
+          serving_->SimilarEntitiesBatch(reqs);
+      for (size_t i = 0; i < batch.size(); ++i) {
+        batch[i].query_promise.set_value(std::move(results[i]));
+      }
+      break;
+    }
+    case JobKind::kAsk:
+      batch.front().ask_promise.set_value(serving_->Ask(batch.front().ask));
+      break;
+    case JobKind::kAddTables:
+    case JobKind::kRemoveTable:
+      break;  // write kinds never enter the read lane
+  }
+}
+
+// --- Writer lane -----------------------------------------------------------
+
+void AsyncExecutor::WriterLoop() {
+  for (;;) {
+    std::optional<Job> job = write_queue_.WaitDequeue();
+    if (!job.has_value()) return;  // closed AND drained
+    ExecuteWrite(std::move(*job));
+  }
+}
+
+void AsyncExecutor::ExecuteWrite(Job job) {
+  {
+    // Before the promise, for the same visibility reason as the read
+    // batch counters.
+    MutexLock lock(&stats_mu_);
+    ++stats_.writes;
+  }
+  switch (job.kind) {
+    case JobKind::kAddTables:
+      // The encode forward passes run HERE, on the writer thread —
+      // never on the dispatcher, so a heavy insert cannot stall the
+      // read lane's batching cadence.
+      job.add_promise.set_value(serving_->AddTables(job.add_tables));
+      break;
+    case JobKind::kRemoveTable:
+      job.remove_promise.set_value(serving_->RemoveTable(job.remove_id));
+      break;
+    default:
+      break;  // read kinds never enter the write lane
+  }
+}
+
+}  // namespace tabbin

@@ -147,6 +147,19 @@ class TabBinServing {
       const EntityQueryRequest& req) const = 0;
   virtual Result<AskResponse> Ask(const AskRequest& req) const = 0;
 
+  // Batched queries — the async executor's coalesced path. out[i] is
+  // byte-identical to the matching single-query call; a request that
+  // fails validation gets its own error entry without failing the
+  // batch. The whole batch ranks under ONE reader-lock hold per shard,
+  // which is what lets a serialized stream of batches leave writer-
+  // sized gaps between lock holds (see src/exec/executor.h).
+  virtual std::vector<Result<QueryResponse>> SimilarColumnsBatch(
+      const std::vector<ColumnQueryRequest>& reqs) const = 0;
+  virtual std::vector<Result<QueryResponse>> SimilarTablesBatch(
+      const std::vector<TableQueryRequest>& reqs) const = 0;
+  virtual std::vector<Result<QueryResponse>> SimilarEntitiesBatch(
+      const std::vector<EntityQueryRequest>& reqs) const = 0;
+
   // Embedding accessors (the exact path the indexes are built from).
   virtual std::vector<float> ColumnEmbedding(const Table& table,
                                              int col) const = 0;

@@ -565,6 +565,12 @@ ServiceShard::MatchSet ServiceShard::TopColumns(
     VecView query, const std::vector<uint64_t>& keys, int k,
     const std::string& exclude_id, int exclude_col) const {
   ReaderMutexLock lock(&mu_);
+  return TopColumnsLocked(query, keys, k, exclude_id, exclude_col);
+}
+
+ServiceShard::MatchSet ServiceShard::TopColumnsLocked(
+    VecView query, const std::vector<uint64_t>& keys, int k,
+    const std::string& exclude_id, int exclude_col) const {
   auto self = id_to_slot_.find(exclude_id);
   const int self_slot = self == id_to_slot_.end() ? -1 : self->second;
   // Lock-held alias for the lambdas below: a lambda body is analyzed as
@@ -597,6 +603,12 @@ ServiceShard::MatchSet ServiceShard::TopTables(
     VecView query, const std::vector<uint64_t>& keys, int k,
     const std::string& exclude_id) const {
   ReaderMutexLock lock(&mu_);
+  return TopTablesLocked(query, keys, k, exclude_id);
+}
+
+ServiceShard::MatchSet ServiceShard::TopTablesLocked(
+    VecView query, const std::vector<uint64_t>& keys, int k,
+    const std::string& exclude_id) const {
   auto self = id_to_slot_.find(exclude_id);
   const int self_slot = self == id_to_slot_.end() ? -1 : self->second;
   const std::vector<TableSlot>& slots = slots_;  // lock-held lambda alias
@@ -624,6 +636,14 @@ ServiceShard::MatchSet ServiceShard::TopEntities(
     const std::string& exclude_id, int exclude_row,
     int exclude_col) const {
   ReaderMutexLock lock(&mu_);
+  return TopEntitiesLocked(query, keys, k, exclude_id, exclude_row,
+                           exclude_col);
+}
+
+ServiceShard::MatchSet ServiceShard::TopEntitiesLocked(
+    VecView query, const std::vector<uint64_t>& keys, int k,
+    const std::string& exclude_id, int exclude_row,
+    int exclude_col) const {
   auto self = id_to_slot_.find(exclude_id);
   const int self_slot = self == id_to_slot_.end() ? -1 : self->second;
   const std::vector<TableSlot>& slots = slots_;  // lock-held lambda alias
@@ -655,6 +675,42 @@ ServiceShard::MatchSet ServiceShard::TopEntities(
         m.score = score;
         return m;
       });
+}
+
+std::vector<ServiceShard::MatchSet> ServiceShard::TopColumnsBatch(
+    const std::vector<ColumnProbe>& probes) const {
+  ReaderMutexLock lock(&mu_);
+  std::vector<MatchSet> out;
+  out.reserve(probes.size());
+  for (const ColumnProbe& p : probes) {
+    out.push_back(
+        TopColumnsLocked(p.query, *p.keys, p.k, *p.exclude_id,
+                         p.exclude_col));
+  }
+  return out;
+}
+
+std::vector<ServiceShard::MatchSet> ServiceShard::TopTablesBatch(
+    const std::vector<TableProbe>& probes) const {
+  ReaderMutexLock lock(&mu_);
+  std::vector<MatchSet> out;
+  out.reserve(probes.size());
+  for (const TableProbe& p : probes) {
+    out.push_back(TopTablesLocked(p.query, *p.keys, p.k, *p.exclude_id));
+  }
+  return out;
+}
+
+std::vector<ServiceShard::MatchSet> ServiceShard::TopEntitiesBatch(
+    const std::vector<EntityProbe>& probes) const {
+  ReaderMutexLock lock(&mu_);
+  std::vector<MatchSet> out;
+  out.reserve(probes.size());
+  for (const EntityProbe& p : probes) {
+    out.push_back(TopEntitiesLocked(p.query, *p.keys, p.k, *p.exclude_id,
+                                    p.exclude_row, p.exclude_col));
+  }
+  return out;
 }
 
 ServiceShard::AskPartial ServiceShard::AskCandidates(
@@ -871,7 +927,13 @@ namespace {
 // synchronization is needed beyond the join.
 template <typename Fn>
 void ForEachShard(const std::vector<ServiceShard*>& shards, const Fn& fn) {
-  if (shards.size() <= 1 || ThreadPool::Global().num_threads() <= 1) {
+  // Inline when called FROM a pool worker: submitting shard chunks back
+  // into the same global pool and blocking on their futures wedges
+  // permanently once every worker is blocked in exactly this spot (a
+  // query fanned out from inside a submitted task — e.g. a caller doing
+  // its own ParallelFor over queries — would otherwise deadlock).
+  if (shards.size() <= 1 || ThreadPool::Global().num_threads() <= 1 ||
+      ThreadPool::InPoolWorker()) {
     for (size_t i = 0; i < shards.size(); ++i) fn(i);
     return;
   }
@@ -1027,12 +1089,25 @@ Status ScatterCompact(const ServingCore& core) {
   return Status::OK();
 }
 
-Result<QueryResponse> ScatterSimilarColumns(const ServingCore& core,
-                                            const ColumnQueryRequest& req) {
+namespace {
+
+// The per-query stage every similarity request goes through before any
+// lock is taken: validation, query-vector production (inline encode or
+// stored-row resolve), and ONE LSH key hash. Shared verbatim by the
+// single-query Scatter* calls and the batched coalesced path — the
+// code identity that keeps batched answers byte-equal to sequential
+// ones.
+struct QueryPlan {
+  std::vector<float> qvec;
+  std::vector<uint64_t> keys;
+  std::string exclude_id;
+};
+
+Result<QueryPlan> PlanColumnQuery(const ServingCore& core,
+                                  const ColumnQueryRequest& req) {
   if (req.k <= 0) return Status::InvalidArgument("SimilarColumns: k <= 0");
   const std::vector<ServiceShard*>& shards = *core.shards;
-  std::vector<float> qvec;
-  std::string exclude_id;
+  QueryPlan plan;
   if (req.table != nullptr) {
     TABBIN_RETURN_IF_ERROR(ValidateInline(req.table));
     if (req.col < 0 || req.col >= req.table->cols()) {
@@ -1041,57 +1116,46 @@ Result<QueryResponse> ScatterSimilarColumns(const ServingCore& core,
     }
     // Inline query tables encode before any lock is taken: forward
     // passes must never stall writers behind a held reader lock.
-    qvec = ServingColumnEmbedding(core, *req.table, req.col);
+    plan.qvec = ServingColumnEmbedding(core, *req.table, req.col);
   } else {
-    exclude_id = req.table_id;
+    plan.exclude_id = req.table_id;
     ServiceShard* owner =
         shards[ShardIndexFor(req.table_id, shards.size())];
     TABBIN_ASSIGN_OR_RETURN(ServiceShard::Resolved r,
                             owner->ResolveColumn(req.table_id, req.col));
-    qvec = r.needs_encode
-               ? ServingColumnEmbedding(core, r.table_copy, req.col)
-               : std::move(r.vec);
+    plan.qvec = r.needs_encode
+                    ? ServingColumnEmbedding(core, r.table_copy, req.col)
+                    : std::move(r.vec);
   }
-  const std::vector<uint64_t> keys = core.hashers->col.QueryKeys(qvec);
-  std::vector<ServiceShard::MatchSet> partials(shards.size());
-  ForEachShard(shards, [&](size_t i) {
-    partials[i] =
-        shards[i]->TopColumns(qvec, keys, req.k, exclude_id, req.col);
-  });
-  return MergeMatchSets(std::move(partials), req.k);
+  plan.keys = core.hashers->col.QueryKeys(plan.qvec);
+  return plan;
 }
 
-Result<QueryResponse> ScatterSimilarTables(const ServingCore& core,
-                                           const TableQueryRequest& req) {
+Result<QueryPlan> PlanTableQuery(const ServingCore& core,
+                                 const TableQueryRequest& req) {
   if (req.k <= 0) return Status::InvalidArgument("SimilarTables: k <= 0");
   const std::vector<ServiceShard*>& shards = *core.shards;
-  std::vector<float> qvec;
-  std::string exclude_id;
+  QueryPlan plan;
   if (req.table != nullptr) {
     TABBIN_RETURN_IF_ERROR(ValidateInline(req.table));
-    qvec = ServingTableEmbedding(core, *req.table);  // outside all locks
+    plan.qvec = ServingTableEmbedding(core, *req.table);  // outside locks
   } else {
-    exclude_id = req.table_id;
+    plan.exclude_id = req.table_id;
     ServiceShard* owner =
         shards[ShardIndexFor(req.table_id, shards.size())];
     TABBIN_ASSIGN_OR_RETURN(ServiceShard::Resolved r,
                             owner->ResolveTable(req.table_id));
-    qvec = std::move(r.vec);  // the table row is always stored
+    plan.qvec = std::move(r.vec);  // the table row is always stored
   }
-  const std::vector<uint64_t> keys = core.hashers->tbl.QueryKeys(qvec);
-  std::vector<ServiceShard::MatchSet> partials(shards.size());
-  ForEachShard(shards, [&](size_t i) {
-    partials[i] = shards[i]->TopTables(qvec, keys, req.k, exclude_id);
-  });
-  return MergeMatchSets(std::move(partials), req.k);
+  plan.keys = core.hashers->tbl.QueryKeys(plan.qvec);
+  return plan;
 }
 
-Result<QueryResponse> ScatterSimilarEntities(const ServingCore& core,
-                                             const EntityQueryRequest& req) {
+Result<QueryPlan> PlanEntityQuery(const ServingCore& core,
+                                  const EntityQueryRequest& req) {
   if (req.k <= 0) return Status::InvalidArgument("SimilarEntities: k <= 0");
   const std::vector<ServiceShard*>& shards = *core.shards;
-  std::vector<float> qvec;
-  std::string exclude_id;
+  QueryPlan plan;
   if (req.table != nullptr) {
     TABBIN_RETURN_IF_ERROR(ValidateInline(req.table));
     if (req.row < 0 || req.row >= req.table->rows() || req.col < 0 ||
@@ -1100,25 +1164,149 @@ Result<QueryResponse> ScatterSimilarEntities(const ServingCore& core,
                                 std::to_string(req.row) + ", " +
                                 std::to_string(req.col) + ") out of range");
     }
-    qvec = ServingEntityEmbedding(core, *req.table, req.row, req.col);
+    plan.qvec = ServingEntityEmbedding(core, *req.table, req.row, req.col);
   } else {
-    exclude_id = req.table_id;
+    plan.exclude_id = req.table_id;
     ServiceShard* owner =
         shards[ShardIndexFor(req.table_id, shards.size())];
     TABBIN_ASSIGN_OR_RETURN(
         ServiceShard::Resolved r,
         owner->ResolveEntity(req.table_id, req.row, req.col));
-    qvec = r.needs_encode
-               ? ServingEntityEmbedding(core, r.table_copy, req.row, req.col)
-               : std::move(r.vec);
+    plan.qvec =
+        r.needs_encode
+            ? ServingEntityEmbedding(core, r.table_copy, req.row, req.col)
+            : std::move(r.vec);
   }
-  const std::vector<uint64_t> keys = core.hashers->ent.QueryKeys(qvec);
+  plan.keys = core.hashers->ent.QueryKeys(plan.qvec);
+  return plan;
+}
+
+// Batched scatter skeleton shared by the three endpoints: plan every
+// request (outside all locks), build the probe list for the plans that
+// survived, rank the whole batch under one reader-lock hold per shard,
+// then merge per query. plan_fn(req) -> Result<QueryPlan>;
+// probe_fn(plan, req) -> shard Probe; batch_fn(shard, probes) ->
+// per-probe MatchSets.
+template <typename Request, typename Probe, typename PlanFn,
+          typename ProbeFn, typename BatchFn>
+std::vector<Result<QueryResponse>> ScatterBatch(
+    const ServingCore& core, const std::vector<Request>& reqs,
+    const PlanFn& plan_fn, const ProbeFn& probe_fn,
+    const BatchFn& batch_fn) {
+  const std::vector<ServiceShard*>& shards = *core.shards;
+  std::vector<Result<QueryPlan>> plans;
+  plans.reserve(reqs.size());
+  std::vector<Probe> probes;
+  for (size_t i = 0; i < reqs.size(); ++i) {
+    plans.push_back(plan_fn(core, reqs[i]));
+  }
+  // Probes point into `plans`, which is fully built (and never resized
+  // again) before the first pointer is taken.
+  for (size_t i = 0; i < reqs.size(); ++i) {
+    if (!plans[i].ok()) continue;
+    probes.push_back(probe_fn(plans[i].value(), reqs[i]));
+  }
+  std::vector<std::vector<ServiceShard::MatchSet>> per_shard(shards.size());
+  ForEachShard(shards, [&](size_t s) {
+    per_shard[s] = batch_fn(*shards[s], probes);
+  });
+  std::vector<Result<QueryResponse>> out;
+  out.reserve(reqs.size());
+  size_t vi = 0;  // position within the planned (probe) subsequence
+  for (size_t i = 0; i < reqs.size(); ++i) {
+    if (!plans[i].ok()) {
+      out.push_back(plans[i].status());
+      continue;
+    }
+    std::vector<ServiceShard::MatchSet> partials;
+    partials.reserve(shards.size());
+    for (size_t s = 0; s < shards.size(); ++s) {
+      partials.push_back(std::move(per_shard[s][vi]));
+    }
+    out.push_back(MergeMatchSets(std::move(partials), reqs[i].k));
+    ++vi;
+  }
+  return out;
+}
+
+}  // namespace
+
+Result<QueryResponse> ScatterSimilarColumns(const ServingCore& core,
+                                            const ColumnQueryRequest& req) {
+  TABBIN_ASSIGN_OR_RETURN(QueryPlan plan, PlanColumnQuery(core, req));
+  const std::vector<ServiceShard*>& shards = *core.shards;
   std::vector<ServiceShard::MatchSet> partials(shards.size());
   ForEachShard(shards, [&](size_t i) {
-    partials[i] = shards[i]->TopEntities(qvec, keys, req.k, exclude_id,
-                                         req.row, req.col);
+    partials[i] = shards[i]->TopColumns(plan.qvec, plan.keys, req.k,
+                                        plan.exclude_id, req.col);
   });
   return MergeMatchSets(std::move(partials), req.k);
+}
+
+Result<QueryResponse> ScatterSimilarTables(const ServingCore& core,
+                                           const TableQueryRequest& req) {
+  TABBIN_ASSIGN_OR_RETURN(QueryPlan plan, PlanTableQuery(core, req));
+  const std::vector<ServiceShard*>& shards = *core.shards;
+  std::vector<ServiceShard::MatchSet> partials(shards.size());
+  ForEachShard(shards, [&](size_t i) {
+    partials[i] = shards[i]->TopTables(plan.qvec, plan.keys, req.k,
+                                       plan.exclude_id);
+  });
+  return MergeMatchSets(std::move(partials), req.k);
+}
+
+Result<QueryResponse> ScatterSimilarEntities(const ServingCore& core,
+                                             const EntityQueryRequest& req) {
+  TABBIN_ASSIGN_OR_RETURN(QueryPlan plan, PlanEntityQuery(core, req));
+  const std::vector<ServiceShard*>& shards = *core.shards;
+  std::vector<ServiceShard::MatchSet> partials(shards.size());
+  ForEachShard(shards, [&](size_t i) {
+    partials[i] = shards[i]->TopEntities(plan.qvec, plan.keys, req.k,
+                                         plan.exclude_id, req.row, req.col);
+  });
+  return MergeMatchSets(std::move(partials), req.k);
+}
+
+std::vector<Result<QueryResponse>> ScatterSimilarColumnsBatch(
+    const ServingCore& core, const std::vector<ColumnQueryRequest>& reqs) {
+  return ScatterBatch<ColumnQueryRequest, ServiceShard::ColumnProbe>(
+      core, reqs, PlanColumnQuery,
+      [](const QueryPlan& plan, const ColumnQueryRequest& req) {
+        return ServiceShard::ColumnProbe{plan.qvec, &plan.keys, req.k,
+                                         &plan.exclude_id, req.col};
+      },
+      [](const ServiceShard& shard,
+         const std::vector<ServiceShard::ColumnProbe>& probes) {
+        return shard.TopColumnsBatch(probes);
+      });
+}
+
+std::vector<Result<QueryResponse>> ScatterSimilarTablesBatch(
+    const ServingCore& core, const std::vector<TableQueryRequest>& reqs) {
+  return ScatterBatch<TableQueryRequest, ServiceShard::TableProbe>(
+      core, reqs, PlanTableQuery,
+      [](const QueryPlan& plan, const TableQueryRequest& req) {
+        return ServiceShard::TableProbe{plan.qvec, &plan.keys, req.k,
+                                        &plan.exclude_id};
+      },
+      [](const ServiceShard& shard,
+         const std::vector<ServiceShard::TableProbe>& probes) {
+        return shard.TopTablesBatch(probes);
+      });
+}
+
+std::vector<Result<QueryResponse>> ScatterSimilarEntitiesBatch(
+    const ServingCore& core, const std::vector<EntityQueryRequest>& reqs) {
+  return ScatterBatch<EntityQueryRequest, ServiceShard::EntityProbe>(
+      core, reqs, PlanEntityQuery,
+      [](const QueryPlan& plan, const EntityQueryRequest& req) {
+        return ServiceShard::EntityProbe{plan.qvec, &plan.keys, req.k,
+                                         &plan.exclude_id, req.row, req.col};
+      },
+      [](const ServiceShard& shard,
+         const std::vector<ServiceShard::EntityProbe>& probes) {
+        return shard.TopEntitiesBatch(probes);
+      });
 }
 
 Result<AskResponse> ScatterAsk(const ServingCore& core,

@@ -233,6 +233,46 @@ class ServiceShard {
                        int exclude_row, int exclude_col) const
       TABBIN_EXCLUDES(mu_);
 
+  // --- Batched reads (one shared-lock hold for the whole batch) ---------
+  // One coalesced query against this shard. Views/pointers reference
+  // coordinator-owned storage that outlives the call; `exclude_id` must
+  // never be null (point it at an empty string for inline queries).
+  struct ColumnProbe {
+    VecView query;
+    const std::vector<uint64_t>* keys = nullptr;
+    int k = 0;
+    const std::string* exclude_id = nullptr;
+    int exclude_col = -1;
+  };
+  struct TableProbe {
+    VecView query;
+    const std::vector<uint64_t>* keys = nullptr;
+    int k = 0;
+    const std::string* exclude_id = nullptr;
+  };
+  struct EntityProbe {
+    VecView query;
+    const std::vector<uint64_t>* keys = nullptr;
+    int k = 0;
+    const std::string* exclude_id = nullptr;
+    int exclude_row = -1;
+    int exclude_col = -1;
+  };
+
+  /// \brief Ranks a batch of coalesced queries under ONE reader-lock
+  /// hold. out[i] is byte-identical to the matching single-query call:
+  /// each probe runs the exact same locked ranking body, in probe
+  /// order, against one consistent view of the shard. Batching is what
+  /// lets the executor serialize read windows so the per-shard reader
+  /// count actually reaches zero between batches — the writer-
+  /// starvation fix (see src/exec/).
+  std::vector<MatchSet> TopColumnsBatch(
+      const std::vector<ColumnProbe>& probes) const TABBIN_EXCLUDES(mu_);
+  std::vector<MatchSet> TopTablesBatch(
+      const std::vector<TableProbe>& probes) const TABBIN_EXCLUDES(mu_);
+  std::vector<MatchSet> TopEntitiesBatch(
+      const std::vector<EntityProbe>& probes) const TABBIN_EXCLUDES(mu_);
+
   /// \brief This shard's Ask candidates: the lexical top-`pool` of its
   /// live documents (doc-local saturated-tf score over the sorted
   /// distinct query terms) and the live dense LSH candidates, each with
@@ -326,6 +366,22 @@ class ServiceShard {
                       const Accept& accept, const TieLess& tie_less,
                       const Emit& emit) const TABBIN_REQUIRES_SHARED(mu_);
 
+  // The full per-query ranking bodies, shared verbatim by the one-lock-
+  // per-query entry points above and the one-lock-per-batch variants —
+  // the code identity that makes batched answers byte-equal.
+  MatchSet TopColumnsLocked(VecView query, const std::vector<uint64_t>& keys,
+                            int k, const std::string& exclude_id,
+                            int exclude_col) const
+      TABBIN_REQUIRES_SHARED(mu_);
+  MatchSet TopTablesLocked(VecView query, const std::vector<uint64_t>& keys,
+                           int k, const std::string& exclude_id) const
+      TABBIN_REQUIRES_SHARED(mu_);
+  MatchSet TopEntitiesLocked(VecView query,
+                             const std::vector<uint64_t>& keys, int k,
+                             const std::string& exclude_id, int exclude_row,
+                             int exclude_col) const
+      TABBIN_REQUIRES_SHARED(mu_);
+
   const TabBiNSystem* system_;
 
   mutable SharedMutex mu_;
@@ -400,6 +456,20 @@ Result<QueryResponse> ScatterSimilarEntities(const ServingCore& core,
                                              const EntityQueryRequest& req);
 Result<AskResponse> ScatterAsk(const ServingCore& core,
                                const AskRequest& req);
+
+// Batched variants (the async executor's coalesced path): out[i] is
+// byte-identical to the matching single-query Scatter* call. Every
+// request is planned (validated / encoded / hashed) through the SAME
+// helpers as the single path, outside all locks; the ranking then
+// takes ONE reader-lock hold per shard for the whole batch. A request
+// that fails planning gets its own error Status without failing the
+// rest of the batch.
+std::vector<Result<QueryResponse>> ScatterSimilarColumnsBatch(
+    const ServingCore& core, const std::vector<ColumnQueryRequest>& reqs);
+std::vector<Result<QueryResponse>> ScatterSimilarTablesBatch(
+    const ServingCore& core, const std::vector<TableQueryRequest>& reqs);
+std::vector<Result<QueryResponse>> ScatterSimilarEntitiesBatch(
+    const ServingCore& core, const std::vector<EntityQueryRequest>& reqs);
 
 // The embedding accessors both services expose (engine-cached encode →
 // composite; thread-safe, no shard locks).

@@ -83,6 +83,21 @@ Result<QueryResponse> ShardedTabBinService::SimilarEntities(
   return ScatterSimilarEntities(core(), req);
 }
 
+std::vector<Result<QueryResponse>> ShardedTabBinService::SimilarColumnsBatch(
+    const std::vector<ColumnQueryRequest>& reqs) const {
+  return ScatterSimilarColumnsBatch(core(), reqs);
+}
+
+std::vector<Result<QueryResponse>> ShardedTabBinService::SimilarTablesBatch(
+    const std::vector<TableQueryRequest>& reqs) const {
+  return ScatterSimilarTablesBatch(core(), reqs);
+}
+
+std::vector<Result<QueryResponse>> ShardedTabBinService::SimilarEntitiesBatch(
+    const std::vector<EntityQueryRequest>& reqs) const {
+  return ScatterSimilarEntitiesBatch(core(), reqs);
+}
+
 Result<AskResponse> ShardedTabBinService::Ask(const AskRequest& req) const {
   return ScatterAsk(core(), req);
 }

@@ -77,6 +77,13 @@ class ShardedTabBinService : public TabBinServing {
       const EntityQueryRequest& req) const override;
   Result<AskResponse> Ask(const AskRequest& req) const override;
 
+  std::vector<Result<QueryResponse>> SimilarColumnsBatch(
+      const std::vector<ColumnQueryRequest>& reqs) const override;
+  std::vector<Result<QueryResponse>> SimilarTablesBatch(
+      const std::vector<TableQueryRequest>& reqs) const override;
+  std::vector<Result<QueryResponse>> SimilarEntitiesBatch(
+      const std::vector<EntityQueryRequest>& reqs) const override;
+
   // --- Embedding accessors ----------------------------------------------
 
   std::vector<float> ColumnEmbedding(const Table& table,

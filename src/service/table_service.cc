@@ -77,6 +77,21 @@ Result<QueryResponse> TabBinService::SimilarEntities(
   return ScatterSimilarEntities(core(), req);
 }
 
+std::vector<Result<QueryResponse>> TabBinService::SimilarColumnsBatch(
+    const std::vector<ColumnQueryRequest>& reqs) const {
+  return ScatterSimilarColumnsBatch(core(), reqs);
+}
+
+std::vector<Result<QueryResponse>> TabBinService::SimilarTablesBatch(
+    const std::vector<TableQueryRequest>& reqs) const {
+  return ScatterSimilarTablesBatch(core(), reqs);
+}
+
+std::vector<Result<QueryResponse>> TabBinService::SimilarEntitiesBatch(
+    const std::vector<EntityQueryRequest>& reqs) const {
+  return ScatterSimilarEntitiesBatch(core(), reqs);
+}
+
 Result<AskResponse> TabBinService::Ask(const AskRequest& req) const {
   return ScatterAsk(core(), req);
 }

@@ -95,6 +95,13 @@ class TabBinService : public TabBinServing {
       const EntityQueryRequest& req) const override;
   Result<AskResponse> Ask(const AskRequest& req) const override;
 
+  std::vector<Result<QueryResponse>> SimilarColumnsBatch(
+      const std::vector<ColumnQueryRequest>& reqs) const override;
+  std::vector<Result<QueryResponse>> SimilarTablesBatch(
+      const std::vector<TableQueryRequest>& reqs) const override;
+  std::vector<Result<QueryResponse>> SimilarEntitiesBatch(
+      const std::vector<EntityQueryRequest>& reqs) const override;
+
   // --- Embedding accessors ----------------------------------------------
   // The exact embedding path the indexes are built from, cached through
   // the engine; thread-safe. Benchmarks and evaluation pipelines route

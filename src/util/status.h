@@ -26,6 +26,7 @@ enum class StatusCode {
   kInternal,
   kIoError,
   kParseError,
+  kResourceExhausted,
 };
 
 /// \brief Returns a short human-readable name for a status code.
@@ -69,6 +70,9 @@ class [[nodiscard]] Status {
   }
   static Status ParseError(std::string msg) {
     return Status(StatusCode::kParseError, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

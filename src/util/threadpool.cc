@@ -1,8 +1,20 @@
 #include "util/threadpool.h"
 
 #include <algorithm>
+#include <exception>
 
 namespace tabbin {
+
+namespace {
+// Set for the lifetime of a worker thread (any ThreadPool's). Checked
+// by fan-out helpers: a worker that submits chunks to its own pool and
+// blocks on their futures deadlocks once every worker is blocked the
+// same way, so fan-out from a worker runs inline instead. Deliberately
+// pool-agnostic — a worker of pool A fanning out onto pool B is still
+// one blocked-worker cycle away from the same wedge when B's workers
+// fan out onto A.
+thread_local bool t_in_pool_worker = false;
+}  // namespace
 
 ThreadPool::ThreadPool(size_t num_threads) {
   if (num_threads == 0) {
@@ -14,9 +26,12 @@ ThreadPool::ThreadPool(size_t num_threads) {
   }
 }
 
-ThreadPool::~ThreadPool() {
+ThreadPool::~ThreadPool() { Shutdown(); }
+
+void ThreadPool::Shutdown() {
   {
     MutexLock lock(&mu_);
+    if (shutdown_) return;  // idempotent: workers already joined (below)
     shutdown_ = true;
   }
   cv_.notify_all();
@@ -25,18 +40,29 @@ ThreadPool::~ThreadPool() {
   }
 }
 
+bool ThreadPool::InPoolWorker() { return t_in_pool_worker; }
+
 std::future<void> ThreadPool::Submit(std::function<void()> task) {
   std::packaged_task<void()> pt(std::move(task));
   std::future<void> fut = pt.get_future();
   {
     MutexLock lock(&mu_);
-    tasks_.push(std::move(pt));
+    if (!shutdown_) {
+      tasks_.push(std::move(pt));
+      cv_.notify_one();
+      return fut;
+    }
   }
-  cv_.notify_one();
+  // Shutdown already observed: the workers have drained the queue (or
+  // are about to, without ever seeing this task). Run inline so the
+  // future is satisfied instead of hanging its waiter forever; the
+  // packaged_task still routes any exception into the future.
+  pt();
   return fut;
 }
 
 void ThreadPool::WorkerLoop() {
+  t_in_pool_worker = true;
   for (;;) {
     std::packaged_task<void()> task;
     {
@@ -60,11 +86,15 @@ ThreadPool& ThreadPool::Global() {
 
 void ParallelFor(size_t begin, size_t end,
                  const std::function<void(size_t)>& fn, size_t grain) {
+  ParallelFor(ThreadPool::Global(), begin, end, fn, grain);
+}
+
+void ParallelFor(ThreadPool& pool, size_t begin, size_t end,
+                 const std::function<void(size_t)>& fn, size_t grain) {
   if (end <= begin) return;
   size_t n = end - begin;
-  ThreadPool& pool = ThreadPool::Global();
   size_t workers = pool.num_threads();
-  if (n <= grain || workers <= 1) {
+  if (n <= grain || workers <= 1 || ThreadPool::InPoolWorker()) {
     for (size_t i = begin; i < end; ++i) fn(i);
     return;
   }
@@ -80,7 +110,21 @@ void ParallelFor(size_t begin, size_t end,
       for (size_t i = lo; i < hi; ++i) fn(i);
     }));
   }
-  for (auto& f : futures) f.get();
+  // Drain EVERY chunk before letting any exception escape: the chunk
+  // lambdas hold fn by reference, so unwinding past this frame (and the
+  // caller's, which typically owns the std::function) while chunks are
+  // still queued would have them call through a dangling reference.
+  // Only the first exception propagates; later ones are swallowed with
+  // their chunks already safely finished.
+  std::exception_ptr first;
+  for (auto& f : futures) {
+    try {
+      f.get();
+    } catch (...) {
+      if (!first) first = std::current_exception();
+    }
+  }
+  if (first) std::rethrow_exception(first);
 }
 
 }  // namespace tabbin

@@ -26,10 +26,28 @@ class ThreadPool {
   ThreadPool& operator=(const ThreadPool&) = delete;
 
   /// \brief Enqueues a task and returns a future for its completion.
+  ///
+  /// Once Shutdown() has run (or is racing with this call and won), no
+  /// worker will ever drain the queue again, so instead of enqueueing a
+  /// task nobody runs — which would hang the returned future forever —
+  /// the task executes inline on the calling thread and the future
+  /// comes back already satisfied.
   std::future<void> Submit(std::function<void()> task)
       TABBIN_EXCLUDES(mu_);
 
+  /// \brief Stops accepting queued work and joins every worker.
+  /// Tasks already enqueued are drained first. Idempotent; the
+  /// destructor calls it. Must not be called from a pool worker.
+  void Shutdown() TABBIN_EXCLUDES(mu_);
+
   size_t num_threads() const { return workers_.size(); }
+
+  /// \brief True when the calling thread is a pool worker (any pool's).
+  /// Fan-out helpers consult this to run inline instead of submitting
+  /// chunks back into the pool and blocking on them — with every worker
+  /// blocked the same way, the queued chunks could never run and the
+  /// pool would wedge permanently.
+  static bool InPoolWorker();
 
   /// \brief Process-wide shared pool (lazily constructed).
   static ThreadPool& Global();
@@ -48,8 +66,21 @@ class ThreadPool {
 
 /// \brief Runs fn(i) for i in [begin, end) across the global pool.
 ///
-/// Falls back to a serial loop for small ranges to avoid overhead.
+/// Falls back to a serial loop for small ranges, when called from a
+/// pool worker (nested fan-out would deadlock once every worker blocks
+/// on chunks only the pool could run), or when the pool has one worker.
+/// If fn throws, every already-submitted chunk is drained before the
+/// first exception propagates — chunks capture fn by reference, so
+/// unwinding while chunks are still queued would leave them invoking a
+/// dangling reference.
 void ParallelFor(size_t begin, size_t end,
+                 const std::function<void(size_t)>& fn,
+                 size_t grain = 1024);
+
+/// \brief Same, over an explicit pool (tests exercise the fan-out,
+/// drain, and nested-worker paths deterministically on machines whose
+/// global pool has a single worker).
+void ParallelFor(ThreadPool& pool, size_t begin, size_t end,
                  const std::function<void(size_t)>& fn,
                  size_t grain = 1024);
 

@@ -3,8 +3,10 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <set>
+#include <stdexcept>
 
 #include "util/rng.h"
 #include "util/serialize.h"
@@ -34,7 +36,8 @@ TEST(StatusTest, AllCodesHaveNames) {
                     StatusCode::kNotFound, StatusCode::kAlreadyExists,
                     StatusCode::kOutOfRange, StatusCode::kUnimplemented,
                     StatusCode::kInternal, StatusCode::kIoError,
-                    StatusCode::kParseError}) {
+                    StatusCode::kParseError,
+                    StatusCode::kResourceExhausted}) {
     EXPECT_STRNE(StatusCodeName(code), "Unknown");
   }
 }
@@ -274,6 +277,104 @@ TEST(ThreadPoolTest, ParallelForCoversRange) {
 
 TEST(ThreadPoolTest, ParallelForEmptyRangeIsNoop) {
   ParallelFor(5, 5, [](size_t) { FAIL() << "must not be called"; });
+}
+
+// Regression: Submit after Shutdown used to enqueue a task no worker
+// would ever pop, so the returned future hung its waiter forever. The
+// fix runs the task inline and returns an already-satisfied future.
+TEST(ThreadPoolTest, SubmitAfterShutdownRunsInline) {
+  ThreadPool pool(2);
+  std::atomic<int> ran{0};
+  pool.Submit([&ran] { ran++; }).get();
+  pool.Shutdown();
+  pool.Shutdown();  // idempotent
+  const auto caller = std::this_thread::get_id();
+  std::thread::id task_thread;
+  auto fut = pool.Submit([&] {
+    ran++;
+    task_thread = std::this_thread::get_id();
+  });
+  // Pre-fix this get() never returned; a hung test is the failure mode.
+  EXPECT_EQ(fut.wait_for(std::chrono::seconds(30)),
+            std::future_status::ready);
+  fut.get();
+  EXPECT_EQ(ran.load(), 2);
+  EXPECT_EQ(task_thread, caller) << "post-shutdown task must run inline";
+}
+
+TEST(ThreadPoolTest, SubmitAfterShutdownPropagatesException) {
+  ThreadPool pool(1);
+  pool.Shutdown();
+  auto fut = pool.Submit([] { throw std::runtime_error("inline boom"); });
+  EXPECT_THROW(fut.get(), std::runtime_error);
+}
+
+// Regression: ParallelFor called from a pool worker used to submit its
+// chunks to the same global pool and block on their futures; with every
+// worker blocked that way the chunks could never run and the pool
+// wedged permanently. The fix detects the worker context and runs
+// inline. This saturates a 4-worker pool with tasks that all nest a
+// ParallelFor large enough to fan out — pre-fix this deadlocks (the
+// ctest timeout is the failure), post-fix it completes. A local pool
+// (not Global()) keeps the test meaningful on single-core machines,
+// where the global pool has one worker and never fans out at all.
+TEST(ThreadPoolTest, NestedParallelForInsidePoolWorkerRunsInline) {
+  ThreadPool pool(4);
+  const size_t n_tasks = pool.num_threads() * 3;
+  const size_t inner_n = 4096;  // > grain below, so it WOULD fan out
+  std::atomic<size_t> total{0};
+  std::vector<std::future<void>> futs;
+  futs.reserve(n_tasks);
+  for (size_t t = 0; t < n_tasks; ++t) {
+    futs.push_back(pool.Submit([&pool, &total, inner_n] {
+      EXPECT_TRUE(ThreadPool::InPoolWorker());
+      ParallelFor(pool, 0, inner_n, [&total](size_t) { total++; },
+                  /*grain=*/64);
+    }));
+  }
+  for (auto& f : futs) f.get();
+  EXPECT_EQ(total.load(), n_tasks * inner_n);
+  EXPECT_FALSE(ThreadPool::InPoolWorker());
+}
+
+// Regression: the submitted chunk lambdas capture fn by reference, and
+// f.get() used to rethrow the first chunk's exception while later
+// chunks were still queued — those then invoked a dangling reference
+// once the caller's std::function unwound (stack-use-after-scope under
+// ASan). The fix drains every chunk before propagating. Every
+// non-throwing index must still have executed by the time the
+// exception reaches the caller.
+TEST(ThreadPoolTest, ParallelForThrowingFnDrainsAllChunksFirst) {
+  // Explicit 4-worker pool: the drain path only exists when fan-out
+  // happens, and the global pool on a single-core machine never fans
+  // out (serial fallback).
+  ThreadPool pool(4);
+  const size_t n = 8192;
+  std::vector<std::atomic<int>> hits(n);
+  bool threw = false;
+  try {
+    // Temporary lambda: pre-fix, its std::function dies on unwind while
+    // queued chunks still point at it.
+    ParallelFor(
+        pool, 0, n,
+        [&hits](size_t i) {
+          if (i == 1) throw std::runtime_error("chunk boom");
+          hits[i]++;
+        },
+        /*grain=*/64);
+  } catch (const std::runtime_error& e) {
+    threw = true;
+    EXPECT_STREQ(e.what(), "chunk boom");
+  }
+  EXPECT_TRUE(threw);
+  // The throwing chunk aborts at the throw, but every OTHER chunk must
+  // have fully completed before the exception escaped. The throw lands
+  // in chunk 0 (index 1) and chunk 0 never spans past n/2 (fan-out
+  // always makes >= 2 chunks), so the whole second half is proof.
+  for (size_t i = (n + 1) / 2; i < n; ++i) {
+    EXPECT_EQ(hits[i].load(), 1) << "index " << i
+                                 << " skipped: chunks were not drained";
+  }
 }
 
 }  // namespace

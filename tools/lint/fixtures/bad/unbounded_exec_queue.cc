@@ -1,0 +1,24 @@
+// Fixture: a dispatcher staging executor jobs in a raw std::deque.
+// Nothing bounds the backlog, so under overload the queue — and every
+// queued request's tail latency — grows without limit instead of the
+// excess being shed with ResourceExhausted at admission.
+#include <deque>
+
+struct Job {
+  int kind = 0;
+};
+
+class LaxDispatcher {
+ public:
+  void Push(Job j) { backlog_.push_back(j); }
+
+  bool Pop(Job* out) {
+    if (backlog_.empty()) return false;
+    *out = backlog_.front();
+    backlog_.pop_front();
+    return true;
+  }
+
+ private:
+  std::deque<Job> backlog_;
+};

@@ -1,0 +1,33 @@
+// Fixture: executor jobs staged in the admission-controlled
+// BoundedQueue — TryEnqueue refuses work once the fixed capacity is
+// reached, so overload sheds at the edge. A raw FIFO of non-Job
+// elements outside src/exec/ is fine: the rule polices how executor
+// work is staged, not every deque in the codebase.
+#include <deque>
+#include <utility>
+
+template <typename T>
+class BoundedQueue {
+ public:
+  explicit BoundedQueue(unsigned capacity) : capacity_(capacity) {}
+  bool TryEnqueue(T&& item) {
+    (void)item;
+    return capacity_ > 0;
+  }
+
+ private:
+  unsigned capacity_;
+};
+
+struct Job {
+  int kind = 0;
+};
+
+class Dispatcher {
+ public:
+  bool Push(Job j) { return queue_.TryEnqueue(std::move(j)); }
+
+ private:
+  BoundedQueue<Job> queue_;
+  std::deque<int> scratch_;  // non-Job FIFO outside src/exec/: allowed
+};

@@ -50,6 +50,16 @@ raw-mmap
     and silently skips the read-into-buffer fallback for platforms and
     filesystems where mmap fails.
 
+unbounded-exec-queue
+    Executor work is staged ONLY in exec/bounded_queue.h's
+    BoundedQueue, whose TryEnqueue sheds overload with
+    ResourceExhausted at admission. A raw std::queue/deque/list —
+    anywhere in src/exec/, or holding executor Jobs anywhere — grows
+    without bound under overload, so the backlog (and every queued
+    request's tail latency) climbs until timeouts cascade; that is the
+    exact failure mode the admission-controlled executor exists to
+    prevent.
+
 Suppression
 -----------
 Findings are suppressed with an explicit, rule-scoped marker on the
@@ -94,6 +104,10 @@ RULES = {
     "raw-mmap": (
         "raw mmap/munmap outside src/store/ (use store/mapped_file.h)"
     ),
+    "unbounded-exec-queue": (
+        "executor work staged in a raw unbounded FIFO instead of the "
+        "admission-controlled BoundedQueue (exec/bounded_queue.h)"
+    ),
 }
 
 # Files a rule never applies to (the rule polices *callers* of these
@@ -126,6 +140,11 @@ RULE_EXCLUDES = {
     "raw-mmap": [
         # The store layer IS the sanctioned mmap owner.
         "src/store/",
+    ],
+    "unbounded-exec-queue": [
+        # BoundedQueue itself stores items in a std::deque — behind a
+        # fixed capacity check; it IS the sanctioned staging container.
+        "src/exec/bounded_queue.h",
     ],
 }
 
@@ -410,12 +429,37 @@ def rule_raw_mmap(path, code_lines, fn_ranges, mask):
     return findings
 
 
+UNBOUNDED_QUEUE_RE = re.compile(
+    r"\bstd::(queue|deque|priority_queue|list)\s*<([^;{]*)>")
+
+
+def rule_unbounded_exec_queue(path, code_lines, fn_ranges, mask):
+    """Raw FIFO containers are forbidden throughout src/exec/ (where
+    every staged item is executor work) and, anywhere else, when the
+    element type is the executor's Job."""
+    in_exec = path.startswith("src/exec/")
+    findings = []
+    for idx, line in enumerate(code_lines):
+        m = UNBOUNDED_QUEUE_RE.search(line)
+        if not m:
+            continue
+        if in_exec or re.search(r"\bJob\b", m.group(2)):
+            findings.append(Finding(
+                path, idx + 1, "unbounded-exec-queue",
+                "raw std::%s can grow without bound under overload; "
+                "stage executor work in BoundedQueue "
+                "(exec/bounded_queue.h) so TryEnqueue sheds the excess "
+                "with ResourceExhausted at admission" % m.group(1)))
+    return findings
+
+
 RULE_FNS = {
     "encode-under-lock": rule_encode_under_lock,
     "raw-row-mutation": rule_raw_row_mutation,
     "kernel-bypass": rule_kernel_bypass,
     "naked-new-sections": rule_naked_new_sections,
     "raw-mmap": rule_raw_mmap,
+    "unbounded-exec-queue": rule_unbounded_exec_queue,
 }
 
 
