@@ -6,7 +6,7 @@
 // incremental writes, plus snapshot cold start: v1 heap load vs v2
 // mapped open) with a self-contained timer — no google-benchmark
 // dependency, so the binary builds everywhere the library does — and
-// writes BENCH_PR9.json:
+// writes BENCH_PR10.json:
 //
 //   { "dispatch": "<active kernel level>",
 //     "results": [ {"op": ..., "ns_per_op": ..., "mb_per_s": ...,
@@ -24,14 +24,22 @@
 // at ~2x the measured single-thread capacity, where admission control
 // is expected to shed load instead of growing an unbounded backlog.
 //
-// Usage: perf_report [output.json]   (default: BENCH_PR9.json in cwd)
+// The hnsw_frontier section sweeps ef_search over a 100k-column
+// clustered corpus and records, per ef, recall@10 vs the exact float
+// oracle plus ns/op of candidate generation + exact top-10 rerank —
+// the whole serving recipe — next to the same figures for the LSH
+// bucket pool. That is the recall/QPS frontier behind the
+// ServiceOptions{index_kind, hnsw_ef_search} knobs.
+//
+// Usage: perf_report [output.json]   (default: BENCH_PR10.json in cwd)
 //
 // CI runs this as a perf smoke step and uploads the JSON as an
 // artifact; compare files across PRs for the trajectory. Set
 // TABBIN_FORCE_SCALAR=1 to record the portable-scalar baseline on the
-// same machine. The run doubles as the quantization quality gate: it
-// exits non-zero when recall@10 of the two-stage scan vs the float
-// oracle drops below 0.99 at the default shortlist multiplier (r=4).
+// same machine. The run doubles as two quality gates: it exits
+// non-zero when recall@10 of the quantized two-stage scan vs the float
+// oracle drops below 0.99 at the default shortlist multiplier (r=4),
+// or when hnsw recall@10 at the default ef_search drops below 0.95.
 #include <algorithm>
 #include <atomic>
 #include <chrono>
@@ -50,6 +58,7 @@
 #include "core/tabbin.h"
 #include "datagen/corpus_gen.h"
 #include "exec/executor.h"
+#include "index/hnsw_index.h"
 #include "service/table_service.h"
 #include "tasks/lsh.h"
 #include "tensor/kernels.h"
@@ -417,6 +426,215 @@ int Run(const std::string& out_path) {
       "r=8 %.3f\n\n",
       recall_at[0], recall_at[1], recall_at[2], recall_at[3]);
 
+  // --- Graph ANN candidate generation: HNSW walk vs LSH pool ----------
+  // A 100k-column clustered corpus (twice the 50k acceptance floor —
+  // the scale story IS the point: the LSH pool grows linearly with the
+  // corpus while the walk grows ~log) (Gaussian centers + noise — serving
+  // embeddings are clustered by construction: columns embed near their
+  // semantic neighbors, which is also the regime where LSH buckets
+  // skew hot and the pool degenerates toward a scan). Each measured op
+  // is the WHOLE candidate recipe the Similar* endpoints run: generate
+  // candidates, then exact float top-10 rerank.
+  const size_t ann_rows = 100000;
+  const size_t ann_centers = 400;
+  EmbeddingMatrix ann;
+  ann.Reserve(ann_rows);
+  {
+    std::vector<std::vector<float>> centers(ann_centers,
+                                            std::vector<float>(dim));
+    for (auto& c : centers) {
+      for (auto& x : c) x = static_cast<float>(rng.Gaussian());
+    }
+    std::vector<float> v(dim);
+    for (size_t i = 0; i < ann_rows; ++i) {
+      const auto& c = centers[rng.Uniform(ann_centers)];
+      for (size_t d = 0; d < dim; ++d) {
+        v[d] = c[d] + 0.25f * static_cast<float>(rng.Gaussian());
+      }
+      ann.AppendRow(v);
+    }
+  }
+
+  HnswIndex hnsw(static_cast<int>(dim), HnswOptions{});
+  {
+    using Clock = std::chrono::steady_clock;
+    const auto b0 = Clock::now();
+    for (size_t i = 0; i < ann_rows; ++i) {
+      if (Status s = hnsw.Insert(ann, static_cast<int>(i)); !s.ok()) {
+        std::fprintf(stderr, "hnsw build failed: %s\n",
+                     s.ToString().c_str());
+        return 1;
+      }
+    }
+    const double build_ns = static_cast<double>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                             b0)
+            .count());
+    results.push_back(Report("hnsw_build_insert_100000x72",
+                             build_ns / static_cast<double>(ann_rows), 0,
+                             1));
+  }
+  LshIndex ann_lsh(static_cast<int>(dim), 8, 12);
+  for (size_t i = 0; i < ann_rows; ++i) {
+    if (Status s = ann_lsh.Insert(static_cast<int>(i), ann.row(i));
+        !s.ok()) {
+      std::fprintf(stderr, "lsh build failed: %s\n", s.ToString().c_str());
+      return 1;
+    }
+  }
+
+  // Seeded query set: perturbed corpus rows (a Similar* query IS an
+  // indexed embedding).
+  const int ann_queries = 32;
+  std::vector<std::vector<float>> ann_q(static_cast<size_t>(ann_queries));
+  std::vector<float> ann_q_inv(static_cast<size_t>(ann_queries));
+  for (auto& q : ann_q) {
+    q.resize(dim);
+    VecView base = ann.row(rng.Uniform(ann_rows));
+    for (size_t d = 0; d < dim; ++d) {
+      q[d] = base.data()[d] + 0.05f * static_cast<float>(rng.Gaussian());
+    }
+  }
+  for (int i = 0; i < ann_queries; ++i) {
+    ann_q_inv[static_cast<size_t>(i)] = kernels::InvNorm(
+        ann_q[static_cast<size_t>(i)].data(), dim);
+  }
+
+  // Exact float oracle top-10 per query (sorted id sets for recall).
+  std::vector<int> ann_idx(ann_rows);
+  for (size_t i = 0; i < ann_rows; ++i) ann_idx[i] = static_cast<int>(i);
+  std::vector<float> ann_scores(ann_rows);
+  std::vector<std::vector<int>> ann_oracle(
+      static_cast<size_t>(ann_queries));
+  for (int qi = 0; qi < ann_queries; ++qi) {
+    const size_t q = static_cast<size_t>(qi);
+    kernels::BatchedCosineRows(ann_q[q].data(), ann_q_inv[q], ann.data(),
+                               ann.cols(), ann_idx.data(), ann_idx.size(),
+                               ann.inv_norms(), ann_scores.data());
+    std::vector<int> top = ann_idx;
+    std::nth_element(top.begin(), top.begin() + rerank_k, top.end(),
+                     [&ann_scores](int a, int b) {
+                       if (ann_scores[static_cast<size_t>(a)] !=
+                           ann_scores[static_cast<size_t>(b)]) {
+                         return ann_scores[static_cast<size_t>(a)] >
+                                ann_scores[static_cast<size_t>(b)];
+                       }
+                       return a < b;
+                     });
+    top.resize(static_cast<size_t>(rerank_k));
+    std::sort(top.begin(), top.end());
+    ann_oracle[q] = std::move(top);
+  }
+
+  // Candidates -> exact top-10, returning recall vs this query's oracle.
+  std::vector<float> cand_scores;
+  const auto rerank_recall = [&](const std::vector<int>& pool, size_t q) {
+    if (pool.empty()) return 0.0;
+    cand_scores.resize(pool.size());
+    kernels::BatchedCosineRows(ann_q[q].data(), ann_q_inv[q], ann.data(),
+                               ann.cols(), pool.data(), pool.size(),
+                               ann.inv_norms(), cand_scores.data());
+    std::vector<int> order(pool.size());
+    for (size_t i = 0; i < pool.size(); ++i) order[i] = static_cast<int>(i);
+    const size_t cut = std::min<size_t>(static_cast<size_t>(rerank_k),
+                                        order.size());
+    std::nth_element(order.begin(), order.begin() + cut, order.end(),
+                     [&](int a, int b) {
+                       if (cand_scores[static_cast<size_t>(a)] !=
+                           cand_scores[static_cast<size_t>(b)]) {
+                         return cand_scores[static_cast<size_t>(a)] >
+                                cand_scores[static_cast<size_t>(b)];
+                       }
+                       return pool[static_cast<size_t>(a)] <
+                              pool[static_cast<size_t>(b)];
+                     });
+    order.resize(cut);
+    std::vector<int> ids;
+    ids.reserve(cut);
+    for (int o : order) ids.push_back(pool[static_cast<size_t>(o)]);
+    std::sort(ids.begin(), ids.end());
+    const std::vector<int>& oracle = ann_oracle[q];
+    std::vector<int> hit;
+    std::set_intersection(oracle.begin(), oracle.end(), ids.begin(),
+                          ids.end(), std::back_inserter(hit));
+    return static_cast<double>(hit.size()) / rerank_k;
+  };
+
+  // LSH baseline: bucket-pool candidates + exact rerank.
+  ann_lsh.ResetPoolStats();
+  double lsh_recall = 0;
+  for (int qi = 0; qi < ann_queries; ++qi) {
+    const size_t q = static_cast<size_t>(qi);
+    lsh_recall += rerank_recall(
+        ann_lsh.Query(VecView(ann_q[q].data(), dim)), q);
+  }
+  lsh_recall /= ann_queries;
+  const LshIndex::PoolStats lsh_ps = ann_lsh.pool_stats();
+  const double lsh_pool_avg =
+      static_cast<double>(lsh_ps.candidates) /
+      static_cast<double>(std::max<uint64_t>(1, lsh_ps.queries));
+  int lsh_qi = 0;
+  const double lsh_gen_ns = TimeNs([&] {
+    const size_t q = static_cast<size_t>(lsh_qi++ % ann_queries);
+    return rerank_recall(ann_lsh.Query(VecView(ann_q[q].data(), dim)), q);
+  });
+  results.push_back(
+      Report("ann_candidates_lsh_100000x72", lsh_gen_ns, 0, 1));
+  std::printf(
+      "  -> lsh pool: recall@10 %.3f, avg pool %.0f rows scanned/query\n",
+      lsh_recall, lsh_pool_avg);
+
+  // HNSW frontier: recall/QPS vs ef_search. 96 is the serving default
+  // (ServiceOptions::hnsw_ef_search) and the CI-gated point.
+  struct FrontierRow {
+    int ef = 0;
+    double recall = 0;
+    double ns_per_op = 0;
+    double visited = 0;
+    double scored = 0;
+  };
+  const int default_ef = 96;
+  const int ef_sweep[] = {16, 32, 64, 96, 128, 256};
+  std::vector<FrontierRow> frontier;
+  double hnsw_default_ns = 0, hnsw_default_recall = 0;
+  for (const int ef : ef_sweep) {
+    FrontierRow row;
+    row.ef = ef;
+    for (int qi = 0; qi < ann_queries; ++qi) {
+      const size_t q = static_cast<size_t>(qi);
+      row.recall += rerank_recall(
+          hnsw.Search(ann, VecView(ann_q[q].data(), dim), ef), q);
+    }
+    row.recall /= ann_queries;
+    hnsw.ResetQueryStats();
+    int hq = 0;
+    row.ns_per_op = TimeNs([&] {
+      const size_t q = static_cast<size_t>(hq++ % ann_queries);
+      return rerank_recall(
+          hnsw.Search(ann, VecView(ann_q[q].data(), dim), ef), q);
+    });
+    const HnswIndex::QueryStats hs = hnsw.query_stats();
+    row.visited = static_cast<double>(hs.visited) /
+                  static_cast<double>(std::max<uint64_t>(1, hs.queries));
+    row.scored = static_cast<double>(hs.scored) /
+                 static_cast<double>(std::max<uint64_t>(1, hs.queries));
+    std::printf(
+        "  -> hnsw ef=%3d: recall@10 %.3f, %10.1f ns/op, avg %6.0f "
+        "scored, %4.0f expansions\n",
+        row.ef, row.recall, row.ns_per_op, row.scored, row.visited);
+    if (ef == default_ef) {
+      hnsw_default_ns = row.ns_per_op;
+      hnsw_default_recall = row.recall;
+      results.push_back(
+          Report("ann_candidates_hnsw_ef96_100000x72", row.ns_per_op, 0, 1));
+    }
+    frontier.push_back(row);
+  }
+  const double hnsw_vs_lsh_qps = lsh_gen_ns / hnsw_default_ns;
+  std::printf(
+      "  -> hnsw (ef=%d) vs lsh: %.2fx QPS at recall %.3f vs %.3f\n\n",
+      default_ef, hnsw_vs_lsh_qps, hnsw_default_recall, lsh_recall);
+
   // --- Blocked GEMM at encoder-forward shape --------------------------
   const int gn = 96, gk = 72, gm = 72;
   std::vector<float> ga(static_cast<size_t>(gn) * gk);
@@ -660,9 +878,26 @@ int Run(const std::string& out_path) {
                  static_cast<unsigned long long>(r.max_batch_seen),
                  i + 1 < open_loop.size() ? "," : "");
   }
+  std::fprintf(f, "  ],\n  \"hnsw_frontier\": [\n");
+  for (size_t i = 0; i < frontier.size(); ++i) {
+    const FrontierRow& r = frontier[i];
+    std::fprintf(f,
+                 "    {\"ef_search\": %d, \"recall_at_10\": %.4f, "
+                 "\"ns_per_op\": %.1f, \"qps\": %.1f, "
+                 "\"avg_scored\": %.1f, \"avg_expansions\": %.1f}%s\n",
+                 r.ef, r.recall, r.ns_per_op, 1e9 / r.ns_per_op, r.scored,
+                 r.visited, i + 1 < frontier.size() ? "," : "");
+  }
   std::fprintf(f,
                "  ],\n  \"derived\": {\n"
-               "    \"candidate_scoring_speedup_vs_per_pair\": %.2f,\n"
+               "    \"hnsw_recall_at_10_default_ef\": %.4f,\n"
+               "    \"lsh_recall_at_10\": %.4f,\n"
+               "    \"lsh_avg_pool_rows\": %.1f,\n"
+               "    \"hnsw_vs_lsh_qps_ratio\": %.2f,\n"
+               "    \"candidate_scoring_speedup_vs_per_pair\": %.2f,\n",
+               hnsw_default_recall, lsh_recall, lsh_pool_avg,
+               hnsw_vs_lsh_qps, cosine_speedup);
+  std::fprintf(f,
                "    \"gemm_dispatch_speedup_vs_scalar\": %.2f,\n"
                "    \"quantized_scan_speedup_vs_float_scan\": %.2f,\n"
                "    \"quantized_candidate_scoring_speedup_vs_float\": "
@@ -678,7 +913,7 @@ int Run(const std::string& out_path) {
                "    \"cold_start_v2_mapped_open_ms\": %.3f,\n"
                "    \"cold_start_speedup_v2_vs_v1\": %.2f\n"
                "  }\n}\n",
-               cosine_speedup, gemm_speedup, quant_speedup,
+               gemm_speedup, quant_speedup,
                quant_cand_speedup, float_bytes_per_mcols,
                int8_bytes_per_mcols,
                float_bytes_per_mcols / int8_bytes_per_mcols, recall_at[0],
@@ -695,6 +930,14 @@ int Run(const std::string& out_path) {
                  recall_at[2]);
     return 1;
   }
+  // Graph gate: the hnsw walk must hold recall@10 >= 0.95 at the
+  // serving-default ef_search, or the smoke step fails.
+  if (hnsw_default_recall < 0.95) {
+    std::fprintf(stderr,
+                 "FAIL: hnsw recall@10 at ef=%d is %.4f (< 0.95 gate)\n",
+                 default_ef, hnsw_default_recall);
+    return 1;
+  }
   return 0;
 }
 
@@ -702,6 +945,6 @@ int Run(const std::string& out_path) {
 }  // namespace tabbin
 
 int main(int argc, char** argv) {
-  const std::string out = argc > 1 ? argv[1] : "BENCH_PR9.json";
+  const std::string out = argc > 1 ? argv[1] : "BENCH_PR10.json";
   return tabbin::Run(out);
 }

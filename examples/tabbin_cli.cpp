@@ -58,6 +58,7 @@
 #include "core/tabbin.h"
 #include "datagen/corpus_gen.h"
 #include "exec/executor.h"
+#include "index/hnsw_index.h"
 #include "io/table_io.h"
 #include "service/sharded_service.h"
 #include "service/table_service.h"
@@ -94,11 +95,12 @@ int Usage() {
                "  tabbin_cli build-service [--shards=N] <corpus.json> "
                "<service.tbsn>\n"
                "  tabbin_cli query [--shards=N] [--quantized[=r]] "
-               "[--async [--qps=N]] <service.tbsn> table <id> [k]\n"
-               "  tabbin_cli query [--shards=N] [--quantized[=r]] "
-               "[--async [--qps=N]] <service.tbsn> column <id> <col> [k]\n"
-               "  tabbin_cli query [--shards=N] [--quantized[=r]] "
-               "[--async [--qps=N]] <service.tbsn> ask <question> [k]\n"
+               "[--index=hnsw|lsh [--ef=N]] [--async [--qps=N]] "
+               "<service.tbsn> table <id> [k]\n"
+               "  tabbin_cli query [...same flags] <service.tbsn> column "
+               "<id> <col> [k]\n"
+               "  tabbin_cli query [...same flags] <service.tbsn> ask "
+               "<question> [k]\n"
                "  tabbin_cli inspect <corpus.json> <index>\n"
                "  tabbin_cli inspect <snapshot.tbsn | generation_dir>\n"
                "datasets: webtables covidkg cancerkg saus cius\n"
@@ -106,6 +108,9 @@ int Usage() {
                "(scatter-gather; answers identical at any shard count)\n"
                "--quantized[=r] scores through the int8 two-stage scan\n"
                "(k*r shortlist, float-exact rerank; default r=4)\n"
+               "--index=hnsw walks the graph-ANN candidate index\n"
+               "(sub-linear; --ef=N widens the beam for recall);\n"
+               "--index=lsh forces the reference bucket probe\n"
                "--async routes queries through the AsyncExecutor;\n"
                "--qps=N replays the query open-loop at N requests/s and\n"
                "prints latency percentiles + shed count (implies --async)\n");
@@ -298,7 +303,7 @@ int CmdLoadModel(const std::string& snapshot_path,
 }
 
 int CmdBuildService(const std::string& corpus_path, const std::string& out,
-                    int shards) {
+                    int shards, int index_kind, int ef) {
   auto corpus = LoadOrDie(corpus_path);
   if (!corpus.ok()) {
     std::fprintf(stderr, "error: %s\n", corpus.status().ToString().c_str());
@@ -320,6 +325,14 @@ int CmdBuildService(const std::string& corpus_path, const std::string& out,
   if (!report.ok()) {
     std::fprintf(stderr, "error: %s\n", report.status().ToString().c_str());
     return 1;
+  }
+  if (index_kind >= 0) {
+    // Graph snapshots carry their adjacency as store sections, so a
+    // service built with --index=hnsw serves the graph straight off
+    // the mapping on load (no rebuild).
+    service->SetIndexKind(static_cast<IndexKind>(index_kind), ef);
+    std::printf("candidate index: %s\n",
+                index_kind == kIndexHnsw ? "hnsw" : "lsh");
   }
   Status st = service->Save(out);
   if (!st.ok()) {
@@ -397,7 +410,8 @@ void RunAsyncLoad(const SubmitFn& submit, int qps, int n) {
 
 int CmdQuery(const std::string& snapshot_path, const std::string& kind,
              const std::vector<std::string>& args, int shards,
-             int quantized_r, bool use_async, int qps) {
+             int quantized_r, int index_kind, int ef, bool use_async,
+             int qps) {
   auto service = LoadServing(snapshot_path, shards);
   if (!service.ok()) {
     std::fprintf(stderr, "error: %s\n", service.status().ToString().c_str());
@@ -409,6 +423,19 @@ int CmdQuery(const std::string& snapshot_path, const std::string& kind,
     // is applied after loading.
     svc.SetQuantizedScan(true, quantized_r);
     std::printf("quantized scan: on (shortlist = k * %d)\n", quantized_r);
+  }
+  if (index_kind >= 0) {
+    // --index=hnsw builds the graphs when the snapshot carries none
+    // (v1 / lsh-saved stores); --index=lsh drops a persisted graph and
+    // forces the reference bucket probe.
+    svc.SetIndexKind(static_cast<IndexKind>(index_kind), ef);
+    if (index_kind == kIndexHnsw && ef > 0) {
+      std::printf("candidate index: hnsw (ef_search %d)\n", ef);
+    } else if (index_kind == kIndexHnsw) {
+      std::printf("candidate index: hnsw (default ef_search)\n");
+    } else {
+      std::printf("candidate index: lsh\n");
+    }
   }
   std::unique_ptr<AsyncExecutor> exec;
   if (use_async) {
@@ -434,7 +461,7 @@ int CmdQuery(const std::string& snapshot_path, const std::string& kind,
       std::fprintf(stderr, "error: %s\n", r.status().ToString().c_str());
       return 1;
     }
-    std::printf("tables similar to %s (%d LSH candidates):\n", args[0].c_str(),
+    std::printf("tables similar to %s (%d candidates):\n", args[0].c_str(),
                 r.value().candidates);
     for (const auto& m : r.value().matches) {
       std::printf("  %.3f  %-16s %s\n", m.score, m.table_id.c_str(),
@@ -460,7 +487,7 @@ int CmdQuery(const std::string& snapshot_path, const std::string& kind,
       std::fprintf(stderr, "error: %s\n", r.status().ToString().c_str());
       return 1;
     }
-    std::printf("columns similar to %s:%d (%d LSH candidates):\n",
+    std::printf("columns similar to %s:%d (%d candidates):\n",
                 args[0].c_str(), col, r.value().candidates);
     for (const auto& m : r.value().matches) {
       std::printf("  %.3f  %-16s col %d  %s\n", m.score, m.table_id.c_str(),
@@ -557,6 +584,47 @@ int CmdInspectSnapshot(const std::string& path) {
                 static_cast<unsigned long long>(info.align),
                 r.ChecksumState(info.name));
   }
+  // Graph-index summary: every persisted HNSW graph is a
+  // "<p>hnsw.<task>meta" / "<p>hnsw.<task>0" section pair; restore each
+  // (validating every neighbor id on the way) and print its geometry.
+  bool printed_hnsw_header = false;
+  for (const PagedSnapshotReader::SectionInfo& info : r.sections()) {
+    const std::string& name = info.name;
+    if (name.find("hnsw.") == std::string::npos || name.size() < 4 ||
+        name.compare(name.size() - 4, 4, "meta") != 0) {
+      continue;
+    }
+    const std::string l0_name = name.substr(0, name.size() - 4) + "0";
+    auto meta = r.Section(name);
+    auto l0 = r.SectionSpan(l0_name);
+    if (!meta.ok() || !l0.ok()) {
+      std::fprintf(stderr, "error: graph %s: %s\n", name.c_str(),
+                   (meta.ok() ? l0.status() : meta.status())
+                       .ToString()
+                       .c_str());
+      all_ok = false;
+      continue;
+    }
+    auto graph = HnswIndex::Restore(&meta.value(), l0.value().data,
+                                    l0.value().size, nullptr);
+    if (!graph.ok()) {
+      std::fprintf(stderr, "error: graph %s: %s\n", name.c_str(),
+                   graph.status().ToString().c_str());
+      all_ok = false;
+      continue;
+    }
+    if (!printed_hnsw_header) {
+      std::printf("hnsw graphs:\n");
+      std::printf("  %-24s %8s %6s %4s %8s %10s %12s\n", "graph", "nodes",
+                  "dead", "M", "levels", "edges", "level0 bytes");
+      printed_hnsw_header = true;
+    }
+    const HnswIndex& g = graph.value();
+    std::printf("  %-24s %8zu %6zu %4d %8d %10zu %12zu\n",
+                name.substr(0, name.size() - 4).c_str(), g.size(),
+                g.dead_count(), g.options().m, g.max_level() + 1,
+                g.edge_count(), g.level0_bytes());
+  }
   std::printf("%s\n", all_ok ? "all section checksums ok"
                              : "CHECKSUM FAILURES (see table)");
   return all_ok ? 0 : 1;
@@ -591,6 +659,8 @@ int main(int argc, char** argv) {
   // anywhere; strip them before positional parsing.
   int shards = 0;       // 0 = default (single shard / saved layout)
   int quantized_r = 0;  // 0 = exact scoring; > 0 = shortlist multiplier
+  int index_kind = -1;  // -1 = as loaded; kIndexLsh / kIndexHnsw forced
+  int ef = 0;           // 0 = keep the service's ef_search default
   bool use_async = false;
   int qps = 0;  // > 0 = open-loop replay rate (implies --async)
   std::vector<std::string> args;
@@ -606,6 +676,18 @@ int main(int argc, char** argv) {
     }
     if (arg.rfind("--quantized=", 0) == 0) {
       quantized_r = std::max(1, std::atoi(arg.c_str() + 12));
+      continue;
+    }
+    if (arg == "--index=hnsw") {
+      index_kind = kIndexHnsw;
+      continue;
+    }
+    if (arg == "--index=lsh") {
+      index_kind = kIndexLsh;
+      continue;
+    }
+    if (arg.rfind("--ef=", 0) == 0) {
+      ef = std::max(1, std::atoi(arg.c_str() + 5));
       continue;
     }
     if (arg == "--async") {
@@ -633,12 +715,12 @@ int main(int argc, char** argv) {
   if (cmd == "save-model" && n == 3) return CmdSaveModel(args[1], args[2]);
   if (cmd == "load-model" && n == 3) return CmdLoadModel(args[1], args[2]);
   if (cmd == "build-service" && n == 3) {
-    return CmdBuildService(args[1], args[2], shards);
+    return CmdBuildService(args[1], args[2], shards, index_kind, ef);
   }
   if (cmd == "query" && n >= 4) {
     std::vector<std::string> rest(args.begin() + 3, args.end());
-    return CmdQuery(args[1], args[2], rest, shards, quantized_r, use_async,
-                    qps);
+    return CmdQuery(args[1], args[2], rest, shards, quantized_r, index_kind,
+                    ef, use_async, qps);
   }
   if (cmd == "inspect" && n == 3) {
     return CmdInspect(args[1], std::atoi(args[2].c_str()));

@@ -52,6 +52,34 @@ struct ServiceOptions {
   /// trades scan speedup for recall (r where recall@10 saturates is
   /// established by the perf_report sweep; 4 is the measured default).
   int quantized_shortlist_multiplier = 4;
+  /// Candidate generator for the Similar* endpoints (see IndexKind
+  /// below). kLsh is the default and the reference behavior: byte-
+  /// identical answers to every pre-graph release. kHnsw swaps the
+  /// bucket probe for a graph walk over an HNSW-style neighbor index —
+  /// sub-linear candidate generation with ef_search as the recall/QPS
+  /// knob. Candidates from either generator go through the SAME
+  /// accept → (optional int8 shortlist) → exact float rerank pipeline,
+  /// so final ordering is always ServiceMatchOrder. Like the quantized
+  /// knobs, these are runtime scoring knobs and deliberately NOT
+  /// serialized into the v1 options section; the graph itself persists
+  /// as optional v2 store sections, and SetIndexKind after load (or a
+  /// snapshot carrying the sections) re-enables the graph path.
+  int index_kind = 0;  // IndexKind; int keeps the struct aggregate-simple
+  /// HNSW degree bound (level 0 keeps 2*m) and build beam width. Build
+  /// parameters are part of the graph's identity: the persisted
+  /// sections record them, and a rebuild with the same values over the
+  /// same rows reproduces the graph bit for bit.
+  int hnsw_m = 16;
+  int hnsw_ef_construction = 100;
+  /// Query-time beam width (clamped to >= k at query time). The
+  /// recall@10-vs-QPS frontier over this knob is in BENCH_PR10.json.
+  int hnsw_ef_search = 96;
+};
+
+/// \brief Candidate-generator selector for ServiceOptions::index_kind.
+enum IndexKind : int {
+  kIndexLsh = 0,
+  kIndexHnsw = 1,
 };
 
 /// \brief Outcome of one AddTables batch.
@@ -137,6 +165,15 @@ class TabBinServing {
   /// and with it byte-identity with a service that never quantized.
   /// Takes each shard's writer lock; not a per-request call.
   virtual void SetQuantizedScan(bool on, int shortlist_multiplier = 4) = 0;
+
+  /// \brief Switches the Similar* candidate generator at runtime (see
+  /// ServiceOptions::index_kind). Enabling kIndexHnsw builds the
+  /// neighbor graphs from the stored rows when no persisted graph is
+  /// present (the v1-snapshot / fresh-corpus fallback); switching back
+  /// to kIndexLsh drops them and restores the reference bucket-probe
+  /// behavior byte for byte. `ef_search <= 0` keeps the current value.
+  /// Takes each shard's writer lock; not a per-request call.
+  virtual void SetIndexKind(IndexKind kind, int ef_search = 0) = 0;
 
   // Queries.
   virtual Result<QueryResponse> SimilarColumns(

@@ -131,6 +131,23 @@ ServiceShard::ServiceShard(const TabBiNSystem* system,
                  options.lsh_tables, options.lsh_seed) {
   options_.quantized_shortlist_multiplier =
       std::max(1, options_.quantized_shortlist_multiplier);
+  options_.hnsw_m = std::max(2, options_.hnsw_m);
+  options_.hnsw_ef_construction =
+      std::max(options_.hnsw_m, options_.hnsw_ef_construction);
+  options_.hnsw_ef_search = std::max(1, options_.hnsw_ef_search);
+  if (options_.index_kind == kIndexHnsw) {
+    // Graphs created empty before any row exists: every insert below
+    // maintains them incrementally, the same contract the LSH indexes
+    // live under. (Direct member init — constructors precede sharing,
+    // so no lock is needed or annotated here.)
+    const HnswOptions hopts{options_.hnsw_m, options_.hnsw_ef_construction,
+                            options_.lsh_seed};
+    col_hnsw_ =
+        std::make_unique<HnswIndex>(ServiceColumnDim(*system), hopts);
+    tbl_hnsw_ = std::make_unique<HnswIndex>(ServiceTableDim(*system), hopts);
+    ent_hnsw_ =
+        std::make_unique<HnswIndex>(ServiceEntityDim(*system), hopts);
+  }
   if (options_.quantized_scan) {
     // Enabled before any row exists: every AppendRow maintains the
     // sidecar from here on (including snapshot-restore inserts, which
@@ -198,7 +215,9 @@ void ServiceShard::InsertPreparedLocked(Table table, const std::string& id,
 
   auto it = id_to_slot_.find(id);
   if (it != id_to_slot_.end()) {
-    slots_[static_cast<size_t>(it->second)].live = false;
+    TableSlot& old = slots_[static_cast<size_t>(it->second)];
+    old.live = false;
+    MarkSlotDeadInHnswLocked(old);
     --live_count_;
     ++report->tables_replaced;
   } else {
@@ -223,6 +242,7 @@ void ServiceShard::InsertPreparedLocked(Table table, const std::string& id,
   tbl_refs_.push_back(slot);
   s.tbl_row = static_cast<int>(tbl_refs_.size()) - 1;
   must_insert(tbl_index_.Insert(s.tbl_row, prepared.table_vec));
+  if (tbl_hnsw_) must_insert(tbl_hnsw_->Insert(tbl_vecs_, s.tbl_row));
 
   if (!prepared.columns.empty()) {
     s.col_begin = static_cast<int>(col_refs_.size());
@@ -231,8 +251,9 @@ void ServiceShard::InsertPreparedLocked(Table table, const std::string& id,
   for (auto& [c, vec] : prepared.columns) {
     col_vecs_.AppendRow(vec);
     col_refs_.push_back(ColumnRef{slot, c});
-    must_insert(
-        col_index_.Insert(static_cast<int>(col_refs_.size()) - 1, vec));
+    const int row = static_cast<int>(col_refs_.size()) - 1;
+    must_insert(col_index_.Insert(row, vec));
+    if (col_hnsw_) must_insert(col_hnsw_->Insert(col_vecs_, row));
     ++report->columns_indexed;
   }
   if (!prepared.entities.empty()) {
@@ -244,8 +265,9 @@ void ServiceShard::InsertPreparedLocked(Table table, const std::string& id,
     full.slot = slot;
     ent_vecs_.AppendRow(vec);
     ent_refs_.push_back(std::move(full));
-    must_insert(
-        ent_index_.Insert(static_cast<int>(ent_refs_.size()) - 1, vec));
+    const int row = static_cast<int>(ent_refs_.size()) - 1;
+    must_insert(ent_index_.Insert(row, vec));
+    if (ent_hnsw_) must_insert(ent_hnsw_->Insert(ent_vecs_, row));
     ++report->entities_indexed;
   }
 }
@@ -303,7 +325,9 @@ Status ServiceShard::Remove(const std::string& id) {
     return Status::NotFound("RemoveTable: no live table with id '" + id +
                             "'");
   }
-  slots_[static_cast<size_t>(it->second)].live = false;
+  TableSlot& s = slots_[static_cast<size_t>(it->second)];
+  s.live = false;
+  MarkSlotDeadInHnswLocked(s);
   id_to_slot_.erase(it);
   --live_count_;
   return Status::OK();
@@ -321,6 +345,70 @@ void ServiceShard::SetQuantizedScan(bool on, int shortlist_multiplier) {
     col_vecs_.DisableQuantization();
     tbl_vecs_.DisableQuantization();
     ent_vecs_.DisableQuantization();
+  }
+}
+
+void ServiceShard::SetIndexKind(IndexKind kind, int ef_search) {
+  WriterMutexLock lock(&mu_);
+  if (ef_search > 0) options_.hnsw_ef_search = ef_search;
+  options_.index_kind = kind;
+  if (kind == kIndexHnsw) {
+    if (!col_hnsw_) BuildHnswLocked();
+  } else {
+    // Dropping the graphs restores the reference LSH candidate path
+    // byte for byte — the LSH indexes were maintained throughout.
+    col_hnsw_.reset();
+    tbl_hnsw_.reset();
+    ent_hnsw_.reset();
+  }
+}
+
+void ServiceShard::BuildHnswLocked() {
+  const HnswOptions hopts{options_.hnsw_m, options_.hnsw_ef_construction,
+                          options_.lsh_seed};
+  col_hnsw_ =
+      std::make_unique<HnswIndex>(ServiceColumnDim(*system_), hopts);
+  tbl_hnsw_ = std::make_unique<HnswIndex>(ServiceTableDim(*system_), hopts);
+  ent_hnsw_ = std::make_unique<HnswIndex>(ServiceEntityDim(*system_), hopts);
+  // Inserting in row order reproduces the graph an always-on shard
+  // would have built incrementally — node id i IS matrix row i, so no
+  // id remap exists anywhere. Same must-insert contract as
+  // InsertPreparedLocked: widths were validated when the rows were
+  // stored, a rejection is a programming error.
+  auto must_insert = [](Status st) {
+    if (!st.ok()) {
+      TABBIN_LOG(ERROR) << "ServiceShard: hnsw build rejected: "
+                        << st.ToString();
+    }
+  };
+  for (size_t r = 0; r < col_vecs_.rows(); ++r) {
+    must_insert(col_hnsw_->Insert(col_vecs_, static_cast<int>(r)));
+  }
+  for (size_t r = 0; r < tbl_vecs_.rows(); ++r) {
+    must_insert(tbl_hnsw_->Insert(tbl_vecs_, static_cast<int>(r)));
+  }
+  for (size_t r = 0; r < ent_vecs_.rows(); ++r) {
+    must_insert(ent_hnsw_->Insert(ent_vecs_, static_cast<int>(r)));
+  }
+  // Tombstone rows whose owning slot died before the build: searches
+  // route through them but never return them, exactly as if MarkDead
+  // had been called at removal time.
+  for (const TableSlot& s : slots_) {
+    if (!s.live) MarkSlotDeadInHnswLocked(s);
+  }
+}
+
+void ServiceShard::MarkSlotDeadInHnswLocked(const TableSlot& s) {
+  if (tbl_hnsw_) tbl_hnsw_->MarkDead(s.tbl_row);
+  if (col_hnsw_) {
+    for (int r = s.col_begin; r >= 0 && r < s.col_end; ++r) {
+      col_hnsw_->MarkDead(r);
+    }
+  }
+  if (ent_hnsw_) {
+    for (int e = s.ent_begin; e >= 0 && e < s.ent_end; ++e) {
+      ent_hnsw_->MarkDead(e);
+    }
   }
 }
 
@@ -344,6 +432,9 @@ Status ServiceShard::Compact() {
     col_vecs_.MaterializeOwned();
     tbl_vecs_.MaterializeOwned();
     ent_vecs_.MaterializeOwned();
+    if (col_hnsw_) col_hnsw_->MaterializeOwned();
+    if (tbl_hnsw_) tbl_hnsw_->MaterializeOwned();
+    if (ent_hnsw_) ent_hnsw_->MaterializeOwned();
     store_keepalive_.reset();
     return Status::OK();
   }
@@ -383,6 +474,23 @@ Status ServiceShard::Compact() {
     col_vecs_.EnableQuantization();
     tbl_vecs_.EnableQuantization();
     ent_vecs_.EnableQuantization();
+  }
+  if (options_.index_kind == kIndexHnsw) {
+    // Fresh empty graphs: the re-inserts below rebuild them over the
+    // surviving rows only — this is the rebuild-on-Compact that drops
+    // tombstoned waypoints for real.
+    const HnswOptions hopts{options_.hnsw_m, options_.hnsw_ef_construction,
+                            options_.lsh_seed};
+    col_hnsw_ =
+        std::make_unique<HnswIndex>(ServiceColumnDim(*system_), hopts);
+    tbl_hnsw_ =
+        std::make_unique<HnswIndex>(ServiceTableDim(*system_), hopts);
+    ent_hnsw_ =
+        std::make_unique<HnswIndex>(ServiceEntityDim(*system_), hopts);
+  } else {
+    col_hnsw_.reset();
+    tbl_hnsw_.reset();
+    ent_hnsw_.reset();
   }
 
   AddReport discard;
@@ -468,12 +576,22 @@ Result<ServiceShard::Resolved> ServiceShard::ResolveEntity(
 
 template <typename Ref, typename Accept, typename TieLess, typename Emit>
 ServiceShard::MatchSet ServiceShard::RankLocked(
-    const LshIndex& index, const EmbeddingMatrix& vecs,
-    const std::vector<Ref>& refs, VecView query_vec,
-    const std::vector<uint64_t>& keys, int k, const Accept& accept,
-    const TieLess& tie_less, const Emit& emit) const {
+    const LshIndex& index, const HnswIndex* hnsw,
+    const EmbeddingMatrix& vecs, const std::vector<Ref>& refs,
+    VecView query_vec, const std::vector<uint64_t>& keys, int k,
+    const Accept& accept, const TieLess& tie_less, const Emit& emit) const {
   MatchSet out;
-  std::vector<int> candidates = index.QueryByKeys(keys);
+  // Candidate generation is the ONLY stage the index kind changes:
+  // graph walk or bucket probe, both hand back ascending row ids, and
+  // everything downstream (accept filter, optional int8 shortlist,
+  // exact float rerank, ServiceMatchOrder) is shared verbatim. The
+  // walk's beam is ef_search, clamped to k so a caller asking for more
+  // results than the beam never gets silently truncated recall.
+  std::vector<int> candidates =
+      (hnsw != nullptr && options_.index_kind == kIndexHnsw)
+          ? hnsw->Search(vecs, query_vec,
+                         std::max(options_.hnsw_ef_search, k))
+          : index.QueryByKeys(keys);
   out.candidates = static_cast<int>(candidates.size());
   // Accepted candidates first, then ONE norm-free batched pass over
   // their rows: the matrix caches per-row inverse norms, so each score
@@ -577,7 +695,7 @@ ServiceShard::MatchSet ServiceShard::TopColumnsLocked(
   // its own function, which cannot see that this frame holds mu_.
   const std::vector<TableSlot>& slots = slots_;
   return RankLocked(
-      col_index_, col_vecs_, col_refs_, query, keys, k,
+      col_index_, col_hnsw_.get(), col_vecs_, col_refs_, query, keys, k,
       [&](const ColumnRef& ref) {
         if (!slots[static_cast<size_t>(ref.slot)].live) return false;
         return !(ref.slot == self_slot && ref.col == exclude_col);
@@ -613,7 +731,7 @@ ServiceShard::MatchSet ServiceShard::TopTablesLocked(
   const int self_slot = self == id_to_slot_.end() ? -1 : self->second;
   const std::vector<TableSlot>& slots = slots_;  // lock-held lambda alias
   return RankLocked(
-      tbl_index_, tbl_vecs_, tbl_refs_, query, keys, k,
+      tbl_index_, tbl_hnsw_.get(), tbl_vecs_, tbl_refs_, query, keys, k,
       [&](int slot) {
         return slots[static_cast<size_t>(slot)].live && slot != self_slot;
       },
@@ -648,7 +766,7 @@ ServiceShard::MatchSet ServiceShard::TopEntitiesLocked(
   const int self_slot = self == id_to_slot_.end() ? -1 : self->second;
   const std::vector<TableSlot>& slots = slots_;  // lock-held lambda alias
   return RankLocked(
-      ent_index_, ent_vecs_, ent_refs_, query, keys, k,
+      ent_index_, ent_hnsw_.get(), ent_vecs_, ent_refs_, query, keys, k,
       [&](const EntityRef& ref) {
         if (!slots[static_cast<size_t>(ref.slot)].live) return false;
         return !(ref.slot == self_slot && ref.row == exclude_row &&
@@ -780,9 +898,16 @@ ServiceShard::AskPartial ServiceShard::AskCandidates(
     out.lexical.push_back(std::move(hit));
   }
 
-  // Dense stage: live LSH candidates, scored by the same batched pass.
+  // Dense stage: live candidates from the selected generator (graph
+  // walk when the hnsw knob is on, LSH bucket probe otherwise), scored
+  // by the same batched pass.
+  std::vector<int> dense_candidates =
+      (tbl_hnsw_ != nullptr && options_.index_kind == kIndexHnsw)
+          ? tbl_hnsw_->Search(tbl_vecs_, query_vec,
+                              std::max(options_.hnsw_ef_search, pool))
+          : tbl_index_.QueryByKeys(tbl_keys);
   std::vector<int> dense_rows;
-  for (int row : tbl_index_.QueryByKeys(tbl_keys)) {
+  for (int row : dense_candidates) {
     if (row < 0 || row >= static_cast<int>(tbl_refs_.size())) continue;
     if (!slots_[static_cast<size_t>(tbl_refs_[static_cast<size_t>(row)])]
              .live) {

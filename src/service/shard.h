@@ -32,6 +32,7 @@
 
 #include "core/encoder_engine.h"
 #include "core/tabbin.h"
+#include "index/hnsw_index.h"
 #include "service/service_types.h"
 #include "store/paged_snapshot.h"
 #include "tasks/lsh.h"
@@ -187,6 +188,14 @@ class ServiceShard {
   /// embedding matrices and updates the scan options. Writer lock.
   void SetQuantizedScan(bool on, int shortlist_multiplier)
       TABBIN_EXCLUDES(mu_);
+
+  /// \brief Switches the candidate generator (see
+  /// ServiceOptions::index_kind). Enabling kIndexHnsw builds the three
+  /// neighbor graphs from the stored rows when absent (the v1-snapshot
+  /// / fresh-corpus fallback — a v2 restore that found graph sections
+  /// already has them); kIndexLsh drops the graphs and restores the
+  /// reference bucket-probe path byte for byte. Writer lock.
+  void SetIndexKind(IndexKind kind, int ef_search) TABBIN_EXCLUDES(mu_);
 
   /// \brief Rebuilds every index over the live tables only, from their
   /// stored embedding rows — no encoder involvement (calling the engine
@@ -358,13 +367,27 @@ class ServiceShard {
   Result<Table> MaterializeTableLocked(const TableSlot& s) const
       TABBIN_REQUIRES_SHARED(mu_);
 
+  // `hnsw` is the task's graph generator (null when the graph path is
+  // off); candidates come from the graph walk when
+  // options_.index_kind == kIndexHnsw, from the LSH bucket probe
+  // otherwise — everything after candidate generation is shared.
   template <typename Ref, typename Accept, typename TieLess,
             typename Emit>
-  MatchSet RankLocked(const LshIndex& index, const EmbeddingMatrix& vecs,
+  MatchSet RankLocked(const LshIndex& index, const HnswIndex* hnsw,
+                      const EmbeddingMatrix& vecs,
                       const std::vector<Ref>& refs, VecView query_vec,
                       const std::vector<uint64_t>& keys, int k,
                       const Accept& accept, const TieLess& tie_less,
                       const Emit& emit) const TABBIN_REQUIRES_SHARED(mu_);
+
+  /// \brief Builds the three HNSW graphs from the current matrix rows
+  /// (in row order — deterministic), marking rows of tombstoned slots
+  /// dead. Writer lock held by the caller.
+  void BuildHnswLocked() TABBIN_REQUIRES(mu_);
+
+  /// \brief Marks every index row owned by `s` dead in the graphs
+  /// (no-op when the graph path is off).
+  void MarkSlotDeadInHnswLocked(const TableSlot& s) TABBIN_REQUIRES(mu_);
 
   // The full per-query ranking bodies, shared verbatim by the one-lock-
   // per-query entry points above and the one-lock-per-batch variants —
@@ -405,6 +428,15 @@ class ServiceShard {
   LshIndex ent_index_ TABBIN_GUARDED_BY(mu_);
   EmbeddingMatrix ent_vecs_ TABBIN_GUARDED_BY(mu_);
   std::vector<EntityRef> ent_refs_ TABBIN_GUARDED_BY(mu_);
+
+  // HNSW graph candidate generators, one per task matrix. Null unless
+  // options_.index_kind == kIndexHnsw (the LSH indexes are ALWAYS
+  // maintained — they cost little, serve the Ask dense stage's key
+  // probe when the graph path is off, and keep the v1 snapshot byte
+  // format unchanged). Node id i of a graph IS row i of its matrix.
+  std::unique_ptr<HnswIndex> col_hnsw_ TABBIN_GUARDED_BY(mu_);
+  std::unique_ptr<HnswIndex> tbl_hnsw_ TABBIN_GUARDED_BY(mu_);
+  std::unique_ptr<HnswIndex> ent_hnsw_ TABBIN_GUARDED_BY(mu_);
 
   LexPostings lex_postings_ TABBIN_GUARDED_BY(mu_);
 

@@ -178,6 +178,24 @@ void ServiceShard::AppendStoreSections(PagedSnapshotWriter* w,
   tbl_vecs_.AppendRowBytes(w->AddSection(prefix + "tbl", kStoreBlockAlign));
   col_vecs_.AppendRowBytes(w->AddSection(prefix + "col", kStoreBlockAlign));
   ent_vecs_.AppendRowBytes(w->AddSection(prefix + "ent", kStoreBlockAlign));
+
+  // HNSW graphs, when built: two sections per graph mirroring the
+  // metadata/bulk split above — geometry + upper levels in a
+  // checksummed section, the dense level-0 adjacency in a page-aligned
+  // block the loader borrows zero-copy. Absent sections (the default
+  // LSH configuration) leave the file byte-identical to a pre-graph
+  // save; presence of the sections IS the persisted index_kind knob.
+  if (tbl_hnsw_ && col_hnsw_ && ent_hnsw_) {
+    tbl_hnsw_->SerializeMeta(w->AddSection(prefix + "hnsw.tblmeta"));
+    tbl_hnsw_->AppendLevel0Bytes(
+        w->AddSection(prefix + "hnsw.tbl0", kStoreBlockAlign));
+    col_hnsw_->SerializeMeta(w->AddSection(prefix + "hnsw.colmeta"));
+    col_hnsw_->AppendLevel0Bytes(
+        w->AddSection(prefix + "hnsw.col0", kStoreBlockAlign));
+    ent_hnsw_->SerializeMeta(w->AddSection(prefix + "hnsw.entmeta"));
+    ent_hnsw_->AppendLevel0Bytes(
+        w->AddSection(prefix + "hnsw.ent0", kStoreBlockAlign));
+  }
 }
 
 Status ServiceShard::RestoreFromStore(const PagedSnapshotReader& reader,
@@ -380,6 +398,63 @@ Status ServiceShard::RestoreFromStore(const PagedSnapshotReader& reader,
       ent_index_.dim() != ServiceEntityDim(*system_)) {
     return Status::ParseError(
         "paged store: LSH width disagrees with the system");
+  }
+
+  // HNSW graph sections are optional (pre-graph snapshots and the
+  // default LSH configuration have none); if any is present all six
+  // must be. Metadata parses through the checksummed Section reader;
+  // the level-0 blocks load through the checksummed SectionSpan — still
+  // zero-copy borrowed, but a flipped bit is a ParseError here rather
+  // than a corrupt walk at query time (adjacency, unlike embedding
+  // payloads, steers pointer-shaped traversal).
+  const bool any_hnsw = reader.HasSection(prefix + "hnsw.tblmeta") ||
+                        reader.HasSection(prefix + "hnsw.tbl0") ||
+                        reader.HasSection(prefix + "hnsw.colmeta") ||
+                        reader.HasSection(prefix + "hnsw.col0") ||
+                        reader.HasSection(prefix + "hnsw.entmeta") ||
+                        reader.HasSection(prefix + "hnsw.ent0");
+  if (any_hnsw) {
+    auto restore_graph =
+        [&](const char* meta_name, const char* l0_name, int want_dim,
+            uint64_t want_nodes) -> Result<HnswIndex> {
+      TABBIN_ASSIGN_OR_RETURN(BinaryReader gmeta,
+                              reader.Section(prefix + meta_name));
+      TABBIN_ASSIGN_OR_RETURN(ByteSpan l0,
+                              reader.SectionSpan(prefix + l0_name));
+      TABBIN_ASSIGN_OR_RETURN(
+          HnswIndex graph,
+          HnswIndex::Restore(&gmeta, l0.data, l0.size, keepalive));
+      if (graph.dim() != want_dim) {
+        return Status::ParseError(
+            "paged store: hnsw graph width disagrees with the system");
+      }
+      if (graph.size() != want_nodes) {
+        return Status::ParseError(
+            "paged store: hnsw node count disagrees with its matrix");
+      }
+      return graph;
+    };
+    TABBIN_ASSIGN_OR_RETURN(
+        HnswIndex tbl_graph,
+        restore_graph("hnsw.tblmeta", "hnsw.tbl0", ServiceTableDim(*system_),
+                      tbl_d.rows));
+    TABBIN_ASSIGN_OR_RETURN(
+        HnswIndex col_graph,
+        restore_graph("hnsw.colmeta", "hnsw.col0",
+                      ServiceColumnDim(*system_), col_d.rows));
+    TABBIN_ASSIGN_OR_RETURN(
+        HnswIndex ent_graph,
+        restore_graph("hnsw.entmeta", "hnsw.ent0",
+                      ServiceEntityDim(*system_), ent_d.rows));
+    tbl_hnsw_ = std::make_unique<HnswIndex>(std::move(tbl_graph));
+    col_hnsw_ = std::make_unique<HnswIndex>(std::move(col_graph));
+    ent_hnsw_ = std::make_unique<HnswIndex>(std::move(ent_graph));
+    // The persisted graph re-engages the hnsw path and carries its own
+    // build parameters (they are part of the graph's identity; the
+    // constructor-time options were never serialized).
+    options_.index_kind = kIndexHnsw;
+    options_.hnsw_m = tbl_hnsw_->options().m;
+    options_.hnsw_ef_construction = tbl_hnsw_->options().ef_construction;
   }
 
   store_keepalive_ = std::move(keepalive);

@@ -66,6 +66,14 @@ void ShardedTabBinService::SetQuantizedScan(bool on,
   }
 }
 
+void ShardedTabBinService::SetIndexKind(IndexKind kind, int ef_search) {
+  options_.index_kind = kind;
+  if (ef_search > 0) options_.hnsw_ef_search = ef_search;
+  for (auto& shard : shards_) {
+    shard->SetIndexKind(kind, ef_search);
+  }
+}
+
 // --- Queries --------------------------------------------------------------
 
 Result<QueryResponse> ShardedTabBinService::SimilarColumns(

@@ -67,6 +67,14 @@ class ShardedTabBinService : public TabBinServing {
   /// N-shard == 1-shard byte-identity.
   void SetQuantizedScan(bool on, int shortlist_multiplier = 4) override;
 
+  /// \brief Switches the Similar* candidate generator on every shard
+  /// (each under its own writer lock). Graph walks are shard-local, so
+  /// with hnsw ON the candidate pools — and therefore answers — may
+  /// differ across shard counts (same caveat class as the quantized
+  /// scan: score arithmetic never differs, only candidate membership);
+  /// the LSH default keeps the exact N-shard == 1-shard byte-identity.
+  void SetIndexKind(IndexKind kind, int ef_search = 0) override;
+
   // --- Queries (scatter-gather; safe from many threads) -----------------
 
   Result<QueryResponse> SimilarColumns(

@@ -60,6 +60,12 @@ void TabBinService::SetQuantizedScan(bool on, int shortlist_multiplier) {
   shard_.SetQuantizedScan(on, shortlist_multiplier);
 }
 
+void TabBinService::SetIndexKind(IndexKind kind, int ef_search) {
+  options_.index_kind = kind;
+  if (ef_search > 0) options_.hnsw_ef_search = ef_search;
+  shard_.SetIndexKind(kind, ef_search);
+}
+
 // --- Queries --------------------------------------------------------------
 
 Result<QueryResponse> TabBinService::SimilarColumns(

@@ -85,6 +85,13 @@ class TabBinService : public TabBinServing {
   /// the code sidecars under the writer lock). Not persisted by Save.
   void SetQuantizedScan(bool on, int shortlist_multiplier = 4) override;
 
+  /// \brief Switches the Similar* candidate generator (builds or drops
+  /// the HNSW graphs under the writer lock). The graphs persist as
+  /// optional v2 store sections: Save after enabling writes them, and
+  /// loading such a snapshot re-engages the graph path without this
+  /// call or a rebuild.
+  void SetIndexKind(IndexKind kind, int ef_search = 0) override;
+
   // --- Queries (shared lock; safe from many threads) --------------------
 
   Result<QueryResponse> SimilarColumns(

@@ -22,6 +22,46 @@ LshIndex::LshIndex(int dim, int num_bits, int num_tables, uint64_t seed)
   tables_.resize(static_cast<size_t>(num_tables));
 }
 
+LshIndex::LshIndex(LshIndex&& other) noexcept
+    : dim_(other.dim_),
+      num_bits_(other.num_bits_),
+      num_tables_(other.num_tables_),
+      count_(other.count_),
+      hyperplanes_(std::move(other.hyperplanes_)),
+      tables_(std::move(other.tables_)),
+      stat_queries_(other.stat_queries_.load(std::memory_order_relaxed)),
+      stat_candidates_(
+          other.stat_candidates_.load(std::memory_order_relaxed)) {}
+
+LshIndex& LshIndex::operator=(LshIndex&& other) noexcept {
+  if (this != &other) {
+    dim_ = other.dim_;
+    num_bits_ = other.num_bits_;
+    num_tables_ = other.num_tables_;
+    count_ = other.count_;
+    hyperplanes_ = std::move(other.hyperplanes_);
+    tables_ = std::move(other.tables_);
+    stat_queries_.store(other.stat_queries_.load(std::memory_order_relaxed),
+                        std::memory_order_relaxed);
+    stat_candidates_.store(
+        other.stat_candidates_.load(std::memory_order_relaxed),
+        std::memory_order_relaxed);
+  }
+  return *this;
+}
+
+LshIndex::PoolStats LshIndex::pool_stats() const {
+  PoolStats s;
+  s.queries = stat_queries_.load(std::memory_order_relaxed);
+  s.candidates = stat_candidates_.load(std::memory_order_relaxed);
+  return s;
+}
+
+void LshIndex::ResetPoolStats() const {
+  stat_queries_.store(0, std::memory_order_relaxed);
+  stat_candidates_.store(0, std::memory_order_relaxed);
+}
+
 std::vector<uint64_t> LshIndex::HashAllTables(VecView vec) const {
   // One kernel matrix-vector product against the whole flat hyperplane
   // block instead of num_tables * num_bits scalar dot loops; the sign of
@@ -175,6 +215,8 @@ std::vector<int> LshIndex::QueryByKeys(
   // clustering results drift across standard libraries.
   std::sort(out.begin(), out.end());
   out.erase(std::unique(out.begin(), out.end()), out.end());
+  stat_queries_.fetch_add(1, std::memory_order_relaxed);
+  stat_candidates_.fetch_add(out.size(), std::memory_order_relaxed);
   return out;
 }
 

@@ -4,6 +4,7 @@
 #ifndef TABBIN_TASKS_LSH_H_
 #define TABBIN_TASKS_LSH_H_
 
+#include <atomic>
 #include <cstdint>
 #include <unordered_map>
 #include <vector>
@@ -22,6 +23,16 @@ class LshIndex {
   /// \param num_bits Hash bits per table (bucket granularity).
   /// \param num_tables Independent hash tables (recall knob).
   LshIndex(int dim, int num_bits, int num_tables, uint64_t seed = 1234);
+
+  // The atomic telemetry counters are not movable by default; moves
+  // transfer them as plain loads (no concurrent movers by contract:
+  // indexes move only during construction/rebuild, under the owning
+  // shard's writer lock). Copies were never generated anyway — the
+  // hyperplane matrix is move-only in practice.
+  LshIndex(LshIndex&& other) noexcept;
+  LshIndex& operator=(LshIndex&& other) noexcept;
+  LshIndex(const LshIndex&) = delete;
+  LshIndex& operator=(const LshIndex&) = delete;
 
   /// \brief Adds a vector under an integer id. Rejects vectors whose
   /// size differs from the index dimensionality with InvalidArgument —
@@ -51,6 +62,18 @@ class LshIndex {
   int dim() const { return dim_; }
 
   int size() const { return count_; }
+
+  /// \brief Cumulative candidate-pool telemetry across QueryByKeys
+  /// calls (relaxed atomics, so concurrent readers under a shared lock
+  /// can count). `candidates` sums the deduplicated pool sizes — the
+  /// rows the bucket probe hands to exact reranking — which is the
+  /// number bench compares against the HNSW walk's visited count.
+  struct PoolStats {
+    uint64_t queries = 0;
+    uint64_t candidates = 0;
+  };
+  PoolStats pool_stats() const;
+  void ResetPoolStats() const;
 
   /// \brief Writes geometry, hyperplanes, and buckets (keys sorted, so
   /// the byte stream is deterministic across platforms).
@@ -86,6 +109,11 @@ class LshIndex {
   // table t — one flat block instead of num_tables * num_bits vectors.
   EmbeddingMatrix hyperplanes_;
   std::vector<std::unordered_map<uint64_t, std::vector<int>>> tables_;
+
+  // Telemetry: mutable so const query paths can count under a shared
+  // lock (same discipline as HnswIndex's walk counters).
+  mutable std::atomic<uint64_t> stat_queries_{0};
+  mutable std::atomic<uint64_t> stat_candidates_{0};
 };
 
 }  // namespace tabbin

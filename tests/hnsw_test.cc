@@ -1,0 +1,661 @@
+// HNSW graph-index suite: recall against the exact oracle, tombstone
+// churn, hostile-bytes hardening, persistence, and the knob-off
+// byte-identity contract.
+//
+// The load-bearing claims pinned here:
+//   * recall@10 vs the exact cosine oracle is >= 0.95 at the default
+//     ef_search over seeded clustered corpora — the same gate
+//     bench/perf_report enforces in CI;
+//   * under add/remove/replace churn the walk never returns a dead or
+//     out-of-range id, recall over the live set holds, and a rebuild
+//     (the Compact contract) drops tombstones for real;
+//   * corrupt graph bytes — truncation, hostile neighbor ids >= the
+//     node count, forged counts/entry/levels, flipped section bytes in
+//     a saved store — are ParseError, never a crash or OOB read (CI
+//     re-runs this suite under ASan/UBSan and TSan);
+//   * with index_kind=lsh (the default) answers stay byte-identical to
+//     the pre-graph behavior at 1 and 8 shards, including after an
+//     hnsw on/off round trip.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <cstring>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "datagen/corpus_gen.h"
+#include "index/hnsw_index.h"
+#include "service/sharded_service.h"
+#include "service/table_service.h"
+#include "store/paged_snapshot.h"
+#include "tensor/embedding_matrix.h"
+#include "tensor/kernels.h"
+#include "util/rng.h"
+#include "util/serialize.h"
+
+namespace tabbin {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Index-level helpers
+// ---------------------------------------------------------------------------
+
+// Clustered Gaussian corpus: `centers` cluster centers, each row a
+// center plus small noise — the regime where graph walks shine and an
+// unclustered LSH bucket probe degrades.
+EmbeddingMatrix MakeClustered(size_t rows, size_t dim, size_t centers,
+                              uint64_t seed) {
+  Rng rng(seed);
+  std::vector<std::vector<float>> mu(centers, std::vector<float>(dim));
+  for (auto& c : mu) {
+    for (float& x : c) x = static_cast<float>(rng.Gaussian());
+  }
+  EmbeddingMatrix m;
+  std::vector<float> row(dim);
+  for (size_t r = 0; r < rows; ++r) {
+    const auto& c = mu[rng.Uniform(centers)];
+    for (size_t d = 0; d < dim; ++d) {
+      row[d] = c[d] + 0.25f * static_cast<float>(rng.Gaussian());
+    }
+    m.AppendRow(row);
+  }
+  return m;
+}
+
+// Exact top-k over the non-dead rows by (score desc, id asc) — the
+// oracle every recall assertion compares against. Scores go through
+// the same CosineRows kernel path the index uses, so ties are
+// bit-deterministic.
+std::vector<int> ExactTopK(const EmbeddingMatrix& m,
+                           const std::vector<float>& q, int k,
+                           const std::vector<uint8_t>* dead) {
+  std::vector<int> rows;
+  for (size_t r = 0; r < m.rows(); ++r) {
+    if (dead != nullptr && (*dead)[r] != 0) continue;
+    rows.push_back(static_cast<int>(r));
+  }
+  std::vector<float> s(rows.size());
+  m.CosineRows(q.data(), kernels::InvNorm(q.data(), q.size()), rows.data(),
+               rows.size(), s.data());
+  std::vector<std::pair<float, int>> ranked;
+  for (size_t i = 0; i < rows.size(); ++i) ranked.emplace_back(s[i], rows[i]);
+  std::sort(ranked.begin(), ranked.end(), [](const auto& a, const auto& b) {
+    if (a.first != b.first) return a.first > b.first;
+    return a.second < b.second;
+  });
+  if (static_cast<size_t>(k) < ranked.size()) {
+    ranked.resize(static_cast<size_t>(k));
+  }
+  std::vector<int> ids;
+  for (const auto& [score, id] : ranked) ids.push_back(id);
+  return ids;
+}
+
+// The serving recipe: graph candidates, then exact rerank to top-k.
+std::vector<int> HnswTopK(const HnswIndex& index, const EmbeddingMatrix& m,
+                          const std::vector<float>& q, int ef, int k) {
+  std::vector<int> cand = index.Search(m, q, ef);
+  std::vector<float> s(cand.size());
+  m.CosineRows(q.data(), kernels::InvNorm(q.data(), q.size()), cand.data(),
+               cand.size(), s.data());
+  std::vector<std::pair<float, int>> ranked;
+  for (size_t i = 0; i < cand.size(); ++i) {
+    ranked.emplace_back(s[i], cand[i]);
+  }
+  std::sort(ranked.begin(), ranked.end(), [](const auto& a, const auto& b) {
+    if (a.first != b.first) return a.first > b.first;
+    return a.second < b.second;
+  });
+  if (static_cast<size_t>(k) < ranked.size()) {
+    ranked.resize(static_cast<size_t>(k));
+  }
+  std::vector<int> ids;
+  for (const auto& [score, id] : ranked) ids.push_back(id);
+  return ids;
+}
+
+double RecallAtK(const std::vector<int>& got, const std::vector<int>& want) {
+  if (want.empty()) return 1.0;
+  size_t hit = 0;
+  for (int id : want) {
+    if (std::find(got.begin(), got.end(), id) != got.end()) ++hit;
+  }
+  return static_cast<double>(hit) / static_cast<double>(want.size());
+}
+
+std::vector<float> PerturbedRow(const EmbeddingMatrix& m, size_t r,
+                                Rng* rng) {
+  VecView v = m.row(r);
+  std::vector<float> q(v.data(), v.data() + v.size());
+  for (float& x : q) x += 0.05f * static_cast<float>(rng->Gaussian());
+  return q;
+}
+
+// ---------------------------------------------------------------------------
+// Recall and determinism
+// ---------------------------------------------------------------------------
+
+TEST(HnswIndexTest, RecallAtTenVsExactOracle) {
+  const size_t kRows = 3000, kDim = 24;
+  EmbeddingMatrix m = MakeClustered(kRows, kDim, 60, /*seed=*/17);
+  HnswIndex index(static_cast<int>(kDim), HnswOptions{});
+  for (size_t r = 0; r < kRows; ++r) {
+    ASSERT_TRUE(index.Insert(m, static_cast<int>(r)).ok());
+  }
+  EXPECT_EQ(index.size(), kRows);
+  EXPECT_GE(index.max_level(), 1);
+
+  Rng rng(99);
+  double total = 0;
+  const int kQueries = 30;
+  for (int qi = 0; qi < kQueries; ++qi) {
+    const std::vector<float> q =
+        PerturbedRow(m, rng.Uniform(kRows), &rng);
+    const std::vector<int> oracle = ExactTopK(m, q, 10, nullptr);
+    const std::vector<int> got = HnswTopK(index, m, q, /*ef=*/96, 10);
+    total += RecallAtK(got, oracle);
+  }
+  const double recall = total / kQueries;
+  // The CI perf gate pins the same bound on the bench corpus.
+  EXPECT_GE(recall, 0.95) << "hnsw recall@10 " << recall;
+}
+
+TEST(HnswIndexTest, DeterministicBuildAndSerializeRoundTrip) {
+  const size_t kRows = 400, kDim = 16;
+  EmbeddingMatrix m = MakeClustered(kRows, kDim, 20, /*seed=*/5);
+  HnswOptions opts;
+  opts.m = 8;
+  opts.ef_construction = 60;
+  HnswIndex a(static_cast<int>(kDim), opts);
+  HnswIndex b(static_cast<int>(kDim), opts);
+  for (size_t r = 0; r < kRows; ++r) {
+    ASSERT_TRUE(a.Insert(m, static_cast<int>(r)).ok());
+    ASSERT_TRUE(b.Insert(m, static_cast<int>(r)).ok());
+  }
+  // Hash-based level assignment + (dist, id) tie-breaks: two builds
+  // over the same rows are the same graph.
+  EXPECT_EQ(a.edge_count(), b.edge_count());
+  EXPECT_EQ(a.max_level(), b.max_level());
+  EXPECT_EQ(a.entry_point(), b.entry_point());
+  EXPECT_EQ(a.LevelHistogram(), b.LevelHistogram());
+
+  BinaryWriter meta_w, l0_w;
+  a.SerializeMeta(&meta_w);
+  a.AppendLevel0Bytes(&l0_w);
+  BinaryReader meta_r(meta_w.buffer());
+  auto restored = HnswIndex::Restore(&meta_r, l0_w.buffer().data(),
+                                     l0_w.buffer().size(), nullptr);
+  ASSERT_TRUE(restored.ok()) << restored.status().ToString();
+  EXPECT_FALSE(restored.value().is_external());
+  EXPECT_EQ(restored.value().edge_count(), a.edge_count());
+
+  Rng rng(7);
+  for (int qi = 0; qi < 10; ++qi) {
+    const std::vector<float> q = PerturbedRow(m, rng.Uniform(kRows), &rng);
+    EXPECT_EQ(a.Search(m, q, 48), b.Search(m, q, 48));
+    EXPECT_EQ(a.Search(m, q, 48), restored.value().Search(m, q, 48));
+  }
+
+  // Restored graphs keep growing: inserts after a round trip behave
+  // like inserts into the original.
+  HnswIndex grown = std::move(restored).value();
+  std::vector<float> extra(kDim, 0.5f);
+  EmbeddingMatrix m2;
+  for (size_t r = 0; r < m.rows(); ++r) {
+    VecView v = m.row(r);
+    m2.AppendRow(std::vector<float>(v.data(), v.data() + v.size()));
+  }
+  m2.AppendRow(extra);
+  ASSERT_TRUE(grown.Insert(m2, static_cast<int>(kRows)).ok());
+  EXPECT_EQ(grown.size(), kRows + 1);
+}
+
+// ---------------------------------------------------------------------------
+// Tombstone / churn property test
+// ---------------------------------------------------------------------------
+
+// Shrink-friendly: every operation derives from kChurnSeed alone, so a
+// failure reproduces by re-running with the seed printed below.
+TEST(HnswIndexTest, TombstoneChurnVsOracle) {
+  constexpr uint64_t kChurnSeed = 0xC0FFEE;
+  SCOPED_TRACE("churn seed 0xC0FFEE");
+  const size_t kDim = 16;
+  Rng rng(kChurnSeed);
+
+  EmbeddingMatrix m = MakeClustered(600, kDim, 25, /*seed=*/kChurnSeed);
+  HnswOptions opts;
+  opts.m = 8;
+  opts.ef_construction = 60;
+  HnswIndex index(static_cast<int>(kDim), opts);
+  std::vector<uint8_t> dead(m.rows(), 0);
+  for (size_t r = 0; r < m.rows(); ++r) {
+    ASSERT_TRUE(index.Insert(m, static_cast<int>(r)).ok());
+  }
+
+  for (int round = 0; round < 6; ++round) {
+    SCOPED_TRACE("round " + std::to_string(round));
+    // Churn: ~40 removals (tombstones) and ~20 appends (a replace is a
+    // tombstone plus an append, so both compose it).
+    for (int i = 0; i < 40; ++i) {
+      const size_t victim = rng.Uniform(m.rows());
+      index.MarkDead(static_cast<int>(victim));
+      dead[victim] = 1;
+    }
+    std::vector<float> row(kDim);
+    for (int i = 0; i < 20; ++i) {
+      const size_t src = rng.Uniform(m.rows());
+      VecView v = m.row(src);
+      for (size_t d = 0; d < kDim; ++d) {
+        row[d] = v.data()[d] + 0.2f * static_cast<float>(rng.Gaussian());
+      }
+      m.AppendRow(row);
+      dead.push_back(0);
+      ASSERT_TRUE(
+          index.Insert(m, static_cast<int>(m.rows()) - 1).ok());
+    }
+    ASSERT_EQ(index.size(), m.rows());
+
+    double total = 0;
+    const int kQueries = 8;
+    for (int qi = 0; qi < kQueries; ++qi) {
+      const std::vector<float> q = PerturbedRow(m, rng.Uniform(m.rows()),
+                                                &rng);
+      const std::vector<int> cand = index.Search(m, q, 64);
+      // Well-formed: ascending unique ids, in range, never tombstoned.
+      for (size_t i = 0; i < cand.size(); ++i) {
+        ASSERT_GE(cand[i], 0);
+        ASSERT_LT(cand[i], static_cast<int>(m.rows()));
+        ASSERT_FALSE(dead[static_cast<size_t>(cand[i])] != 0)
+            << "dead id " << cand[i] << " in results";
+        if (i > 0) {
+          ASSERT_LT(cand[i - 1], cand[i]);
+        }
+      }
+      total += RecallAtK(HnswTopK(index, m, q, 64, 10),
+                         ExactTopK(m, q, 10, &dead));
+    }
+    EXPECT_GE(total / kQueries, 0.90)
+        << "live-set recall under churn " << total / kQueries;
+  }
+
+  // The Compact contract: rebuild over the live rows only. Dead nodes
+  // vanish instead of lingering as waypoints, and recall against the
+  // compacted oracle is as good as a fresh build.
+  EmbeddingMatrix compacted;
+  for (size_t r = 0; r < m.rows(); ++r) {
+    if (dead[r] != 0) continue;
+    VecView v = m.row(r);
+    compacted.AppendRow(std::vector<float>(v.data(), v.data() + v.size()));
+  }
+  HnswIndex rebuilt(static_cast<int>(kDim), opts);
+  for (size_t r = 0; r < compacted.rows(); ++r) {
+    ASSERT_TRUE(rebuilt.Insert(compacted, static_cast<int>(r)).ok());
+  }
+  EXPECT_EQ(rebuilt.dead_count(), 0u);
+  double total = 0;
+  for (int qi = 0; qi < 8; ++qi) {
+    const std::vector<float> q =
+        PerturbedRow(compacted, rng.Uniform(compacted.rows()), &rng);
+    total += RecallAtK(HnswTopK(rebuilt, compacted, q, 64, 10),
+                       ExactTopK(compacted, q, 10, nullptr));
+  }
+  EXPECT_GE(total / 8, 0.95) << "post-compact recall " << total / 8;
+}
+
+// ---------------------------------------------------------------------------
+// Hostile bytes
+// ---------------------------------------------------------------------------
+
+void PutU32(std::vector<uint8_t>* b, size_t off, uint32_t v) {
+  ASSERT_LE(off + 4, b->size());
+  std::memcpy(b->data() + off, &v, sizeof(v));
+}
+
+void PutI64(std::vector<uint8_t>* b, size_t off, int64_t v) {
+  ASSERT_LE(off + 8, b->size());
+  std::memcpy(b->data() + off, &v, sizeof(v));
+}
+
+TEST(HnswIndexTest, CorruptBytesAreParseErrorNeverACrash) {
+  const size_t kRows = 80, kDim = 8;
+  EmbeddingMatrix m = MakeClustered(kRows, kDim, 6, /*seed=*/3);
+  HnswOptions opts;
+  opts.m = 4;
+  opts.ef_construction = 30;
+  HnswIndex index(static_cast<int>(kDim), opts);
+  for (size_t r = 0; r < kRows; ++r) {
+    ASSERT_TRUE(index.Insert(m, static_cast<int>(r)).ok());
+  }
+  index.MarkDead(3);
+  BinaryWriter meta_w, l0_w;
+  index.SerializeMeta(&meta_w);
+  index.AppendLevel0Bytes(&l0_w);
+  const std::vector<uint8_t> meta = meta_w.buffer();
+  const std::vector<uint8_t> l0 = l0_w.buffer();
+
+  const auto restore = [&](std::vector<uint8_t> mb,
+                           std::vector<uint8_t> lb) {
+    BinaryReader r(std::move(mb));
+    return HnswIndex::Restore(&r, lb.data(), lb.size(), nullptr);
+  };
+
+  ASSERT_TRUE(restore(meta, l0).ok());
+
+  // Truncations at every layer.
+  {
+    std::vector<uint8_t> mb(meta.begin(), meta.end() - 5);
+    EXPECT_FALSE(restore(mb, l0).ok());
+  }
+  {
+    std::vector<uint8_t> lb(l0.begin(), l0.end() - 4);
+    EXPECT_FALSE(restore(meta, lb).ok());
+  }
+  // Hostile level-0 neighbor count (first u32 of row 0).
+  {
+    std::vector<uint8_t> lb = l0;
+    PutU32(&lb, 0, 0xFFFFFFFFu);
+    EXPECT_FALSE(restore(meta, lb).ok());
+  }
+  // Hostile neighbor id >= node count.
+  {
+    std::vector<uint8_t> lb = l0;
+    uint32_t count = 0;
+    std::memcpy(&count, lb.data(), sizeof(count));
+    ASSERT_GE(count, 1u);
+    PutU32(&lb, 4, static_cast<uint32_t>(kRows) + 1000u);
+    EXPECT_FALSE(restore(meta, lb).ok());
+  }
+  // Forged entry point past the node count (meta layout: dim i32, m
+  // i32, ef i32, seed u64, nodes u64, entry i64 at offset 28).
+  {
+    std::vector<uint8_t> mb = meta;
+    PutI64(&mb, 28, static_cast<int64_t>(kRows) + 9);
+    EXPECT_FALSE(restore(mb, l0).ok());
+  }
+  // Forged max_level (i32 at offset 36).
+  {
+    std::vector<uint8_t> mb = meta;
+    PutU32(&mb, 36, 99u);
+    EXPECT_FALSE(restore(mb, l0).ok());
+  }
+  // Trailing garbage after a valid stream.
+  {
+    std::vector<uint8_t> mb = meta;
+    mb.push_back(0x5A);
+    EXPECT_FALSE(restore(mb, l0).ok());
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Service-level: graph path, persistence, knob-off identity
+// ---------------------------------------------------------------------------
+
+TabBiNConfig TinyConfig() {
+  TabBiNConfig cfg;
+  cfg.hidden = 24;
+  cfg.num_layers = 1;
+  cfg.num_heads = 2;
+  cfg.intermediate = 48;
+  cfg.max_seq_len = 96;
+  return cfg;
+}
+
+const std::vector<Table>& SharedTables() {
+  static const LabeledCorpus* corpus = [] {
+    GeneratorOptions gen;
+    gen.num_tables = 16;
+    gen.seed = 23;
+    return new LabeledCorpus(GenerateDataset("cancerkg", gen));
+  }();
+  return corpus->corpus.tables;
+}
+
+std::shared_ptr<TabBiNSystem> SharedSystem() {
+  static std::shared_ptr<TabBiNSystem> sys = std::make_shared<TabBiNSystem>(
+      TabBiNSystem::Create(SharedTables(), TinyConfig()));
+  return sys;
+}
+
+void ExpectSameMatches(const std::vector<ServiceMatch>& a,
+                       const std::vector<ServiceMatch>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].table_id, b[i].table_id) << "rank " << i;
+    EXPECT_EQ(a[i].col, b[i].col) << "rank " << i;
+    EXPECT_EQ(a[i].row, b[i].row) << "rank " << i;
+    EXPECT_EQ(a[i].score, b[i].score) << "rank " << i;  // bitwise
+  }
+}
+
+// With ef_search >= the corpus size the graph walk reaches every live
+// node, so the hnsw answer IS the exact full-scan oracle — a stronger
+// guarantee than LSH (whose bucket probe may miss) ever makes.
+TEST(HnswServiceTest, WideBeamEqualsExactOracleThroughChurn) {
+  auto sys = SharedSystem();
+  const std::vector<Table>& tables = SharedTables();
+  TabBinService svc(sys);
+  ASSERT_TRUE(svc.AddTables(tables).ok());
+  svc.SetIndexKind(kIndexHnsw, /*ef_search=*/512);
+
+  const auto check_exact = [&](const std::string& skip_id) {
+    // Oracle matrix in live insertion order from the same embedding
+    // accessors the service indexed from (bit-identical rows).
+    std::vector<std::string> ids;
+    EmbeddingMatrix oracle;
+    for (const Table& t : tables) {
+      const std::string id = CanonicalTableId(t);
+      if (!svc.NumLiveTables()) break;
+      bool live = false;
+      for (const std::string& lid : svc.LiveTableIds()) live |= (lid == id);
+      if (!live) continue;
+      ids.push_back(id);
+      oracle.AppendRow(svc.TableEmbedding(t));
+    }
+    for (size_t qi = 0; qi < ids.size(); ++qi) {
+      if (ids[qi] == skip_id) continue;
+      auto resp = svc.SimilarTables({ids[qi], nullptr, 5});
+      ASSERT_TRUE(resp.ok()) << resp.status().ToString();
+      // The wide beam surfaces every live table as a candidate.
+      EXPECT_EQ(resp.value().candidates, static_cast<int>(ids.size()));
+      VecView q = oracle.row(qi);
+      const std::vector<float> qv(q.data(), q.data() + q.size());
+      std::vector<int> top =
+          ExactTopK(oracle, qv, static_cast<int>(ids.size()), nullptr);
+      // Drop self, cut to k, compare by id AND bitwise score order.
+      std::vector<std::string> want;
+      for (int row : top) {
+        if (static_cast<size_t>(row) == qi) continue;
+        want.push_back(ids[static_cast<size_t>(row)]);
+        if (want.size() == 5) break;
+      }
+      ASSERT_EQ(resp.value().matches.size(), want.size());
+      for (size_t i = 0; i < want.size(); ++i) {
+        EXPECT_EQ(resp.value().matches[i].table_id, want[i])
+            << "query " << ids[qi] << " rank " << i;
+      }
+    }
+  };
+
+  check_exact("");
+
+  // Churn: remove one, replace one, then Compact (graph rebuild).
+  const std::string removed = CanonicalTableId(tables[2]);
+  ASSERT_TRUE(svc.RemoveTable(removed).ok());
+  ASSERT_TRUE(svc.AddTables({tables[5]}).ok());  // same id: replace
+  check_exact(removed);
+  ASSERT_TRUE(svc.Compact().ok());
+  check_exact(removed);
+}
+
+TEST(HnswServiceTest, GraphPersistsInStoreAndServesMapped) {
+  auto sys = SharedSystem();
+  TabBinService svc(sys);
+  ASSERT_TRUE(svc.AddTables(SharedTables()).ok());
+  svc.SetIndexKind(kIndexHnsw, 256);
+  const std::string path = testing::TempDir() + "hnsw_store.tbsn";
+  ASSERT_TRUE(svc.Save(path).ok());
+
+  // The graph sections are present exactly when the knob is on.
+  auto reader = PagedSnapshotReader::Open(path);
+  ASSERT_TRUE(reader.ok());
+  EXPECT_TRUE(reader.value().HasSection("store.s0.hnsw.tblmeta"));
+  EXPECT_TRUE(reader.value().HasSection("store.s0.hnsw.tbl0"));
+  EXPECT_TRUE(reader.value().HasSection("store.s0.hnsw.col0"));
+
+  auto loaded = TabBinService::Load(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  const std::string some_id = svc.LiveTableIds().front();
+  auto a = svc.SimilarTables({some_id, nullptr, 5});
+  auto b = loaded.value()->SimilarTables({some_id, nullptr, 5});
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_EQ(a.value().candidates, b.value().candidates);
+  ExpectSameMatches(a.value().matches, b.value().matches);
+
+  // Compact on the mapped service materializes the borrowed graph and
+  // releases the mapping without changing answers.
+  ASSERT_TRUE(loaded.value()->IsMapped());
+  ASSERT_TRUE(loaded.value()->Compact().ok());
+  EXPECT_FALSE(loaded.value()->IsMapped());
+  auto c = loaded.value()->SimilarTables({some_id, nullptr, 5});
+  ASSERT_TRUE(c.ok());
+  ExpectSameMatches(a.value().matches, c.value().matches);
+
+  // A default save carries no graph sections: the file format is
+  // unchanged unless the knob was on.
+  TabBinService plain(sys);
+  ASSERT_TRUE(plain.AddTables(SharedTables()).ok());
+  const std::string plain_path = testing::TempDir() + "hnsw_plain.tbsn";
+  ASSERT_TRUE(plain.Save(plain_path).ok());
+  auto plain_reader = PagedSnapshotReader::Open(plain_path);
+  ASSERT_TRUE(plain_reader.ok());
+  for (const auto& info : plain_reader.value().sections()) {
+    EXPECT_EQ(info.name.find("hnsw."), std::string::npos) << info.name;
+  }
+}
+
+TEST(HnswStoreTest, CorruptGraphSectionsAreParseError) {
+  auto sys = SharedSystem();
+  TabBinService svc(sys);
+  ASSERT_TRUE(svc.AddTables(SharedTables()).ok());
+  svc.SetIndexKind(kIndexHnsw, 128);
+  const std::string path = testing::TempDir() + "hnsw_corrupt.tbsn";
+  ASSERT_TRUE(svc.Save(path).ok());
+
+  std::ifstream in(path, std::ios::binary);
+  std::vector<char> bytes((std::istreambuf_iterator<char>(in)),
+                          std::istreambuf_iterator<char>());
+  in.close();
+
+  auto reader = PagedSnapshotReader::Open(path);
+  ASSERT_TRUE(reader.ok());
+  for (const char* victim : {"store.s0.hnsw.tbl0", "store.s0.hnsw.colmeta"}) {
+    uint64_t off = 0, len = 0;
+    for (const auto& info : reader.value().sections()) {
+      if (info.name == victim) {
+        off = info.offset;
+        len = info.length;
+      }
+    }
+    ASSERT_GT(len, 8u) << victim;
+    std::vector<char> corrupt = bytes;
+    corrupt[off + len / 2] ^= 0x40;  // checksum-visible payload flip
+    const std::string cpath = testing::TempDir() + "hnsw_flip.tbsn";
+    std::ofstream out(cpath, std::ios::binary | std::ios::trunc);
+    out.write(corrupt.data(), static_cast<std::streamsize>(corrupt.size()));
+    out.close();
+    auto loaded = TabBinService::Load(cpath);
+    EXPECT_FALSE(loaded.ok()) << victim << " flip must not load";
+  }
+
+  // Truncation anywhere inside the graph sections must not load (and
+  // must not crash the mapped open path).
+  std::vector<char> truncated(bytes.begin(),
+                              bytes.begin() + bytes.size() / 2);
+  const std::string tpath = testing::TempDir() + "hnsw_trunc.tbsn";
+  std::ofstream out(tpath, std::ios::binary | std::ios::trunc);
+  out.write(truncated.data(), static_cast<std::streamsize>(truncated.size()));
+  out.close();
+  EXPECT_FALSE(TabBinService::Load(tpath).ok());
+}
+
+// index_kind=lsh — the default — answers byte-identically to the
+// pre-graph service at 1 and 8 shards, including after an hnsw on/off
+// round trip (the graphs drop away without a trace: the LSH indexes
+// were maintained throughout).
+TEST(HnswServiceTest, KnobOffByteIdentityAtOneAndEightShards) {
+  auto sys = SharedSystem();
+  const std::vector<Table>& tables = SharedTables();
+  TabBinService ref(sys);
+  ASSERT_TRUE(ref.AddTables(tables).ok());
+
+  TabBinService toggled(sys);
+  ASSERT_TRUE(toggled.AddTables(tables).ok());
+  toggled.SetIndexKind(kIndexHnsw, 64);
+  toggled.SetIndexKind(kIndexLsh);
+
+  ShardedTabBinService sharded(sys, 8);
+  ASSERT_TRUE(sharded.AddTables(tables).ok());
+  sharded.SetIndexKind(kIndexHnsw, 64);
+  sharded.SetIndexKind(kIndexLsh);
+
+  for (const std::string& id : ref.LiveTableIds()) {
+    auto r = ref.SimilarTables({id, nullptr, 8});
+    auto t = toggled.SimilarTables({id, nullptr, 8});
+    auto s = sharded.SimilarTables({id, nullptr, 8});
+    ASSERT_TRUE(r.ok() && t.ok() && s.ok());
+    EXPECT_EQ(r.value().candidates, t.value().candidates);
+    EXPECT_EQ(r.value().candidates, s.value().candidates);
+    ExpectSameMatches(r.value().matches, t.value().matches);
+    ExpectSameMatches(r.value().matches, s.value().matches);
+  }
+  for (const Table& t : tables) {
+    for (int c = 0; c < t.cols() && c < 3; ++c) {
+      auto r = ref.SimilarColumns({CanonicalTableId(t), nullptr, c, 8});
+      auto g = toggled.SimilarColumns({CanonicalTableId(t), nullptr, c, 8});
+      auto s = sharded.SimilarColumns({CanonicalTableId(t), nullptr, c, 8});
+      ASSERT_TRUE(r.ok() && g.ok() && s.ok());
+      ExpectSameMatches(r.value().matches, g.value().matches);
+      ExpectSameMatches(r.value().matches, s.value().matches);
+    }
+  }
+}
+
+// The walk telemetry the bench comparison reads: both index kinds
+// count their per-query candidate work.
+TEST(HnswIndexTest, TelemetryCountersAccumulate) {
+  const size_t kRows = 300, kDim = 12;
+  EmbeddingMatrix m = MakeClustered(kRows, kDim, 10, /*seed=*/41);
+  HnswIndex index(static_cast<int>(kDim), HnswOptions{});
+  for (size_t r = 0; r < kRows; ++r) {
+    ASSERT_TRUE(index.Insert(m, static_cast<int>(r)).ok());
+  }
+  index.ResetQueryStats();
+  Rng rng(1);
+  const std::vector<float> q = PerturbedRow(m, rng.Uniform(kRows), &rng);
+  HnswSearchStats per_call;
+  index.Search(m, q, 32, &per_call);
+  EXPECT_GT(per_call.visited, 0u);
+  EXPECT_GT(per_call.scored, 0u);
+  auto stats = index.query_stats();
+  EXPECT_EQ(stats.queries, 1u);
+  EXPECT_EQ(stats.visited, per_call.visited);
+  EXPECT_EQ(stats.scored, per_call.scored);
+
+  LshIndex lsh(static_cast<int>(kDim), 8, 4);
+  for (size_t r = 0; r < kRows; ++r) {
+    VecView v = m.row(r);
+    ASSERT_TRUE(lsh.Insert(static_cast<int>(r), v).ok());
+  }
+  lsh.ResetPoolStats();
+  const std::vector<int> pool = lsh.Query(q);
+  auto ps = lsh.pool_stats();
+  EXPECT_EQ(ps.queries, 1u);
+  EXPECT_EQ(ps.candidates, pool.size());
+}
+
+}  // namespace
+}  // namespace tabbin

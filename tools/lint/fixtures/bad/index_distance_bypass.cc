@@ -1,0 +1,22 @@
+// Fixture: MUST trip index-distance-bypass (and only that rule).
+// An index-layer neighbor expansion that scores candidates with a
+// hand-rolled per-float squared-distance loop instead of one batched
+// EmbeddingMatrix::CosineRows call — the walk's distances drift from
+// the exact rerank's under SIMD dispatch / TABBIN_FORCE_SCALAR, and
+// candidate sets stop being reproducible.
+#include <cstddef>
+
+namespace tabbin {
+
+float BadExpandNeighbor(const float* base, std::size_t dim,
+                        std::size_t a, std::size_t b) {
+  const float* x = base + a * dim;
+  const float* y = base + b * dim;
+  float dist = 0;
+  for (std::size_t d = 0; d < dim; ++d) {
+    dist += (x[d] - y[d]) * (x[d] - y[d]);
+  }
+  return dist;
+}
+
+}  // namespace tabbin

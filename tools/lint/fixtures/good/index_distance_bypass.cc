@@ -1,0 +1,19 @@
+// Fixture: MUST produce zero findings.
+// The sanctioned index-layer shape: a neighbor expansion hands the
+// whole unvisited-neighbor batch to EmbeddingMatrix::CosineRows (one
+// kernel call), so walk distances match the exact rerank bit for bit.
+#include <vector>
+
+#include "tensor/embedding_matrix.h"
+
+namespace tabbin {
+
+std::vector<float> GoodExpandNeighbors(const EmbeddingMatrix& m,
+                                       const float* q, float inv_q,
+                                       const std::vector<int>& neighbors) {
+  std::vector<float> sims(neighbors.size());
+  m.CosineRows(q, inv_q, neighbors.data(), neighbors.size(), sims.data());
+  return sims;
+}
+
+}  // namespace tabbin

@@ -108,6 +108,11 @@ RULES = {
         "executor work staged in a raw unbounded FIFO instead of the "
         "admission-controlled BoundedQueue (exec/bounded_queue.h)"
     ),
+    "index-distance-bypass": (
+        "hand-rolled float distance loop in index-layer code "
+        "(src/index/ computes every distance through "
+        "EmbeddingMatrix::CosineRows / tensor/kernels.h)"
+    ),
 }
 
 # Files a rule never applies to (the rule polices *callers* of these
@@ -453,6 +458,53 @@ def rule_unbounded_exec_queue(path, code_lines, fn_ranges, mask):
     return findings
 
 
+INDEX_PATH_RE = re.compile(r"(^|/)index[/_]")
+ANY_ACC_DECL_RE = re.compile(r"\b(float|double)\s+(\w+)\s*=\s*0")
+ELEM_PRODUCT_RE_TMPL = (r"\s*\+=\s*[^;]*\[[^\]]+\][^;]*\*\s*[^;]*\[[^\]]+\]")
+INNER_PRODUCT_RE = re.compile(r"\bstd::inner_product\s*\(")
+
+
+def rule_index_distance_bypass(path, code_lines, fn_ranges, mask):
+    """The index layer's contract is that EVERY distance evaluation is
+    a batched kernel call (EmbeddingMatrix::CosineRows, i.e.
+    kernels::BatchedCosineRows) — one scalar drift between a graph
+    walk's distances and the exact rerank's distances and candidate
+    sets stop being reproducible across dispatch levels. Unlike
+    kernel-bypass (which polices embedding-row callers everywhere and
+    keys on conventional accumulator names), this rule covers
+    index-layer sources and flags ANY accumulated element-product
+    loop, whatever the accumulator is called, plus std::inner_product."""
+    if not INDEX_PATH_RE.search(path):
+        return []
+    findings = []
+    for idx, line in enumerate(code_lines):
+        if INNER_PRODUCT_RE.search(line):
+            findings.append(Finding(
+                path, idx + 1, "index-distance-bypass",
+                "std::inner_product in index code; distances go "
+                "through EmbeddingMatrix::CosineRows so SIMD "
+                "dispatch, TABBIN_FORCE_SCALAR, and bit-determinism "
+                "cover the graph walk"))
+    for (start, end) in fn_ranges:
+        body = code_lines[start - 1:end]
+        for off, line in enumerate(body):
+            m = ANY_ACC_DECL_RE.search(line)
+            if not m:
+                continue
+            acc = m.group(2)
+            tail = "\n".join(body[off:off + 8])
+            if re.search(re.escape(acc) + ELEM_PRODUCT_RE_TMPL, tail):
+                findings.append(Finding(
+                    path, start + off, "index-distance-bypass",
+                    "hand-rolled '%s' distance reduction in index "
+                    "code; use EmbeddingMatrix::CosineRows (one "
+                    "batched kernel call per neighbor expansion) so "
+                    "walk distances match the exact rerank bit for "
+                    "bit" % acc))
+                break
+    return findings
+
+
 RULE_FNS = {
     "encode-under-lock": rule_encode_under_lock,
     "raw-row-mutation": rule_raw_row_mutation,
@@ -460,6 +512,7 @@ RULE_FNS = {
     "naked-new-sections": rule_naked_new_sections,
     "raw-mmap": rule_raw_mmap,
     "unbounded-exec-queue": rule_unbounded_exec_queue,
+    "index-distance-bypass": rule_index_distance_bypass,
 }
 
 
